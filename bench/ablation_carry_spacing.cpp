@@ -1,0 +1,42 @@
+// Ablation — PCS carry-bit spacing (Sec. III-E): the paper's constraint
+// analysis allows explicit carries every 5th, 11th or 55th bit; it picks 11
+// because the 5b->11b group-adder delay difference is negligible while the
+// carry-bit count (area, operand width) drops.  Future work (Sec. V)
+// mentions exploring other densities with a 56b block.
+#include <cstdio>
+
+#include "cs/pcs.hpp"
+#include "common/rng.hpp"
+#include "fpga/device.hpp"
+
+int main() {
+  using namespace csfma;
+  const Device dev = virtex6();
+  std::printf("Ablation — PCS carry spacing on the 385b adder result\n");
+  std::printf("%7s | %12s | %11s | %13s | %s\n", "group", "adder [ns]",
+              "carry bits", "operand bits", "value-preserving?");
+  std::printf("%.*s\n", 70, "--------------------------------------------------"
+                            "--------------------");
+  Rng rng(77);
+  for (int group : {5, 11, 55}) {
+    // Functional check: reduction preserves the value on random data.
+    bool ok = true;
+    for (int i = 0; i < 2000; ++i) {
+      CsNum x(385, rng.next_wide_bits<7>(385), rng.next_wide_bits<7>(385));
+      ok = ok && (carry_reduce(x, group).to_binary() == x.to_binary());
+    }
+    const int carries_385 = 385 / group;
+    const int mant_carries = 110 / group;
+    const int tail_carries = 55 / group;
+    std::printf("%7d | %12.3f | %11d | %13d | %s\n", group,
+                dev.adder_delay_ns(group), carries_385,
+                110 + mant_carries + 55 + tail_carries + 12,
+                ok ? "yes" : "NO");
+  }
+  std::printf("\npaper datapoints: 5b adder 1.650 ns vs 11b adder 1.742 ns —\n"
+              "the 11-bit spacing costs <0.1 ns but saves half the carry "
+              "bits;\nthe 55b spacing's group adder is the full-block adder "
+              "(too slow\nto be 'free' within a 5 ns stage alongside other "
+              "logic).\n");
+  return 0;
+}

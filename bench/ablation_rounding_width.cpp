@@ -1,0 +1,69 @@
+// Ablation — rounding-examination width vs misrounding (Sec. III-E): the
+// PCS-FMA examines only ONE 55b block below the result (truncate before
+// round).  An erroneous round-down needs the saved carries to ripple
+// through the entire examined region ("all 55b from the LSB to the MSB of
+// the fractional part") — we construct the worst-case witness for several
+// widths, verify the decision logic really misrounds it, and report the
+// largest erroneously rounded-down value (the paper bounds it at
+// 0.50000000000000083 for the 55b block).
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "cs/cs_num.hpp"
+
+#include <cmath>
+
+int main() {
+  using namespace csfma;
+  const int total_frac = 165;  // fractional digits below the mantissa
+  std::printf("Ablation — truncate-then-round misrounding\n\n");
+  std::printf("%9s | %22s | %12s | %s\n", "examined", "worst value rounded",
+              "misrounds?", "uniform Monte Carlo");
+  std::printf("%9s | %22s | %12s | %s\n", "bits w", "down (should be >=.5)",
+              "(witness)", "misrounds in 2e6 trials");
+  std::printf("%.*s\n", 78, "--------------------------------------------------"
+                            "----------------------------");
+  for (int width : {11, 22, 55, 110}) {
+    // Witness: examined region = 0111...1 in the sum plane (just below
+    // half); the discarded region below carries the maximum redundant
+    // weight (all digits 2), whose assimilation carry would have pushed
+    // the examined region to exactly half.
+    CsWord s = CsWord::mask(width - 1) << (total_frac - width);
+    CsWord c;
+    const int disc = total_frac - width;
+    if (disc > 0) {
+      s = s | CsWord::mask(disc);
+      c = CsWord::mask(disc);
+    }
+    // Truncated decision (what the hardware sees).
+    const CsWord part = s.extract(total_frac - width, width) +
+                        c.extract(total_frac - width, width);
+    const bool up_trunc = part.bit(width - 1);
+    // Full-information decision.
+    const CsWord full = (s + c).truncated(total_frac + 2);
+    const bool up_full = full.bit(total_frac - 1);
+    // The witness's true value as a fraction of 1 ulp.
+    const double value =
+        full.to_double() / std::ldexp(1.0, total_frac);
+    // Uniform-random check: misrounding needs an exact all-ones run of
+    // width-1 digits — probability ~2^-(w-1), unobservable for w >= 22.
+    Rng rng(99);
+    long long bad = 0;
+    const int trials = 2000000;
+    for (int t = 0; t < trials; ++t) {
+      CsWord rs = rng.next_wide_bits<7>(total_frac);
+      CsWord rc = rng.next_wide_bits<7>(total_frac);
+      const CsWord p2 = rs.extract(total_frac - width, width) +
+                        rc.extract(total_frac - width, width);
+      const CsWord f2 = (rs + rc).truncated(total_frac + 2);
+      if (p2.bit(width - 1) != f2.bit(total_frac - 1)) ++bad;
+    }
+    std::printf("%9d | %22.17f | %12s | %lld (expect ~%.1e)\n", width, value,
+                (up_full && !up_trunc) ? "yes" : "NO",
+                bad, trials * std::ldexp(1.0, -(width - 1)));
+  }
+  std::printf("\nWider examination tightens the bound toward exactly 0.5 but\n"
+              "costs a wider rounding-data bus per operand; the paper accepts\n"
+              "the 55b block's bound for its solvers (Sec. III-E).\n");
+  return 0;
+}

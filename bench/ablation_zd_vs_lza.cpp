@@ -1,0 +1,58 @@
+// Ablation — exact Zero Detection vs early Leading-Zero Anticipation for
+// the FCS-FMA's block selection (Sec. III-F vs III-G):
+//   * timing: the ZD lands on the critical path and deepens the pipeline;
+//   * accuracy: the ZD walks down to cancellation residues the LZA-chosen
+//     window truncates (the paper's accepted inaccuracy).
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "fma/fcs_fma.hpp"
+#include "fma/pcs_format.hpp"
+#include "fpga/architectures.hpp"
+
+int main() {
+  using namespace csfma;
+  const Device dev = virtex6();
+
+  // ---- timing/area ----
+  SynthesisReport lza_r = synthesize("FCS (early LZA)", build_fcs_fma(dev),
+                                     dev, 200.0);
+  SynthesisReport zd_r =
+      synthesize("FCS (exact ZD)", build_fcs_fma_zd(dev), dev, 200.0);
+  std::printf("Ablation — FCS block selection: exact ZD vs early LZA\n\n");
+  std::printf("%-18s | %8s | %6s | %6s | %9s\n", "variant", "fmax", "cycles",
+              "LUTs", "MA [ns]");
+  for (const auto& r : {lza_r, zd_r}) {
+    std::printf("%-18s | %8.1f | %6d | %6d | %9.2f\n", r.arch.c_str(),
+                r.fmax_mhz, r.cycles, r.luts, r.min_ma_time_ns());
+  }
+
+  // ---- accuracy under partial cancellation ----
+  Rng rng(31337);
+  FcsFma lza(nullptr, FcsSelect::EarlyLza);
+  FcsFma zd(nullptr, FcsSelect::ZeroDetect);
+  int lza_lost = 0, zd_lost = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    // a ~ -(b*c) with a small perturbation: heavy cancellation.
+    double bd = rng.next_double(0.5, 2.0), cd = rng.next_double(0.5, 2.0);
+    double ad = -bd * cd * (1.0 + rng.next_double(-0x1.0p-40, 0x1.0p-40));
+    PFloat a = PFloat::from_double(kBinary64, ad);
+    PFloat b = PFloat::from_double(kBinary64, bd);
+    PFloat c = PFloat::from_double(kBinary64, cd);
+    PFloat ref = PFloat::fma(b, c, a, kWideExact, Round::NearestEven);
+    auto err = [&](FcsFma& u) {
+      return PFloat::ulp_error(u.fma_ieee(a, b, c, Round::HalfAwayFromZero),
+                               ref, 52);
+    };
+    if (err(lza) > 1.0) ++lza_lost;
+    if (err(zd) > 1.0) ++zd_lost;
+  }
+  std::printf("\naccuracy under ~2^-40 cancellation (%d trials):\n", trials);
+  std::printf("  early LZA results off by >1 ulp: %d\n", lza_lost);
+  std::printf("  exact ZD  results off by >1 ulp: %d\n", zd_lost);
+  std::printf("\nthe paper chooses the LZA and absorbs its 3-digit margin in\n"
+              "the 29c blocks; the ZD variant trades a pipeline stage (and\n"
+              "fmax pressure) for exactness under deep cancellation.\n");
+  return 0;
+}

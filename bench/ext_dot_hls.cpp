@@ -1,0 +1,78 @@
+// Extension experiment — fused dot products in the HLS flow: the
+// sum-of-products TREES of a matrix-vector multiply (the residual
+// computations around the paper's solver kernel) collapse to single
+// fused units in log depth, where the FMA chains stay linear.
+#include <cstdio>
+#include <sstream>
+
+#include "frontend/parser.hpp"
+#include "hls/dot_insert.hpp"
+#include "hls/fma_insert.hpp"
+#include "hls/schedule.hpp"
+#include "solver/solvers.hpp"
+
+namespace {
+
+using namespace csfma;
+
+/// y = A x for a dense n x n matrix: one sum-of-products row per output.
+std::string mvm_kernel(int n) {
+  std::ostringstream os;
+  os << "kernel mvm" << n << " {\n";
+  os << "  input double A[" << n * n << "];\n";
+  os << "  input double x[" << n << "];\n";
+  os << "  output double y[" << n << "];\n";
+  for (int i = 0; i < n; ++i) {
+    os << "  y[" << i << "] = A[" << i * n << "]*x[0]";
+    for (int j = 1; j < n; ++j)
+      os << " + A[" << i * n + j << "]*x[" << j << "]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  OperatorLibrary lib = OperatorLibrary::for_device(virtex6());
+
+  std::printf("Extension — fused dot products in HLS (schedule cycles)\n\n");
+  std::printf("-- dense matrix-vector multiply (tree-shaped sums) --\n");
+  std::printf("%6s | %9s | %11s | %11s\n", "n", "discrete", "FMA chains",
+              "fused dots");
+  for (int n : {4, 8, 12, 16}) {
+    KernelInfo k = parse_kernel(mvm_kernel(n));
+    const int base = schedule_asap(k.graph, lib).length;
+    Cdfg fma = k.graph;
+    insert_fma_units(fma, lib, FmaStyle::Fcs);
+    Cdfg dot = k.graph;
+    DotInsertStats st = insert_dot_products(dot, lib, /*max_terms=*/16);
+    std::printf("%6d | %9d | %11d | %11d  (%d dots)\n", n, base,
+                schedule_asap(fma, lib).length, schedule_asap(dot, lib).length,
+                st.dots_inserted);
+  }
+
+  std::printf("\n-- ldlsolve() (chain-shaped sums: FMA chains win) --\n");
+  std::printf("%-8s | %9s | %11s | %11s | %11s\n", "solver", "discrete",
+              "FMA chains", "fused dots", "dots+FMA");
+  for (const auto& s : paper_solvers()) {
+    KernelInfo k = parse_kernel(s.ldlsolve_src);
+    const int base = schedule_asap(k.graph, lib).length;
+    Cdfg fma = k.graph;
+    insert_fma_units(fma, lib, FmaStyle::Fcs);
+    Cdfg dot = k.graph;
+    insert_dot_products(dot, lib, 16);
+    Cdfg both = k.graph;
+    insert_dot_products(both, lib, 16);
+    insert_fma_units(both, lib, FmaStyle::Fcs);
+    std::printf("%-8s | %9d | %11d | %11d | %11d\n", s.name.c_str(), base,
+                schedule_asap(fma, lib).length, schedule_asap(dot, lib).length,
+                schedule_asap(both, lib).length);
+  }
+  std::printf("\nreading: tree-shaped reductions favour the fused dot unit\n"
+              "(one log-depth unit per row); the substitution chains of\n"
+              "ldlsolve favour FMA chains (the dot cannot start before its\n"
+              "last input, so chains of dots serialize at full unit latency).\n");
+  return 0;
+}

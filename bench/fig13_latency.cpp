@@ -1,0 +1,45 @@
+// Fig 13 — minimum computation time for one multiply-add operation:
+// minimum clock period x pipeline length, for the four architectures.
+#include <cstdio>
+
+#include "fpga/architectures.hpp"
+
+int main() {
+  using namespace csfma;
+  auto rows = table1_reports(virtex6(), 200.0);
+
+  // Paper values: cycles / fmax from Table I.
+  struct P {
+    const char* arch;
+    double ns;
+  };
+  const P paper[] = {{"Xilinx CoreGen", 9 * 1000.0 / 244},
+                     {"FloPoCo FPPipeline", 11 * 1000.0 / 190},
+                     {"PCS-FMA", 5 * 1000.0 / 231},
+                     {"FCS-FMA", 3 * 1000.0 / 211}};
+
+  std::printf("Fig 13 — minimum multiply-add latency (min period x cycles)\n");
+  std::printf("%-20s | %10s | %10s | %s\n", "Architecture", "paper [ns]",
+              "model [ns]", "bar");
+  double coregen_model = 0;
+  for (const auto& r : rows)
+    if (r.arch == "Xilinx CoreGen") coregen_model = r.min_ma_time_ns();
+  for (const auto& r : rows) {
+    double pns = 0;
+    for (const auto& p : paper)
+      if (r.arch == p.arch) pns = p.ns;
+    const double m = r.min_ma_time_ns();
+    std::printf("%-20s | %10.2f | %10.2f | ", r.arch.c_str(), pns, m);
+    for (int i = 0; i < (int)(m + 0.5); ++i) std::printf("#");
+    std::printf("\n");
+  }
+  std::printf("\nSpeed-up over the closest competitor (CoreGen):\n");
+  for (const auto& r : rows) {
+    if (r.arch == "PCS-FMA" || r.arch == "FCS-FMA") {
+      std::printf("  %-8s %.2fx   (paper: %s)\n", r.arch.c_str(),
+                  coregen_model / r.min_ma_time_ns(),
+                  r.arch == "PCS-FMA" ? "~1.7x" : "~2.5x");
+    }
+  }
+  return 0;
+}

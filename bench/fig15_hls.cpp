@@ -1,0 +1,47 @@
+// Fig 15 — ldlsolve() schedule length for the three trajectory-planning
+// solvers, compiled (a) with discrete CoreGen operators, (b) with automatic
+// PCS-FMA insertion, (c) with automatic FCS-FMA insertion.  The paper
+// reports 26.0%-50.1% reduction with up to 39 time-multiplexed FMA units.
+#include <cstdio>
+
+#include "frontend/parser.hpp"
+#include "hls/fma_insert.hpp"
+#include "hls/schedule.hpp"
+#include "solver/solvers.hpp"
+
+int main() {
+  using namespace csfma;
+  OperatorLibrary lib = OperatorLibrary::for_device(virtex6());
+  ResourceLimits limits;
+  limits.fma = 39;  // the paper's unit budget (Sec. IV-D)
+
+  std::printf("Fig 15 — ldlsolve() schedule cycles (200 MHz operators)\n");
+  std::printf("%-8s | %4s | %5s | %9s | %9s | %9s | %8s | %8s\n", "solver",
+              "KKT", "stmts", "discrete", "PCS-FMA", "FCS-FMA", "red.PCS",
+              "red.FCS");
+  std::printf("%.*s\n", 84, "--------------------------------------------------"
+                            "----------------------------------");
+  for (const auto& s : paper_solvers()) {
+    KernelInfo k = parse_kernel(s.ldlsolve_src);
+    const int base = schedule_list(k.graph, lib, limits).length;
+
+    Cdfg pcs = k.graph;
+    FmaInsertStats sp = insert_fma_units(pcs, lib, FmaStyle::Pcs);
+    const int lp = schedule_list(pcs, lib, limits).length;
+
+    Cdfg fcs = k.graph;
+    FmaInsertStats sf = insert_fma_units(fcs, lib, FmaStyle::Fcs);
+    const int lf = schedule_list(fcs, lib, limits).length;
+
+    std::printf("%-8s | %4d | %5d | %9d | %9d | %9d | %7.1f%% | %7.1f%%\n",
+                s.name.c_str(), s.problem.nk, k.statements, base, lp, lf,
+                100.0 * (base - lp) / base, 100.0 * (base - lf) / base);
+    std::printf("         fma inserted: pcs=%d (elided %d cvts), fcs=%d "
+                "(elided %d cvts)\n",
+                sp.fma_inserted, sp.conversions_elided, sf.fma_inserted,
+                sf.conversions_elided);
+  }
+  std::printf("\npaper: reductions of 26.0%% to 50.1%%, growing with solver\n"
+              "complexity, FCS > PCS (Sec. IV-D).\n");
+  return 0;
+}

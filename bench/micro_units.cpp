@@ -1,0 +1,102 @@
+// Microbenchmarks (google-benchmark): throughput of the bit-accurate unit
+// simulators themselves.  Not a paper experiment — a health check that the
+// simulation is fast enough for the statistical benches.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "fma/classic_fma.hpp"
+#include "fma/discrete.hpp"
+#include "fma/fcs_fma.hpp"
+#include "fma/pcs_fma.hpp"
+
+namespace {
+
+using namespace csfma;
+
+std::vector<PFloat> operands(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PFloat> v;
+  v.reserve((size_t)n);
+  for (int i = 0; i < n; ++i)
+    v.push_back(PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-8, 8)));
+  return v;
+}
+
+void BM_SoftFloatFma(benchmark::State& state) {
+  auto ops = operands(256, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    PFloat r = PFloat::fma(ops[i % 256], ops[(i + 1) % 256], ops[(i + 2) % 256],
+                           kBinary64, Round::NearestEven);
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+}
+BENCHMARK(BM_SoftFloatFma);
+
+void BM_ClassicFma(benchmark::State& state) {
+  ClassicFma unit;
+  auto ops = operands(256, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    PFloat r = unit.fma(ops[i % 256], ops[(i + 1) % 256], ops[(i + 2) % 256]);
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+}
+BENCHMARK(BM_ClassicFma);
+
+void BM_PcsFmaChained(benchmark::State& state) {
+  PcsFma unit;
+  auto ops = operands(256, 3);
+  PcsOperand acc = ieee_to_pcs(ops[0]);
+  size_t i = 0;
+  for (auto _ : state) {
+    acc = unit.fma(acc, ops[i % 256], ieee_to_pcs(ops[(i + 1) % 256]));
+    if (acc.cls() != FpClass::Normal) acc = ieee_to_pcs(ops[0]);
+    ++i;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_PcsFmaChained);
+
+void BM_FcsFmaChained(benchmark::State& state) {
+  FcsFma unit;
+  auto ops = operands(256, 4);
+  FcsOperand acc = ieee_to_fcs(ops[0]);
+  size_t i = 0;
+  for (auto _ : state) {
+    acc = unit.fma(acc, ops[i % 256], ieee_to_fcs(ops[(i + 1) % 256]));
+    if (acc.cls() != FpClass::Normal) acc = ieee_to_fcs(ops[0]);
+    ++i;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_FcsFmaChained);
+
+void BM_IeeeToPcs(benchmark::State& state) {
+  auto ops = operands(256, 5);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ieee_to_pcs(ops[i % 256]));
+    ++i;
+  }
+}
+BENCHMARK(BM_IeeeToPcs);
+
+void BM_PcsToIeee(benchmark::State& state) {
+  auto ops = operands(256, 6);
+  std::vector<PcsOperand> ps;
+  for (const auto& o : ops) ps.push_back(ieee_to_pcs(o));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pcs_to_ieee(ps[i % 256], kBinary64, Round::HalfAwayFromZero));
+    ++i;
+  }
+}
+BENCHMARK(BM_PcsToIeee);
+
+}  // namespace
+
+BENCHMARK_MAIN();

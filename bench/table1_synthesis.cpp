@@ -1,0 +1,55 @@
+// Table I — synthesis results on Virtex-6 (-1) at the paper's 200 MHz
+// constraint: fmax, pipeline cycles, LUTs, DSPs for Xilinx CoreGen,
+// FloPoCo FPPipeline, PCS-FMA and FCS-FMA.
+#include <cstdio>
+
+#include "fpga/architectures.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* arch;
+  double fmax;
+  int cycles, luts, dsps;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"Xilinx CoreGen", 244, 9, 1253, 13},
+    {"FloPoCo FPPipeline", 190, 11, 1508, 7},
+    {"PCS-FMA", 231, 5, 5832, 21},
+    {"FCS-FMA", 211, 3, 4685, 12},
+};
+
+}  // namespace
+
+int main() {
+  using namespace csfma;
+  const Device dev = virtex6();
+  auto rows = table1_reports(dev, 200.0);
+
+  std::printf("Table I — synthesis results (%s, 200 MHz constraint)\n",
+              dev.name.c_str());
+  std::printf("%-20s | %15s | %13s | %15s | %11s\n", "Architecture",
+              "fMax paper/model", "Cyc paper/mod", "LUTs paper/model",
+              "DSP pap/mod");
+  std::printf("%.*s\n", 88,
+              "----------------------------------------------------------------"
+              "------------------------");
+  for (const auto& r : rows) {
+    const PaperRow* p = nullptr;
+    for (const auto& pr : kPaper)
+      if (r.arch == pr.arch) p = &pr;
+    std::printf("%-20s | %7.0f / %5.1f | %5d / %5d | %7d / %5d | %4d / %4d\n",
+                r.arch.c_str(), p ? p->fmax : 0.0, r.fmax_mhz,
+                p ? p->cycles : 0, r.cycles, p ? p->luts : 0, r.luts,
+                p ? p->dsps : 0, r.dsps);
+  }
+
+  std::printf("\nVirtex-5 portability check (PCS only; FCS needs the "
+              "DSP48E1 pre-adder):\n");
+  for (const auto& r : table1_reports(virtex5(), 200.0)) {
+    std::printf("  %-20s fmax=%6.1f MHz  cycles=%d  luts=%d  dsps=%d\n",
+                r.arch.c_str(), r.fmax_mhz, r.cycles, r.luts, r.dsps);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table II — average energy per multiply-add (nJ), from switching activity
+// of the Sec. IV-B recurrence in steady state.  The (alpha, beta) model is
+// calibrated on the Xilinx and PCS anchors; FloPoCo and FCS are model
+// predictions (see src/energy/energy_model.hpp).
+#include <cstdio>
+
+#include "energy/energy_model.hpp"
+#include "energy/workload.hpp"
+#include "fpga/architectures.hpp"
+
+int main() {
+  using namespace csfma;
+  const int runs = 20, depth = 50;  // the paper's benchmark size
+  auto disc = measure_discrete(1001, runs, depth);
+  auto classic = measure_classic(1001, runs, depth);
+  auto pcs = measure_pcs(1001, runs, depth);
+  auto fcs = measure_fcs(1001, runs, depth);
+
+  auto t1 = table1_reports(virtex6(), 200.0);
+  auto luts = [&t1](const char* n) {
+    for (const auto& r : t1)
+      if (r.arch == n) return r.luts;
+    return 0;
+  };
+  const int l_x = luts("Xilinx CoreGen"), l_f = luts("FloPoCo FPPipeline"),
+            l_p = luts("PCS-FMA"), l_c = luts("FCS-FMA");
+
+  EnergyCoefficients k =
+      calibrate(disc.toggles_per_op, l_x, 0.54, pcs.toggles_per_op, l_p, 2.67);
+
+  std::printf("Table II — average energy per multiply-add (nJ)\n");
+  std::printf("calibration: alpha=%.3e nJ/toggle  beta=%.3e nJ/LUT "
+              "(anchored on Xilinx=0.54, PCS=2.67)\n\n",
+              k.alpha_nj_per_toggle, k.beta_nj_per_lut);
+  std::printf("%-20s | %12s | %6s | %10s | %10s\n", "Architecture",
+              "toggles/op", "LUTs", "paper [nJ]", "model [nJ]");
+  std::printf("%.*s\n", 72, "--------------------------------------------------"
+                            "----------------------");
+  std::printf("%-20s | %12.1f | %6d | %10.2f | %10.2f  (anchor)\n",
+              "Xilinx (Mul+Add)", disc.toggles_per_op, l_x, 0.54,
+              energy_per_op_nj(k, disc.toggles_per_op, l_x));
+  std::printf("%-20s | %12.1f | %6d | %10.2f | %10.2f  (prediction)\n",
+              "FloPoCo", classic.toggles_per_op, l_f, 0.74,
+              energy_per_op_nj(k, classic.toggles_per_op, l_f));
+  std::printf("%-20s | %12.1f | %6d | %10.2f | %10.2f  (anchor)\n", "PCS-FMA",
+              pcs.toggles_per_op, l_p, 2.67,
+              energy_per_op_nj(k, pcs.toggles_per_op, l_p));
+  std::printf("%-20s | %12.1f | %6d | %10.2f | %10.2f  (prediction)\n",
+              "FCS-FMA", fcs.toggles_per_op, l_c, 2.36,
+              energy_per_op_nj(k, fcs.toggles_per_op, l_c));
+  std::printf("\npaper's headline: the P/FCS units draw 4-5x the discrete "
+              "pair; the CSA planes dominate the activity:\n");
+  std::printf("  PCS/Xilinx energy ratio: model %.1fx (paper %.1fx)\n",
+              energy_per_op_nj(k, pcs.toggles_per_op, l_p) /
+                  energy_per_op_nj(k, disc.toggles_per_op, l_x),
+              2.67 / 0.54);
+  std::printf("  toggles ratio PCS/discrete: %.1fx\n",
+              pcs.toggles_per_op / disc.toggles_per_op);
+
+  // The XPower "analysis details" view (Sec. IV-C): where the PCS unit's
+  // activity actually happens.
+  std::printf("\nPCS-FMA per-component activity (toggles/op):\n");
+  for (const auto& [name, t] : pcs.by_component) {
+    std::printf("  %-14s %8.1f  (%4.1f%%)\n", name.c_str(), t,
+                100.0 * t / pcs.toggles_per_op);
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Architecture exploration — the activity in the paper's title, as an API
+// walk-through: sweep the FMA design space (discrete, classic fused, PCS
+// geometries, FCS with both selectors) and print the latency / area /
+// operand-width / accuracy trade-offs on one table.
+//
+//   ./build/examples/design_space
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "fma/fcs_fma.hpp"
+#include "fma/pcs_config.hpp"
+#include "fpga/architectures.hpp"
+
+namespace {
+
+using namespace csfma;
+
+/// Mean accuracy of 5000 random fused ops vs the correctly rounded result.
+template <typename F>
+double mean_ulp(F&& op) {
+  Rng rng(6060);
+  double sum = 0;
+  int n = 0;
+  for (int i = 0; i < 5000; ++i) {
+    PFloat a = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-20, 20));
+    PFloat b = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-20, 20));
+    PFloat c = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-20, 20));
+    PFloat ref = PFloat::fma(b, c, a, kBinary64, Round::HalfAwayFromZero);
+    if (!ref.is_normal()) continue;
+    sum += PFloat::ulp_error(op(a, b, c), ref, 52);
+    ++n;
+  }
+  return sum / n;
+}
+
+}  // namespace
+
+int main() {
+  const Device dev = virtex6();
+  auto t1 = table1_reports(dev, 200.0);
+  auto report = [&t1](const char* arch) -> const SynthesisReport& {
+    static SynthesisReport none;
+    for (const auto& r : t1)
+      if (r.arch == arch) return r;
+    return none;
+  };
+
+  std::printf("Design space — one multiply-add, %s @ 200 MHz target\n\n",
+              dev.name.c_str());
+  std::printf("%-22s | %8s | %6s | %6s | %4s | %9s\n", "design", "MA [ns]",
+              "cycles", "LUTs", "DSPs", "mean ulp");
+  std::printf("%.*s\n", 72, "--------------------------------------------------"
+                            "----------------------");
+
+  {
+    const auto& r = report("Xilinx CoreGen");
+    double ulp = mean_ulp([](const PFloat& a, const PFloat& b, const PFloat& c) {
+      return PFloat::add(PFloat::mul(b, c, kBinary64, Round::NearestEven), a,
+                         kBinary64, Round::NearestEven);
+    });
+    std::printf("%-22s | %8.2f | %6d | %6d | %4d | %9.4f\n", "discrete mul+add",
+                r.min_ma_time_ns(), r.cycles, r.luts, r.dsps, ulp);
+  }
+  {
+    const auto& r = report("PCS-FMA");
+    GenPcsFma unit(kPaperPcs);
+    double ulp = mean_ulp([&](const PFloat& a, const PFloat& b, const PFloat& c) {
+      return unit.fma_ieee(a, b, c, Round::HalfAwayFromZero);
+    });
+    std::printf("%-22s | %8.2f | %6d | %6d | %4d | %9.4f\n",
+                "PCS-FMA 55/11 (paper)", r.min_ma_time_ns(), r.cycles, r.luts,
+                r.dsps, ulp);
+  }
+  for (PcsConfig cfg : {kPcs56g14, PcsConfig{44, 11}, PcsConfig{33, 11},
+                        PcsConfig{22, 11}}) {
+    GenPcsFma unit(cfg);
+    double ulp = mean_ulp([&](const PFloat& a, const PFloat& b, const PFloat& c) {
+      return unit.fma_ieee(a, b, c, Round::HalfAwayFromZero);
+    });
+    char name[32];
+    std::snprintf(name, sizeof name, "PCS-FMA %d/%d", cfg.block, cfg.group);
+    std::printf("%-22s | %8s | %6s | %6s | %4s | %9.4f   (%db operands)\n",
+                name, "~", "~", "~", "~", ulp, cfg.operand_bits());
+  }
+  {
+    const auto& r = report("FCS-FMA");
+    FcsFma unit;
+    double ulp = mean_ulp([&](const PFloat& a, const PFloat& b, const PFloat& c) {
+      return unit.fma_ieee(a, b, c, Round::HalfAwayFromZero);
+    });
+    std::printf("%-22s | %8.2f | %6d | %6d | %4d | %9.4f\n", "FCS-FMA (LZA)",
+                r.min_ma_time_ns(), r.cycles, r.luts, r.dsps, ulp);
+  }
+  {
+    SynthesisReport r = synthesize("fcs-zd", build_fcs_fma_zd(dev), dev, 200.0);
+    FcsFma unit(nullptr, FcsSelect::ZeroDetect);
+    double ulp = mean_ulp([&](const PFloat& a, const PFloat& b, const PFloat& c) {
+      return unit.fma_ieee(a, b, c, Round::HalfAwayFromZero);
+    });
+    std::printf("%-22s | %8.2f | %6d | %6d | %4d | %9.4f\n", "FCS-FMA (ZD)",
+                r.min_ma_time_ns(), r.cycles, r.luts, r.dsps, ulp);
+  }
+  std::printf("\nsmaller PCS geometries shrink operands below the 192b paper\n"
+              "format at the cost of sub-double accuracy — the knob Sec. V\n"
+              "proposes exploring.\n");
+  return 0;
+}

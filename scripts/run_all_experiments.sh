@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate every table, figure, ablation and extension experiment.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+echo "=================== tests ==================="
+ctest --test-dir build --output-on-failure
+for b in table1_synthesis fig13_latency table2_energy fig14_accuracy fig15_hls \
+         ablation_carry_spacing ablation_rounding_width ablation_hls_elision \
+         ablation_zd_vs_lza ablation_block_size ablation_reassoc \
+         ext_dot_product ext_ldlfactor ext_dot_hls ext_dsp_kernels; do
+  echo; echo "=================== $b ==================="
+  "./build/bench/$b"
+done
+echo; echo "=================== microbenchmarks ==================="
+./build/bench/micro_units --benchmark_min_time=0.05
+./build/bench/micro_flow --benchmark_min_time=0.05

@@ -1,0 +1,62 @@
+// Switching-activity probes.
+//
+// The paper's energy numbers (Table II) come from recording the actual
+// switching activity of the post-layout netlist (VCD/SAIF via ISim) and
+// feeding it to XPower.  The simulator equivalent: every major component
+// output is an ActivityProbe that accumulates the Hamming distance between
+// the values it carries on successive evaluations — per-net toggle counts.
+// The energy model (src/energy) weights these by per-primitive-class
+// coefficients.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/wide_uint.hpp"
+
+namespace csfma {
+
+class ActivityProbe {
+ public:
+  /// Record the next value of the probed bus; accumulates toggled bits.
+  template <int W>
+  void observe(const WideUint<W>& v) {
+    WideUint<8> cur(v);
+    if (has_prev_) toggles_ += (std::uint64_t)(cur ^ prev_).popcount();
+    prev_ = cur;
+    has_prev_ = true;
+    ++observations_;
+  }
+
+  std::uint64_t toggles() const { return toggles_; }
+  std::uint64_t observations() const { return observations_; }
+
+  void reset() {
+    toggles_ = 0;
+    observations_ = 0;
+    has_prev_ = false;
+    prev_ = WideUint<8>();
+  }
+
+ private:
+  WideUint<8> prev_;
+  bool has_prev_ = false;
+  std::uint64_t toggles_ = 0;
+  std::uint64_t observations_ = 0;
+};
+
+/// A named collection of probes, one per component output of a unit.
+class ActivityRecorder {
+ public:
+  ActivityProbe& probe(const std::string& name) { return probes_[name]; }
+  const std::map<std::string, ActivityProbe>& probes() const { return probes_; }
+  void reset() {
+    for (auto& [name, p] : probes_) p.reset();
+  }
+
+ private:
+  std::map<std::string, ActivityProbe> probes_;
+};
+
+}  // namespace csfma

@@ -1,0 +1,44 @@
+// Lightweight precondition / invariant checking.
+//
+// CSFMA_CHECK is always on (the library simulates hardware bit-exactly, and a
+// silently violated invariant produces wrong numbers, not crashes — we prefer
+// to fail loudly). The cost is negligible next to the wide-integer work.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace csfma {
+
+/// Thrown when an internal invariant or a caller-visible precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace csfma
+
+#define CSFMA_CHECK(expr)                                                \
+  do {                                                                   \
+    if (!(expr)) ::csfma::detail::check_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CSFMA_CHECK_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream os_;                                            \
+      os_ << msg;                                                        \
+      ::csfma::detail::check_fail(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                    \
+  } while (0)

@@ -1,0 +1,101 @@
+// Deterministic random number generation for tests and benchmarks.
+//
+// All experiments in the repo are seeded so that every table/figure is
+// exactly reproducible run-to-run.  xoshiro256** is small, fast and has no
+// global state.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/wide_uint.hpp"
+
+namespace csfma {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).
+  std::uint64_t next_below(std::uint64_t n) {
+    CSFMA_CHECK(n > 0);
+    // Rejection sampling to avoid modulo bias.
+    std::uint64_t threshold = (-n) % n;
+    for (;;) {
+      std::uint64_t r = next_u64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    CSFMA_CHECK(lo <= hi);
+    return lo + (std::int64_t)next_below((std::uint64_t)(hi - lo) + 1);
+  }
+
+  bool next_bool() { return next_u64() & 1; }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_unit() { return (double)(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) { return lo + (hi - lo) * next_unit(); }
+
+  /// A double with uniformly random sign, exponent in [emin, emax] and a
+  /// uniformly random 52-bit fraction — for exercising wide dynamic ranges.
+  double next_fp_in_exp_range(int emin, int emax) {
+    std::uint64_t frac = next_u64() & ((1ULL << 52) - 1);
+    std::uint64_t exp = (std::uint64_t)next_int(emin + 1023, emax + 1023);
+    std::uint64_t sign = next_bool() ? 1ULL : 0ULL;
+    std::uint64_t bits = (sign << 63) | (exp << 52) | frac;
+    double d;
+    static_assert(sizeof(d) == sizeof(bits));
+    __builtin_memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+
+  /// Random wide integer with all bits uniform.
+  template <int W>
+  WideUint<W> next_wide() {
+    WideUint<W> r;
+    for (int i = 0; i < W; ++i) r.set_word(i, next_u64());
+    return r;
+  }
+
+  /// Random wide integer restricted to the low `bits` positions.
+  template <int W>
+  WideUint<W> next_wide_bits(int bits) {
+    return next_wide<W>().truncated(bits);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace csfma

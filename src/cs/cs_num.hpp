@@ -1,0 +1,97 @@
+// Two's-complement carry-save numbers.
+//
+// A carry-save (CS) number of width W is a pair of bit planes (S, C); each
+// digit position i holds the digit value S_i + C_i ∈ {0, 1, 2}.  Following
+// DESIGN.md §3, the represented value is
+//
+//     value = toSigned((S + C) mod 2^W)        (two's complement window)
+//
+// which makes the redundancy (several digit strings per value) and the
+// overflow idiosyncrasies of Fig 10 of the paper exact statements about the
+// representation.  All datapath wires wider than a machine word live in
+// CsWord (448 bits — enough for the 385b PCS adder and the 377c FCS shifter).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/wide_uint.hpp"
+
+namespace csfma {
+
+/// Workspace word for carry-save planes.
+using CsWord = WideUint<7>;
+inline constexpr int kCsWordBits = CsWord::kBits;
+
+class CsNum {
+ public:
+  CsNum() : width_(1) {}
+  CsNum(int width, CsWord sum, CsWord carry);
+
+  static CsNum zero(int width) { return CsNum(width, CsWord(), CsWord()); }
+
+  /// Encode a plain binary (non-redundant) value: carry plane all zero.
+  static CsNum from_binary(int width, CsWord bits);
+
+  /// Encode a signed value given as (negative, magnitude): two's complement
+  /// into the window.  The magnitude must fit in width-1 bits.
+  static CsNum from_signed(int width, bool negative, CsWord magnitude);
+
+  int width() const { return width_; }
+  const CsWord& sum() const { return sum_; }
+  const CsWord& carry() const { return carry_; }
+
+  /// Digit value at position i: 0, 1 or 2.
+  int digit(int i) const;
+
+  /// The assimilated binary image (S + C) mod 2^W — what a full-width
+  /// carry-propagate adder would produce.
+  CsWord to_binary() const;
+
+  /// Signed value of the window, sign-extended to the full CsWord width.
+  CsWord signed_value() const;
+  bool is_value_negative() const;
+  bool is_value_zero() const;
+  /// Magnitude of the signed value.
+  CsWord magnitude() const;
+
+  /// True if the carry plane is all zero (representation is non-redundant).
+  bool is_binary() const { return carry_.is_zero(); }
+
+  /// Structural shifts: both planes move together (digits shift).  Left
+  /// shifts drop digits off the window (mod semantics); right shifts are
+  /// *logical* on the planes — callers doing arithmetic alignment must
+  /// assimilate or sign-extend explicitly (hardware does the same).
+  CsNum shifted_left(int n) const;
+  CsNum shifted_right_logical(int n) const;
+
+  /// Re-window to a new width (truncating or zero-extending the planes).
+  CsNum windowed(int new_width) const;
+
+  /// Extract `len` digits starting at `lo` as a CS number of width `len`.
+  CsNum extract_digits(int lo, int len) const;
+
+  std::string to_digit_string() const;  // e.g. "0120...", MSB first
+
+ private:
+  int width_;
+  CsWord sum_, carry_;
+};
+
+/// 3:2 compression of three bit planes into a CS pair, within a W-bit
+/// window (the carry plane shifts left one position; the bit falling off the
+/// MSB is dropped, consistent with mod-2^W semantics).  This is the
+/// fundamental constant-time addition step of every CSA tree in the paper.
+CsNum compress3(int width, const CsWord& a, const CsWord& b, const CsWord& c);
+
+/// CS + binary  →  CS (one 3:2 layer).
+CsNum cs_add_binary(const CsNum& a, const CsWord& b);
+
+/// CS + CS  →  CS (two 3:2 layers, i.e. a 4:2 compressor column).
+CsNum cs_add_cs(const CsNum& a, const CsNum& b);
+
+/// Two's-complement negation in CS: ¬S + ¬C + 2 within the window
+/// (one 3:2 layer plus the +2 constant folded into the planes).
+CsNum cs_negate(const CsNum& a);
+
+}  // namespace csfma

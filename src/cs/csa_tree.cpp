@@ -1,0 +1,120 @@
+#include "cs/csa_tree.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace csfma {
+
+int csa_levels_for_rows(int n) {
+  int levels = 0;
+  while (n > 2) {
+    n = (n / 3) * 2 + (n % 3);
+    ++levels;
+  }
+  return levels;
+}
+
+CsNum reduce_rows(int width, const std::vector<CsWord>& rows,
+                  CsaTreeStats* stats) {
+  CSFMA_CHECK(width >= 1 && width <= kCsWordBits);
+  if (stats != nullptr) {
+    stats->rows = (int)rows.size();
+    stats->levels = 0;
+    stats->compressors = 0;
+  }
+  std::vector<CsWord> cur;
+  cur.reserve(rows.size());
+  for (const auto& r : rows) cur.push_back(r.truncated(width));
+
+  if (cur.empty()) return CsNum::zero(width);
+  if (cur.size() == 1) return CsNum::from_binary(width, cur[0]);
+
+  while (cur.size() > 2) {
+    std::vector<CsWord> next;
+    next.reserve(cur.size() * 2 / 3 + 2);
+    size_t i = 0;
+    for (; i + 3 <= cur.size(); i += 3) {
+      CsNum c = compress3(width, cur[i], cur[i + 1], cur[i + 2]);
+      next.push_back(c.sum());
+      next.push_back(c.carry());
+      if (stats != nullptr) stats->compressors += width;
+    }
+    for (; i < cur.size(); ++i) next.push_back(cur[i]);
+    cur.swap(next);
+    if (stats != nullptr) ++stats->levels;
+  }
+  return CsNum(width, cur[0], cur.size() > 1 ? cur[1] : CsWord());
+}
+
+CsNum multiply_cs_by_binary(const CsNum& multiplicand, const CsWord& multiplier,
+                            int multiplier_width, int out_width,
+                            CsaTreeStats* stats) {
+  CSFMA_CHECK(multiplier_width >= 1);
+  CSFMA_CHECK(out_width >= multiplicand.width());
+  CSFMA_CHECK(out_width <= kCsWordBits);
+  CSFMA_CHECK((multiplier & ~CsWord::mask(multiplier_width)).is_zero());
+
+  // The multiplicand's planes are assimilated to the signed value first.
+  // In the FCS-FMA hardware this is what the DSP48E1 *pre-adders* do,
+  // chunk-wise and carry-free thanks to the format's no-wrap guard bits
+  // (Sec. III-H: "converting them to plain binary format, without the risk
+  // of a sign-changing overflow"); per-plane sign extension would be
+  // unsound for a redundant two's-complement operand.  The value-level
+  // result is identical; fpga/ charges the pre-adder structures separately.
+  const CsWord m = multiplicand.signed_value().truncated(out_width);
+
+  // One row per multiplier bit position.  Rows for zero bits are kept so
+  // the tree structure (depth, compressor count) is data-independent, as it
+  // is in the netlist.
+  std::vector<CsWord> pp;
+  pp.reserve((size_t)multiplier_width);
+  for (int i = 0; i < multiplier_width; ++i) {
+    pp.push_back(multiplier.bit(i) ? (m << i).truncated(out_width) : CsWord());
+  }
+  return reduce_rows(out_width, pp, stats);
+}
+
+CsNum multiply_dsp_tiled(const CsNum& multiplicand, const CsWord& multiplier,
+                         int multiplier_width, int cand_chunk, int mult_chunk,
+                         int out_width, int offset,
+                         CsaTreeStats* stats) {
+  const int wc = multiplicand.width();
+  CSFMA_CHECK(cand_chunk >= 2 && cand_chunk <= 30);
+  CSFMA_CHECK(mult_chunk >= 2 && mult_chunk <= 30);
+  CSFMA_CHECK(multiplier_width >= 1 && multiplier_width <= 63);
+  CSFMA_CHECK(offset >= 0 && offset + wc + multiplier_width <= out_width + 1);
+  CSFMA_CHECK(out_width <= kCsWordBits);
+  CSFMA_CHECK((multiplier & ~CsWord::mask(multiplier_width)).is_zero());
+
+  // Assimilate the multiplicand planes (DSP pre-adder step), then slice its
+  // two's-complement representation.  All slices are unsigned except the
+  // top one, which carries the sign.
+  const CsWord m = multiplicand.to_binary();
+  const int n_cand = (wc + cand_chunk - 1) / cand_chunk;
+  const int n_mult = (multiplier_width + mult_chunk - 1) / mult_chunk;
+
+  std::vector<CsWord> rows;
+  rows.reserve((size_t)n_cand * n_mult);
+  for (int j = 0; j < n_cand; ++j) {
+    const int c_lo = j * cand_chunk;
+    const int c_len = std::min(cand_chunk, wc - c_lo);
+    std::int64_t c_val = (std::int64_t)m.extract64(c_lo, c_len);
+    const bool c_signed = (j == n_cand - 1);
+    if (c_signed && ((c_val >> (c_len - 1)) & 1)) c_val -= (std::int64_t)1 << c_len;
+    for (int i = 0; i < n_mult; ++i) {
+      const int b_lo = i * mult_chunk;
+      const int b_len = std::min(mult_chunk, multiplier_width - b_lo);
+      const std::int64_t b_val = (std::int64_t)multiplier.extract64(b_lo, b_len);
+      const std::int64_t prod = c_val * b_val;  // <= 30+30 bits, exact
+      // Sign-extend the tile product into the window at its weight.
+      WideUint<8> row((std::uint64_t)prod);
+      if (prod < 0) row = row.sext(64);
+      rows.push_back(CsWord(row << (offset + c_lo + b_lo)).truncated(out_width));
+    }
+  }
+  return reduce_rows(out_width, rows, stats);
+}
+
+}  // namespace csfma

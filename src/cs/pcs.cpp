@@ -1,0 +1,60 @@
+#include "cs/pcs.hpp"
+
+#include "common/check.hpp"
+
+namespace csfma {
+
+namespace {
+
+/// Mask with a 1 at every multiple of `group` below `width`.
+CsWord group_position_mask(int width, int group) {
+  CsWord m;
+  for (int p = 0; p < width; p += group) m = m | CsWord::bit_at(p);
+  return m;
+}
+
+}  // namespace
+
+PcsNum::PcsNum(int width, int group, CsWord sum, CsWord carries)
+    : width_(width), group_(group), sum_(sum), carries_(carries) {
+  CSFMA_CHECK_MSG(width >= 1 && width <= kCsWordBits, "PCS width");
+  CSFMA_CHECK_MSG(group >= 1 && group <= width, "PCS group");
+  CSFMA_CHECK_MSG((sum_ & ~CsWord::mask(width)).is_zero(), "sum plane overflow");
+  CSFMA_CHECK_MSG((carries_ & ~group_position_mask(width, group)).is_zero(),
+                  "carry bits off the group grid");
+}
+
+PcsNum PcsNum::zero(int width, int group) {
+  return PcsNum(width, group, CsWord(), CsWord());
+}
+
+PcsNum PcsNum::extract_digits(int lo, int len) const {
+  CSFMA_CHECK(lo >= 0 && len >= 1 && lo + len <= width_);
+  CSFMA_CHECK_MSG(lo % group_ == 0, "extraction must be group-aligned");
+  return PcsNum(len, group_ <= len ? group_ : len, sum_.extract(lo, len),
+                carries_.extract(lo, len));
+}
+
+PcsNum carry_reduce(const CsNum& x, int group) {
+  const int w = x.width();
+  CSFMA_CHECK(group >= 1 && group <= w);
+  CSFMA_CHECK_MSG(group <= 63, "group adders are modeled on 64-bit words");
+  CsWord out_sum, out_carries;
+  for (int lo = 0; lo < w; lo += group) {
+    const int len = (lo + group <= w) ? group : (w - lo);
+    // One small adder per group: sum-segment + carry-segment.
+    const std::uint64_t seg =
+        x.sum().extract64(lo, len) + x.carry().extract64(lo, len);
+    out_sum = out_sum.deposit(lo, len, CsWord(seg));
+    const bool carry_out = (seg >> len) & 1;
+    if (carry_out && lo + group < w) {
+      out_carries = out_carries | CsWord::bit_at(lo + group);
+    }
+    // A carry out of the topmost group falls off the window (mod 2^w).
+  }
+  return PcsNum(w, group, out_sum, out_carries);
+}
+
+CsWord pcs_assimilate(const PcsNum& x) { return x.to_binary(); }
+
+}  // namespace csfma

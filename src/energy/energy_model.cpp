@@ -1,0 +1,32 @@
+#include "energy/energy_model.hpp"
+
+#include "common/check.hpp"
+
+namespace csfma {
+
+double toggles_per_op(const ActivityRecorder& rec, std::uint64_t ops) {
+  CSFMA_CHECK(ops > 0);
+  std::uint64_t total = 0;
+  for (const auto& [name, probe] : rec.probes()) total += probe.toggles();
+  return (double)total / (double)ops;
+}
+
+EnergyCoefficients calibrate(double toggles_a, int luts_a, double energy_a_nj,
+                             double toggles_b, int luts_b, double energy_b_nj) {
+  // Solve the 2x2 system
+  //   alpha*t_a + beta*l_a = e_a
+  //   alpha*t_b + beta*l_b = e_b
+  const double det = toggles_a * luts_b - toggles_b * luts_a;
+  CSFMA_CHECK_MSG(det != 0.0, "degenerate calibration anchors");
+  EnergyCoefficients k;
+  k.alpha_nj_per_toggle = (energy_a_nj * luts_b - energy_b_nj * luts_a) / det;
+  k.beta_nj_per_lut = (toggles_a * energy_b_nj - toggles_b * energy_a_nj) / det;
+  return k;
+}
+
+double energy_per_op_nj(const EnergyCoefficients& k, double toggles_per_op,
+                        int luts) {
+  return k.alpha_nj_per_toggle * toggles_per_op + k.beta_nj_per_lut * luts;
+}
+
+}  // namespace csfma

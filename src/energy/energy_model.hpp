@@ -1,0 +1,52 @@
+// Switching-activity energy model (Table II).
+//
+// The paper records post-layout switching activity (ISim VCD/SAIF) of each
+// unit running the Sec. IV-B recurrence in pipeline steady state and feeds
+// it to XPower.  The simulator equivalent: ActivityRecorder probes on every
+// major component output count per-net toggles; energy per operation is
+//
+//   E = alpha * (toggles per op) + beta * (design LUTs)
+//
+// where the alpha term models the dynamic fabric/routing energy (scales
+// with actual bit activity — the CS planes of the P/FCS units toggle far
+// more than re-normalized IEEE buses, which is the paper's explanation of
+// the 4-5x increase: "most of the energy was drawn in the large CSA trees")
+// and the beta term models the clock tree / register load, which scales
+// with design size.  alpha and beta are calibrated ONCE against the two
+// anchor values of Table II (Xilinx 0.54 nJ, PCS-FMA 2.67 nJ); FloPoCo and
+// FCS-FMA are then predictions of the model, compared against the paper in
+// bench/table2_energy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/activity.hpp"
+
+namespace csfma {
+
+struct EnergyCoefficients {
+  double alpha_nj_per_toggle;
+  double beta_nj_per_lut;
+};
+
+/// Sum of all probe toggles divided by operation count.
+double toggles_per_op(const ActivityRecorder& rec, std::uint64_t ops);
+
+/// Calibrate (alpha, beta) from two anchor designs.
+EnergyCoefficients calibrate(double toggles_a, int luts_a, double energy_a_nj,
+                             double toggles_b, int luts_b, double energy_b_nj);
+
+/// Energy per multiply-add of a design under the model.
+double energy_per_op_nj(const EnergyCoefficients& k, double toggles_per_op,
+                        int luts);
+
+struct EnergyReport {
+  std::string arch;
+  double toggles_per_op;
+  int luts;
+  double energy_nj;
+};
+
+}  // namespace csfma

@@ -1,0 +1,118 @@
+#include "energy/workload.hpp"
+
+#include <array>
+
+#include "common/rng.hpp"
+#include "energy/energy_model.hpp"
+#include "fma/classic_fma.hpp"
+#include "fma/discrete.hpp"
+#include "fma/fcs_fma.hpp"
+#include "fma/pcs_fma.hpp"
+
+namespace csfma {
+
+namespace {
+
+struct Inputs {
+  PFloat b1, b2;
+  std::array<PFloat, 3> x;
+};
+
+Inputs random_inputs(Rng& rng) {
+  Inputs in;
+  double b1 = rng.next_double(1.0, 32.0) * (rng.next_bool() ? 1 : -1);
+  double b2 = rng.next_double(0.001, 1.0) * (rng.next_bool() ? 1 : -1);
+  in.b1 = PFloat::from_double(kBinary64, b1);
+  in.b2 = PFloat::from_double(kBinary64, b2);
+  for (auto& x : in.x)
+    x = PFloat::from_double(kBinary64, rng.next_double(-1.0, 1.0));
+  return in;
+}
+
+template <typename Step>
+ActivityMeasurement run_recurrence(const ActivityRecorder& rec,
+                                   std::uint64_t seed, int runs, int depth,
+                                   Step step) {
+  Rng rng(seed);
+  std::uint64_t ops = 0;
+  for (int r = 0; r < runs; ++r) {
+    Inputs in = random_inputs(rng);
+    step(in, depth);
+    ops += 2ull * (std::uint64_t)(depth - 2);  // two multiply-adds per x[n]
+  }
+  ActivityMeasurement m;
+  m.ops = ops;
+  m.toggles_per_op = toggles_per_op(rec, ops);
+  for (const auto& [name, probe] : rec.probes()) {
+    m.by_component[name] = (double)probe.toggles() / (double)ops;
+  }
+  return m;
+}
+
+}  // namespace
+
+ActivityMeasurement measure_discrete(std::uint64_t seed, int runs, int depth) {
+  ActivityRecorder rec;
+  DiscreteMulAdd unit(&rec);
+  return run_recurrence(rec, seed, runs, depth, [&](const Inputs& in, int n) {
+    PFloat x3 = in.x[0], x2 = in.x[1], x1 = in.x[2];
+    for (int i = 3; i <= n; ++i) {
+      PFloat t = unit.mul_add(x3, in.b2, x2);
+      PFloat x = unit.mul_add(t, in.b1, x1);
+      x3 = x2;
+      x2 = x1;
+      x1 = x;
+    }
+  });
+}
+
+ActivityMeasurement measure_classic(std::uint64_t seed, int runs, int depth) {
+  ActivityRecorder rec;
+  ClassicFma unit(&rec);
+  return run_recurrence(rec, seed, runs, depth, [&](const Inputs& in, int n) {
+    PFloat x3 = in.x[0], x2 = in.x[1], x1 = in.x[2];
+    for (int i = 3; i <= n; ++i) {
+      PFloat t = unit.fma(x3, in.b2, x2);
+      PFloat x = unit.fma(t, in.b1, x1);
+      x3 = x2;
+      x2 = x1;
+      x1 = x;
+    }
+  });
+}
+
+ActivityMeasurement measure_pcs(std::uint64_t seed, int runs, int depth) {
+  ActivityRecorder rec;
+  PcsFma unit(&rec);
+  return run_recurrence(rec, seed, runs, depth, [&](const Inputs& in, int n) {
+    PcsOperand x3 = ieee_to_pcs(in.x[0]);
+    PcsOperand x2 = ieee_to_pcs(in.x[1]);
+    PcsOperand x1 = ieee_to_pcs(in.x[2]);
+    for (int i = 3; i <= n; ++i) {
+      PcsOperand t = unit.fma(x3, in.b2, x2);
+      PcsOperand x = unit.fma(t, in.b1, x1);
+      x3 = x2;
+      x2 = x1;
+      x1 = x;
+    }
+  });
+}
+
+ActivityMeasurement measure_fcs(std::uint64_t seed, int runs, int depth) {
+  ActivityRecorder rec;
+  FcsFma unit(&rec);
+  return run_recurrence(rec, seed, runs, depth, [&](const Inputs& in, int n) {
+    FcsOperand x3 = ieee_to_fcs(in.x[0]);
+    FcsOperand x2 = ieee_to_fcs(in.x[1]);
+    FcsOperand x1 = ieee_to_fcs(in.x[2]);
+    for (int i = 3; i <= n; ++i) {
+      FcsOperand t = unit.fma(x3, in.b2, x2);
+      FcsOperand x = unit.fma(t, in.b1, x1);
+      x3 = x2;
+      x2 = x1;
+      x1 = x;
+    }
+  });
+}
+
+}  // namespace csfma

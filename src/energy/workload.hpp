@@ -1,0 +1,32 @@
+// The Sec. IV-B benchmark workload, instrumented for switching activity:
+//   x[n] = B1*x[n-1] + B2*x[n-2] + x[n-3],  1 < |B1| < 32,  0 < |B2| < 1,
+// run in steady state through each architecture with ActivityRecorder
+// probes attached, mirroring the paper's ISim VCD/SAIF capture.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/activity.hpp"
+
+namespace csfma {
+
+struct ActivityMeasurement {
+  double toggles_per_op = 0.0;  // summed over all probes, per multiply-add
+  std::uint64_t ops = 0;
+  // Per-component breakdown (probe name -> toggles per op) — the XPower
+  // "analysis details" view the paper cites in Sec. IV-C.
+  std::map<std::string, double> by_component;
+};
+
+/// CoreGen-style discrete multiply + add pipeline.
+ActivityMeasurement measure_discrete(std::uint64_t seed, int runs, int depth);
+/// FloPoCo-style fused pipeline (classic FMA datapath).
+ActivityMeasurement measure_classic(std::uint64_t seed, int runs, int depth);
+/// PCS-FMA chain (operands stay in PCS between the two units).
+ActivityMeasurement measure_pcs(std::uint64_t seed, int runs, int depth);
+/// FCS-FMA chain.
+ActivityMeasurement measure_fcs(std::uint64_t seed, int runs, int depth);
+
+}  // namespace csfma

@@ -1,0 +1,42 @@
+// The classic fused multiply-add architecture (Hokenek/Montoye/Cook 1990),
+// Fig 4 of the paper — the baseline the PCS/FCS designs depart from.
+//
+// IEEE 754-compliant operands AND result; internally:
+//   * the multiplier produces the product in carry-save form (no
+//     normalization between multiply and add),
+//   * the addend is pre-shifted in parallel with the multiplication,
+//   * a 161b end-around adder with conditional complement assimilates,
+//   * a Leading Zero Anticipator computes the normalization distance in
+//     parallel with the addition,
+//   * the variable-distance shifter normalizes, then rounding and the
+//     conditional 1-bit post-normalization shift finish.
+//
+// Being a correctly implemented fused operation, its value equals the
+// correctly rounded a + b*c (verified against PFloat::fma in tests); the
+// point of simulating the steps is the timing/area/energy model and the
+// architectural contrast.
+#pragma once
+
+#include "common/activity.hpp"
+#include "fp/pfloat.hpp"
+
+namespace csfma {
+
+class ClassicFma {
+ public:
+  explicit ClassicFma(ActivityRecorder* activity = nullptr)
+      : activity_(activity) {}
+
+  /// R = A + B * C, all IEEE binary64, round-to-nearest-even (the mode the
+  /// 1990 design implements).
+  PFloat fma(const PFloat& a, const PFloat& b, const PFloat& c);
+
+  /// Normalization shift distance used by the last operation (LZA-guided).
+  int last_norm_shift() const { return last_norm_shift_; }
+
+ private:
+  ActivityRecorder* activity_;
+  int last_norm_shift_ = 0;
+};
+
+}  // namespace csfma

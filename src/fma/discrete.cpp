@@ -1,0 +1,26 @@
+#include "fma/discrete.hpp"
+
+namespace csfma {
+
+void DiscreteMulAdd::probe(const char* name, const PFloat& v) {
+  if (activity_ != nullptr) activity_->probe(name).observe(v.to_bits());
+}
+
+PFloat DiscreteMulAdd::mul(const PFloat& a, const PFloat& b) {
+  PFloat r = PFloat::mul(a, b, kBinary64, Round::NearestEven);
+  probe("mul.out", r);
+  return r;
+}
+
+PFloat DiscreteMulAdd::add(const PFloat& a, const PFloat& b) {
+  PFloat r = PFloat::add(a, b, kBinary64, Round::NearestEven);
+  probe("add.out", r);
+  return r;
+}
+
+PFloat DiscreteMulAdd::mul_add(const PFloat& a, const PFloat& b,
+                               const PFloat& c) {
+  return add(a, mul(b, c));
+}
+
+}  // namespace csfma

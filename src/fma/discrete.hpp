@@ -1,0 +1,33 @@
+// Discrete IEEE 754 multiply and add operators — the Xilinx CoreGen
+// configuration of the paper's evaluation ("low latency" 5-cycle multiplier
+// plus "low latency" 4-cycle adder, Sec. IV-A), and the FloPoCo FPPipeline
+// fused pipeline.  Both are IEEE-interface, subnormal-free, correctly
+// rounded operators; they differ (for our purposes) in the latency/area
+// attributes the fpga/ and hls/ models attach, and in their switching
+// activity (every intermediate is re-normalized, so the planes are narrow).
+#pragma once
+
+#include "common/activity.hpp"
+#include "fp/pfloat.hpp"
+
+namespace csfma {
+
+/// A CoreGen-style discrete multiply-add pair: mul and add are separate,
+/// fully rounded operators (two roundings per multiply-add).
+class DiscreteMulAdd {
+ public:
+  explicit DiscreteMulAdd(ActivityRecorder* activity = nullptr)
+      : activity_(activity) {}
+
+  PFloat mul(const PFloat& a, const PFloat& b);
+  PFloat add(const PFloat& a, const PFloat& b);
+
+  /// The full multiply-add a + b*c as the discrete pipeline computes it.
+  PFloat mul_add(const PFloat& a, const PFloat& b, const PFloat& c);
+
+ private:
+  void probe(const char* name, const PFloat& v);
+  ActivityRecorder* activity_;
+};
+
+}  // namespace csfma

@@ -1,0 +1,117 @@
+#include "fma/dot_product.hpp"
+
+#include <algorithm>
+#include <climits>
+
+#include "common/check.hpp"
+#include "cs/zero_detect.hpp"
+
+namespace csfma {
+
+using G = PcsGeometry;
+
+namespace {
+
+/// The largest product's msb is anchored at this window bit, leaving the
+/// same guard headroom the PCS-FMA adder has; the sum of up to 2^13 terms
+/// cannot overflow the 385b signed window.
+constexpr int kAnchorMsb = 270;
+
+/// Arithmetic shift right on the full 512-bit workspace.
+WideUint<8> asr(const WideUint<8>& v, int k) {
+  const bool neg = v.bit(WideUint<8>::kBits - 1);
+  if (k >= WideUint<8>::kBits) return neg ? ~WideUint<8>() : WideUint<8>();
+  WideUint<8> r = v >> k;
+  if (neg) r = r | ~WideUint<8>::mask(WideUint<8>::kBits - k);
+  return r;
+}
+
+}  // namespace
+
+PcsOperand PcsDotProduct::dot(
+    const std::vector<std::pair<PFloat, PFloat>>& terms) {
+  // ---- exception side-wires ----
+  bool any_nan = false, pos_inf = false, neg_inf = false;
+  for (const auto& [a, b] : terms) {
+    if (a.is_nan() || b.is_nan()) any_nan = true;
+    if (a.is_inf() || b.is_inf()) {
+      if (a.is_zero() || b.is_zero()) {
+        any_nan = true;  // inf * 0
+      } else {
+        (a.sign() != b.sign() ? neg_inf : pos_inf) = true;
+      }
+    }
+  }
+  if (any_nan || (pos_inf && neg_inf)) return PcsOperand::make_nan();
+  if (pos_inf) return PcsOperand::make_inf(false);
+  if (neg_inf) return PcsOperand::make_inf(true);
+
+  // ---- exact products with their lsb exponents ----
+  struct Prod {
+    WideUint<4> mag;  // |sig_a * sig_b|, up to 106 bits
+    bool neg;
+    int lsb_exp;
+  };
+  std::vector<Prod> prods;
+  int max_msb = INT_MIN;
+  for (const auto& [a, b] : terms) {
+    if (!a.is_normal() || !b.is_normal()) continue;  // zero terms drop out
+    Prod p;
+    p.mag = a.sig().mul_full<2>(b.sig());
+    p.neg = a.sign() != b.sign();
+    p.lsb_exp = (a.exp() - a.format().frac_bits) +
+                (b.exp() - b.format().frac_bits);
+    max_msb = std::max(max_msb, p.lsb_exp + p.mag.bit_width() - 1);
+    prods.push_back(p);
+  }
+  if (prods.empty()) return PcsOperand::make_zero(false);
+
+  // ---- align into the shared window and reduce with one CSA tree ----
+  const int w0 = max_msb - kAnchorMsb;  // exponent of window bit 0
+  std::vector<CsWord> rows;
+  rows.reserve(prods.size());
+  for (const auto& p : prods) {
+    WideUint<8> v(p.mag);
+    if (p.neg) v = -v;
+    const int sh = p.lsb_exp - w0;
+    // Far-below terms truncate off the window bottom (fused-accumulator
+    // behaviour); the arithmetic shift keeps the sign fill.
+    WideUint<8> placed = sh >= 0 ? (v << sh) : asr(v, -sh);
+    rows.push_back(CsWord(placed).truncated(G::kAdderWidth));
+  }
+  CsNum acc = reduce_rows(G::kAdderWidth, rows, &tree_stats_);
+  if (activity_ != nullptr) {
+    activity_->probe("dot.sum").observe(acc.sum());
+    activity_->probe("dot.carry").observe(acc.carry());
+  }
+
+  // ---- Carry Reduce + ZD + 6:1 mux, exactly the PCS-FMA back end ----
+  PcsNum reduced = carry_reduce(acc, G::kGroup);
+  const int k = count_skippable_blocks(reduced.as_cs(), G::kBlock, 5);
+  const int mant_lo = (5 - k) * G::kBlock;
+  PcsNum mant = reduced.extract_digits(mant_lo, G::kMantDigits);
+  PcsNum tail = PcsNum::zero(G::kTailDigits, G::kGroup);
+  if (mant_lo >= G::kBlock) {
+    tail = reduced.extract_digits(mant_lo - G::kBlock, G::kTailDigits);
+  }
+  if (mant.to_binary().is_zero() && tail.to_binary().is_zero()) {
+    return PcsOperand::make_zero(false);
+  }
+  // value = Y * 2^w0; mant digit 0 at window bit mant_lo; operand semantics
+  // give weight 2^(e_r - 107) to mant digit 0.
+  const int e_r = w0 + mant_lo + 107;
+  if (e_r > G::kExpMax) {
+    return PcsOperand::make_inf(mant.as_cs().is_value_negative());
+  }
+  if (e_r < G::kExpMin) {
+    return PcsOperand::make_zero(mant.as_cs().is_value_negative());
+  }
+  return PcsOperand(mant, tail, e_r, FpClass::Normal, false);
+}
+
+PFloat PcsDotProduct::dot_ieee(
+    const std::vector<std::pair<PFloat, PFloat>>& terms, Round rm) {
+  return pcs_to_ieee(dot(terms), kBinary64, rm);
+}
+
+}  // namespace csfma

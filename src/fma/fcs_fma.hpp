@@ -1,0 +1,57 @@
+// The FCS-FMA unit (Sec. III-G/H, Fig 11): R = A + B * C with A, C, R in
+// full-carry-save format.  Differences from the PCS-FMA:
+//
+//   * NO Carry Reduction step: the adder output planes are passed through
+//     raw; the DSP48E1 *pre-adders* assimilate C's planes at the next
+//     multiplier input (Virtex-6/-7 only — the architectural reason this
+//     unit does not port to Virtex-5);
+//   * block selection is driven by EARLY leading-zero anticipation on the
+//     *inputs* (A's and C's mantissas via LZA, B's implied leading 1),
+//     combined at block granularity, instead of the exact-but-slower Zero
+//     Detector on the result (Sec. III-G).  The anticipated position is an
+//     upper bound with a 3-digit uncertainty (1 LZA + 1 product + 1 sum),
+//     absorbed by the 29-digit block margin;
+//   * the result multiplexer selects 3 blocks out of 13 from 11 possible
+//     positions (the 11:1 mux of Sec. III-H), plus the parallel tail mux.
+#pragma once
+
+#include "common/activity.hpp"
+#include "cs/csa_tree.hpp"
+#include "cs/lza.hpp"
+#include "fma/fcs_format.hpp"
+
+namespace csfma {
+
+/// Result-block selection strategy (the Sec. III-F vs III-G alternative):
+/// the exact Zero Detector examines the *result* digits (precise, but the
+/// ZD then sits on the critical path and determines total latency), while
+/// the early LZA anticipates from the *inputs* (off the critical path, at
+/// the cost of the 3-digit uncertainty margin and the cancellation
+/// inaccuracy the paper accepts).
+enum class FcsSelect { EarlyLza, ZeroDetect };
+
+class FcsFma {
+ public:
+  explicit FcsFma(ActivityRecorder* activity = nullptr,
+                  FcsSelect select = FcsSelect::EarlyLza)
+      : activity_(activity), select_(select) {}
+
+  /// R = A + B * C.  B must be binary64 (or narrower).
+  FcsOperand fma(const FcsOperand& a, const PFloat& b, const FcsOperand& c);
+
+  /// Single-operation convenience with IEEE boundaries.
+  PFloat fma_ieee(const PFloat& a, const PFloat& b, const PFloat& c, Round rm);
+
+  const CsaTreeStats& last_mul_stats() const { return mul_stats_; }
+  /// Top block index chosen by the early-LZA mux in the last operation
+  /// (2..12; 11 possibilities).
+  int last_top_block() const { return last_top_block_; }
+
+ private:
+  ActivityRecorder* activity_;
+  FcsSelect select_;
+  CsaTreeStats mul_stats_{};
+  int last_top_block_ = 0;
+};
+
+}  // namespace csfma

@@ -1,0 +1,98 @@
+// The FCS-FMA operand format (Sec. III-H) and its IEEE converters.
+//
+// The full-carry-save operand keeps BOTH raw planes of every digit: the
+// mantissa is 87 CS digits (three 29-digit blocks — reduced from 116b/two
+// 58b blocks for routability, as the paper describes), the rounding tail is
+// 29 CS digits, and the exponent is 12b excess-2047.  Each digit is "1b
+// partial sum + 1b CS carry" (the paper's unit 'c').  There is NO carry
+// reduction step: the DSP48E1 pre-adders of Virtex-6/-7 assimilate the
+// planes where binary values are needed.
+//
+// Value semantics mirror the PCS format:
+//   X̂ = signed((S_m + C_m) mod 2^87) · 2^29 + (S_t + C_t)
+//   value = X̂ · 2^(exp − 111)
+// An IEEE binary64 significand converts in with its MSB at mantissa digit
+// 82; digits 83..86 stay clear — the sign digit plus the 3-digit early-LZA
+// uncertainty margin derived in Sec. III-G/H (which guarantees ≥ 25 + 29 =
+// 54 significant digits in the two lower result blocks, exceeding binary64).
+#pragma once
+
+#include "cs/cs_num.hpp"
+#include "fp/pfloat.hpp"
+
+namespace csfma {
+
+/// Geometry constants of the FCS-FMA datapath (Sec. III-G/H).
+struct FcsGeometry {
+  static constexpr int kBlock = 29;         // result block size (digits)
+  static constexpr int kMantDigits = 87;    // three result blocks
+  static constexpr int kTailDigits = 29;    // rounding-data block
+  static constexpr int kAdderWidth = 377;   // 13 blocks of 29 digits
+  static constexpr int kProductWidth = 145; // five blocks (87c x 53b)
+  static constexpr int kProductOffset = 87; // three blocks right of product
+  static constexpr int kExpBias = 2047;
+  static constexpr int kExpMin = -2047;
+  static constexpr int kExpMax = 2048;
+  static constexpr int kFracBits = 111;     // value = X_hat * 2^(exp - 111)
+  static constexpr int kSigMsbDigit = 82;   // IEEE MSB position on entry
+  static constexpr int kLzaMargin = 3;      // total anticipation uncertainty
+};
+
+class FcsOperand {
+ public:
+  FcsOperand();
+  FcsOperand(CsNum mant, CsNum tail, int exp_unbiased, FpClass cls,
+             bool exc_sign);
+
+  static FcsOperand make_zero(bool sign);
+  static FcsOperand make_inf(bool sign);
+  static FcsOperand make_nan();
+
+  const CsNum& mant() const { return mant_; }
+  const CsNum& tail() const { return tail_; }
+  int exp() const { return exp_; }
+  int exp_field() const { return exp_ + FcsGeometry::kExpBias; }
+  FpClass cls() const { return cls_; }
+  bool exc_sign() const { return exc_sign_; }
+
+  bool is_nan() const { return cls_ == FpClass::NaN; }
+  bool is_inf() const { return cls_ == FpClass::Inf; }
+  bool is_zero() const {
+    return cls_ == FpClass::Zero ||
+           (cls_ == FpClass::Normal && mant_.to_binary().is_zero() &&
+            tail_assimilated().is_zero());
+  }
+
+  /// Digit-level all-zero check of the mantissa planes — the "reliable
+  /// all-0 mantissa detection" the early LZA needs (Sec. III-G).  Note this
+  /// is stronger than value-zero: redundant encodings of 0 return false.
+  bool mant_digits_all_zero() const {
+    return mant_.sum().is_zero() && mant_.carry().is_zero();
+  }
+
+  CsWord tail_assimilated() const { return tail_.sum() + tail_.carry(); }
+
+  /// Deferred "round half away from zero" decision over the tail block.
+  int round_increment() const;
+
+  /// Exact represented value (to 101 bits) for golden comparisons.
+  PFloat exact_value() const;
+
+  std::string to_string() const;
+
+ private:
+  CsNum mant_;  // 87 digits, both planes live
+  CsNum tail_;  // 29 digits, both planes live
+  int exp_;
+  FpClass cls_;
+  bool exc_sign_;
+};
+
+/// Exact conversion IEEE -> FCS (chain-entry CVT operator).
+FcsOperand ieee_to_fcs(const PFloat& x);
+
+/// Conversion FCS -> IEEE-style: full assimilation + single rounding
+/// (chain-exit CVT operator).
+PFloat fcs_to_ieee(const FcsOperand& x, const FloatFormat& fmt, Round rm);
+
+}  // namespace csfma

@@ -1,0 +1,119 @@
+// Runtime-configurable PCS-FMA geometry — the paper's future work
+// (Sec. V): "the use of different carry bit densities in the PCS-FMA could
+// be explored when increasing the block size to 56b (instead of the 55b
+// used here)".
+//
+// GenPcsFma generalizes the fixed 55b/group-11 unit of pcs_fma.hpp to any
+// (block, group) geometry with group | block:
+//   * mantissa  = 2 blocks, rounding tail = 1 block,
+//   * product   = mantissa + 53 bits,
+//   * adder     = mantissa + product + mantissa, rounded up to blocks,
+//   * value     = X̂ · 2^(exp − F),  F = sig_msb_digit + tail_digits,
+// which reduces to the paper's exact constants at (55, 11): 110b+10b
+// mantissa, 385b adder, F = 162.
+//
+// Small blocks trade accuracy (the 52+1+1+1 bit budget no longer fits)
+// for narrower operands and a cheaper mux — the exploration the ablation
+// bench sweeps.
+#pragma once
+
+#include "common/activity.hpp"
+#include "cs/csa_tree.hpp"
+#include "cs/pcs.hpp"
+#include "cs/zero_detect.hpp"
+#include "fp/pfloat.hpp"
+
+namespace csfma {
+
+struct PcsConfig {
+  int block = 55;  // result block digits
+  int group = 11;  // explicit-carry spacing; must divide block
+
+  int mant_digits() const { return 2 * block; }
+  int tail_digits() const { return block; }
+  int product_width() const { return mant_digits() + 53; }
+  int adder_blocks() const {
+    const int raw = 2 * mant_digits() + product_width();
+    return (raw + block - 1) / block;
+  }
+  int adder_width() const { return adder_blocks() * block; }
+  /// IEEE significand MSB position on conversion: the paper's
+  /// 52+1(sign)+1(guard)+1(overflow) budget below the mantissa top.
+  int sig_msb_digit() const { return mant_digits() - 3; }
+  /// Binary point: value = X_hat * 2^(exp - frac_bits()).
+  int frac_bits() const { return sig_msb_digit() + tail_digits(); }
+  /// Number of explicit carry positions in one operand mantissa.
+  int mant_carries() const { return mant_digits() / group; }
+  /// Total operand bits (mant sum+carries, tail sum+carries, 12b exponent).
+  int operand_bits() const {
+    return mant_digits() + mant_carries() + tail_digits() +
+           tail_digits() / group + 12;
+  }
+  /// Significant digits guaranteed in the selected result (the 55b design
+  /// yields >= 53; smaller blocks fall below double precision).
+  int guaranteed_digits() const { return mant_digits() - 3; }
+
+  void validate() const;
+};
+
+/// The paper's shipping geometry.
+inline constexpr PcsConfig kPaperPcs{55, 11};
+/// The Sec. V candidate: 56b blocks admit spacings 4/7/8/14/28.
+inline constexpr PcsConfig kPcs56g8{56, 8};
+inline constexpr PcsConfig kPcs56g14{56, 14};
+
+/// A configurable-geometry PCS operand (runtime widths).
+class GenPcsOperand {
+ public:
+  GenPcsOperand();  // +0 in the paper geometry
+  GenPcsOperand(PcsConfig cfg, PcsNum mant, PcsNum tail, int exp, FpClass cls,
+                bool exc_sign);
+
+  static GenPcsOperand make_zero(const PcsConfig& cfg, bool sign);
+  static GenPcsOperand make_inf(const PcsConfig& cfg, bool sign);
+  static GenPcsOperand make_nan(const PcsConfig& cfg);
+
+  const PcsConfig& config() const { return cfg_; }
+  const PcsNum& mant() const { return mant_; }
+  const PcsNum& tail() const { return tail_; }
+  int exp() const { return exp_; }
+  FpClass cls() const { return cls_; }
+  bool exc_sign() const { return exc_sign_; }
+
+  bool is_nan() const { return cls_ == FpClass::NaN; }
+  bool is_inf() const { return cls_ == FpClass::Inf; }
+  bool is_zero() const;
+
+  CsWord tail_assimilated() const { return tail_.sum() + tail_.carries(); }
+  int round_increment() const;  // half-away-from-zero over the tail block
+  PFloat exact_value() const;
+
+ private:
+  PcsConfig cfg_;
+  PcsNum mant_, tail_;
+  int exp_ = 0;
+  FpClass cls_ = FpClass::Zero;
+  bool exc_sign_ = false;
+};
+
+GenPcsOperand ieee_to_genpcs(const PcsConfig& cfg, const PFloat& x);
+PFloat genpcs_to_ieee(const GenPcsOperand& x, const FloatFormat& fmt, Round rm);
+
+class GenPcsFma {
+ public:
+  explicit GenPcsFma(PcsConfig cfg, ActivityRecorder* activity = nullptr);
+
+  GenPcsOperand fma(const GenPcsOperand& a, const PFloat& b,
+                    const GenPcsOperand& c);
+  PFloat fma_ieee(const PFloat& a, const PFloat& b, const PFloat& c, Round rm);
+
+  const PcsConfig& config() const { return cfg_; }
+  int last_zd_skip() const { return last_zd_skip_; }
+
+ private:
+  PcsConfig cfg_;
+  ActivityRecorder* activity_;
+  int last_zd_skip_ = 0;
+};
+
+}  // namespace csfma

@@ -1,0 +1,157 @@
+#include "fma/pcs_fma.hpp"
+
+#include "common/check.hpp"
+
+namespace csfma {
+
+using G = PcsGeometry;
+
+namespace {
+
+/// DSP48E tile geometry of the PCS multiplier: the 110b multiplicand feeds
+/// the 18-bit signed ports (17b unsigned slices), the 53b multiplier the
+/// 25-bit ports (24b slices) — ceil(110/17) * ceil(53/24) = 21 DSPs, the
+/// paper's Table I figure for the PCS-FMA.
+constexpr int kCandChunk = 17;
+constexpr int kMultChunk = 24;
+
+/// Sign of a normal operand's value (mantissa two's complement; a zero
+/// mantissa with a non-zero tail is positive).
+bool value_sign(const PcsOperand& x) {
+  if (x.cls() != FpClass::Normal) return x.exc_sign();
+  return x.mant().as_cs().is_value_negative();
+}
+
+/// A's pass-through result when the product falls entirely below A's
+/// window: apply A's deferred rounding, clear the tail.
+PcsOperand passthrough_rounded(const PcsOperand& a, int rnd_a) {
+  CsNum bumped = compress3(G::kMantDigits, a.mant().sum(), a.mant().carries(),
+                           CsWord((std::uint64_t)rnd_a));
+  PcsNum mant = carry_reduce(bumped, G::kGroup);
+  return PcsOperand(mant, PcsNum::zero(G::kTailDigits, G::kGroup), a.exp(),
+                    FpClass::Normal, value_sign(a));
+}
+
+}  // namespace
+
+PcsOperand PcsFma::fma(const PcsOperand& a, const PFloat& b,
+                       const PcsOperand& c) {
+  // ---- exception side-wires (Sec. III-B) ----
+  if (a.is_nan() || b.is_nan() || c.is_nan()) return PcsOperand::make_nan();
+  const bool b_zero = b.is_zero();
+  const bool c_zero = c.is_zero();
+  const bool p_inf = b.is_inf() || c.is_inf();
+  const bool p_sign = b.sign() != value_sign(c);
+  if (p_inf) {
+    if (b_zero || c_zero) return PcsOperand::make_nan();
+    if (a.is_inf() && a.exc_sign() != p_sign) return PcsOperand::make_nan();
+    return PcsOperand::make_inf(p_sign);
+  }
+  if (a.is_inf()) return PcsOperand::make_inf(a.exc_sign());
+
+  // ---- deferred rounding decisions (Sec. III-C) ----
+  const int rnd_a = a.cls() == FpClass::Normal ? a.round_increment() : 0;
+  const int rnd_c = c.cls() == FpClass::Normal ? c.round_increment() : 0;
+
+  if (b_zero || c_zero) {
+    // Product is zero: the result is (rounded) A.
+    if (a.is_zero()) {
+      const bool s = p_sign && value_sign(a);  // -0 only if both negative
+      return PcsOperand::make_zero(s);
+    }
+    return passthrough_rounded(a, rnd_a);
+  }
+  CSFMA_CHECK_MSG(b.format().precision() <= 53,
+                  "B must be IEEE binary64 or narrower");
+
+  // ---- multiplier: B_M x unrounded C_M as a DSP-tiled CSA tree, built
+  //      directly in the 385b adder window at the product offset so the
+  //      product planes stay in carry-save form into the adder (Fig 9).
+  //      C's deferred rounding becomes the +B_M correction row (Fig 6). ----
+  const CsNum c_mant = c.mant().as_cs();
+  const CsWord b_sig = CsWord(WideUint<7>(WideUint<2>(b.sig())));
+  CsNum product =
+      multiply_dsp_tiled(c_mant, b_sig, 53, kCandChunk, kMultChunk,
+                         G::kAdderWidth, G::kProductOffset, &mul_stats_);
+  if (rnd_c != 0) {
+    product = cs_add_binary(
+        product, (b_sig << G::kProductOffset).truncated(G::kAdderWidth));
+  }
+  if (b.sign()) product = cs_negate(product);
+  if (activity_ != nullptr) {
+    activity_->probe("mul.sum").observe(product.sum());
+    activity_->probe("mul.carry").observe(product.carry());
+  }
+  const int e_p = b.exp() + c.exp();
+
+  // ---- A path: deferred rounding + pre-shift (parallel to the multiply;
+  //      Fig 5).  The A mantissa is assimilated here (see header note). ----
+  const int e_a = a.cls() == FpClass::Normal ? a.exp() : e_p;  // zero: any
+  WideUint<8> a_val =
+      WideUint<8>(a.cls() == FpClass::Normal ? a.mant().to_binary() : CsWord())
+          .sext(G::kMantDigits) +
+      WideUint<8>((std::uint64_t)rnd_a);
+  const int ofs_a = e_a - e_p + G::kFracBits;
+  if (!a_val.is_zero() && ofs_a > G::kAdderWidth - G::kMantDigits) {
+    // A is entirely left of the adder window: the product cannot influence
+    // even the rounding tail; pass A through.
+    return passthrough_rounded(a, rnd_a);
+  }
+  CsWord a_row;
+  if (!a_val.is_zero() && ofs_a > -G::kMantDigits) {
+    // The 512-bit sign extension makes the negative-offset shift arithmetic.
+    WideUint<8> placed = ofs_a >= 0 ? (a_val << ofs_a) : (a_val >> -ofs_a);
+    a_row = CsWord(placed).truncated(G::kAdderWidth);
+  }
+  if (activity_ != nullptr) activity_->probe("ashift").observe(a_row);
+
+  // ---- 385b CS adder: product planes + aligned A row (3:2) ----
+  CsNum adder = compress3(G::kAdderWidth, product.sum(), product.carry(), a_row);
+  if (activity_ != nullptr) {
+    activity_->probe("add.sum").observe(adder.sum());
+    activity_->probe("add.carry").observe(adder.carry());
+  }
+
+  // ---- Carry Reduction to group-11 PCS (Sec. III-E) ----
+  PcsNum reduced = carry_reduce(adder, G::kGroup);
+  if (activity_ != nullptr) {
+    activity_->probe("creduce.sum").observe(reduced.sum());
+    activity_->probe("creduce.carry").observe(reduced.carries());
+  }
+
+  // ---- Zero Detector + 6:1 block multiplexer (Sec. III-D/F) ----
+  const int k = count_skippable_blocks(reduced.as_cs(), G::kBlock, 5);
+  last_zd_skip_ = k;
+  const int mant_lo = (5 - k) * G::kBlock;
+  PcsNum mant = reduced.extract_digits(mant_lo, G::kMantDigits);
+  PcsNum tail = PcsNum::zero(G::kTailDigits, G::kGroup);
+  if (mant_lo >= G::kBlock) {
+    tail = reduced.extract_digits(mant_lo - G::kBlock, G::kTailDigits);
+  }
+  if (activity_ != nullptr) {
+    activity_->probe("mux.sum").observe(mant.sum());
+    activity_->probe("mux.carry").observe(mant.carries());
+  }
+
+  if (mant.to_binary().is_zero() && tail.to_binary().is_zero()) {
+    return PcsOperand::make_zero(false);
+  }
+
+  // ---- exponent update ----
+  const int e_r = e_p + mant_lo - G::kFracBits;
+  if (e_r > G::kExpMax) {
+    return PcsOperand::make_inf(mant.as_cs().is_value_negative());
+  }
+  if (e_r < G::kExpMin) {
+    return PcsOperand::make_zero(mant.as_cs().is_value_negative());
+  }
+  return PcsOperand(mant, tail, e_r, FpClass::Normal, false);
+}
+
+PFloat PcsFma::fma_ieee(const PFloat& a, const PFloat& b, const PFloat& c,
+                        Round rm) {
+  PcsOperand r = fma(ieee_to_pcs(a), b, ieee_to_pcs(c));
+  return pcs_to_ieee(r, kBinary64, rm);
+}
+
+}  // namespace csfma

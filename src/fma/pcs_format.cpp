@@ -1,0 +1,186 @@
+#include "fma/pcs_format.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace csfma {
+
+using G = PcsGeometry;
+
+PcsOperand::PcsOperand()
+    : mant_(PcsNum::zero(G::kMantDigits, G::kGroup)),
+      round_(PcsNum::zero(G::kTailDigits, G::kGroup)),
+      exp_(0),
+      cls_(FpClass::Zero),
+      exc_sign_(false) {}
+
+PcsOperand::PcsOperand(PcsNum mant, PcsNum round, int exp_unbiased, FpClass cls,
+                       bool exc_sign)
+    : mant_(std::move(mant)),
+      round_(std::move(round)),
+      exp_(exp_unbiased),
+      cls_(cls),
+      exc_sign_(exc_sign) {
+  CSFMA_CHECK(mant_.width() == G::kMantDigits && mant_.group() == G::kGroup);
+  CSFMA_CHECK(round_.width() == G::kTailDigits && round_.group() == G::kGroup);
+  CSFMA_CHECK_MSG(exp_ >= G::kExpMin && exp_ <= G::kExpMax,
+                  "exponent outside the excess-2047 field");
+}
+
+PcsOperand PcsOperand::make_zero(bool sign) {
+  PcsOperand r;
+  r.cls_ = FpClass::Zero;
+  r.exc_sign_ = sign;
+  return r;
+}
+
+PcsOperand PcsOperand::make_inf(bool sign) {
+  PcsOperand r;
+  r.cls_ = FpClass::Inf;
+  r.exc_sign_ = sign;
+  return r;
+}
+
+PcsOperand PcsOperand::make_nan() {
+  PcsOperand r;
+  r.cls_ = FpClass::NaN;
+  return r;
+}
+
+int PcsOperand::round_increment() const {
+  CSFMA_CHECK(cls_ == FpClass::Normal);
+  // Half of one mantissa ulp, in tail scale: the tail covers 55 fractional
+  // digits, so half is 2^54.
+  const CsWord tail = tail_assimilated();
+  const CsWord half = CsWord::bit_at(G::kTailDigits - 1);
+  if (tail < half) return 0;
+  if (tail > half) return 1;
+  // Exact tie: round half AWAY FROM ZERO — the direction depends on the
+  // sign of the value (the mantissa's two's-complement sign; a zero
+  // mantissa with a positive tail is positive).
+  const bool negative = mant_.as_cs().is_value_negative();
+  return negative ? 0 : 1;
+}
+
+PFloat PcsOperand::exact_value() const {
+  switch (cls_) {
+    case FpClass::Zero:
+      return PFloat::zero(kWideExact, exc_sign_);
+    case FpClass::Inf:
+      return PFloat::inf(kWideExact, exc_sign_);
+    case FpClass::NaN:
+      return PFloat::nan(kWideExact);
+    case FpClass::Normal:
+      break;
+  }
+  // X_hat = mant_signed * 2^55 + tail, evaluated in a 512-bit two's
+  // complement workspace.
+  WideUint<8> m = WideUint<8>(mant_.to_binary()).sext(G::kMantDigits);
+  WideUint<8> x = (m << G::kTailDigits) + WideUint<8>(tail_assimilated());
+  const bool sign = x.bit(WideUint<8>::kBits - 1);
+  const WideUint<8> mag = sign ? -x : x;
+  return PFloat::normalize_round(kWideExact, sign, mag, exp_ - G::kFracBits,
+                                 false, Round::NearestEven);
+}
+
+std::string PcsOperand::to_string() const {
+  std::ostringstream os;
+  switch (cls_) {
+    case FpClass::Zero: os << (exc_sign_ ? "-0" : "+0"); return os.str();
+    case FpClass::Inf: os << (exc_sign_ ? "-inf" : "+inf"); return os.str();
+    case FpClass::NaN: return "nan";
+    case FpClass::Normal: break;
+  }
+  os << "pcs{mant=" << mant_.to_binary().to_hex()
+     << " tail=" << tail_assimilated().to_hex() << " exp=" << exp_ << "}";
+  return os.str();
+}
+
+U192 PcsOperand::pack_bits() const {
+  CSFMA_CHECK_MSG(cls_ == FpClass::Normal,
+                  "exceptions travel on side wires, not in the word");
+  U192 w;
+  w = w.deposit(0, G::kMantDigits, U192(WideUint<3>(mant_.sum())));
+  // Compress the grid carries (positions 0, 11, ..., 99) into 10 bits.
+  for (int g = 0; g < 10; ++g) {
+    w = w.deposit(G::kMantDigits + g, 1,
+                  mant_.carries().bit(11 * g) ? U192::one() : U192());
+  }
+  w = w.deposit(120, G::kTailDigits, U192(WideUint<3>(round_.sum())));
+  for (int g = 0; g < 5; ++g) {
+    w = w.deposit(175 + g, 1,
+                  round_.carries().bit(11 * g) ? U192::one() : U192());
+  }
+  w = w.deposit(180, 12, U192((std::uint64_t)exp_field()));
+  return w;
+}
+
+PcsOperand PcsOperand::unpack_bits(const U192& bits) {
+  CsWord msum = CsWord(WideUint<7>(bits.extract(0, G::kMantDigits)));
+  CsWord mcar;
+  for (int g = 0; g < 10; ++g) {
+    if (bits.bit(G::kMantDigits + g)) mcar = mcar | CsWord::bit_at(11 * g);
+  }
+  CsWord tsum = CsWord(WideUint<7>(bits.extract(120, G::kTailDigits)));
+  CsWord tcar;
+  for (int g = 0; g < 5; ++g) {
+    if (bits.bit(175 + g)) tcar = tcar | CsWord::bit_at(11 * g);
+  }
+  const int exp = (int)bits.extract64(180, 12) - G::kExpBias;
+  return PcsOperand(PcsNum(G::kMantDigits, G::kGroup, msum, mcar),
+                    PcsNum(G::kTailDigits, G::kGroup, tsum, tcar), exp,
+                    FpClass::Normal, false);
+}
+
+PcsOperand ieee_to_pcs(const PFloat& x) {
+  switch (x.cls()) {
+    case FpClass::Zero:
+      return PcsOperand::make_zero(x.sign());
+    case FpClass::Inf:
+      return PcsOperand::make_inf(x.sign());
+    case FpClass::NaN:
+      return PcsOperand::make_nan();
+    case FpClass::Normal:
+      break;
+  }
+  const int p = x.format().precision();
+  CSFMA_CHECK_MSG(p <= 54, "source significand too wide for the PCS layout");
+  // Place the significand MSB at mantissa digit kSigMsbDigit.
+  const int shift = G::kSigMsbDigit - (p - 1);
+  CSFMA_CHECK(shift >= 0);
+  CsWord mag = CsWord(WideUint<7>(WideUint<2>(x.sig()))) << shift;
+  CsNum mant = CsNum::from_signed(G::kMantDigits, x.sign(), mag);
+  // Exponent: value = X * 2^(exp' - 162) with X = sig << (shift + 55), i.e.
+  // sig * 2^(shift + 55 + exp' - 162), which must equal sig * 2^(e - frac):
+  //   exp' = (e - frac) - shift - 55 + 162.
+  const int exp2_of_sig_lsb = x.exp() - x.format().frac_bits;
+  const int exp_fixed = exp2_of_sig_lsb - shift - G::kTailDigits + G::kFracBits;
+  CSFMA_CHECK(exp_fixed >= G::kExpMin && exp_fixed <= G::kExpMax);
+  return PcsOperand(PcsNum(G::kMantDigits, G::kGroup, mant.sum(), mant.carry()),
+                    PcsNum::zero(G::kTailDigits, G::kGroup), exp_fixed,
+                    FpClass::Normal, x.sign());
+}
+
+PFloat pcs_to_ieee(const PcsOperand& x, const FloatFormat& fmt, Round rm) {
+  switch (x.cls()) {
+    case FpClass::Zero:
+      return PFloat::zero(fmt, x.exc_sign());
+    case FpClass::Inf:
+      return PFloat::inf(fmt, x.exc_sign());
+    case FpClass::NaN:
+      return PFloat::nan(fmt);
+    case FpClass::Normal:
+      break;
+  }
+  WideUint<8> m = WideUint<8>(x.mant().to_binary()).sext(PcsGeometry::kMantDigits);
+  WideUint<8> xhat =
+      (m << PcsGeometry::kTailDigits) + WideUint<8>(x.tail_assimilated());
+  if (xhat.is_zero()) return PFloat::zero(fmt, false);
+  const bool sign = xhat.bit(WideUint<8>::kBits - 1);
+  const WideUint<8> mag = sign ? -xhat : xhat;
+  return PFloat::normalize_round(fmt, sign, mag,
+                                 x.exp() - PcsGeometry::kFracBits, false, rm);
+}
+
+}  // namespace csfma

@@ -1,0 +1,118 @@
+// The 192-bit PCS-FMA operand format (Sec. III-F) and its IEEE converters.
+//
+// Layout (per paper):  110b mantissa sum + 10b mantissa carries (PCS,
+// carry every 11th bit) + 55b rounding-data sum + 5b rounding-data carries
+// + 12b exponent in excess-2047  =  192 bits, plus two exception side-wires
+// (the FloPoCo technique of Sec. III-B), here an FpClass tag.
+//
+// Value semantics (normative; see DESIGN.md §3): let X be the 165-digit CS
+// number formed by the mantissa digits above the rounding digits, and
+// X̂ = signed(mant mod 2^110)·2^55 + (round.sum + round.carries) its exact
+// assimilation (the rounding tail is a non-negative extension below the
+// mantissa).  Then
+//
+//     value = X̂ · 2^(exp − 162)
+//
+// An IEEE binary64 significand converts in with its MSB (implied 1) at
+// mantissa digit 107, leaving digits 108 (guard) and 109 (two's-complement
+// sign) free — the "52+1 explicit +1 sign +1 guard" budget derived in
+// Sec. III-D, which pins the 55b block size.
+#pragma once
+
+#include "cs/pcs.hpp"
+#include "fp/pfloat.hpp"
+
+namespace csfma {
+
+/// Geometry constants of the PCS-FMA datapath (Sec. III-D/E/F).
+struct PcsGeometry {
+  static constexpr int kBlock = 55;        // result block size
+  static constexpr int kGroup = 11;        // PCS carry spacing
+  static constexpr int kMantDigits = 110;  // two result blocks
+  static constexpr int kTailDigits = 55;   // rounding-data block
+  static constexpr int kAdderWidth = 385;  // 110 + 163 + 110, rounded to 7 blocks
+  static constexpr int kProductWidth = 163;  // 110b x 53b signed product
+  static constexpr int kProductOffset = 110;  // product lsb in adder window
+  static constexpr int kExpBias = 2047;    // excess-2047, 12-bit field
+  static constexpr int kExpMin = -2047;
+  static constexpr int kExpMax = 2048;
+  // Binary-point constant: value = X_hat * 2^(exp - kFracBits).
+  static constexpr int kFracBits = 162;
+  // IEEE significand MSB lands at this mantissa digit on conversion.
+  static constexpr int kSigMsbDigit = 107;
+};
+
+/// One PCS-FMA operand.
+class PcsOperand {
+ public:
+  PcsOperand();
+
+  /// Normal construction from planes; checks the format grids.
+  PcsOperand(PcsNum mant, PcsNum round, int exp_unbiased, FpClass cls,
+             bool exc_sign);
+
+  static PcsOperand make_zero(bool sign);
+  static PcsOperand make_inf(bool sign);
+  static PcsOperand make_nan();
+
+  const PcsNum& mant() const { return mant_; }
+  const PcsNum& round() const { return round_; }
+  int exp() const { return exp_; }        // unbiased
+  int exp_field() const { return exp_ + PcsGeometry::kExpBias; }
+  FpClass cls() const { return cls_; }
+  bool exc_sign() const { return exc_sign_; }
+
+  bool is_nan() const { return cls_ == FpClass::NaN; }
+  bool is_inf() const { return cls_ == FpClass::Inf; }
+  bool is_zero() const {
+    return cls_ == FpClass::Zero ||
+           (cls_ == FpClass::Normal && mant_.to_binary().is_zero() &&
+            tail_assimilated().is_zero());
+  }
+
+  /// The mantissa's assimilated signed value (what the next multiplier's
+  /// pre-assimilation sees) — excludes the rounding tail.
+  CsWord mant_signed() const { return mant_.signed_value(); }
+
+  /// Exact unsigned assimilation of the rounding tail (56 bits, unwrapped:
+  /// the tail is a non-negative extension, its digit values just add).
+  CsWord tail_assimilated() const { return round_.sum() + round_.carries(); }
+
+  /// The deferred-rounding decision of Sec. III-C/E for mode
+  /// "round half away from zero": examine ONLY the rounding block.
+  /// Returns +1/0 to add to the mantissa.
+  int round_increment() const;
+
+  /// Exact represented value (for golden comparisons), as a PFloat in a
+  /// very wide format so nothing is lost.
+  PFloat exact_value() const;
+
+  /// The packed 192-bit operand word of Sec. III-F (normal operands only;
+  /// the exception class travels on the two side wires).  Layout, LSB
+  /// first: mant sum [0,110) | mant carries (grid-compressed) [110,120) |
+  /// tail sum [120,175) | tail carries [175,180) | excess-2047 exp
+  /// [180,192).
+  U192 pack_bits() const;
+  static PcsOperand unpack_bits(const U192& bits);
+
+  std::string to_string() const;
+
+ private:
+  PcsNum mant_;
+  PcsNum round_;
+  int exp_;
+  FpClass cls_;
+  bool exc_sign_;
+};
+
+/// Exact conversion IEEE 754 binary64 (or narrower) -> PCS operand.
+/// This is the CVT operator the HLS pass inserts at chain entries.
+PcsOperand ieee_to_pcs(const PFloat& x);
+
+/// Conversion PCS operand -> IEEE-style format: full assimilation,
+/// normalization and a single rounding — the chain-exit CVT operator.
+PFloat pcs_to_ieee(const PcsOperand& x, const FloatFormat& fmt, Round rm);
+
+// (kWideExact, the wide readout format, lives in fp/pfloat.hpp.)
+
+}  // namespace csfma

@@ -1,0 +1,149 @@
+// Parametric-width binary floating point ("softfloat").
+//
+// The paper compares its carry-save FMA units against Xilinx CoreGen
+// operators instantiated at 64b (IEEE double), 68b and 75b total width
+// (Sec. IV-B, Fig 14).  PFloat implements a bit-accurate binary floating
+// point value with a configurable exponent/fraction split:
+//
+//   * subnormals are NOT supported — they are flushed to zero, following
+//     the FPGA libraries the paper builds on (FloPoCo, CoreGen; Sec. II);
+//   * NaN/Inf/Zero are carried as an explicit class tag, mirroring the
+//     two-side-wire exception encoding the paper adopts from FloPoCo
+//     (Sec. III-B) instead of in-band bit patterns;
+//   * all five rounding modes of fp/rounding.hpp are supported;
+//   * add/mul/fma are correctly rounded (single rounding from the exact
+//     result), making PFloat usable both as a CoreGen model and as the
+//     golden reference for the carry-save units.
+//
+// Fraction widths up to 100 bits are supported (enough for the 63-bit
+// fraction of the 75b reference format plus ablation headroom).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/wide_uint.hpp"
+#include "fp/rounding.hpp"
+
+namespace csfma {
+
+enum class FpClass : std::uint8_t { Zero, Normal, Inf, NaN };
+
+/// A binary interchange-style format: 1 sign bit, exp_bits exponent bits
+/// (biased), frac_bits fraction bits with an implied leading 1.
+struct FloatFormat {
+  int exp_bits;
+  int frac_bits;
+
+  constexpr int bias() const { return (1 << (exp_bits - 1)) - 1; }
+  constexpr int emin() const { return 1 - bias(); }  // smallest normal exponent
+  constexpr int emax() const { return bias(); }      // largest normal exponent
+  constexpr int precision() const { return frac_bits + 1; }
+  constexpr int total_bits() const { return 1 + exp_bits + frac_bits; }
+
+  friend constexpr bool operator==(const FloatFormat&, const FloatFormat&) = default;
+};
+
+/// IEEE 754 binary64 (the B operand format and the 64b reference).
+inline constexpr FloatFormat kBinary64{11, 52};
+/// The 68b CoreGen reference format of Sec. IV-B (wider fraction, same exp).
+inline constexpr FloatFormat kBinary68{11, 56};
+/// The 75b CoreGen golden-reference format of Sec. IV-B.
+inline constexpr FloatFormat kBinary75{11, 63};
+/// A very wide readout format for exact-value introspection and golden
+/// references (exact to 101 bits).
+inline constexpr FloatFormat kWideExact{15, 100};
+
+class PFloat {
+ public:
+  /// Default: +0 in binary64.
+  PFloat() : PFloat(zero(kBinary64, false)) {}
+
+  static PFloat zero(const FloatFormat& fmt, bool negative);
+  static PFloat inf(const FloatFormat& fmt, bool negative);
+  static PFloat nan(const FloatFormat& fmt);
+
+  /// A normal value (-1)^sign * sig * 2^(exp - frac_bits) where
+  /// sig ∈ [2^frac_bits, 2^(frac_bits+1)).  Checked.
+  static PFloat make_normal(const FloatFormat& fmt, bool sign, int exp, U128 sig);
+
+  /// Convert from a host double.  Exact when fmt.frac_bits >= 52 and the
+  /// exponent fits; subnormal inputs flush to zero; otherwise rounds.
+  static PFloat from_double(const FloatFormat& fmt, double d,
+                            Round rm = Round::NearestEven);
+
+  /// Round to host double (exact if it fits).  Subnormal-range results
+  /// flush to zero, overflow saturates per the rounding mode.
+  double to_double(Round rm = Round::NearestEven) const;
+
+  /// Normalize-and-round entry point used by all operations (and by the
+  /// IEEE<->carry-save converters in src/fma):
+  /// value magnitude = (mag + sticky_epsilon) * 2^exp2, sticky_epsilon∈[0,1).
+  /// `mag` may be zero (yields signed zero) but if sticky is set `mag` must
+  /// carry at least fmt.precision() significant bits.
+  static PFloat normalize_round(const FloatFormat& fmt, bool sign,
+                                WideUint<8> mag, int exp2, bool sticky,
+                                Round rm);
+
+  const FloatFormat& format() const { return fmt_; }
+  FpClass cls() const { return cls_; }
+  bool is_zero() const { return cls_ == FpClass::Zero; }
+  bool is_normal() const { return cls_ == FpClass::Normal; }
+  bool is_inf() const { return cls_ == FpClass::Inf; }
+  bool is_nan() const { return cls_ == FpClass::NaN; }
+  bool sign() const { return sign_; }
+
+  /// Unbiased exponent; only meaningful for normal values.
+  int exp() const;
+  /// Significand in [2^frac_bits, 2^(frac_bits+1)); only for normal values.
+  U128 sig() const;
+
+  PFloat negated() const;
+  PFloat abs() const;
+
+  /// Packed bit pattern: sign | biased exp | fraction.  Zero packs as the
+  /// all-zero exponent, Inf/NaN as the all-ones exponent (fraction 0 / !=0),
+  /// matching IEEE layout so binary64 round-trips against host doubles.
+  U128 to_bits() const;
+  static PFloat from_bits(const FloatFormat& fmt, U128 bits);
+
+  // Correctly rounded arithmetic. Mixed formats are allowed; the result is
+  // produced in `out_fmt` with a single rounding from the exact result.
+  static PFloat add(const PFloat& a, const PFloat& b, const FloatFormat& out_fmt,
+                    Round rm);
+  static PFloat sub(const PFloat& a, const PFloat& b, const FloatFormat& out_fmt,
+                    Round rm);
+  static PFloat mul(const PFloat& a, const PFloat& b, const FloatFormat& out_fmt,
+                    Round rm);
+  static PFloat div(const PFloat& a, const PFloat& b, const FloatFormat& out_fmt,
+                    Round rm);
+  /// Fused a*b + c with a single rounding — the golden FMA reference.
+  static PFloat fma(const PFloat& a, const PFloat& b, const PFloat& c,
+                    const FloatFormat& out_fmt, Round rm);
+
+  /// Re-round this value to another format.
+  PFloat round_to(const FloatFormat& out_fmt, Round rm) const;
+
+  /// Exact equality of represented values (Zero compares equal regardless of
+  /// sign; NaN never equal).
+  static bool same_value(const PFloat& a, const PFloat& b);
+
+  /// |a - b| measured in units of 2^(exp_b - ulp_frac_bits), i.e. in ulps of
+  /// b at a chosen precision.  Infinite/NaN operands return +inf.  This is
+  /// the "mantissa error" metric of Fig 14 (ulp_frac_bits = 52).
+  static double ulp_error(const PFloat& a, const PFloat& b, int ulp_frac_bits);
+
+  std::string to_string() const;
+
+ private:
+  PFloat(const FloatFormat& fmt, FpClass cls, bool sign, int exp, U128 sig)
+      : fmt_(fmt), cls_(cls), sign_(sign), exp_(exp), sig_(sig) {}
+
+  FloatFormat fmt_;
+  FpClass cls_;
+  bool sign_;
+  int exp_;   // unbiased
+  U128 sig_;  // includes the (explicit here) leading 1
+};
+
+}  // namespace csfma

@@ -1,0 +1,16 @@
+#include "fp/rounding.hpp"
+
+namespace csfma {
+
+const char* to_string(Round r) {
+  switch (r) {
+    case Round::NearestEven: return "nearest-even";
+    case Round::HalfAwayFromZero: return "half-away-from-zero";
+    case Round::TowardZero: return "toward-zero";
+    case Round::TowardPositive: return "toward-positive";
+    case Round::TowardNegative: return "toward-negative";
+  }
+  return "?";
+}
+
+}  // namespace csfma

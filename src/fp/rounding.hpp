@@ -1,0 +1,49 @@
+// Rounding modes and the single rounding primitive shared by every unit.
+//
+// The paper's FMA operators transfer *unrounded* values between chained units
+// and use "round half away from zero" for the final (or deferred) rounding
+// step (Sec. III-C); IEEE comparisons use round-to-nearest-even.  All modes
+// are implemented so the ablation benches can sweep them.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace csfma {
+
+enum class Round {
+  NearestEven,       // IEEE 754 roundTiesToEven (default host mode)
+  HalfAwayFromZero,  // the paper's FMA transfer rounding (Sec. III-C)
+  TowardZero,        // truncation
+  TowardPositive,
+  TowardNegative,
+};
+
+const char* to_string(Round r);
+
+/// Decide whether a truncated magnitude must be incremented by one ulp.
+///
+/// `lsb`     — least significant *kept* bit (for ties-to-even);
+/// `guard`   — first discarded bit;
+/// `sticky`  — OR of all remaining discarded bits;
+/// `negative`— sign of the value being rounded (directed modes care).
+inline bool round_increments(Round mode, bool lsb, bool guard, bool sticky,
+                             bool negative) {
+  switch (mode) {
+    case Round::NearestEven:
+      return guard && (sticky || lsb);
+    case Round::HalfAwayFromZero:
+      return guard;  // ties go away from zero, sign-independent on magnitude
+    case Round::TowardZero:
+      return false;
+    case Round::TowardPositive:
+      return !negative && (guard || sticky);
+    case Round::TowardNegative:
+      return negative && (guard || sticky);
+  }
+  CSFMA_CHECK(false);
+  return false;
+}
+
+}  // namespace csfma

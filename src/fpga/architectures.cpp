@@ -1,0 +1,194 @@
+#include "fpga/architectures.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "cs/csa_tree.hpp"
+
+namespace csfma {
+
+namespace {
+
+/// Adder logic delay excluding register overhead (the pipeliner adds the
+/// per-stage register cost itself).
+double add_logic(const Device& d, int n) {
+  return d.adder_delay_ns(n) - d.reg_clk_to_q_ns - d.reg_setup_ns;
+}
+
+double lut_level(const Device& d) { return d.lut6_logic_ns + d.lut_route_ns; }
+
+}  // namespace
+
+std::vector<Component> build_coregen_mul(const Device& dev) {
+  // 53x53 tiled onto 13 DSP48E blocks (the CoreGen full-precision double
+  // multiplier), DSP cascade post-adds, then rounding/normalization.
+  std::vector<Component> c;
+  c.push_back(Component::atomic("in-route", 0.8, {40, 0}));
+  c.push_back(Component::atomic("pp/dsp", dev.dsp_mult_ns, {60, 13}));
+  c.push_back(Component::layered("dsp-cascade", 2, 1.55, {140, 0}));
+  c.push_back(Component::atomic("final-add", add_logic(dev, 106), {106, 0}));
+  c.push_back(Component::atomic("exp-add", add_logic(dev, 12), {40, 0}));
+  c.push_back(Component::layered("norm", 2, lut_level(dev), {120, 0}));
+  c.push_back(Component::atomic("sticky/exc", 1.2, {60, 0}));
+  c.push_back(Component::atomic("round", add_logic(dev, 55), {60, 0}));
+  c.push_back(Component::layered("pack", 2, lut_level(dev), {60, 0}));
+  return c;
+}
+
+std::vector<Component> build_coregen_add(const Device& dev) {
+  std::vector<Component> c;
+  c.push_back(Component::atomic("exp-diff", add_logic(dev, 11), {40, 0}));
+  c.push_back(Component::atomic("swap/compare", 0.9, {60, 0}));
+  c.push_back(Component::layered("align-shift", 3, lut_level(dev), {170, 0}));
+  c.push_back(Component::atomic("sticky", 1.1, {50, 0}));
+  c.push_back(Component::atomic("mant-add", add_logic(dev, 56), {60, 0}));
+  c.push_back(Component::parallel("lza", {110, 0}));
+  c.push_back(Component::layered("norm-shift", 3, lut_level(dev), {110, 0}));
+  c.push_back(Component::atomic("round", add_logic(dev, 55), {60, 0}));
+  c.push_back(Component::atomic("exc/flags", 1.0, {27, 0}));
+  c.push_back(Component::atomic("out-route", 0.9, {20, 0}));
+  c.push_back(Component::layered("post-norm/pack", 2, lut_level(dev), {0, 0}));
+  return c;
+}
+
+std::vector<Component> build_flopoco_fused(const Device& dev) {
+  // FloPoCo FPPipeline: truncated 7-DSP multiplier with LUT correction
+  // logic, fused into the adder; the wide single-level normalization
+  // shifter is the stage that caps fmax below the 200 MHz target.
+  std::vector<Component> c;
+  c.push_back(Component::layered("unpack", 3, lut_level(dev), {60, 0}));
+  c.push_back(Component::atomic("operand-regs", 1.6, {0, 0}));
+  c.push_back(Component::atomic("in-route", 0.9, {50, 0}));
+  c.push_back(Component::atomic("pp/dsp(trunc)", dev.dsp_mult_ns, {80, 7}));
+  c.push_back(Component::atomic("mult-route", 1.8, {0, 0}));
+  c.push_back(Component::atomic("trunc-sticky", 1.6, {60, 0}));
+  c.push_back(Component::layered("lut-correction", 5, lut_level(dev), {300, 0}));
+  c.push_back(Component::atomic("final-add", add_logic(dev, 106), {106, 0}));
+  c.push_back(Component::atomic("exp-diff", add_logic(dev, 12), {40, 0}));
+  c.push_back(Component::atomic("swap/compare", 0.9, {60, 0}));
+  c.push_back(Component::layered("align-shift", 4, lut_level(dev), {180, 0}));
+  c.push_back(Component::atomic("sticky", 1.1, {50, 0}));
+  c.push_back(Component::atomic("mant-add", add_logic(dev, 58), {62, 0}));
+  c.push_back(Component::atomic("two-path-select", 2.0, {120, 0}));
+  c.push_back(Component::atomic("lzc+norm-shift", 4.61, {240, 0}));
+  c.push_back(Component::atomic("round", add_logic(dev, 55), {60, 0}));
+  c.push_back(Component::atomic("exp-update", 1.0, {40, 0}));
+  c.push_back(Component::layered("post-norm", 2, lut_level(dev), {60, 0}));
+  c.push_back(Component::atomic("exc-handling", 1.2, {60, 0}));
+  c.push_back(Component::atomic("out-regs-route", 1.5, {0, 0}));
+  c.push_back(Component::layered("pack", 2, lut_level(dev), {40, 0}));
+  return c;
+}
+
+std::vector<Component> build_pcs_fma(const Device& dev) {
+  // Fig 9.  Multiplier: 21 DSP tiles (ceil(110/17) x ceil(53/24)) whose
+  // partial products reduce in a LUT CSA tree; C-rounding correction adds
+  // one row (Fig 6).  A-path rounding + pre-shift run in parallel with the
+  // multiply.  Then the 385b 3:2 adder, Carry Reduction (11b group
+  // adders), the block Zero Detector and the 6:1 result multiplexer.
+  std::vector<Component> c;
+  const int tree_rows = 21 + 1;  // tiles + C-rounding correction row
+  const int tree_levels = csa_levels_for_rows(tree_rows);
+  c.push_back(Component::atomic("in-route", 0.9, {80, 0}));
+  c.push_back(Component::atomic("mult/dsp-tiles", dev.dsp_mult_ns, {260, 21}));
+  c.push_back(Component::layered("mult/csa-tree", tree_levels, lut_level(dev),
+                                 {1700, 0}));
+  c.push_back(Component::parallel("a-round+preshift", {980, 0}));
+  c.push_back(Component::parallel("c-round", {310, 0}));
+  c.push_back(Component::atomic("add/3:2", lut_level(dev), {770, 0}));
+  c.push_back(
+      Component::atomic("carry-reduce", add_logic(dev, 11) + 0.60, {700, 0}));
+  c.push_back(Component::atomic("zd", 3 * lut_level(dev) + 1.2, {340, 0}));
+  c.push_back(Component::layered("mux6:1", 2, lut_level(dev), {500, 0}));
+  c.push_back(Component::atomic("exp/flags", add_logic(dev, 13), {110, 0}));
+  c.push_back(Component::layered("result-route/pack", 2, lut_level(dev),
+                                 {52, 0}));
+  return c;
+}
+
+std::vector<Component> build_fcs_fma(const Device& dev) {
+  CSFMA_CHECK_MSG(dev.has_preadder,
+                  "FCS-FMA requires DSP pre-adders (Virtex-6 or later)");
+  // Fig 11.  The pre-adders assimilate C's CS planes into the DSP ports,
+  // removing the Carry Reduce step entirely; block selection comes from
+  // the early LZA on the inputs (parallel), so after the 3:2 adder only
+  // the 11:1 multiplexer remains on the critical path.
+  std::vector<Component> c;
+  const int tree_rows = 16 + 1;  // ceil(87/23)*ceil(53/17) tiles + C-round
+  const int tree_levels = csa_levels_for_rows(tree_rows);
+  c.push_back(Component::atomic("in-route", 0.6, {80, 0}));
+  c.push_back(Component::atomic("mult/pre-add", dev.dsp_preadd_ns, {120, 0}));
+  c.push_back(Component::atomic("mult/dsp-tiles", dev.dsp_mult_ns, {200, 12}));
+  c.push_back(Component::layered("mult/csa-tree", tree_levels, lut_level(dev),
+                                 {1300, 0}));
+  c.push_back(Component::parallel("early-lza", {430, 0}));
+  c.push_back(Component::parallel("a-round+preshift", {830, 0}));
+  c.push_back(Component::parallel("c-round", {250, 0}));
+  c.push_back(Component::atomic("add/3:2", lut_level(dev), {754, 0}));
+  c.push_back(Component::layered("mux11:1", 3, lut_level(dev), {600, 0}));
+  c.push_back(Component::atomic("exp/flags", add_logic(dev, 13), {100, 0}));
+  c.push_back(Component::atomic("result-route/pack", 1.0, {101, 0}));
+  return c;
+}
+
+std::vector<Component> build_fcs_fma_zd(const Device& dev) {
+  std::vector<Component> base = build_fcs_fma(dev);
+  std::vector<Component> c;
+  for (auto& comp : base) {
+    if (comp.name == "early-lza") continue;  // replaced by the ZD
+    c.push_back(comp);
+    if (comp.name == "add/3:2") {
+      // The exact zero detector sits on the critical path between the
+      // adder and the mux (13 blocks of digit pattern matching plus the
+      // skip-priority chain) and "determines the total FMA latency".
+      c.push_back(Component::atomic(
+          "zd", 3 * (dev.lut6_logic_ns + dev.lut_route_ns) + 1.4, {500, 0}));
+    }
+  }
+  return c;
+}
+
+SynthesisReport synthesize(const std::string& name,
+                           const std::vector<Component>& chain,
+                           const Device& dev, double target_mhz) {
+  const double period = 1000.0 / target_mhz;
+  const double reg = dev.reg_clk_to_q_ns + dev.reg_setup_ns;
+  PipelineResult p = pipeline_chain(chain, period, reg);
+  Area a = total_area(chain);
+  SynthesisReport r;
+  r.arch = name;
+  r.fmax_mhz = p.fmax_mhz;
+  r.cycles = p.cycles;
+  r.luts = a.luts;
+  r.dsps = a.dsps;
+  return r;
+}
+
+SynthesisReport synthesize_coregen_pair(const Device& dev, double target_mhz) {
+  SynthesisReport mul =
+      synthesize("coregen-mul", build_coregen_mul(dev), dev, target_mhz);
+  SynthesisReport add =
+      synthesize("coregen-add", build_coregen_add(dev), dev, target_mhz);
+  SynthesisReport r;
+  r.arch = "Xilinx CoreGen";
+  r.fmax_mhz = std::min(mul.fmax_mhz, add.fmax_mhz);
+  r.cycles = mul.cycles + add.cycles;
+  r.luts = mul.luts + add.luts;
+  r.dsps = mul.dsps + add.dsps;
+  return r;
+}
+
+std::vector<SynthesisReport> table1_reports(const Device& dev,
+                                            double target_mhz) {
+  std::vector<SynthesisReport> rows;
+  rows.push_back(synthesize_coregen_pair(dev, target_mhz));
+  rows.push_back(synthesize("FloPoCo FPPipeline", build_flopoco_fused(dev), dev,
+                            target_mhz));
+  rows.push_back(synthesize("PCS-FMA", build_pcs_fma(dev), dev, target_mhz));
+  if (dev.has_preadder) {
+    rows.push_back(synthesize("FCS-FMA", build_fcs_fma(dev), dev, target_mhz));
+  }
+  return rows;
+}
+
+}  // namespace csfma

@@ -1,0 +1,60 @@
+// Structural models of the four Table I architectures.
+//
+// Each builder lays out the critical-path component chain (and the
+// parallel, area-only side logic) of one design:
+//   * Xilinx CoreGen: discrete "low latency" 5-cycle multiplier + 4-cycle
+//     adder (the configuration the paper selected, Sec. IV-A),
+//   * FloPoCo FPPipeline: fused multiply+add pipeline, smallest DSP count,
+//     deepest pipeline, misses the 200 MHz target (190 MHz in Table I),
+//   * PCS-FMA (Fig 9) and FCS-FMA (Fig 11).
+//
+// The DSP counts come from the multiplier tilings (21 = ceil(110/17) *
+// ceil(53/24) for PCS, etc.); LUT counts from per-component width-scaled
+// cost functions calibrated to the Table I totals; delays from the device
+// model of device.hpp.  synthesize() pipelines the chain to the target
+// clock, exactly the paper's flow.
+#pragma once
+
+#include <vector>
+
+#include "fpga/device.hpp"
+#include "fpga/pipeline.hpp"
+
+namespace csfma {
+
+struct SynthesisReport {
+  std::string arch;
+  double fmax_mhz = 0.0;
+  int cycles = 0;
+  int luts = 0;
+  int dsps = 0;
+
+  /// Fig 13's metric: minimum computation time for one multiply-add =
+  /// minimum clock period x pipeline length.
+  double min_ma_time_ns() const { return cycles * 1000.0 / fmax_mhz; }
+};
+
+std::vector<Component> build_coregen_mul(const Device& dev);
+std::vector<Component> build_coregen_add(const Device& dev);
+std::vector<Component> build_flopoco_fused(const Device& dev);
+std::vector<Component> build_pcs_fma(const Device& dev);
+/// Requires dev.has_preadder (Sec. III-H): checked.
+std::vector<Component> build_fcs_fma(const Device& dev);
+
+/// The FCS datapath with exact ZD-based block selection instead of the
+/// early LZA (the Sec. III-F/III-G alternative): the ZD moves ONTO the
+/// critical path after the adder and "determines the total FMA latency".
+std::vector<Component> build_fcs_fma_zd(const Device& dev);
+
+SynthesisReport synthesize(const std::string& name,
+                           const std::vector<Component>& chain,
+                           const Device& dev, double target_mhz);
+
+/// CoreGen's discrete pair: cycles add up, fmax is the slower of the two.
+SynthesisReport synthesize_coregen_pair(const Device& dev, double target_mhz);
+
+/// All four Table I rows at the paper's 200 MHz constraint.
+std::vector<SynthesisReport> table1_reports(const Device& dev,
+                                            double target_mhz = 200.0);
+
+}  // namespace csfma

@@ -1,0 +1,58 @@
+// Component chains and the pipeliner.
+//
+// Each architecture is described as a chain of components along its
+// critical path (plus area-only side logic).  A component exposes
+// `sub_delays` — the register-insertable granularity (e.g. one entry per
+// CSA tree level); the pipeliner greedily packs sub-delays into stages
+// whose delay fits the target clock period, reproducing the paper's
+// "manually pipelined to 200 MHz operation" flow (Sec. IV-A).  A sub-delay
+// longer than the period becomes a stage by itself and limits fmax — this
+// is how the model reproduces FloPoCo's 190 MHz miss of the 200 MHz target.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace csfma {
+
+struct Area {
+  int luts = 0;
+  int dsps = 0;
+  Area& operator+=(const Area& o) {
+    luts += o.luts;
+    dsps += o.dsps;
+    return *this;
+  }
+};
+
+struct Component {
+  std::string name;
+  std::vector<double> sub_delays;  // cut points allowed between entries
+  Area area;
+  bool off_critical_path = false;  // area counted, delay ignored (parallel)
+
+  static Component atomic(std::string name, double delay_ns, Area area);
+  /// `levels` equal slices of `per_level_ns` each.
+  static Component layered(std::string name, int levels, double per_level_ns,
+                           Area area);
+  /// Area-only component running in parallel with the chain (e.g. LZA).
+  static Component parallel(std::string name, Area area);
+
+  double total_delay() const;
+};
+
+struct PipelineResult {
+  int cycles = 0;
+  double max_stage_ns = 0.0;
+  double fmax_mhz = 0.0;
+  std::vector<double> stage_delays;
+};
+
+/// Greedily cut the chain into stages of at most `target_period_ns`
+/// (including `reg_overhead_ns` per stage for the pipeline register).
+PipelineResult pipeline_chain(const std::vector<Component>& chain,
+                              double target_period_ns, double reg_overhead_ns);
+
+Area total_area(const std::vector<Component>& chain);
+
+}  // namespace csfma

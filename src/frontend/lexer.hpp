@@ -1,0 +1,39 @@
+// Lexer for the kernel language the CVXGEN-like generator emits and the
+// Nymble-like flow consumes — straight-line double-precision assignments:
+//
+//   kernel ldlsolve {
+//     input  double b[12];
+//     input  double gamma;          // scalars allowed
+//     var    double t[20];
+//     output double x[12];
+//     t[0] = b[0] - 1.5 * t[3];     // '#' and '//' comments
+//     x[0] = t[0] / b[1];
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace csfma {
+
+enum class Tok {
+  KwKernel, KwInput, KwOutput, KwVar, KwDouble,
+  Ident, Number,
+  LBrace, RBrace, LBracket, RBracket, LParen, RParen,
+  Assign, Plus, Minus, Star, Slash, Semicolon,
+  End,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  double number = 0.0;
+  int line = 0;
+};
+
+/// Tokenize; throws CheckError with a line number on bad input.
+std::vector<Token> lex_kernel(const std::string& src);
+
+const char* to_string(Tok t);
+
+}  // namespace csfma

@@ -1,0 +1,29 @@
+// Recursive-descent parser + CDFG lowering for the kernel language.
+//
+// Semantics:
+//   * every array element (or scalar) is a single-assignment value,
+//   * reading an `input` element creates a named Input node ("b[3]"),
+//   * reading a `var`/`output` element before its assignment is an error,
+//   * every assigned `output` element becomes a named Output node,
+//   * expressions lower to Add/Sub/Mul/Div/Neg over binary64.
+#pragma once
+
+#include <string>
+
+#include "hls/ir.hpp"
+
+namespace csfma {
+
+struct KernelInfo {
+  std::string name;
+  Cdfg graph;
+  int statements = 0;
+};
+
+/// Parse and lower a kernel; throws CheckError with line info on errors.
+KernelInfo parse_kernel(const std::string& source);
+
+/// Canonical element name used for Input/Output nodes: "x[i]" or "x".
+std::string element_name(const std::string& array, int index, bool is_array);
+
+}  // namespace csfma

@@ -1,0 +1,34 @@
+// Fused dot-product insertion — an extension pass in the spirit of
+// Sec. III-I, mapping critical sum-of-products TREES onto the fused
+// PcsDotProduct unit (src/fma/dot_product.hpp) instead of chains of FMAs.
+//
+// A maximal critical add/sub tree whose internal nodes are single-use and
+// whose leaves are either single-use multiplies or arbitrary IEEE values
+// becomes ONE Dot node:
+//
+//   b - L0*z0 - L1*z1 + x   -->   dot( 1*b, (-L0)*z0, (-L1)*z1, 1*x )
+//
+// (non-product leaves ride along as 1*leaf pairs; subtrahend signs fold
+// into Neg of one factor — free in hardware).  The pay-off vs the FMA
+// chain: the dot's CSA tree sums all terms in log depth, so long rows
+// collapse from O(N) chained FMAs to one unit.
+#pragma once
+
+#include "hls/ir.hpp"
+#include "hls/oplib.hpp"
+
+namespace csfma {
+
+struct DotInsertStats {
+  int dots_inserted = 0;
+  int terms_fused = 0;  // total pairs across all inserted dots
+  int rounds = 0;
+};
+
+/// Run the pass in place.  Trees with more than `max_terms` pairs are left
+/// alone (operand bandwidth / DSP budget bound); trees with fewer than 2
+/// product leaves are not worth a unit.
+DotInsertStats insert_dot_products(Cdfg& g, const OperatorLibrary& lib,
+                                   int max_terms = 16);
+
+}  // namespace csfma

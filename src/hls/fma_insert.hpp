@@ -1,0 +1,35 @@
+// The automatic P/FCS-FMA insertion pass (Sec. III-I, Fig 12).
+//
+// The datapath is first assembled from IEEE 754 operators and scheduled.
+// Then, iteratively:
+//   1. find multiply/add(or sub) pairs where both operations lie on the
+//      critical path (zero slack) and the multiply result has no other
+//      user, and greedily replace each pair with a P/FCS-FMA unit wrapped
+//      in CvtToCs / CvtFromCs conversions (Fig 12b);
+//   2. remove redundant conversion pairs between adjacent FMA units
+//      (CvtToCs(CvtFromCs(x)) -> x, Fig 12c);
+//   3. reschedule and repeat until no further insertion applies.
+//
+// Subtractions fold into the FMA by sign manipulation:
+//   sub(x, mul(b, c))  ->  x + (-b)*c   (negate the IEEE-side operand)
+//   sub(mul(b, c), x)  ->  (-x) + b*c   (negate the addend; Neg is free)
+#pragma once
+
+#include "hls/ir.hpp"
+#include "hls/oplib.hpp"
+
+namespace csfma {
+
+struct FmaInsertStats {
+  int fma_inserted = 0;
+  int conversions_elided = 0;
+  int rounds = 0;  // schedule/replace iterations until fixpoint
+};
+
+/// Run the pass in place.  `style` selects the unit type (FCS requires a
+/// pre-adder device upstream; the pass itself is format-agnostic).
+FmaInsertStats insert_fma_units(Cdfg& g, const OperatorLibrary& lib,
+                                FmaStyle style,
+                                bool elide_conversions = true);
+
+}  // namespace csfma

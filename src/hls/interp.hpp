@@ -1,0 +1,28 @@
+// CDFG interpreter: evaluates a (possibly FMA-transformed) datapath with
+// the ACTUAL operator semantics — discrete operators as correctly rounded
+// binary64 (CoreGen model), Fma/Cvt nodes through the bit-accurate PCS/FCS
+// units.  Used to verify that the insertion pass preserves semantics within
+// the formats' accuracy envelope, and to run the example kernels.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "hls/ir.hpp"
+
+namespace csfma {
+
+class Evaluator {
+ public:
+  explicit Evaluator(const Cdfg& g) : g_(g) {}
+
+  /// Evaluate with the given named inputs; returns the named outputs.
+  /// Missing inputs throw.
+  std::map<std::string, double> run(
+      const std::map<std::string, double>& inputs) const;
+
+ private:
+  const Cdfg& g_;
+};
+
+}  // namespace csfma

@@ -1,0 +1,105 @@
+#include "hls/oplib.hpp"
+
+namespace csfma {
+
+OperatorLibrary OperatorLibrary::for_device(const Device& dev,
+                                            double target_mhz) {
+  OperatorLibrary lib;
+  SynthesisReport mul =
+      synthesize("mul", build_coregen_mul(dev), dev, target_mhz);
+  SynthesisReport add =
+      synthesize("add", build_coregen_add(dev), dev, target_mhz);
+  lib.mul_ = {mul.cycles, mul.luts, mul.dsps};
+  lib.add_ = {add.cycles, add.luts, add.dsps};
+  lib.sub_ = lib.add_;
+  // CoreGen's double divider at 200 MHz: deep digit-recurrence pipeline.
+  lib.div_ = {28, 3200, 0};
+  lib.neg_ = {0, 0, 0};  // sign flip is wiring
+
+  SynthesisReport pcs =
+      synthesize("pcs", build_pcs_fma(dev), dev, target_mhz);
+  lib.fma_pcs_ = {pcs.cycles, pcs.luts, pcs.dsps};
+  if (dev.has_preadder) {
+    SynthesisReport fcs =
+        synthesize("fcs", build_fcs_fma(dev), dev, target_mhz);
+    lib.fma_fcs_ = {fcs.cycles, fcs.luts, fcs.dsps};
+  } else {
+    lib.fma_fcs_ = {0, 0, 0};  // unavailable; pass must not use it
+  }
+  // IEEE -> CS: significand placement, one register stage.
+  lib.cvt_to_pcs_ = {1, 120, 0};
+  lib.cvt_to_fcs_ = {1, 100, 0};
+  // CS -> IEEE: assimilate (wide add, internally pipelined) + normalize +
+  // round; three stages at 200 MHz.
+  lib.cvt_from_pcs_ = {3, 520, 0};
+  lib.cvt_from_fcs_ = {3, 420, 0};
+  return lib;
+}
+
+OpAttr OperatorLibrary::dot_attr(int pairs) const {
+  CSFMA_CHECK(pairs >= 1);
+  // Back end (carry reduce + ZD + 6:1 mux + exponent) pipelines like the
+  // PCS-FMA's; each doubling of the product rows adds one tree stage.
+  int levels = 0;
+  for (int n = pairs; n > 1; n = (n + 1) / 2) ++levels;
+  OpAttr a;
+  a.latency = 4 + levels;
+  a.luts = 900 + 360 * pairs;
+  a.dsps = 12 * pairs;
+  return a;
+}
+
+OpAttr OperatorLibrary::attr(OpKind kind, FmaStyle style) const {
+  switch (kind) {
+    case OpKind::Input:
+    case OpKind::Const:
+    case OpKind::Output:
+      return {0, 0, 0};
+    case OpKind::Add:
+      return add_;
+    case OpKind::Sub:
+      return sub_;
+    case OpKind::Mul:
+      return mul_;
+    case OpKind::Div:
+      return div_;
+    case OpKind::Neg:
+      return neg_;
+    case OpKind::Fma:
+      CSFMA_CHECK(style != FmaStyle::None);
+      return style == FmaStyle::Pcs ? fma_pcs_ : fma_fcs_;
+    case OpKind::Dot:
+      return dot_attr(2);  // schedulers query per-node via latency_of
+    case OpKind::CvtToCs:
+      CSFMA_CHECK(style != FmaStyle::None);
+      return style == FmaStyle::Pcs ? cvt_to_pcs_ : cvt_to_fcs_;
+    case OpKind::CvtFromCs:
+      CSFMA_CHECK(style != FmaStyle::None);
+      return style == FmaStyle::Pcs ? cvt_from_pcs_ : cvt_from_fcs_;
+  }
+  CSFMA_CHECK(false);
+  return {};
+}
+
+void OperatorLibrary::set(OpKind kind, FmaStyle style, OpAttr attr) {
+  switch (kind) {
+    case OpKind::Add: add_ = attr; return;
+    case OpKind::Sub: sub_ = attr; return;
+    case OpKind::Mul: mul_ = attr; return;
+    case OpKind::Div: div_ = attr; return;
+    case OpKind::Neg: neg_ = attr; return;
+    case OpKind::Fma:
+      (style == FmaStyle::Pcs ? fma_pcs_ : fma_fcs_) = attr;
+      return;
+    case OpKind::CvtToCs:
+      (style == FmaStyle::Pcs ? cvt_to_pcs_ : cvt_to_fcs_) = attr;
+      return;
+    case OpKind::CvtFromCs:
+      (style == FmaStyle::Pcs ? cvt_from_pcs_ : cvt_from_fcs_) = attr;
+      return;
+    default:
+      CSFMA_CHECK_MSG(false, "operator has no attribute entry");
+  }
+}
+
+}  // namespace csfma

@@ -1,0 +1,46 @@
+// Operator library: latency (cycles at the 200 MHz system clock) and area
+// per CDFG operation — the attributes the scheduler and the FMA-insertion
+// pass work with.
+//
+// The baseline latencies are the paper's CoreGen configuration (Sec. IV-A:
+// "low latency" 5-cycle multiplier, 4-cycle adder); the FMA latencies are
+// the Table I pipeline depths (PCS 5, FCS 3).  Conversions: IEEE->CS is
+// significand placement (wiring + one register), CS->IEEE assimilates the
+// 165/116-digit operand and normalizes+rounds (a deep adder + shifter,
+// pipelined over several cycles).
+#pragma once
+
+#include "fpga/architectures.hpp"
+#include "hls/ir.hpp"
+
+namespace csfma {
+
+struct OpAttr {
+  int latency = 1;  // cycles from operand availability to result
+  int luts = 0;
+  int dsps = 0;
+};
+
+class OperatorLibrary {
+ public:
+  /// The paper's setup: CoreGen discrete operators + both FMA styles,
+  /// with latencies/areas derived from the fpga/ synthesis model for
+  /// `dev` at `target_mhz`.
+  static OperatorLibrary for_device(const Device& dev, double target_mhz = 200.0);
+
+  OpAttr attr(OpKind kind, FmaStyle style = FmaStyle::None) const;
+
+  /// The fused dot-product unit's attributes depend on its term count:
+  /// the CSA tree deepens logarithmically, the PCS back end is fixed.
+  OpAttr dot_attr(int pairs) const;
+
+  /// Override one entry (ablation benches).
+  void set(OpKind kind, FmaStyle style, OpAttr attr);
+
+ private:
+  OpAttr add_, sub_, mul_, div_, neg_;
+  OpAttr fma_pcs_, fma_fcs_;
+  OpAttr cvt_to_pcs_, cvt_from_pcs_, cvt_to_fcs_, cvt_from_fcs_;
+};
+
+}  // namespace csfma

@@ -1,0 +1,31 @@
+// Sum-tree reassociation: rewrite maximal add/sub chains into balanced
+// binary trees, shrinking their depth from O(N) to O(log N) adder
+// latencies.
+//
+// This is the classic alternative to fusing: a balanced discrete tree
+// competes with the FMA chain on long rows — but balancing destroys the
+// multiply/add PAIR structure the Sec. III-I pass matches on the critical
+// path, so the two transforms interact (the ablation bench quantifies the
+// trade).  Floating-point addition is not associative, so the pass changes
+// results within the usual reassociation error bounds; the tests check the
+// envelope, and the HLS flow applies it only where the tool's accuracy
+// policy allows (as real HLS compilers do with "fast-math" style flags).
+#pragma once
+
+#include "hls/ir.hpp"
+#include "hls/oplib.hpp"
+
+namespace csfma {
+
+struct ReassociateStats {
+  int trees_rebalanced = 0;
+  int terms = 0;  // total leaves across rebalanced trees
+};
+
+/// Rewrite every maximal add/sub tree with at least `min_terms` leaves
+/// into a balanced tree (criticality is not required: balancing never
+/// hurts depth).
+ReassociateStats reassociate_sums(Cdfg& g, const OperatorLibrary& lib,
+                                  int min_terms = 3);
+
+}  // namespace csfma

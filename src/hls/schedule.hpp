@@ -1,0 +1,54 @@
+// Scheduling of CDFGs onto the operator library.
+//
+// ASAP/ALAP give per-node mobility and the critical path (zero-slack
+// nodes); the resource-constrained list scheduler time-multiplexes a
+// limited pool of operator instances (the paper shares "up to 39" FMA
+// units across the ldlsolve datapath, Sec. IV-D).  Operators are fully
+// pipelined (initiation interval 1): an instance accepts a new operation
+// every cycle, so the resource constraint limits *issues per cycle* per
+// operator class.
+#pragma once
+
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "hls/ir.hpp"
+#include "hls/oplib.hpp"
+
+namespace csfma {
+
+struct Schedule {
+  std::vector<int> start;  // indexed by node id; -1 for dead nodes
+  int length = 0;          // cycles until the last result is available
+};
+
+/// Unlimited-resource as-soon-as-possible schedule.
+Schedule schedule_asap(const Cdfg& g, const OperatorLibrary& lib);
+
+/// As-late-as-possible schedule against the ASAP length.
+Schedule schedule_alap(const Cdfg& g, const OperatorLibrary& lib,
+                       int target_length);
+
+/// Zero-slack (critical) node mask from ASAP/ALAP.
+std::vector<bool> critical_nodes(const Cdfg& g, const OperatorLibrary& lib);
+
+/// Per-cycle issue limits per operator class (0 = unlimited).
+struct ResourceLimits {
+  int mul = 0;
+  int add_sub = 0;
+  int div = 0;
+  int fma = 0;  // shared pool across PCS/FCS instances
+};
+
+/// Resource-constrained list scheduling (priority: longest path to sink).
+Schedule schedule_list(const Cdfg& g, const OperatorLibrary& lib,
+                       const ResourceLimits& limits);
+
+/// Human-readable schedule summary: per-kind operation counts with their
+/// start-cycle spans and a per-cycle issue histogram — the "schedule view"
+/// an HLS report would print.
+std::string schedule_report(const Cdfg& g, const OperatorLibrary& lib,
+                            const Schedule& s);
+
+}  // namespace csfma

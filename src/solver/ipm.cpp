@@ -1,0 +1,129 @@
+#include "solver/ipm.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "solver/ldl.hpp"
+
+namespace csfma {
+
+namespace {
+
+double barrier_f(const MpcProblem& p, const std::vector<double>& z, double mu) {
+  double f = qp_objective(p, z);
+  for (int i = 0; i < p.nz; ++i) {
+    if (std::isfinite(p.lb[(size_t)i])) {
+      const double s = z[(size_t)i] - p.lb[(size_t)i];
+      if (s <= 0) return std::numeric_limits<double>::infinity();
+      f -= mu * std::log(s);
+    }
+    if (std::isfinite(p.ub[(size_t)i])) {
+      const double s = p.ub[(size_t)i] - z[(size_t)i];
+      if (s <= 0) return std::numeric_limits<double>::infinity();
+      f -= mu * std::log(s);
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+double qp_objective(const MpcProblem& p, const std::vector<double>& z) {
+  double f = 0;
+  for (int i = 0; i < p.nz; ++i) {
+    f += 0.5 * p.q_diag[(size_t)i] * z[(size_t)i] * z[(size_t)i] +
+         p.q_lin[(size_t)i] * z[(size_t)i];
+  }
+  return f;
+}
+
+double eq_residual(const MpcProblem& p, const std::vector<double>& z) {
+  double r = 0;
+  for (int e = 0; e < p.ne; ++e) {
+    double s = -p.b_eq[(size_t)e];
+    for (int j = 0; j < p.nz; ++j) s += p.a_eq.at(e, j) * z[(size_t)j];
+    r = std::max(r, std::fabs(s));
+  }
+  return r;
+}
+
+IpmResult solve_qp(const MpcProblem& p, const IpmOptions& opt) {
+  IpmResult res;
+  res.z.assign((size_t)p.nz, 0.0);  // strictly inside the symmetric boxes
+
+  for (double mu = opt.mu0; mu >= opt.mu_min; mu *= opt.mu_shrink) {
+    for (int it = 0; it < opt.max_newton_per_mu; ++it) {
+      // Barrier gradient and Hessian diagonal.
+      std::vector<double> grad((size_t)p.nz), phi((size_t)p.nz, 0.0);
+      for (int i = 0; i < p.nz; ++i) {
+        grad[(size_t)i] =
+            p.q_diag[(size_t)i] * res.z[(size_t)i] + p.q_lin[(size_t)i];
+        if (std::isfinite(p.lb[(size_t)i])) {
+          const double s = res.z[(size_t)i] - p.lb[(size_t)i];
+          grad[(size_t)i] -= mu / s;
+          phi[(size_t)i] += mu / (s * s);
+        }
+        if (std::isfinite(p.ub[(size_t)i])) {
+          const double s = p.ub[(size_t)i] - res.z[(size_t)i];
+          grad[(size_t)i] += mu / s;
+          phi[(size_t)i] += mu / (s * s);
+        }
+      }
+      // Newton step via the KKT LDL' solve — the ldlsolve() kernel's job.
+      Dense k = kkt_matrix(p, phi, opt.eps_reg);
+      LdlFactors f = ldl_factor_dense(k);
+      std::vector<double> rhs((size_t)p.nk, 0.0);
+      for (int i = 0; i < p.nz; ++i)
+        rhs[(size_t)p.kkt_var(i)] = -grad[(size_t)i];
+      for (int e = 0; e < p.ne; ++e) {
+        double s = p.b_eq[(size_t)e];
+        for (int j = 0; j < p.nz; ++j) s -= p.a_eq.at(e, j) * res.z[(size_t)j];
+        rhs[(size_t)p.kkt_dual(e)] = s;
+      }
+      std::vector<double> sol_k = ldl_solve_dense(f, rhs);
+      // Un-permute the primal part of the step.
+      std::vector<double> sol((size_t)p.nz);
+      for (int i = 0; i < p.nz; ++i)
+        sol[(size_t)i] = sol_k[(size_t)p.kkt_var(i)];
+      ++res.newton_steps;
+
+      double step_norm = 0;
+      for (int i = 0; i < p.nz; ++i)
+        step_norm = std::max(step_norm, std::fabs(sol[(size_t)i]));
+      if (step_norm < opt.tol * (1.0 + step_norm)) break;
+
+      // Fraction-to-boundary plus monotone merit backtracking.
+      double alpha = 1.0;
+      for (int i = 0; i < p.nz; ++i) {
+        const double dz = sol[(size_t)i];
+        if (std::isfinite(p.lb[(size_t)i]) && dz < 0) {
+          alpha = std::min(
+              alpha, 0.99 * (p.lb[(size_t)i] - res.z[(size_t)i]) / dz);
+        }
+        if (std::isfinite(p.ub[(size_t)i]) && dz > 0) {
+          alpha = std::min(
+              alpha, 0.99 * (p.ub[(size_t)i] - res.z[(size_t)i]) / dz);
+        }
+      }
+      auto merit = [&](const std::vector<double>& z) {
+        return barrier_f(p, z, mu) + 10.0 * eq_residual(p, z);
+      };
+      const double m0 = merit(res.z);
+      std::vector<double> trial((size_t)p.nz);
+      for (int bt = 0; bt < 40; ++bt) {
+        for (int i = 0; i < p.nz; ++i)
+          trial[(size_t)i] = res.z[(size_t)i] + alpha * sol[(size_t)i];
+        if (merit(trial) <= m0 + 1e-12) break;
+        alpha *= 0.5;
+      }
+      res.z = trial;
+      if (alpha * step_norm < opt.tol) break;
+    }
+  }
+  res.objective = qp_objective(p, res.z);
+  res.converged = eq_residual(p, res.z) < 1e-5;
+  return res;
+}
+
+}  // namespace csfma

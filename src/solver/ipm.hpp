@@ -1,0 +1,41 @@
+// A small primal log-barrier interior-point solver for the MPC QPs —
+// the numeric reference the generated hardware kernels are validated
+// against, and the engine of the trajectory-planning example.
+//
+// Solves   min 1/2 z'Qz + q'z   s.t.  Az = b,  lb <= z <= ub
+// by Newton steps on the barrier-augmented KKT system (the same K = LDL'
+// solve the generated ldlsolve() kernel performs), with a decreasing
+// barrier parameter mu.
+#pragma once
+
+#include <vector>
+
+#include "solver/qp.hpp"
+
+namespace csfma {
+
+struct IpmResult {
+  std::vector<double> z;   // primal solution (size nz)
+  int newton_steps = 0;
+  bool converged = false;
+  double objective = 0.0;
+};
+
+struct IpmOptions {
+  double mu0 = 1.0;
+  double mu_min = 1e-7;
+  double mu_shrink = 0.2;
+  int max_newton_per_mu = 20;
+  double tol = 1e-8;
+  double eps_reg = 1e-9;  // KKT regularization (the paper's -eps I block)
+};
+
+IpmResult solve_qp(const MpcProblem& p, const IpmOptions& opt = {});
+
+/// Objective value 1/2 z'Qz + q'z.
+double qp_objective(const MpcProblem& p, const std::vector<double>& z);
+
+/// Max violation of the equality constraints |Az - b|_inf.
+double eq_residual(const MpcProblem& p, const std::vector<double>& z);
+
+}  // namespace csfma

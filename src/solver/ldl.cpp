@@ -1,0 +1,194 @@
+#include "solver/ldl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace csfma {
+
+int LdlSymbolic::find(int i, int j) const {
+  for (int k = 0; k < nnz(); ++k) {
+    if (row[(size_t)k] == i && col[(size_t)k] == j) return k;
+  }
+  return -1;
+}
+
+LdlSymbolic ldl_symbolic(const std::vector<std::vector<bool>>& pattern) {
+  const int n = (int)pattern.size();
+  // Propagate fill on a working copy: eliminating column k connects every
+  // pair of its below-diagonal neighbours.
+  std::vector<std::vector<bool>> p = pattern;
+  for (int k = 0; k < n; ++k) {
+    for (int i = k + 1; i < n; ++i) {
+      if (!p[(size_t)i][(size_t)k]) continue;
+      for (int j = k + 1; j < i; ++j) {
+        if (p[(size_t)j][(size_t)k]) {
+          p[(size_t)i][(size_t)j] = true;
+          p[(size_t)j][(size_t)i] = true;
+        }
+      }
+    }
+  }
+  LdlSymbolic sym;
+  sym.n = n;
+  for (int j = 0; j < n; ++j) {
+    for (int i = j + 1; i < n; ++i) {
+      if (p[(size_t)i][(size_t)j]) {
+        sym.row.push_back(i);
+        sym.col.push_back(j);
+      }
+    }
+  }
+  return sym;
+}
+
+LdlFactors ldl_factor_dense(const Dense& k) {
+  const int n = k.n();
+  LdlFactors f;
+  f.l = Dense(n);
+  f.d.assign((size_t)n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    double dj = k.at(j, j);
+    for (int s = 0; s < j; ++s)
+      dj -= f.l.at(j, s) * f.l.at(j, s) * f.d[(size_t)s];
+    CSFMA_CHECK_MSG(std::fabs(dj) > 1e-12, "LDL pivot breakdown at " << j);
+    f.d[(size_t)j] = dj;
+    for (int i = j + 1; i < n; ++i) {
+      double v = k.at(i, j);
+      for (int s = 0; s < j; ++s)
+        v -= f.l.at(i, s) * f.l.at(j, s) * f.d[(size_t)s];
+      f.l.at(i, j) = v / dj;
+    }
+  }
+  return f;
+}
+
+std::vector<double> ldl_solve_dense(const LdlFactors& f,
+                                    const std::vector<double>& b) {
+  const int n = f.l.n();
+  CSFMA_CHECK((int)b.size() == n);
+  std::vector<double> z = b;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < i; ++j) z[(size_t)i] -= f.l.at(i, j) * z[(size_t)j];
+  for (int i = 0; i < n; ++i) z[(size_t)i] /= f.d[(size_t)i];
+  for (int i = n - 1; i >= 0; --i)
+    for (int j = i + 1; j < n; ++j) z[(size_t)i] -= f.l.at(j, i) * z[(size_t)j];
+  return z;
+}
+
+std::vector<double> pack_l_values(const LdlSymbolic& sym, const LdlFactors& f) {
+  const int n = f.l.n();
+  CSFMA_CHECK(sym.n == n);
+  // Every numeric nonzero must be covered by the symbolic pattern.
+  for (int j = 0; j < n; ++j) {
+    for (int i = j + 1; i < n; ++i) {
+      if (std::fabs(f.l.at(i, j)) > 1e-14) {
+        CSFMA_CHECK_MSG(sym.find(i, j) >= 0,
+                        "numeric fill outside symbolic pattern at (" << i << ","
+                                                                     << j << ")");
+      }
+    }
+  }
+  std::vector<double> lv((size_t)sym.nnz());
+  for (int k = 0; k < sym.nnz(); ++k)
+    lv[(size_t)k] = f.l.at(sym.row[(size_t)k], sym.col[(size_t)k]);
+  return lv;
+}
+
+std::string emit_ldlsolve_kernel(const LdlSymbolic& sym,
+                                 const std::string& name) {
+  const int n = sym.n;
+  std::ostringstream os;
+  os << "kernel " << name << " {\n";
+  os << "  input double Lv[" << std::max(1, sym.nnz()) << "];\n";
+  // CVXGEN-style: the factorization stores the INVERTED diagonal, so the
+  // solve contains no divisions — only multiply/adds.
+  os << "  input double dinv[" << n << "];\n";
+  os << "  input double b[" << n << "];\n";
+  os << "  var double z[" << n << "];\n";
+  os << "  var double w[" << n << "];\n";
+  os << "  output double x[" << n << "];\n";
+  // Forward substitution: one (possibly long) chained expression per row.
+  for (int i = 0; i < n; ++i) {
+    os << "  z[" << i << "] = b[" << i << "]";
+    for (int k = 0; k < sym.nnz(); ++k) {
+      if (sym.row[(size_t)k] == i)
+        os << " - Lv[" << k << "]*z[" << sym.col[(size_t)k] << "]";
+    }
+    os << ";\n";
+  }
+  // Diagonal solve (multiplication by the stored inverse).
+  for (int i = 0; i < n; ++i)
+    os << "  w[" << i << "] = z[" << i << "] * dinv[" << i << "];\n";
+  // Backward substitution.
+  for (int i = n - 1; i >= 0; --i) {
+    os << "  x[" << i << "] = w[" << i << "]";
+    for (int k = 0; k < sym.nnz(); ++k) {
+      if (sym.col[(size_t)k] == i)
+        os << " - Lv[" << k << "]*x[" << sym.row[(size_t)k] << "]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string emit_ldlfactor_kernel(const std::vector<std::vector<bool>>& pattern,
+                                  const LdlSymbolic& sym,
+                                  const std::string& name) {
+  const int n = sym.n;
+  // K inputs: the diagonal (n entries) followed by the original strict
+  // lower pattern entries, in column-major order.
+  std::vector<int> krow, kcol;
+  for (int j = 0; j < n; ++j) {
+    for (int i = j + 1; i < n; ++i) {
+      if (pattern[(size_t)i][(size_t)j]) {
+        krow.push_back(i);
+        kcol.push_back(j);
+      }
+    }
+  }
+  auto kfind = [&](int i, int j) {
+    for (size_t k = 0; k < krow.size(); ++k)
+      if (krow[k] == i && kcol[k] == j) return (int)k;
+    return -1;
+  };
+  std::ostringstream os;
+  os << "kernel " << name << " {\n";
+  os << "  input double Kd[" << n << "];\n";
+  os << "  input double Kl[" << std::max<size_t>(1, krow.size()) << "];\n";
+  os << "  output double Lv[" << std::max(1, sym.nnz()) << "];\n";
+  os << "  output double dd[" << n << "];\n";
+  for (int j = 0; j < n; ++j) {
+    // dd[j] = Kd[j] - sum Lv(j,s)^2 dd[s].
+    os << "  dd[" << j << "] = Kd[" << j << "]";
+    for (int k = 0; k < sym.nnz(); ++k) {
+      if (sym.row[(size_t)k] == j) {
+        os << " - Lv[" << k << "]*Lv[" << k << "]*dd[" << sym.col[(size_t)k]
+           << "]";
+      }
+    }
+    os << ";\n";
+    for (int k = 0; k < sym.nnz(); ++k) {
+      if (sym.col[(size_t)k] != j) continue;
+      const int i = sym.row[(size_t)k];
+      const int kk = kfind(i, j);
+      os << "  Lv[" << k << "] = (" << (kk >= 0 ? "Kl[" + std::to_string(kk) + "]" : std::string("0"));
+      for (int m = 0; m < sym.nnz(); ++m) {
+        if (sym.row[(size_t)m] != i) continue;
+        const int s = sym.col[(size_t)m];
+        if (s >= j) continue;
+        const int mj = sym.find(j, s);
+        if (mj < 0) continue;
+        os << " - Lv[" << m << "]*Lv[" << mj << "]*dd[" << s << "]";
+      }
+      os << ") / dd[" << j << "];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace csfma

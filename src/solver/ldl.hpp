@@ -1,0 +1,67 @@
+// LDL' factorization: symbolic analysis, dense numeric reference, and the
+// CVXGEN-style straight-line code generator for ldlsolve().
+//
+// CVXGEN emits the KKT solve as fully unrolled scalar code (the paper's
+// Listing 1 is exactly its shape); the Nymble-like flow then compiles that
+// kernel.  ldlsolve(Lv, d, b) performs
+//
+//   forward:  z_i = b_i - sum_{j<i, L_ij != 0} L_ij z_j
+//   diagonal: w_i = z_i / d_i
+//   backward: x_i = w_i - sum_{j>i, L_ji != 0} L_ji x_j
+//
+// Each row is a *chain* of dependent multiply-subtracts — the critical-path
+// structure the P/FCS-FMA units accelerate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "solver/qp.hpp"
+
+namespace csfma {
+
+/// Strict-lower-triangle nonzero pattern of L, with fill-in.
+struct LdlSymbolic {
+  int n = 0;
+  // Nonzeros of strict lower L in column-major elimination order; entry k
+  // is (row[k], col[k]).  d has one entry per column.
+  std::vector<int> row, col;
+  int nnz() const { return (int)row.size(); }
+  /// index into row/col for (i, j), or -1.
+  int find(int i, int j) const;
+};
+
+/// Symbolic factorization of a symmetric pattern (boolean, full square):
+/// propagates fill (no pivoting — the KKT regularization makes the natural
+/// order factorizable, as CVXGEN relies on).
+LdlSymbolic ldl_symbolic(const std::vector<std::vector<bool>>& pattern);
+
+/// Dense numeric LDL' (no pivoting): K = L D L'.  Throws on a (near-)zero
+/// pivot.  L returned with unit diagonal implied.
+struct LdlFactors {
+  Dense l;                // strict lower triangle used
+  std::vector<double> d;  // diagonal of D
+};
+LdlFactors ldl_factor_dense(const Dense& k);
+
+/// Reference solve using the dense factors.
+std::vector<double> ldl_solve_dense(const LdlFactors& f,
+                                    const std::vector<double>& b);
+
+/// Extract the numeric values of L in the symbolic entry order (checked:
+/// every numeric nonzero must be covered by the pattern).
+std::vector<double> pack_l_values(const LdlSymbolic& sym, const LdlFactors& f);
+
+/// Generate the fully unrolled ldlsolve kernel in the kernel language:
+///   inputs  Lv[nnz], d[n], b[n];  output x[n].
+std::string emit_ldlsolve_kernel(const LdlSymbolic& sym,
+                                 const std::string& name);
+
+/// Generate the (larger) ldlfactor kernel: inputs K values (dense upper
+/// triangle of the pattern), outputs Lv[nnz] and d[n].  Provided for the
+/// extension experiments; the paper's Fig 15 compiles ldlsolve only.
+std::string emit_ldlfactor_kernel(const std::vector<std::vector<bool>>& pattern,
+                                  const LdlSymbolic& sym,
+                                  const std::string& name);
+
+}  // namespace csfma

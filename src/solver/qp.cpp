@@ -1,0 +1,132 @@
+#include "solver/qp.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace csfma {
+
+std::vector<int> MpcProblem::input_indices() const {
+  std::vector<int> idx;
+  for (int t = 0; t < horizon; ++t) {
+    idx.push_back(6 * t + 0);
+    idx.push_back(6 * t + 1);
+  }
+  return idx;
+}
+
+MpcProblem build_mpc(int horizon, const double x0[4], const double xref[4],
+                     double dt, double accel_limit) {
+  CSFMA_CHECK(horizon >= 1);
+  MpcProblem p;
+  p.horizon = horizon;
+  p.nz = 6 * horizon;
+  p.ne = 4 * horizon;
+  p.nk = p.nz + p.ne;
+  p.dt = dt;
+  p.q_diag.assign((size_t)p.nz, 0.0);
+  p.q_lin.assign((size_t)p.nz, 0.0);
+  p.a_eq = Dense(std::max(p.nz, p.ne));  // square workspace, use top-left
+  p.b_eq.assign((size_t)p.ne, 0.0);
+  const double inf = std::numeric_limits<double>::infinity();
+  p.lb.assign((size_t)p.nz, -inf);
+  p.ub.assign((size_t)p.nz, inf);
+
+  // Decision layout per step t: [ax, ay, px, py, vx, vy] at offsets 6t..6t+5.
+  // Cost: input effort R = 1.0; state tracking Q = diag(2, 2, 0.4, 0.4)
+  // against xref (terminal step weighted 6x).
+  for (int t = 0; t < horizon; ++t) {
+    const int u = 6 * t, x = 6 * t + 2;
+    p.q_diag[(size_t)(u + 0)] = 1.0;
+    p.q_diag[(size_t)(u + 1)] = 1.0;
+    const double w = (t == horizon - 1) ? 6.0 : 1.0;
+    const double qs[4] = {2.0, 2.0, 0.4, 0.4};
+    for (int k = 0; k < 4; ++k) {
+      p.q_diag[(size_t)(x + k)] = w * qs[k];
+      p.q_lin[(size_t)(x + k)] = -w * qs[k] * xref[k];
+    }
+    p.lb[(size_t)(u + 0)] = -accel_limit;
+    p.lb[(size_t)(u + 1)] = -accel_limit;
+    p.ub[(size_t)(u + 0)] = accel_limit;
+    p.ub[(size_t)(u + 1)] = accel_limit;
+  }
+
+  // Dynamics x_{t+1} = A x_t + B u_t:
+  //   A = [I, dt*I; 0, I] on (p, v) blocks; B = [dt^2/2*I; dt*I].
+  // Rows 4t..4t+3 encode  x_{t+1} - A x_t - B u_t = 0, with x_0 given.
+  auto xvar = [&](int t, int k) { return 6 * t + 2 + k; };  // x_{t+1} index
+  auto uvar = [&](int t, int k) { return 6 * t + k; };
+  const double h2 = 0.5 * dt * dt;
+  for (int t = 0; t < horizon; ++t) {
+    const int r = 4 * t;
+    for (int k = 0; k < 4; ++k) p.a_eq.at(r + k, xvar(t, k)) = 1.0;
+    // -B u_t.
+    p.a_eq.at(r + 0, uvar(t, 0)) = -h2;
+    p.a_eq.at(r + 1, uvar(t, 1)) = -h2;
+    p.a_eq.at(r + 2, uvar(t, 0)) = -dt;
+    p.a_eq.at(r + 3, uvar(t, 1)) = -dt;
+    if (t == 0) {
+      // A x_0 goes to the right-hand side.
+      p.b_eq[(size_t)(r + 0)] = x0[0] + dt * x0[2];
+      p.b_eq[(size_t)(r + 1)] = x0[1] + dt * x0[3];
+      p.b_eq[(size_t)(r + 2)] = x0[2];
+      p.b_eq[(size_t)(r + 3)] = x0[3];
+    } else {
+      // -A x_t (x_t is a decision variable).
+      p.a_eq.at(r + 0, xvar(t - 1, 0)) = -1.0;
+      p.a_eq.at(r + 0, xvar(t - 1, 2)) = -dt;
+      p.a_eq.at(r + 1, xvar(t - 1, 1)) = -1.0;
+      p.a_eq.at(r + 1, xvar(t - 1, 3)) = -dt;
+      p.a_eq.at(r + 2, xvar(t - 1, 2)) = -1.0;
+      p.a_eq.at(r + 3, xvar(t - 1, 3)) = -1.0;
+    }
+  }
+  return p;
+}
+
+std::vector<std::vector<bool>> kkt_pattern(const MpcProblem& p) {
+  std::vector<std::vector<bool>> pat((size_t)p.nk,
+                                     std::vector<bool>((size_t)p.nk, false));
+  for (int i = 0; i < p.nz; ++i) {
+    const int pi = p.kkt_var(i);
+    pat[(size_t)pi][(size_t)pi] = true;
+  }
+  for (int r = 0; r < p.ne; ++r) {
+    const int pr = p.kkt_dual(r);
+    pat[(size_t)pr][(size_t)pr] = true;  // -eps I
+    for (int j = 0; j < p.nz; ++j) {
+      if (p.a_eq.at(r, j) != 0.0) {
+        const int pj = p.kkt_var(j);
+        pat[(size_t)pr][(size_t)pj] = true;
+        pat[(size_t)pj][(size_t)pr] = true;
+      }
+    }
+  }
+  return pat;
+}
+
+Dense kkt_matrix(const MpcProblem& p, const std::vector<double>& phi,
+                 double eps) {
+  CSFMA_CHECK((int)phi.size() == p.nz);
+  Dense k(p.nk);
+  for (int i = 0; i < p.nz; ++i) {
+    const int pi = p.kkt_var(i);
+    k.at(pi, pi) = p.q_diag[(size_t)i] + phi[(size_t)i];
+  }
+  for (int r = 0; r < p.ne; ++r) {
+    const int pr = p.kkt_dual(r);
+    k.at(pr, pr) = -eps;
+    for (int j = 0; j < p.nz; ++j) {
+      const double v = p.a_eq.at(r, j);
+      if (v != 0.0) {
+        const int pj = p.kkt_var(j);
+        k.at(pr, pj) = v;
+        k.at(pj, pr) = v;
+      }
+    }
+  }
+  return k;
+}
+
+}  // namespace csfma

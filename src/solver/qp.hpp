@@ -1,0 +1,82 @@
+// Model-predictive trajectory-planning QPs — the paper's application
+// domain (Sec. I: "trajectory planning during collision avoidance of
+// autonomous ground vehicles", three solvers of increasing complexity).
+//
+// Vehicle model: 2D double integrator, state x = (px, py, vx, vy), input
+// u = (ax, ay), discretized with step dt.  The QP over the stacked
+// decision vector z = (u_0, x_1, u_1, x_2, ..., u_{T-1}, x_T):
+//
+//   minimize    1/2 z' Q z + q' z          (tracking + input effort)
+//   subject to  A z = b                    (dynamics, 4 rows per step)
+//               lb <= z_u <= ub            (acceleration box)
+//
+// Each interior-point iteration solves the quasi-definite KKT system
+//
+//   K = [ Q + Phi    A' ]
+//       [ A        -eps*I ]
+//
+// whose LDL' factorization/solve is the ldlsolve() compute kernel the
+// paper accelerates (Sec. IV-D).  Horizons 4 / 8 / 12 give the paper's
+// "three solvers of increasing complexity" (KKT dimensions 40 / 80 / 120).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace csfma {
+
+/// Simple dense symmetric/square matrix, row-major.
+class Dense {
+ public:
+  Dense() : n_(0) {}
+  explicit Dense(int n) : n_(n), a_((size_t)(n * n), 0.0) {}
+  int n() const { return n_; }
+  double& at(int i, int j) { return a_[(size_t)(i * n_ + j)]; }
+  double at(int i, int j) const { return a_[(size_t)(i * n_ + j)]; }
+
+ private:
+  int n_;
+  std::vector<double> a_;
+};
+
+struct MpcProblem {
+  int horizon;      // T
+  int nz;           // decision dim: 6*T
+  int ne;           // equality rows: 4*T
+  int nk;           // KKT dim: nz + ne
+  double dt;
+
+  std::vector<double> q_diag;  // cost diagonal (size nz)
+  std::vector<double> q_lin;   // linear cost (size nz)
+  Dense a_eq;                  // ne x nz dynamics constraints (stored dense)
+  std::vector<double> b_eq;    // size ne
+  std::vector<double> lb, ub;  // box on input entries (size nz, +-inf for states)
+
+  std::vector<int> input_indices() const;  // z entries that are inputs
+
+  /// CVXGEN-style stage-interleaved KKT ordering: the 6 decision variables
+  /// and 4 dual variables of each stage sit together, keeping the KKT
+  /// matrix banded (short rows, little fill) — the layout its generated
+  /// ldlsolve() relies on.
+  int kkt_var(int i) const { return 10 * (i / 6) + (i % 6); }
+  int kkt_dual(int r) const { return 10 * (r / 4) + 6 + (r % 4); }
+};
+
+/// Build the trajectory-planning MPC QP for a given horizon.
+/// `x0` is the current state (4), `xref` the target state (4);
+/// `obstacle_halfspace` (optional, 5 coeffs: n_x px + n_y py <= c per step)
+/// tightens the position of every step — the linearized collision-avoidance
+/// constraint folds into the box/diagonal structure via penalty.
+MpcProblem build_mpc(int horizon, const double x0[4], const double xref[4],
+                     double dt = 0.25, double accel_limit = 4.0);
+
+/// Upper bound structure of the KKT matrix (true where K may be nonzero).
+std::vector<std::vector<bool>> kkt_pattern(const MpcProblem& p);
+
+/// Fill the numeric KKT matrix for diagonal barrier weights `phi`
+/// (size nz; zero for state entries) and regularization eps.
+Dense kkt_matrix(const MpcProblem& p, const std::vector<double>& phi,
+                 double eps);
+
+}  // namespace csfma

@@ -1,0 +1,53 @@
+#include "solver/solvers.hpp"
+
+#include "common/rng.hpp"
+#include "frontend/parser.hpp"
+
+namespace csfma {
+
+BenchmarkSolver make_benchmark_solver(const std::string& name, int horizon) {
+  BenchmarkSolver s;
+  s.name = name;
+  const double x0[4] = {0.0, 0.0, 1.0, 0.0};
+  const double xref[4] = {8.0, 3.0, 0.0, 0.0};
+  s.problem = build_mpc(horizon, x0, xref);
+  s.sym = ldl_symbolic(kkt_pattern(s.problem));
+  s.ldlsolve_src = emit_ldlsolve_kernel(s.sym, "ldlsolve_" + name);
+  s.ldlfactor_src =
+      emit_ldlfactor_kernel(kkt_pattern(s.problem), s.sym, "ldlfactor_" + name);
+  return s;
+}
+
+std::vector<BenchmarkSolver> paper_solvers() {
+  std::vector<BenchmarkSolver> v;
+  v.push_back(make_benchmark_solver("small", 4));
+  v.push_back(make_benchmark_solver("medium", 8));
+  v.push_back(make_benchmark_solver("large", 12));
+  return v;
+}
+
+KernelInstance make_kernel_instance(const BenchmarkSolver& s,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  // A plausible barrier state: positive diagonal weights on the inputs.
+  std::vector<double> phi((size_t)s.problem.nz, 0.0);
+  for (int i : s.problem.input_indices())
+    phi[(size_t)i] = rng.next_double(0.05, 4.0);
+  Dense k = kkt_matrix(s.problem, phi, 1e-7);
+  LdlFactors f = ldl_factor_dense(k);
+  std::vector<double> lv = pack_l_values(s.sym, f);
+
+  KernelInstance inst;
+  std::vector<double> b((size_t)s.problem.nk);
+  for (auto& x : b) x = rng.next_double(-2.0, 2.0);
+  for (int kk = 0; kk < s.sym.nnz(); ++kk)
+    inst.inputs[element_name("Lv", kk, true)] = lv[(size_t)kk];
+  for (int i = 0; i < s.problem.nk; ++i) {
+    inst.inputs[element_name("dinv", i, true)] = 1.0 / f.d[(size_t)i];
+    inst.inputs[element_name("b", i, true)] = b[(size_t)i];
+  }
+  inst.expect_x = ldl_solve_dense(f, b);
+  return inst;
+}
+
+}  // namespace csfma

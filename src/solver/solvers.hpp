@@ -1,0 +1,38 @@
+// The paper's three benchmark solvers (Sec. IV-D): trajectory-planning MPC
+// instances of increasing complexity, with their generated ldlsolve()
+// kernels and validated numeric inputs.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "solver/ipm.hpp"
+#include "solver/ldl.hpp"
+
+namespace csfma {
+
+struct BenchmarkSolver {
+  std::string name;   // "solver-small" / "solver-medium" / "solver-large"
+  MpcProblem problem;
+  LdlSymbolic sym;
+  std::string ldlsolve_src;
+  std::string ldlfactor_src;
+};
+
+/// Build one benchmark solver for a horizon (the paper's sizes: 4, 8, 12).
+BenchmarkSolver make_benchmark_solver(const std::string& name, int horizon);
+
+/// The three solvers of Sec. IV-D / Fig 15.
+std::vector<BenchmarkSolver> paper_solvers();
+
+/// Valid numeric inputs for the generated ldlsolve kernel: factor a real
+/// barrier-iteration KKT matrix, pick a random right-hand side, and return
+/// the named input map plus the reference solution.
+struct KernelInstance {
+  std::map<std::string, double> inputs;  // Lv[k], d[i], b[i]
+  std::vector<double> expect_x;          // dense-reference solution
+};
+KernelInstance make_kernel_instance(const BenchmarkSolver& s,
+                                    std::uint64_t seed);
+
+}  // namespace csfma

@@ -1,0 +1,62 @@
+#include "common/activity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csfma {
+namespace {
+
+TEST(Activity, CountsHammingDistanceBetweenObservations) {
+  ActivityProbe p;
+  p.observe(WideUint<2>(0b0000ull));
+  EXPECT_EQ(p.toggles(), 0u);  // first observation sets the baseline
+  p.observe(WideUint<2>(0b1010ull));
+  EXPECT_EQ(p.toggles(), 2u);
+  p.observe(WideUint<2>(0b1010ull));
+  EXPECT_EQ(p.toggles(), 2u);  // no change, no toggles
+  p.observe(WideUint<2>(0b0101ull));
+  EXPECT_EQ(p.toggles(), 6u);
+  EXPECT_EQ(p.observations(), 4u);
+}
+
+TEST(Activity, WideBusesCountAllBits) {
+  ActivityProbe p;
+  p.observe(WideUint<8>());
+  p.observe(~WideUint<8>());
+  EXPECT_EQ(p.toggles(), 512u);
+}
+
+TEST(Activity, ResetClearsStateAndBaseline) {
+  ActivityProbe p;
+  p.observe(WideUint<2>(0xFFull));
+  p.observe(WideUint<2>(0x00ull));
+  EXPECT_EQ(p.toggles(), 8u);
+  p.reset();
+  EXPECT_EQ(p.toggles(), 0u);
+  EXPECT_EQ(p.observations(), 0u);
+  p.observe(WideUint<2>(0xF0ull));
+  EXPECT_EQ(p.toggles(), 0u);  // new baseline after reset
+}
+
+TEST(Activity, RecorderNamesProbesIndependently) {
+  ActivityRecorder rec;
+  rec.probe("a").observe(WideUint<2>(0ull));
+  rec.probe("a").observe(WideUint<2>(1ull));
+  rec.probe("b").observe(WideUint<2>(0ull));
+  rec.probe("b").observe(WideUint<2>(3ull));
+  EXPECT_EQ(rec.probe("a").toggles(), 1u);
+  EXPECT_EQ(rec.probe("b").toggles(), 2u);
+  EXPECT_EQ(rec.probes().size(), 2u);
+  rec.reset();
+  EXPECT_EQ(rec.probe("a").toggles(), 0u);
+}
+
+TEST(Activity, MixedWidthObservationsUseCommonWorkspace) {
+  // Observing a narrow bus then a wide one compares in the 512b workspace.
+  ActivityProbe p;
+  p.observe(WideUint<1>(0b1ull));
+  p.observe(WideUint<8>(0b10ull));
+  EXPECT_EQ(p.toggles(), 2u);
+}
+
+}  // namespace
+}  // namespace csfma

@@ -1,0 +1,84 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace csfma {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversAll) {
+  Rng rng(3);
+  bool seen[7] = {};
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.next_below(7);
+    ASSERT_LT(v, 7u);
+    seen[v] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(4);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = rng.next_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    lo |= (v == -3);
+    hi |= (v == 3);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UnitIntervalStatistics) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double u = rng.next_unit();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, FpInExpRangeRespectsRange) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_fp_in_exp_range(-8, 8);
+    int e;
+    std::frexp(d, &e);
+    // frexp exponent is one above the IEEE unbiased exponent.
+    ASSERT_GE(e - 1, -8);
+    ASSERT_LE(e - 1, 8);
+    ASSERT_TRUE(std::isfinite(d));
+    ASSERT_NE(d, 0.0);
+  }
+}
+
+TEST(Rng, WideBitsRespectWidth) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto w = rng.next_wide_bits<4>(100);
+    EXPECT_LE(w.bit_width(), 100);
+  }
+}
+
+}  // namespace
+}  // namespace csfma

@@ -1,0 +1,208 @@
+#include "common/wide_uint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace csfma {
+namespace {
+
+using u128 = unsigned __int128;
+
+u128 to_u128(const U128& w) { return ((u128)w.word(1) << 64) | w.word(0); }
+U128 from_u128(u128 v) {
+  U128 r;
+  r.set_word(0, (std::uint64_t)v);
+  r.set_word(1, (std::uint64_t)(v >> 64));
+  return r;
+}
+
+TEST(WideUint, BasicConstruction) {
+  U256 z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.bit_width(), 0);
+  EXPECT_EQ(z.countl_zero(), 256);
+  EXPECT_EQ(z.countr_zero(), 256);
+
+  U256 one = U256::one();
+  EXPECT_FALSE(one.is_zero());
+  EXPECT_EQ(one.bit_width(), 1);
+  EXPECT_TRUE(one.bit(0));
+  EXPECT_FALSE(one.bit(1));
+}
+
+TEST(WideUint, MaskAndBitAt) {
+  EXPECT_EQ(U256::mask(0), U256::zero());
+  EXPECT_EQ(U256::mask(1), U256::one());
+  EXPECT_EQ(U256::mask(64).lo64(), ~std::uint64_t{0});
+  EXPECT_EQ(U256::mask(65).word(1), 1u);
+  EXPECT_EQ(U256::bit_at(200).bit(200), true);
+  EXPECT_EQ(U256::bit_at(200).popcount(), 1);
+  EXPECT_EQ(U256::mask(256).popcount(), 256);
+}
+
+TEST(WideUint, AddSubMatchesU128) {
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    u128 a = ((u128)rng.next_u64() << 64) | rng.next_u64();
+    u128 b = ((u128)rng.next_u64() << 64) | rng.next_u64();
+    EXPECT_EQ(to_u128(from_u128(a) + from_u128(b)), (u128)(a + b));
+    EXPECT_EQ(to_u128(from_u128(a) - from_u128(b)), (u128)(a - b));
+    EXPECT_EQ(to_u128(-from_u128(a)), (u128)(-a));
+  }
+}
+
+TEST(WideUint, MulMatchesU128) {
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    u128 a = ((u128)rng.next_u64() << 64) | rng.next_u64();
+    u128 b = ((u128)rng.next_u64() << 64) | rng.next_u64();
+    EXPECT_EQ(to_u128(from_u128(a) * from_u128(b)), (u128)(a * b));
+    // Full 64x64 product.
+    std::uint64_t x = rng.next_u64(), y = rng.next_u64();
+    WideUint<2> full = WideUint<1>(x).mul_full<1>(WideUint<1>(y));
+    EXPECT_EQ(to_u128(full), (u128)x * y);
+  }
+}
+
+TEST(WideUint, ShiftsMatchU128) {
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    u128 a = ((u128)rng.next_u64() << 64) | rng.next_u64();
+    int s = (int)rng.next_below(128);
+    EXPECT_EQ(to_u128(from_u128(a) << s), (u128)(a << s));
+    EXPECT_EQ(to_u128(from_u128(a) >> s), (u128)(a >> s));
+  }
+  // Full-width shifts yield zero.
+  EXPECT_TRUE((from_u128(~(u128)0) << 128).is_zero());
+  EXPECT_TRUE((from_u128(~(u128)0) >> 128).is_zero());
+}
+
+TEST(WideUint, ShiftAcrossWordBoundaries) {
+  U256 v = U256::one();
+  for (int s = 0; s < 256; ++s) {
+    U256 shifted = v << s;
+    EXPECT_EQ(shifted.bit_width(), s + 1);
+    EXPECT_TRUE(shifted.bit(s));
+    EXPECT_EQ((shifted >> s), v);
+  }
+}
+
+TEST(WideUint, CompareMatchesU128) {
+  Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    u128 a = ((u128)rng.next_u64() << 64) | rng.next_u64();
+    u128 b = rng.next_bool() ? a : (((u128)rng.next_u64() << 64) | rng.next_u64());
+    EXPECT_EQ(from_u128(a) == from_u128(b), a == b);
+    EXPECT_EQ(from_u128(a) < from_u128(b), a < b);
+    EXPECT_EQ(from_u128(a) >= from_u128(b), a >= b);
+  }
+}
+
+TEST(WideUint, DivmodMatchesU128) {
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    u128 a = ((u128)rng.next_u64() << 64) | rng.next_u64();
+    u128 b = ((u128)rng.next_u64() << 64) | rng.next_u64();
+    b >>= rng.next_below(120);
+    if (b == 0) b = 1;
+    auto [q, r] = divmod(from_u128(a), from_u128(b));
+    EXPECT_EQ(to_u128(q), (u128)(a / b));
+    EXPECT_EQ(to_u128(r), (u128)(a % b));
+  }
+}
+
+TEST(WideUint, DivmodIdentityWide) {
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    U512 n = rng.next_wide<8>() >> (int)rng.next_below(512);
+    U512 d = rng.next_wide<8>() >> (int)rng.next_below(512);
+    if (d.is_zero()) d = U512::one();
+    auto [q, r] = divmod(n, d);
+    EXPECT_TRUE(r < d);
+    EXPECT_EQ(q * d + r, n);
+  }
+}
+
+TEST(WideUint, BitScans) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    std::uint64_t x = rng.next_u64() >> rng.next_below(64);
+    WideUint<4> w(x);
+    EXPECT_EQ(w.countl_zero(), 192 + std::countl_zero(x));
+    EXPECT_EQ(w.countr_zero(), x == 0 ? 256 : std::countr_zero(x));
+    EXPECT_EQ(w.popcount(), std::popcount(x));
+    EXPECT_EQ(w.bit_width(), 64 - std::countl_zero(x));
+  }
+}
+
+TEST(WideUint, ExtractDeposit) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    U256 v = rng.next_wide<4>();
+    int lo = (int)rng.next_below(250);
+    int len = (int)rng.next_below(256 - (unsigned)lo) + 0;
+    U256 field = v.extract(lo, len);
+    EXPECT_TRUE((field & ~U256::mask(len)).is_zero());
+    // Depositing the extracted field back reproduces the original.
+    EXPECT_EQ(v.deposit(lo, len, field), v);
+    // Deposit of zero clears the field.
+    U256 cleared = v.deposit(lo, len, U256::zero());
+    EXPECT_TRUE(cleared.extract(lo, len).is_zero());
+  }
+}
+
+TEST(WideUint, TwosComplementViews) {
+  // -1 in an 8-bit window.
+  U128 v(0xFFull);
+  EXPECT_TRUE(v.sign_bit(8));
+  EXPECT_EQ(v.sext(8), ~U128::zero());
+  EXPECT_EQ(v.abs_signed(8), U128::one());
+  // +127
+  U128 p(0x7Full);
+  EXPECT_FALSE(p.sign_bit(8));
+  EXPECT_EQ(p.sext(8), p);
+  EXPECT_EQ(p.abs_signed(8), p);
+  // -128
+  U128 m(0x80ull);
+  EXPECT_EQ(m.abs_signed(8), U128(0x80ull));
+}
+
+TEST(WideUint, SextRandomAgainstInt64) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    std::int32_t x = (std::int32_t)rng.next_u64();
+    U128 w((std::uint64_t)(std::uint32_t)x);
+    U128 s = w.sext(32);
+    EXPECT_EQ((std::int64_t)s.lo64(), (std::int64_t)x);
+  }
+}
+
+TEST(WideUint, HexFormatting) {
+  EXPECT_EQ(U128::zero().to_hex(), "0x0");
+  EXPECT_EQ(U128(0xDEADBEEFull).to_hex(), "0xdeadbeef");
+  EXPECT_EQ((U128::one() << 64).to_hex(), "0x10000000000000000");
+}
+
+TEST(WideUint, NarrowingWideningConversion) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    U512 v = rng.next_wide<8>();
+    U128 lo(v);
+    EXPECT_EQ(lo.word(0), v.word(0));
+    EXPECT_EQ(lo.word(1), v.word(1));
+    U512 back(lo);
+    EXPECT_EQ(back.truncated(128), v.truncated(128));
+  }
+}
+
+TEST(WideUint, ChecksFire) {
+  U128 v;
+  EXPECT_THROW((void)v.bit(-1), CheckError);
+  EXPECT_THROW((void)v.bit(128), CheckError);
+  EXPECT_THROW((void)U128::mask(129), CheckError);
+  EXPECT_THROW((void)divmod(U128::one(), U128::zero()), CheckError);
+}
+
+}  // namespace
+}  // namespace csfma

@@ -1,0 +1,166 @@
+#include "cs/cs_num.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace csfma {
+namespace {
+
+std::int64_t signed_of(const CsNum& x) {
+  CSFMA_CHECK(x.width() <= 63);
+  std::uint64_t v = x.to_binary().lo64();
+  // sign extend from width
+  if (x.width() < 64 && (v >> (x.width() - 1)) & 1)
+    v |= ~((std::uint64_t{1} << x.width()) - 1);
+  return (std::int64_t)v;
+}
+
+CsNum random_cs(Rng& rng, int width) {
+  return CsNum(width, rng.next_wide_bits<7>(width), rng.next_wide_bits<7>(width));
+}
+
+TEST(CsNum, FromBinaryRoundTrip) {
+  Rng rng(20);
+  for (int i = 0; i < 10000; ++i) {
+    int w = (int)rng.next_int(1, 60);
+    CsWord bits = rng.next_wide_bits<7>(w);
+    CsNum x = CsNum::from_binary(w, bits);
+    EXPECT_EQ(x.to_binary(), bits);
+    EXPECT_TRUE(x.is_binary());
+  }
+}
+
+TEST(CsNum, FromSignedMatchesTwosComplement) {
+  Rng rng(21);
+  for (int i = 0; i < 10000; ++i) {
+    int w = (int)rng.next_int(2, 60);
+    std::int64_t lim = (std::int64_t{1} << (w - 1)) - 1;
+    std::int64_t v = rng.next_int(-lim, lim);
+    CsNum x = CsNum::from_signed(w, v < 0, CsWord((std::uint64_t)(v < 0 ? -v : v)));
+    EXPECT_EQ(signed_of(x), v);
+    EXPECT_EQ(x.is_value_negative(), v < 0);
+    EXPECT_EQ(x.is_value_zero(), v == 0);
+    EXPECT_EQ(x.magnitude().lo64(), (std::uint64_t)(v < 0 ? -v : v));
+  }
+}
+
+TEST(CsNum, DigitsMatchPlanes) {
+  CsNum x(4, CsWord(0b1010), CsWord(0b0110));
+  EXPECT_EQ(x.digit(0), 0);
+  EXPECT_EQ(x.digit(1), 2);
+  EXPECT_EQ(x.digit(2), 1);
+  EXPECT_EQ(x.digit(3), 1);
+  EXPECT_EQ(x.to_digit_string(), "1120");
+}
+
+TEST(CsNum, RedundantRepresentationsOfHalf) {
+  // The paper's Sec. III-E example: decimal 0.5 as 0.0200cs or 0.0120cs
+  // (here scaled to integers: 8 = 0200cs = 0120cs = 1000b in 4 digits).
+  CsNum a(4, CsWord(0b0100), CsWord(0b0100));  // digits 0200 -> 2*4 = 8
+  EXPECT_EQ(a.to_digit_string(), "0200");
+  EXPECT_EQ(a.to_binary().lo64(), 8u);
+  CsNum c(4, CsWord(0b0110), CsWord(0b0010));  // digits 0120
+  EXPECT_EQ(c.to_digit_string(), "0120");
+  EXPECT_EQ(c.to_binary().lo64(), 8u);
+  // 0.75d example: 0220cs (= 12 = 1100b).
+  CsNum b(4, CsWord(0b0110), CsWord(0b0110));
+  EXPECT_EQ(b.to_digit_string(), "0220");
+  EXPECT_EQ(b.to_binary().lo64(), 12u);
+}
+
+TEST(CsNum, Compress3PreservesSumModWindow) {
+  Rng rng(22);
+  for (int i = 0; i < 20000; ++i) {
+    int w = (int)rng.next_int(1, 62);
+    CsWord a = rng.next_wide_bits<7>(w);
+    CsWord b = rng.next_wide_bits<7>(w);
+    CsWord c = rng.next_wide_bits<7>(w);
+    CsNum r = compress3(w, a, b, c);
+    std::uint64_t mask = w == 64 ? ~0ull : ((1ull << w) - 1);
+    EXPECT_EQ(r.to_binary().lo64(), (a.lo64() + b.lo64() + c.lo64()) & mask);
+  }
+}
+
+TEST(CsNum, Compress3WideWindow) {
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    int w = (int)rng.next_int(100, 440);
+    CsWord a = rng.next_wide_bits<7>(w);
+    CsWord b = rng.next_wide_bits<7>(w);
+    CsWord c = rng.next_wide_bits<7>(w);
+    CsNum r = compress3(w, a, b, c);
+    EXPECT_EQ(r.to_binary(), (a + b + c).truncated(w));
+  }
+}
+
+TEST(CsNum, AddBinaryAndAddCs) {
+  Rng rng(24);
+  for (int i = 0; i < 20000; ++i) {
+    int w = (int)rng.next_int(2, 62);
+    CsNum a = random_cs(rng, w);
+    CsNum b = random_cs(rng, w);
+    CsWord k = rng.next_wide_bits<7>(w);
+    std::uint64_t mask = (1ull << w) - 1;
+    EXPECT_EQ(cs_add_binary(a, k).to_binary().lo64(),
+              (a.to_binary().lo64() + k.lo64()) & mask);
+    EXPECT_EQ(cs_add_cs(a, b).to_binary().lo64(),
+              (a.to_binary().lo64() + b.to_binary().lo64()) & mask);
+  }
+}
+
+TEST(CsNum, NegationIsAdditiveInverse) {
+  Rng rng(25);
+  for (int i = 0; i < 20000; ++i) {
+    int w = (int)rng.next_int(2, 62);
+    CsNum a = random_cs(rng, w);
+    CsNum n = cs_negate(a);
+    std::uint64_t mask = (1ull << w) - 1;
+    EXPECT_EQ((a.to_binary().lo64() + n.to_binary().lo64()) & mask, 0u)
+        << a.to_digit_string();
+  }
+}
+
+TEST(CsNum, ShiftsMoveDigits) {
+  Rng rng(26);
+  for (int i = 0; i < 10000; ++i) {
+    int w = (int)rng.next_int(4, 60);
+    CsNum a = random_cs(rng, w);
+    int s = (int)rng.next_below((unsigned)w);
+    CsNum l = a.shifted_left(s);
+    std::uint64_t mask = (1ull << w) - 1;
+    EXPECT_EQ(l.to_binary().lo64(), (a.to_binary().lo64() << s) & mask);
+    // Logical right shift moves the planes; digits shift down.
+    CsNum r = a.shifted_right_logical(s);
+    for (int d = 0; d + s < w; ++d) EXPECT_EQ(r.digit(d), a.digit(d + s));
+  }
+}
+
+TEST(CsNum, ExtractDigits) {
+  Rng rng(27);
+  for (int i = 0; i < 5000; ++i) {
+    int w = (int)rng.next_int(8, 60);
+    CsNum a = random_cs(rng, w);
+    int lo = (int)rng.next_below((unsigned)(w - 2));
+    int len = 1 + (int)rng.next_below((unsigned)(w - lo - 1));
+    CsNum e = a.extract_digits(lo, len);
+    for (int d = 0; d < len; ++d) EXPECT_EQ(e.digit(d), a.digit(lo + d));
+  }
+}
+
+TEST(CsNum, WindowedTruncates) {
+  CsNum a(8, CsWord(0xF0ull), CsWord(0x0Full));
+  CsNum t = a.windowed(4);
+  EXPECT_EQ(t.width(), 4);
+  EXPECT_EQ(t.sum().lo64(), 0u);
+  EXPECT_EQ(t.carry().lo64(), 0xFull);
+}
+
+TEST(CsNum, ConstructorChecksPlanes) {
+  EXPECT_THROW(CsNum(4, CsWord(0x10ull), CsWord()), CheckError);
+  EXPECT_THROW(CsNum(4, CsWord(), CsWord(0x10ull)), CheckError);
+  EXPECT_THROW(CsNum(0, CsWord(), CsWord()), CheckError);
+}
+
+}  // namespace
+}  // namespace csfma

@@ -1,0 +1,109 @@
+#include "cs/csa_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace csfma {
+namespace {
+
+TEST(CsaTree, LevelsFormula) {
+  EXPECT_EQ(csa_levels_for_rows(0), 0);
+  EXPECT_EQ(csa_levels_for_rows(2), 0);
+  EXPECT_EQ(csa_levels_for_rows(3), 1);
+  EXPECT_EQ(csa_levels_for_rows(4), 2);
+  EXPECT_EQ(csa_levels_for_rows(6), 3);
+  EXPECT_EQ(csa_levels_for_rows(9), 4);
+  // 53 partial products (binary64 multiplier): Dadda heights run
+  // 2,3,4,6,9,13,19,28,42,63 — nine 3:2 levels reach two rows.
+  EXPECT_EQ(csa_levels_for_rows(53), 9);
+}
+
+TEST(CsaTree, ReduceMatchesPlainSum) {
+  Rng rng(30);
+  for (int trial = 0; trial < 2000; ++trial) {
+    int w = (int)rng.next_int(8, 200);
+    int n = (int)rng.next_int(0, 20);
+    std::vector<CsWord> rows;
+    CsWord expect;
+    for (int i = 0; i < n; ++i) {
+      rows.push_back(rng.next_wide_bits<7>(w));
+      expect = (expect + rows.back()).truncated(w);
+    }
+    CsaTreeStats stats;
+    CsNum r = reduce_rows(w, rows, &stats);
+    EXPECT_EQ(r.to_binary(), expect);
+    EXPECT_EQ(stats.rows, n);
+    EXPECT_EQ(stats.levels, csa_levels_for_rows(n));
+  }
+}
+
+TEST(CsaTree, ReduceDegenerateCases) {
+  CsNum z = reduce_rows(16, {});
+  EXPECT_TRUE(z.to_binary().is_zero());
+  CsNum one = reduce_rows(16, {CsWord(7ull)});
+  EXPECT_EQ(one.to_binary().lo64(), 7u);
+  EXPECT_TRUE(one.is_binary());
+}
+
+TEST(CsaTree, MultiplySmallExhaustive) {
+  // Exhaustive 6x5-bit signed x unsigned multiply against host arithmetic.
+  for (int m = -32; m < 32; ++m) {
+    for (unsigned b = 0; b < 32; ++b) {
+      CsNum c = CsNum::from_signed(7, m < 0, CsWord((std::uint64_t)(m < 0 ? -m : m)));
+      CsNum p = multiply_cs_by_binary(c, CsWord(b), 5, 12);
+      std::int64_t expect = (std::int64_t)m * (std::int64_t)b;
+      std::uint64_t got = p.to_binary().lo64();
+      std::uint64_t want = (std::uint64_t)expect & 0xFFF;
+      EXPECT_EQ(got, want) << m << " * " << b;
+    }
+  }
+}
+
+TEST(CsaTree, MultiplyRedundantMultiplicand) {
+  Rng rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    int wc = (int)rng.next_int(4, 40);
+    int wb = (int)rng.next_int(1, 20);
+    CsNum c(wc, rng.next_wide_bits<7>(wc), rng.next_wide_bits<7>(wc));
+    CsWord b = rng.next_wide_bits<7>(wb);
+    int wo = wc + wb;
+    CsNum p = multiply_cs_by_binary(c, b, wb, wo);
+    // Reference: signed value of c times b, mod 2^wo.
+    CsWord ref = (c.signed_value().truncated(wo) * b).truncated(wo);
+    EXPECT_EQ(p.to_binary(), ref) << c.to_digit_string();
+  }
+}
+
+TEST(CsaTree, MultiplyPaperWidths) {
+  // The PCS-FMA multiplier: 110b CS multiplicand x 53b binary multiplier
+  // into a 163b window (Sec. III-D).
+  Rng rng(32);
+  for (int i = 0; i < 500; ++i) {
+    CsNum c(110, rng.next_wide_bits<7>(110), rng.next_wide_bits<7>(110));
+    CsWord b = rng.next_wide_bits<7>(53) | CsWord::bit_at(52);  // implied 1
+    CsaTreeStats stats;
+    CsNum p = multiply_cs_by_binary(c, b, 53, 163, &stats);
+    CsWord ref = (c.signed_value().truncated(163) * b).truncated(163);
+    EXPECT_EQ(p.to_binary(), ref);
+    // Tree height depends only on the 53 multiplier rows.
+    EXPECT_EQ(stats.rows, 53);
+    EXPECT_EQ(stats.levels, csa_levels_for_rows(53));
+  }
+}
+
+TEST(CsaTree, TreeDepthIndependentOfMultiplicandWidth) {
+  // Sec. III-D: widening C must not deepen the tree.
+  CsaTreeStats narrow, wide;
+  Rng rng(33);
+  CsNum c54(54, rng.next_wide_bits<7>(54), CsWord());
+  CsNum c110(110, rng.next_wide_bits<7>(110), CsWord());
+  CsWord b = rng.next_wide_bits<7>(53) | CsWord::bit_at(52);
+  multiply_cs_by_binary(c54, b, 53, 107, &narrow);
+  multiply_cs_by_binary(c110, b, 53, 163, &wide);
+  EXPECT_EQ(narrow.levels, wide.levels);
+  EXPECT_EQ(narrow.rows, wide.rows);
+}
+
+}  // namespace
+}  // namespace csfma

@@ -1,0 +1,91 @@
+// The LZA bound — lza_estimate <= leading_sign_run <= lza_estimate + 1 —
+// is verified exhaustively for small widths and randomly at datapath widths.
+// The FCS-FMA block-selection margin (Sec. III-G/H) assumes exactly this
+// one-bit uncertainty.
+#include "cs/lza.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace csfma {
+namespace {
+
+TEST(Lza, LeadingSignRunDefinition) {
+  // 8-bit examples.
+  auto lsr = [](std::uint64_t s, std::uint64_t c, int w) {
+    return leading_sign_run(CsNum(w, CsWord(s), CsWord(c)));
+  };
+  EXPECT_EQ(lsr(0b00010101, 0, 8), 2);  // 21 needs 6 bits: 2 redundant zeros
+  EXPECT_EQ(lsr(0b11110101, 0, 8), 3);  // negative, 3 redundant ones
+  EXPECT_EQ(lsr(0b01111111, 0, 8), 0);  // needs the full window
+  EXPECT_EQ(lsr(0b10000000, 0, 8), 0);  // most negative value
+  EXPECT_EQ(lsr(0, 0, 8), 7);           // zero: one digit remains
+  EXPECT_EQ(lsr(0xFF, 0, 8), 7);        // -1: one digit remains
+}
+
+TEST(Lza, LeadingSignRunAllowsWindowShrink) {
+  Rng rng(60);
+  for (int i = 0; i < 50000; ++i) {
+    int w = (int)rng.next_int(2, 60);
+    CsNum x(w, rng.next_wide_bits<7>(w) >> (int)rng.next_below((unsigned)w),
+            rng.next_wide_bits<7>(w) >> (int)rng.next_below((unsigned)w));
+    int run = leading_sign_run(x);
+    // Shrinking the window by `run` preserves the signed value...
+    EXPECT_EQ(x.windowed(w - run).signed_value(), x.signed_value());
+    // ...and by run+1 does not (unless already at 1 digit).
+    if (run < w - 1) {
+      EXPECT_NE(x.windowed(w - run - 1).signed_value(), x.signed_value());
+    }
+  }
+}
+
+void exhaustive_bound(int w) {
+  for (std::uint64_t s = 0; s < (1ull << w); ++s) {
+    for (std::uint64_t c = 0; c < (1ull << w); ++c) {
+      CsNum x(w, CsWord(s), CsWord(c));
+      int est = lza_estimate(x);
+      int act = leading_sign_run(x);
+      ASSERT_LE(est, act) << x.to_digit_string();
+      ASSERT_LE(act - est, kLzaMaxError) << x.to_digit_string();
+    }
+  }
+}
+
+TEST(Lza, ExhaustiveBoundW4) { exhaustive_bound(4); }
+TEST(Lza, ExhaustiveBoundW7) { exhaustive_bound(7); }
+TEST(Lza, ExhaustiveBoundW9) { exhaustive_bound(9); }
+
+TEST(Lza, RandomBoundDatapathWidths) {
+  Rng rng(61);
+  for (int i = 0; i < 100000; ++i) {
+    int w = (int)rng.next_int(30, 440);
+    // Bias toward long sign runs by shifting magnitudes down.
+    int sh = (int)rng.next_below((unsigned)w);
+    CsWord s = rng.next_wide_bits<7>(w) >> sh;
+    CsWord c = rng.next_wide_bits<7>(w) >> (int)rng.next_below((unsigned)w);
+    if (rng.next_bool()) s = (~s).truncated(w);
+    CsNum x(w, s, c);
+    int est = lza_estimate(x);
+    int act = leading_sign_run(x);
+    ASSERT_LE(est, act) << w << " " << x.to_digit_string();
+    ASSERT_LE(act - est, kLzaMaxError) << w << " " << x.to_digit_string();
+  }
+}
+
+TEST(Lza, CancellationCase) {
+  // x + (-x): the sum is zero — the LZA must report (nearly) the whole
+  // window as sign run so the unit detects total cancellation (Sec. III-G
+  // requires reliable all-zero detection on top of this).
+  Rng rng(62);
+  for (int i = 0; i < 10000; ++i) {
+    int w = (int)rng.next_int(8, 60);
+    CsWord v = rng.next_wide_bits<7>(w - 2);
+    CsNum x(w, v, (-v).truncated(w));
+    int est = lza_estimate(x);
+    EXPECT_GE(est, w - 1 - kLzaMaxError);
+  }
+}
+
+}  // namespace
+}  // namespace csfma

@@ -1,0 +1,97 @@
+#include "cs/pcs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace csfma {
+namespace {
+
+TEST(Pcs, CarryReducePreservesValue) {
+  Rng rng(40);
+  for (int i = 0; i < 10000; ++i) {
+    int groups = (int)rng.next_int(1, 12);
+    int group = (int)rng.next_int(2, 16);
+    int w = groups * group;
+    CsNum x(w, rng.next_wide_bits<7>(w), rng.next_wide_bits<7>(w));
+    PcsNum p = carry_reduce(x, group);
+    EXPECT_EQ(p.to_binary(), x.to_binary()) << x.to_digit_string();
+  }
+}
+
+TEST(Pcs, CarryReducePaperWidths) {
+  // Sec. III-E: the 385b full-CS adder output reduces to PCS with one carry
+  // per 11-bit group.
+  Rng rng(41);
+  for (int i = 0; i < 500; ++i) {
+    CsNum x(385, rng.next_wide_bits<7>(385), rng.next_wide_bits<7>(385));
+    PcsNum p = carry_reduce(x, 11);
+    EXPECT_EQ(p.to_binary(), x.to_binary());
+    EXPECT_EQ(p.num_carry_positions(), 35);  // the paper's "35b of carries"
+    // Carries sit only at multiples of 11 (and never at position 0 after a
+    // reduction — no group feeds it).
+    for (int b = 0; b < 385; ++b) {
+      if (p.carries().bit(b)) {
+        EXPECT_EQ(b % 11, 0) << b;
+      }
+    }
+    EXPECT_FALSE(p.carries().bit(0));
+  }
+}
+
+TEST(Pcs, CarryReduceAlternativeSpacings) {
+  // The carry spacing alternatives of Sec. III-E: every 5th, 11th or 55th
+  // bit divide the 55b block evenly.
+  Rng rng(42);
+  for (int group : {5, 11, 55}) {
+    EXPECT_EQ(55 % group, 0);
+    for (int i = 0; i < 300; ++i) {
+      CsNum x(385, rng.next_wide_bits<7>(385), rng.next_wide_bits<7>(385));
+      EXPECT_EQ(carry_reduce(x, group).to_binary(), x.to_binary());
+    }
+  }
+}
+
+TEST(Pcs, ConstructorEnforcesGrid) {
+  // A carry bit off the group grid is rejected.
+  EXPECT_THROW(PcsNum(22, 11, CsWord(), CsWord::bit_at(5)), CheckError);
+  // On-grid carries (positions 0 and 11) are fine.
+  PcsNum ok(22, 11, CsWord(), CsWord::bit_at(11) | CsWord::bit_at(0));
+  EXPECT_EQ(ok.to_binary().lo64(), (1ull << 11) | 1ull);
+}
+
+TEST(Pcs, ExtractDigitsGroupAligned) {
+  Rng rng(43);
+  for (int i = 0; i < 2000; ++i) {
+    CsNum x(110, rng.next_wide_bits<7>(110), rng.next_wide_bits<7>(110));
+    PcsNum p = carry_reduce(x, 11);
+    // Extract the upper 55-digit block (the result-mux granularity).
+    PcsNum hi = p.extract_digits(55, 55);
+    EXPECT_EQ(hi.width(), 55);
+    EXPECT_EQ(hi.to_binary(), p.sum().extract(55, 55) +
+                                  p.carries().extract(55, 55));
+    EXPECT_THROW(p.extract_digits(7, 11), CheckError);  // off-grid
+  }
+}
+
+TEST(Pcs, OperandFormatWidths) {
+  // The 192b PCS-FMA operand of Sec. III-F: 110b sum + 10 carries for the
+  // mantissa, 55b + 5 carries of rounding data, 12b exponent.
+  PcsNum mant = PcsNum::zero(110, 11);
+  PcsNum round = PcsNum::zero(55, 11);
+  EXPECT_EQ(mant.num_carry_positions(), 10);
+  EXPECT_EQ(round.num_carry_positions(), 5);
+  EXPECT_EQ(110 + 10 + 55 + 5 + 12, 192);
+}
+
+TEST(Pcs, AssimilateMatchesBinary) {
+  Rng rng(44);
+  for (int i = 0; i < 2000; ++i) {
+    CsNum x(55, rng.next_wide_bits<7>(55), rng.next_wide_bits<7>(55));
+    PcsNum p = carry_reduce(x, 11);
+    EXPECT_EQ(pcs_assimilate(p), x.to_binary());
+  }
+}
+
+}  // namespace
+}  // namespace csfma

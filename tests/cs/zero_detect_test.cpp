@@ -1,0 +1,139 @@
+// Soundness of the block zero detector.  The ZD must NEVER skip a block
+// whose removal changes the signed value — the FMA accuracy guarantee
+// (Sec. III-F) rests on it.  We verify the Fig 10 rules exhaustively on
+// small windows and randomly at datapath widths.
+#include "cs/zero_detect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace csfma {
+namespace {
+
+TEST(ZeroDetect, ClassifyPatterns) {
+  // Fig 10's example blocks.
+  auto mk = [](std::initializer_list<int> digits) {
+    CsWord s, c;
+    int i = (int)digits.size() - 1;
+    int pos = 0;
+    (void)i;
+    int n = (int)digits.size();
+    for (auto it = std::rbegin(digits); it != std::rend(digits); ++it, ++pos) {
+      if (*it >= 1) s.set_bit(pos, true);
+      if (*it == 2) c.set_bit(pos, true);
+    }
+    return CsNum(n, s, c);
+  };
+  EXPECT_EQ(classify_block(mk({0, 0, 0, 0, 0, 0, 0})), BlockPattern::AllZero);
+  EXPECT_EQ(classify_block(mk({1, 1, 1, 1, 1, 1, 1})), BlockPattern::AllOnes);
+  EXPECT_EQ(classify_block(mk({1, 1, 1, 1, 2, 0, 0})), BlockPattern::OnesTwoZeros);
+  EXPECT_EQ(classify_block(mk({2, 0, 0, 0, 0, 0, 0})), BlockPattern::OnesTwoZeros);
+  EXPECT_EQ(classify_block(mk({1, 1, 1, 1, 1, 1, 2})), BlockPattern::OnesTwoZeros);
+  EXPECT_EQ(classify_block(mk({1, 1, 2, 2, 0, 0, 0})), BlockPattern::Other);
+  EXPECT_EQ(classify_block(mk({0, 1, 0, 0, 0, 0, 0})), BlockPattern::Other);
+  EXPECT_EQ(classify_block(mk({1, 1, 1, 0, 2, 0, 0})), BlockPattern::Other);
+}
+
+TEST(ZeroDetect, Fig10dOverflowHazardIsNotSkipped) {
+  // Fig 10.d: "0000000|012..." — removing the all-0 block would flip the
+  // sign of the remaining window (012cs = 100b).
+  CsWord s, c;
+  // 6-digit window, 3-digit blocks: digits (MSB..LSB) 0 0 0 | 0 1 2.
+  s.set_bit(1, true);               // digit 1 = 1
+  s.set_bit(0, true); c.set_bit(0, true);  // digit 0 = 2
+  CsNum x(6, s, c);
+  EXPECT_EQ(count_skippable_blocks(x, 3, 1), 0);
+  EXPECT_FALSE(skip_preserves_value(x, 3, 1));
+}
+
+TEST(ZeroDetect, SkipsPlainLeadingZeros) {
+  // 0 0 0 | 0 0 1 — safely skippable.
+  CsWord s;
+  s.set_bit(0, true);
+  CsNum x(6, s, CsWord());
+  EXPECT_EQ(count_skippable_blocks(x, 3, 1), 1);
+  EXPECT_TRUE(skip_preserves_value(x, 3, 1));
+}
+
+TEST(ZeroDetect, SkipsSignExtensionBlocks) {
+  // 1 1 1 | 1 0 1 (value -3 in 6 bits) — the leading all-1 block is
+  // redundant sign extension.
+  CsWord s = CsWord::mask(6) ^ CsWord::bit_at(1);
+  CsNum x(6, s, CsWord());
+  EXPECT_EQ(x.signed_value().sext(6), (-CsWord(3ull)));
+  EXPECT_EQ(count_skippable_blocks(x, 3, 1), 1);
+  EXPECT_TRUE(skip_preserves_value(x, 3, 1));
+}
+
+/// Exhaustive soundness: for every CS number of `w` digits, whatever the ZD
+/// skips must preserve the signed value.
+void exhaustive_soundness(int w, int block) {
+  const int blocks = w / block;
+  for (std::uint64_t s = 0; s < (1ull << w); ++s) {
+    for (std::uint64_t c = 0; c < (1ull << w); ++c) {
+      CsNum x(w, CsWord(s), CsWord(c));
+      int k = count_skippable_blocks(x, block, blocks - 1);
+      ASSERT_TRUE(skip_preserves_value(x, block, k))
+          << x.to_digit_string() << " skipped " << k;
+      // Also every intermediate skip count must be sound (iterative rule).
+      for (int j = 1; j <= k; ++j)
+        ASSERT_TRUE(skip_preserves_value(x, block, j)) << x.to_digit_string();
+    }
+  }
+}
+
+TEST(ZeroDetect, ExhaustiveSoundnessW6B3) { exhaustive_soundness(6, 3); }
+TEST(ZeroDetect, ExhaustiveSoundnessW8B2) { exhaustive_soundness(8, 2); }
+TEST(ZeroDetect, ExhaustiveSoundnessW9B3) { exhaustive_soundness(9, 3); }
+TEST(ZeroDetect, ExhaustiveSoundnessW8B4) { exhaustive_soundness(8, 4); }
+
+TEST(ZeroDetect, RandomSoundnessDatapathWidths) {
+  // The PCS-FMA geometry: 385b window, 55-digit blocks (Sec. III-D/F).
+  Rng rng(50);
+  for (int i = 0; i < 20000; ++i) {
+    CsNum x(385, rng.next_wide_bits<7>(385), rng.next_wide_bits<7>(385));
+    int k = count_skippable_blocks(x, 55, 5);
+    ASSERT_TRUE(skip_preserves_value(x, 55, k)) << x.to_digit_string();
+  }
+}
+
+TEST(ZeroDetect, RandomSoundnessSparseTopBits) {
+  // Random values biased toward long leading runs (the interesting region):
+  // shift magnitudes down so upper blocks are mostly sign extension.
+  Rng rng(51);
+  for (int i = 0; i < 50000; ++i) {
+    int w = 20;
+    int sh = (int)rng.next_below(18);
+    CsWord s = rng.next_wide_bits<7>(w) >> sh;
+    CsWord c = rng.next_wide_bits<7>(w) >> sh;
+    if (rng.next_bool()) s = (~s).truncated(w);  // negative-leaning values
+    CsNum x(w, s, c);
+    for (int block : {2, 4, 5}) {
+      int k = count_skippable_blocks(x, block, w / block - 1);
+      ASSERT_TRUE(skip_preserves_value(x, block, k))
+          << x.to_digit_string() << " block " << block << " k " << k;
+    }
+  }
+}
+
+TEST(ZeroDetect, EffectivenessOnNormalizedInputs) {
+  // The ZD must actually skip blocks when values are small: place a small
+  // positive value in the low block and expect all leading blocks skipped.
+  Rng rng(52);
+  for (int i = 0; i < 2000; ++i) {
+    CsWord small = rng.next_wide_bits<7>(40);  // clear top two digits of blk
+    CsNum x(385, small, CsWord());
+    int k = count_skippable_blocks(x, 55, 5);
+    EXPECT_EQ(k, 5) << "plain small positive values must skip fully";
+  }
+}
+
+TEST(ZeroDetect, AlwaysLeavesOneBlock) {
+  CsNum zero = CsNum::zero(110);
+  EXPECT_EQ(count_skippable_blocks(zero, 55, 1), 1);
+  EXPECT_THROW(count_skippable_blocks(zero, 55, 2), CheckError);
+}
+
+}  // namespace
+}  // namespace csfma

@@ -1,0 +1,65 @@
+#include "fma/classic_fma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace csfma {
+namespace {
+
+TEST(ClassicFma, MatchesCorrectlyRoundedReference) {
+  Rng rng(100);
+  ClassicFma unit;
+  for (int i = 0; i < 30000; ++i) {
+    double ad = rng.next_fp_in_exp_range(-100, 100);
+    double bd = rng.next_fp_in_exp_range(-100, 100);
+    double cd = rng.next_fp_in_exp_range(-100, 100);
+    PFloat a = PFloat::from_double(kBinary64, ad);
+    PFloat b = PFloat::from_double(kBinary64, bd);
+    PFloat c = PFloat::from_double(kBinary64, cd);
+    double ref = std::fma(bd, cd, ad);
+    if (!std::isnormal(ref) && ref != 0.0) continue;
+    ASSERT_EQ(unit.fma(a, b, c).to_double(), ref);
+  }
+}
+
+TEST(ClassicFma, SpecialValues) {
+  ClassicFma unit;
+  const PFloat one = PFloat::from_double(kBinary64, 1.0);
+  const PFloat pinf = PFloat::inf(kBinary64, false);
+  EXPECT_TRUE(unit.fma(pinf.negated(), one, pinf).is_nan());
+  EXPECT_TRUE(unit.fma(one, pinf, PFloat::zero(kBinary64, false)).is_nan());
+  EXPECT_TRUE(unit.fma(pinf, one, one).is_inf());
+}
+
+TEST(ClassicFma, ActivityProbesFire) {
+  ActivityRecorder rec;
+  ClassicFma unit(&rec);
+  Rng rng(101);
+  for (int i = 0; i < 100; ++i) {
+    PFloat a = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-4, 4));
+    PFloat b = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-4, 4));
+    PFloat c = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-4, 4));
+    unit.fma(a, b, c);
+  }
+  EXPECT_GT(rec.probe("mul.sum").toggles(), 0u);
+  EXPECT_GT(rec.probe("add.sum").toggles(), 0u);
+  EXPECT_GT(rec.probe("norm").toggles(), 0u);
+}
+
+TEST(ClassicFma, NormalizationShiftTracksCancellation) {
+  ClassicFma unit;
+  PFloat one = PFloat::from_double(kBinary64, 1.0);
+  // Balanced: shift small.
+  unit.fma(one, one, one);
+  int balanced = unit.last_norm_shift();
+  // Cancelling: 1*1 - 1 leaves a long sign run.
+  unit.fma(one.negated(), one, one);
+  int cancelling = unit.last_norm_shift();
+  EXPECT_GT(cancelling, balanced);
+}
+
+}  // namespace
+}  // namespace csfma

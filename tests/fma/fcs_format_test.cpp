@@ -1,0 +1,93 @@
+#include "fma/fcs_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace csfma {
+namespace {
+
+TEST(FcsFormat, GeometryMatchesPaper) {
+  // Sec. III-H: 87c mantissa in three 29c blocks (reduced from 116b for
+  // routability), 29c rounding data, 12b exponent; the adder window is 13
+  // blocks and the result mux has 11 positions.
+  EXPECT_EQ(FcsGeometry::kMantDigits, 87);
+  EXPECT_EQ(FcsGeometry::kMantDigits / FcsGeometry::kBlock, 3);
+  EXPECT_EQ(FcsGeometry::kTailDigits, 29);
+  EXPECT_EQ(FcsGeometry::kAdderWidth, 13 * 29);
+  EXPECT_EQ(FcsGeometry::kProductWidth / FcsGeometry::kBlock, 5);
+  EXPECT_EQ(FcsGeometry::kAdderWidth / FcsGeometry::kBlock - 2, 11);
+  // Worst case per Sec. III-H: 25c of block two + 29c of block three = 54c
+  // significant digits, exceeding binary64's 53.
+  EXPECT_GE(FcsGeometry::kBlock - FcsGeometry::kLzaMargin - 1 +
+                FcsGeometry::kBlock,
+            54);
+}
+
+TEST(FcsFormat, IeeeRoundTripExact) {
+  Rng rng(75);
+  for (int i = 0; i < 20000; ++i) {
+    double d = rng.next_fp_in_exp_range(-900, 900);
+    PFloat x = PFloat::from_double(kBinary64, d);
+    FcsOperand f = ieee_to_fcs(x);
+    PFloat back = fcs_to_ieee(f, kBinary64, Round::NearestEven);
+    EXPECT_EQ(back.to_double(), d);
+    EXPECT_DOUBLE_EQ(PFloat::ulp_error(f.exact_value(), x, 52), 0.0);
+  }
+}
+
+TEST(FcsFormat, SignificandPlacement) {
+  FcsOperand f = ieee_to_fcs(PFloat::from_double(kBinary64, 1.0));
+  EXPECT_TRUE(f.mant().sum().bit(82));
+  EXPECT_EQ(f.mant().to_binary().bit_width(), 83);
+  // Digits 83..86 (sign + 3-digit LZA margin) stay clear on entry.
+  for (int dgt = 83; dgt < 87; ++dgt) EXPECT_EQ(f.mant().digit(dgt), 0);
+}
+
+TEST(FcsFormat, BothPlanesAreLive) {
+  // Unlike the PCS operand, every digit may carry a CS carry bit: a
+  // redundant encoding must round-trip through the value semantics.
+  CsWord s = CsWord(0x5ull) << 80, c = CsWord(0x3ull) << 80;
+  CsNum mant(87, s, c);
+  FcsOperand f(mant, CsNum::zero(29), 0, FpClass::Normal, false);
+  EXPECT_EQ(f.mant().to_binary(), (s + c).truncated(87));
+}
+
+TEST(FcsFormat, DigitZeroDetection) {
+  // mant_digits_all_zero is the reliable all-0 check of Sec. III-G: it
+  // must be digit-level (redundant zeros do NOT count).
+  FcsOperand z(CsNum::zero(87), CsNum::zero(29), 0, FpClass::Normal, false);
+  EXPECT_TRUE(z.mant_digits_all_zero());
+  // 1...1 + 1 wraps to value zero but digits are not zero.
+  CsNum redundant(87, CsWord::mask(87), CsWord(1ull));
+  EXPECT_TRUE(redundant.is_value_zero());
+  FcsOperand r(redundant, CsNum::zero(29), 0, FpClass::Normal, false);
+  EXPECT_FALSE(r.mant_digits_all_zero());
+}
+
+TEST(FcsFormat, RoundIncrementTies) {
+  auto with_tail = [](bool negative, CsWord tsum, CsWord tcarry) {
+    CsNum mant = CsNum::from_signed(87, negative, CsWord(1ull) << 82);
+    return FcsOperand(mant, CsNum(29, tsum.truncated(29), tcarry.truncated(29)),
+                      0, FpClass::Normal, negative);
+  };
+  const CsWord half = CsWord::bit_at(28);
+  EXPECT_EQ(with_tail(false, half - CsWord(1ull), CsWord()).round_increment(), 0);
+  EXPECT_EQ(with_tail(false, half, CsWord()).round_increment(), 1);
+  EXPECT_EQ(with_tail(true, half, CsWord()).round_increment(), 0);
+  // Carry-plane bits participate in the decision at digit value level.
+  EXPECT_EQ(with_tail(false, half - CsWord(1ull), CsWord(1ull)).round_increment(),
+            1);
+}
+
+TEST(FcsFormat, SpecialsRoundTrip) {
+  EXPECT_TRUE(fcs_to_ieee(ieee_to_fcs(PFloat::nan(kBinary64)), kBinary64,
+                          Round::NearestEven)
+                  .is_nan());
+  PFloat ninf = PFloat::inf(kBinary64, true);
+  EXPECT_TRUE(PFloat::same_value(
+      fcs_to_ieee(ieee_to_fcs(ninf), kBinary64, Round::NearestEven), ninf));
+}
+
+}  // namespace
+}  // namespace csfma

@@ -1,0 +1,165 @@
+// Chained-FMA accuracy on the paper's Sec. IV-B recurrence:
+//   x[n] = B1*x[n-1] + B2*x[n-2] + x[n-3],  1 < |B1| < 32, 0 < |B2| < 1,
+// evaluated to x[50] through pairs of chained units with deferred rounding,
+// against the 75b CoreGen-style golden reference (Fig 14's methodology).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.hpp"
+#include "fma/discrete.hpp"
+#include "fma/fcs_fma.hpp"
+#include "fma/pcs_fma.hpp"
+
+namespace csfma {
+namespace {
+
+struct RecurrenceInputs {
+  double b1, b2;
+  std::array<double, 3> x0;
+};
+
+RecurrenceInputs random_inputs(Rng& rng) {
+  RecurrenceInputs in;
+  in.b1 = rng.next_double(1.0, 32.0) * (rng.next_bool() ? 1 : -1);
+  in.b2 = rng.next_double(0.0, 1.0);
+  if (in.b2 == 0.0) in.b2 = 0.5;
+  if (rng.next_bool()) in.b2 = -in.b2;
+  for (auto& x : in.x0) x = rng.next_double(-1.0, 1.0);
+  return in;
+}
+
+/// Reference recurrence at an arbitrary working format.
+PFloat reference(const RecurrenceInputs& in, const FloatFormat& fmt, int n) {
+  PFloat b1 = PFloat::from_double(fmt, in.b1);
+  PFloat b2 = PFloat::from_double(fmt, in.b2);
+  PFloat x3 = PFloat::from_double(fmt, in.x0[0]);
+  PFloat x2 = PFloat::from_double(fmt, in.x0[1]);
+  PFloat x1 = PFloat::from_double(fmt, in.x0[2]);
+  for (int i = 3; i <= n; ++i) {
+    // Discrete operators: each multiply and add rounds (CoreGen model).
+    PFloat t = PFloat::add(PFloat::mul(b2, x2, fmt, Round::NearestEven), x3,
+                           fmt, Round::NearestEven);
+    PFloat x = PFloat::add(PFloat::mul(b1, x1, fmt, Round::NearestEven), t,
+                           fmt, Round::NearestEven);
+    x3 = x2;
+    x2 = x1;
+    x1 = x;
+  }
+  return x1;
+}
+
+/// The PCS chain: both FMAs keep the value in PCS format end to end; only
+/// the final readout converts (rounding once).
+PFloat pcs_chain(const RecurrenceInputs& in, int n) {
+  PcsFma unit;
+  PFloat b1 = PFloat::from_double(kBinary64, in.b1);
+  PFloat b2 = PFloat::from_double(kBinary64, in.b2);
+  PcsOperand x3 = ieee_to_pcs(PFloat::from_double(kBinary64, in.x0[0]));
+  PcsOperand x2 = ieee_to_pcs(PFloat::from_double(kBinary64, in.x0[1]));
+  PcsOperand x1 = ieee_to_pcs(PFloat::from_double(kBinary64, in.x0[2]));
+  for (int i = 3; i <= n; ++i) {
+    PcsOperand t = unit.fma(x3, b2, x2);
+    PcsOperand x = unit.fma(t, b1, x1);
+    x3 = x2;
+    x2 = x1;
+    x1 = x;
+  }
+  return pcs_to_ieee(x1, kBinary64, Round::HalfAwayFromZero);
+}
+
+PFloat fcs_chain(const RecurrenceInputs& in, int n) {
+  FcsFma unit;
+  PFloat b1 = PFloat::from_double(kBinary64, in.b1);
+  PFloat b2 = PFloat::from_double(kBinary64, in.b2);
+  FcsOperand x3 = ieee_to_fcs(PFloat::from_double(kBinary64, in.x0[0]));
+  FcsOperand x2 = ieee_to_fcs(PFloat::from_double(kBinary64, in.x0[1]));
+  FcsOperand x1 = ieee_to_fcs(PFloat::from_double(kBinary64, in.x0[2]));
+  for (int i = 3; i <= n; ++i) {
+    FcsOperand t = unit.fma(x3, b2, x2);
+    FcsOperand x = unit.fma(t, b1, x1);
+    x3 = x2;
+    x2 = x1;
+    x1 = x;
+  }
+  return fcs_to_ieee(x1, kBinary64, Round::HalfAwayFromZero);
+}
+
+TEST(FmaChain, PcsChainStaysNearGolden) {
+  Rng rng(110);
+  for (int run = 0; run < 20; ++run) {
+    RecurrenceInputs in = random_inputs(rng);
+    PFloat golden = reference(in, kBinary75, 50);
+    double err = PFloat::ulp_error(pcs_chain(in, 50), golden, 52);
+    // ~96 chained operations with deferred rounding: stays within a few
+    // double-precision ulps of the 75b golden.
+    EXPECT_LE(err, 16.0) << "run " << run << " err " << err;
+  }
+}
+
+TEST(FmaChain, FcsChainStaysNearGolden) {
+  Rng rng(111);
+  for (int run = 0; run < 20; ++run) {
+    RecurrenceInputs in = random_inputs(rng);
+    PFloat golden = reference(in, kBinary75, 50);
+    double err = PFloat::ulp_error(fcs_chain(in, 50), golden, 52);
+    EXPECT_LE(err, 16.0) << "run " << run << " err " << err;
+  }
+}
+
+TEST(FmaChain, CsChainsBeat64bOnAverage) {
+  // Fig 14's claim: both CS-FMA chains clearly outperform standard double
+  // precision in average accuracy over 20 computations.
+  Rng rng(112);
+  double e64 = 0, e_pcs = 0, e_fcs = 0;
+  const int runs = 20;
+  for (int run = 0; run < runs; ++run) {
+    RecurrenceInputs in = random_inputs(rng);
+    PFloat golden = reference(in, kBinary75, 50);
+    e64 += PFloat::ulp_error(reference(in, kBinary64, 50), golden, 52);
+    e_pcs += PFloat::ulp_error(pcs_chain(in, 50), golden, 52);
+    e_fcs += PFloat::ulp_error(fcs_chain(in, 50), golden, 52);
+  }
+  EXPECT_LT(e_pcs, e64);
+  EXPECT_LT(e_fcs, e64);
+}
+
+TEST(FmaChain, Binary68BeatsBinary64) {
+  // Internal consistency of the Fig 14 reference ladder.
+  Rng rng(113);
+  double e64 = 0, e68 = 0;
+  for (int run = 0; run < 20; ++run) {
+    RecurrenceInputs in = random_inputs(rng);
+    PFloat golden = reference(in, kBinary75, 50);
+    e64 += PFloat::ulp_error(reference(in, kBinary64, 50), golden, 52);
+    e68 += PFloat::ulp_error(reference(in, kBinary68, 50), golden, 52);
+  }
+  EXPECT_LT(e68, e64);
+}
+
+TEST(FmaChain, DiscreteUnitMatchesReference) {
+  // The DiscreteMulAdd wrapper computes the same values as the reference
+  // recurrence in binary64.
+  Rng rng(114);
+  DiscreteMulAdd coregen;
+  for (int run = 0; run < 10; ++run) {
+    RecurrenceInputs in = random_inputs(rng);
+    PFloat b1 = PFloat::from_double(kBinary64, in.b1);
+    PFloat b2 = PFloat::from_double(kBinary64, in.b2);
+    PFloat x3 = PFloat::from_double(kBinary64, in.x0[0]);
+    PFloat x2 = PFloat::from_double(kBinary64, in.x0[1]);
+    PFloat x1 = PFloat::from_double(kBinary64, in.x0[2]);
+    for (int i = 3; i <= 50; ++i) {
+      PFloat t = coregen.mul_add(x3, b2, x2);
+      PFloat x = coregen.mul_add(t, b1, x1);
+      x3 = x2;
+      x2 = x1;
+      x1 = x;
+    }
+    PFloat want = reference(in, kBinary64, 50);
+    EXPECT_TRUE(PFloat::same_value(x1, want));
+  }
+}
+
+}  // namespace
+}  // namespace csfma

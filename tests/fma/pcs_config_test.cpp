@@ -1,0 +1,145 @@
+// The configurable-geometry PCS-FMA (the paper's Sec. V future work).
+#include "fma/pcs_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fma/pcs_fma.hpp"
+
+namespace csfma {
+namespace {
+PcsConfig kPcs56g28() { return PcsConfig{56, 28}; }
+}  // namespace
+}  // namespace csfma
+
+namespace csfma {
+namespace {
+
+TEST(PcsConfig, PaperGeometryDerivesTheFixedConstants) {
+  const PcsConfig& c = kPaperPcs;
+  EXPECT_EQ(c.mant_digits(), 110);
+  EXPECT_EQ(c.tail_digits(), 55);
+  EXPECT_EQ(c.product_width(), 163);
+  EXPECT_EQ(c.adder_width(), 385);
+  EXPECT_EQ(c.sig_msb_digit(), 107);
+  EXPECT_EQ(c.frac_bits(), 162);
+  EXPECT_EQ(c.mant_carries(), 10);
+  EXPECT_EQ(c.operand_bits(), 192);
+}
+
+TEST(PcsConfig, Sec5CandidateGeometries) {
+  // 56b blocks admit the 8- and 14-bit carry spacings Sec. V suggests.
+  for (const PcsConfig& c : {kPcs56g8, kPcs56g14}) {
+    EXPECT_NO_THROW(c.validate());
+    EXPECT_EQ(c.mant_digits(), 112);
+    EXPECT_GE(c.guaranteed_digits(), 53);  // still exceeds double
+  }
+  EXPECT_EQ(kPcs56g8.mant_carries(), 14);
+  EXPECT_EQ(kPcs56g14.mant_carries(), 8);
+}
+
+TEST(PcsConfig, InvalidGeometriesRejected) {
+  EXPECT_THROW((PcsConfig{55, 7}).validate(), CheckError);   // 7 !| 55
+  EXPECT_THROW((PcsConfig{70, 10}).validate(), CheckError);  // window overflow
+  EXPECT_THROW((PcsConfig{4, 2}).validate(), CheckError);    // too small
+}
+
+TEST(PcsConfig, PaperGeometryMatchesFixedUnitExactly) {
+  // GenPcsFma at (55, 11) must be bit-identical to the hand-written unit.
+  Rng rng(200);
+  GenPcsFma gen(kPaperPcs);
+  PcsFma fixed;
+  for (int i = 0; i < 20000; ++i) {
+    PFloat a = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-60, 60));
+    PFloat b = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-60, 60));
+    PFloat c = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-60, 60));
+    PFloat rg = gen.fma_ieee(a, b, c, Round::HalfAwayFromZero);
+    PFloat rf = fixed.fma_ieee(a, b, c, Round::HalfAwayFromZero);
+    ASSERT_TRUE(PFloat::same_value(rg, rf))
+        << a.to_string() << " " << b.to_string() << " " << c.to_string();
+  }
+}
+
+TEST(PcsConfig, Block56IsCorrectlyRounded) {
+  Rng rng(201);
+  for (const PcsConfig& cfg : {kPcs56g8, kPcs56g14}) {
+    GenPcsFma unit(cfg);
+    for (int i = 0; i < 10000; ++i) {
+      PFloat a = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-40, 40));
+      PFloat b = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-40, 40));
+      PFloat c = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-40, 40));
+      PFloat got = unit.fma_ieee(a, b, c, Round::HalfAwayFromZero);
+      PFloat ref = PFloat::fma(b, c, a, kBinary64, Round::HalfAwayFromZero);
+      ASSERT_TRUE(PFloat::same_value(got, ref)) << i;
+    }
+  }
+}
+
+TEST(PcsConfig, SmallBlocksLoseAccuracyGracefully) {
+  // A 22b-block geometry holds only ~41 significand bits: results are
+  // still within its own guarantee, far off binary64.
+  Rng rng(202);
+  GenPcsFma unit(PcsConfig{22, 11});
+  double mean = 0;
+  int counted = 0;
+  for (int i = 0; i < 5000; ++i) {
+    PFloat a = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-10, 10));
+    PFloat b = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-10, 10));
+    PFloat c = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-10, 10));
+    PFloat got = unit.fma_ieee(a, b, c, Round::HalfAwayFromZero);
+    PFloat ref = PFloat::fma(b, c, a, kBinary64, Round::HalfAwayFromZero);
+    if (!ref.is_normal()) continue;
+    mean += PFloat::ulp_error(got, ref, 52);
+    ++counted;
+  }
+  mean /= counted;
+  // The geometry guarantees ~41 significant digits: mean error near one
+  // ulp of ITS precision, i.e. ~2^(52-41) binary64 ulps (cancellation can
+  // push individual cases higher).
+  EXPECT_GT(mean, 64.0);
+  EXPECT_LT(mean, 65536.0);
+}
+
+TEST(PcsConfig, WideGeometriesAreExactAtBinary64) {
+  Rng rng(204);
+  for (PcsConfig cfg : {PcsConfig{33, 11}, PcsConfig{44, 4}, kPcs56g28()}) {
+    GenPcsFma unit(cfg);
+    for (int i = 0; i < 5000; ++i) {
+      PFloat a = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-30, 30));
+      PFloat b = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-30, 30));
+      PFloat c = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-30, 30));
+      PFloat got = unit.fma_ieee(a, b, c, Round::HalfAwayFromZero);
+      PFloat ref = PFloat::fma(b, c, a, kBinary64, Round::HalfAwayFromZero);
+      ASSERT_TRUE(PFloat::same_value(got, ref)) << cfg.block << "/" << cfg.group;
+    }
+  }
+}
+
+TEST(PcsConfig, ChainsWorkAcrossGeometries) {
+  Rng rng(203);
+  for (PcsConfig cfg : {PcsConfig{44, 11}, kPaperPcs, kPcs56g8}) {
+    GenPcsFma unit(cfg);
+    PFloat b1 = PFloat::from_double(kBinary64, 1.5);
+    GenPcsOperand acc = ieee_to_genpcs(cfg, PFloat::from_double(kBinary64, 1.0));
+    // acc = 1 + 1.5*acc five times: exact in every geometry >= 30 digits.
+    for (int i = 0; i < 5; ++i) {
+      acc = unit.fma(ieee_to_genpcs(cfg, PFloat::from_double(kBinary64, 1.0)),
+                     b1, acc);
+    }
+    double expect = 1.0;
+    for (int i = 0; i < 5; ++i) expect = 1.0 + 1.5 * expect;
+    EXPECT_EQ(genpcs_to_ieee(acc, kBinary64, Round::HalfAwayFromZero).to_double(),
+              expect)
+        << cfg.block << "/" << cfg.group;
+  }
+}
+
+TEST(PcsConfig, OperandBitsScaleWithGeometry) {
+  // The Sec. V trade-off: denser carries widen the operand.
+  EXPECT_LT(PcsConfig({55, 55}).operand_bits(), kPaperPcs.operand_bits());
+  EXPECT_GT(PcsConfig({55, 5}).operand_bits(), kPaperPcs.operand_bits());
+  EXPECT_GT(kPcs56g8.operand_bits(), kPcs56g14.operand_bits());
+}
+
+}  // namespace
+}  // namespace csfma

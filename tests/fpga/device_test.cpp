@@ -1,0 +1,56 @@
+#include "fpga/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csfma {
+namespace {
+
+TEST(Device, AdderModelReproducesPaperDatapoints) {
+  // The three Virtex-6 (-1) post-layout numbers the paper publishes are the
+  // calibration anchors (Sec. III-D/E) — the model must hit them exactly.
+  Device v6 = virtex6();
+  EXPECT_NEAR(v6.adder_delay_ns(5), 1.650, 1e-9);
+  EXPECT_NEAR(v6.adder_delay_ns(11), 1.742, 1e-9);
+  EXPECT_NEAR(v6.adder_delay_ns(385), 8.95, 1e-9);
+}
+
+TEST(Device, PaperCarrySpacingChoice) {
+  // Sec. III-E: "the delay difference between a 5b and an 11b adder is so
+  // small ... that we can choose the more area efficient 11b distribution".
+  Device v6 = virtex6();
+  EXPECT_LT(v6.adder_delay_ns(11) - v6.adder_delay_ns(5), 0.1);
+  // And a 55b group adder would be noticeably slower.
+  EXPECT_GT(v6.adder_delay_ns(55) - v6.adder_delay_ns(11), 0.5);
+}
+
+TEST(Device, AdderDelayMonotoneInWidth) {
+  Device v6 = virtex6();
+  double prev = 0;
+  for (int n = 1; n <= 512; ++n) {
+    double d = v6.adder_delay_ns(n);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Device, FamilyOrdering) {
+  // v7 faster than v6 faster than v5, and only v5 lacks the pre-adder.
+  Device v5 = virtex5(), v6 = virtex6(), v7 = virtex7();
+  EXPECT_GT(v5.adder_delay_ns(100), v6.adder_delay_ns(100));
+  EXPECT_GT(v6.adder_delay_ns(100), v7.adder_delay_ns(100));
+  EXPECT_FALSE(v5.has_preadder);
+  EXPECT_TRUE(v6.has_preadder);
+  EXPECT_TRUE(v7.has_preadder);
+}
+
+TEST(Device, WideAdderTooSlowFor200MHz) {
+  // Sec. III-D's motivation for carry save: a single 385b adder cannot run
+  // at 200 MHz (5 ns) — "about 8.95ns, which is far too slow".
+  Device v6 = virtex6();
+  EXPECT_GT(v6.adder_delay_ns(385), 5.0);
+  // While the 11b group adder of the PCS form easily fits.
+  EXPECT_LT(v6.adder_delay_ns(11), 5.0);
+}
+
+}  // namespace
+}  // namespace csfma

@@ -1,0 +1,73 @@
+#include "fpga/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csfma {
+namespace {
+
+TEST(Pipeline, SingleSmallComponentIsOneStage) {
+  std::vector<Component> chain = {Component::atomic("a", 2.0, {10, 0})};
+  PipelineResult p = pipeline_chain(chain, 5.0, 0.5);
+  EXPECT_EQ(p.cycles, 1);
+  EXPECT_DOUBLE_EQ(p.max_stage_ns, 2.5);
+  EXPECT_NEAR(p.fmax_mhz, 400.0, 1e-9);
+}
+
+TEST(Pipeline, GreedyPacking) {
+  std::vector<Component> chain = {
+      Component::atomic("a", 2.0, {}),
+      Component::atomic("b", 2.0, {}),
+      Component::atomic("c", 2.0, {}),
+  };
+  // Budget 4.5-0.5 = 4.0: stages {a,b}, {c}.
+  PipelineResult p = pipeline_chain(chain, 4.5, 0.5);
+  EXPECT_EQ(p.cycles, 2);
+  EXPECT_DOUBLE_EQ(p.max_stage_ns, 4.5);
+}
+
+TEST(Pipeline, LayeredComponentsSplit) {
+  std::vector<Component> chain = {Component::layered("tree", 8, 1.0, {})};
+  PipelineResult p = pipeline_chain(chain, 4.0, 0.5);
+  // 8 levels, 3 per stage -> 3 stages.
+  EXPECT_EQ(p.cycles, 3);
+  EXPECT_LE(p.max_stage_ns, 4.0);
+}
+
+TEST(Pipeline, OversizedAtomicLimitsFmax) {
+  std::vector<Component> chain = {
+      Component::atomic("small", 1.0, {}),
+      Component::atomic("huge", 6.0, {}),
+      Component::atomic("small2", 1.0, {}),
+  };
+  PipelineResult p = pipeline_chain(chain, 5.0, 0.5);
+  // The 6 ns block cannot be cut: fmax < target.
+  EXPECT_DOUBLE_EQ(p.max_stage_ns, 6.5);
+  EXPECT_LT(p.fmax_mhz, 200.0);
+  EXPECT_EQ(p.cycles, 3);
+}
+
+TEST(Pipeline, ParallelComponentsIgnoredForTiming) {
+  std::vector<Component> chain = {
+      Component::atomic("a", 3.0, {100, 0}),
+      Component::parallel("side", {500, 2}),
+  };
+  PipelineResult p = pipeline_chain(chain, 5.0, 0.5);
+  EXPECT_EQ(p.cycles, 1);
+  Area area = total_area(chain);
+  EXPECT_EQ(area.luts, 600);
+  EXPECT_EQ(area.dsps, 2);
+}
+
+TEST(Pipeline, StageDelaysSumToTotalPlusRegs) {
+  std::vector<Component> chain = {
+      Component::layered("x", 5, 1.3, {}),
+      Component::atomic("y", 2.2, {}),
+  };
+  PipelineResult p = pipeline_chain(chain, 4.0, 0.6);
+  double total = 0;
+  for (double s : p.stage_delays) total += s - 0.6;
+  EXPECT_NEAR(total, 5 * 1.3 + 2.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace csfma

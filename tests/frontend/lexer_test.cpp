@@ -1,0 +1,60 @@
+#include "frontend/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace csfma {
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  auto t = lex_kernel("kernel k { input double a[3]; a[0] = 1.5e-2; }");
+  ASSERT_GE(t.size(), 5u);
+  EXPECT_EQ(t[0].kind, Tok::KwKernel);
+  EXPECT_EQ(t[1].kind, Tok::Ident);
+  EXPECT_EQ(t[1].text, "k");
+  EXPECT_EQ(t[2].kind, Tok::LBrace);
+  EXPECT_EQ(t.back().kind, Tok::End);
+}
+
+TEST(Lexer, Numbers) {
+  auto t = lex_kernel("1 2.5 3e4 0.125e-3 7.");
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_DOUBLE_EQ(t[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(t[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(t[2].number, 3e4);
+  EXPECT_DOUBLE_EQ(t[3].number, 0.125e-3);
+  EXPECT_DOUBLE_EQ(t[4].number, 7.0);
+}
+
+TEST(Lexer, CommentsAndLines) {
+  auto t = lex_kernel("a # comment\nb // other\nc");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0].line, 1);
+  EXPECT_EQ(t[1].line, 2);
+  EXPECT_EQ(t[2].line, 3);
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  auto t = lex_kernel("= + - * / ; ( ) [ ] { }");
+  std::vector<Tok> want = {Tok::Assign, Tok::Plus,     Tok::Minus,
+                           Tok::Star,   Tok::Slash,    Tok::Semicolon,
+                           Tok::LParen, Tok::RParen,   Tok::LBracket,
+                           Tok::RBracket, Tok::LBrace, Tok::RBrace,
+                           Tok::End};
+  ASSERT_EQ(t.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(t[i].kind, want[i]);
+}
+
+TEST(Lexer, RejectsUnknownCharacters) {
+  EXPECT_THROW(lex_kernel("a @ b"), CheckError);
+}
+
+TEST(Lexer, SlashIsDivisionNotComment) {
+  auto t = lex_kernel("a / b");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[1].kind, Tok::Slash);
+}
+
+}  // namespace
+}  // namespace csfma

@@ -1,0 +1,137 @@
+#include "frontend/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "hls/fma_insert.hpp"
+#include "hls/interp.hpp"
+#include "hls/schedule.hpp"
+
+namespace csfma {
+namespace {
+
+const char* kListing1 = R"(
+kernel listing1 {
+  input double a; input double b; input double c; input double d;
+  input double e; input double f; input double g;
+  input double h; input double i; input double k;
+  var double x[4];
+  output double out;
+  # the paper's Listing 1
+  x[1] = a*b + c*d;
+  x[2] = e*f + g*x[1];
+  x[3] = h*i + k*x[2];
+  out = x[3];
+}
+)";
+
+TEST(Parser, Listing1Structure) {
+  KernelInfo k = parse_kernel(kListing1);
+  EXPECT_EQ(k.name, "listing1");
+  EXPECT_EQ(k.statements, 4);
+  EXPECT_EQ(k.graph.count(OpKind::Mul), 6);
+  EXPECT_EQ(k.graph.count(OpKind::Add), 3);
+  EXPECT_EQ(k.graph.count(OpKind::Input), 10);
+  EXPECT_EQ(k.graph.count(OpKind::Output), 1);
+}
+
+TEST(Parser, EvaluatesCorrectly) {
+  KernelInfo k = parse_kernel(kListing1);
+  Evaluator ev(k.graph);
+  Rng rng(150);
+  for (int t = 0; t < 1000; ++t) {
+    std::map<std::string, double> in;
+    for (const char* n : {"a", "b", "c", "d", "e", "f", "g", "h", "i", "k"})
+      in[n] = rng.next_double(-3, 3);
+    double x1 = in["a"] * in["b"] + in["c"] * in["d"];
+    double x2 = in["e"] * in["f"] + in["g"] * x1;
+    double x3 = in["h"] * in["i"] + in["k"] * x2;
+    ASSERT_EQ(ev.run(in).at("out"), x3);
+  }
+}
+
+TEST(Parser, PrecedenceAndParentheses) {
+  KernelInfo k = parse_kernel(R"(
+kernel p {
+  input double a; input double b; input double c;
+  output double o1; output double o2; output double o3;
+  o1 = a + b * c;
+  o2 = (a + b) * c;
+  o3 = -a * b - -c;
+})");
+  Evaluator ev(k.graph);
+  auto out = ev.run({{"a", 2}, {"b", 3}, {"c", 5}});
+  EXPECT_EQ(out.at("o1"), 17.0);
+  EXPECT_EQ(out.at("o2"), 25.0);
+  EXPECT_EQ(out.at("o3"), -1.0);
+}
+
+TEST(Parser, ArrayIndexing) {
+  KernelInfo k = parse_kernel(R"(
+kernel arr {
+  input double v[3];
+  output double s;
+  s = v[0] + v[1] + v[2];
+})");
+  Evaluator ev(k.graph);
+  auto out = ev.run({{"v[0]", 1}, {"v[1]", 2}, {"v[2]", 4}});
+  EXPECT_EQ(out.at("s"), 7.0);
+}
+
+TEST(Parser, ScalarDivisionChain) {
+  KernelInfo k = parse_kernel(R"(
+kernel d {
+  input double a; input double b;
+  output double o;
+  o = a / b / 2.0;
+})");
+  auto out = Evaluator(k.graph).run({{"a", 12}, {"b", 3}});
+  EXPECT_EQ(out.at("o"), 2.0);
+}
+
+TEST(Parser, Errors) {
+  // Read before assignment.
+  EXPECT_THROW(parse_kernel("kernel e { var double t; output double o; o = t; }"),
+               CheckError);
+  // Assign to input.
+  EXPECT_THROW(parse_kernel("kernel e { input double a; output double o; a = 1; o = a; }"),
+               CheckError);
+  // Double assignment.
+  EXPECT_THROW(parse_kernel(
+                   "kernel e { output double o; o = 1; o = 2; }"),
+               CheckError);
+  // Index out of range.
+  EXPECT_THROW(parse_kernel(
+                   "kernel e { input double v[2]; output double o; o = v[2]; }"),
+               CheckError);
+  // Unassigned output.
+  EXPECT_THROW(parse_kernel("kernel e { output double o[2]; o[0] = 1; }"),
+               CheckError);
+  // Undeclared identifier.
+  EXPECT_THROW(parse_kernel("kernel e { output double o; o = zz; }"),
+               CheckError);
+  // Syntax error.
+  EXPECT_THROW(parse_kernel("kernel e { output double o; o = 1 + ; }"),
+               CheckError);
+}
+
+TEST(Parser, ParsedKernelRunsThroughFmaPass) {
+  // End-to-end mini flow: parse -> insert FMAs -> evaluate both versions.
+  KernelInfo k = parse_kernel(kListing1);
+  OperatorLibrary lib = OperatorLibrary::for_device(virtex6());
+  Cdfg fused = k.graph;
+  FmaInsertStats st = insert_fma_units(fused, lib, FmaStyle::Fcs);
+  EXPECT_EQ(st.fma_inserted, 3);
+  Rng rng(151);
+  for (int t = 0; t < 100; ++t) {
+    std::map<std::string, double> in;
+    for (const char* n : {"a", "b", "c", "d", "e", "f", "g", "h", "i", "k"})
+      in[n] = rng.next_double(-3, 3);
+    double vb = Evaluator(k.graph).run(in).at("out");
+    double vf = Evaluator(fused).run(in).at("out");
+    ASSERT_NEAR(vf, vb, std::abs(vb) * 1e-12 + 1e-300);
+  }
+}
+
+}  // namespace
+}  // namespace csfma

@@ -1,0 +1,73 @@
+#include "hls/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace csfma {
+namespace {
+
+TEST(Interp, PlainOpsMatchHostDoubles) {
+  Cdfg g;
+  int a = g.add_input("a");
+  int b = g.add_input("b");
+  int c = g.add_const(2.5);
+  int e = g.add_op(OpKind::Div,
+                   {g.add_op(OpKind::Sub, {g.add_op(OpKind::Mul, {a, b}), c}),
+                    g.add_op(OpKind::Add, {a, b})});
+  g.add_output("o", g.add_op(OpKind::Neg, {e}));
+  Evaluator ev(g);
+  Rng rng(140);
+  for (int t = 0; t < 5000; ++t) {
+    double av = rng.next_double(-7, 7), bv = rng.next_double(-7, 7);
+    double want = -((av * bv - 2.5) / (av + bv));
+    double got = ev.run({{"a", av}, {"b", bv}}).at("o");
+    ASSERT_EQ(got, want);
+  }
+}
+
+TEST(Interp, FmaNodesUseRealUnits) {
+  for (FmaStyle style : {FmaStyle::Pcs, FmaStyle::Fcs}) {
+    Cdfg g;
+    int a = g.add_input("a");
+    int b = g.add_input("b");
+    int c = g.add_input("c");
+    int ca = g.add_op(OpKind::CvtToCs, {a}, style);
+    int cc = g.add_op(OpKind::CvtToCs, {c}, style);
+    int f = g.add_op(OpKind::Fma, {ca, b, cc}, style);
+    g.add_output("o", g.add_op(OpKind::CvtFromCs, {f}, style));
+    Evaluator ev(g);
+    Rng rng(141);
+    for (int t = 0; t < 2000; ++t) {
+      double av = rng.next_double(-7, 7), bv = rng.next_double(-7, 7),
+             cv = rng.next_double(-7, 7);
+      double got = ev.run({{"a", av}, {"b", bv}, {"c", cv}}).at("o");
+      double want = std::fma(bv, cv, av);
+      // Single fused op read out in half-away mode: at most one-ulp-ish
+      // difference from the host's round-to-nearest fma on exact ties.
+      ASSERT_NEAR(got, want, std::abs(want) * 0x1p-50 + 1e-300);
+    }
+  }
+}
+
+TEST(Interp, MissingInputThrows) {
+  Cdfg g;
+  int a = g.add_input("a");
+  g.add_output("o", a);
+  EXPECT_THROW(Evaluator(g).run({}), CheckError);
+}
+
+TEST(Interp, MultipleOutputs) {
+  Cdfg g;
+  int a = g.add_input("a");
+  g.add_output("twice", g.add_op(OpKind::Add, {a, a}));
+  g.add_output("square", g.add_op(OpKind::Mul, {a, a}));
+  auto out = Evaluator(g).run({{"a", 3.0}});
+  EXPECT_EQ(out.at("twice"), 6.0);
+  EXPECT_EQ(out.at("square"), 9.0);
+}
+
+}  // namespace
+}  // namespace csfma

@@ -1,0 +1,93 @@
+#include "solver/ipm.hpp"
+
+#include "solver/ldl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace csfma {
+namespace {
+
+TEST(Ipm, SolvesSmallMpc) {
+  const double x0[4] = {0, 0, 1, 0};
+  const double xref[4] = {8, 3, 0, 0};
+  MpcProblem p = build_mpc(4, x0, xref);
+  IpmResult r = solve_qp(p);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(eq_residual(p, r.z), 1e-5);
+  // The box constraints hold.
+  for (int i = 0; i < p.nz; ++i) {
+    EXPECT_GE(r.z[(size_t)i], p.lb[(size_t)i] - 1e-9);
+    EXPECT_LE(r.z[(size_t)i], p.ub[(size_t)i] + 1e-9);
+  }
+  // It actually moves toward the target.
+  double px_end = r.z[(size_t)(6 * 3 + 2)];
+  EXPECT_GT(px_end, 0.5);
+}
+
+TEST(Ipm, TightBoxActivatesConstraint) {
+  // A very low acceleration limit must be (nearly) saturated early on.
+  const double x0[4] = {0, 0, 0, 0};
+  const double xref[4] = {50, 0, 0, 0};
+  MpcProblem p = build_mpc(6, x0, xref, 0.25, /*accel_limit=*/0.5);
+  IpmResult r = solve_qp(p);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.z[0], 0.5, 0.05);  // first ax near the bound
+}
+
+TEST(Ipm, ObjectiveDecreasesWithLongerHorizon) {
+  // A longer horizon can only do at least as well on the same target.
+  const double x0[4] = {0, 0, 1, 0};
+  const double xref[4] = {4, 2, 0, 0};
+  IpmResult r4 = solve_qp(build_mpc(4, x0, xref));
+  IpmResult r8 = solve_qp(build_mpc(8, x0, xref));
+  EXPECT_TRUE(r4.converged);
+  EXPECT_TRUE(r8.converged);
+  // Terminal position error shrinks with horizon.
+  auto terminal_err = [&](const IpmResult& r, int T) {
+    double dx = r.z[(size_t)(6 * (T - 1) + 2)] - xref[0];
+    double dy = r.z[(size_t)(6 * (T - 1) + 3)] - xref[1];
+    return std::hypot(dx, dy);
+  };
+  EXPECT_LT(terminal_err(r8, 8), terminal_err(r4, 4));
+}
+
+TEST(Ipm, UnconstrainedMatchesKktSolve) {
+  // With huge boxes, a single Newton step from z=0 at tiny mu solves the
+  // equality-constrained QP; the IPM must agree with that solution.
+  const double x0[4] = {0.5, -0.25, 0, 0.5};
+  const double xref[4] = {2, 2, 0, 0};
+  MpcProblem p = build_mpc(3, x0, xref, 0.25, /*accel_limit=*/1e6);
+  IpmResult r = solve_qp(p);
+  EXPECT_TRUE(r.converged);
+  // KKT optimality: Qz + q + A'nu = 0 for some nu  =>  the projection of
+  // the gradient onto the nullspace of A vanishes.  Check via residual of
+  // the normal equations: grad must lie in range(A').
+  std::vector<double> grad((size_t)p.nz);
+  for (int i = 0; i < p.nz; ++i)
+    grad[(size_t)i] = p.q_diag[(size_t)i] * r.z[(size_t)i] + p.q_lin[(size_t)i];
+  // Solve least squares A' nu ~= -grad by brute force (normal equations).
+  Dense ata(p.ne);
+  std::vector<double> atg((size_t)p.ne, 0.0);
+  for (int e = 0; e < p.ne; ++e) {
+    for (int f2 = 0; f2 < p.ne; ++f2) {
+      double s = 0;
+      for (int j = 0; j < p.nz; ++j) s += p.a_eq.at(e, j) * p.a_eq.at(f2, j);
+      ata.at(e, f2) = s;
+    }
+    double s = 0;
+    for (int j = 0; j < p.nz; ++j) s += p.a_eq.at(e, j) * grad[(size_t)j];
+    atg[(size_t)e] = -s;
+  }
+  LdlFactors f = ldl_factor_dense(ata);
+  std::vector<double> nu = ldl_solve_dense(f, atg);
+  for (int j = 0; j < p.nz; ++j) {
+    double resid = grad[(size_t)j];
+    for (int e = 0; e < p.ne; ++e) resid += p.a_eq.at(e, j) * nu[(size_t)e];
+    EXPECT_NEAR(resid, 0.0, 1e-4) << j;
+  }
+}
+
+}  // namespace
+}  // namespace csfma

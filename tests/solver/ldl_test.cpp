@@ -1,0 +1,128 @@
+#include "solver/ldl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace csfma {
+namespace {
+
+Dense random_quasidefinite(Rng& rng, int n, int neg_from) {
+  // Diagonally dominant symmetric with sign-split diagonal: LDL-friendly.
+  Dense k(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < i; ++j) {
+      if (rng.next_below(3) == 0) {
+        double v = rng.next_double(-0.5, 0.5);
+        k.at(i, j) = v;
+        k.at(j, i) = v;
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    double rowsum = 0;
+    for (int j = 0; j < n; ++j)
+      if (j != i) rowsum += std::fabs(k.at(i, j));
+    k.at(i, i) = (i >= neg_from ? -1.0 : 1.0) * (rowsum + 1.0 + rng.next_unit());
+  }
+  return k;
+}
+
+TEST(Ldl, DenseFactorReconstructs) {
+  Rng rng(160);
+  for (int trial = 0; trial < 50; ++trial) {
+    int n = (int)rng.next_int(2, 24);
+    Dense k = random_quasidefinite(rng, n, n * 2 / 3);
+    LdlFactors f = ldl_factor_dense(k);
+    // K == L D L'.
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j <= i; ++j) {
+        double s = 0;
+        for (int m = 0; m <= std::min(i, j); ++m) {
+          double li = (i == m) ? 1.0 : f.l.at(i, m);
+          double lj = (j == m) ? 1.0 : f.l.at(j, m);
+          s += li * lj * f.d[(size_t)m];
+        }
+        EXPECT_NEAR(s, k.at(i, j), 1e-9 * (1 + std::fabs(k.at(i, j))));
+      }
+    }
+  }
+}
+
+TEST(Ldl, DenseSolveMatchesResidual) {
+  Rng rng(161);
+  for (int trial = 0; trial < 50; ++trial) {
+    int n = (int)rng.next_int(2, 30);
+    Dense k = random_quasidefinite(rng, n, n / 2);
+    LdlFactors f = ldl_factor_dense(k);
+    std::vector<double> b((size_t)n);
+    for (auto& x : b) x = rng.next_double(-3, 3);
+    std::vector<double> x = ldl_solve_dense(f, b);
+    for (int i = 0; i < n; ++i) {
+      double s = 0;
+      for (int j = 0; j < n; ++j) s += k.at(i, j) * x[(size_t)j];
+      EXPECT_NEAR(s, b[(size_t)i], 1e-8);
+    }
+  }
+}
+
+TEST(Ldl, SymbolicCoversNumericFill) {
+  // Arrowhead pattern: eliminating the first column fills everything —
+  // the classic fill-in stress case.
+  const int n = 8;
+  std::vector<std::vector<bool>> pat((size_t)n, std::vector<bool>((size_t)n));
+  for (int i = 0; i < n; ++i) {
+    pat[(size_t)i][(size_t)i] = true;
+    pat[(size_t)i][0] = pat[0][(size_t)i] = true;
+  }
+  LdlSymbolic sym = ldl_symbolic(pat);
+  // Full strict lower triangle after fill.
+  EXPECT_EQ(sym.nnz(), n * (n - 1) / 2);
+}
+
+TEST(Ldl, SymbolicBandedHasNoFillBeyondBand) {
+  const int n = 12, bw = 2;
+  std::vector<std::vector<bool>> pat((size_t)n, std::vector<bool>((size_t)n));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (std::abs(i - j) <= bw) pat[(size_t)i][(size_t)j] = true;
+  LdlSymbolic sym = ldl_symbolic(pat);
+  for (int k = 0; k < sym.nnz(); ++k)
+    EXPECT_LE(sym.row[(size_t)k] - sym.col[(size_t)k], bw);
+}
+
+TEST(Ldl, PackValuesRejectsUncoveredFill) {
+  // Pattern that claims diagonal-only, against a numeric factor with
+  // off-diagonal values: must be refused.
+  const int n = 3;
+  std::vector<std::vector<bool>> diag_pat((size_t)n, std::vector<bool>((size_t)n));
+  for (int i = 0; i < n; ++i) diag_pat[(size_t)i][(size_t)i] = true;
+  LdlSymbolic sym = ldl_symbolic(diag_pat);
+  Dense k(n);
+  k.at(0, 0) = 4;
+  k.at(1, 1) = 4;
+  k.at(2, 2) = 4;
+  k.at(1, 0) = k.at(0, 1) = 1;
+  LdlFactors f = ldl_factor_dense(k);
+  EXPECT_THROW(pack_l_values(sym, f), CheckError);
+}
+
+TEST(Ldl, EmittedKernelTextShape) {
+  const int n = 3;
+  std::vector<std::vector<bool>> pat((size_t)n, std::vector<bool>((size_t)n));
+  for (int i = 0; i < n; ++i) pat[(size_t)i][(size_t)i] = true;
+  pat[1][0] = pat[0][1] = true;
+  pat[2][1] = pat[1][2] = true;
+  LdlSymbolic sym = ldl_symbolic(pat);
+  std::string src = emit_ldlsolve_kernel(sym, "tiny");
+  EXPECT_NE(src.find("kernel tiny"), std::string::npos);
+  EXPECT_NE(src.find("input double Lv[2]"), std::string::npos);
+  EXPECT_NE(src.find("output double x[3]"), std::string::npos);
+  EXPECT_NE(src.find("z[1] = b[1] - Lv[0]*z[0];"), std::string::npos);
+  EXPECT_NE(src.find("w[2] = z[2] * dinv[2];"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csfma

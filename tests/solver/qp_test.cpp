@@ -1,0 +1,96 @@
+#include "solver/qp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace csfma {
+namespace {
+
+MpcProblem small() {
+  const double x0[4] = {0, 0, 1, 0};
+  const double xref[4] = {8, 3, 0, 0};
+  return build_mpc(4, x0, xref);
+}
+
+TEST(Qp, Dimensions) {
+  MpcProblem p = small();
+  EXPECT_EQ(p.nz, 24);
+  EXPECT_EQ(p.ne, 16);
+  EXPECT_EQ(p.nk, 40);
+  EXPECT_EQ(p.input_indices().size(), 8u);
+}
+
+TEST(Qp, DynamicsConstraintSatisfiedByRollout) {
+  // Rolling the double integrator forward must satisfy Az = b exactly.
+  MpcProblem p = small();
+  const double dt = p.dt;
+  double x[4] = {0, 0, 1, 0};
+  std::vector<double> z((size_t)p.nz);
+  double u[2] = {0.5, -0.25};
+  for (int t = 0; t < p.horizon; ++t) {
+    z[(size_t)(6 * t + 0)] = u[0];
+    z[(size_t)(6 * t + 1)] = u[1];
+    double nx[4];
+    nx[0] = x[0] + dt * x[2] + 0.5 * dt * dt * u[0];
+    nx[1] = x[1] + dt * x[3] + 0.5 * dt * dt * u[1];
+    nx[2] = x[2] + dt * u[0];
+    nx[3] = x[3] + dt * u[1];
+    for (int k = 0; k < 4; ++k) {
+      z[(size_t)(6 * t + 2 + k)] = nx[k];
+      x[k] = nx[k];
+    }
+  }
+  for (int e = 0; e < p.ne; ++e) {
+    double s = -p.b_eq[(size_t)e];
+    for (int j = 0; j < p.nz; ++j) s += p.a_eq.at(e, j) * z[(size_t)j];
+    EXPECT_NEAR(s, 0.0, 1e-12) << "row " << e;
+  }
+}
+
+TEST(Qp, KktPatternSymmetricWithFullDiagonal) {
+  MpcProblem p = small();
+  auto pat = kkt_pattern(p);
+  for (int i = 0; i < p.nk; ++i) {
+    EXPECT_TRUE(pat[(size_t)i][(size_t)i]);
+    for (int j = 0; j < p.nk; ++j)
+      EXPECT_EQ(pat[(size_t)i][(size_t)j], pat[(size_t)j][(size_t)i]);
+  }
+}
+
+TEST(Qp, KktMatrixMatchesPattern) {
+  MpcProblem p = small();
+  auto pat = kkt_pattern(p);
+  std::vector<double> phi((size_t)p.nz, 0.5);
+  Dense k = kkt_matrix(p, phi, 1e-7);
+  for (int i = 0; i < p.nk; ++i) {
+    for (int j = 0; j < p.nk; ++j) {
+      if (k.at(i, j) != 0.0) {
+        EXPECT_TRUE(pat[(size_t)i][(size_t)j]);
+      }
+      EXPECT_EQ(k.at(i, j), k.at(j, i));
+    }
+  }
+  // Quasi-definite: positive diagonal on primal entries, negative on the
+  // dual entries (stage-interleaved layout).
+  for (int i = 0; i < p.nz; ++i) EXPECT_GT(k.at(p.kkt_var(i), p.kkt_var(i)), 0.0);
+  for (int r = 0; r < p.ne; ++r) EXPECT_LT(k.at(p.kkt_dual(r), p.kkt_dual(r)), 0.0);
+}
+
+TEST(Qp, ComplexityGrowsWithHorizon) {
+  const double x0[4] = {0, 0, 0, 0}, xr[4] = {1, 1, 0, 0};
+  int prev = 0;
+  for (int T : {4, 8, 12}) {
+    MpcProblem p = build_mpc(T, x0, xr);
+    EXPECT_EQ(p.nk, 10 * T);
+    int nnz = 0;
+    auto pat = kkt_pattern(p);
+    for (const auto& row : pat)
+      for (bool b : row) nnz += b;
+    EXPECT_GT(nnz, prev);
+    prev = nnz;
+  }
+}
+
+}  // namespace
+}  // namespace csfma
