@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_carry_spacing.dir/ablation_carry_spacing.cpp.o"
+  "CMakeFiles/ablation_carry_spacing.dir/ablation_carry_spacing.cpp.o.d"
+  "ablation_carry_spacing"
+  "ablation_carry_spacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_carry_spacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

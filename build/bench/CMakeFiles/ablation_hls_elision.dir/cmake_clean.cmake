@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hls_elision.dir/ablation_hls_elision.cpp.o"
+  "CMakeFiles/ablation_hls_elision.dir/ablation_hls_elision.cpp.o.d"
+  "ablation_hls_elision"
+  "ablation_hls_elision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hls_elision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_reassoc.cpp" "bench/CMakeFiles/ablation_reassoc.dir/ablation_reassoc.cpp.o" "gcc" "bench/CMakeFiles/ablation_reassoc.dir/ablation_reassoc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/csfma_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/csfma_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/csfma_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/csfma_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/fma/CMakeFiles/csfma_fma.dir/DependInfo.cmake"
+  "/root/repo/build/src/cs/CMakeFiles/csfma_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/csfma_fp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

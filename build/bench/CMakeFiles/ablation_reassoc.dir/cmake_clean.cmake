@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reassoc.dir/ablation_reassoc.cpp.o"
+  "CMakeFiles/ablation_reassoc.dir/ablation_reassoc.cpp.o.d"
+  "ablation_reassoc"
+  "ablation_reassoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reassoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

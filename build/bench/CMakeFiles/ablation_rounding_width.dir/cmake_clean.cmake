@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rounding_width.dir/ablation_rounding_width.cpp.o"
+  "CMakeFiles/ablation_rounding_width.dir/ablation_rounding_width.cpp.o.d"
+  "ablation_rounding_width"
+  "ablation_rounding_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rounding_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

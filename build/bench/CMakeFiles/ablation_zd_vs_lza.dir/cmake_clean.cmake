@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_zd_vs_lza.dir/ablation_zd_vs_lza.cpp.o"
+  "CMakeFiles/ablation_zd_vs_lza.dir/ablation_zd_vs_lza.cpp.o.d"
+  "ablation_zd_vs_lza"
+  "ablation_zd_vs_lza.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zd_vs_lza.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_zd_vs_lza.
+# This may be replaced when dependencies are built.

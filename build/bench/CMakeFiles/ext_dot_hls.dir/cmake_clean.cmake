@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dot_hls.dir/ext_dot_hls.cpp.o"
+  "CMakeFiles/ext_dot_hls.dir/ext_dot_hls.cpp.o.d"
+  "ext_dot_hls"
+  "ext_dot_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dot_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

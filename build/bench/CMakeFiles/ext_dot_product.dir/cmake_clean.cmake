@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dot_product.dir/ext_dot_product.cpp.o"
+  "CMakeFiles/ext_dot_product.dir/ext_dot_product.cpp.o.d"
+  "ext_dot_product"
+  "ext_dot_product.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dot_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dsp_kernels.dir/ext_dsp_kernels.cpp.o"
+  "CMakeFiles/ext_dsp_kernels.dir/ext_dsp_kernels.cpp.o.d"
+  "ext_dsp_kernels"
+  "ext_dsp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dsp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ldlfactor.dir/ext_ldlfactor.cpp.o"
+  "CMakeFiles/ext_ldlfactor.dir/ext_ldlfactor.cpp.o.d"
+  "ext_ldlfactor"
+  "ext_ldlfactor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ldlfactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

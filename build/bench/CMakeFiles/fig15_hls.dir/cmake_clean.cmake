@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_hls.dir/fig15_hls.cpp.o"
+  "CMakeFiles/fig15_hls.dir/fig15_hls.cpp.o.d"
+  "fig15_hls"
+  "fig15_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

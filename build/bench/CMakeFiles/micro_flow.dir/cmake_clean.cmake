@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_flow.dir/micro_flow.cpp.o"
+  "CMakeFiles/micro_flow.dir/micro_flow.cpp.o.d"
+  "micro_flow"
+  "micro_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

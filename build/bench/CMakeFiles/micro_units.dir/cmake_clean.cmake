@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_units.dir/micro_units.cpp.o"
+  "CMakeFiles/micro_units.dir/micro_units.cpp.o.d"
+  "micro_units"
+  "micro_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_synthesis.dir/table1_synthesis.cpp.o"
+  "CMakeFiles/table1_synthesis.dir/table1_synthesis.cpp.o.d"
+  "table1_synthesis"
+  "table1_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/accuracy_explorer.cpp" "examples/CMakeFiles/accuracy_explorer.dir/accuracy_explorer.cpp.o" "gcc" "examples/CMakeFiles/accuracy_explorer.dir/accuracy_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fma/CMakeFiles/csfma_fma.dir/DependInfo.cmake"
+  "/root/repo/build/src/cs/CMakeFiles/csfma_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/csfma_fp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

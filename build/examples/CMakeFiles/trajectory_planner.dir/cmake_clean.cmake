@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_planner.dir/trajectory_planner.cpp.o"
+  "CMakeFiles/trajectory_planner.dir/trajectory_planner.cpp.o.d"
+  "trajectory_planner"
+  "trajectory_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cs/cs_num.cpp" "src/cs/CMakeFiles/csfma_cs.dir/cs_num.cpp.o" "gcc" "src/cs/CMakeFiles/csfma_cs.dir/cs_num.cpp.o.d"
+  "/root/repo/src/cs/csa_tree.cpp" "src/cs/CMakeFiles/csfma_cs.dir/csa_tree.cpp.o" "gcc" "src/cs/CMakeFiles/csfma_cs.dir/csa_tree.cpp.o.d"
+  "/root/repo/src/cs/lza.cpp" "src/cs/CMakeFiles/csfma_cs.dir/lza.cpp.o" "gcc" "src/cs/CMakeFiles/csfma_cs.dir/lza.cpp.o.d"
+  "/root/repo/src/cs/pcs.cpp" "src/cs/CMakeFiles/csfma_cs.dir/pcs.cpp.o" "gcc" "src/cs/CMakeFiles/csfma_cs.dir/pcs.cpp.o.d"
+  "/root/repo/src/cs/zero_detect.cpp" "src/cs/CMakeFiles/csfma_cs.dir/zero_detect.cpp.o" "gcc" "src/cs/CMakeFiles/csfma_cs.dir/zero_detect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

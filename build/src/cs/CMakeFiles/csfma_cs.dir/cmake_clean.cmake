@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csfma_cs.dir/cs_num.cpp.o"
+  "CMakeFiles/csfma_cs.dir/cs_num.cpp.o.d"
+  "CMakeFiles/csfma_cs.dir/csa_tree.cpp.o"
+  "CMakeFiles/csfma_cs.dir/csa_tree.cpp.o.d"
+  "CMakeFiles/csfma_cs.dir/lza.cpp.o"
+  "CMakeFiles/csfma_cs.dir/lza.cpp.o.d"
+  "CMakeFiles/csfma_cs.dir/pcs.cpp.o"
+  "CMakeFiles/csfma_cs.dir/pcs.cpp.o.d"
+  "CMakeFiles/csfma_cs.dir/zero_detect.cpp.o"
+  "CMakeFiles/csfma_cs.dir/zero_detect.cpp.o.d"
+  "libcsfma_cs.a"
+  "libcsfma_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csfma_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

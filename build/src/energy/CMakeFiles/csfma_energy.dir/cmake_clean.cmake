@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csfma_energy.dir/energy_model.cpp.o"
+  "CMakeFiles/csfma_energy.dir/energy_model.cpp.o.d"
+  "CMakeFiles/csfma_energy.dir/workload.cpp.o"
+  "CMakeFiles/csfma_energy.dir/workload.cpp.o.d"
+  "libcsfma_energy.a"
+  "libcsfma_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csfma_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

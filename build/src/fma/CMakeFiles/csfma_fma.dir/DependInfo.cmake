@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fma/classic_fma.cpp" "src/fma/CMakeFiles/csfma_fma.dir/classic_fma.cpp.o" "gcc" "src/fma/CMakeFiles/csfma_fma.dir/classic_fma.cpp.o.d"
+  "/root/repo/src/fma/discrete.cpp" "src/fma/CMakeFiles/csfma_fma.dir/discrete.cpp.o" "gcc" "src/fma/CMakeFiles/csfma_fma.dir/discrete.cpp.o.d"
+  "/root/repo/src/fma/dot_product.cpp" "src/fma/CMakeFiles/csfma_fma.dir/dot_product.cpp.o" "gcc" "src/fma/CMakeFiles/csfma_fma.dir/dot_product.cpp.o.d"
+  "/root/repo/src/fma/fcs_fma.cpp" "src/fma/CMakeFiles/csfma_fma.dir/fcs_fma.cpp.o" "gcc" "src/fma/CMakeFiles/csfma_fma.dir/fcs_fma.cpp.o.d"
+  "/root/repo/src/fma/fcs_format.cpp" "src/fma/CMakeFiles/csfma_fma.dir/fcs_format.cpp.o" "gcc" "src/fma/CMakeFiles/csfma_fma.dir/fcs_format.cpp.o.d"
+  "/root/repo/src/fma/pcs_config.cpp" "src/fma/CMakeFiles/csfma_fma.dir/pcs_config.cpp.o" "gcc" "src/fma/CMakeFiles/csfma_fma.dir/pcs_config.cpp.o.d"
+  "/root/repo/src/fma/pcs_fma.cpp" "src/fma/CMakeFiles/csfma_fma.dir/pcs_fma.cpp.o" "gcc" "src/fma/CMakeFiles/csfma_fma.dir/pcs_fma.cpp.o.d"
+  "/root/repo/src/fma/pcs_format.cpp" "src/fma/CMakeFiles/csfma_fma.dir/pcs_format.cpp.o" "gcc" "src/fma/CMakeFiles/csfma_fma.dir/pcs_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cs/CMakeFiles/csfma_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/csfma_fp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

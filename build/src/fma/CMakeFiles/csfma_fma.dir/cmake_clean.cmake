@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csfma_fma.dir/classic_fma.cpp.o"
+  "CMakeFiles/csfma_fma.dir/classic_fma.cpp.o.d"
+  "CMakeFiles/csfma_fma.dir/discrete.cpp.o"
+  "CMakeFiles/csfma_fma.dir/discrete.cpp.o.d"
+  "CMakeFiles/csfma_fma.dir/dot_product.cpp.o"
+  "CMakeFiles/csfma_fma.dir/dot_product.cpp.o.d"
+  "CMakeFiles/csfma_fma.dir/fcs_fma.cpp.o"
+  "CMakeFiles/csfma_fma.dir/fcs_fma.cpp.o.d"
+  "CMakeFiles/csfma_fma.dir/fcs_format.cpp.o"
+  "CMakeFiles/csfma_fma.dir/fcs_format.cpp.o.d"
+  "CMakeFiles/csfma_fma.dir/pcs_config.cpp.o"
+  "CMakeFiles/csfma_fma.dir/pcs_config.cpp.o.d"
+  "CMakeFiles/csfma_fma.dir/pcs_fma.cpp.o"
+  "CMakeFiles/csfma_fma.dir/pcs_fma.cpp.o.d"
+  "CMakeFiles/csfma_fma.dir/pcs_format.cpp.o"
+  "CMakeFiles/csfma_fma.dir/pcs_format.cpp.o.d"
+  "libcsfma_fma.a"
+  "libcsfma_fma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csfma_fma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

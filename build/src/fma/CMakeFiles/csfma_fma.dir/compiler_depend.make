@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for csfma_fma.
+# This may be replaced when dependencies are built.

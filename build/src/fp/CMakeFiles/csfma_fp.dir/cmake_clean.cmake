@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csfma_fp.dir/pfloat.cpp.o"
+  "CMakeFiles/csfma_fp.dir/pfloat.cpp.o.d"
+  "CMakeFiles/csfma_fp.dir/rounding.cpp.o"
+  "CMakeFiles/csfma_fp.dir/rounding.cpp.o.d"
+  "libcsfma_fp.a"
+  "libcsfma_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csfma_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

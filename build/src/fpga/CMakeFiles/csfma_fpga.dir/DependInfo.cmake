@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/architectures.cpp" "src/fpga/CMakeFiles/csfma_fpga.dir/architectures.cpp.o" "gcc" "src/fpga/CMakeFiles/csfma_fpga.dir/architectures.cpp.o.d"
+  "/root/repo/src/fpga/device.cpp" "src/fpga/CMakeFiles/csfma_fpga.dir/device.cpp.o" "gcc" "src/fpga/CMakeFiles/csfma_fpga.dir/device.cpp.o.d"
+  "/root/repo/src/fpga/pipeline.cpp" "src/fpga/CMakeFiles/csfma_fpga.dir/pipeline.cpp.o" "gcc" "src/fpga/CMakeFiles/csfma_fpga.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cs/CMakeFiles/csfma_cs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csfma_fpga.dir/architectures.cpp.o"
+  "CMakeFiles/csfma_fpga.dir/architectures.cpp.o.d"
+  "CMakeFiles/csfma_fpga.dir/device.cpp.o"
+  "CMakeFiles/csfma_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/csfma_fpga.dir/pipeline.cpp.o"
+  "CMakeFiles/csfma_fpga.dir/pipeline.cpp.o.d"
+  "libcsfma_fpga.a"
+  "libcsfma_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csfma_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

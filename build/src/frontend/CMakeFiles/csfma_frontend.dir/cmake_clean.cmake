@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csfma_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/csfma_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/csfma_frontend.dir/parser.cpp.o"
+  "CMakeFiles/csfma_frontend.dir/parser.cpp.o.d"
+  "libcsfma_frontend.a"
+  "libcsfma_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csfma_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

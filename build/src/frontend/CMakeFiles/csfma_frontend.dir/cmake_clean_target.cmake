@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcsfma_frontend.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/dot_insert.cpp" "src/hls/CMakeFiles/csfma_hls.dir/dot_insert.cpp.o" "gcc" "src/hls/CMakeFiles/csfma_hls.dir/dot_insert.cpp.o.d"
+  "/root/repo/src/hls/fma_insert.cpp" "src/hls/CMakeFiles/csfma_hls.dir/fma_insert.cpp.o" "gcc" "src/hls/CMakeFiles/csfma_hls.dir/fma_insert.cpp.o.d"
+  "/root/repo/src/hls/interp.cpp" "src/hls/CMakeFiles/csfma_hls.dir/interp.cpp.o" "gcc" "src/hls/CMakeFiles/csfma_hls.dir/interp.cpp.o.d"
+  "/root/repo/src/hls/ir.cpp" "src/hls/CMakeFiles/csfma_hls.dir/ir.cpp.o" "gcc" "src/hls/CMakeFiles/csfma_hls.dir/ir.cpp.o.d"
+  "/root/repo/src/hls/oplib.cpp" "src/hls/CMakeFiles/csfma_hls.dir/oplib.cpp.o" "gcc" "src/hls/CMakeFiles/csfma_hls.dir/oplib.cpp.o.d"
+  "/root/repo/src/hls/reassociate.cpp" "src/hls/CMakeFiles/csfma_hls.dir/reassociate.cpp.o" "gcc" "src/hls/CMakeFiles/csfma_hls.dir/reassociate.cpp.o.d"
+  "/root/repo/src/hls/schedule.cpp" "src/hls/CMakeFiles/csfma_hls.dir/schedule.cpp.o" "gcc" "src/hls/CMakeFiles/csfma_hls.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpga/CMakeFiles/csfma_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/fma/CMakeFiles/csfma_fma.dir/DependInfo.cmake"
+  "/root/repo/build/src/cs/CMakeFiles/csfma_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/csfma_fp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

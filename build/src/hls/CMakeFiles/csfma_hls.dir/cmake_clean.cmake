@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csfma_hls.dir/dot_insert.cpp.o"
+  "CMakeFiles/csfma_hls.dir/dot_insert.cpp.o.d"
+  "CMakeFiles/csfma_hls.dir/fma_insert.cpp.o"
+  "CMakeFiles/csfma_hls.dir/fma_insert.cpp.o.d"
+  "CMakeFiles/csfma_hls.dir/interp.cpp.o"
+  "CMakeFiles/csfma_hls.dir/interp.cpp.o.d"
+  "CMakeFiles/csfma_hls.dir/ir.cpp.o"
+  "CMakeFiles/csfma_hls.dir/ir.cpp.o.d"
+  "CMakeFiles/csfma_hls.dir/oplib.cpp.o"
+  "CMakeFiles/csfma_hls.dir/oplib.cpp.o.d"
+  "CMakeFiles/csfma_hls.dir/reassociate.cpp.o"
+  "CMakeFiles/csfma_hls.dir/reassociate.cpp.o.d"
+  "CMakeFiles/csfma_hls.dir/schedule.cpp.o"
+  "CMakeFiles/csfma_hls.dir/schedule.cpp.o.d"
+  "libcsfma_hls.a"
+  "libcsfma_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csfma_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

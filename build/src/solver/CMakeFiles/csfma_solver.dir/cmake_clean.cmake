@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csfma_solver.dir/ipm.cpp.o"
+  "CMakeFiles/csfma_solver.dir/ipm.cpp.o.d"
+  "CMakeFiles/csfma_solver.dir/ldl.cpp.o"
+  "CMakeFiles/csfma_solver.dir/ldl.cpp.o.d"
+  "CMakeFiles/csfma_solver.dir/qp.cpp.o"
+  "CMakeFiles/csfma_solver.dir/qp.cpp.o.d"
+  "CMakeFiles/csfma_solver.dir/solvers.cpp.o"
+  "CMakeFiles/csfma_solver.dir/solvers.cpp.o.d"
+  "libcsfma_solver.a"
+  "libcsfma_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csfma_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

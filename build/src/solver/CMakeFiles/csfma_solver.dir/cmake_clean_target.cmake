@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcsfma_solver.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_uint_test.dir/wide_uint_test.cpp.o"
+  "CMakeFiles/wide_uint_test.dir/wide_uint_test.cpp.o.d"
+  "wide_uint_test"
+  "wide_uint_test.pdb"
+  "wide_uint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_uint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_num_test.dir/cs_num_test.cpp.o"
+  "CMakeFiles/cs_num_test.dir/cs_num_test.cpp.o.d"
+  "cs_num_test"
+  "cs_num_test.pdb"
+  "cs_num_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_num_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csa_tree_test.dir/csa_tree_test.cpp.o"
+  "CMakeFiles/csa_tree_test.dir/csa_tree_test.cpp.o.d"
+  "csa_tree_test"
+  "csa_tree_test.pdb"
+  "csa_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csa_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

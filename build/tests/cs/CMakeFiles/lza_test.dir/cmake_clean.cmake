@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lza_test.dir/lza_test.cpp.o"
+  "CMakeFiles/lza_test.dir/lza_test.cpp.o.d"
+  "lza_test"
+  "lza_test.pdb"
+  "lza_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lza_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

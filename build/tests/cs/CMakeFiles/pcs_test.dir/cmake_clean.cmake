@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_test.dir/pcs_test.cpp.o"
+  "CMakeFiles/pcs_test.dir/pcs_test.cpp.o.d"
+  "pcs_test"
+  "pcs_test.pdb"
+  "pcs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_detect_test.dir/zero_detect_test.cpp.o"
+  "CMakeFiles/zero_detect_test.dir/zero_detect_test.cpp.o.d"
+  "zero_detect_test"
+  "zero_detect_test.pdb"
+  "zero_detect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_detect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

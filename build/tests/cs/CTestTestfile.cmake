@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/cs
+# Build directory: /root/repo/build/tests/cs
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cs/cs_num_test[1]_include.cmake")
+include("/root/repo/build/tests/cs/csa_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/cs/pcs_test[1]_include.cmake")
+include("/root/repo/build/tests/cs/zero_detect_test[1]_include.cmake")
+include("/root/repo/build/tests/cs/lza_test[1]_include.cmake")

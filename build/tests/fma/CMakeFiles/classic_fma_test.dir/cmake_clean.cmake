@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_fma_test.dir/classic_fma_test.cpp.o"
+  "CMakeFiles/classic_fma_test.dir/classic_fma_test.cpp.o.d"
+  "classic_fma_test"
+  "classic_fma_test.pdb"
+  "classic_fma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_fma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

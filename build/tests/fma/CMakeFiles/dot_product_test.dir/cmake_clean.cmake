@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_product_test.dir/dot_product_test.cpp.o"
+  "CMakeFiles/dot_product_test.dir/dot_product_test.cpp.o.d"
+  "dot_product_test"
+  "dot_product_test.pdb"
+  "dot_product_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_product_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

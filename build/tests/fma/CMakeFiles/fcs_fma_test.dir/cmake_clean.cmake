@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcs_fma_test.dir/fcs_fma_test.cpp.o"
+  "CMakeFiles/fcs_fma_test.dir/fcs_fma_test.cpp.o.d"
+  "fcs_fma_test"
+  "fcs_fma_test.pdb"
+  "fcs_fma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcs_fma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

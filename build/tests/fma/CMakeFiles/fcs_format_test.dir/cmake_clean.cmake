@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcs_format_test.dir/fcs_format_test.cpp.o"
+  "CMakeFiles/fcs_format_test.dir/fcs_format_test.cpp.o.d"
+  "fcs_format_test"
+  "fcs_format_test.pdb"
+  "fcs_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcs_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

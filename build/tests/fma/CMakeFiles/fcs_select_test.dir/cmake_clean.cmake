@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcs_select_test.dir/fcs_select_test.cpp.o"
+  "CMakeFiles/fcs_select_test.dir/fcs_select_test.cpp.o.d"
+  "fcs_select_test"
+  "fcs_select_test.pdb"
+  "fcs_select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcs_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

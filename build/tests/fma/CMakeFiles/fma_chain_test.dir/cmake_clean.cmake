@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fma_chain_test.dir/fma_chain_test.cpp.o"
+  "CMakeFiles/fma_chain_test.dir/fma_chain_test.cpp.o.d"
+  "fma_chain_test"
+  "fma_chain_test.pdb"
+  "fma_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fma_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_config_test.dir/pcs_config_test.cpp.o"
+  "CMakeFiles/pcs_config_test.dir/pcs_config_test.cpp.o.d"
+  "pcs_config_test"
+  "pcs_config_test.pdb"
+  "pcs_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_fma_test.dir/pcs_fma_test.cpp.o"
+  "CMakeFiles/pcs_fma_test.dir/pcs_fma_test.cpp.o.d"
+  "pcs_fma_test"
+  "pcs_fma_test.pdb"
+  "pcs_fma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_fma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcs_format_test.dir/pcs_format_test.cpp.o"
+  "CMakeFiles/pcs_format_test.dir/pcs_format_test.cpp.o.d"
+  "pcs_format_test"
+  "pcs_format_test.pdb"
+  "pcs_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcs_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

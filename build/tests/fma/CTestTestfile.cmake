@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fma
+# Build directory: /root/repo/build/tests/fma
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fma/pcs_format_test[1]_include.cmake")
+include("/root/repo/build/tests/fma/fcs_format_test[1]_include.cmake")
+include("/root/repo/build/tests/fma/pcs_fma_test[1]_include.cmake")
+include("/root/repo/build/tests/fma/fcs_fma_test[1]_include.cmake")
+include("/root/repo/build/tests/fma/classic_fma_test[1]_include.cmake")
+include("/root/repo/build/tests/fma/fma_chain_test[1]_include.cmake")
+include("/root/repo/build/tests/fma/dot_product_test[1]_include.cmake")
+include("/root/repo/build/tests/fma/fcs_select_test[1]_include.cmake")
+include("/root/repo/build/tests/fma/pcs_config_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfloat_host_oracle_test.dir/pfloat_host_oracle_test.cpp.o"
+  "CMakeFiles/pfloat_host_oracle_test.dir/pfloat_host_oracle_test.cpp.o.d"
+  "pfloat_host_oracle_test"
+  "pfloat_host_oracle_test.pdb"
+  "pfloat_host_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfloat_host_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

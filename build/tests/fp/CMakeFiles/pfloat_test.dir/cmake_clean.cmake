@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfloat_test.dir/pfloat_test.cpp.o"
+  "CMakeFiles/pfloat_test.dir/pfloat_test.cpp.o.d"
+  "pfloat_test"
+  "pfloat_test.pdb"
+  "pfloat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfloat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rounding_modes_test.dir/rounding_modes_test.cpp.o"
+  "CMakeFiles/rounding_modes_test.dir/rounding_modes_test.cpp.o.d"
+  "rounding_modes_test"
+  "rounding_modes_test.pdb"
+  "rounding_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rounding_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architectures_test.dir/architectures_test.cpp.o"
+  "CMakeFiles/architectures_test.dir/architectures_test.cpp.o.d"
+  "architectures_test"
+  "architectures_test.pdb"
+  "architectures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architectures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

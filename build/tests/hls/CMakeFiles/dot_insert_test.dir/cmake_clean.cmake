@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_insert_test.dir/dot_insert_test.cpp.o"
+  "CMakeFiles/dot_insert_test.dir/dot_insert_test.cpp.o.d"
+  "dot_insert_test"
+  "dot_insert_test.pdb"
+  "dot_insert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_insert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

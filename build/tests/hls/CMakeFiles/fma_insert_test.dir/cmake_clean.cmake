@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fma_insert_test.dir/fma_insert_test.cpp.o"
+  "CMakeFiles/fma_insert_test.dir/fma_insert_test.cpp.o.d"
+  "fma_insert_test"
+  "fma_insert_test.pdb"
+  "fma_insert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fma_insert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reassociate_test.dir/reassociate_test.cpp.o"
+  "CMakeFiles/reassociate_test.dir/reassociate_test.cpp.o.d"
+  "reassociate_test"
+  "reassociate_test.pdb"
+  "reassociate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reassociate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/hls
+# Build directory: /root/repo/build/tests/hls
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hls/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/hls/schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/hls/fma_insert_test[1]_include.cmake")
+include("/root/repo/build/tests/hls/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/hls/dot_insert_test[1]_include.cmake")
+include("/root/repo/build/tests/hls/reassociate_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operand_fuzz_test.dir/operand_fuzz_test.cpp.o"
+  "CMakeFiles/operand_fuzz_test.dir/operand_fuzz_test.cpp.o.d"
+  "operand_fuzz_test"
+  "operand_fuzz_test.pdb"
+  "operand_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operand_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/solver
+# Build directory: /root/repo/build/tests/solver
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/solver/qp_test[1]_include.cmake")
+include("/root/repo/build/tests/solver/ldl_test[1]_include.cmake")
+include("/root/repo/build/tests/solver/ipm_test[1]_include.cmake")
+include("/root/repo/build/tests/solver/codegen_test[1]_include.cmake")
