@@ -9,9 +9,11 @@
 // coefficients.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/wide_uint.hpp"
 
@@ -20,11 +22,21 @@ namespace csfma {
 class ActivityProbe {
  public:
   /// Record the next value of the probed bus; accumulates toggled bits.
+  /// Width-faithful for any bus width; successive observations of different
+  /// widths are compared zero-extended to the wider of the two.
   template <int W>
   void observe(const WideUint<W>& v) {
-    WideUint<8> cur(v);
-    if (has_prev_) toggles_ += (std::uint64_t)(cur ^ prev_).popcount();
-    prev_ = cur;
+    if (has_prev_) {
+      const std::size_t n = prev_.size() > (std::size_t)W ? prev_.size()
+                                                          : (std::size_t)W;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t p = i < prev_.size() ? prev_[i] : 0;
+        const std::uint64_t c = i < (std::size_t)W ? v.word((int)i) : 0;
+        toggles_ += (std::uint64_t)std::popcount(p ^ c);
+      }
+    }
+    prev_.resize((std::size_t)W);
+    for (int i = 0; i < W; ++i) prev_[(std::size_t)i] = v.word(i);
     has_prev_ = true;
     ++observations_;
   }
@@ -32,15 +44,24 @@ class ActivityProbe {
   std::uint64_t toggles() const { return toggles_; }
   std::uint64_t observations() const { return observations_; }
 
+  /// Fold another probe's accumulated counts into this one.  Totals add;
+  /// the last-value baseline is NOT transferred, so no cross-probe toggle
+  /// is invented at the seam (each shard of a partitioned run sets its own
+  /// baseline, exactly as independent hardware captures would).
+  void merge_from(const ActivityProbe& o) {
+    toggles_ += o.toggles_;
+    observations_ += o.observations_;
+  }
+
   void reset() {
     toggles_ = 0;
     observations_ = 0;
     has_prev_ = false;
-    prev_ = WideUint<8>();
+    prev_.clear();
   }
 
  private:
-  WideUint<8> prev_;
+  std::vector<std::uint64_t> prev_;
   bool has_prev_ = false;
   std::uint64_t toggles_ = 0;
   std::uint64_t observations_ = 0;
@@ -51,6 +72,21 @@ class ActivityRecorder {
  public:
   ActivityProbe& probe(const std::string& name) { return probes_[name]; }
   const std::map<std::string, ActivityProbe>& probes() const { return probes_; }
+
+  /// Sum of toggle counts over all probes.
+  std::uint64_t total_toggles() const {
+    std::uint64_t t = 0;
+    for (const auto& [name, p] : probes_) t += p.toggles();
+    return t;
+  }
+
+  /// Fold another recorder's counts into this one, probe by probe (probes
+  /// absent here are created).  Used to combine per-shard recorders of a
+  /// partitioned run into one deterministic aggregate.
+  void merge_from(const ActivityRecorder& o) {
+    for (const auto& [name, p] : o.probes_) probes_[name].merge_from(p);
+  }
+
   void reset() {
     for (auto& [name, p] : probes_) p.reset();
   }

@@ -98,6 +98,68 @@ ActivityMeasurement measure_pcs(std::uint64_t seed, int runs, int depth) {
   });
 }
 
+RecurrenceSource::RecurrenceSource(std::uint64_t seed, int runs, int depth)
+    : seed_(seed), runs_(runs), depth_(depth) {
+  CSFMA_CHECK(runs >= 0 && depth >= 3);
+}
+
+std::uint64_t RecurrenceSource::size() const {
+  return (std::uint64_t)runs_ * ops_per_run();
+}
+
+void RecurrenceSource::fill(std::uint64_t start, OperandTriple* out,
+                            std::size_t n) const {
+  CSFMA_CHECK(start + n <= size());
+  const std::uint64_t per_run = ops_per_run();
+  std::uint64_t idx = start;
+  std::size_t filled = 0;
+  while (filled < n) {
+    const std::uint64_t run = idx / per_run;
+    // Replay run `run` from its start, emitting the triples that fall into
+    // [start, start+n).  Each run is seeded independently of the others.
+    Rng rng(seed_ ^ ((run + 1) * 0x9e3779b97f4a7c15ULL));
+    Inputs in = random_inputs(rng);
+    PFloat x3 = in.x[0], x2 = in.x[1], x1 = in.x[2];
+    std::uint64_t op = run * per_run;  // stream index of the run's next op
+    for (int i = 3; i <= depth_ && filled < n; ++i) {
+      // Step i issues two multiply-adds; operand values follow the
+      // discrete pipeline (each mul and add fully rounded).
+      const PFloat t = PFloat::add(
+          PFloat::mul(in.b2, x2, kBinary64, Round::NearestEven), x3, kBinary64,
+          Round::NearestEven);
+      if (op >= start && filled < n) out[filled++] = {x3, in.b2, x2};
+      ++op;
+      const PFloat x = PFloat::add(
+          PFloat::mul(in.b1, x1, kBinary64, Round::NearestEven), t, kBinary64,
+          Round::NearestEven);
+      if (op >= start && filled < n) out[filled++] = {t, in.b1, x1};
+      ++op;
+      x3 = x2;
+      x2 = x1;
+      x1 = x;
+    }
+    idx = (run + 1) * per_run;
+  }
+}
+
+ActivityMeasurement measure_stream(UnitKind kind, std::uint64_t seed, int runs,
+                                   int depth, int threads) {
+  RecurrenceSource src(seed, runs, depth);
+  EngineConfig cfg;
+  cfg.unit = kind;
+  cfg.threads = threads;
+  cfg.rm = Round::NearestEven;
+  SimEngine engine(cfg);
+  StreamResult r = engine.run_stream(src);
+  ActivityMeasurement m;
+  m.ops = r.stats.ops;
+  if (m.ops == 0) return m;
+  m.toggles_per_op = toggles_per_op(r.activity, m.ops);
+  for (const auto& [name, probe] : r.activity.probes())
+    m.by_component[name] = (double)probe.toggles() / (double)m.ops;
+  return m;
+}
+
 ActivityMeasurement measure_fcs(std::uint64_t seed, int runs, int depth) {
   ActivityRecorder rec;
   FcsFma unit(&rec);

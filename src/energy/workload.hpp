@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/activity.hpp"
+#include "engine/sim_engine.hpp"
 
 namespace csfma {
 
@@ -28,5 +29,34 @@ ActivityMeasurement measure_classic(std::uint64_t seed, int runs, int depth);
 ActivityMeasurement measure_pcs(std::uint64_t seed, int runs, int depth);
 /// FCS-FMA chain.
 ActivityMeasurement measure_fcs(std::uint64_t seed, int runs, int depth);
+
+/// The recurrence workload unrolled into an IEEE-boundary operand stream
+/// for SimEngine.  Run r (of `runs`, each `depth` steps) contributes its
+/// 2*(depth-2) multiply-add triples in issue order; operand values are the
+/// ones the discrete (two-rounding) pipeline would carry between steps.
+/// fill() replays only the runs covering the requested range and seeds
+/// each run independently, so triples depend on (seed, index) alone — safe
+/// for concurrent shard fills.
+class RecurrenceSource final : public OperandSource {
+ public:
+  RecurrenceSource(std::uint64_t seed, int runs, int depth);
+  std::uint64_t size() const override;
+  void fill(std::uint64_t start, OperandTriple* out,
+            std::size_t n) const override;
+
+  /// Triples one run contributes (two multiply-adds per recurrence step).
+  std::uint64_t ops_per_run() const { return 2ull * (std::uint64_t)(depth_ - 2); }
+
+ private:
+  std::uint64_t seed_;
+  int runs_, depth_;
+};
+
+/// Engine-based activity measurement: streams the recurrence workload
+/// through `kind` on `threads` workers and reduces the merged recorder.
+/// The deterministic shard merge makes the result independent of the
+/// thread count.
+ActivityMeasurement measure_stream(UnitKind kind, std::uint64_t seed, int runs,
+                                   int depth, int threads = 1);
 
 }  // namespace csfma

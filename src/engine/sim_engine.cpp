@@ -1,0 +1,140 @@
+#include "engine/sim_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace csfma {
+
+void VectorSource::fill(std::uint64_t start, OperandTriple* out,
+                        std::size_t n) const {
+  CSFMA_CHECK(start + n <= ops_->size());
+  for (std::size_t i = 0; i < n; ++i) out[i] = (*ops_)[start + i];
+}
+
+void RandomTripleSource::fill(std::uint64_t start, OperandTriple* out,
+                              std::size_t n) const {
+  CSFMA_CHECK(start + n <= n_);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Per-index seeding (not one sequential stream) so that any chunking of
+    // the range reproduces the same triples.
+    Rng rng(seed_ ^ ((start + i + 1) * 0x9e3779b97f4a7c15ULL));
+    out[i].a = PFloat::from_double(kBinary64,
+                                   rng.next_fp_in_exp_range(emin_, emax_));
+    out[i].b = PFloat::from_double(kBinary64,
+                                   rng.next_fp_in_exp_range(emin_, emax_));
+    out[i].c = PFloat::from_double(kBinary64,
+                                   rng.next_fp_in_exp_range(emin_, emax_));
+  }
+}
+
+SimEngine::SimEngine(EngineConfig cfg) : cfg_(cfg) {
+  CSFMA_CHECK(cfg_.threads >= 0);
+  CSFMA_CHECK(cfg_.shard_ops >= 1);
+  threads_ = cfg_.threads;
+  if (threads_ == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads_ = hw == 0 ? 1 : (int)hw;
+  }
+}
+
+void SimEngine::run_shards(const OperandSource& src, PFloat* results,
+                           const ConsumeFn* consume, ActivityRecorder* activity,
+                           BatchStats* stats) const {
+  using clock = std::chrono::steady_clock;
+  const std::uint64_t n = src.size();
+  const std::uint64_t shard_ops = cfg_.shard_ops;
+  const std::uint64_t num_shards = (n + shard_ops - 1) / shard_ops;
+
+  std::vector<ActivityRecorder> shard_recs((std::size_t)num_shards);
+  std::vector<ShardStats> shard_stats((std::size_t)num_shards);
+  std::atomic<std::uint64_t> next_shard{0};
+  std::mutex consume_mu;
+
+  auto worker = [&](int wid) {
+    // Reusable per-worker buffers: one operand chunk and (in streaming
+    // mode) one result chunk, regardless of stream length.
+    std::vector<OperandTriple> in_buf;
+    std::vector<PFloat> out_buf;
+    for (;;) {
+      const std::uint64_t s = next_shard.fetch_add(1);
+      if (s >= num_shards) break;
+      const std::uint64_t start = s * shard_ops;
+      const std::size_t count =
+          (std::size_t)(shard_ops < n - start ? shard_ops : n - start);
+      in_buf.resize(count);
+      src.fill(start, in_buf.data(), count);
+      PFloat* out;
+      if (results != nullptr) {
+        out = results + start;
+      } else {
+        out_buf.resize(count);
+        out = out_buf.data();
+      }
+      ActivityRecorder& rec = shard_recs[(std::size_t)s];
+      auto unit = make_fma_unit(cfg_.unit, &rec);
+      const auto t0 = clock::now();
+      for (std::size_t i = 0; i < count; ++i)
+        out[i] = unit->fma_ieee(in_buf[i].a, in_buf[i].b, in_buf[i].c, cfg_.rm);
+      const double secs =
+          std::chrono::duration<double>(clock::now() - t0).count();
+      ShardStats& st = shard_stats[(std::size_t)s];
+      st.start = start;
+      st.ops = count;
+      st.worker = wid;
+      st.seconds = secs;
+      st.ops_per_sec = secs > 0.0 ? (double)count / secs : 0.0;
+      if (consume != nullptr && *consume) {
+        std::lock_guard<std::mutex> lock(consume_mu);
+        (*consume)(start, out, count);
+      }
+    }
+  };
+
+  const auto wall0 = clock::now();
+  const int nthreads =
+      (int)(num_shards < (std::uint64_t)threads_ ? num_shards
+                                                 : (std::uint64_t)threads_);
+  if (nthreads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve((std::size_t)(nthreads - 1));
+    for (int w = 1; w < nthreads; ++w) pool.emplace_back(worker, w);
+    worker(0);
+    for (auto& t : pool) t.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(clock::now() - wall0).count();
+
+  // Merge in shard order: deterministic regardless of completion order.
+  for (const auto& rec : shard_recs) activity->merge_from(rec);
+  stats->ops = n;
+  stats->seconds = wall;
+  stats->ops_per_sec = wall > 0.0 ? (double)n / wall : 0.0;
+  stats->shards.assign(shard_stats.begin(), shard_stats.end());
+}
+
+BatchResult SimEngine::run_batch(const OperandSource& src) const {
+  BatchResult r;
+  r.results.resize((std::size_t)src.size());
+  run_shards(src, r.results.data(), nullptr, &r.activity, &r.stats);
+  return r;
+}
+
+BatchResult SimEngine::run_batch(const std::vector<OperandTriple>& ops) const {
+  return run_batch(VectorSource(ops));
+}
+
+StreamResult SimEngine::run_stream(const OperandSource& src,
+                                   const ConsumeFn& consume) const {
+  StreamResult r;
+  run_shards(src, nullptr, &consume, &r.activity, &r.stats);
+  return r;
+}
+
+}  // namespace csfma

@@ -1,0 +1,151 @@
+// Multi-threaded batch simulation engine.
+//
+// All statistical experiments (Fig 14 accuracy sweeps, Table II switching
+// activity, the operand fuzzers) amount to pushing large streams of operand
+// triples R = A + B*C through a bit-accurate unit simulator.  SimEngine is
+// the one driver for that: it takes an operand stream (in-memory vector or
+// generated workload), selects a unit through the FmaUnit factory, shards
+// the stream across worker threads and merges per-shard switching activity
+// deterministically at the end.
+//
+// Determinism model: the stream is cut into LOGICAL shards of a fixed size
+// (EngineConfig::shard_ops) that depends only on the data, never on the
+// thread count.  Each shard is simulated by exactly one worker with its own
+// unit instance and its own ActivityRecorder; workers claim shards from an
+// atomic queue.  Because every operation is value-independent of its
+// neighbours and every shard's activity capture starts from a fresh
+// baseline, results are bit-identical and merged toggle totals are EQUAL
+// for any thread count, including 1.  (A probe only counts transitions
+// between consecutive operations of the same shard; transitions across a
+// shard seam are never counted, in any configuration.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/activity.hpp"
+#include "fma/fma_unit.hpp"
+
+namespace csfma {
+
+/// One work item: R = A + B*C (B stays IEEE in every architecture).
+struct OperandTriple {
+  PFloat a, b, c;
+};
+
+/// An indexable operand stream.  fill() must be a pure function of the
+/// requested index range — it is called concurrently from worker threads
+/// and must hand out the same triples for the same indices regardless of
+/// how the range is chunked.
+class OperandSource {
+ public:
+  virtual ~OperandSource() = default;
+  /// Total number of triples in the stream.
+  virtual std::uint64_t size() const = 0;
+  /// Fill out[0..n) with triples [start, start+n).
+  virtual void fill(std::uint64_t start, OperandTriple* out,
+                    std::size_t n) const = 0;
+};
+
+/// View over an in-memory vector (not owned; must outlive the source).
+class VectorSource final : public OperandSource {
+ public:
+  explicit VectorSource(const std::vector<OperandTriple>& ops) : ops_(&ops) {}
+  std::uint64_t size() const override { return ops_->size(); }
+  void fill(std::uint64_t start, OperandTriple* out,
+            std::size_t n) const override;
+
+ private:
+  const std::vector<OperandTriple>* ops_;
+};
+
+/// Seeded random triples: triple i is a pure function of (seed, i), with
+/// exponents uniform in [emin, emax] (the micro_units operand model).
+class RandomTripleSource final : public OperandSource {
+ public:
+  RandomTripleSource(std::uint64_t seed, std::uint64_t n, int emin = -8,
+                     int emax = 8)
+      : seed_(seed), n_(n), emin_(emin), emax_(emax) {}
+  std::uint64_t size() const override { return n_; }
+  void fill(std::uint64_t start, OperandTriple* out,
+            std::size_t n) const override;
+
+ private:
+  std::uint64_t seed_, n_;
+  int emin_, emax_;
+};
+
+struct EngineConfig {
+  UnitKind unit = UnitKind::Pcs;
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Final (deferred) rounding of each operation's CS->IEEE readout.
+  Round rm = Round::NearestEven;
+  /// Logical shard size in operations.  Fixed per-data granularity — NOT
+  /// derived from the thread count — so activity totals are reproducible
+  /// across machines and thread counts.
+  std::uint64_t shard_ops = 8192;
+};
+
+struct ShardStats {
+  std::uint64_t start = 0;  // index of the shard's first operation
+  std::uint64_t ops = 0;
+  int worker = 0;        // worker thread that simulated the shard
+  double seconds = 0.0;  // simulation time of this shard
+  double ops_per_sec = 0.0;
+};
+
+struct BatchStats {
+  std::uint64_t ops = 0;
+  double seconds = 0.0;  // wall clock over the whole run
+  double ops_per_sec = 0.0;
+  std::vector<ShardStats> shards;  // in shard order
+};
+
+struct BatchResult {
+  /// results[i] is the IEEE readout of triple i.
+  std::vector<PFloat> results;
+  /// Per-shard recorders merged in shard order.
+  ActivityRecorder activity;
+  BatchStats stats;
+};
+
+struct StreamResult {
+  ActivityRecorder activity;
+  BatchStats stats;
+};
+
+class SimEngine {
+ public:
+  explicit SimEngine(EngineConfig cfg = {});
+
+  const EngineConfig& config() const { return cfg_; }
+  /// The actual worker count (after resolving threads == 0).
+  int resolved_threads() const { return threads_; }
+
+  /// Simulate the whole stream, keeping every result: results[i] is the
+  /// readout of triple i, bit-identical for any thread count.
+  BatchResult run_batch(const OperandSource& src) const;
+  BatchResult run_batch(const std::vector<OperandTriple>& ops) const;
+
+  /// Chunked streaming: results are handed shard-by-shard to `consume`
+  /// (serialized under a lock, in completion order — shard index `start`
+  /// identifies the range) and the per-worker result buffer is reused, so
+  /// memory stays O(threads * shard_ops) however long the stream is.
+  using ConsumeFn =
+      std::function<void(std::uint64_t start, const PFloat* results,
+                         std::size_t n)>;
+  StreamResult run_stream(const OperandSource& src,
+                          const ConsumeFn& consume = nullptr) const;
+
+ private:
+  void run_shards(const OperandSource& src, PFloat* results,
+                  const ConsumeFn* consume, ActivityRecorder* activity,
+                  BatchStats* stats) const;
+
+  EngineConfig cfg_;
+  int threads_;
+};
+
+}  // namespace csfma

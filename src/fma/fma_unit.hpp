@@ -1,0 +1,115 @@
+// Unified interface over the four multiply-add architectures.
+//
+// Every experiment in the repo pushes operand triples R = A + B*C through
+// one of the bit-accurate unit simulators, but the concrete classes expose
+// divergent APIs: ClassicFma::fma is IEEE-in/IEEE-out, the PCS/FCS units
+// natively consume and produce carry-save operands, and DiscreteMulAdd is
+// a mul/add pair.  FmaUnit erases those differences behind one interface
+// so batch drivers (src/engine), accuracy sweeps and fuzzers can be written
+// once and run against any architecture:
+//
+//   * `fma_ieee` — the single-operation view with IEEE 754 boundaries
+//     (convert in, run the unit once, convert out), and
+//   * `lift` / `fma` / `lower` — the chained view: values stay in the
+//     unit's NATIVE operand format between operations (carry-save with
+//     deferred rounding for PCS/FCS, plain binary64 for the IEEE units),
+//     which is exactly how the paper's Sec. IV-B chains are wired.
+//
+// Units are selected by `UnitKind` through `make_fma_unit`, which also
+// wires an optional ActivityRecorder for the energy model's toggle counts.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <variant>
+
+#include "common/activity.hpp"
+#include "fma/fcs_format.hpp"
+#include "fma/pcs_format.hpp"
+#include "fp/pfloat.hpp"
+
+namespace csfma {
+
+/// The four Table I architectures.
+enum class UnitKind {
+  Discrete,  // Xilinx CoreGen discrete multiplier + adder (two roundings)
+  Classic,   // classic fused FMA (Hokenek/Montoye/Cook; FloPoCo-style)
+  Pcs,       // partial-carry-save FMA (Sec. III-F, Fig 9)
+  Fcs,       // full-carry-save FMA (Sec. III-G/H, Fig 11)
+};
+
+const char* to_string(UnitKind kind);
+
+/// All kinds, for sweeps over the whole ladder.
+inline constexpr UnitKind kAllUnitKinds[] = {UnitKind::Discrete,
+                                             UnitKind::Classic, UnitKind::Pcs,
+                                             UnitKind::Fcs};
+
+/// Coarse pipeline-depth class (the Table I / Fig 13 contrast).  The exact
+/// cycle counts live in the fpga/ synthesis model; this classifies the
+/// architectural reason for them.
+enum class LatencyClass {
+  DiscretePair,  // separate mul and add pipelines; latencies add up
+  FusedClassic,  // one fused pipeline with full normalization + rounding
+  CarrySave,     // normalization/rounding deferred out of the loop (P/FCS)
+};
+
+const char* to_string(LatencyClass lc);
+
+/// A value in a unit's native inter-operation format: plain IEEE for the
+/// Discrete/Classic units, a carry-save operand for PCS/FCS.  Opaque to
+/// generic callers; unit-specific code may unwrap the concrete format.
+class FmaOperand {
+ public:
+  FmaOperand() : v_(PFloat()) {}
+  explicit FmaOperand(PFloat v) : v_(std::move(v)) {}
+  explicit FmaOperand(PcsOperand v) : v_(std::move(v)) {}
+  explicit FmaOperand(FcsOperand v) : v_(std::move(v)) {}
+
+  bool is_ieee() const { return std::holds_alternative<PFloat>(v_); }
+  bool is_pcs() const { return std::holds_alternative<PcsOperand>(v_); }
+  bool is_fcs() const { return std::holds_alternative<FcsOperand>(v_); }
+
+  /// Unwrap; checked against the stored alternative.
+  const PFloat& ieee() const;
+  const PcsOperand& pcs() const;
+  const FcsOperand& fcs() const;
+
+ private:
+  std::variant<PFloat, PcsOperand, FcsOperand> v_;
+};
+
+/// Abstract multiply-add unit: R = A + B*C.  B is always IEEE binary64 (the
+/// non-critical operand stays standard in every architecture, Sec. III-D).
+class FmaUnit {
+ public:
+  virtual ~FmaUnit() = default;
+
+  virtual UnitKind kind() const = 0;
+  /// Human-readable architecture name (matches the Table I row labels).
+  virtual std::string_view name() const = 0;
+  virtual LatencyClass latency_class() const = 0;
+
+  /// Convert an IEEE value into the unit's native inter-operation format.
+  virtual FmaOperand lift(const PFloat& v) const = 0;
+  /// Convert a native value out to IEEE.  `rm` is the final (deferred)
+  /// rounding for the carry-save units; the IEEE units' values are already
+  /// rounded by the hardware, so it is a no-op re-round there.
+  virtual PFloat lower(const FmaOperand& v, Round rm) const = 0;
+  /// One multiply-add in the native format: returns a + b*c.  For PCS/FCS
+  /// the result keeps its unrounded tail for the next chained operation.
+  virtual FmaOperand fma(const FmaOperand& a, const PFloat& b,
+                         const FmaOperand& c) = 0;
+
+  /// Single-operation convenience with IEEE boundaries:
+  /// lower(fma(lift(a), b, lift(c)), rm).
+  virtual PFloat fma_ieee(const PFloat& a, const PFloat& b, const PFloat& c,
+                          Round rm);
+};
+
+/// Construct the unit simulator for `kind`.  `activity` (optional) receives
+/// per-component toggle counts and must outlive the unit.
+std::unique_ptr<FmaUnit> make_fma_unit(UnitKind kind,
+                                       ActivityRecorder* activity = nullptr);
+
+}  // namespace csfma

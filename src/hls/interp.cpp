@@ -23,91 +23,111 @@ struct Val {
 
 std::map<std::string, double> Evaluator::run(
     const std::map<std::string, double>& inputs) const {
+  return run_batch({inputs}).front();
+}
+
+std::vector<std::map<std::string, double>> Evaluator::run_batch(
+    const std::vector<std::map<std::string, double>>& inputs_batch) const {
+  // Per-sample setup is hoisted out of the sample loop: the wire-value
+  // workspace, the unit simulators and the topological order are built once
+  // for the whole batch (kernel sweeps push thousands of samples through
+  // the same CDFG).
   std::vector<Val> vals((size_t)g_.num_nodes());
-  std::map<std::string, double> outputs;
   PcsFma pcs_unit;
   FcsFma fcs_unit;
   PcsDotProduct dot_unit;
   const Round exit_rm = Round::HalfAwayFromZero;
+  const std::vector<int> topo = g_.topo_order();
 
-  for (int id : g_.topo_order()) {
-    const Node& n = g_.node(id);
-    Val& v = vals[(size_t)id];
-    auto in = [&](int i) -> const Val& { return vals[(size_t)n.args[(size_t)i]]; };
-    auto bin64 = [&](OpKind k, const PFloat& a, const PFloat& b) {
-      switch (k) {
+  auto eval_one = [&](const std::map<std::string, double>& inputs) {
+    std::map<std::string, double> outputs;
+    for (int id : topo) {
+      const Node& n = g_.node(id);
+      Val& v = vals[(size_t)id];
+      auto in = [&](int i) -> const Val& {
+        return vals[(size_t)n.args[(size_t)i]];
+      };
+      auto bin64 = [&](OpKind k, const PFloat& a, const PFloat& b) {
+        switch (k) {
+          case OpKind::Add:
+            return PFloat::add(a, b, kBinary64, Round::NearestEven);
+          case OpKind::Sub:
+            return PFloat::sub(a, b, kBinary64, Round::NearestEven);
+          case OpKind::Mul:
+            return PFloat::mul(a, b, kBinary64, Round::NearestEven);
+          case OpKind::Div:
+            return PFloat::div(a, b, kBinary64, Round::NearestEven);
+          default:
+            CSFMA_CHECK(false);
+            return PFloat::nan(kBinary64);
+        }
+      };
+      switch (n.kind) {
+        case OpKind::Input: {
+          auto it = inputs.find(n.name);
+          CSFMA_CHECK_MSG(it != inputs.end(), "missing input " << n.name);
+          v.ieee = PFloat::from_double(kBinary64, it->second);
+          break;
+        }
+        case OpKind::Const:
+          v.ieee = PFloat::from_double(kBinary64, n.const_value);
+          break;
+        case OpKind::Output:
+          outputs[n.name] = in(0).ieee.to_double();
+          break;
         case OpKind::Add:
-          return PFloat::add(a, b, kBinary64, Round::NearestEven);
         case OpKind::Sub:
-          return PFloat::sub(a, b, kBinary64, Round::NearestEven);
         case OpKind::Mul:
-          return PFloat::mul(a, b, kBinary64, Round::NearestEven);
         case OpKind::Div:
-          return PFloat::div(a, b, kBinary64, Round::NearestEven);
-        default:
-          CSFMA_CHECK(false);
-          return PFloat::nan(kBinary64);
-      }
-    };
-    switch (n.kind) {
-      case OpKind::Input: {
-        auto it = inputs.find(n.name);
-        CSFMA_CHECK_MSG(it != inputs.end(), "missing input " << n.name);
-        v.ieee = PFloat::from_double(kBinary64, it->second);
-        break;
-      }
-      case OpKind::Const:
-        v.ieee = PFloat::from_double(kBinary64, n.const_value);
-        break;
-      case OpKind::Output:
-        outputs[n.name] = in(0).ieee.to_double();
-        break;
-      case OpKind::Add:
-      case OpKind::Sub:
-      case OpKind::Mul:
-      case OpKind::Div:
-        v.ieee = bin64(n.kind, in(0).ieee, in(1).ieee);
-        break;
-      case OpKind::Neg:
-        v.ieee = in(0).ieee.negated();
-        break;
-      case OpKind::CvtToCs:
-        v.type = ValueType::Cs;
-        v.style = n.style;
-        if (n.style == FmaStyle::Pcs) {
-          v.pcs = ieee_to_pcs(in(0).ieee);
-        } else {
-          v.fcs = ieee_to_fcs(in(0).ieee);
+          v.ieee = bin64(n.kind, in(0).ieee, in(1).ieee);
+          break;
+        case OpKind::Neg:
+          v.ieee = in(0).ieee.negated();
+          break;
+        case OpKind::CvtToCs:
+          v.type = ValueType::Cs;
+          v.style = n.style;
+          if (n.style == FmaStyle::Pcs) {
+            v.pcs = ieee_to_pcs(in(0).ieee);
+          } else {
+            v.fcs = ieee_to_fcs(in(0).ieee);
+          }
+          break;
+        case OpKind::CvtFromCs:
+          if (n.style == FmaStyle::Pcs) {
+            v.ieee = pcs_to_ieee(in(0).pcs, kBinary64, exit_rm);
+          } else {
+            v.ieee = fcs_to_ieee(in(0).fcs, kBinary64, exit_rm);
+          }
+          break;
+        case OpKind::Dot: {
+          v.type = ValueType::Cs;
+          v.style = n.style;
+          std::vector<std::pair<PFloat, PFloat>> terms;
+          for (int i = 0; i + 1 < n.arity(); i += 2)
+            terms.emplace_back(in(i).ieee, in(i + 1).ieee);
+          v.pcs = dot_unit.dot(terms);
+          break;
         }
-        break;
-      case OpKind::CvtFromCs:
-        if (n.style == FmaStyle::Pcs) {
-          v.ieee = pcs_to_ieee(in(0).pcs, kBinary64, exit_rm);
-        } else {
-          v.ieee = fcs_to_ieee(in(0).fcs, kBinary64, exit_rm);
-        }
-        break;
-      case OpKind::Dot: {
-        v.type = ValueType::Cs;
-        v.style = n.style;
-        std::vector<std::pair<PFloat, PFloat>> terms;
-        for (int i = 0; i + 1 < n.arity(); i += 2)
-          terms.emplace_back(in(i).ieee, in(i + 1).ieee);
-        v.pcs = dot_unit.dot(terms);
-        break;
+        case OpKind::Fma:
+          v.type = ValueType::Cs;
+          v.style = n.style;
+          if (n.style == FmaStyle::Pcs) {
+            v.pcs = pcs_unit.fma(in(0).pcs, in(1).ieee, in(2).pcs);
+          } else {
+            v.fcs = fcs_unit.fma(in(0).fcs, in(1).ieee, in(2).fcs);
+          }
+          break;
       }
-      case OpKind::Fma:
-        v.type = ValueType::Cs;
-        v.style = n.style;
-        if (n.style == FmaStyle::Pcs) {
-          v.pcs = pcs_unit.fma(in(0).pcs, in(1).ieee, in(2).pcs);
-        } else {
-          v.fcs = fcs_unit.fma(in(0).fcs, in(1).ieee, in(2).fcs);
-        }
-        break;
     }
-  }
-  return outputs;
+    return outputs;
+  };
+
+  std::vector<std::map<std::string, double>> outputs_batch;
+  outputs_batch.reserve(inputs_batch.size());
+  for (const auto& inputs : inputs_batch)
+    outputs_batch.push_back(eval_one(inputs));
+  return outputs_batch;
 }
 
 }  // namespace csfma

@@ -7,6 +7,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "hls/ir.hpp"
 
@@ -17,9 +18,16 @@ class Evaluator {
   explicit Evaluator(const Cdfg& g) : g_(g) {}
 
   /// Evaluate with the given named inputs; returns the named outputs.
-  /// Missing inputs throw.
+  /// Missing inputs throw.  Delegates to run_batch with one sample.
   std::map<std::string, double> run(
       const std::map<std::string, double>& inputs) const;
+
+  /// Evaluate many input samples over the same CDFG: the topological walk
+  /// setup, the unit simulators and the wire-value workspace are built once
+  /// and reused across samples (kernel sweeps call this with thousands of
+  /// samples).  outputs[i] corresponds to inputs[i].
+  std::vector<std::map<std::string, double>> run_batch(
+      const std::vector<std::map<std::string, double>>& inputs) const;
 
  private:
   const Cdfg& g_;

@@ -51,11 +51,55 @@ TEST(Activity, RecorderNamesProbesIndependently) {
 }
 
 TEST(Activity, MixedWidthObservationsUseCommonWorkspace) {
-  // Observing a narrow bus then a wide one compares in the 512b workspace.
+  // Observing a narrow bus then a wide one compares zero-extended to the
+  // wider of the two.
   ActivityProbe p;
   p.observe(WideUint<1>(0b1ull));
   p.observe(WideUint<8>(0b10ull));
   EXPECT_EQ(p.toggles(), 2u);
+}
+
+TEST(Activity, BusesWiderThan512BitsAreNotTruncated) {
+  // Regression: observe() used to squeeze every bus through a 512-bit
+  // workspace, silently dropping toggles above bit 511.
+  ActivityProbe p;
+  p.observe(WideUint<9>());
+  p.observe(~WideUint<9>());
+  EXPECT_EQ(p.toggles(), 576u);
+
+  ActivityProbe hi;
+  // A value whose only activity is in the words above the old workspace.
+  WideUint<12> a, b;
+  a.set_word(10, 0xFFull);
+  b.set_word(11, 0x1ull);
+  hi.observe(a);
+  hi.observe(b);
+  EXPECT_EQ(hi.toggles(), 9u);
+}
+
+TEST(Activity, ProbeMergeAddsTotalsWithoutInventingSeamToggles) {
+  ActivityProbe a, b;
+  a.observe(WideUint<1>(0x0ull));
+  a.observe(WideUint<1>(0xFull));  // 4 toggles
+  b.observe(WideUint<1>(0x0ull));  // baseline only: the all-ones -> zero
+  b.observe(WideUint<1>(0x3ull));  // seam is NOT counted; 2 toggles
+  a.merge_from(b);
+  EXPECT_EQ(a.toggles(), 6u);
+  EXPECT_EQ(a.observations(), 4u);
+}
+
+TEST(Activity, RecorderMergeCombinesByProbeName) {
+  ActivityRecorder r1, r2;
+  r1.probe("adder").observe(WideUint<1>(0ull));
+  r1.probe("adder").observe(WideUint<1>(1ull));
+  r2.probe("adder").observe(WideUint<1>(0ull));
+  r2.probe("adder").observe(WideUint<1>(3ull));
+  r2.probe("shifter").observe(WideUint<1>(0ull));
+  r2.probe("shifter").observe(WideUint<1>(7ull));
+  r1.merge_from(r2);
+  EXPECT_EQ(r1.probe("adder").toggles(), 3u);
+  EXPECT_EQ(r1.probe("shifter").toggles(), 3u);
+  EXPECT_EQ(r1.total_toggles(), 6u);
 }
 
 }  // namespace

@@ -1,0 +1,164 @@
+// SimEngine: correctness of the batch/stream drivers and, critically, the
+// determinism contract — results and merged switching activity must not
+// depend on the worker thread count (the logical sharding is fixed by the
+// data, see src/engine/sim_engine.hpp).
+#include "engine/sim_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "energy/workload.hpp"
+#include "fma/classic_fma.hpp"
+
+namespace csfma {
+namespace {
+
+EngineConfig config(UnitKind kind, int threads, std::uint64_t shard_ops) {
+  EngineConfig cfg;
+  cfg.unit = kind;
+  cfg.threads = threads;
+  cfg.rm = Round::NearestEven;
+  cfg.shard_ops = shard_ops;
+  return cfg;
+}
+
+std::map<std::string, std::uint64_t> toggle_map(const ActivityRecorder& rec) {
+  std::map<std::string, std::uint64_t> m;
+  for (const auto& [name, p] : rec.probes()) m[name] = p.toggles();
+  return m;
+}
+
+TEST(SimEngine, MatchesDirectUnitLoop) {
+  RandomTripleSource src(7, 1000);
+  SimEngine engine(config(UnitKind::Classic, 2, 128));
+  BatchResult r = engine.run_batch(src);
+  ASSERT_EQ(r.results.size(), 1000u);
+
+  std::vector<OperandTriple> ops(1000);
+  src.fill(0, ops.data(), ops.size());
+  ClassicFma unit;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    PFloat want = unit.fma(ops[i].a, ops[i].b, ops[i].c);
+    EXPECT_TRUE(PFloat::same_value(r.results[i], want)) << "op " << i;
+  }
+}
+
+TEST(SimEngine, VectorBatchOverloadMatchesSource) {
+  std::vector<OperandTriple> ops(257);
+  RandomTripleSource src(8, ops.size());
+  src.fill(0, ops.data(), ops.size());
+  SimEngine engine(config(UnitKind::Pcs, 2, 64));
+  BatchResult from_vec = engine.run_batch(ops);
+  BatchResult from_src = engine.run_batch(src);
+  ASSERT_EQ(from_vec.results.size(), from_src.results.size());
+  for (size_t i = 0; i < ops.size(); ++i)
+    EXPECT_TRUE(PFloat::same_value(from_vec.results[i], from_src.results[i]));
+  EXPECT_EQ(toggle_map(from_vec.activity), toggle_map(from_src.activity));
+}
+
+// The determinism contract on a 10k-sample stream, for both carry-save
+// units: 1 worker and N workers produce bit-identical results and equal
+// merged toggle totals (per probe, not just in aggregate).
+TEST(SimEngine, ThreadCountDoesNotChangeResultsOrActivity) {
+  for (UnitKind kind : {UnitKind::Pcs, UnitKind::Fcs}) {
+    RandomTripleSource src(42, 10000, -12, 12);
+    SimEngine one(config(kind, 1, 512));
+    SimEngine many(config(kind, 4, 512));
+    BatchResult r1 = one.run_batch(src);
+    BatchResult rn = many.run_batch(src);
+    ASSERT_EQ(r1.results.size(), rn.results.size());
+    for (size_t i = 0; i < r1.results.size(); ++i) {
+      ASSERT_TRUE(PFloat::same_value(r1.results[i], rn.results[i]))
+          << to_string(kind) << " op " << i;
+    }
+    EXPECT_EQ(toggle_map(r1.activity), toggle_map(rn.activity))
+        << to_string(kind);
+    EXPECT_EQ(r1.activity.total_toggles(), rn.activity.total_toggles());
+    EXPECT_GT(r1.activity.total_toggles(), 0u);
+  }
+}
+
+TEST(SimEngine, StreamMatchesBatchAndReusesBuffers) {
+  RandomTripleSource src(11, 5000);
+  SimEngine engine(config(UnitKind::Fcs, 3, 256));
+  BatchResult batch = engine.run_batch(src);
+
+  std::vector<PFloat> streamed(5000);
+  StreamResult stream = engine.run_stream(
+      src, [&](std::uint64_t start, const PFloat* results, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) streamed[start + i] = results[i];
+      });
+  for (size_t i = 0; i < streamed.size(); ++i)
+    EXPECT_TRUE(PFloat::same_value(streamed[i], batch.results[i])) << i;
+  EXPECT_EQ(toggle_map(stream.activity), toggle_map(batch.activity));
+}
+
+TEST(SimEngine, ShardStatsCoverTheWholeStream) {
+  RandomTripleSource src(13, 1000);
+  SimEngine engine(config(UnitKind::Discrete, 2, 300));
+  BatchResult r = engine.run_batch(src);
+  ASSERT_EQ(r.stats.shards.size(), 4u);  // ceil(1000 / 300)
+  std::uint64_t total = 0, expect_start = 0;
+  for (const auto& s : r.stats.shards) {
+    EXPECT_EQ(s.start, expect_start);
+    EXPECT_GE(s.ops_per_sec, 0.0);
+    expect_start += s.ops;
+    total += s.ops;
+  }
+  EXPECT_EQ(total, 1000u);
+  EXPECT_EQ(r.stats.ops, 1000u);
+  EXPECT_GT(r.stats.ops_per_sec, 0.0);
+}
+
+TEST(SimEngine, EmptyStream) {
+  std::vector<OperandTriple> none;
+  SimEngine engine(config(UnitKind::Pcs, 4, 128));
+  BatchResult r = engine.run_batch(none);
+  EXPECT_TRUE(r.results.empty());
+  EXPECT_EQ(r.stats.ops, 0u);
+  EXPECT_TRUE(r.stats.shards.empty());
+  EXPECT_EQ(r.activity.total_toggles(), 0u);
+}
+
+TEST(SimEngine, RandomSourceIsChunkingInvariant) {
+  RandomTripleSource src(99, 100);
+  std::vector<OperandTriple> whole(100), pieces(100);
+  src.fill(0, whole.data(), 100);
+  src.fill(0, pieces.data(), 37);
+  src.fill(37, pieces.data() + 37, 41);
+  src.fill(78, pieces.data() + 78, 22);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(PFloat::same_value(whole[i].a, pieces[i].a));
+    EXPECT_TRUE(PFloat::same_value(whole[i].b, pieces[i].b));
+    EXPECT_TRUE(PFloat::same_value(whole[i].c, pieces[i].c));
+  }
+}
+
+TEST(SimEngine, RecurrenceSourceIsChunkingInvariant) {
+  RecurrenceSource src(5, 4, 20);  // 4 runs x 36 ops
+  ASSERT_EQ(src.size(), 144u);
+  std::vector<OperandTriple> whole(144), pieces(144);
+  src.fill(0, whole.data(), 144);
+  src.fill(0, pieces.data(), 50);   // cuts through run 1
+  src.fill(50, pieces.data() + 50, 70);  // cuts through runs 1..3
+  src.fill(120, pieces.data() + 120, 24);
+  for (size_t i = 0; i < 144; ++i) {
+    EXPECT_TRUE(PFloat::same_value(whole[i].a, pieces[i].a)) << i;
+    EXPECT_TRUE(PFloat::same_value(whole[i].b, pieces[i].b)) << i;
+    EXPECT_TRUE(PFloat::same_value(whole[i].c, pieces[i].c)) << i;
+  }
+}
+
+TEST(SimEngine, MeasureStreamIsThreadCountInvariant) {
+  ActivityMeasurement one = measure_stream(UnitKind::Pcs, 77, 6, 30, 1);
+  ActivityMeasurement four = measure_stream(UnitKind::Pcs, 77, 6, 30, 4);
+  EXPECT_EQ(one.ops, four.ops);
+  EXPECT_DOUBLE_EQ(one.toggles_per_op, four.toggles_per_op);
+  EXPECT_EQ(one.by_component, four.by_component);
+  EXPECT_GT(one.toggles_per_op, 0.0);
+}
+
+}  // namespace
+}  // namespace csfma

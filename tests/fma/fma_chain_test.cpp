@@ -2,14 +2,17 @@
 //   x[n] = B1*x[n-1] + B2*x[n-2] + x[n-3],  1 < |B1| < 32, 0 < |B2| < 1,
 // evaluated to x[50] through pairs of chained units with deferred rounding,
 // against the 75b CoreGen-style golden reference (Fig 14's methodology).
+//
+// The chains are wired through the unified FmaUnit interface: values stay
+// in the unit's native inter-operation format (carry-save for PCS/FCS)
+// between operations and are rounded out once at the end — the same code
+// drives every architecture.
 #include <gtest/gtest.h>
 
 #include <array>
 
 #include "common/rng.hpp"
-#include "fma/discrete.hpp"
-#include "fma/fcs_fma.hpp"
-#include "fma/pcs_fma.hpp"
+#include "fma/fma_unit.hpp"
 
 namespace csfma {
 namespace {
@@ -49,40 +52,23 @@ PFloat reference(const RecurrenceInputs& in, const FloatFormat& fmt, int n) {
   return x1;
 }
 
-/// The PCS chain: both FMAs keep the value in PCS format end to end; only
-/// the final readout converts (rounding once).
-PFloat pcs_chain(const RecurrenceInputs& in, int n) {
-  PcsFma unit;
+/// The recurrence through any unit: values stay in the unit's native
+/// format between the two chained FMAs; only the final readout rounds.
+PFloat unit_chain(UnitKind kind, const RecurrenceInputs& in, int n) {
+  auto unit = make_fma_unit(kind);
   PFloat b1 = PFloat::from_double(kBinary64, in.b1);
   PFloat b2 = PFloat::from_double(kBinary64, in.b2);
-  PcsOperand x3 = ieee_to_pcs(PFloat::from_double(kBinary64, in.x0[0]));
-  PcsOperand x2 = ieee_to_pcs(PFloat::from_double(kBinary64, in.x0[1]));
-  PcsOperand x1 = ieee_to_pcs(PFloat::from_double(kBinary64, in.x0[2]));
+  FmaOperand x3 = unit->lift(PFloat::from_double(kBinary64, in.x0[0]));
+  FmaOperand x2 = unit->lift(PFloat::from_double(kBinary64, in.x0[1]));
+  FmaOperand x1 = unit->lift(PFloat::from_double(kBinary64, in.x0[2]));
   for (int i = 3; i <= n; ++i) {
-    PcsOperand t = unit.fma(x3, b2, x2);
-    PcsOperand x = unit.fma(t, b1, x1);
+    FmaOperand t = unit->fma(x3, b2, x2);
+    FmaOperand x = unit->fma(t, b1, x1);
     x3 = x2;
     x2 = x1;
     x1 = x;
   }
-  return pcs_to_ieee(x1, kBinary64, Round::HalfAwayFromZero);
-}
-
-PFloat fcs_chain(const RecurrenceInputs& in, int n) {
-  FcsFma unit;
-  PFloat b1 = PFloat::from_double(kBinary64, in.b1);
-  PFloat b2 = PFloat::from_double(kBinary64, in.b2);
-  FcsOperand x3 = ieee_to_fcs(PFloat::from_double(kBinary64, in.x0[0]));
-  FcsOperand x2 = ieee_to_fcs(PFloat::from_double(kBinary64, in.x0[1]));
-  FcsOperand x1 = ieee_to_fcs(PFloat::from_double(kBinary64, in.x0[2]));
-  for (int i = 3; i <= n; ++i) {
-    FcsOperand t = unit.fma(x3, b2, x2);
-    FcsOperand x = unit.fma(t, b1, x1);
-    x3 = x2;
-    x2 = x1;
-    x1 = x;
-  }
-  return fcs_to_ieee(x1, kBinary64, Round::HalfAwayFromZero);
+  return unit->lower(x1, Round::HalfAwayFromZero);
 }
 
 TEST(FmaChain, PcsChainStaysNearGolden) {
@@ -90,7 +76,7 @@ TEST(FmaChain, PcsChainStaysNearGolden) {
   for (int run = 0; run < 20; ++run) {
     RecurrenceInputs in = random_inputs(rng);
     PFloat golden = reference(in, kBinary75, 50);
-    double err = PFloat::ulp_error(pcs_chain(in, 50), golden, 52);
+    double err = PFloat::ulp_error(unit_chain(UnitKind::Pcs, in, 50), golden, 52);
     // ~96 chained operations with deferred rounding: stays within a few
     // double-precision ulps of the 75b golden.
     EXPECT_LE(err, 16.0) << "run " << run << " err " << err;
@@ -102,7 +88,7 @@ TEST(FmaChain, FcsChainStaysNearGolden) {
   for (int run = 0; run < 20; ++run) {
     RecurrenceInputs in = random_inputs(rng);
     PFloat golden = reference(in, kBinary75, 50);
-    double err = PFloat::ulp_error(fcs_chain(in, 50), golden, 52);
+    double err = PFloat::ulp_error(unit_chain(UnitKind::Fcs, in, 50), golden, 52);
     EXPECT_LE(err, 16.0) << "run " << run << " err " << err;
   }
 }
@@ -117,8 +103,8 @@ TEST(FmaChain, CsChainsBeat64bOnAverage) {
     RecurrenceInputs in = random_inputs(rng);
     PFloat golden = reference(in, kBinary75, 50);
     e64 += PFloat::ulp_error(reference(in, kBinary64, 50), golden, 52);
-    e_pcs += PFloat::ulp_error(pcs_chain(in, 50), golden, 52);
-    e_fcs += PFloat::ulp_error(fcs_chain(in, 50), golden, 52);
+    e_pcs += PFloat::ulp_error(unit_chain(UnitKind::Pcs, in, 50), golden, 52);
+    e_fcs += PFloat::ulp_error(unit_chain(UnitKind::Fcs, in, 50), golden, 52);
   }
   EXPECT_LT(e_pcs, e64);
   EXPECT_LT(e_fcs, e64);
@@ -138,26 +124,15 @@ TEST(FmaChain, Binary68BeatsBinary64) {
 }
 
 TEST(FmaChain, DiscreteUnitMatchesReference) {
-  // The DiscreteMulAdd wrapper computes the same values as the reference
-  // recurrence in binary64.
+  // The discrete (CoreGen) unit behind the interface computes the same
+  // values as the binary64 reference recurrence: its native format is
+  // plain IEEE, so the chain IS the discrete pipeline.
   Rng rng(114);
-  DiscreteMulAdd coregen;
   for (int run = 0; run < 10; ++run) {
     RecurrenceInputs in = random_inputs(rng);
-    PFloat b1 = PFloat::from_double(kBinary64, in.b1);
-    PFloat b2 = PFloat::from_double(kBinary64, in.b2);
-    PFloat x3 = PFloat::from_double(kBinary64, in.x0[0]);
-    PFloat x2 = PFloat::from_double(kBinary64, in.x0[1]);
-    PFloat x1 = PFloat::from_double(kBinary64, in.x0[2]);
-    for (int i = 3; i <= 50; ++i) {
-      PFloat t = coregen.mul_add(x3, b2, x2);
-      PFloat x = coregen.mul_add(t, b1, x1);
-      x3 = x2;
-      x2 = x1;
-      x1 = x;
-    }
+    PFloat got = unit_chain(UnitKind::Discrete, in, 50);
     PFloat want = reference(in, kBinary64, 50);
-    EXPECT_TRUE(PFloat::same_value(x1, want));
+    EXPECT_TRUE(PFloat::same_value(got, want));
   }
 }
 

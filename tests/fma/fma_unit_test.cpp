@@ -1,0 +1,117 @@
+// The unified FmaUnit interface: factory wiring, metadata, and agreement
+// of the adapters with the concrete unit simulators they wrap.
+#include "fma/fma_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fma/classic_fma.hpp"
+#include "fma/discrete.hpp"
+#include "fma/fcs_fma.hpp"
+#include "fma/pcs_fma.hpp"
+
+namespace csfma {
+namespace {
+
+PFloat rand_op(Rng& rng) {
+  return PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-8, 8));
+}
+
+TEST(FmaUnit, FactoryCoversEveryKindWithStableMetadata) {
+  for (UnitKind kind : kAllUnitKinds) {
+    auto unit = make_fma_unit(kind);
+    ASSERT_NE(unit, nullptr) << to_string(kind);
+    EXPECT_EQ(unit->kind(), kind);
+    EXPECT_FALSE(unit->name().empty());
+  }
+  EXPECT_EQ(make_fma_unit(UnitKind::Discrete)->latency_class(),
+            LatencyClass::DiscretePair);
+  EXPECT_EQ(make_fma_unit(UnitKind::Classic)->latency_class(),
+            LatencyClass::FusedClassic);
+  EXPECT_EQ(make_fma_unit(UnitKind::Pcs)->latency_class(),
+            LatencyClass::CarrySave);
+  EXPECT_EQ(make_fma_unit(UnitKind::Fcs)->latency_class(),
+            LatencyClass::CarrySave);
+}
+
+TEST(FmaUnit, AdaptersAgreeWithConcreteUnits) {
+  Rng rng(300);
+  auto discrete = make_fma_unit(UnitKind::Discrete);
+  auto classic = make_fma_unit(UnitKind::Classic);
+  auto pcs = make_fma_unit(UnitKind::Pcs);
+  auto fcs = make_fma_unit(UnitKind::Fcs);
+  DiscreteMulAdd discrete_ref;
+  ClassicFma classic_ref;
+  PcsFma pcs_ref;
+  FcsFma fcs_ref;
+  for (int i = 0; i < 500; ++i) {
+    PFloat a = rand_op(rng), b = rand_op(rng), c = rand_op(rng);
+    const Round rm = Round::HalfAwayFromZero;
+    EXPECT_TRUE(PFloat::same_value(discrete->fma_ieee(a, b, c, rm),
+                                   discrete_ref.mul_add(a, b, c)));
+    EXPECT_TRUE(PFloat::same_value(classic->fma_ieee(a, b, c, rm),
+                                   classic_ref.fma(a, b, c)));
+    EXPECT_TRUE(PFloat::same_value(pcs->fma_ieee(a, b, c, rm),
+                                   pcs_ref.fma_ieee(a, b, c, rm)));
+    EXPECT_TRUE(PFloat::same_value(fcs->fma_ieee(a, b, c, rm),
+                                   fcs_ref.fma_ieee(a, b, c, rm)));
+  }
+}
+
+TEST(FmaUnit, LiftLowerRoundTripsIeeeValues) {
+  Rng rng(301);
+  for (UnitKind kind : kAllUnitKinds) {
+    auto unit = make_fma_unit(kind);
+    for (int i = 0; i < 200; ++i) {
+      PFloat v = rand_op(rng);
+      PFloat back = unit->lower(unit->lift(v), Round::NearestEven);
+      EXPECT_TRUE(PFloat::same_value(back, v))
+          << to_string(kind) << " " << v.to_double();
+    }
+  }
+}
+
+TEST(FmaUnit, NativeChainMatchesExplicitPcsChain) {
+  // The lift/fma/lower view wires the same datapath a hand-written
+  // PcsOperand chain does.
+  Rng rng(302);
+  auto unit = make_fma_unit(UnitKind::Pcs);
+  PcsFma ref;
+  for (int i = 0; i < 50; ++i) {
+    PFloat a = rand_op(rng), b1 = rand_op(rng), c = rand_op(rng),
+           b2 = rand_op(rng), d = rand_op(rng);
+    // Two chained ops through the interface...
+    FmaOperand acc = unit->fma(unit->lift(a), b1, unit->lift(c));
+    acc = unit->fma(acc, b2, unit->lift(d));
+    PFloat got = unit->lower(acc, Round::HalfAwayFromZero);
+    // ...and through the concrete unit.
+    PcsOperand r = ref.fma(ieee_to_pcs(a), b1, ieee_to_pcs(c));
+    r = ref.fma(r, b2, ieee_to_pcs(d));
+    PFloat want = pcs_to_ieee(r, kBinary64, Round::HalfAwayFromZero);
+    EXPECT_TRUE(PFloat::same_value(got, want));
+  }
+}
+
+TEST(FmaUnit, OperandUnwrapIsTypeChecked) {
+  auto pcs = make_fma_unit(UnitKind::Pcs);
+  FmaOperand v = pcs->lift(PFloat::from_double(kBinary64, 1.5));
+  EXPECT_TRUE(v.is_pcs());
+  EXPECT_FALSE(v.is_ieee());
+  EXPECT_FALSE(v.is_fcs());
+}
+
+TEST(FmaUnit, ActivityRecorderReceivesToggles) {
+  Rng rng(303);
+  for (UnitKind kind : kAllUnitKinds) {
+    ActivityRecorder rec;
+    auto unit = make_fma_unit(kind, &rec);
+    for (int i = 0; i < 16; ++i) {
+      unit->fma_ieee(rand_op(rng), rand_op(rng), rand_op(rng),
+                     Round::NearestEven);
+    }
+    EXPECT_GT(rec.total_toggles(), 0u) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace csfma

@@ -59,6 +59,37 @@ TEST(Interp, MissingInputThrows) {
   EXPECT_THROW(Evaluator(g).run({}), CheckError);
 }
 
+TEST(Interp, RunBatchMatchesScalarRuns) {
+  // run_batch shares one CDFG walk setup across samples and must agree
+  // with sample-at-a-time run(), including for CS-unit nodes.
+  Cdfg g;
+  int a = g.add_input("a");
+  int b = g.add_input("b");
+  int c = g.add_input("c");
+  int ca = g.add_op(OpKind::CvtToCs, {a}, FmaStyle::Pcs);
+  int cc = g.add_op(OpKind::CvtToCs, {c}, FmaStyle::Pcs);
+  int f = g.add_op(OpKind::Fma, {ca, b, cc}, FmaStyle::Pcs);
+  g.add_output("fma", g.add_op(OpKind::CvtFromCs, {f}, FmaStyle::Pcs));
+  g.add_output("sum", g.add_op(OpKind::Add, {a, b}));
+  Evaluator ev(g);
+  Rng rng(142);
+  std::vector<std::map<std::string, double>> batch;
+  for (int t = 0; t < 500; ++t) {
+    batch.push_back({{"a", rng.next_double(-7, 7)},
+                     {"b", rng.next_double(-7, 7)},
+                     {"c", rng.next_double(-7, 7)}});
+  }
+  auto outs = ev.run_batch(batch);
+  ASSERT_EQ(outs.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) ASSERT_EQ(outs[i], ev.run(batch[i]));
+}
+
+TEST(Interp, RunBatchEmpty) {
+  Cdfg g;
+  g.add_output("o", g.add_input("a"));
+  EXPECT_TRUE(Evaluator(g).run_batch({}).empty());
+}
+
 TEST(Interp, MultipleOutputs) {
   Cdfg g;
   int a = g.add_input("a");

@@ -2,13 +2,15 @@
 // planes, live tails, extreme exponents) through the units, checked
 // against references computed from the operands' exact values.  This
 // exercises encodings that never arise from the IEEE converters.
+// The units run behind the unified FmaUnit interface (the batch engine's
+// dispatch path); the fuzzers hand the redundant operands in wrapped as
+// native FmaOperand values.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "common/rng.hpp"
-#include "fma/fcs_fma.hpp"
-#include "fma/pcs_fma.hpp"
+#include "fma/fma_unit.hpp"
 
 namespace csfma {
 namespace {
@@ -62,12 +64,12 @@ FcsOperand random_fcs(Rng& rng) {
 
 TEST(OperandFuzz, PcsFmaOnRedundantOperands) {
   Rng rng(190);
-  PcsFma unit;
+  auto unit = make_fma_unit(UnitKind::Pcs);
   for (int i = 0; i < 20000; ++i) {
     PcsOperand a = random_pcs(rng);
     PcsOperand c = random_pcs(rng);
     PFloat b = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-40, 40));
-    PcsOperand r = unit.fma(a, b, c);
+    PcsOperand r = unit->fma(FmaOperand(a), b, FmaOperand(c)).pcs();
     if (r.cls() != FpClass::Normal) continue;
     // Reference from the operands' exact values; the unit's deferred
     // rounding of a and c contributes up to ~2^-54 relative each.
@@ -90,12 +92,12 @@ TEST(OperandFuzz, PcsFmaOnRedundantOperands) {
 
 TEST(OperandFuzz, FcsFmaOnRedundantOperands) {
   Rng rng(191);
-  FcsFma unit;
+  auto unit = make_fma_unit(UnitKind::Fcs);
   for (int i = 0; i < 20000; ++i) {
     FcsOperand a = random_fcs(rng);
     FcsOperand c = random_fcs(rng);
     PFloat b = PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-40, 40));
-    FcsOperand r = unit.fma(a, b, c);
+    FcsOperand r = unit->fma(FmaOperand(a), b, FmaOperand(c)).fcs();
     if (r.cls() != FpClass::Normal) continue;
     PFloat ref = PFloat::fma(b, c.exact_value(), a.exact_value(), kWideExact,
                              Round::NearestEven);
