@@ -4,8 +4,13 @@
 // engine's determinism contract — bit-identical results and equal merged
 // activity totals whatever the thread count.
 //
-//   engine_throughput [ops] [threads]   (default: 1000000 ops,
-//                                        max(4, hardware_concurrency))
+//   engine_throughput [ops] [threads] [--json <path>] [--trace <path>]
+//                                        (default: 1000000 ops,
+//                                         max(4, hardware_concurrency))
+//
+// --json writes a csfma-report-v1 document (see docs/observability.md);
+// its "metrics" section is byte-identical for any thread count.  --trace
+// writes a chrome://tracing / Perfetto trace of the parallel run.
 //
 // Exit status: 1 on any determinism violation; 1 if the default (no-args)
 // run on a machine with >= 4 hardware threads fails the >= 3x speedup
@@ -13,21 +18,27 @@
 // arguments, or on boxes with fewer cores, the speedup is reported but not
 // gated — short streams and instrumented (TSan) builds are not meaningful
 // scaling measurements.
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
 
 #include "engine/sim_engine.hpp"
+#include "telemetry/report.hpp"
 
 using namespace csfma;
 
 namespace {
 
-BatchResult run(UnitKind kind, const OperandSource& src, int threads) {
+BatchResult run(UnitKind kind, const OperandSource& src, int threads,
+                MetricsRegistry* metrics = nullptr,
+                TraceSession* trace = nullptr) {
   EngineConfig cfg;
   cfg.unit = kind;
   cfg.threads = threads;
   cfg.rm = Round::NearestEven;
+  cfg.metrics = metrics;
+  cfg.trace = trace;
   SimEngine engine(cfg);
   return engine.run_batch(src);
 }
@@ -43,22 +54,41 @@ void print_stats(const char* label, const BatchStats& s) {
               shard_max);
 }
 
+/// FNV-1a over the binary64 bit patterns of the results: a deterministic,
+/// thread-count-invariant fingerprint for the report.
+std::uint64_t results_fingerprint(const std::vector<PFloat>& results) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const PFloat& r : results) {
+    std::uint64_t bits = std::bit_cast<std::uint64_t>(r.to_double());
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const ReportCliArgs out_paths = extract_report_args(argc, argv);
   const std::uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
                                    : 1000000ull;
   const unsigned hw = std::thread::hardware_concurrency();
   const int par = argc > 2 ? std::atoi(argv[2])
                            : (int)(hw > 4 ? hw : 4);
+  const std::uint64_t seed = 20260806;
 
   std::printf("SimEngine throughput — %llu PCS-FMA ops, %u hardware threads\n\n",
               (unsigned long long)n, hw);
-  RandomTripleSource src(20260806, n);
+  RandomTripleSource src(seed, n);
 
   BatchResult r1 = run(UnitKind::Pcs, src, 1);
   print_stats("1 thread", r1.stats);
-  BatchResult rn = run(UnitKind::Pcs, src, par);
+  MetricsRegistry metrics;
+  TraceSession trace;
+  BatchResult rn = run(UnitKind::Pcs, src, par, &metrics,
+                       out_paths.trace_path.empty() ? nullptr : &trace);
   std::printf("  (%d worker threads)\n", par);
   print_stats("parallel", rn.stats);
 
@@ -73,13 +103,46 @@ int main(int argc, char** argv) {
                     it->second.toggles() == probe.toggles();
   }
 
-  const double speedup =
-      r1.stats.seconds > 0 ? r1.stats.seconds / rn.stats.seconds : 0.0;
+  const double speedup = rn.stats.seconds > 0.0 && r1.stats.seconds > 0.0
+                             ? r1.stats.seconds / rn.stats.seconds
+                             : 0.0;
   std::printf("\n  results bit-identical:      %s\n", identical ? "yes" : "NO");
   std::printf("  merged activity identical:  %s (%llu toggles)\n",
               same_activity ? "yes" : "NO",
               (unsigned long long)r1.activity.total_toggles());
   std::printf("  speedup %d threads vs 1:    %.2fx\n", par, speedup);
+
+  if (!out_paths.trace_path.empty()) {
+    trace.write_json(out_paths.trace_path);
+    std::printf("  trace written to %s (%zu events)\n",
+                out_paths.trace_path.c_str(), trace.size());
+  }
+  if (!out_paths.json_path.empty()) {
+    Report report("engine_throughput");
+    report.meta("unit", "PCS-FMA");
+    report.meta("seed", seed);
+    report.meta("ops", n);
+    report.meta("threads", par);
+    report.meta("shard_ops", EngineConfig{}.shard_ops);
+    report.meta("hardware_threads", (std::uint64_t)hw);
+    report.attach_metrics(metrics);  // engine.* counters/histograms
+    report.metric("results_fnv64", results_fingerprint(rn.results));
+    report.metric("activity.total_toggles", rn.activity.total_toggles());
+    for (const auto& [name, probe] : rn.activity.probes())
+      report.metric("activity." + name + ".toggles", probe.toggles());
+    report.metric("determinism.results_identical",
+                  (std::uint64_t)(identical ? 1 : 0));
+    report.metric("determinism.activity_identical",
+                  (std::uint64_t)(same_activity ? 1 : 0));
+    report.timing("seconds_1t", r1.stats.seconds);
+    report.timing("seconds_parallel", rn.stats.seconds);
+    report.timing("ops_per_sec_1t", r1.stats.ops_per_sec);
+    report.timing("ops_per_sec_parallel", rn.stats.ops_per_sec);
+    report.timing("speedup", speedup);
+    report.section("activity", rn.activity.to_json());
+    report.write_json(out_paths.json_path);
+    std::printf("  report written to %s\n", out_paths.json_path.c_str());
+  }
 
   if (!identical || !same_activity) {
     std::printf("\nFAIL: determinism contract violated\n");

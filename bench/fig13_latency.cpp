@@ -1,11 +1,15 @@
 // Fig 13 — minimum computation time for one multiply-add operation:
 // minimum clock period x pipeline length, for the four architectures.
+//
+//   fig13_latency [--json <path>] [--csv <path>]
 #include <cstdio>
 
 #include "fpga/architectures.hpp"
+#include "telemetry/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csfma;
+  const ReportCliArgs out_paths = extract_report_args(argc, argv);
   auto rows = table1_reports(virtex6(), 200.0);
 
   // Paper values: cycles / fmax from Table I.
@@ -40,6 +44,32 @@ int main() {
                   coregen_model / r.min_ma_time_ns(),
                   r.arch == "PCS-FMA" ? "~1.7x" : "~2.5x");
     }
+  }
+
+  if (!out_paths.json_path.empty() || !out_paths.csv_path.empty()) {
+    Report report("fig13_latency");
+    report.meta("device", "Virtex-6");
+    report.meta("target_mhz", 200.0);
+    std::vector<std::vector<ReportCell>> table_rows;
+    for (const auto& r : rows) {
+      double pns = 0;
+      for (const auto& p : paper)
+        if (r.arch == p.arch) pns = p.ns;
+      const double m = r.min_ma_time_ns();
+      report.metric(r.arch + ".min_ma_time_ns", m);
+      report.metric(r.arch + ".paper_ns", pns);
+      table_rows.push_back({r.arch, pns, m});
+    }
+    for (const auto& r : rows) {
+      if (r.arch == "PCS-FMA" || r.arch == "FCS-FMA")
+        report.metric(r.arch + ".speedup_vs_coregen",
+                      coregen_model / r.min_ma_time_ns());
+    }
+    report.table("fig13", {"arch", "paper_ns", "model_ns"},
+                 std::move(table_rows));
+    if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
+    if (!out_paths.csv_path.empty())
+      report.write_csv(out_paths.csv_path, "fig13");
   }
   return 0;
 }

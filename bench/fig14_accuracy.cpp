@@ -3,12 +3,14 @@
 // arithmetic mean over 20 computations, against the 75b CoreGen-style
 // golden reference.  Ladder: 64b discrete, 68b discrete, PCS-FMA chain,
 // FCS-FMA chain (the paper plots 64b, 68b and FCS).
+//   fig14_accuracy [--json <path>]
 #include <array>
 #include <cstdio>
 
 #include "common/rng.hpp"
 #include "fma/fcs_fma.hpp"
 #include "fma/pcs_fma.hpp"
+#include "telemetry/report.hpp"
 
 namespace {
 
@@ -81,9 +83,11 @@ PFloat fcs_chain(const Inputs& in, int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ReportCliArgs out_paths = extract_report_args(argc, argv);
   const int kRuns = 20, kDepth = 50;
-  Rng rng(424242);
+  const std::uint64_t kSeed = 424242;
+  Rng rng(kSeed);
   double e64 = 0, e68 = 0, e_pcs = 0, e_fcs = 0;
   for (int run = 0; run < kRuns; ++run) {
     Inputs in = random_inputs(rng);
@@ -117,5 +121,25 @@ int main() {
   std::printf("\npaper's claim: both P/FCS-FMA chains clearly outperform\n"
               "standard double precision in average accuracy: %s\n",
               (e_pcs < e64 && e_fcs < e64) ? "REPRODUCED" : "NOT reproduced");
+
+  if (!out_paths.json_path.empty()) {
+    Report report("fig14_accuracy");
+    report.meta("seed", kSeed);
+    report.meta("runs", kRuns);
+    report.meta("depth", kDepth);
+    report.meta("reference", "binary75 discrete");
+    report.metric("ulp.64b", e64);
+    report.metric("ulp.68b", e68);
+    report.metric("ulp.pcs", e_pcs);
+    report.metric("ulp.fcs", e_fcs);
+    report.metric("reproduced",
+                  (std::uint64_t)((e_pcs < e64 && e_fcs < e64) ? 1 : 0));
+    report.table("fig14", {"ladder", "avg_ulp_error"},
+                 {{"64b (IEEE double)", e64},
+                  {"68b (wider CoreGen)", e68},
+                  {"PCS-FMA chain", e_pcs},
+                  {"FCS-FMA chain", e_fcs}});
+    report.write_json(out_paths.json_path);
+  }
   return (e_pcs < e64 && e_fcs < e64) ? 0 : 1;
 }

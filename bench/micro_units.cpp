@@ -1,101 +1,123 @@
 // Microbenchmarks (google-benchmark): throughput of the bit-accurate unit
 // simulators themselves.  Not a paper experiment — a health check that the
 // simulation is fast enough for the statistical benches.
+//
+// All unit loops go through the unified FmaUnit interface and the batch
+// driver: per-op IEEE-boundary timing via fma_ieee, chained native-format
+// timing via lift/fma/lower (the Sec. IV-B wiring), and whole-batch
+// RandomTripleSource runs through SimEngine with telemetry attached — the
+// same paths every statistical experiment uses, so regressions here are
+// regressions everywhere.
 #include <benchmark/benchmark.h>
 
-#include "common/rng.hpp"
-#include "fma/classic_fma.hpp"
-#include "fma/discrete.hpp"
-#include "fma/fcs_fma.hpp"
-#include "fma/pcs_fma.hpp"
+#include "engine/sim_engine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
 
 using namespace csfma;
 
-std::vector<PFloat> operands(int n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<PFloat> v;
-  v.reserve((size_t)n);
-  for (int i = 0; i < n; ++i)
-    v.push_back(PFloat::from_double(kBinary64, rng.next_fp_in_exp_range(-8, 8)));
+std::vector<OperandTriple> triples(std::uint64_t n, std::uint64_t seed) {
+  RandomTripleSource src(seed, n);
+  std::vector<OperandTriple> v((std::size_t)n);
+  src.fill(0, v.data(), v.size());
   return v;
 }
 
+/// Software-FMA baseline: the correctly rounded PFloat op every unit
+/// simulator builds on.
 void BM_SoftFloatFma(benchmark::State& state) {
-  auto ops = operands(256, 1);
+  auto ops = triples(256, 1);
   size_t i = 0;
   for (auto _ : state) {
-    PFloat r = PFloat::fma(ops[i % 256], ops[(i + 1) % 256], ops[(i + 2) % 256],
-                           kBinary64, Round::NearestEven);
+    const OperandTriple& t = ops[i % 256];
+    PFloat r = PFloat::fma(t.a, t.b, t.c, kBinary64, Round::NearestEven);
     benchmark::DoNotOptimize(r);
     ++i;
   }
+  state.SetItemsProcessed((int64_t)state.iterations());
 }
 BENCHMARK(BM_SoftFloatFma);
 
-void BM_ClassicFma(benchmark::State& state) {
-  ClassicFma unit;
-  auto ops = operands(256, 2);
+/// One multiply-add per iteration with IEEE 754 boundaries (convert in,
+/// run the unit, convert out) — the engine's per-op hot path.
+void BM_FmaIeee(benchmark::State& state, UnitKind kind) {
+  auto unit = make_fma_unit(kind);
+  auto ops = triples(256, 2);
   size_t i = 0;
   for (auto _ : state) {
-    PFloat r = unit.fma(ops[i % 256], ops[(i + 1) % 256], ops[(i + 2) % 256]);
+    const OperandTriple& t = ops[i % 256];
+    PFloat r = unit->fma_ieee(t.a, t.b, t.c, Round::NearestEven);
     benchmark::DoNotOptimize(r);
     ++i;
   }
+  state.SetItemsProcessed((int64_t)state.iterations());
 }
-BENCHMARK(BM_ClassicFma);
+BENCHMARK_CAPTURE(BM_FmaIeee, discrete, UnitKind::Discrete);
+BENCHMARK_CAPTURE(BM_FmaIeee, classic, UnitKind::Classic);
+BENCHMARK_CAPTURE(BM_FmaIeee, pcs, UnitKind::Pcs);
+BENCHMARK_CAPTURE(BM_FmaIeee, fcs, UnitKind::Fcs);
 
-void BM_PcsFmaChained(benchmark::State& state) {
-  PcsFma unit;
-  auto ops = operands(256, 3);
-  PcsOperand acc = ieee_to_pcs(ops[0]);
+/// Chained native-format accumulation: operands stay in the unit's
+/// inter-operation format (carry-save for PCS/FCS), with one deferred
+/// lower() per 64-op chain — the paper's recurrence wiring.
+void BM_FmaChained(benchmark::State& state, UnitKind kind) {
+  auto unit = make_fma_unit(kind);
+  auto ops = triples(256, 3);
+  FmaOperand acc = unit->lift(ops[0].a);
   size_t i = 0;
   for (auto _ : state) {
-    acc = unit.fma(acc, ops[i % 256], ieee_to_pcs(ops[(i + 1) % 256]));
-    if (acc.cls() != FpClass::Normal) acc = ieee_to_pcs(ops[0]);
-    ++i;
+    const OperandTriple& t = ops[i % 256];
+    acc = unit->fma(acc, t.b, unit->lift(t.c));
+    if (++i % 64 == 0) {
+      PFloat out = unit->lower(acc, Round::HalfAwayFromZero);
+      benchmark::DoNotOptimize(out);
+      acc = unit->lift(ops[i % 256].a);
+    }
   }
   benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed((int64_t)state.iterations());
 }
-BENCHMARK(BM_PcsFmaChained);
+BENCHMARK_CAPTURE(BM_FmaChained, classic, UnitKind::Classic);
+BENCHMARK_CAPTURE(BM_FmaChained, pcs, UnitKind::Pcs);
+BENCHMARK_CAPTURE(BM_FmaChained, fcs, UnitKind::Fcs);
 
-void BM_FcsFmaChained(benchmark::State& state) {
-  FcsFma unit;
-  auto ops = operands(256, 4);
-  FcsOperand acc = ieee_to_fcs(ops[0]);
-  size_t i = 0;
+/// Whole-batch runs through the engine with telemetry ON: measures the
+/// full production path (shard claim + fill + simulate + activity merge +
+/// metrics) at single-worker granularity.
+void BM_EngineBatch(benchmark::State& state, UnitKind kind) {
+  const std::uint64_t n = (std::uint64_t)state.range(0);
+  RandomTripleSource src(4, n);
+  MetricsRegistry metrics;
+  EngineConfig cfg;
+  cfg.unit = kind;
+  cfg.threads = 1;
+  cfg.shard_ops = 1024;
+  cfg.metrics = &metrics;
+  SimEngine engine(cfg);
   for (auto _ : state) {
-    acc = unit.fma(acc, ops[i % 256], ieee_to_fcs(ops[(i + 1) % 256]));
-    if (acc.cls() != FpClass::Normal) acc = ieee_to_fcs(ops[0]);
-    ++i;
+    BatchResult r = engine.run_batch(src);
+    benchmark::DoNotOptimize(r.results.data());
   }
-  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed((int64_t)(state.iterations() * (int64_t)n));
 }
-BENCHMARK(BM_FcsFmaChained);
+BENCHMARK_CAPTURE(BM_EngineBatch, pcs, UnitKind::Pcs)->Arg(4096);
+BENCHMARK_CAPTURE(BM_EngineBatch, fcs, UnitKind::Fcs)->Arg(4096);
 
-void BM_IeeeToPcs(benchmark::State& state) {
-  auto ops = operands(256, 5);
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ieee_to_pcs(ops[i % 256]));
-    ++i;
-  }
-}
-BENCHMARK(BM_IeeeToPcs);
-
-void BM_PcsToIeee(benchmark::State& state) {
-  auto ops = operands(256, 6);
-  std::vector<PcsOperand> ps;
-  for (const auto& o : ops) ps.push_back(ieee_to_pcs(o));
+/// Format conversion costs (chain entry/exit).
+void BM_LiftLower(benchmark::State& state, UnitKind kind) {
+  auto unit = make_fma_unit(kind);
+  auto ops = triples(256, 5);
   size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        pcs_to_ieee(ps[i % 256], kBinary64, Round::HalfAwayFromZero));
+        unit->lower(unit->lift(ops[i % 256].a), Round::HalfAwayFromZero));
     ++i;
   }
+  state.SetItemsProcessed((int64_t)state.iterations());
 }
-BENCHMARK(BM_PcsToIeee);
+BENCHMARK_CAPTURE(BM_LiftLower, pcs, UnitKind::Pcs);
+BENCHMARK_CAPTURE(BM_LiftLower, fcs, UnitKind::Fcs);
 
 }  // namespace
 

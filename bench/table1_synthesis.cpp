@@ -1,9 +1,12 @@
 // Table I — synthesis results on Virtex-6 (-1) at the paper's 200 MHz
 // constraint: fmax, pipeline cycles, LUTs, DSPs for Xilinx CoreGen,
 // FloPoCo FPPipeline, PCS-FMA and FCS-FMA.
+//
+//   table1_synthesis [--json <path>] [--csv <path>]
 #include <cstdio>
 
 #include "fpga/architectures.hpp"
+#include "telemetry/report.hpp"
 
 namespace {
 
@@ -22,8 +25,9 @@ constexpr PaperRow kPaper[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csfma;
+  const ReportCliArgs out_paths = extract_report_args(argc, argv);
   const Device dev = virtex6();
   auto rows = table1_reports(dev, 200.0);
 
@@ -47,9 +51,45 @@ int main() {
 
   std::printf("\nVirtex-5 portability check (PCS only; FCS needs the "
               "DSP48E1 pre-adder):\n");
-  for (const auto& r : table1_reports(virtex5(), 200.0)) {
+  auto v5_rows = table1_reports(virtex5(), 200.0);
+  for (const auto& r : v5_rows) {
     std::printf("  %-20s fmax=%6.1f MHz  cycles=%d  luts=%d  dsps=%d\n",
                 r.arch.c_str(), r.fmax_mhz, r.cycles, r.luts, r.dsps);
+  }
+
+  if (!out_paths.json_path.empty() || !out_paths.csv_path.empty()) {
+    Report report("table1_synthesis");
+    report.meta("device", dev.name);
+    report.meta("target_mhz", 200.0);
+    auto synth_table = [](const std::vector<SynthesisReport>& reports,
+                          const PaperRow* paper_rows, int num_paper) {
+      std::vector<std::vector<ReportCell>> out;
+      for (const auto& r : reports) {
+        const PaperRow* p = nullptr;
+        for (int i = 0; i < num_paper; ++i)
+          if (r.arch == paper_rows[i].arch) p = &paper_rows[i];
+        out.push_back({r.arch, p ? p->fmax : 0.0, r.fmax_mhz,
+                       p ? p->cycles : 0, r.cycles, p ? p->luts : 0, r.luts,
+                       p ? p->dsps : 0, r.dsps});
+      }
+      return out;
+    };
+    for (const auto& r : rows) {
+      report.metric(r.arch + ".fmax_mhz", r.fmax_mhz);
+      report.metric(r.arch + ".cycles", (std::uint64_t)r.cycles);
+      report.metric(r.arch + ".luts", (std::uint64_t)r.luts);
+      report.metric(r.arch + ".dsps", (std::uint64_t)r.dsps);
+    }
+    for (const auto& r : v5_rows)
+      report.metric("virtex5." + r.arch + ".fmax_mhz", r.fmax_mhz);
+    report.table("table1",
+                 {"arch", "fmax_paper", "fmax_model", "cycles_paper",
+                  "cycles_model", "luts_paper", "luts_model", "dsps_paper",
+                  "dsps_model"},
+                 synth_table(rows, kPaper, 4));
+    if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
+    if (!out_paths.csv_path.empty())
+      report.write_csv(out_paths.csv_path, "table1");
   }
   return 0;
 }

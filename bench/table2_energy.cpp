@@ -2,19 +2,24 @@
 // of the Sec. IV-B recurrence in steady state.  The (alpha, beta) model is
 // calibrated on the Xilinx and PCS anchors; FloPoCo and FCS are model
 // predictions (see src/energy/energy_model.hpp).
+//   table2_energy [--json <path>] [--csv <path>]
 #include <cstdio>
 
 #include "energy/energy_model.hpp"
 #include "energy/workload.hpp"
 #include "fpga/architectures.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csfma;
+  const ReportCliArgs out_paths = extract_report_args(argc, argv);
   const int runs = 20, depth = 50;  // the paper's benchmark size
-  auto disc = measure_discrete(1001, runs, depth);
-  auto classic = measure_classic(1001, runs, depth);
-  auto pcs = measure_pcs(1001, runs, depth);
-  auto fcs = measure_fcs(1001, runs, depth);
+  const std::uint64_t seed = 1001;
+  auto disc = measure_discrete(seed, runs, depth);
+  auto classic = measure_classic(seed, runs, depth);
+  auto pcs = measure_pcs(seed, runs, depth);
+  auto fcs = measure_fcs(seed, runs, depth);
 
   auto t1 = table1_reports(virtex6(), 200.0);
   auto luts = [&t1](const char* n) {
@@ -63,6 +68,56 @@ int main() {
   for (const auto& [name, t] : pcs.by_component) {
     std::printf("  %-14s %8.1f  (%4.1f%%)\n", name.c_str(), t,
                 100.0 * t / pcs.toggles_per_op);
+  }
+
+  if (!out_paths.json_path.empty() || !out_paths.csv_path.empty()) {
+    Report report("table2_energy");
+    report.meta("seed", seed);
+    report.meta("runs", runs);
+    report.meta("depth", depth);
+    report.meta("anchors", "Xilinx=0.54nJ PCS=2.67nJ");
+    report.metric("calibration.alpha_nj_per_toggle", k.alpha_nj_per_toggle);
+    report.metric("calibration.beta_nj_per_lut", k.beta_nj_per_lut);
+    struct Row {
+      const char* arch;
+      const ActivityMeasurement* m;
+      int luts;
+      double paper_nj;
+    };
+    const Row table2_rows[] = {{"Xilinx (Mul+Add)", &disc, l_x, 0.54},
+                               {"FloPoCo", &classic, l_f, 0.74},
+                               {"PCS-FMA", &pcs, l_p, 2.67},
+                               {"FCS-FMA", &fcs, l_c, 2.36}};
+    std::vector<std::vector<ReportCell>> out_rows;
+    for (const auto& row : table2_rows) {
+      const double model_nj =
+          energy_per_op_nj(k, row.m->toggles_per_op, row.luts);
+      report.metric(std::string(row.arch) + ".toggles_per_op",
+                    row.m->toggles_per_op);
+      report.metric(std::string(row.arch) + ".energy_nj", model_nj);
+      report.metric(std::string(row.arch) + ".ops", row.m->ops);
+      out_rows.push_back({row.arch, row.m->toggles_per_op, row.luts,
+                          row.paper_nj, model_nj});
+    }
+    report.table("table2",
+                 {"arch", "toggles_per_op", "luts", "paper_nj", "model_nj"},
+                 std::move(out_rows));
+    // The XPower-style per-probe breakdown of the PCS capture, the Table II
+    // toggle data made inspectable per component.
+    {
+      std::string by_comp = "{";
+      bool first = true;
+      for (const auto& [name, t] : pcs.by_component) {
+        if (!first) by_comp += ',';
+        first = false;
+        by_comp += "\"" + json_escape(name) + "\":" + json_double(t);
+      }
+      by_comp += "}";
+      report.section("pcs_by_component", by_comp);
+    }
+    if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
+    if (!out_paths.csv_path.empty())
+      report.write_csv(out_paths.csv_path, "table2");
   }
   return 0;
 }

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate csfma-report-v1 JSON reports (stdlib only).
+
+Usage:
+  check_report.py report.json [more.json ...]
+      Validate each report against the schema; exit non-zero on the
+      first violation.
+
+  check_report.py --compare-metrics a.json b.json
+      Additionally assert the deterministic sections ("metrics" and
+      "tables") of two reports are identical.  This is the CI gate for
+      the engine determinism contract: the same seed run with different
+      worker thread counts must export identical deterministic metrics.
+      "meta" and "timing" are exempt (thread count and wall clock live
+      there) — see docs/observability.md.
+"""
+import json
+import math
+import sys
+
+SCHEMA = "csfma-report-v1"
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_scalar_or_histogram(path, section, name, v):
+    where = f'{section}["{name}"]'
+    if v is None:  # non-finite doubles render as null
+        return
+    if is_number(v):
+        if isinstance(v, float) and not math.isfinite(v):
+            fail(path, f"{where}: non-finite number survived serialization")
+        return
+    if not isinstance(v, dict):
+        fail(path, f"{where}: expected number, null or histogram object")
+    for key in ("bounds", "counts", "count", "sum"):
+        if key not in v:
+            fail(path, f"{where}: histogram missing key '{key}'")
+    bounds, counts = v["bounds"], v["counts"]
+    if not isinstance(bounds, list) or not all(is_number(b) for b in bounds):
+        fail(path, f"{where}: histogram bounds must be a number array")
+    if bounds != sorted(bounds):
+        fail(path, f"{where}: histogram bounds must be ascending")
+    if not isinstance(counts, list) or len(counts) != len(bounds) + 1:
+        fail(path, f"{where}: expected len(bounds)+1 buckets "
+                   f"(got {len(counts)} for {len(bounds)} bounds)")
+    if not all(isinstance(c, int) and c >= 0 for c in counts):
+        fail(path, f"{where}: bucket counts must be non-negative integers")
+    if sum(counts) != v["count"]:
+        fail(path, f"{where}: bucket counts sum to {sum(counts)}, "
+                   f"count says {v['count']}")
+
+
+def check_report(path):
+    try:
+        with open(path) as f:
+            r = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"cannot load: {e}")
+    if not isinstance(r, dict):
+        fail(path, "top level must be an object")
+    if r.get("schema") != SCHEMA:
+        fail(path, f'schema is {r.get("schema")!r}, expected "{SCHEMA}"')
+    if not isinstance(r.get("bench"), str) or not r["bench"]:
+        fail(path, '"bench" must be a non-empty string')
+
+    meta = r.get("meta")
+    if not isinstance(meta, dict):
+        fail(path, '"meta" must be an object')
+    for k, v in meta.items():
+        if not isinstance(v, str):
+            fail(path, f'meta["{k}"] must be a string (got {type(v).__name__})')
+    if "git" not in meta:
+        fail(path, 'meta must record "git" provenance')
+
+    for section in ("metrics", "timing"):
+        vals = r.get(section)
+        if not isinstance(vals, dict):
+            fail(path, f'"{section}" must be an object')
+        for name, v in vals.items():
+            check_scalar_or_histogram(path, section, name, v)
+
+    tables = r.get("tables")
+    if not isinstance(tables, dict):
+        fail(path, '"tables" must be an object')
+    for name, t in tables.items():
+        if not isinstance(t, dict) or "columns" not in t or "rows" not in t:
+            fail(path, f'tables["{name}"] must have "columns" and "rows"')
+        ncols = len(t["columns"])
+        for i, row in enumerate(t["rows"]):
+            if not isinstance(row, list) or len(row) != ncols:
+                fail(path, f'tables["{name}"] row {i}: expected {ncols} cells')
+
+    if not isinstance(r.get("sections"), dict):
+        fail(path, '"sections" must be an object')
+
+    nmetrics = len(r["metrics"])
+    print(f"{path}: OK ({r['bench']}, {nmetrics} metrics, "
+          f"{len(r['timing'])} timing entries, {len(tables)} tables)")
+    return r
+
+
+def compare_metrics(path_a, path_b, a, b):
+    ok = True
+    for section in ("metrics", "tables"):
+        if a[section] != b[section]:
+            ok = False
+            keys = sorted(set(a[section]) | set(b[section]))
+            for k in keys:
+                va, vb = a[section].get(k), b[section].get(k)
+                if va != vb:
+                    print(f'DETERMINISM VIOLATION: {section}["{k}"]: '
+                          f"{path_a} has {va!r}, {path_b} has {vb!r}",
+                          file=sys.stderr)
+    if not ok:
+        sys.exit(1)
+    print(f"{path_a} vs {path_b}: deterministic sections identical")
+
+
+def main(argv):
+    if len(argv) >= 1 and argv[0] == "--compare-metrics":
+        if len(argv) != 3:
+            fail("usage", "--compare-metrics needs exactly two report paths")
+        a = check_report(argv[1])
+        b = check_report(argv[2])
+        compare_metrics(argv[1], argv[2], a, b)
+        return
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in argv:
+        check_report(path)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -87,6 +87,29 @@ class ActivityRecorder {
     for (const auto& [name, p] : o.probes_) probes_[name].merge_from(p);
   }
 
+  /// Snapshot as a JSON object — the per-probe view of the Table II toggle
+  /// data, embeddable in experiment reports.  Probe order is sorted (map
+  /// order) and all values are integers, so equal recorders render to
+  /// byte-identical JSON whatever the capture's thread count.
+  std::string to_json() const {
+    std::string out = "{\"total_toggles\":" + std::to_string(total_toggles()) +
+                      ",\"probes\":{";
+    bool first = true;
+    for (const auto& [name, p] : probes_) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      for (char c : name) {  // probe names are identifiers; escape minimally
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += "\":{\"toggles\":" + std::to_string(p.toggles()) +
+             ",\"observations\":" + std::to_string(p.observations()) + "}";
+    }
+    out += "}}";
+    return out;
+  }
+
   void reset() {
     for (auto& [name, p] : probes_) p.reset();
   }

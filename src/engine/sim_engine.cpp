@@ -55,6 +55,36 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
   std::atomic<std::uint64_t> next_shard{0};
   std::mutex consume_mu;
 
+  // Resolve telemetry handles once, outside the worker loop.  All of the
+  // Deterministic entries are integral and merge by commutative addition,
+  // so concurrent updates from workers cannot perturb the thread-count
+  // invariance contract; the Timing entries make no such promise.
+  MetricsRegistry* metrics = cfg_.metrics;
+  TraceSession* trace = cfg_.trace;
+  Counter* m_ops = nullptr;
+  Counter* m_shards = nullptr;
+  Histogram* m_shard_size = nullptr;
+  Histogram* m_shard_secs = nullptr;
+  Histogram* m_consume_wait = nullptr;
+  if (metrics != nullptr) {
+    m_ops = &metrics->counter("engine.ops");
+    m_shards = &metrics->counter("engine.shards");
+    m_shard_size = &metrics->histogram(
+        "engine.shard.ops", {1, 16, 256, 1024, 4096, 8192, 16384, 65536});
+    m_shard_secs = &metrics->histogram(
+        "engine.shard.seconds",
+        {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0}, Stability::Timing);
+    m_consume_wait = &metrics->histogram(
+        "engine.consume_wait.seconds",
+        {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}, Stability::Timing);
+  }
+
+  const int nthreads =
+      (int)(num_shards < (std::uint64_t)threads_ ? num_shards
+                                                 : (std::uint64_t)threads_);
+  std::vector<double> worker_busy((std::size_t)(nthreads > 0 ? nthreads : 1),
+                                  0.0);
+
   auto worker = [&](int wid) {
     // Reusable per-worker buffers: one operand chunk and (in streaming
     // mode) one result chunk, regardless of stream length.
@@ -66,8 +96,15 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
       const std::uint64_t start = s * shard_ops;
       const std::size_t count =
           (std::size_t)(shard_ops < n - start ? shard_ops : n - start);
-      in_buf.resize(count);
-      src.fill(start, in_buf.data(), count);
+      TraceSpan shard_span(trace, "shard", "engine", wid);
+      shard_span.arg("index", s);
+      shard_span.arg("start", start);
+      shard_span.arg("ops", (std::uint64_t)count);
+      {
+        TraceSpan fill_span(trace, "fill", "engine", wid);
+        in_buf.resize(count);
+        src.fill(start, in_buf.data(), count);
+      }
       PFloat* out;
       if (results != nullptr) {
         out = results + start;
@@ -78,8 +115,12 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
       ActivityRecorder& rec = shard_recs[(std::size_t)s];
       auto unit = make_fma_unit(cfg_.unit, &rec);
       const auto t0 = clock::now();
-      for (std::size_t i = 0; i < count; ++i)
-        out[i] = unit->fma_ieee(in_buf[i].a, in_buf[i].b, in_buf[i].c, cfg_.rm);
+      {
+        TraceSpan sim_span(trace, "simulate", "engine", wid);
+        for (std::size_t i = 0; i < count; ++i)
+          out[i] =
+              unit->fma_ieee(in_buf[i].a, in_buf[i].b, in_buf[i].c, cfg_.rm);
+      }
       const double secs =
           std::chrono::duration<double>(clock::now() - t0).count();
       ShardStats& st = shard_stats[(std::size_t)s];
@@ -87,18 +128,28 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
       st.ops = count;
       st.worker = wid;
       st.seconds = secs;
-      st.ops_per_sec = secs > 0.0 ? (double)count / secs : 0.0;
+      st.ops_per_sec = safe_rate(count, secs);
+      worker_busy[(std::size_t)wid] += secs;
+      if (metrics != nullptr) {
+        m_ops->add(count);
+        m_shards->add(1);
+        m_shard_size->observe((double)count);
+        m_shard_secs->observe(secs);
+      }
       if (consume != nullptr && *consume) {
+        const auto w0 = clock::now();
         std::lock_guard<std::mutex> lock(consume_mu);
+        if (m_consume_wait != nullptr) {
+          m_consume_wait->observe(
+              std::chrono::duration<double>(clock::now() - w0).count());
+        }
+        TraceSpan consume_span(trace, "consume", "engine", wid);
         (*consume)(start, out, count);
       }
     }
   };
 
   const auto wall0 = clock::now();
-  const int nthreads =
-      (int)(num_shards < (std::uint64_t)threads_ ? num_shards
-                                                 : (std::uint64_t)threads_);
   if (nthreads <= 1) {
     worker(0);
   } else {
@@ -112,10 +163,27 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
       std::chrono::duration<double>(clock::now() - wall0).count();
 
   // Merge in shard order: deterministic regardless of completion order.
-  for (const auto& rec : shard_recs) activity->merge_from(rec);
+  {
+    TraceSpan merge_span(trace, "merge", "engine", 0);
+    merge_span.arg("shards", num_shards);
+    for (const auto& rec : shard_recs) activity->merge_from(rec);
+  }
+  if (metrics != nullptr) {
+    // Utilization = simulate time / wall time per worker lane; Timing by
+    // definition (and the gauge names depend on the worker count).
+    for (int w = 0; w < nthreads; ++w) {
+      metrics
+          ->gauge("engine.worker." + std::to_string(w) + ".utilization",
+                  Stability::Timing)
+          .set(wall > 0.0 ? worker_busy[(std::size_t)w] / wall : 0.0);
+    }
+    metrics->gauge("engine.batch.seconds", Stability::Timing).set(wall);
+    metrics->gauge("engine.batch.ops_per_sec", Stability::Timing)
+        .set(safe_rate(n, wall));
+  }
   stats->ops = n;
   stats->seconds = wall;
-  stats->ops_per_sec = wall > 0.0 ? (double)n / wall : 0.0;
+  stats->ops_per_sec = safe_rate(n, wall);
   stats->shards.assign(shard_stats.begin(), shard_stats.end());
 }
 

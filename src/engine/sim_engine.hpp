@@ -20,14 +20,25 @@
 // shard seam are never counted, in any configuration.)
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "common/activity.hpp"
 #include "fma/fma_unit.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace csfma {
+
+/// ops/seconds with degenerate-run guards: empty streams and zero or
+/// non-finite durations report a rate of 0 instead of NaN/inf, so rates
+/// are always safe to embed in reports.
+inline double safe_rate(std::uint64_t ops, double seconds) {
+  if (ops == 0 || !std::isfinite(seconds) || seconds <= 0.0) return 0.0;
+  return (double)ops / seconds;
+}
 
 /// One work item: R = A + B*C (B stays IEEE in every architecture).
 struct OperandTriple {
@@ -86,6 +97,16 @@ struct EngineConfig {
   /// derived from the thread count — so activity totals are reproducible
   /// across machines and thread counts.
   std::uint64_t shard_ops = 8192;
+  /// Optional telemetry sinks (not owned; must outlive the run).  When
+  /// null the engine's only telemetry cost is a pointer test per shard.
+  /// Metrics: engine.ops / engine.shards counters and an engine.shard.ops
+  /// histogram (all Deterministic — thread-count invariant), plus
+  /// engine.shard.seconds / engine.consume_wait.seconds histograms and
+  /// engine.worker.<w>.utilization gauges (Timing).  Trace: per-shard
+  /// claim/fill/simulate/consume spans on the worker's lane and a final
+  /// merge span.
+  MetricsRegistry* metrics = nullptr;
+  TraceSession* trace = nullptr;
 };
 
 struct ShardStats {

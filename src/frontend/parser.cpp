@@ -28,7 +28,7 @@ struct Symbol {
 
 class Parser {
  public:
-  explicit Parser(const std::string& src) : toks_(lex_kernel(src)) {}
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
 
   KernelInfo parse() {
     expect(Tok::KwKernel);
@@ -199,8 +199,16 @@ class Parser {
 
 }  // namespace
 
-KernelInfo parse_kernel(const std::string& source) {
-  return Parser(source).parse();
+KernelInfo parse_kernel(const std::string& source, TraceSession* trace) {
+  std::vector<Token> toks;
+  {
+    TraceSpan lex_span(trace, "lex", "hls");
+    lex_span.arg("bytes", (std::uint64_t)source.size());
+    toks = lex_kernel(source);
+  }
+  TraceSpan parse_span(trace, "parse", "hls");
+  parse_span.arg("tokens", (std::uint64_t)toks.size());
+  return Parser(std::move(toks)).parse();
 }
 
 }  // namespace csfma

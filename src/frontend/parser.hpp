@@ -11,6 +11,7 @@
 #include <string>
 
 #include "hls/ir.hpp"
+#include "telemetry/trace.hpp"
 
 namespace csfma {
 
@@ -21,7 +22,9 @@ struct KernelInfo {
 };
 
 /// Parse and lower a kernel; throws CheckError with line info on errors.
-KernelInfo parse_kernel(const std::string& source);
+/// `trace` (optional) receives "lex" and "parse" phase spans.
+KernelInfo parse_kernel(const std::string& source,
+                        TraceSession* trace = nullptr);
 
 /// Canonical element name used for Input/Output nodes: "x[i]" or "x".
 std::string element_name(const std::string& array, int index, bool is_array);

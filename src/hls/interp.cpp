@@ -39,6 +39,22 @@ std::vector<std::map<std::string, double>> Evaluator::run_batch(
   const Round exit_rm = Round::HalfAwayFromZero;
   const std::vector<int> topo = g_.topo_order();
 
+  TraceSpan span(trace_, "interp", "hls");
+  span.arg("samples", (std::uint64_t)inputs_batch.size());
+  if (metrics_ != nullptr && !inputs_batch.empty()) {
+    // Executed op mix = static per-kind node counts x sample count; a pure
+    // function of the CDFG, so these counters are Deterministic.
+    const std::uint64_t samples = inputs_batch.size();
+    std::map<OpKind, std::uint64_t> mix;
+    for (int id : topo) mix[g_.node(id).kind] += 1;
+    for (const auto& [kind, count] : mix) {
+      metrics_->counter(std::string("hls.interp.ops.") + to_string(kind))
+          .add(count * samples);
+    }
+    metrics_->counter("hls.interp.samples").add(samples);
+    metrics_->counter("hls.interp.batches").add(1);
+  }
+
   auto eval_one = [&](const std::map<std::string, double>& inputs) {
     std::map<std::string, double> outputs;
     for (int id : topo) {

@@ -10,12 +10,20 @@
 #include <vector>
 
 #include "hls/ir.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace csfma {
 
 class Evaluator {
  public:
-  explicit Evaluator(const Cdfg& g) : g_(g) {}
+  /// `metrics`/`trace` (optional, not owned) receive the interpreter's
+  /// telemetry: hls.interp.samples and per-kind hls.interp.ops.<kind>
+  /// counters (Deterministic — the op mix is a pure function of the CDFG
+  /// and the sample count) plus an "interp" phase span per run_batch call.
+  explicit Evaluator(const Cdfg& g, MetricsRegistry* metrics = nullptr,
+                     TraceSession* trace = nullptr)
+      : g_(g), metrics_(metrics), trace_(trace) {}
 
   /// Evaluate with the given named inputs; returns the named outputs.
   /// Missing inputs throw.  Delegates to run_batch with one sample.
@@ -31,6 +39,8 @@ class Evaluator {
 
  private:
   const Cdfg& g_;
+  MetricsRegistry* metrics_ = nullptr;
+  TraceSession* trace_ = nullptr;
 };
 
 }  // namespace csfma

@@ -201,4 +201,29 @@ std::string schedule_report(const Cdfg& g, const OperatorLibrary& lib,
   return os.str();
 }
 
+void record_schedule_metrics(const Cdfg& g, const OperatorLibrary& lib,
+                             const Schedule& s, MetricsRegistry& m,
+                             const std::string& prefix) {
+  std::map<int, std::uint64_t> issues_per_cycle;
+  for (int id : g.live_nodes()) {
+    const Node& n = g.node(id);
+    if (n.kind == OpKind::Input || n.kind == OpKind::Const ||
+        n.kind == OpKind::Output)
+      continue;
+    m.counter(prefix + ".ops." + to_string(n.kind)).add(1);
+    m.counter(prefix + ".ops").add(1);
+    ++issues_per_cycle[s.start[(size_t)id]];
+  }
+  Histogram& widths =
+      m.histogram(prefix + ".issue_width", {1, 2, 4, 8, 16, 32, 64});
+  std::uint64_t peak = 0;
+  for (const auto& [cycle, n] : issues_per_cycle) {
+    widths.observe((double)n);
+    peak = std::max(peak, n);
+  }
+  m.gauge(prefix + ".length").set((double)s.length);
+  m.gauge(prefix + ".peak_issue_width").set((double)peak);
+  (void)lib;
+}
+
 }  // namespace csfma

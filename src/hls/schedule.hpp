@@ -15,6 +15,7 @@
 
 #include "hls/ir.hpp"
 #include "hls/oplib.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace csfma {
 
@@ -50,5 +51,14 @@ Schedule schedule_list(const Cdfg& g, const OperatorLibrary& lib,
 /// an HLS report would print.
 std::string schedule_report(const Cdfg& g, const OperatorLibrary& lib,
                             const Schedule& s);
+
+/// The machine-readable companion of schedule_report: records
+/// <prefix>.length and <prefix>.peak_issue_width gauges, per-kind
+/// <prefix>.ops.<kind> counters and a <prefix>.issue_width histogram into
+/// `m`.  Everything is a pure function of (CDFG, schedule), so all entries
+/// are Deterministic.
+void record_schedule_metrics(const Cdfg& g, const OperatorLibrary& lib,
+                             const Schedule& s, MetricsRegistry& m,
+                             const std::string& prefix = "hls.schedule");
 
 }  // namespace csfma

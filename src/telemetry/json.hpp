@@ -1,0 +1,61 @@
+// Minimal deterministic JSON emission for the telemetry layer.
+//
+// Reports and traces must be byte-stable: the same metric values must
+// render to the same bytes on every run so that CI can diff the
+// deterministic sections of two reports (see docs/observability.md).
+// Rules: object keys are emitted in caller order (callers iterate sorted
+// maps), integers print as integers, doubles print with "%.17g" (shortest
+// round-trippable fixed choice), and non-finite doubles print as null so a
+// NaN can never leak into a report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csfma {
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+/// A double as a JSON token: "%.17g", or "null" when not finite.
+std::string json_double(double v);
+
+/// Streaming writer with automatic comma placement.  Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("ops"); w.value(std::uint64_t{12});
+///   w.key("shards"); w.begin_array(); w.value(1.5); w.end_array();
+///   w.end_object();
+///   std::string out = w.str();
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value((std::int64_t)v); }
+  void value(bool v);
+  void null();
+  /// Splice a pre-rendered JSON value (caller guarantees validity).
+  void raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  // One entry per open container: true until the first element is written.
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+}  // namespace csfma

@@ -1,0 +1,172 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "telemetry/json.hpp"
+
+namespace csfma {
+
+const char* to_string(Stability s) {
+  return s == Stability::Deterministic ? "deterministic" : "timing";
+}
+
+Histogram::Histogram(std::vector<double> bounds, Stability stability)
+    : bounds_(std::move(bounds)),
+      stability_(stability),
+      counts_(bounds_.size() + 1, 0) {
+  CSFMA_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::observe(double v) {
+  // First bound >= v is the first bucket whose "v <= bound" test passes;
+  // past-the-end means the overflow bucket.
+  const std::size_t bucket =
+      (std::size_t)(std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+                    bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_[bucket] += 1;
+  count_ += 1;
+  sum_ += v;
+}
+
+void Histogram::merge_from(const Histogram& o) { merge_from(o.snapshot()); }
+
+void Histogram::merge_from(const HistogramSnapshot& s) {
+  CSFMA_CHECK(bounds_ == s.bounds);
+  CSFMA_CHECK(stability_ == s.stability);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += s.counts[i];
+  count_ += s.count;
+  sum_ += s.sum;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.stability = stability_;
+  std::lock_guard<std::mutex> lock(mu_);
+  s.counts = counts_;
+  s.count = count_;
+  s.sum = sum_;
+  return s;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Stability s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counters_.try_emplace(name);
+  if (inserted) {
+    it->second.s = s;
+  } else {
+    CSFMA_CHECK_MSG(it->second.s == s, "counter " << name
+                                                  << " re-registered with "
+                                                     "different stability");
+  }
+  return it->second.c;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Stability s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = gauges_.try_emplace(name);
+  if (inserted) {
+    it->second.s = s;
+  } else {
+    CSFMA_CHECK_MSG(it->second.s == s, "gauge " << name
+                                                << " re-registered with "
+                                                   "different stability");
+  }
+  return it->second.g;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& bounds,
+                                      Stability s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>(bounds, s))
+             .first;
+  } else {
+    CSFMA_CHECK_MSG(it->second->bounds() == bounds &&
+                        it->second->stability() == s,
+                    "histogram " << name
+                                 << " re-registered with different geometry");
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& o) {
+  MetricsSnapshot s = o.snapshot();
+  for (const auto& [name, c] : s.counters)
+    counter(name, c.stability).add(c.value);
+  for (const auto& [name, g] : s.gauges) gauge(name, g.stability).set(g.value);
+  for (const auto& [name, h] : s.histograms)
+    histogram(name, h.bounds, h.stability).merge_from(h);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, e] : counters_)
+    s.counters[name] = {e.c.value(), e.s};
+  for (const auto& [name, e] : gauges_)
+    if (e.g.is_set()) s.gauges[name] = {e.g.value(), e.s};
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
+  return s;
+}
+
+std::string MetricsRegistry::to_json() const {
+  MetricsSnapshot s = snapshot();
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : s.counters) {
+    w.key(name);
+    w.begin_object();
+    w.key("value");
+    w.value(c.value);
+    w.key("stability");
+    w.value(to_string(c.stability));
+    w.end_object();
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : s.gauges) {
+    w.key(name);
+    w.begin_object();
+    w.key("value");
+    w.value(g.value);
+    w.key("stability");
+    w.value(to_string(g.stability));
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : s.histograms) {
+    w.key(name);
+    w.begin_object();
+    w.key("bounds");
+    w.begin_array();
+    for (double b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("counts");
+    w.begin_array();
+    for (std::uint64_t c : h.counts) w.value(c);
+    w.end_array();
+    w.key("count");
+    w.value(h.count);
+    w.key("sum");
+    w.value(h.sum);
+    w.key("stability");
+    w.value(to_string(h.stability));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace csfma

@@ -1,0 +1,158 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// Every quantitative claim in the repo (Table I/II numbers, Fig 13-15
+// curves, engine throughput) should be captured as a named metric instead
+// of free-form printf text, so reports can be diffed and regressed.  The
+// registry mirrors the determinism story of ActivityRecorder::merge_from:
+// counters and histogram bucket counts are integral and merge by addition,
+// so a run partitioned into shards and merged in shard order produces the
+// same values as a sequential run — and the same values for any worker
+// thread count.
+//
+// Each metric carries a Stability tag.  Deterministic metrics are part of
+// that contract and must be byte-identical across thread counts for the
+// same seed; Timing metrics (wall clock, rates, per-worker utilization)
+// are explicitly exempt and are exported into a separate report section
+// (see docs/observability.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace csfma {
+
+enum class Stability {
+  Deterministic,  // same seed => same value, whatever the thread count
+  Timing,         // wall-clock derived; exempt from the determinism contract
+};
+
+const char* to_string(Stability s);
+
+/// Monotonic counter.  add() is lock-free; integral addition commutes, so
+/// concurrent updates from workers stay deterministic.
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins scalar.
+class Gauge {
+ public:
+  void set(double v) {
+    v_.store(v, std::memory_order_relaxed);
+    set_.store(true, std::memory_order_relaxed);
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  bool is_set() const { return set_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+  std::atomic<bool> set_{false};
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;         // ascending inclusive upper bounds
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 (last = overflow)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  Stability stability = Stability::Deterministic;
+};
+
+/// Fixed-bucket histogram: bucket i counts observations v <= bounds[i]
+/// (first matching bound); the final bucket counts everything above the
+/// last bound.  Bucket geometry is fixed at construction, so merging two
+/// histograms is plain element-wise addition — deterministic in any merge
+/// order, exactly like ActivityProbe::merge_from.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds,
+                     Stability stability = Stability::Deterministic);
+
+  void observe(double v);
+  /// Element-wise addition; bucket geometry must match (checked).
+  void merge_from(const Histogram& o);
+  void merge_from(const HistogramSnapshot& s);
+
+  HistogramSnapshot snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  Stability stability() const { return stability_; }
+
+ private:
+  std::vector<double> bounds_;
+  Stability stability_;
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::uint64_t value = 0;
+    Stability stability = Stability::Deterministic;
+  };
+  struct GaugeValue {
+    double value = 0.0;
+    Stability stability = Stability::Deterministic;
+  };
+  std::map<std::string, CounterValue> counters;
+  std::map<std::string, GaugeValue> gauges;  // only gauges that were set
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Thread-safe named metric collection.  Lookup takes a mutex; the returned
+/// references are stable for the registry's lifetime, so hot paths resolve
+/// their metrics once up front and then update lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create.  Re-registering an existing name with a different
+  /// stability (or, for histograms, different bounds) is an error.
+  Counter& counter(const std::string& name,
+                   Stability s = Stability::Deterministic);
+  Gauge& gauge(const std::string& name, Stability s = Stability::Deterministic);
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& bounds,
+                       Stability s = Stability::Deterministic);
+
+  /// Fold another registry in: counters and histogram buckets add, gauges
+  /// take the other's value where set.  Merging registries in a fixed
+  /// (e.g. shard) order is deterministic.
+  void merge_from(const MetricsRegistry& o);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Full registry as a JSON object with "counters" / "gauges" /
+  /// "histograms" sections, each entry tagged with its stability.  Key
+  /// order is sorted (map order) — byte-stable for equal contents.
+  std::string to_json() const;
+
+ private:
+  struct CounterEntry {
+    Counter c;
+    Stability s;
+  };
+  struct GaugeEntry {
+    Gauge g;
+    Stability s;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, CounterEntry> counters_;
+  std::map<std::string, GaugeEntry> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace csfma

@@ -1,0 +1,263 @@
+#include "telemetry/report.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "telemetry/json.hpp"
+
+namespace csfma {
+
+namespace {
+
+constexpr const char* kSchema = "csfma-report-v1";
+
+void write_histogram(JsonWriter& w, const HistogramSnapshot& h) {
+  w.begin_object();
+  w.key("bounds");
+  w.begin_array();
+  for (double b : h.bounds) w.value(b);
+  w.end_array();
+  w.key("counts");
+  w.begin_array();
+  for (std::uint64_t c : h.counts) w.value(c);
+  w.end_array();
+  w.key("count");
+  w.value(h.count);
+  w.key("sum");
+  w.value(h.sum);
+  w.end_object();
+}
+
+void write_cell(JsonWriter& w, const ReportCell& c) {
+  switch (c.kind) {
+    case ReportCell::Kind::Str:
+      w.value(c.s);
+      break;
+    case ReportCell::Kind::Int:
+      w.value(c.i);
+      break;
+    case ReportCell::Kind::Num:
+      w.value(c.d);
+      break;
+  }
+}
+
+std::string csv_cell(const ReportCell& c) {
+  switch (c.kind) {
+    case ReportCell::Kind::Int:
+      return std::to_string(c.i);
+    case ReportCell::Kind::Num:
+      return json_double(c.d);  // same deterministic rendering as JSON
+    case ReportCell::Kind::Str:
+      break;
+  }
+  // Quote when the text contains CSV structure characters.
+  if (c.s.find_first_of(",\"\n") == std::string::npos) return c.s;
+  std::string out = "\"";
+  for (char ch : c.s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string git_describe() {
+#ifdef CSFMA_GIT_DESCRIBE
+  return CSFMA_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+Report::Report(std::string bench) : bench_(std::move(bench)) {}
+
+void Report::meta(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  meta_.emplace_back(key, value);
+}
+
+void Report::meta(const std::string& key, std::uint64_t value) {
+  meta(key, std::to_string(value));
+}
+
+void Report::meta(const std::string& key, std::int64_t value) {
+  meta(key, std::to_string(value));
+}
+
+void Report::meta(const std::string& key, int value) {
+  meta(key, std::to_string(value));
+}
+
+void Report::meta(const std::string& key, double value) {
+  meta(key, json_double(value));
+}
+
+void Report::metric(const std::string& name, double value) {
+  metrics_[name] = Scalar{false, 0, value};
+}
+
+void Report::metric(const std::string& name, std::uint64_t value) {
+  metrics_[name] = Scalar{true, value, 0.0};
+}
+
+void Report::timing(const std::string& name, double value) {
+  timing_[name] = Scalar{false, 0, value};
+}
+
+void Report::attach_metrics(const MetricsRegistry& registry) {
+  MetricsSnapshot s = registry.snapshot();
+  for (const auto& [name, c] : s.counters) {
+    auto& dst = c.stability == Stability::Deterministic ? metrics_ : timing_;
+    dst[name] = Scalar{true, c.value, 0.0};
+  }
+  for (const auto& [name, g] : s.gauges) {
+    auto& dst = g.stability == Stability::Deterministic ? metrics_ : timing_;
+    dst[name] = Scalar{false, 0, g.value};
+  }
+  for (const auto& [name, h] : s.histograms) {
+    auto& dst = h.stability == Stability::Deterministic ? metric_hists_
+                                                        : timing_hists_;
+    dst[name] = h;
+  }
+}
+
+void Report::table(const std::string& name, std::vector<std::string> columns,
+                   std::vector<std::vector<ReportCell>> rows) {
+  for (const auto& row : rows) CSFMA_CHECK(row.size() == columns.size());
+  tables_[name] = Table{std::move(columns), std::move(rows)};
+}
+
+void Report::section(const std::string& name, std::string raw_json) {
+  sections_[name] = std::move(raw_json);
+}
+
+std::string Report::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kSchema);
+  w.key("bench");
+  w.value(bench_);
+
+  w.key("meta");
+  w.begin_object();
+  w.key("git");
+  w.value(git_describe());
+  for (const auto& [k, v] : meta_) {
+    if (k == "git") continue;  // reserved, filled above
+    w.key(k);
+    w.value(v);
+  }
+  w.end_object();
+
+  auto scalars = [&w](const std::map<std::string, Scalar>& vals,
+                      const std::map<std::string, HistogramSnapshot>& hists) {
+    w.begin_object();
+    for (const auto& [name, v] : vals) {
+      w.key(name);
+      if (v.is_int) {
+        w.value(v.i);
+      } else {
+        w.value(v.d);
+      }
+    }
+    for (const auto& [name, h] : hists) {
+      w.key(name);
+      write_histogram(w, h);
+    }
+    w.end_object();
+  };
+  w.key("metrics");
+  scalars(metrics_, metric_hists_);
+  w.key("timing");
+  scalars(timing_, timing_hists_);
+
+  w.key("tables");
+  w.begin_object();
+  for (const auto& [name, t] : tables_) {
+    w.key(name);
+    w.begin_object();
+    w.key("columns");
+    w.begin_array();
+    for (const auto& c : t.columns) w.value(c);
+    w.end_array();
+    w.key("rows");
+    w.begin_array();
+    for (const auto& row : t.rows) {
+      w.begin_array();
+      for (const auto& c : row) write_cell(w, c);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("sections");
+  w.begin_object();
+  for (const auto& [name, raw] : sections_) {
+    w.key(name);
+    w.raw(raw);
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+void Report::write_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  CSFMA_CHECK_MSG(f.good(), "cannot open report output " << path);
+  f << to_json() << '\n';
+  f.close();
+  CSFMA_CHECK_MSG(f.good(), "failed writing report output " << path);
+}
+
+void Report::write_csv(const std::string& path,
+                       const std::string& table) const {
+  auto it = tables_.find(table);
+  CSFMA_CHECK_MSG(it != tables_.end(), "no such report table: " << table);
+  std::ofstream f(path, std::ios::binary);
+  CSFMA_CHECK_MSG(f.good(), "cannot open csv output " << path);
+  const Table& t = it->second;
+  for (std::size_t i = 0; i < t.columns.size(); ++i)
+    f << (i ? "," : "") << csv_cell(ReportCell(t.columns[i]));
+  f << '\n';
+  for (const auto& row : t.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      f << (i ? "," : "") << csv_cell(row[i]);
+    f << '\n';
+  }
+  f.close();
+  CSFMA_CHECK_MSG(f.good(), "failed writing csv output " << path);
+}
+
+ReportCliArgs extract_report_args(int& argc, char** argv) {
+  ReportCliArgs out;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    std::string* dst = nullptr;
+    if (std::strcmp(argv[r], "--json") == 0) dst = &out.json_path;
+    if (std::strcmp(argv[r], "--csv") == 0) dst = &out.csv_path;
+    if (std::strcmp(argv[r], "--trace") == 0) dst = &out.trace_path;
+    if (dst != nullptr) {
+      CSFMA_CHECK_MSG(r + 1 < argc, argv[r] << " requires a path argument");
+      *dst = argv[++r];
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  argc = w;
+  return out;
+}
+
+}  // namespace csfma

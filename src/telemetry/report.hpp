@@ -1,0 +1,120 @@
+// Machine-readable experiment reports (JSON + CSV).
+//
+// Every fig/table bench can emit its measured values as a structured
+// report next to its human-readable text, so the paper-reproduction
+// numbers become diffable, plottable and CI-regressable artifacts.  The
+// schema ("csfma-report-v1", validated by scripts/check_report.py):
+//
+//   {
+//     "schema":  "csfma-report-v1",
+//     "bench":   "<binary name>",
+//     "meta":    { string -> string }            // provenance: unit kind,
+//                                                // seed, threads, git, ...
+//     "metrics": { name -> number | histogram }  // DETERMINISTIC: byte-
+//                                                // identical across thread
+//                                                // counts for one seed
+//     "timing":  { name -> number | histogram }  // wall-clock derived;
+//                                                // exempt from determinism
+//     "tables":  { name -> {"columns": [...], "rows": [[...]]} }
+//     "sections":{ name -> free-form JSON }      // e.g. activity snapshot
+//   }
+//
+// Histogram values are {"bounds", "counts", "count", "sum"} objects.  All
+// numbers are rendered by json.hpp's deterministic rules (non-finite =>
+// null), so reports can be byte-compared section by section.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace csfma {
+
+/// `git describe` of the source tree captured at configure time (CMake);
+/// "unknown" when the build is not from a git checkout.
+std::string git_describe();
+
+/// One table cell: string, integer or double, rendered type-faithfully in
+/// JSON and plainly in CSV.
+struct ReportCell {
+  enum class Kind { Str, Int, Num } kind;
+  std::string s;
+  std::int64_t i = 0;
+  double d = 0.0;
+
+  ReportCell(const char* v) : kind(Kind::Str), s(v) {}          // NOLINT
+  ReportCell(const std::string& v) : kind(Kind::Str), s(v) {}   // NOLINT
+  ReportCell(int v) : kind(Kind::Int), i(v) {}                  // NOLINT
+  ReportCell(std::int64_t v) : kind(Kind::Int), i(v) {}         // NOLINT
+  ReportCell(std::uint64_t v) : kind(Kind::Int), i((std::int64_t)v) {}  // NOLINT
+  ReportCell(double v) : kind(Kind::Num), d(v) {}               // NOLINT
+};
+
+class Report {
+ public:
+  explicit Report(std::string bench);
+
+  /// Provenance entries; "git" and "schema" are filled automatically.
+  void meta(const std::string& key, const std::string& value);
+  void meta(const std::string& key, std::uint64_t value);
+  void meta(const std::string& key, std::int64_t value);
+  void meta(const std::string& key, int value);
+  void meta(const std::string& key, double value);
+
+  /// Deterministic scalar metric.
+  void metric(const std::string& name, double value);
+  void metric(const std::string& name, std::uint64_t value);
+  /// Wall-clock-derived scalar, exempt from the determinism contract.
+  void timing(const std::string& name, double value);
+
+  /// Splice a whole registry: Deterministic entries land in "metrics",
+  /// Timing entries in "timing" (histograms included).
+  void attach_metrics(const MetricsRegistry& registry);
+
+  void table(const std::string& name, std::vector<std::string> columns,
+             std::vector<std::vector<ReportCell>> rows);
+
+  /// Free-form pre-rendered JSON (e.g. ActivityRecorder::to_json()).
+  void section(const std::string& name, std::string raw_json);
+
+  std::string to_json() const;
+  /// Write to_json() to `path`; throws CheckError on I/O failure.
+  void write_json(const std::string& path) const;
+  /// Write one named table as CSV; throws if the table does not exist.
+  void write_csv(const std::string& path, const std::string& table) const;
+
+ private:
+  struct Scalar {
+    bool is_int = false;
+    std::uint64_t i = 0;
+    double d = 0.0;
+  };
+  struct Table {
+    std::vector<std::string> columns;
+    std::vector<std::vector<ReportCell>> rows;
+  };
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> meta_;  // insertion order
+  std::map<std::string, Scalar> metrics_;
+  std::map<std::string, HistogramSnapshot> metric_hists_;
+  std::map<std::string, Scalar> timing_;
+  std::map<std::string, HistogramSnapshot> timing_hists_;
+  std::map<std::string, Table> tables_;
+  std::map<std::string, std::string> sections_;
+};
+
+/// Common bench CLI plumbing: removes `--json <path>`, `--csv <path>` and
+/// `--trace <path>` (with their values) from argv so positional argument
+/// parsing stays untouched, and returns the extracted paths ("" = absent).
+struct ReportCliArgs {
+  std::string json_path;
+  std::string csv_path;
+  std::string trace_path;
+};
+ReportCliArgs extract_report_args(int& argc, char** argv);
+
+}  // namespace csfma

@@ -1,0 +1,116 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "telemetry/json.hpp"
+
+namespace csfma {
+
+std::uint64_t TraceSession::now_us() const {
+  return (std::uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+void TraceSession::add_complete(std::string name, std::string cat, int tid,
+                                std::uint64_t ts_us, std::uint64_t dur_us,
+                                std::vector<TraceArg> args) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.tid = tid;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+void TraceSession::add_instant(std::string name, std::string cat, int tid,
+                               std::vector<TraceArg> args) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.tid = tid;
+  ev.ts_us = now_us();
+  ev.instant = true;
+  ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::size_t TraceSession::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceSession::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string TraceSession::to_json() const {
+  std::vector<TraceEvent> evs = events();
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.tid < b.tid;
+                   });
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto& ev : evs) {
+    w.begin_object();
+    w.key("name");
+    w.value(ev.name);
+    w.key("cat");
+    w.value(ev.cat);
+    w.key("ph");
+    w.value(ev.instant ? "i" : "X");
+    w.key("ts");
+    w.value(ev.ts_us);
+    if (!ev.instant) {
+      w.key("dur");
+      w.value(ev.dur_us);
+    } else {
+      w.key("s");  // instant-event scope: thread
+      w.value("t");
+    }
+    w.key("pid");
+    w.value(std::uint64_t{1});
+    w.key("tid");
+    w.value((std::int64_t)ev.tid);
+    if (!ev.args.empty()) {
+      w.key("args");
+      w.begin_object();
+      for (const auto& a : ev.args) {
+        w.key(a.key);
+        if (a.number) {
+          w.raw(a.value);
+        } else {
+          w.value(a.value);
+        }
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void TraceSession::write_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  CSFMA_CHECK_MSG(f.good(), "cannot open trace output " << path);
+  f << to_json() << '\n';
+  f.close();
+  CSFMA_CHECK_MSG(f.good(), "failed writing trace output " << path);
+}
+
+}  // namespace csfma

@@ -88,6 +88,67 @@ TEST(Activity, ProbeMergeAddsTotalsWithoutInventingSeamToggles) {
   EXPECT_EQ(a.observations(), 4u);
 }
 
+TEST(Activity, RecorderMergeWithDisjointProbeSetsCreatesMissingProbes) {
+  ActivityRecorder r1, r2;
+  r1.probe("adder").observe(WideUint<1>(0ull));
+  r1.probe("adder").observe(WideUint<1>(1ull));  // 1 toggle
+  r2.probe("shifter").observe(WideUint<1>(0ull));
+  r2.probe("shifter").observe(WideUint<1>(7ull));  // 3 toggles
+  r1.merge_from(r2);
+  EXPECT_EQ(r1.probes().size(), 2u);
+  EXPECT_EQ(r1.probe("adder").toggles(), 1u);
+  EXPECT_EQ(r1.probe("shifter").toggles(), 3u);
+  EXPECT_EQ(r1.probe("shifter").observations(), 2u);
+  EXPECT_EQ(r1.total_toggles(), 4u);
+  // The source recorder is untouched.
+  EXPECT_EQ(r2.probes().size(), 1u);
+  EXPECT_EQ(r2.total_toggles(), 3u);
+}
+
+TEST(Activity, RecorderMergeIntoEmptyEqualsCopy) {
+  ActivityRecorder src, dst;
+  src.probe("mul.sum").observe(WideUint<2>(0ull));
+  src.probe("mul.sum").observe(WideUint<2>(0xFFull));
+  dst.merge_from(src);
+  EXPECT_EQ(dst.to_json(), src.to_json());
+}
+
+TEST(Activity, ToJsonIsSortedAndIntegerOnly) {
+  ActivityRecorder rec;
+  rec.probe("b").observe(WideUint<1>(0ull));
+  rec.probe("b").observe(WideUint<1>(3ull));
+  rec.probe("a").observe(WideUint<1>(0ull));
+  EXPECT_EQ(rec.to_json(),
+            "{\"total_toggles\":2,\"probes\":{"
+            "\"a\":{\"toggles\":0,\"observations\":1},"
+            "\"b\":{\"toggles\":2,\"observations\":2}}}");
+}
+
+// Histogram-style merge determinism at the recorder level: splitting a
+// stream of observations across per-shard recorders and merging in shard
+// order reproduces the sequential toggle counts.  (Per-shard baselines
+// mean seam transitions are not counted, so each shard re-observes the
+// boundary value — exactly what SimEngine's sharding does by re-deriving
+// each shard's stream independently.)
+TEST(Activity, ShardedMergeMatchesSequentialToggles) {
+  const std::uint64_t vals[] = {0x0, 0xF, 0x3, 0x3, 0x8, 0x1, 0xE, 0x0};
+  ActivityRecorder sequential;
+  for (std::uint64_t v : vals) sequential.probe("bus").observe(WideUint<1>(v));
+
+  ActivityRecorder merged;
+  const int cuts[] = {0, 3, 5, 8};
+  for (int s = 0; s + 1 < 4; ++s) {
+    ActivityRecorder shard;
+    // Re-observe the previous boundary value to rebuild the baseline.
+    if (cuts[s] > 0) shard.probe("bus").observe(WideUint<1>(vals[cuts[s] - 1]));
+    for (int i = cuts[s]; i < cuts[s + 1]; ++i)
+      shard.probe("bus").observe(WideUint<1>(vals[i]));
+    merged.merge_from(shard);
+  }
+  EXPECT_EQ(merged.total_toggles(), sequential.total_toggles());
+  EXPECT_EQ(merged.probe("bus").toggles(), sequential.probe("bus").toggles());
+}
+
 TEST(Activity, RecorderMergeCombinesByProbeName) {
   ActivityRecorder r1, r2;
   r1.probe("adder").observe(WideUint<1>(0ull));

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <map>
+#include <string>
 
 #include "common/rng.hpp"
 #include "energy/workload.hpp"
@@ -149,6 +152,89 @@ TEST(SimEngine, RecurrenceSourceIsChunkingInvariant) {
     EXPECT_TRUE(PFloat::same_value(whole[i].b, pieces[i].b)) << i;
     EXPECT_TRUE(PFloat::same_value(whole[i].c, pieces[i].c)) << i;
   }
+}
+
+TEST(SimEngine, SafeRateGuardsDegenerateInputs) {
+  EXPECT_EQ(safe_rate(0, 0.0), 0.0);
+  EXPECT_EQ(safe_rate(0, 1.0), 0.0);
+  EXPECT_EQ(safe_rate(100, 0.0), 0.0);
+  EXPECT_EQ(safe_rate(100, -1.0), 0.0);
+  EXPECT_EQ(safe_rate(100, std::numeric_limits<double>::infinity()), 0.0);
+  EXPECT_EQ(safe_rate(100, std::nan("")), 0.0);
+  EXPECT_DOUBLE_EQ(safe_rate(100, 2.0), 50.0);
+}
+
+TEST(SimEngine, EmptyStreamRatesAreFiniteZero) {
+  std::vector<OperandTriple> none;
+  SimEngine engine(config(UnitKind::Pcs, 4, 128));
+  BatchResult r = engine.run_batch(none);
+  EXPECT_EQ(r.stats.ops_per_sec, 0.0);
+  EXPECT_TRUE(std::isfinite(r.stats.ops_per_sec));
+  EXPECT_TRUE(std::isfinite(r.stats.seconds));
+}
+
+// Renders only the Deterministic entries of a registry, the subset the
+// thread-count-invariance contract covers (Timing entries — wall clock,
+// per-worker utilization — legitimately differ between runs).
+std::string deterministic_json(const MetricsRegistry& reg) {
+  MetricsRegistry det;
+  MetricsSnapshot s = reg.snapshot();
+  for (const auto& [name, c] : s.counters)
+    if (c.stability == Stability::Deterministic)
+      det.counter(name).add(c.value);
+  for (const auto& [name, g] : s.gauges)
+    if (g.stability == Stability::Deterministic) det.gauge(name).set(g.value);
+  for (const auto& [name, h] : s.histograms)
+    if (h.stability == Stability::Deterministic)
+      det.histogram(name, h.bounds).merge_from(h);
+  return det.to_json();
+}
+
+// The telemetry face of the determinism contract: exported Deterministic
+// metrics are byte-identical JSON for 1 worker and 4 workers on the same
+// seed, and both runs also export *some* Timing entries (which are
+// compared by presence only).
+TEST(SimEngine, TelemetryMetricsAreThreadCountInvariant) {
+  auto run = [](int threads, MetricsRegistry& reg) {
+    RandomTripleSource src(42, 3000);
+    EngineConfig cfg = config(UnitKind::Pcs, threads, 256);
+    cfg.metrics = &reg;
+    SimEngine engine(cfg);
+    return engine.run_batch(src);
+  };
+  MetricsRegistry reg1, reg4;
+  run(1, reg1);
+  run(4, reg4);
+  EXPECT_EQ(deterministic_json(reg1), deterministic_json(reg4));
+  EXPECT_EQ(reg1.counter("engine.ops").value(), 3000u);
+  EXPECT_EQ(reg1.counter("engine.shards").value(), 12u);  // ceil(3000/256)
+  // Timing metrics exist in both but are not compared for equality.
+  EXPECT_TRUE(reg1.gauge("engine.batch.seconds", Stability::Timing).is_set());
+  EXPECT_TRUE(reg4.gauge("engine.batch.seconds", Stability::Timing).is_set());
+}
+
+TEST(SimEngine, TraceSessionRecordsShardAndMergeSpans) {
+  RandomTripleSource src(7, 600);
+  TraceSession trace;
+  EngineConfig cfg = config(UnitKind::Fcs, 2, 256);
+  cfg.trace = &trace;
+  SimEngine engine(cfg);
+  engine.run_batch(src);
+  std::map<std::string, int> names;
+  for (const auto& e : trace.events()) names[e.name] += 1;
+  EXPECT_EQ(names["shard"], 3);  // ceil(600/256)
+  EXPECT_EQ(names["fill"], 3);
+  EXPECT_EQ(names["simulate"], 3);
+  EXPECT_EQ(names["merge"], 1);
+  // The export is well-formed chrome://tracing JSON.
+  EXPECT_NE(trace.to_json().find("\"traceEvents\":["), std::string::npos);
+}
+
+TEST(SimEngine, TelemetryOffByDefault) {
+  RandomTripleSource src(3, 100);
+  SimEngine engine(config(UnitKind::Classic, 2, 64));
+  BatchResult r = engine.run_batch(src);  // no registry/session: must not crash
+  EXPECT_EQ(r.results.size(), 100u);
 }
 
 TEST(SimEngine, MeasureStreamIsThreadCountInvariant) {

@@ -1,0 +1,166 @@
+// MetricsRegistry: counter/gauge/histogram semantics, bucket assignment,
+// and — the property the whole subsystem is built around — deterministic
+// merge: folding per-shard registries in shard order produces the same
+// exported JSON as a single sequential registry, mirroring
+// ActivityRecorder::merge_from.
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace csfma {
+namespace {
+
+TEST(Metrics, CounterAddsMonotonically) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, CounterIsThreadSafe) {
+  Counter c;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w)
+    workers.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add(2);
+    });
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(c.value(), 80000u);
+}
+
+TEST(Metrics, GaugeTracksLastWriteAndSetFlag) {
+  Gauge g;
+  EXPECT_FALSE(g.is_set());
+  g.set(1.5);
+  g.set(-2.0);
+  EXPECT_TRUE(g.is_set());
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+}
+
+TEST(Metrics, HistogramBucketsAreInclusiveUpperBounds) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1      -> bucket 0
+  h.observe(1.0);    // == bound  -> bucket 0 (inclusive)
+  h.observe(1.0001); //           -> bucket 1
+  h.observe(10.0);   //           -> bucket 1
+  h.observe(99.0);   //           -> bucket 2
+  h.observe(100.5);  // overflow  -> bucket 3
+  HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 2u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.count, 6u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 1.0001 + 10.0 + 99.0 + 100.5);
+}
+
+TEST(Metrics, HistogramMergeIsElementWiseAddition) {
+  Histogram a({1.0, 2.0}), b({1.0, 2.0});
+  a.observe(0.5);
+  b.observe(1.5);
+  b.observe(5.0);
+  a.merge_from(b);
+  HistogramSnapshot s = a.snapshot();
+  EXPECT_EQ(s.counts[0], 1u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 7.0);
+}
+
+TEST(Metrics, HistogramMergeRejectsMismatchedGeometry) {
+  Histogram a({1.0, 2.0}), b({1.0, 3.0});
+  b.observe(0.5);
+  EXPECT_THROW(a.merge_from(b), CheckError);
+}
+
+TEST(Metrics, RegistryReturnsStableFindOrCreateReferences) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("x");
+  Counter& c2 = reg.counter("x");
+  EXPECT_EQ(&c1, &c2);
+  c1.add(3);
+  EXPECT_EQ(reg.counter("x").value(), 3u);
+}
+
+TEST(Metrics, RegistryRejectsStabilityRedefinition) {
+  MetricsRegistry reg;
+  reg.counter("c", Stability::Deterministic);
+  EXPECT_THROW(reg.counter("c", Stability::Timing), CheckError);
+  reg.histogram("h", {1.0, 2.0});
+  EXPECT_THROW(reg.histogram("h", {1.0, 3.0}), CheckError);
+}
+
+// The core determinism property: shard the same updates across per-shard
+// registries, merge in shard order, and the exported JSON is byte-identical
+// to a single registry that saw everything sequentially.  Timing entries
+// participate in the merge too — they are exempt from cross-thread-count
+// identity, not from merge correctness.
+TEST(Metrics, ShardedMergeMatchesSequentialJson) {
+  auto feed = [](MetricsRegistry& reg, int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      reg.counter("ops").add(2);
+      reg.histogram("lat", {1.0, 4.0, 16.0}).observe((double)(i % 20));
+    }
+    reg.gauge("last", Stability::Timing).set(1.0);
+  };
+  MetricsRegistry sequential;
+  feed(sequential, 0, 100);
+
+  MetricsRegistry merged;
+  const int cuts[] = {0, 13, 37, 64, 100};
+  for (int s = 0; s + 1 < 5; ++s) {
+    MetricsRegistry shard;
+    feed(shard, cuts[s], cuts[s + 1]);
+    merged.merge_from(shard);
+  }
+  // merge adds counters/buckets, so the gauge set per shard collapses and
+  // counters become 4x the per-shard rate — but equal to sequential totals.
+  EXPECT_EQ(merged.to_json(), sequential.to_json());
+}
+
+TEST(Metrics, MergeOrderDoesNotChangeTotals) {
+  MetricsRegistry a, b, ab, ba;
+  a.counter("n").add(5);
+  a.histogram("h", {1.0}).observe(0.5);
+  b.counter("n").add(7);
+  b.histogram("h", {1.0}).observe(2.0);
+  ab.merge_from(a);
+  ab.merge_from(b);
+  ba.merge_from(b);
+  ba.merge_from(a);
+  EXPECT_EQ(ab.to_json(), ba.to_json());
+  EXPECT_EQ(ab.counter("n").value(), 12u);
+}
+
+TEST(Metrics, ToJsonTagsStabilityAndSortsKeys) {
+  MetricsRegistry reg;
+  reg.counter("b.ops").add(1);
+  reg.counter("a.ops").add(2);
+  reg.gauge("t.secs", Stability::Timing).set(0.25);
+  std::string j = reg.to_json();
+  // Sorted map order: "a.ops" before "b.ops".
+  EXPECT_LT(j.find("a.ops"), j.find("b.ops"));
+  EXPECT_NE(j.find("\"stability\":\"deterministic\""), std::string::npos);
+  EXPECT_NE(j.find("\"stability\":\"timing\""), std::string::npos);
+}
+
+TEST(Metrics, SnapshotSkipsUnsetGauges) {
+  MetricsRegistry reg;
+  reg.gauge("unset");
+  reg.gauge("set").set(3.0);
+  MetricsSnapshot s = reg.snapshot();
+  EXPECT_EQ(s.gauges.count("unset"), 0u);
+  ASSERT_EQ(s.gauges.count("set"), 1u);
+  EXPECT_DOUBLE_EQ(s.gauges.at("set").value, 3.0);
+}
+
+}  // namespace
+}  // namespace csfma

@@ -1,0 +1,156 @@
+// Report: csfma-report-v1 schema rendering, the deterministic JSON number
+// rules, the metrics/timing stability split, CSV export, and the shared
+// --json/--csv/--trace CLI plumbing.
+#include "telemetry/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+#include "telemetry/json.hpp"
+
+namespace csfma {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+TEST(Json, DoublesRenderDeterministically) {
+  EXPECT_EQ(json_double(0.5), "0.5");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::infinity()), "null");
+  // %.17g round-trips: the parsed value is bit-identical.
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(json_double(v)), v);
+}
+
+TEST(Report, EmitsSchemaBenchAndAutoGitMeta) {
+  Report r("unit_test");
+  r.meta("seed", (std::uint64_t)42);
+  std::string j = r.to_json();
+  EXPECT_NE(j.find("\"schema\":\"csfma-report-v1\""), std::string::npos);
+  EXPECT_NE(j.find("\"bench\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(j.find("\"git\":"), std::string::npos);
+  EXPECT_NE(j.find("\"seed\":\"42\""), std::string::npos);
+}
+
+TEST(Report, SplitsScalarsByStability) {
+  Report r("unit_test");
+  r.metric("det.value", (std::uint64_t)7);
+  r.timing("wall.seconds", 0.25);
+  std::string j = r.to_json();
+  // "det.value" must be inside "metrics", "wall.seconds" inside "timing".
+  auto metrics_at = j.find("\"metrics\":");
+  auto timing_at = j.find("\"timing\":");
+  ASSERT_NE(metrics_at, std::string::npos);
+  ASSERT_NE(timing_at, std::string::npos);
+  auto det_at = j.find("\"det.value\":7");
+  auto wall_at = j.find("\"wall.seconds\":0.25");
+  ASSERT_NE(det_at, std::string::npos);
+  ASSERT_NE(wall_at, std::string::npos);
+  EXPECT_GT(det_at, metrics_at);
+  EXPECT_LT(det_at, timing_at);
+  EXPECT_GT(wall_at, timing_at);
+}
+
+TEST(Report, AttachMetricsRoutesByStabilityTag) {
+  MetricsRegistry reg;
+  reg.counter("engine.ops").add(100);
+  reg.gauge("engine.batch.seconds", Stability::Timing).set(1.5);
+  reg.histogram("engine.shard.ops", {8.0, 64.0}).observe(10.0);
+  reg.histogram("engine.shard.seconds", {0.1}, Stability::Timing).observe(0.05);
+  Report r("unit_test");
+  r.attach_metrics(reg);
+  std::string j = r.to_json();
+  auto timing_at = j.find("\"timing\":");
+  EXPECT_LT(j.find("\"engine.ops\":100"), timing_at);
+  EXPECT_LT(j.find("\"engine.shard.ops\""), timing_at);
+  EXPECT_GT(j.find("\"engine.batch.seconds\""), timing_at);
+  EXPECT_GT(j.find("\"engine.shard.seconds\""), timing_at);
+  // Histograms render with their full shape.
+  EXPECT_NE(j.find("\"bounds\":[8,64]"), std::string::npos);
+  EXPECT_NE(j.find("\"counts\":[0,1,0]"), std::string::npos);
+}
+
+TEST(Report, NonFiniteMetricsRenderAsNull) {
+  Report r("unit_test");
+  r.metric("bad", std::nan(""));
+  std::string j = r.to_json();
+  EXPECT_NE(j.find("\"bad\":null"), std::string::npos);
+}
+
+TEST(Report, TablesRejectRaggedRows) {
+  Report r("unit_test");
+  EXPECT_THROW(
+      r.table("t", {"a", "b"}, {{ReportCell("x")}}),  // 1 cell, 2 columns
+      CheckError);
+}
+
+TEST(Report, CsvQuotesAndTypesCells) {
+  Report r("unit_test");
+  r.table("t", {"arch", "luts", "ratio"},
+          {{"PCS, \"wide\"", (std::uint64_t)5832, 0.5},
+           {"FCS-FMA", (std::uint64_t)4685, 1.25}});
+  std::string path = testing::TempDir() + "report_test_t.csv";
+  r.write_csv(path, "t");
+  std::string csv = slurp(path);
+  EXPECT_NE(csv.find("arch,luts,ratio\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"PCS, \"\"wide\"\"\",5832,0.5\n"), std::string::npos);
+  EXPECT_NE(csv.find("FCS-FMA,4685,1.25\n"), std::string::npos);
+  EXPECT_THROW(r.write_csv(path, "missing"), CheckError);
+}
+
+TEST(Report, WriteJsonRoundTripsThroughDisk) {
+  Report r("unit_test");
+  r.metric("x", (std::uint64_t)1);
+  r.section("activity", "{\"total_toggles\":0}");
+  std::string path = testing::TempDir() + "report_test_r.json";
+  r.write_json(path);
+  EXPECT_EQ(slurp(path), r.to_json() + "\n");
+  EXPECT_NE(r.to_json().find("\"activity\":{\"total_toggles\":0}"),
+            std::string::npos);
+}
+
+TEST(ReportCli, ExtractsFlagsAndPreservesPositionals) {
+  const char* raw[] = {"bench",  "100",     "--json", "/tmp/a.json",
+                       "4",      "--trace", "/tmp/t.json", "--csv",
+                       "/tmp/c.csv"};
+  std::vector<char*> argv;
+  for (const char* a : raw) argv.push_back(const_cast<char*>(a));
+  int argc = (int)argv.size();
+  ReportCliArgs out = extract_report_args(argc, argv.data());
+  EXPECT_EQ(out.json_path, "/tmp/a.json");
+  EXPECT_EQ(out.trace_path, "/tmp/t.json");
+  EXPECT_EQ(out.csv_path, "/tmp/c.csv");
+  ASSERT_EQ(argc, 3);
+  EXPECT_STREQ(argv[0], "bench");
+  EXPECT_STREQ(argv[1], "100");
+  EXPECT_STREQ(argv[2], "4");
+}
+
+TEST(ReportCli, NoFlagsLeavesArgvUntouched) {
+  const char* raw[] = {"bench", "100"};
+  std::vector<char*> argv;
+  for (const char* a : raw) argv.push_back(const_cast<char*>(a));
+  int argc = (int)argv.size();
+  ReportCliArgs out = extract_report_args(argc, argv.data());
+  EXPECT_TRUE(out.json_path.empty());
+  EXPECT_EQ(argc, 2);
+}
+
+}  // namespace
+}  // namespace csfma

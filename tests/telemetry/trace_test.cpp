@@ -1,0 +1,82 @@
+// TraceSession / TraceSpan: chrome://tracing export shape, stable event
+// ordering, and the null-session zero-cost contract.
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csfma {
+namespace {
+
+TEST(Trace, CompleteAndInstantEventsRoundTrip) {
+  TraceSession session;
+  session.add_complete("simulate", "engine", 2, 100, 50,
+                       {{"ops", "8192", true}, {"unit", "PCS-FMA", false}});
+  session.add_instant("merge_done", "engine", 0);
+  ASSERT_EQ(session.size(), 2u);
+  auto evs = session.events();
+  EXPECT_EQ(evs[0].name, "simulate");
+  EXPECT_EQ(evs[0].tid, 2);
+  EXPECT_EQ(evs[0].dur_us, 50u);
+  EXPECT_FALSE(evs[0].instant);
+  EXPECT_TRUE(evs[1].instant);
+}
+
+TEST(Trace, JsonIsChromeTraceFormatSortedByTsThenTid) {
+  TraceSession session;
+  // Submit out of order, as racing workers would.
+  session.add_complete("late", "engine", 1, 200, 10);
+  session.add_complete("early", "engine", 3, 50, 10);
+  session.add_complete("tie_hi_lane", "engine", 2, 50, 10);
+  std::string j = session.to_json();
+  EXPECT_NE(j.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(j.find("\"traceEvents\":["), std::string::npos);
+  // Sorted by (ts, tid): early(tid 3 but would sort after tie at same ts?
+  // no — tid 2 < 3) => tie_hi_lane, early, late.
+  EXPECT_LT(j.find("tie_hi_lane"), j.find("\"early\""));
+  EXPECT_LT(j.find("\"early\""), j.find("\"late\""));
+  EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Trace, ArgsRenderAsNumbersOrStrings) {
+  TraceSession session;
+  {
+    TraceSpan span(&session, "fill", "engine", 1);
+    span.arg("ops", (std::uint64_t)8192);
+    span.arg("unit", "FCS-FMA");
+  }
+  std::string j = session.to_json();
+  EXPECT_NE(j.find("\"ops\":8192"), std::string::npos);
+  EXPECT_NE(j.find("\"unit\":\"FCS-FMA\""), std::string::npos);
+}
+
+TEST(Trace, SpanRecordsItsLifetime) {
+  TraceSession session;
+  {
+    TraceSpan span(&session, "shard", "engine", 0);
+    span.arg("index", (std::uint64_t)3);
+  }
+  ASSERT_EQ(session.size(), 1u);
+  auto evs = session.events();
+  EXPECT_EQ(evs[0].name, "shard");
+  ASSERT_EQ(evs[0].args.size(), 1u);
+  EXPECT_EQ(evs[0].args[0].key, "index");
+}
+
+TEST(Trace, NullSessionSpanIsANoOp) {
+  // The disabled path every hot loop takes: must not crash, must not
+  // record, must not require a session anywhere.
+  TraceSpan span(nullptr, "simulate", "engine", 7);
+  span.arg("ops", (std::uint64_t)1);
+  span.arg("unit", "x");
+  // Destructor runs at scope exit; nothing to assert beyond "no crash".
+}
+
+TEST(Trace, TimestampsAreMonotonicWithinASession) {
+  TraceSession session;
+  std::uint64_t a = session.now_us();
+  std::uint64_t b = session.now_us();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace csfma
