@@ -2,16 +2,23 @@
 // removing the CvtToCs(CvtFromCs(x)) pairs between adjacent FMAs, every
 // fused operation pays the full conversion latency and the chains stay in
 // IEEE format between units.
+//   ablation_hls_elision [--json <path>] [--csv <path>]
 #include <cstdio>
+#include <vector>
 
 #include "frontend/parser.hpp"
 #include "hls/fma_insert.hpp"
 #include "hls/schedule.hpp"
 #include "solver/solvers.hpp"
+#include "telemetry/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csfma;
+  const ReportCliArgs out_paths = extract_report_args(argc, argv);
   OperatorLibrary lib = OperatorLibrary::for_device(virtex6());
+  Report report("ablation_hls_elision");
+  report.meta("device", "Virtex-6");
+  std::vector<std::vector<ReportCell>> rows;
   std::printf("Ablation — conversion elision between adjacent FMAs\n");
   std::printf("%-8s | %5s | %9s | %12s | %12s\n", "solver", "style", "discrete",
               "fused+elide", "fused, no elide");
@@ -24,11 +31,25 @@ int main() {
       Cdfg with = k.graph, without = k.graph;
       insert_fma_units(with, lib, style, /*elide=*/true);
       insert_fma_units(without, lib, style, /*elide=*/false);
+      const int lw = schedule_asap(with, lib).length;
+      const int lwo = schedule_asap(without, lib).length;
+      const char* style_name = style == FmaStyle::Pcs ? "pcs" : "fcs";
       std::printf("%-8s | %5s | %9d | %12d | %12d\n", s.name.c_str(),
-                  style == FmaStyle::Pcs ? "pcs" : "fcs", base,
-                  schedule_asap(with, lib).length,
-                  schedule_asap(without, lib).length);
+                  style_name, base, lw, lwo);
+      const std::string key = s.name + "." + style_name;
+      report.metric(key + ".cycles.discrete", (std::uint64_t)base);
+      report.metric(key + ".cycles.elide", (std::uint64_t)lw);
+      report.metric(key + ".cycles.no_elide", (std::uint64_t)lwo);
+      rows.push_back({s.name, style_name, base, lw, lwo});
     }
+  }
+  if (!out_paths.json_path.empty() || !out_paths.csv_path.empty()) {
+    report.table("hls_elision",
+                 {"solver", "style", "discrete", "elide", "no_elide"},
+                 std::move(rows));
+    if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
+    if (!out_paths.csv_path.empty())
+      report.write_csv(out_paths.csv_path, "hls_elision");
   }
   return 0;
 }

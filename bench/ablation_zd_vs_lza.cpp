@@ -3,15 +3,19 @@
 //   * timing: the ZD lands on the critical path and deepens the pipeline;
 //   * accuracy: the ZD walks down to cancellation residues the LZA-chosen
 //     window truncates (the paper's accepted inaccuracy).
+//   ablation_zd_vs_lza [--json <path>] [--csv <path>]
 #include <cstdio>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "fma/fcs_fma.hpp"
 #include "fma/pcs_format.hpp"
 #include "fpga/architectures.hpp"
+#include "telemetry/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csfma;
+  const ReportCliArgs out_paths = extract_report_args(argc, argv);
   const Device dev = virtex6();
 
   // ---- timing/area ----
@@ -54,5 +58,30 @@ int main() {
   std::printf("\nthe paper chooses the LZA and absorbs its 3-digit margin in\n"
               "the 29c blocks; the ZD variant trades a pipeline stage (and\n"
               "fmax pressure) for exactness under deep cancellation.\n");
+
+  if (!out_paths.json_path.empty() || !out_paths.csv_path.empty()) {
+    Report report("ablation_zd_vs_lza");
+    report.meta("device", "Virtex-6");
+    report.meta("cancellation_trials", trials);
+    std::vector<std::vector<ReportCell>> rows;
+    for (const auto& r : {lza_r, zd_r}) {
+      const std::string key =
+          r.arch == lza_r.arch ? "lza" : "zd";
+      report.metric(key + ".fmax_mhz", r.fmax_mhz);
+      report.metric(key + ".cycles", (std::uint64_t)r.cycles);
+      report.metric(key + ".luts", (std::uint64_t)r.luts);
+      report.metric(key + ".min_ma_time_ns", r.min_ma_time_ns());
+      rows.push_back({r.arch, r.fmax_mhz, r.cycles, r.luts,
+                      r.min_ma_time_ns()});
+    }
+    report.metric("lza.lost_gt_1ulp", (std::uint64_t)lza_lost);
+    report.metric("zd.lost_gt_1ulp", (std::uint64_t)zd_lost);
+    report.table("zd_vs_lza",
+                 {"variant", "fmax_mhz", "cycles", "luts", "min_ma_time_ns"},
+                 std::move(rows));
+    if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
+    if (!out_paths.csv_path.empty())
+      report.write_csv(out_paths.csv_path, "zd_vs_lza");
+  }
   return 0;
 }

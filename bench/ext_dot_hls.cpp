@@ -2,14 +2,17 @@
 // sum-of-products TREES of a matrix-vector multiply (the residual
 // computations around the paper's solver kernel) collapse to single
 // fused units in log depth, where the FMA chains stay linear.
+//   ext_dot_hls [--json <path>] [--csv <path>]
 #include <cstdio>
 #include <sstream>
+#include <vector>
 
 #include "frontend/parser.hpp"
 #include "hls/dot_insert.hpp"
 #include "hls/fma_insert.hpp"
 #include "hls/schedule.hpp"
 #include "solver/solvers.hpp"
+#include "telemetry/report.hpp"
 
 namespace {
 
@@ -34,8 +37,13 @@ std::string mvm_kernel(int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ReportCliArgs out_paths = extract_report_args(argc, argv);
   OperatorLibrary lib = OperatorLibrary::for_device(virtex6());
+  Report report("ext_dot_hls");
+  report.meta("device", "Virtex-6");
+  report.meta("max_dot_terms", 16);
+  std::vector<std::vector<ReportCell>> mvm_rows, solve_rows;
 
   std::printf("Extension — fused dot products in HLS (schedule cycles)\n\n");
   std::printf("-- dense matrix-vector multiply (tree-shaped sums) --\n");
@@ -48,9 +56,16 @@ int main() {
     insert_fma_units(fma, lib, FmaStyle::Fcs);
     Cdfg dot = k.graph;
     DotInsertStats st = insert_dot_products(dot, lib, /*max_terms=*/16);
-    std::printf("%6d | %9d | %11d | %11d  (%d dots)\n", n, base,
-                schedule_asap(fma, lib).length, schedule_asap(dot, lib).length,
+    const int lfma = schedule_asap(fma, lib).length;
+    const int ldot = schedule_asap(dot, lib).length;
+    std::printf("%6d | %9d | %11d | %11d  (%d dots)\n", n, base, lfma, ldot,
                 st.dots_inserted);
+    const std::string key = "mvm." + std::to_string(n);
+    report.metric(key + ".cycles.discrete", (std::uint64_t)base);
+    report.metric(key + ".cycles.fma", (std::uint64_t)lfma);
+    report.metric(key + ".cycles.dots", (std::uint64_t)ldot);
+    report.metric(key + ".dots_inserted", (std::uint64_t)st.dots_inserted);
+    mvm_rows.push_back({n, base, lfma, ldot, st.dots_inserted});
   }
 
   std::printf("\n-- ldlsolve() (chain-shaped sums: FMA chains win) --\n");
@@ -66,13 +81,28 @@ int main() {
     Cdfg both = k.graph;
     insert_dot_products(both, lib, 16);
     insert_fma_units(both, lib, FmaStyle::Fcs);
+    const int lfma = schedule_asap(fma, lib).length;
+    const int ldot = schedule_asap(dot, lib).length;
+    const int lboth = schedule_asap(both, lib).length;
     std::printf("%-8s | %9d | %11d | %11d | %11d\n", s.name.c_str(), base,
-                schedule_asap(fma, lib).length, schedule_asap(dot, lib).length,
-                schedule_asap(both, lib).length);
+                lfma, ldot, lboth);
+    report.metric(s.name + ".cycles.discrete", (std::uint64_t)base);
+    report.metric(s.name + ".cycles.fma", (std::uint64_t)lfma);
+    report.metric(s.name + ".cycles.dots", (std::uint64_t)ldot);
+    report.metric(s.name + ".cycles.dots_fma", (std::uint64_t)lboth);
+    solve_rows.push_back({s.name, base, lfma, ldot, lboth});
   }
   std::printf("\nreading: tree-shaped reductions favour the fused dot unit\n"
               "(one log-depth unit per row); the substitution chains of\n"
               "ldlsolve favour FMA chains (the dot cannot start before its\n"
               "last input, so chains of dots serialize at full unit latency).\n");
+  if (!out_paths.json_path.empty() || !out_paths.csv_path.empty()) {
+    report.table("mvm", {"n", "discrete", "fma", "dots", "dots_inserted"},
+                 std::move(mvm_rows));
+    report.table("ldlsolve", {"solver", "discrete", "fma", "dots", "dots_fma"},
+                 std::move(solve_rows));
+    if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
+    if (!out_paths.csv_path.empty()) report.write_csv(out_paths.csv_path, "mvm");
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 //   (b) as a chain of PCS-FMAs (deferred rounding between links),
 //   (c) with the fused dot-product unit (ONE rounding total),
 // against a wide-precision reference.
+//   ext_dot_product [--json <path>] [--csv <path>]
 #include <cstdio>
 #include <vector>
 
@@ -11,13 +12,19 @@
 #include "fma/discrete.hpp"
 #include "fma/dot_product.hpp"
 #include "fma/pcs_fma.hpp"
+#include "telemetry/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csfma;
+  const ReportCliArgs out_paths = extract_report_args(argc, argv);
   Rng rng(8080);
   PcsDotProduct fused;
   PcsFma fma;
   DiscreteMulAdd coregen;
+  Report report("ext_dot_product");
+  report.meta("seed", (std::uint64_t)8080);
+  report.meta("draws", 2000);
+  std::vector<std::vector<ReportCell>> rows;
 
   std::printf("Extension — fused dot product accuracy (mean binary64 ulps vs "
               "wide reference, 2000 draws)\n\n");
@@ -54,9 +61,22 @@ int main() {
     }
     std::printf("%6d | %10.4f | %12.4f | %10.4f\n", n, e_disc / draws,
                 e_chain / draws, e_fused / draws);
+    const std::string key = "terms." + std::to_string(n);
+    report.metric(key + ".ulp.discrete", e_disc / draws);
+    report.metric(key + ".ulp.fma_chain", e_chain / draws);
+    report.metric(key + ".ulp.fused_dot", e_fused / draws);
+    rows.push_back({n, e_disc / draws, e_chain / draws, e_fused / draws});
   }
   std::printf("\nthe fused unit rounds once regardless of N; the FMA chain\n"
               "rounds its transfer mantissa per link; the discrete pipeline\n"
               "rounds twice per term.\n");
+  if (!out_paths.json_path.empty() || !out_paths.csv_path.empty()) {
+    report.table("dot_product",
+                 {"terms", "ulp_discrete", "ulp_fma_chain", "ulp_fused_dot"},
+                 std::move(rows));
+    if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
+    if (!out_paths.csv_path.empty())
+      report.write_csv(out_paths.csv_path, "dot_product");
+  }
   return 0;
 }

@@ -2,13 +2,16 @@
 // signal processing and control engineering applications"): an FIR filter
 // (tree-shaped taps, dot-friendly) and an IIR biquad recurrence (Listing-1
 // shaped chains, FMA-friendly) through the compilation strategies.
+//   ext_dsp_kernels [--json <path>] [--csv <path>]
 #include <cstdio>
 #include <sstream>
+#include <vector>
 
 #include "frontend/parser.hpp"
 #include "hls/dot_insert.hpp"
 #include "hls/fma_insert.hpp"
 #include "hls/schedule.hpp"
+#include "telemetry/report.hpp"
 
 namespace {
 
@@ -52,7 +55,8 @@ std::string iir_kernel(int samples) {
   return os.str();
 }
 
-void run(const char* name, const std::string& src) {
+void run(const char* name, const std::string& src, Report* report,
+         std::vector<std::vector<ReportCell>>* rows) {
   OperatorLibrary lib = OperatorLibrary::for_device(virtex6());
   KernelInfo k = parse_kernel(src);
   const int base = schedule_asap(k.graph, lib).length;
@@ -60,25 +64,43 @@ void run(const char* name, const std::string& src) {
   insert_fma_units(fma, lib, FmaStyle::Fcs);
   Cdfg dot = k.graph;
   insert_dot_products(dot, lib, 16);
+  const int lfma = schedule_asap(fma, lib).length;
+  const int ldot = schedule_asap(dot, lib).length;
   std::printf("%-10s | %5d | %9d | %11d | %11d\n", name, k.statements, base,
-              schedule_asap(fma, lib).length, schedule_asap(dot, lib).length);
+              lfma, ldot);
+  report->metric(std::string(name) + ".cycles.discrete", (std::uint64_t)base);
+  report->metric(std::string(name) + ".cycles.fma", (std::uint64_t)lfma);
+  report->metric(std::string(name) + ".cycles.dots", (std::uint64_t)ldot);
+  rows->push_back({name, k.statements, base, lfma, ldot});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ReportCliArgs out_paths = extract_report_args(argc, argv);
+  Report report("ext_dsp_kernels");
+  report.meta("device", "Virtex-6");
+  std::vector<std::vector<ReportCell>> rows;
   std::printf("Extension — DSP kernels (schedule cycles @ 200 MHz)\n\n");
   std::printf("%-10s | %5s | %9s | %11s | %11s\n", "kernel", "stmts",
               "discrete", "FMA chains", "fused dots");
   std::printf("%.*s\n", 58, "--------------------------------------------------"
                             "--------");
-  run("fir-8", fir_kernel(8, 8));
-  run("fir-16", fir_kernel(16, 8));
-  run("iir-8", iir_kernel(8));
-  run("iir-24", iir_kernel(24));
+  run("fir-8", fir_kernel(8, 8), &report, &rows);
+  run("fir-16", fir_kernel(16, 8), &report, &rows);
+  run("iir-8", iir_kernel(8), &report, &rows);
+  run("iir-24", iir_kernel(24), &report, &rows);
   std::printf("\nthe FIR's independent tap sums collapse to one fused dot per\n"
               "output; the IIR's feedback recurrence is exactly the paper's\n"
               "Listing 1 and wants the FMA chain — the two unit types are\n"
               "complementary across the motivating domain.\n");
+  if (!out_paths.json_path.empty() || !out_paths.csv_path.empty()) {
+    report.table("dsp_kernels",
+                 {"kernel", "stmts", "discrete", "fma", "dots"},
+                 std::move(rows));
+    if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
+    if (!out_paths.csv_path.empty())
+      report.write_csv(out_paths.csv_path, "dsp_kernels");
+  }
   return 0;
 }

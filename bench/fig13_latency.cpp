@@ -2,14 +2,84 @@
 // minimum clock period x pipeline length, for the four architectures.
 //
 //   fig13_latency [--json <path>] [--csv <path>]
+//                 [--vcd <file> --watch <op-index> [--unit <kind>]]
+//
+// With --vcd, one operation of a fixed random operand stream is
+// re-simulated on the selected unit (default pcs) with a SignalTap
+// attached, the architecture's synthesis-model pipeline stages are traced
+// behind it, and the waveform is written as a GTKWave-loadable VCD
+// (docs/observability.md).
 #include <cstdio>
+#include <vector>
 
+#include "engine/watch.hpp"
 #include "fpga/architectures.hpp"
+#include "introspect/event_log.hpp"
+#include "introspect/signal_tap.hpp"
 #include "telemetry/report.hpp"
+
+namespace {
+
+void write_watch_vcd(const csfma::WatchOptions& watch) {
+  using namespace csfma;
+  // The watched stream: fixed-seed random triples, pure function of index.
+  RandomTripleSource src(0xF13, 65536);
+  OperandTriple t;
+  src.fill(watch.watch_op, &t, 1);
+
+  SignalTap tap(to_string(watch.unit));
+  EventLog events(64);
+  IntrospectHooks hooks;
+  hooks.tap = &tap;
+  hooks.events = &events;
+  auto unit = make_fma_unit(watch.unit, nullptr, &hooks);
+  tap.begin_op(watch.watch_op);
+  events.begin_op(watch.watch_op, t.a.to_bits().lo64(), t.b.to_bits().lo64(),
+                  t.c.to_bits().lo64());
+  unit->fma_ieee(t.a, t.b, t.c, Round::NearestEven);
+  for (const NumEvent& e : events.events()) {
+    tap.vcd().comment(std::string("event ") + to_string(e.kind) +
+                      " detail=" + std::to_string(e.detail));
+  }
+
+  // The same architecture's synthesis-model pipeline, stage by stage.
+  const Device dev = virtex6();
+  std::vector<Component> chain;
+  switch (watch.unit) {
+    case UnitKind::Discrete:
+      chain = build_coregen_mul(dev);
+      break;
+    case UnitKind::Classic:
+      chain = build_flopoco_fused(dev);
+      break;
+    case UnitKind::Pcs:
+      chain = build_pcs_fma(dev);
+      break;
+    case UnitKind::Fcs:
+      chain = build_fcs_fma(dev);
+      break;
+  }
+  pipeline_chain(chain, 1000.0 / 200.0, dev.reg_clk_to_q_ns + dev.reg_setup_ns,
+                 &tap);
+  tap.write(watch.vcd_path);
+  std::printf("wrote %s (unit %s, op %llu, %llu events)\n",
+              watch.vcd_path.c_str(), to_string(watch.unit),
+              (unsigned long long)watch.watch_op,
+              (unsigned long long)events.raised());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace csfma;
-  const ReportCliArgs out_paths = extract_report_args(argc, argv);
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const WatchOptions watch = extract_watch_args(args);
+  std::vector<char*> argp;
+  argp.push_back(argv[0]);
+  for (auto& a : args) argp.push_back(a.data());
+  int argn = (int)argp.size();
+  const ReportCliArgs out_paths = extract_report_args(argn, argp.data());
+  if (watch.enabled()) write_watch_vcd(watch);
   auto rows = table1_reports(virtex6(), 200.0);
 
   // Paper values: cycles / fmax from Table I.

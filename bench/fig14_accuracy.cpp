@@ -3,13 +3,24 @@
 // arithmetic mean over 20 computations, against the 75b CoreGen-style
 // golden reference.  Ladder: 64b discrete, 68b discrete, PCS-FMA chain,
 // FCS-FMA chain (the paper plots 64b, 68b and FCS).
-//   fig14_accuracy [--json <path>]
+//   fig14_accuracy [--json <path>] [--threads <n>]
+//
+// --threads sets the engine worker count for the chained runs; every
+// output — ulp numbers AND the merged event-log JSON — is byte-identical
+// for any value (the CI determinism gate diffs 1 vs 4).
+//
+// The P/FCS chains run through SimEngine::run_chained (operands stay in
+// CS form with their deferred-rounding tails between operations); the
+// format-ladder runs stay explicit loops because binary68/75 are operand
+// FORMATS of the discrete pipeline, not FmaUnit architectures.
 #include <array>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
-#include "fma/fcs_fma.hpp"
-#include "fma/pcs_fma.hpp"
+#include "energy/workload.hpp"
 #include "telemetry/report.hpp"
 
 namespace {
@@ -27,6 +38,38 @@ Inputs random_inputs(Rng& rng) {
   in.b2 = rng.next_double(1e-6, 1.0) * (rng.next_bool() ? 1 : -1);
   for (auto& x : in.x0) x = rng.next_double(-1.0, 1.0);
   return in;
+}
+
+RecurrenceInputs lift_inputs(const Inputs& in) {
+  RecurrenceInputs r;
+  r.b1 = PFloat::from_double(kBinary64, in.b1);
+  r.b2 = PFloat::from_double(kBinary64, in.b2);
+  for (int i = 0; i < 3; ++i)
+    r.x[(std::size_t)i] = PFloat::from_double(kBinary64, in.x0[(std::size_t)i]);
+  return r;
+}
+
+/// Per-run final x[depth] of the recurrence through `kind`, chained
+/// natively by the engine; also returns the run's merged event log.
+std::vector<PFloat> chain_finals(UnitKind kind,
+                                 const std::vector<RecurrenceInputs>& inputs,
+                                 int depth, int threads, EventLog* events) {
+  RecurrenceChainSource src(inputs, depth);
+  EngineConfig cfg;
+  cfg.unit = kind;
+  cfg.threads = threads;
+  cfg.shard_ops = src.ops_per_chain();  // one chain per shard
+  cfg.rm = Round::HalfAwayFromZero;  // the CS units' deferred readout rule
+  cfg.event_capacity = 256;
+  SimEngine engine(cfg);
+  BatchResult r = engine.run_chained(src);
+  *events = r.events;
+  const std::uint64_t opc = src.ops_per_chain();
+  std::vector<PFloat> finals;
+  finals.reserve(inputs.size());
+  for (std::size_t run = 0; run < inputs.size(); ++run)
+    finals.push_back(r.results[(run + 1) * (std::size_t)opc - 1]);
+  return finals;
 }
 
 PFloat discrete(const Inputs& in, const FloatFormat& fmt, int n) {
@@ -47,55 +90,37 @@ PFloat discrete(const Inputs& in, const FloatFormat& fmt, int n) {
   return x1;
 }
 
-PFloat pcs_chain(const Inputs& in, int n) {
-  PcsFma unit;
-  PFloat b1 = PFloat::from_double(kBinary64, in.b1);
-  PFloat b2 = PFloat::from_double(kBinary64, in.b2);
-  PcsOperand x3 = ieee_to_pcs(PFloat::from_double(kBinary64, in.x0[0]));
-  PcsOperand x2 = ieee_to_pcs(PFloat::from_double(kBinary64, in.x0[1]));
-  PcsOperand x1 = ieee_to_pcs(PFloat::from_double(kBinary64, in.x0[2]));
-  for (int i = 3; i <= n; ++i) {
-    PcsOperand t = unit.fma(x3, b2, x2);
-    PcsOperand x = unit.fma(t, b1, x1);
-    x3 = x2;
-    x2 = x1;
-    x1 = x;
-  }
-  return pcs_to_ieee(x1, kBinary64, Round::HalfAwayFromZero);
-}
-
-PFloat fcs_chain(const Inputs& in, int n) {
-  FcsFma unit;
-  PFloat b1 = PFloat::from_double(kBinary64, in.b1);
-  PFloat b2 = PFloat::from_double(kBinary64, in.b2);
-  FcsOperand x3 = ieee_to_fcs(PFloat::from_double(kBinary64, in.x0[0]));
-  FcsOperand x2 = ieee_to_fcs(PFloat::from_double(kBinary64, in.x0[1]));
-  FcsOperand x1 = ieee_to_fcs(PFloat::from_double(kBinary64, in.x0[2]));
-  for (int i = 3; i <= n; ++i) {
-    FcsOperand t = unit.fma(x3, b2, x2);
-    FcsOperand x = unit.fma(t, b1, x1);
-    x3 = x2;
-    x2 = x1;
-    x1 = x;
-  }
-  return fcs_to_ieee(x1, kBinary64, Round::HalfAwayFromZero);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   const ReportCliArgs out_paths = extract_report_args(argc, argv);
+  int threads = 1;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") threads = std::atoi(argv[i + 1]);
+  }
   const int kRuns = 20, kDepth = 50;
   const std::uint64_t kSeed = 424242;
   Rng rng(kSeed);
+  std::vector<Inputs> inputs;
+  std::vector<RecurrenceInputs> chain_inputs;
+  for (int run = 0; run < kRuns; ++run) {
+    inputs.push_back(random_inputs(rng));
+    chain_inputs.push_back(lift_inputs(inputs.back()));
+  }
+  EventLog pcs_events(0), fcs_events(0);
+  const std::vector<PFloat> pcs_finals =
+      chain_finals(UnitKind::Pcs, chain_inputs, kDepth, threads, &pcs_events);
+  const std::vector<PFloat> fcs_finals =
+      chain_finals(UnitKind::Fcs, chain_inputs, kDepth, threads, &fcs_events);
+
   double e64 = 0, e68 = 0, e_pcs = 0, e_fcs = 0;
   for (int run = 0; run < kRuns; ++run) {
-    Inputs in = random_inputs(rng);
+    const Inputs& in = inputs[(std::size_t)run];
     PFloat golden = discrete(in, kBinary75, kDepth);  // the 75b reference
     e64 += PFloat::ulp_error(discrete(in, kBinary64, kDepth), golden, 52);
     e68 += PFloat::ulp_error(discrete(in, kBinary68, kDepth), golden, 52);
-    e_pcs += PFloat::ulp_error(pcs_chain(in, kDepth), golden, 52);
-    e_fcs += PFloat::ulp_error(fcs_chain(in, kDepth), golden, 52);
+    e_pcs += PFloat::ulp_error(pcs_finals[(std::size_t)run], golden, 52);
+    e_fcs += PFloat::ulp_error(fcs_finals[(std::size_t)run], golden, 52);
   }
   e64 /= kRuns;
   e68 /= kRuns;
@@ -121,6 +146,13 @@ int main(int argc, char** argv) {
   std::printf("\npaper's claim: both P/FCS-FMA chains clearly outperform\n"
               "standard double precision in average accuracy: %s\n",
               (e_pcs < e64 && e_fcs < e64) ? "REPRODUCED" : "NOT reproduced");
+  std::printf("\nnumerical events along the chains (see docs/observability.md):\n"
+              "  PCS: %llu raised (%llu logged)   FCS: %llu raised (%llu "
+              "logged)\n",
+              (unsigned long long)pcs_events.raised(),
+              (unsigned long long)pcs_events.events().size(),
+              (unsigned long long)fcs_events.raised(),
+              (unsigned long long)fcs_events.events().size());
 
   if (!out_paths.json_path.empty()) {
     Report report("fig14_accuracy");
@@ -139,6 +171,10 @@ int main(int argc, char** argv) {
                   {"68b (wider CoreGen)", e68},
                   {"PCS-FMA chain", e_pcs},
                   {"FCS-FMA chain", e_fcs}});
+    // The numerical event logs of the chained runs (shard-order merged by
+    // the engine; byte-identical for any thread count).
+    report.section("events.pcs", pcs_events.to_json());
+    report.section("events.fcs", fcs_events.to_json());
     report.write_json(out_paths.json_path);
   }
   return (e_pcs < e64 && e_fcs < e64) ? 0 : 1;

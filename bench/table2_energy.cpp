@@ -70,6 +70,26 @@ int main(int argc, char** argv) {
                 100.0 * t / pcs.toggles_per_op);
   }
 
+  // Per-pipeline-stage attribution: stages partition the probes, so each
+  // unit's stage toggles sum exactly to its per-unit total above.
+  std::printf("\nPer-stage activity (toggles/op; stages sum to the unit "
+              "total):\n");
+  const struct {
+    const char* name;
+    const ActivityMeasurement* m;
+  } stage_rows[] = {{"Xilinx (Mul+Add)", &disc},
+                    {"FloPoCo", &classic},
+                    {"PCS-FMA", &pcs},
+                    {"FCS-FMA", &fcs}};
+  for (const auto& row : stage_rows) {
+    std::printf("  %-18s", row.name);
+    for (const auto& [stage, t] : row.m->by_stage) {
+      std::printf("  %s=%.1f", stage.empty() ? "(unlabelled)" : stage.c_str(),
+                  t);
+    }
+    std::printf("  | total=%.1f\n", row.m->toggles_per_op);
+  }
+
   if (!out_paths.json_path.empty() || !out_paths.csv_path.empty()) {
     Report report("table2_energy");
     report.meta("seed", seed);
@@ -114,6 +134,32 @@ int main(int argc, char** argv) {
       }
       by_comp += "}";
       report.section("pcs_by_component", by_comp);
+    }
+    // Per-stage activity attribution for every unit (scripts/check_report.py
+    // validates that stage toggles sum to the unit total).
+    {
+      std::string stage_json = "{";
+      bool first_arch = true;
+      for (const auto& row : stage_rows) {
+        if (!first_arch) stage_json += ',';
+        first_arch = false;
+        std::uint64_t total = 0;
+        for (const auto& [stage, t] : row.m->stage_toggles) total += t;
+        stage_json += "\"" + json_escape(row.name) +
+                      "\":{\"total_toggles\":" + std::to_string(total) +
+                      ",\"ops\":" + std::to_string(row.m->ops) +
+                      ",\"stages\":{";
+        bool first_stage = true;
+        for (const auto& [stage, t] : row.m->stage_toggles) {
+          if (!first_stage) stage_json += ',';
+          first_stage = false;
+          stage_json +=
+              "\"" + json_escape(stage) + "\":" + std::to_string(t);
+        }
+        stage_json += "}}";
+      }
+      stage_json += "}";
+      report.section("stage_activity", stage_json);
     }
     if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
     if (!out_paths.csv_path.empty())

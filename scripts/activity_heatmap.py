@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Render the per-stage activity attribution of a csfma-report-v1 JSON
+(the "stage_activity" section table2_energy --json emits) as an ASCII
+heatmap and, optionally, a CSV matrix.  Stdlib only.
+
+Usage:
+  activity_heatmap.py report.json [--csv out.csv]
+
+The heatmap shows toggles per operation for each (architecture, stage)
+cell, shaded against the hottest cell; stages are the pipeline-stage
+labels of the probe naming scheme (docs/observability.md).  The CSV is
+an architectures x stages matrix of toggles/op with a trailing total
+column, ready for plotting.
+"""
+import csv
+import json
+import sys
+
+SHADES = " .:-=+*#%@"
+
+
+def fail(msg):
+    print(f"activity_heatmap: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_stage_activity(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+    sec = report.get("sections", {}).get("stage_activity")
+    if not isinstance(sec, dict) or not sec:
+        fail(f"{path} has no 'stage_activity' section "
+             f"(generate it with: table2_energy --json {path})")
+    return report.get("bench", "?"), sec
+
+
+def toggles_per_op(arch):
+    ops = arch.get("ops", 0) or 1
+    return {stage: t / ops for stage, t in arch.get("stages", {}).items()}
+
+
+def main(argv):
+    csv_path = None
+    if "--csv" in argv:
+        i = argv.index("--csv")
+        if i + 1 >= len(argv):
+            fail("--csv needs a path")
+        csv_path = argv[i + 1]
+        del argv[i:i + 2]
+    if len(argv) != 1:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    bench, sec = load_stage_activity(argv[0])
+
+    stages = sorted({s for a in sec.values() for s in a.get("stages", {})})
+    rows = {name: toggles_per_op(a) for name, a in sec.items()}
+    hottest = max((v for r in rows.values() for v in r.values()), default=0.0)
+
+    namew = max(len(n) for n in sec)
+    cellw = max(10, max(len(s) for s in stages) + 2)
+    print(f"per-stage switching activity (toggles/op) — {bench}")
+    print(" " * namew + "".join(s.rjust(cellw) for s in stages) +
+          "total".rjust(cellw))
+    for name, r in rows.items():
+        cells = []
+        for s in stages:
+            v = r.get(s)
+            if v is None:
+                cells.append("-".rjust(cellw))
+                continue
+            shade = SHADES[min(len(SHADES) - 1,
+                               int(v / hottest * (len(SHADES) - 1) + 0.5))] \
+                if hottest > 0 else SHADES[0]
+            cells.append(f"{v:8.1f} {shade}".rjust(cellw))
+        total = sum(r.values())
+        print(name.ljust(namew) + "".join(cells) + f"{total:9.1f}".rjust(cellw))
+    print(f"\nshade scale: '{SHADES}' from 0 to the hottest cell "
+          f"({hottest:.1f} toggles/op)")
+
+    if csv_path:
+        with open(csv_path, "w", newline="") as f:
+            w = csv.writer(f)
+            w.writerow(["arch"] + stages + ["total"])
+            for name, r in rows.items():
+                w.writerow([name] + [f"{r.get(s, 0.0):.6f}" for s in stages] +
+                           [f"{sum(r.values()):.6f}"])
+        print(f"wrote {csv_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

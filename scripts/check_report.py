@@ -7,18 +7,37 @@ Usage:
       first violation.
 
   check_report.py --compare-metrics a.json b.json
-      Additionally assert the deterministic sections ("metrics" and
-      "tables") of two reports are identical.  This is the CI gate for
-      the engine determinism contract: the same seed run with different
-      worker thread counts must export identical deterministic metrics.
-      "meta" and "timing" are exempt (thread count and wall clock live
-      there) — see docs/observability.md.
+      Additionally assert the deterministic sections ("metrics",
+      "tables" and "sections" — the latter carries event logs and
+      activity snapshots) of two reports are identical.  This is the CI
+      gate for the engine determinism contract: the same seed run with
+      different worker thread counts must export identical deterministic
+      metrics and byte-identical event logs.  "meta" and "timing" are
+      exempt (thread count and wall clock live there) — see
+      docs/observability.md.
+
+  check_report.py --check-vcd waveform.vcd [more.vcd ...]
+      Validate VCD well-formedness instead: header structure, balanced
+      scopes, declared ids, monotone timestamps, and value tokens that
+      fit their declared widths (the files SignalTap writes, see
+      docs/observability.md).
 """
 import json
 import math
+import re
 import sys
 
 SCHEMA = "csfma-report-v1"
+
+EVENT_KINDS = {
+    "misround_vs_ieee",
+    "cancellation",
+    "lza_mispredict",
+    "zero_detect_late",
+    "subnormal_flush",
+}
+
+HEX64 = re.compile(r"^0x[0-9a-f]{16}$")
 
 
 def fail(path, msg):
@@ -56,6 +75,148 @@ def check_scalar_or_histogram(path, section, name, v):
     if sum(counts) != v["count"]:
         fail(path, f"{where}: bucket counts sum to {sum(counts)}, "
                    f"count says {v['count']}")
+
+
+def check_event_log(path, name, sec):
+    """Validate a numerical event-log section (EventLog::to_json)."""
+    where = f'sections["{name}"]'
+    if not isinstance(sec, dict):
+        fail(path, f"{where}: must be an object")
+    for key in ("capacity", "raised", "dropped", "events"):
+        if key not in sec:
+            fail(path, f"{where}: missing key '{key}'")
+    for key in ("capacity", "raised", "dropped"):
+        if not isinstance(sec[key], int) or sec[key] < 0:
+            fail(path, f"{where}: '{key}' must be a non-negative integer")
+    events = sec["events"]
+    if not isinstance(events, list):
+        fail(path, f"{where}: 'events' must be an array")
+    if len(events) > sec["capacity"]:
+        fail(path, f"{where}: {len(events)} events exceed capacity "
+                   f"{sec['capacity']}")
+    if sec["dropped"] != sec["raised"] - len(events):
+        fail(path, f"{where}: dropped={sec['dropped']} but raised - stored "
+                   f"= {sec['raised'] - len(events)}")
+    for i, e in enumerate(events):
+        ew = f"{where} event {i}"
+        if not isinstance(e, dict):
+            fail(path, f"{ew}: must be an object")
+        if e.get("kind") not in EVENT_KINDS:
+            fail(path, f'{ew}: unknown kind {e.get("kind")!r}')
+        if not isinstance(e.get("op"), int) or e["op"] < 0:
+            fail(path, f"{ew}: 'op' must be a non-negative integer")
+        for operand in ("a", "b", "c"):
+            if not isinstance(e.get(operand), str) or \
+                    not HEX64.match(e[operand]):
+                fail(path, f"{ew}: '{operand}' must be a 0x-prefixed "
+                           f"16-digit hex string")
+        if not isinstance(e.get("detail"), int):
+            fail(path, f"{ew}: 'detail' must be an integer")
+
+
+def check_stage_activity(path, sec):
+    """Validate the per-stage attribution section: for every architecture
+    the stage toggles must sum exactly to the unit's total."""
+    where = 'sections["stage_activity"]'
+    if not isinstance(sec, dict):
+        fail(path, f"{where}: must be an object")
+    for arch, a in sec.items():
+        aw = f'{where}["{arch}"]'
+        if not isinstance(a, dict):
+            fail(path, f"{aw}: must be an object")
+        for key in ("total_toggles", "ops", "stages"):
+            if key not in a:
+                fail(path, f"{aw}: missing key '{key}'")
+        if not isinstance(a["stages"], dict) or not a["stages"]:
+            fail(path, f"{aw}: 'stages' must be a non-empty object")
+        for stage, t in a["stages"].items():
+            if not isinstance(t, int) or t < 0:
+                fail(path, f'{aw}: stage "{stage}" toggles must be a '
+                           f"non-negative integer")
+        total = sum(a["stages"].values())
+        if total != a["total_toggles"]:
+            fail(path, f"{aw}: stage toggles sum to {total}, "
+                       f"total_toggles says {a['total_toggles']}")
+
+
+def check_vcd(path):
+    """Validate VCD well-formedness (the files SignalTap/VcdWriter write)."""
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as e:
+        fail(path, f"cannot load: {e}")
+    lines = text.splitlines()
+    if not any(line.startswith("$timescale") for line in lines):
+        fail(path, "missing $timescale")
+    if "$enddefinitions $end" not in lines:
+        fail(path, "missing $enddefinitions $end")
+    header_end = lines.index("$enddefinitions $end")
+
+    depth = 0
+    widths = {}  # id code -> declared width
+    var_re = re.compile(r"^\$var wire (\d+) (\S+) (\S+)( \[\d+:0\])? \$end$")
+    for i, line in enumerate(lines[:header_end]):
+        if line.startswith("$scope "):
+            depth += 1
+        elif line == "$upscope $end":
+            depth -= 1
+            if depth < 0:
+                fail(path, f"line {i + 1}: $upscope without open $scope")
+        elif line.startswith("$var "):
+            m = var_re.match(line)
+            if not m:
+                fail(path, f"line {i + 1}: malformed $var: {line!r}")
+            width, code = int(m.group(1)), m.group(2)
+            if width < 1:
+                fail(path, f"line {i + 1}: width must be >= 1")
+            if code in widths:
+                fail(path, f"line {i + 1}: duplicate id code {code!r}")
+            widths[code] = width
+    if depth != 0:
+        fail(path, f"{depth} unclosed $scope block(s)")
+    if not widths:
+        fail(path, "no $var declarations")
+
+    in_dump = False
+    last_time = -1
+    nchanges = 0
+    for i, line in enumerate(lines[header_end + 1:], start=header_end + 2):
+        if line == "$dumpvars":
+            in_dump = True
+            continue
+        if line == "$end" and in_dump:
+            in_dump = False
+            continue
+        if line.startswith("#"):
+            t = int(line[1:])
+            if t <= last_time:
+                fail(path, f"line {i}: non-monotone timestamp #{t}")
+            last_time = t
+            continue
+        if line.startswith("b"):  # vector: "b<bits> <id>"
+            try:
+                token, code = line.split(" ")
+            except ValueError:
+                fail(path, f"line {i}: malformed vector change: {line!r}")
+            bits = token[1:]
+            if not bits or any(ch not in "01x" for ch in bits):
+                fail(path, f"line {i}: bad vector token {token!r}")
+            if code not in widths:
+                fail(path, f"line {i}: undeclared id {code!r}")
+            if bits not in ("x",) and len(bits) > widths[code]:
+                fail(path, f"line {i}: {len(bits)} bits on a "
+                           f"{widths[code]}-bit wire")
+        else:  # scalar: "<0|1|x><id>"
+            if line[0] not in "01x":
+                fail(path, f"line {i}: unrecognized line {line!r}")
+            if line[1:] not in widths:
+                fail(path, f"line {i}: undeclared id {line[1:]!r}")
+        nchanges += 1
+    if last_time < 0:
+        fail(path, "no timestamps after the header")
+    print(f"{path}: OK ({len(widths)} signals, {nchanges} value changes, "
+          f"end time #{last_time})")
 
 
 def check_report(path):
@@ -98,8 +259,14 @@ def check_report(path):
             if not isinstance(row, list) or len(row) != ncols:
                 fail(path, f'tables["{name}"] row {i}: expected {ncols} cells')
 
-    if not isinstance(r.get("sections"), dict):
+    sections = r.get("sections")
+    if not isinstance(sections, dict):
         fail(path, '"sections" must be an object')
+    for name, sec in sections.items():
+        if name == "events" or name.startswith("events."):
+            check_event_log(path, name, sec)
+        elif name == "stage_activity":
+            check_stage_activity(path, sec)
 
     nmetrics = len(r["metrics"])
     print(f"{path}: OK ({r['bench']}, {nmetrics} metrics, "
@@ -109,7 +276,7 @@ def check_report(path):
 
 def compare_metrics(path_a, path_b, a, b):
     ok = True
-    for section in ("metrics", "tables"):
+    for section in ("metrics", "tables", "sections"):
         if a[section] != b[section]:
             ok = False
             keys = sorted(set(a[section]) | set(b[section]))
@@ -125,6 +292,12 @@ def compare_metrics(path_a, path_b, a, b):
 
 
 def main(argv):
+    if len(argv) >= 1 and argv[0] == "--check-vcd":
+        if len(argv) < 2:
+            fail("usage", "--check-vcd needs at least one VCD path")
+        for path in argv[1:]:
+            check_vcd(path)
+        return
     if len(argv) >= 1 and argv[0] == "--compare-metrics":
         if len(argv) != 3:
             fail("usage", "--compare-metrics needs exactly two report paths")

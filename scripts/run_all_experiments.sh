@@ -1,18 +1,45 @@
 #!/usr/bin/env bash
 # Regenerate every table, figure, ablation and extension experiment.
+# JSON reports (csfma-report-v1) land in reports/; validate them with
+# scripts/check_report.py.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build
+
+# Prefer Ninja when available, otherwise fall back to CMake's default
+# generator (the seed hard-coded -G Ninja and failed on make-only hosts).
+if command -v ninja >/dev/null 2>&1; then
+  cmake -B build -G Ninja
+else
+  cmake -B build
+fi
+cmake --build build -j
+
 echo "=================== tests ==================="
 ctest --test-dir build --output-on-failure
-for b in table1_synthesis fig13_latency table2_energy fig14_accuracy fig15_hls \
-         ablation_carry_spacing ablation_rounding_width ablation_hls_elision \
-         ablation_zd_vs_lza ablation_block_size ablation_reassoc \
-         ext_dot_product ext_ldlfactor ext_dot_hls ext_dsp_kernels; do
+
+benches=(table1_synthesis fig13_latency table2_energy fig14_accuracy fig15_hls
+         ablation_carry_spacing ablation_rounding_width ablation_hls_elision
+         ablation_zd_vs_lza ablation_block_size ablation_reassoc
+         ext_dot_product ext_ldlfactor ext_dot_hls ext_dsp_kernels)
+
+# Fail up front, with the full list, if the build produced no binary for
+# any requested bench (e.g. a stale build directory from an older tree).
+missing=()
+for b in "${benches[@]}" micro_units micro_flow; do
+  [[ -x "./build/bench/$b" ]] || missing+=("$b")
+done
+if ((${#missing[@]})); then
+  echo "error: missing bench binaries (re-run cmake on a clean build dir):" >&2
+  printf '  ./build/bench/%s\n' "${missing[@]}" >&2
+  exit 1
+fi
+
+mkdir -p reports
+for b in "${benches[@]}"; do
   echo; echo "=================== $b ==================="
-  "./build/bench/$b"
+  "./build/bench/$b" --json "reports/$b.json"
 done
 echo; echo "=================== microbenchmarks ==================="
 ./build/bench/micro_units --benchmark_min_time=0.05
 ./build/bench/micro_flow --benchmark_min_time=0.05
+echo; echo "reports written to reports/ (validate: python3 scripts/check_report.py reports/*.json)"

@@ -44,6 +44,12 @@ class ActivityProbe {
   std::uint64_t toggles() const { return toggles_; }
   std::uint64_t observations() const { return observations_; }
 
+  /// Pipeline-stage label ("mul", "add", ...) for per-stage attribution;
+  /// empty = unattributed.  Labels classify a probe, they do not affect
+  /// counting, so merge adopts a label rather than summing it.
+  const std::string& stage() const { return stage_; }
+  void set_stage(const std::string& stage) { stage_ = stage; }
+
   /// Fold another probe's accumulated counts into this one.  Totals add;
   /// the last-value baseline is NOT transferred, so no cross-probe toggle
   /// is invented at the seam (each shard of a partitioned run sets its own
@@ -51,6 +57,7 @@ class ActivityProbe {
   void merge_from(const ActivityProbe& o) {
     toggles_ += o.toggles_;
     observations_ += o.observations_;
+    if (stage_.empty()) stage_ = o.stage_;
   }
 
   void reset() {
@@ -65,12 +72,20 @@ class ActivityProbe {
   bool has_prev_ = false;
   std::uint64_t toggles_ = 0;
   std::uint64_t observations_ = 0;
+  std::string stage_;
 };
 
 /// A named collection of probes, one per component output of a unit.
 class ActivityRecorder {
  public:
   ActivityProbe& probe(const std::string& name) { return probes_[name]; }
+  /// Probe lookup that also (idempotently) labels the probe's pipeline
+  /// stage — the instrumentation sites' entry point for stage attribution.
+  ActivityProbe& probe(const std::string& name, const std::string& stage) {
+    ActivityProbe& p = probes_[name];
+    if (p.stage().empty()) p.set_stage(stage);
+    return p;
+  }
   const std::map<std::string, ActivityProbe>& probes() const { return probes_; }
 
   /// Sum of toggle counts over all probes.
@@ -80,6 +95,22 @@ class ActivityRecorder {
     return t;
   }
 
+  /// Per-stage rollup of the probe counts.  Unlabelled probes land under
+  /// the empty-string stage, so the values always sum to total_toggles().
+  struct StageTotals {
+    std::uint64_t toggles = 0;
+    std::uint64_t observations = 0;
+  };
+  std::map<std::string, StageTotals> stage_totals() const {
+    std::map<std::string, StageTotals> out;
+    for (const auto& [name, p] : probes_) {
+      StageTotals& st = out[p.stage()];
+      st.toggles += p.toggles();
+      st.observations += p.observations();
+    }
+    return out;
+  }
+
   /// Fold another recorder's counts into this one, probe by probe (probes
   /// absent here are created).  Used to combine per-shard recorders of a
   /// partitioned run into one deterministic aggregate.
@@ -87,23 +118,37 @@ class ActivityRecorder {
     for (const auto& [name, p] : o.probes_) probes_[name].merge_from(p);
   }
 
-  /// Snapshot as a JSON object — the per-probe view of the Table II toggle
-  /// data, embeddable in experiment reports.  Probe order is sorted (map
-  /// order) and all values are integers, so equal recorders render to
+  /// Snapshot as a JSON object — the per-probe and per-stage view of the
+  /// Table II toggle data, embeddable in experiment reports.  Probe and
+  /// stage order is sorted (map order) and all values are integers (stage
+  /// labels escape like probe names), so equal recorders render to
   /// byte-identical JSON whatever the capture's thread count.
   std::string to_json() const {
+    auto quoted = [](const std::string& s) {
+      std::string q = "\"";
+      for (char c : s) {  // names are identifiers; escape minimally
+        if (c == '"' || c == '\\') q += '\\';
+        q += c;
+      }
+      q += '"';
+      return q;
+    };
     std::string out = "{\"total_toggles\":" + std::to_string(total_toggles()) +
-                      ",\"probes\":{";
+                      ",\"stages\":{";
     bool first = true;
+    for (const auto& [stage, st] : stage_totals()) {
+      if (!first) out += ',';
+      first = false;
+      out += quoted(stage) + ":{\"toggles\":" + std::to_string(st.toggles) +
+             ",\"observations\":" + std::to_string(st.observations) + "}";
+    }
+    out += "},\"probes\":{";
+    first = true;
     for (const auto& [name, p] : probes_) {
       if (!first) out += ',';
       first = false;
-      out += '"';
-      for (char c : name) {  // probe names are identifiers; escape minimally
-        if (c == '"' || c == '\\') out += '\\';
-        out += c;
-      }
-      out += "\":{\"toggles\":" + std::to_string(p.toggles()) +
+      out += quoted(name) + ":{\"stage\":" + quoted(p.stage()) +
+             ",\"toggles\":" + std::to_string(p.toggles()) +
              ",\"observations\":" + std::to_string(p.observations()) + "}";
     }
     out += "}}";

@@ -1,25 +1,15 @@
 #include "energy/workload.hpp"
 
-#include <array>
-
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "energy/energy_model.hpp"
-#include "fma/classic_fma.hpp"
-#include "fma/discrete.hpp"
-#include "fma/fcs_fma.hpp"
-#include "fma/pcs_fma.hpp"
 
 namespace csfma {
 
 namespace {
 
-struct Inputs {
-  PFloat b1, b2;
-  std::array<PFloat, 3> x;
-};
-
-Inputs random_inputs(Rng& rng) {
-  Inputs in;
+RecurrenceInputs random_inputs(Rng& rng) {
+  RecurrenceInputs in;
   double b1 = rng.next_double(1.0, 32.0) * (rng.next_bool() ? 1 : -1);
   double b2 = rng.next_double(0.001, 1.0) * (rng.next_bool() ? 1 : -1);
   in.b1 = PFloat::from_double(kBinary64, b1);
@@ -29,73 +19,88 @@ Inputs random_inputs(Rng& rng) {
   return in;
 }
 
-template <typename Step>
-ActivityMeasurement run_recurrence(const ActivityRecorder& rec,
-                                   std::uint64_t seed, int runs, int depth,
-                                   Step step) {
-  Rng rng(seed);
-  std::uint64_t ops = 0;
-  for (int r = 0; r < runs; ++r) {
-    Inputs in = random_inputs(rng);
-    step(in, depth);
-    ops += 2ull * (std::uint64_t)(depth - 2);  // two multiply-adds per x[n]
-  }
+ActivityMeasurement reduce(const ActivityRecorder& rec, std::uint64_t ops) {
   ActivityMeasurement m;
   m.ops = ops;
+  if (ops == 0) return m;
   m.toggles_per_op = toggles_per_op(rec, ops);
-  for (const auto& [name, probe] : rec.probes()) {
+  for (const auto& [name, probe] : rec.probes())
     m.by_component[name] = (double)probe.toggles() / (double)ops;
+  for (const auto& [stage, totals] : rec.stage_totals()) {
+    m.stage_toggles[stage] = totals.toggles;
+    m.by_stage[stage] = (double)totals.toggles / (double)ops;
   }
   return m;
 }
 
 }  // namespace
 
+std::vector<RecurrenceInputs> recurrence_inputs(std::uint64_t seed, int runs) {
+  CSFMA_CHECK(runs >= 0);
+  Rng rng(seed);
+  std::vector<RecurrenceInputs> inputs;
+  inputs.reserve((std::size_t)runs);
+  for (int r = 0; r < runs; ++r) inputs.push_back(random_inputs(rng));
+  return inputs;
+}
+
+RecurrenceChainSource::RecurrenceChainSource(
+    std::vector<RecurrenceInputs> inputs, int depth)
+    : inputs_(std::move(inputs)), depth_(depth) {
+  CSFMA_CHECK(depth >= 3);
+}
+
+void RecurrenceChainSource::fill_chain(std::uint64_t chain,
+                                       ChainedOp* out) const {
+  CSFMA_CHECK(chain < inputs_.size());
+  const RecurrenceInputs& in = inputs_[(std::size_t)chain];
+  const int steps = depth_ - 2;
+  // Step j (0-based) issues ops 2j and 2j+1 of the chain:
+  //   t = x3 + b2*x2   and   x = t + b1*x1,
+  // where after each step (x3, x2, x1) <- (x2, x1, x).  Unwinding the
+  // shifts: x1_j is op 2(j-1)+1's result, x2_j is op 2(j-2)+1's, x3_j is
+  // op 2(j-3)+1's; before enough steps exist they are the seeds x[0..2].
+  for (int j = 0; j < steps; ++j) {
+    ChainedOp& t = out[2 * j];
+    t.b = in.b2;
+    t.a_ref = j >= 3 ? 2 * (j - 3) + 1 : -1;
+    if (t.a_ref < 0) t.a = in.x[(std::size_t)j];  // x3_j = x[j] for j < 3
+    t.c_ref = j >= 2 ? 2 * (j - 2) + 1 : -1;
+    if (t.c_ref < 0) t.c = in.x[(std::size_t)(j + 1)];  // x2_j = x[j+1]
+    ChainedOp& x = out[2 * j + 1];
+    x.b = in.b1;
+    x.a_ref = 2 * j;
+    x.c_ref = j >= 1 ? 2 * (j - 1) + 1 : -1;
+    if (x.c_ref < 0) x.c = in.x[2];  // x1_0 = x[2]
+  }
+}
+
+ActivityMeasurement measure_chained(UnitKind kind, std::uint64_t seed,
+                                    int runs, int depth, int threads) {
+  RecurrenceChainSource src(recurrence_inputs(seed, runs), depth);
+  EngineConfig cfg;
+  cfg.unit = kind;
+  cfg.threads = threads;
+  cfg.rm = Round::NearestEven;
+  SimEngine engine(cfg);
+  BatchResult r = engine.run_chained(src);
+  return reduce(r.activity, r.stats.ops);
+}
+
 ActivityMeasurement measure_discrete(std::uint64_t seed, int runs, int depth) {
-  ActivityRecorder rec;
-  DiscreteMulAdd unit(&rec);
-  return run_recurrence(rec, seed, runs, depth, [&](const Inputs& in, int n) {
-    PFloat x3 = in.x[0], x2 = in.x[1], x1 = in.x[2];
-    for (int i = 3; i <= n; ++i) {
-      PFloat t = unit.mul_add(x3, in.b2, x2);
-      PFloat x = unit.mul_add(t, in.b1, x1);
-      x3 = x2;
-      x2 = x1;
-      x1 = x;
-    }
-  });
+  return measure_chained(UnitKind::Discrete, seed, runs, depth);
 }
 
 ActivityMeasurement measure_classic(std::uint64_t seed, int runs, int depth) {
-  ActivityRecorder rec;
-  ClassicFma unit(&rec);
-  return run_recurrence(rec, seed, runs, depth, [&](const Inputs& in, int n) {
-    PFloat x3 = in.x[0], x2 = in.x[1], x1 = in.x[2];
-    for (int i = 3; i <= n; ++i) {
-      PFloat t = unit.fma(x3, in.b2, x2);
-      PFloat x = unit.fma(t, in.b1, x1);
-      x3 = x2;
-      x2 = x1;
-      x1 = x;
-    }
-  });
+  return measure_chained(UnitKind::Classic, seed, runs, depth);
 }
 
 ActivityMeasurement measure_pcs(std::uint64_t seed, int runs, int depth) {
-  ActivityRecorder rec;
-  PcsFma unit(&rec);
-  return run_recurrence(rec, seed, runs, depth, [&](const Inputs& in, int n) {
-    PcsOperand x3 = ieee_to_pcs(in.x[0]);
-    PcsOperand x2 = ieee_to_pcs(in.x[1]);
-    PcsOperand x1 = ieee_to_pcs(in.x[2]);
-    for (int i = 3; i <= n; ++i) {
-      PcsOperand t = unit.fma(x3, in.b2, x2);
-      PcsOperand x = unit.fma(t, in.b1, x1);
-      x3 = x2;
-      x2 = x1;
-      x1 = x;
-    }
-  });
+  return measure_chained(UnitKind::Pcs, seed, runs, depth);
+}
+
+ActivityMeasurement measure_fcs(std::uint64_t seed, int runs, int depth) {
+  return measure_chained(UnitKind::Fcs, seed, runs, depth);
 }
 
 RecurrenceSource::RecurrenceSource(std::uint64_t seed, int runs, int depth)
@@ -118,7 +123,7 @@ void RecurrenceSource::fill(std::uint64_t start, OperandTriple* out,
     // Replay run `run` from its start, emitting the triples that fall into
     // [start, start+n).  Each run is seeded independently of the others.
     Rng rng(seed_ ^ ((run + 1) * 0x9e3779b97f4a7c15ULL));
-    Inputs in = random_inputs(rng);
+    RecurrenceInputs in = random_inputs(rng);
     PFloat x3 = in.x[0], x2 = in.x[1], x1 = in.x[2];
     std::uint64_t op = run * per_run;  // stream index of the run's next op
     for (int i = 3; i <= depth_ && filled < n; ++i) {
@@ -151,30 +156,7 @@ ActivityMeasurement measure_stream(UnitKind kind, std::uint64_t seed, int runs,
   cfg.rm = Round::NearestEven;
   SimEngine engine(cfg);
   StreamResult r = engine.run_stream(src);
-  ActivityMeasurement m;
-  m.ops = r.stats.ops;
-  if (m.ops == 0) return m;
-  m.toggles_per_op = toggles_per_op(r.activity, m.ops);
-  for (const auto& [name, probe] : r.activity.probes())
-    m.by_component[name] = (double)probe.toggles() / (double)m.ops;
-  return m;
-}
-
-ActivityMeasurement measure_fcs(std::uint64_t seed, int runs, int depth) {
-  ActivityRecorder rec;
-  FcsFma unit(&rec);
-  return run_recurrence(rec, seed, runs, depth, [&](const Inputs& in, int n) {
-    FcsOperand x3 = ieee_to_fcs(in.x[0]);
-    FcsOperand x2 = ieee_to_fcs(in.x[1]);
-    FcsOperand x1 = ieee_to_fcs(in.x[2]);
-    for (int i = 3; i <= n; ++i) {
-      FcsOperand t = unit.fma(x3, in.b2, x2);
-      FcsOperand x = unit.fma(t, in.b1, x1);
-      x3 = x2;
-      x2 = x1;
-      x1 = x;
-    }
-  });
+  return reduce(r.activity, r.stats.ops);
 }
 
 }  // namespace csfma

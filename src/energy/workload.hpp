@@ -4,9 +4,11 @@
 // probes attached, mirroring the paper's ISim VCD/SAIF capture.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/activity.hpp"
 #include "engine/sim_engine.hpp"
@@ -19,6 +21,11 @@ struct ActivityMeasurement {
   // Per-component breakdown (probe name -> toggles per op) — the XPower
   // "analysis details" view the paper cites in Sec. IV-C.
   std::map<std::string, double> by_component;
+  // Per-pipeline-stage breakdown (stage label -> toggles per op).  Stages
+  // partition the probes, so the stage values sum to toggles_per_op.
+  std::map<std::string, double> by_stage;
+  // Raw per-stage toggle totals (before the per-op division), for reports.
+  std::map<std::string, std::uint64_t> stage_toggles;
 };
 
 /// CoreGen-style discrete multiply + add pipeline.
@@ -58,5 +65,42 @@ class RecurrenceSource final : public OperandSource {
 /// thread count.
 ActivityMeasurement measure_stream(UnitKind kind, std::uint64_t seed, int runs,
                                    int depth, int threads = 1);
+
+/// One run's coefficients and seed values for the recurrence.
+struct RecurrenceInputs {
+  PFloat b1, b2;
+  std::array<PFloat, 3> x;
+};
+
+/// The `runs` input sets the measure_* functions draw, in their original
+/// sequential-Rng order (one Rng(seed) stream across all runs).
+std::vector<RecurrenceInputs> recurrence_inputs(std::uint64_t seed, int runs);
+
+/// The recurrence workload as a CHAINED operand stream: one chain per run,
+/// two multiply-adds per step, with A and C wired to earlier chain results
+/// via ChainedOp refs — so SimEngine::run_chained keeps CS operands (with
+/// their deferred-rounding tails) between operations, exactly like the
+/// paper's Sec. IV-B chains and the original hand-rolled per-unit loops.
+class RecurrenceChainSource final : public ChainSource {
+ public:
+  RecurrenceChainSource(std::vector<RecurrenceInputs> inputs, int depth);
+  std::uint64_t chains() const override { return inputs_.size(); }
+  std::uint64_t ops_per_chain() const override {
+    return 2ull * (std::uint64_t)(depth_ - 2);
+  }
+  void fill_chain(std::uint64_t chain, ChainedOp* out) const override;
+
+ private:
+  std::vector<RecurrenceInputs> inputs_;
+  int depth_;
+};
+
+/// Chained engine measurement of any unit kind: drives the recurrence
+/// through SimEngine::run_chained on one shared code path (no per-unit
+/// loops).  For workloads that fit one engine shard this reproduces the
+/// original measure_* toggle counts bit-exactly; the measure_* functions
+/// are now wrappers over this.  Also fills the per-stage breakdown.
+ActivityMeasurement measure_chained(UnitKind kind, std::uint64_t seed,
+                                    int runs, int depth, int threads = 1);
 
 }  // namespace csfma

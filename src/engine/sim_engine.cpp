@@ -44,13 +44,16 @@ SimEngine::SimEngine(EngineConfig cfg) : cfg_(cfg) {
 
 void SimEngine::run_shards(const OperandSource& src, PFloat* results,
                            const ConsumeFn* consume, ActivityRecorder* activity,
-                           BatchStats* stats) const {
+                           EventLog* events, BatchStats* stats) const {
   using clock = std::chrono::steady_clock;
   const std::uint64_t n = src.size();
   const std::uint64_t shard_ops = cfg_.shard_ops;
   const std::uint64_t num_shards = (n + shard_ops - 1) / shard_ops;
 
   std::vector<ActivityRecorder> shard_recs((std::size_t)num_shards);
+  const bool log_events = cfg_.event_capacity > 0;
+  std::vector<EventLog> shard_events(
+      log_events ? (std::size_t)num_shards : 0, EventLog(cfg_.event_capacity));
   std::vector<ShardStats> shard_stats((std::size_t)num_shards);
   std::atomic<std::uint64_t> next_shard{0};
   std::mutex consume_mu;
@@ -113,13 +116,22 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
         out = out_buf.data();
       }
       ActivityRecorder& rec = shard_recs[(std::size_t)s];
-      auto unit = make_fma_unit(cfg_.unit, &rec);
+      EventLog* ev = log_events ? &shard_events[(std::size_t)s] : nullptr;
+      IntrospectHooks hooks;
+      hooks.events = ev;
+      auto unit = make_fma_unit(cfg_.unit, &rec, ev != nullptr ? &hooks : nullptr);
       const auto t0 = clock::now();
       {
         TraceSpan sim_span(trace, "simulate", "engine", wid);
-        for (std::size_t i = 0; i < count; ++i)
+        for (std::size_t i = 0; i < count; ++i) {
+          if (ev != nullptr) {
+            ev->begin_op(start + i, in_buf[i].a.to_bits().lo64(),
+                         in_buf[i].b.to_bits().lo64(),
+                         in_buf[i].c.to_bits().lo64());
+          }
           out[i] =
               unit->fma_ieee(in_buf[i].a, in_buf[i].b, in_buf[i].c, cfg_.rm);
+        }
       }
       const double secs =
           std::chrono::duration<double>(clock::now() - t0).count();
@@ -167,6 +179,10 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
     TraceSpan merge_span(trace, "merge", "engine", 0);
     merge_span.arg("shards", num_shards);
     for (const auto& rec : shard_recs) activity->merge_from(rec);
+    if (log_events && events != nullptr) {
+      *events = EventLog(cfg_.event_capacity);
+      for (const auto& log : shard_events) events->merge_from(log);
+    }
   }
   if (metrics != nullptr) {
     // Utilization = simulate time / wall time per worker lane; Timing by
@@ -190,7 +206,7 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
 BatchResult SimEngine::run_batch(const OperandSource& src) const {
   BatchResult r;
   r.results.resize((std::size_t)src.size());
-  run_shards(src, r.results.data(), nullptr, &r.activity, &r.stats);
+  run_shards(src, r.results.data(), nullptr, &r.activity, &r.events, &r.stats);
   return r;
 }
 
@@ -201,7 +217,126 @@ BatchResult SimEngine::run_batch(const std::vector<OperandTriple>& ops) const {
 StreamResult SimEngine::run_stream(const OperandSource& src,
                                    const ConsumeFn& consume) const {
   StreamResult r;
-  run_shards(src, nullptr, &consume, &r.activity, &r.stats);
+  run_shards(src, nullptr, &consume, &r.activity, &r.events, &r.stats);
+  return r;
+}
+
+BatchResult SimEngine::run_chained(const ChainSource& src) const {
+  using clock = std::chrono::steady_clock;
+  const std::uint64_t chains = src.chains();
+  const std::uint64_t opc = src.ops_per_chain();
+  CSFMA_CHECK(opc >= 1);
+  const std::uint64_t n = chains * opc;
+
+  // Shard on CHAIN boundaries: operations within a chain depend on earlier
+  // results, chains are independent.  The chains-per-shard count is a pure
+  // function of shard_ops and the chain length — never of the thread count.
+  const std::uint64_t chains_per_shard =
+      cfg_.shard_ops / opc > 0 ? cfg_.shard_ops / opc : 1;
+  const std::uint64_t num_shards =
+      chains == 0 ? 0 : (chains + chains_per_shard - 1) / chains_per_shard;
+
+  BatchResult r;
+  r.results.resize((std::size_t)n);
+  std::vector<ActivityRecorder> shard_recs((std::size_t)num_shards);
+  const bool log_events = cfg_.event_capacity > 0;
+  std::vector<EventLog> shard_events(
+      log_events ? (std::size_t)num_shards : 0, EventLog(cfg_.event_capacity));
+  std::vector<ShardStats> shard_stats((std::size_t)num_shards);
+  std::atomic<std::uint64_t> next_shard{0};
+
+  Counter* m_ops = nullptr;
+  Counter* m_shards = nullptr;
+  if (cfg_.metrics != nullptr) {
+    m_ops = &cfg_.metrics->counter("engine.ops");
+    m_shards = &cfg_.metrics->counter("engine.shards");
+  }
+
+  const int nthreads =
+      (int)(num_shards < (std::uint64_t)threads_ ? num_shards
+                                                 : (std::uint64_t)threads_);
+
+  auto worker = [&](int wid) {
+    std::vector<ChainedOp> chain_buf((std::size_t)opc);
+    std::vector<FmaOperand> natives((std::size_t)opc);
+    for (;;) {
+      const std::uint64_t s = next_shard.fetch_add(1);
+      if (s >= num_shards) break;
+      const std::uint64_t g0 = s * chains_per_shard;
+      const std::uint64_t g1 =
+          g0 + chains_per_shard < chains ? g0 + chains_per_shard : chains;
+      ActivityRecorder& rec = shard_recs[(std::size_t)s];
+      EventLog* ev = log_events ? &shard_events[(std::size_t)s] : nullptr;
+      IntrospectHooks hooks;
+      hooks.events = ev;
+      auto unit =
+          make_fma_unit(cfg_.unit, &rec, ev != nullptr ? &hooks : nullptr);
+      const auto t0 = clock::now();
+      for (std::uint64_t g = g0; g < g1; ++g) {
+        src.fill_chain(g, chain_buf.data());
+        for (std::uint64_t j = 0; j < opc; ++j) {
+          const ChainedOp& op = chain_buf[(std::size_t)j];
+          const std::uint64_t idx = g * opc + j;
+          CSFMA_CHECK(op.a_ref < (std::int64_t)j && op.c_ref < (std::int64_t)j);
+          if (ev != nullptr) {
+            // Ref operands are stamped with the IEEE readout of the result
+            // they chain from (already lowered below).
+            const auto bits = [&](std::int64_t ref, const PFloat& v) {
+              return ref >= 0
+                         ? r.results[(std::size_t)(g * opc + (std::uint64_t)ref)]
+                               .to_bits()
+                               .lo64()
+                         : v.to_bits().lo64();
+            };
+            ev->begin_op(idx, bits(op.a_ref, op.a), op.b.to_bits().lo64(),
+                         bits(op.c_ref, op.c));
+          }
+          FmaOperand a = op.a_ref >= 0 ? natives[(std::size_t)op.a_ref]
+                                       : unit->lift(op.a);
+          FmaOperand c = op.c_ref >= 0 ? natives[(std::size_t)op.c_ref]
+                                       : unit->lift(op.c);
+          FmaOperand res = unit->fma(a, op.b, c);
+          r.results[(std::size_t)idx] = unit->lower(res, cfg_.rm);
+          natives[(std::size_t)j] = std::move(res);
+        }
+      }
+      const double secs =
+          std::chrono::duration<double>(clock::now() - t0).count();
+      ShardStats& st = shard_stats[(std::size_t)s];
+      st.start = g0 * opc;
+      st.ops = (g1 - g0) * opc;
+      st.worker = wid;
+      st.seconds = secs;
+      st.ops_per_sec = safe_rate(st.ops, secs);
+      if (m_ops != nullptr) {
+        m_ops->add(st.ops);
+        m_shards->add(1);
+      }
+    }
+  };
+
+  const auto wall0 = clock::now();
+  if (nthreads <= 1) {
+    if (num_shards > 0) worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve((std::size_t)(nthreads - 1));
+    for (int w = 1; w < nthreads; ++w) pool.emplace_back(worker, w);
+    worker(0);
+    for (auto& t : pool) t.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(clock::now() - wall0).count();
+
+  for (const auto& rec : shard_recs) r.activity.merge_from(rec);
+  if (log_events) {
+    r.events = EventLog(cfg_.event_capacity);
+    for (const auto& log : shard_events) r.events.merge_from(log);
+  }
+  r.stats.ops = n;
+  r.stats.seconds = wall;
+  r.stats.ops_per_sec = safe_rate(n, wall);
+  r.stats.shards.assign(shard_stats.begin(), shard_stats.end());
   return r;
 }
 

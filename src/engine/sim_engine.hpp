@@ -27,6 +27,7 @@
 
 #include "common/activity.hpp"
 #include "fma/fma_unit.hpp"
+#include "introspect/event_log.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -87,6 +88,33 @@ class RandomTripleSource final : public OperandSource {
   int emin_, emax_;
 };
 
+/// One chained work item: R = A + B*C where A and/or C may be the NATIVE
+/// result of an earlier operation in the SAME chain instead of a fresh
+/// IEEE input — deferred rounding data travels with the value between
+/// operations, exactly the paper's Sec. IV-B recurrence wiring.
+struct ChainedOp {
+  PFloat a, b, c;  // IEEE inputs; a (resp. c) is ignored when its ref >= 0
+  /// Index, within the chain, of the earlier operation whose native result
+  /// feeds the A (resp. C) input; -1 = use the IEEE value above.  Must be
+  /// strictly less than this operation's own index.
+  std::int64_t a_ref = -1;
+  std::int64_t c_ref = -1;
+};
+
+/// A stream of independent fixed-length operation chains.  fill_chain()
+/// must be a pure function of the chain index — it is called concurrently
+/// from worker threads.
+class ChainSource {
+ public:
+  virtual ~ChainSource() = default;
+  /// Number of independent chains.
+  virtual std::uint64_t chains() const = 0;
+  /// Operations per chain (every chain has the same length).
+  virtual std::uint64_t ops_per_chain() const = 0;
+  /// Fill out[0..ops_per_chain()) with chain `chain`'s operations.
+  virtual void fill_chain(std::uint64_t chain, ChainedOp* out) const = 0;
+};
+
 struct EngineConfig {
   UnitKind unit = UnitKind::Pcs;
   /// Worker threads; 0 = std::thread::hardware_concurrency().
@@ -107,6 +135,12 @@ struct EngineConfig {
   /// merge span.
   MetricsRegistry* metrics = nullptr;
   TraceSession* trace = nullptr;
+  /// Capacity of the numerical event log (introspect/event_log.hpp);
+  /// 0 disables it entirely (no begin_op/raise cost in the unit).  Each
+  /// shard records into its own log; the logs merge IN SHARD ORDER, so the
+  /// merged sequence — and its to_json() — is byte-identical for any
+  /// thread count.
+  std::size_t event_capacity = 0;
 };
 
 struct ShardStats {
@@ -129,11 +163,15 @@ struct BatchResult {
   std::vector<PFloat> results;
   /// Per-shard recorders merged in shard order.
   ActivityRecorder activity;
+  /// Per-shard event logs merged in shard order (empty unless
+  /// EngineConfig::event_capacity > 0).
+  EventLog events{0};
   BatchStats stats;
 };
 
 struct StreamResult {
   ActivityRecorder activity;
+  EventLog events{0};
   BatchStats stats;
 };
 
@@ -160,10 +198,20 @@ class SimEngine {
   StreamResult run_stream(const OperandSource& src,
                           const ConsumeFn& consume = nullptr) const;
 
+  /// Simulate a stream of operation chains, keeping values in the unit's
+  /// NATIVE format between chained operations (CS operands with deferred
+  /// rounding for PCS/FCS).  results[chain * ops_per_chain + j] is the IEEE
+  /// readout of chain op j — every intermediate is lowered for inspection,
+  /// but the value fed forward is the unlowered native one.  Sharding is on
+  /// chain boundaries (chains are independent; operations within a chain
+  /// are not), so results, activity and events stay bit-identical for any
+  /// thread count.
+  BatchResult run_chained(const ChainSource& src) const;
+
  private:
   void run_shards(const OperandSource& src, PFloat* results,
                   const ConsumeFn* consume, ActivityRecorder* activity,
-                  BatchStats* stats) const;
+                  EventLog* events, BatchStats* stats) const;
 
   EngineConfig cfg_;
   int threads_;

@@ -4,6 +4,8 @@
 
 #include "cs/csa_tree.hpp"
 #include "cs/lza.hpp"
+#include "introspect/event_log.hpp"
+#include "introspect/signal_tap.hpp"
 
 namespace csfma {
 
@@ -15,6 +17,8 @@ constexpr int kProductLsb = 0;
 }  // namespace
 
 PFloat ClassicFma::fma(const PFloat& a, const PFloat& b, const PFloat& c) {
+  SignalTap* tap = hooks_ != nullptr ? hooks_->tap : nullptr;
+  EventLog* events = hooks_ != nullptr ? hooks_->events : nullptr;
   // The architectural steps below drive the activity probes and the
   // normalization-distance bookkeeping; the returned value is the correctly
   // rounded fused result the architecture computes.
@@ -29,8 +33,13 @@ PFloat ClassicFma::fma(const PFloat& a, const PFloat& b, const PFloat& c) {
         mant_c, CsWord(WideUint<7>(WideUint<2>(b.sig()))), 53, 17, 24, kWindow,
         kProductLsb, nullptr);
     if (activity_ != nullptr) {
-      activity_->probe("mul.sum").observe(product.sum());
-      activity_->probe("mul.carry").observe(product.carry());
+      activity_->probe("mul.sum", "mul").observe(product.sum());
+      activity_->probe("mul.carry", "mul").observe(product.carry());
+    }
+    if (tap != nullptr) {
+      tap->begin_stage("mul");
+      tap->tap("mul.sum", product.sum(), kWindow);
+      tap->tap("mul.carry", product.carry(), kWindow);
     }
     if (std::abs(d) <= 60) {
       // Addend pre-shift (runs in parallel with the multiply).
@@ -43,14 +52,33 @@ PFloat ClassicFma::fma(const PFloat& a, const PFloat& b, const PFloat& c) {
       if (b.sign() != c.sign()) product = cs_negate(product);
       CsNum adder = compress3(kWindow, product.sum(), product.carry(), a_row);
       if (activity_ != nullptr) {
-        activity_->probe("add.sum").observe(adder.sum());
-        activity_->probe("add.carry").observe(adder.carry());
+        activity_->probe("add.sum", "add").observe(adder.sum());
+        activity_->probe("add.carry", "add").observe(adder.carry());
+      }
+      if (tap != nullptr) {
+        tap->begin_stage("add");
+        tap->tap("add.ashift", a_row, kWindow);
+        tap->tap("add.sum", adder.sum(), kWindow);
+        tap->tap("add.carry", adder.carry(), kWindow);
       }
       // LZA runs in parallel with the carry-propagate assimilation and
       // steers the variable-distance normalization shifter.
-      last_norm_shift_ = lza_estimate(adder);
+      last_norm_shift_ = lza_estimate(adder, events);
       CsWord assimilated = adder.to_binary();
-      if (activity_ != nullptr) activity_->probe("norm").observe(assimilated);
+      if (activity_ != nullptr) {
+        activity_->probe("norm", "norm").observe(assimilated);
+      }
+      if (tap != nullptr) {
+        tap->begin_stage("norm");
+        tap->tap_u64("norm.shift", (std::uint64_t)last_norm_shift_, 8);
+        tap->tap("norm.assimilated", assimilated, kWindow);
+      }
+      if (events != nullptr) {
+        // Catastrophic cancellation: the sum lost far more leading digits
+        // than any alignment explains — the numerically delicate case.
+        const int run = leading_sign_run(adder);
+        if (run >= 100) events->raise(EventKind::Cancellation, run);
+      }
     }
   }
   return PFloat::fma(b, c, a, kBinary64, Round::NearestEven);

@@ -19,13 +19,17 @@
 
 #include "common/activity.hpp"
 #include "fp/pfloat.hpp"
+#include "introspect/hooks.hpp"
 
 namespace csfma {
 
 class ClassicFma {
  public:
-  explicit ClassicFma(ActivityRecorder* activity = nullptr)
-      : activity_(activity) {}
+  /// `hooks` (optional) attaches signal taps / the numerical event log;
+  /// both pointers must outlive the unit.  Null costs one pointer check.
+  explicit ClassicFma(ActivityRecorder* activity = nullptr,
+                      const IntrospectHooks* hooks = nullptr)
+      : activity_(activity), hooks_(hooks) {}
 
   /// R = A + B * C, all IEEE binary64, round-to-nearest-even (the mode the
   /// 1990 design implements).
@@ -36,6 +40,7 @@ class ClassicFma {
 
  private:
   ActivityRecorder* activity_;
+  const IntrospectHooks* hooks_;
   int last_norm_shift_ = 0;
 };
 

@@ -1,20 +1,28 @@
 #include "fma/discrete.hpp"
 
+#include "introspect/signal_tap.hpp"
+
 namespace csfma {
 
-void DiscreteMulAdd::probe(const char* name, const PFloat& v) {
-  if (activity_ != nullptr) activity_->probe(name).observe(v.to_bits());
+void DiscreteMulAdd::probe(const char* name, const char* stage,
+                           const PFloat& v) {
+  if (activity_ != nullptr) activity_->probe(name, stage).observe(v.to_bits());
+  if (hooks_ != nullptr && hooks_->tap != nullptr) {
+    SignalTap* tap = hooks_->tap;
+    tap->begin_stage(stage);
+    tap->tap(name, v.to_bits(), 64);
+  }
 }
 
 PFloat DiscreteMulAdd::mul(const PFloat& a, const PFloat& b) {
   PFloat r = PFloat::mul(a, b, kBinary64, Round::NearestEven);
-  probe("mul.out", r);
+  probe("mul.out", "mul", r);
   return r;
 }
 
 PFloat DiscreteMulAdd::add(const PFloat& a, const PFloat& b) {
   PFloat r = PFloat::add(a, b, kBinary64, Round::NearestEven);
-  probe("add.out", r);
+  probe("add.out", "add", r);
   return r;
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/activity.hpp"
 #include "fp/pfloat.hpp"
+#include "introspect/hooks.hpp"
 
 namespace csfma {
 
@@ -16,8 +17,10 @@ namespace csfma {
 /// fully rounded operators (two roundings per multiply-add).
 class DiscreteMulAdd {
  public:
-  explicit DiscreteMulAdd(ActivityRecorder* activity = nullptr)
-      : activity_(activity) {}
+  /// `hooks` (optional) attaches signal taps; null costs a pointer check.
+  explicit DiscreteMulAdd(ActivityRecorder* activity = nullptr,
+                          const IntrospectHooks* hooks = nullptr)
+      : activity_(activity), hooks_(hooks) {}
 
   PFloat mul(const PFloat& a, const PFloat& b);
   PFloat add(const PFloat& a, const PFloat& b);
@@ -26,8 +29,9 @@ class DiscreteMulAdd {
   PFloat mul_add(const PFloat& a, const PFloat& b, const PFloat& c);
 
  private:
-  void probe(const char* name, const PFloat& v);
+  void probe(const char* name, const char* stage, const PFloat& v);
   ActivityRecorder* activity_;
+  const IntrospectHooks* hooks_;
 };
 
 }  // namespace csfma

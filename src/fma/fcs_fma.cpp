@@ -4,6 +4,8 @@
 
 #include "common/check.hpp"
 #include "cs/zero_detect.hpp"
+#include "introspect/event_log.hpp"
+#include "introspect/signal_tap.hpp"
 
 namespace csfma {
 
@@ -32,6 +34,8 @@ FcsOperand passthrough_rounded(const FcsOperand& a, int rnd_a) {
 
 FcsOperand FcsFma::fma(const FcsOperand& a, const PFloat& b,
                        const FcsOperand& c) {
+  SignalTap* tap = hooks_ != nullptr ? hooks_->tap : nullptr;
+  EventLog* events = hooks_ != nullptr ? hooks_->events : nullptr;
   // ---- exception side-wires ----
   if (a.is_nan() || b.is_nan() || c.is_nan()) return FcsOperand::make_nan();
   const bool b_zero = b.is_zero();
@@ -48,6 +52,16 @@ FcsOperand FcsFma::fma(const FcsOperand& a, const PFloat& b,
   // ---- deferred rounding decisions ----
   const int rnd_a = a.cls() == FpClass::Normal ? a.round_increment() : 0;
   const int rnd_c = c.cls() == FpClass::Normal ? c.round_increment() : 0;
+  if (events != nullptr) {
+    // Misrounding of the deferred half-away-from-zero rule vs IEEE
+    // nearest-even: detail 0 = the A operand's tail, 1 = C's.
+    if (a.cls() == FpClass::Normal && a.round_disagrees_ieee()) {
+      events->raise(EventKind::MisroundVsIeee, 0);
+    }
+    if (c.cls() == FpClass::Normal && c.round_disagrees_ieee()) {
+      events->raise(EventKind::MisroundVsIeee, 1);
+    }
+  }
 
   if (b_zero || c_zero) {
     if (a.is_zero()) {
@@ -78,12 +92,12 @@ FcsOperand FcsFma::fma(const FcsOperand& a, const PFloat& b,
 
   int p_est = -1;
   if (a_present && ofs_a > -G::kMantDigits) {
-    const int lza_a = lza_estimate(a.mant());
+    const int lza_a = lza_estimate(a.mant(), events);
     // msb(|A|+1) <= 87 - lza_a  (the +1 covers the deferred round-up).
     p_est = std::max(p_est, ofs_a + G::kMantDigits - lza_a);
   }
   {
-    const int lza_c = lza_estimate(c.mant());
+    const int lza_c = lza_estimate(c.mant(), events);
     // msb(|C|) <= 86 - lza_c; times B < 2^53 and +1 for rounding:
     // msb(product) <= 86 - lza_c + 53 + 1.
     p_est = std::max(p_est, G::kProductOffset + G::kMantDigits + 53 - lza_c);
@@ -102,8 +116,13 @@ FcsOperand FcsFma::fma(const FcsOperand& a, const PFloat& b,
   }
   if (b.sign()) product = cs_negate(product);
   if (activity_ != nullptr) {
-    activity_->probe("mul.sum").observe(product.sum());
-    activity_->probe("mul.carry").observe(product.carry());
+    activity_->probe("mul.sum", "mul").observe(product.sum());
+    activity_->probe("mul.carry", "mul").observe(product.carry());
+  }
+  if (tap != nullptr) {
+    tap->begin_stage("mul");
+    tap->tap("mul.sum", product.sum(), G::kAdderWidth);
+    tap->tap("mul.carry", product.carry(), G::kAdderWidth);
   }
 
   // ---- A path: deferred rounding + pre-shift ----
@@ -116,13 +135,33 @@ FcsOperand FcsFma::fma(const FcsOperand& a, const PFloat& b,
     WideUint<8> placed = ofs_a >= 0 ? (a_val << ofs_a) : (a_val >> -ofs_a);
     a_row = CsWord(placed).truncated(G::kAdderWidth);
   }
-  if (activity_ != nullptr) activity_->probe("ashift").observe(a_row);
+  if (activity_ != nullptr) activity_->probe("ashift", "align").observe(a_row);
+  if (tap != nullptr) {
+    tap->begin_stage("align");
+    tap->tap("align.ashift", a_row, G::kAdderWidth);
+  }
 
   // ---- 377c CS adder (3:2); the planes stay raw — no carry reduce ----
   CsNum adder = compress3(G::kAdderWidth, product.sum(), product.carry(), a_row);
   if (activity_ != nullptr) {
-    activity_->probe("add.sum").observe(adder.sum());
-    activity_->probe("add.carry").observe(adder.carry());
+    activity_->probe("add.sum", "add").observe(adder.sum());
+    activity_->probe("add.carry", "add").observe(adder.carry());
+  }
+  if (tap != nullptr) {
+    tap->begin_stage("add");
+    tap->tap("add.sum", adder.sum(), G::kAdderWidth);
+    tap->tap("add.carry", adder.carry(), G::kAdderWidth);
+  }
+  if (events != nullptr) {
+    // Catastrophic cancellation, in adder-window digit coordinates (see
+    // pcs_fma.cpp): the sum's msb fell >= 50 digits below the highest input.
+    const int a_msb = a_present && ofs_a > -G::kMantDigits
+                          ? ofs_a + G::kMantDigits - 1
+                          : -1;
+    const int p_msb = G::kProductOffset + G::kMantDigits + 53;
+    const int out_msb = G::kAdderWidth - 1 - leading_sign_run(adder);
+    const int drop = std::max(a_msb, p_msb) - out_msb;
+    if (drop >= 50) events->raise(EventKind::Cancellation, drop);
   }
 
   // ---- 11:1 result multiplexer ----
@@ -135,7 +174,7 @@ FcsOperand FcsFma::fma(const FcsOperand& a, const PFloat& b,
     // Exact ZD on the adder result (Sec. III-F applied to the FCS
     // geometry): skip leading blocks by the Fig 10 rules.
     const int blocks = G::kAdderWidth / G::kBlock;  // 13
-    const int k = count_skippable_blocks(adder, G::kBlock, blocks - 3);
+    const int k = count_skippable_blocks(adder, G::kBlock, blocks - 3, events);
     b_top = blocks - 1 - k;
   }
   b_top = std::clamp(b_top, 2, G::kAdderWidth / G::kBlock - 1);
@@ -147,8 +186,14 @@ FcsOperand FcsFma::fma(const FcsOperand& a, const PFloat& b,
     tail = adder.extract_digits(mant_lo - G::kBlock, G::kTailDigits);
   }
   if (activity_ != nullptr) {
-    activity_->probe("mux.sum").observe(mant.sum());
-    activity_->probe("mux.carry").observe(mant.carry());
+    activity_->probe("mux.sum", "mux").observe(mant.sum());
+    activity_->probe("mux.carry", "mux").observe(mant.carry());
+  }
+  if (tap != nullptr) {
+    tap->begin_stage("mux");
+    tap->tap_u64("mux.top_block", (std::uint64_t)b_top, 4);
+    tap->tap("mux.sum", mant.sum(), G::kMantDigits);
+    tap->tap("mux.carry", mant.carry(), G::kMantDigits);
   }
 
   if (mant.sum().is_zero() && mant.carry().is_zero() && tail.sum().is_zero() &&
@@ -161,7 +206,10 @@ FcsOperand FcsFma::fma(const FcsOperand& a, const PFloat& b,
   // ---- exponent update ----
   const int e_r = e_p + mant_lo - 139;
   if (e_r > G::kExpMax) return FcsOperand::make_inf(mant.is_value_negative());
-  if (e_r < G::kExpMin) return FcsOperand::make_zero(mant.is_value_negative());
+  if (e_r < G::kExpMin) {
+    if (events != nullptr) events->raise(EventKind::SubnormalFlush, e_r);
+    return FcsOperand::make_zero(mant.is_value_negative());
+  }
   return FcsOperand(mant, tail, e_r, FpClass::Normal, false);
 }
 

@@ -19,6 +19,7 @@
 #include "cs/csa_tree.hpp"
 #include "cs/lza.hpp"
 #include "fma/fcs_format.hpp"
+#include "introspect/hooks.hpp"
 
 namespace csfma {
 
@@ -32,9 +33,12 @@ enum class FcsSelect { EarlyLza, ZeroDetect };
 
 class FcsFma {
  public:
+  /// `hooks` (optional) attaches signal taps / the numerical event log;
+  /// null costs one pointer check per operation.
   explicit FcsFma(ActivityRecorder* activity = nullptr,
-                  FcsSelect select = FcsSelect::EarlyLza)
-      : activity_(activity), select_(select) {}
+                  FcsSelect select = FcsSelect::EarlyLza,
+                  const IntrospectHooks* hooks = nullptr)
+      : activity_(activity), select_(select), hooks_(hooks) {}
 
   /// R = A + B * C.  B must be binary64 (or narrower).
   FcsOperand fma(const FcsOperand& a, const PFloat& b, const FcsOperand& c);
@@ -50,6 +54,7 @@ class FcsFma {
  private:
   ActivityRecorder* activity_;
   FcsSelect select_;
+  const IntrospectHooks* hooks_ = nullptr;
   CsaTreeStats mul_stats_{};
   int last_top_block_ = 0;
 };

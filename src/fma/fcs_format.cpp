@@ -59,6 +59,18 @@ int FcsOperand::round_increment() const {
   return negative ? 0 : 1;  // ties away from zero
 }
 
+bool FcsOperand::round_disagrees_ieee() const {
+  CSFMA_CHECK(cls_ == FpClass::Normal);
+  const CsWord tail = tail_assimilated();
+  const CsWord half = CsWord::bit_at(G::kTailDigits - 1);
+  const bool guard = !(tail < half);
+  const bool sticky = half < tail;
+  const bool lsb = mant_.to_binary().bit(0);
+  const bool negative = mant_.is_value_negative();
+  return round_disagrees_with_ieee(Round::HalfAwayFromZero, lsb, guard, sticky,
+                                   negative);
+}
+
 PFloat FcsOperand::exact_value() const {
   switch (cls_) {
     case FpClass::Zero:

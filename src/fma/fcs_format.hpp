@@ -75,6 +75,10 @@ class FcsOperand {
   /// Deferred "round half away from zero" decision over the tail block.
   int round_increment() const;
 
+  /// True when the deferred decision differs from IEEE nearest-even at the
+  /// same truncation boundary (see PcsOperand::round_disagrees_ieee).
+  bool round_disagrees_ieee() const;
+
   /// Exact represented value (to 101 bits) for golden comparisons.
   PFloat exact_value() const;
 

@@ -68,7 +68,8 @@ class IeeeUnitBase : public FmaUnit {
 
 class DiscreteUnit final : public IeeeUnitBase {
  public:
-  explicit DiscreteUnit(ActivityRecorder* activity) : unit_(activity) {}
+  DiscreteUnit(ActivityRecorder* activity, const IntrospectHooks* hooks)
+      : unit_(activity, hooks) {}
   UnitKind kind() const override { return UnitKind::Discrete; }
   std::string_view name() const override { return "Xilinx CoreGen"; }
   LatencyClass latency_class() const override {
@@ -85,7 +86,8 @@ class DiscreteUnit final : public IeeeUnitBase {
 
 class ClassicUnit final : public IeeeUnitBase {
  public:
-  explicit ClassicUnit(ActivityRecorder* activity) : unit_(activity) {}
+  ClassicUnit(ActivityRecorder* activity, const IntrospectHooks* hooks)
+      : unit_(activity, hooks) {}
   UnitKind kind() const override { return UnitKind::Classic; }
   std::string_view name() const override { return "FloPoCo FPPipeline"; }
   LatencyClass latency_class() const override {
@@ -102,7 +104,8 @@ class ClassicUnit final : public IeeeUnitBase {
 
 class PcsUnit final : public FmaUnit {
  public:
-  explicit PcsUnit(ActivityRecorder* activity) : unit_(activity) {}
+  PcsUnit(ActivityRecorder* activity, const IntrospectHooks* hooks)
+      : unit_(activity, hooks) {}
   UnitKind kind() const override { return UnitKind::Pcs; }
   std::string_view name() const override { return "PCS-FMA"; }
   LatencyClass latency_class() const override {
@@ -129,7 +132,8 @@ class PcsUnit final : public FmaUnit {
 
 class FcsUnit final : public FmaUnit {
  public:
-  explicit FcsUnit(ActivityRecorder* activity) : unit_(activity) {}
+  FcsUnit(ActivityRecorder* activity, const IntrospectHooks* hooks)
+      : unit_(activity, FcsSelect::EarlyLza, hooks) {}
   UnitKind kind() const override { return UnitKind::Fcs; }
   std::string_view name() const override { return "FCS-FMA"; }
   LatencyClass latency_class() const override {
@@ -157,16 +161,17 @@ class FcsUnit final : public FmaUnit {
 }  // namespace
 
 std::unique_ptr<FmaUnit> make_fma_unit(UnitKind kind,
-                                       ActivityRecorder* activity) {
+                                       ActivityRecorder* activity,
+                                       const IntrospectHooks* hooks) {
   switch (kind) {
     case UnitKind::Discrete:
-      return std::make_unique<DiscreteUnit>(activity);
+      return std::make_unique<DiscreteUnit>(activity, hooks);
     case UnitKind::Classic:
-      return std::make_unique<ClassicUnit>(activity);
+      return std::make_unique<ClassicUnit>(activity, hooks);
     case UnitKind::Pcs:
-      return std::make_unique<PcsUnit>(activity);
+      return std::make_unique<PcsUnit>(activity, hooks);
     case UnitKind::Fcs:
-      return std::make_unique<FcsUnit>(activity);
+      return std::make_unique<FcsUnit>(activity, hooks);
   }
   CSFMA_CHECK_MSG(false, "unknown UnitKind");
   return nullptr;

@@ -27,6 +27,7 @@
 #include "fma/fcs_format.hpp"
 #include "fma/pcs_format.hpp"
 #include "fp/pfloat.hpp"
+#include "introspect/hooks.hpp"
 
 namespace csfma {
 
@@ -108,8 +109,12 @@ class FmaUnit {
 };
 
 /// Construct the unit simulator for `kind`.  `activity` (optional) receives
-/// per-component toggle counts and must outlive the unit.
+/// per-component toggle counts and must outlive the unit.  `hooks`
+/// (optional) attaches signal taps / the numerical event log; the struct
+/// and anything it points to must outlive the unit, and a null (or
+/// all-null) hooks costs one pointer check per operation.
 std::unique_ptr<FmaUnit> make_fma_unit(UnitKind kind,
-                                       ActivityRecorder* activity = nullptr);
+                                       ActivityRecorder* activity = nullptr,
+                                       const IntrospectHooks* hooks = nullptr);
 
 }  // namespace csfma

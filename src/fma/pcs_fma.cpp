@@ -1,6 +1,11 @@
 #include "fma/pcs_fma.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
+#include "cs/lza.hpp"
+#include "introspect/event_log.hpp"
+#include "introspect/signal_tap.hpp"
 
 namespace csfma {
 
@@ -36,6 +41,8 @@ PcsOperand passthrough_rounded(const PcsOperand& a, int rnd_a) {
 
 PcsOperand PcsFma::fma(const PcsOperand& a, const PFloat& b,
                        const PcsOperand& c) {
+  SignalTap* tap = hooks_ != nullptr ? hooks_->tap : nullptr;
+  EventLog* events = hooks_ != nullptr ? hooks_->events : nullptr;
   // ---- exception side-wires (Sec. III-B) ----
   if (a.is_nan() || b.is_nan() || c.is_nan()) return PcsOperand::make_nan();
   const bool b_zero = b.is_zero();
@@ -52,6 +59,16 @@ PcsOperand PcsFma::fma(const PcsOperand& a, const PFloat& b,
   // ---- deferred rounding decisions (Sec. III-C) ----
   const int rnd_a = a.cls() == FpClass::Normal ? a.round_increment() : 0;
   const int rnd_c = c.cls() == FpClass::Normal ? c.round_increment() : 0;
+  if (events != nullptr) {
+    // The documented misrounding of the deferred half-away-from-zero rule:
+    // detail 0 = the A operand's tail, 1 = C's (see fp/rounding.hpp).
+    if (a.cls() == FpClass::Normal && a.round_disagrees_ieee()) {
+      events->raise(EventKind::MisroundVsIeee, 0);
+    }
+    if (c.cls() == FpClass::Normal && c.round_disagrees_ieee()) {
+      events->raise(EventKind::MisroundVsIeee, 1);
+    }
+  }
 
   if (b_zero || c_zero) {
     // Product is zero: the result is (rounded) A.
@@ -79,8 +96,13 @@ PcsOperand PcsFma::fma(const PcsOperand& a, const PFloat& b,
   }
   if (b.sign()) product = cs_negate(product);
   if (activity_ != nullptr) {
-    activity_->probe("mul.sum").observe(product.sum());
-    activity_->probe("mul.carry").observe(product.carry());
+    activity_->probe("mul.sum", "mul").observe(product.sum());
+    activity_->probe("mul.carry", "mul").observe(product.carry());
+  }
+  if (tap != nullptr) {
+    tap->begin_stage("mul");
+    tap->tap("mul.sum", product.sum(), G::kAdderWidth);
+    tap->tap("mul.carry", product.carry(), G::kAdderWidth);
   }
   const int e_p = b.exp() + c.exp();
 
@@ -103,24 +125,50 @@ PcsOperand PcsFma::fma(const PcsOperand& a, const PFloat& b,
     WideUint<8> placed = ofs_a >= 0 ? (a_val << ofs_a) : (a_val >> -ofs_a);
     a_row = CsWord(placed).truncated(G::kAdderWidth);
   }
-  if (activity_ != nullptr) activity_->probe("ashift").observe(a_row);
+  if (activity_ != nullptr) activity_->probe("ashift", "align").observe(a_row);
+  if (tap != nullptr) {
+    tap->begin_stage("align");
+    tap->tap("align.ashift", a_row, G::kAdderWidth);
+  }
 
   // ---- 385b CS adder: product planes + aligned A row (3:2) ----
   CsNum adder = compress3(G::kAdderWidth, product.sum(), product.carry(), a_row);
   if (activity_ != nullptr) {
-    activity_->probe("add.sum").observe(adder.sum());
-    activity_->probe("add.carry").observe(adder.carry());
+    activity_->probe("add.sum", "add").observe(adder.sum());
+    activity_->probe("add.carry", "add").observe(adder.carry());
+  }
+  if (tap != nullptr) {
+    tap->begin_stage("add");
+    tap->tap("add.sum", adder.sum(), G::kAdderWidth);
+    tap->tap("add.carry", adder.carry(), G::kAdderWidth);
+  }
+  if (events != nullptr) {
+    // Catastrophic cancellation: the sum's most significant digit landed
+    // far (>= 50 digit positions) below the highest input digit.  Window
+    // coordinates keep PFloat/PCS exponent conventions out of it.
+    const int a_msb = ofs_a > -G::kMantDigits && !a_val.is_zero()
+                          ? ofs_a + G::kMantDigits - 1
+                          : -1;
+    const int p_msb = G::kProductOffset + G::kMantDigits + 53;
+    const int out_msb = G::kAdderWidth - 1 - leading_sign_run(adder);
+    const int drop = std::max(a_msb, p_msb) - out_msb;
+    if (drop >= 50) events->raise(EventKind::Cancellation, drop);
   }
 
   // ---- Carry Reduction to group-11 PCS (Sec. III-E) ----
   PcsNum reduced = carry_reduce(adder, G::kGroup);
   if (activity_ != nullptr) {
-    activity_->probe("creduce.sum").observe(reduced.sum());
-    activity_->probe("creduce.carry").observe(reduced.carries());
+    activity_->probe("creduce.sum", "creduce").observe(reduced.sum());
+    activity_->probe("creduce.carry", "creduce").observe(reduced.carries());
+  }
+  if (tap != nullptr) {
+    tap->begin_stage("creduce");
+    tap->tap("creduce.sum", reduced.sum(), G::kAdderWidth);
+    tap->tap("creduce.carry", reduced.carries(), G::kAdderWidth);
   }
 
   // ---- Zero Detector + 6:1 block multiplexer (Sec. III-D/F) ----
-  const int k = count_skippable_blocks(reduced.as_cs(), G::kBlock, 5);
+  const int k = count_skippable_blocks(reduced.as_cs(), G::kBlock, 5, events);
   last_zd_skip_ = k;
   const int mant_lo = (5 - k) * G::kBlock;
   PcsNum mant = reduced.extract_digits(mant_lo, G::kMantDigits);
@@ -129,8 +177,14 @@ PcsOperand PcsFma::fma(const PcsOperand& a, const PFloat& b,
     tail = reduced.extract_digits(mant_lo - G::kBlock, G::kTailDigits);
   }
   if (activity_ != nullptr) {
-    activity_->probe("mux.sum").observe(mant.sum());
-    activity_->probe("mux.carry").observe(mant.carries());
+    activity_->probe("mux.sum", "mux").observe(mant.sum());
+    activity_->probe("mux.carry", "mux").observe(mant.carries());
+  }
+  if (tap != nullptr) {
+    tap->begin_stage("mux");
+    tap->tap_u64("mux.zd_skip", (std::uint64_t)k, 4);
+    tap->tap("mux.sum", mant.sum(), G::kMantDigits);
+    tap->tap("mux.carry", mant.carries(), G::kMantDigits);
   }
 
   if (mant.to_binary().is_zero() && tail.to_binary().is_zero()) {
@@ -143,6 +197,7 @@ PcsOperand PcsFma::fma(const PcsOperand& a, const PFloat& b,
     return PcsOperand::make_inf(mant.as_cs().is_value_negative());
   }
   if (e_r < G::kExpMin) {
+    if (events != nullptr) events->raise(EventKind::SubnormalFlush, e_r);
     return PcsOperand::make_zero(mant.as_cs().is_value_negative());
   }
   return PcsOperand(mant, tail, e_r, FpClass::Normal, false);

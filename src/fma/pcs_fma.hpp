@@ -24,14 +24,19 @@
 #include "cs/csa_tree.hpp"
 #include "cs/zero_detect.hpp"
 #include "fma/pcs_format.hpp"
+#include "introspect/hooks.hpp"
 
 namespace csfma {
 
 class PcsFma {
  public:
   /// `activity` (optional) receives per-component toggle counts, used by
-  /// the energy model.  The recorder must outlive the unit.
-  explicit PcsFma(ActivityRecorder* activity = nullptr) : activity_(activity) {}
+  /// the energy model.  The recorder must outlive the unit.  `hooks`
+  /// (optional) attaches signal taps / the numerical event log; null costs
+  /// one pointer check per operation.
+  explicit PcsFma(ActivityRecorder* activity = nullptr,
+                  const IntrospectHooks* hooks = nullptr)
+      : activity_(activity), hooks_(hooks) {}
 
   /// R = A + B * C.  B must be binary64 (or narrower); A and C carry their
   /// unrounded tails in.
@@ -50,6 +55,7 @@ class PcsFma {
 
  private:
   ActivityRecorder* activity_;
+  const IntrospectHooks* hooks_;
   CsaTreeStats mul_stats_{};
   int last_zd_skip_ = 0;
 };

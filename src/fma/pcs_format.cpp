@@ -63,6 +63,21 @@ int PcsOperand::round_increment() const {
   return negative ? 0 : 1;
 }
 
+bool PcsOperand::round_disagrees_ieee() const {
+  CSFMA_CHECK(cls_ == FpClass::Normal);
+  // Decompose the tail against half an ulp (2^54): guard = "at least half",
+  // sticky = "strictly more" — this comparison form also covers the
+  // unwrapped 56-bit tail overflow case, where both modes round up.
+  const CsWord tail = tail_assimilated();
+  const CsWord half = CsWord::bit_at(G::kTailDigits - 1);
+  const bool guard = !(tail < half);
+  const bool sticky = half < tail;
+  const bool lsb = mant_.to_binary().bit(0);
+  const bool negative = mant_.as_cs().is_value_negative();
+  return round_disagrees_with_ieee(Round::HalfAwayFromZero, lsb, guard, sticky,
+                                   negative);
+}
+
 PFloat PcsOperand::exact_value() const {
   switch (cls_) {
     case FpClass::Zero:

@@ -83,6 +83,11 @@ class PcsOperand {
   /// Returns +1/0 to add to the mantissa.
   int round_increment() const;
 
+  /// True when the deferred half-away-from-zero decision differs from what
+  /// IEEE nearest-even would decide at the same truncation boundary — the
+  /// paper's documented misrounding case, raised as a numerical event.
+  bool round_disagrees_ieee() const;
+
   /// Exact represented value (for golden comparisons), as a PFloat in a
   /// very wide format so nothing is lost.
   PFloat exact_value() const;

@@ -46,4 +46,15 @@ inline bool round_increments(Round mode, bool lsb, bool guard, bool sticky,
   return false;
 }
 
+/// True when `mode` and IEEE nearest-even disagree on the SAME truncated
+/// magnitude — the per-operation "misround vs IEEE" predicate of the
+/// numerical event log.  For the paper's deferred half-away-from-zero
+/// rounding (Sec. III-C) this fires exactly on ties whose kept lsb is even,
+/// the documented misrounding case.
+inline bool round_disagrees_with_ieee(Round mode, bool lsb, bool guard,
+                                      bool sticky, bool negative) {
+  return round_increments(mode, lsb, guard, sticky, negative) !=
+         round_increments(Round::NearestEven, lsb, guard, sticky, negative);
+}
+
 }  // namespace csfma

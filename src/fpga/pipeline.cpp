@@ -1,8 +1,11 @@
 #include "fpga/pipeline.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 
 #include "common/check.hpp"
+#include "introspect/signal_tap.hpp"
 
 namespace csfma {
 
@@ -41,18 +44,24 @@ double Component::total_delay() const {
 namespace {
 
 /// Greedy packing of sub-delays into stages of at most `budget` logic each.
+/// `ends` (optional) receives, per stage, one past the index of its last
+/// sub-delay.
 std::vector<double> greedy_stages(const std::vector<double>& subs,
-                                  double budget) {
+                                  double budget,
+                                  std::vector<std::size_t>* ends = nullptr) {
   std::vector<double> stages;
   double cur = 0;
-  for (double d : subs) {
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    const double d = subs[i];
     if (cur > 0 && cur + d > budget) {
       stages.push_back(cur);
+      if (ends != nullptr) ends->push_back(i);
       cur = 0;
     }
     cur += d;  // an oversized sub-delay occupies a stage alone
   }
   stages.push_back(cur);
+  if (ends != nullptr) ends->push_back(subs.size());
   return stages;
 }
 
@@ -60,11 +69,19 @@ std::vector<double> greedy_stages(const std::vector<double>& subs,
 
 PipelineResult pipeline_chain(const std::vector<Component>& chain,
                               double target_period_ns, double reg_overhead_ns) {
+  return pipeline_chain(chain, target_period_ns, reg_overhead_ns, nullptr);
+}
+
+PipelineResult pipeline_chain(const std::vector<Component>& chain,
+                              double target_period_ns, double reg_overhead_ns,
+                              SignalTap* tap) {
   CSFMA_CHECK(target_period_ns > reg_overhead_ns);
   std::vector<double> subs;
+  std::vector<const std::string*> sub_owner;
   for (const auto& c : chain) {
     if (c.off_critical_path) continue;
     subs.insert(subs.end(), c.sub_delays.begin(), c.sub_delays.end());
+    sub_owner.insert(sub_owner.end(), c.sub_delays.size(), &c.name);
   }
   PipelineResult r;
   if (subs.empty()) {
@@ -92,17 +109,42 @@ PipelineResult pipeline_chain(const std::vector<Component>& chain,
       lo = mid;
     }
   }
-  std::vector<double> stages = greedy_stages(subs, hi);
+  std::vector<std::size_t> ends;
+  std::vector<double> stages = greedy_stages(subs, hi, &ends);
   // Greedy at the balanced budget may use fewer stages than selected; the
   // extra registers only help fmax, so keep the selected depth.
   r.stage_delays.clear();
   for (double s : stages) r.stage_delays.push_back(s + reg_overhead_ns);
-  while (r.stage_delays.size() < stages_needed)
+  while (r.stage_delays.size() < stages_needed) {
     r.stage_delays.push_back(reg_overhead_ns);
+    ends.push_back(subs.size());  // register-only stage: no components
+  }
   r.cycles = (int)r.stage_delays.size();
   r.max_stage_ns =
       *std::max_element(r.stage_delays.begin(), r.stage_delays.end());
   r.fmax_mhz = 1000.0 / r.max_stage_ns;
+  if (tap != nullptr) {
+    double cum = 0;
+    std::size_t lo = 0;
+    for (std::size_t i = 0; i < r.stage_delays.size(); ++i) {
+      const std::size_t end = ends[i];
+      std::string members;
+      for (std::size_t j = lo; j < end; ++j) {
+        if (!members.empty() && *sub_owner[j] == *sub_owner[j - 1]) continue;
+        if (!members.empty()) members += ", ";
+        members += *sub_owner[j];
+      }
+      tap->vcd().comment("pipe stage " + std::to_string(i) + ": " +
+                         (members.empty() ? "registers only" : members));
+      tap->begin_stage("s" + std::to_string(i));
+      cum += r.stage_delays[i];
+      tap->tap_u64("pipe.stage_delay_ps",
+                   (std::uint64_t)std::llround(r.stage_delays[i] * 1000.0), 32);
+      tap->tap_u64("pipe.cum_delay_ps",
+                   (std::uint64_t)std::llround(cum * 1000.0), 32);
+      lo = end;
+    }
+  }
   return r;
 }
 

@@ -48,10 +48,20 @@ struct PipelineResult {
   std::vector<double> stage_delays;
 };
 
+class SignalTap;
+
 /// Greedily cut the chain into stages of at most `target_period_ns`
 /// (including `reg_overhead_ns` per stage for the pipeline register).
 PipelineResult pipeline_chain(const std::vector<Component>& chain,
                               double target_period_ns, double reg_overhead_ns);
+
+/// As above, additionally tracing each pipeline stage boundary into `tap`
+/// (may be null): per stage, the registered delay in picoseconds, the
+/// cumulative latency, and a comment listing the components packed into the
+/// stage.  Probe names are `pipe.stage_delay_ps` / `pipe.cum_delay_ps`.
+PipelineResult pipeline_chain(const std::vector<Component>& chain,
+                              double target_period_ns, double reg_overhead_ns,
+                              SignalTap* tap);
 
 Area total_area(const std::vector<Component>& chain);
 

@@ -1,0 +1,21 @@
+// The introspection hook bundle handed to unit simulators.
+//
+// Units take a `const IntrospectHooks*` (null = no introspection, single
+// pointer check per instrumented site, mirroring TraceSession's cost
+// contract).  The struct is deliberately a plain pointer pair so a driver
+// can flip the members between operations — e.g. attach the SignalTap only
+// for the one `--watch` operation of a long stream — without re-creating
+// the unit.
+#pragma once
+
+namespace csfma {
+
+class SignalTap;
+class EventLog;
+
+struct IntrospectHooks {
+  SignalTap* tap = nullptr;   // waveform capture (VCD); usually one op
+  EventLog* events = nullptr;  // numerical event ring; usually whole stream
+};
+
+}  // namespace csfma

@@ -1,0 +1,30 @@
+#include "introspect/signal_tap.hpp"
+
+namespace csfma {
+
+SignalTap::SignalTap(std::string prefix) : prefix_(std::move(prefix)) {}
+
+int SignalTap::signal(const std::string& name, int width) {
+  const std::string full = prefix_.empty() ? name : prefix_ + "." + name;
+  return vcd_.declare(full, width);
+}
+
+void SignalTap::begin_op(std::uint64_t op_index) {
+  if (started_) ++cycle_;  // one idle tick separates operations
+  started_ = true;
+  vcd_.advance_to(cycle_);
+  vcd_.change_u64(signal("op_index", 64), op_index);
+}
+
+void SignalTap::begin_stage(const std::string& stage) {
+  auto [it, inserted] =
+      stage_ids_.emplace(stage, (int)stage_ids_.size());
+  if (inserted) {
+    vcd_.comment("stage " + std::to_string(it->second) + " = " + stage);
+  }
+  ++cycle_;
+  vcd_.advance_to(cycle_);
+  vcd_.change_u64(signal("stage_id", 8), (std::uint64_t)it->second);
+}
+
+}  // namespace csfma

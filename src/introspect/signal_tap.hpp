@@ -1,0 +1,68 @@
+// SignalTap: per-pipeline-cycle signal probing on top of VcdWriter.
+//
+// A tap session watches ONE unit simulate a handful of operations (usually
+// a single `--watch <op-index>` operation of a bench) and records every
+// stage-boundary bus against a pipeline-cycle time axis: `begin_stage`
+// advances the VCD clock one tick and labels it, `tap` records a named bus
+// at the current cycle.  Probe names follow the repo-wide
+// `<unit>.<stage>.<signal>` scheme (docs/observability.md), so the VCD
+// scope tree mirrors the datapath structure.
+//
+// Cost contract (mirrors TraceSession): instrumented code guards every
+// emission behind a null `IntrospectHooks*` test, so a build without a tap
+// attached pays a single pointer check per instrumented site.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "introspect/vcd.hpp"
+
+namespace csfma {
+
+class SignalTap {
+ public:
+  /// `prefix` (e.g. "pcs") is prepended to every tapped name, keeping one
+  /// VCD top-level scope per watched unit.
+  explicit SignalTap(std::string prefix = "");
+
+  /// Start recording an operation: advances the time axis to a fresh cycle
+  /// and records `op_index` on the bookkeeping `op_index` wire.
+  void begin_op(std::uint64_t op_index);
+
+  /// Advance one pipeline cycle labelled `stage` ("mul", "add", ...).
+  /// Stage ids are assigned in first-use order and recorded on the
+  /// `stage_id` wire; the legend is emitted as header comments.
+  void begin_stage(const std::string& stage);
+
+  /// Record the value of bus `name` (relative to the prefix) at the current
+  /// cycle, `width` bits wide.
+  template <int W>
+  void tap(const std::string& name, const WideUint<W>& v, int width = 0) {
+    vcd_.advance_to(cycle_);
+    vcd_.change(signal(name, width > 0 ? width : WideUint<W>::kBits), v);
+  }
+  void tap_u64(const std::string& name, std::uint64_t v, int width = 64) {
+    vcd_.advance_to(cycle_);
+    vcd_.change_u64(signal(name, width), v);
+  }
+
+  std::uint64_t cycle() const { return cycle_; }
+
+  VcdWriter& vcd() { return vcd_; }
+  /// Render/write the captured waveform (delegates to VcdWriter).
+  std::string render() const { return vcd_.render(); }
+  void write(const std::string& path) const { vcd_.write(path); }
+
+ private:
+  int signal(const std::string& name, int width);
+
+  std::string prefix_;
+  VcdWriter vcd_;
+  std::map<std::string, int> stage_ids_;
+  std::uint64_t cycle_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace csfma

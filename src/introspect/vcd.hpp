@@ -1,0 +1,87 @@
+// Value Change Dump (VCD, IEEE 1364) emission for the signal-level
+// introspection layer.
+//
+// The paper's own methodology is waveform-based: switching activity is
+// captured from ISim VCD files and fed to XPower (Sec. IV-C).  VcdWriter is
+// the simulator-side equivalent of that capture: named, width-aware signals
+// recorded against a pipeline-cycle time axis and written as a standard VCD
+// file loadable in GTKWave or Surfer.
+//
+// Determinism: the header carries no date or tool-version stamp, scopes and
+// variables are emitted in sorted name order, and identical consecutive
+// values of a signal are deduplicated — the same simulation renders to
+// byte-identical bytes on every run (the golden-file test relies on this).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/wide_uint.hpp"
+
+namespace csfma {
+
+class VcdWriter {
+ public:
+  /// `timescale` is the VCD `$timescale` text; the introspection layer uses
+  /// one time unit per pipeline stage, so the default keeps GTKWave's axis
+  /// readable without implying wall-clock nanoseconds.
+  explicit VcdWriter(std::string timescale = "1ns");
+
+  /// Declare a wire.  Dotted names ("pcs.mul.sum") become nested module
+  /// scopes; the last segment is the variable name.  Redeclaring a name
+  /// returns the existing signal (the width must match).
+  int declare(const std::string& name, int width);
+
+  /// Record a change of `signal` to `words` (LSB-first 64-bit words) at the
+  /// current time.  A value equal to the signal's previous one is dropped.
+  void change(int signal, const std::uint64_t* words, std::size_t nwords);
+
+  template <int W>
+  void change(int signal, const WideUint<W>& v) {
+    std::uint64_t words[W];
+    for (int i = 0; i < W; ++i) words[i] = v.word(i);
+    change(signal, words, (std::size_t)W);
+  }
+  void change_u64(int signal, std::uint64_t v) { change(signal, &v, 1); }
+
+  /// Move the time cursor forward (monotone; equal time is a no-op).
+  void advance_to(std::uint64_t time);
+  std::uint64_t time() const { return time_; }
+
+  /// Free-form `$comment` lines placed in the header (e.g. the stage-id
+  /// legend).  Must not contain "$end".
+  void comment(const std::string& text);
+
+  /// Render the complete VCD file.
+  std::string render() const;
+  /// Write render() to `path`; CHECK-fails on I/O error.
+  void write(const std::string& path) const;
+
+ private:
+  struct Signal {
+    std::string name;  // full dotted name
+    int width = 1;
+    std::vector<std::uint64_t> last;  // last recorded value
+    bool has_value = false;
+  };
+  struct Change {
+    std::uint64_t time;
+    int signal;
+    std::vector<std::uint64_t> words;
+  };
+
+  static std::string id_code(int index);
+  static std::string binary_token(const std::vector<std::uint64_t>& words,
+                                  int width);
+
+  std::string timescale_;
+  std::vector<std::string> comments_;
+  std::vector<Signal> signals_;
+  std::map<std::string, int> by_name_;
+  std::vector<Change> changes_;
+  std::uint64_t time_ = 0;
+};
+
+}  // namespace csfma

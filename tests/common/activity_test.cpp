@@ -115,13 +115,44 @@ TEST(Activity, RecorderMergeIntoEmptyEqualsCopy) {
 
 TEST(Activity, ToJsonIsSortedAndIntegerOnly) {
   ActivityRecorder rec;
-  rec.probe("b").observe(WideUint<1>(0ull));
+  rec.probe("b", "add").observe(WideUint<1>(0ull));
   rec.probe("b").observe(WideUint<1>(3ull));
   rec.probe("a").observe(WideUint<1>(0ull));
   EXPECT_EQ(rec.to_json(),
-            "{\"total_toggles\":2,\"probes\":{"
-            "\"a\":{\"toggles\":0,\"observations\":1},"
-            "\"b\":{\"toggles\":2,\"observations\":2}}}");
+            "{\"total_toggles\":2,\"stages\":{"
+            "\"\":{\"toggles\":0,\"observations\":1},"
+            "\"add\":{\"toggles\":2,\"observations\":2}},"
+            "\"probes\":{"
+            "\"a\":{\"stage\":\"\",\"toggles\":0,\"observations\":1},"
+            "\"b\":{\"stage\":\"add\",\"toggles\":2,\"observations\":2}}}");
+}
+
+TEST(Activity, StageTotalsSumToPerUnitTotals) {
+  ActivityRecorder rec;
+  rec.probe("mul.sum", "mul").observe(WideUint<1>(0ull));
+  rec.probe("mul.sum", "mul").observe(WideUint<1>(0xFull));   // 4 toggles
+  rec.probe("mul.carry", "mul").observe(WideUint<1>(0ull));
+  rec.probe("mul.carry", "mul").observe(WideUint<1>(0x3ull));  // 2 toggles
+  rec.probe("add.sum", "add").observe(WideUint<1>(0ull));
+  rec.probe("add.sum", "add").observe(WideUint<1>(0x1ull));    // 1 toggle
+  auto stages = rec.stage_totals();
+  EXPECT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages["mul"].toggles, 6u);
+  EXPECT_EQ(stages["add"].toggles, 1u);
+  std::uint64_t sum = 0;
+  for (const auto& [stage, st] : stages) sum += st.toggles;
+  EXPECT_EQ(sum, rec.total_toggles());
+}
+
+TEST(Activity, MergePreservesAndAdoptsStageLabels) {
+  ActivityRecorder dst, src;
+  src.probe("mux.sum", "mux").observe(WideUint<1>(0ull));
+  src.probe("mux.sum").observe(WideUint<1>(1ull));
+  dst.merge_from(src);  // probe created on merge: label travels
+  EXPECT_EQ(dst.probe("mux.sum").stage(), "mux");
+  // Existing non-empty labels win over merged ones.
+  dst.probe("mux.sum").merge_from(src.probe("other"));
+  EXPECT_EQ(dst.probe("mux.sum").stage(), "mux");
 }
 
 // Histogram-style merge determinism at the recorder level: splitting a

@@ -237,6 +237,82 @@ TEST(SimEngine, TelemetryOffByDefault) {
   EXPECT_EQ(r.results.size(), 100u);
 }
 
+// run_chained against a hand-wired recurrence through the same FmaUnit
+// chaining API: every intermediate readout must match, for all four
+// architectures (the CS units carry unrounded tails between links, so this
+// exercises the native-operand forwarding, not just the arithmetic).
+TEST(SimEngine, ChainedMatchesHandWiredRecurrence) {
+  const int depth = 20;
+  const auto inputs = recurrence_inputs(31, 3);
+  RecurrenceChainSource src(inputs, depth);
+  for (UnitKind kind : kAllUnitKinds) {
+    EngineConfig cfg;
+    cfg.unit = kind;
+    cfg.threads = 2;
+    cfg.rm = Round::HalfAwayFromZero;
+    cfg.shard_ops = src.ops_per_chain();  // one chain per shard
+    SimEngine engine(cfg);
+    BatchResult r = engine.run_chained(src);
+    ASSERT_EQ(r.results.size(), inputs.size() * src.ops_per_chain());
+
+    auto unit = make_fma_unit(kind);
+    for (std::size_t run = 0; run < inputs.size(); ++run) {
+      const RecurrenceInputs& in = inputs[run];
+      FmaOperand x3 = unit->lift(in.x[0]);
+      FmaOperand x2 = unit->lift(in.x[1]);
+      FmaOperand x1 = unit->lift(in.x[2]);
+      std::size_t op = run * (std::size_t)src.ops_per_chain();
+      for (int i = 3; i <= depth; ++i) {
+        FmaOperand t = unit->fma(x3, in.b2, x2);
+        ASSERT_TRUE(PFloat::same_value(
+            r.results[op], unit->lower(t, Round::HalfAwayFromZero)))
+            << to_string(kind) << " op " << op;
+        ++op;
+        FmaOperand x = unit->fma(t, in.b1, x1);
+        ASSERT_TRUE(PFloat::same_value(
+            r.results[op], unit->lower(x, Round::HalfAwayFromZero)))
+            << to_string(kind) << " op " << op;
+        ++op;
+        x3 = x2;
+        x2 = x1;
+        x1 = x;
+      }
+    }
+  }
+}
+
+// Chained runs shard on chain boundaries, so results and merged activity
+// are thread-count invariant exactly like batch runs.
+TEST(SimEngine, ChainedIsThreadCountInvariant) {
+  RecurrenceChainSource src(recurrence_inputs(55, 10), 30);
+  auto run = [&](int threads) {
+    EngineConfig cfg;
+    cfg.unit = UnitKind::Fcs;
+    cfg.threads = threads;
+    cfg.rm = Round::HalfAwayFromZero;
+    cfg.shard_ops = src.ops_per_chain();  // 10 shards
+    SimEngine engine(cfg);
+    return engine.run_chained(src);
+  };
+  BatchResult r1 = run(1);
+  BatchResult r4 = run(4);
+  ASSERT_EQ(r1.results.size(), r4.results.size());
+  for (std::size_t i = 0; i < r1.results.size(); ++i)
+    ASSERT_TRUE(PFloat::same_value(r1.results[i], r4.results[i])) << i;
+  EXPECT_EQ(toggle_map(r1.activity), toggle_map(r4.activity));
+  EXPECT_GT(r1.activity.total_toggles(), 0u);
+}
+
+TEST(SimEngine, MeasureChainedIsThreadCountInvariant) {
+  ActivityMeasurement one = measure_chained(UnitKind::Pcs, 9, 6, 30, 1);
+  ActivityMeasurement four = measure_chained(UnitKind::Pcs, 9, 6, 30, 4);
+  EXPECT_EQ(one.ops, four.ops);
+  EXPECT_DOUBLE_EQ(one.toggles_per_op, four.toggles_per_op);
+  EXPECT_EQ(one.by_component, four.by_component);
+  EXPECT_EQ(one.stage_toggles, four.stage_toggles);
+  EXPECT_GT(one.toggles_per_op, 0.0);
+}
+
 TEST(SimEngine, MeasureStreamIsThreadCountInvariant) {
   ActivityMeasurement one = measure_stream(UnitKind::Pcs, 77, 6, 30, 1);
   ActivityMeasurement four = measure_stream(UnitKind::Pcs, 77, 6, 30, 4);

@@ -1,0 +1,110 @@
+// EventLog: bounded-ring semantics, operand-context stamping, shard-order
+// merge, and the deterministic JSON rendering the engine's thread-count
+// invariance contract is stated over.
+#include "introspect/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csfma {
+namespace {
+
+TEST(EventLog, RingKeepsMostRecentAndCountsShed) {
+  EventLog log(3);
+  for (int i = 0; i < 5; ++i) {
+    log.begin_op((std::uint64_t)i, 0, 0, 0);
+    log.raise(EventKind::Cancellation, i);
+  }
+  EXPECT_EQ(log.raised(), 5u);
+  EXPECT_EQ(log.dropped(), 2u);
+  ASSERT_EQ(log.events().size(), 3u);
+  EXPECT_EQ(log.events()[0].op, 2u);
+  EXPECT_EQ(log.events()[2].op, 4u);
+  EXPECT_EQ(log.events()[2].detail, 4);
+}
+
+TEST(EventLog, BeginOpStampsOperandContext) {
+  EventLog log(4);
+  log.begin_op(9, 0x11, 0x22, 0x33);
+  log.raise(EventKind::LzaMispredict, 1);
+  log.raise(EventKind::MisroundVsIeee);  // same op context, second event
+  ASSERT_EQ(log.events().size(), 2u);
+  for (const NumEvent& e : log.events()) {
+    EXPECT_EQ(e.op, 9u);
+    EXPECT_EQ(e.a_bits, 0x11u);
+    EXPECT_EQ(e.b_bits, 0x22u);
+    EXPECT_EQ(e.c_bits, 0x33u);
+  }
+  EXPECT_EQ(log.events()[0].kind, EventKind::LzaMispredict);
+  EXPECT_EQ(log.events()[1].kind, EventKind::MisroundVsIeee);
+}
+
+TEST(EventLog, ZeroCapacityCountsButStoresNothing) {
+  EventLog log(0);
+  log.raise(EventKind::SubnormalFlush);
+  log.raise(EventKind::SubnormalFlush);
+  EXPECT_EQ(log.raised(), 2u);
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_TRUE(log.events().empty());
+}
+
+// Merging per-shard logs in shard order must behave like one log that saw
+// the concatenated stream: totals add, and the ring holds the LAST
+// `capacity` events of the combined sequence.
+TEST(EventLog, MergePreservesShardOrderAndTrimsFront) {
+  EventLog shard1(4), shard2(4);
+  for (int i = 0; i < 3; ++i) {
+    shard1.begin_op((std::uint64_t)i, 0, 0, 0);
+    shard1.raise(EventKind::Cancellation);
+  }
+  for (int i = 3; i < 6; ++i) {
+    shard2.begin_op((std::uint64_t)i, 0, 0, 0);
+    shard2.raise(EventKind::ZeroDetectLate);
+  }
+  EventLog merged(4);
+  merged.merge_from(shard1);
+  merged.merge_from(shard2);
+  EXPECT_EQ(merged.raised(), 6u);
+  EXPECT_EQ(merged.dropped(), 2u);
+  ASSERT_EQ(merged.events().size(), 4u);
+  // ops 0,1 shed from the front; 2 (shard 1) then 3,4,5 (shard 2) remain.
+  EXPECT_EQ(merged.events()[0].op, 2u);
+  EXPECT_EQ(merged.events()[0].kind, EventKind::Cancellation);
+  EXPECT_EQ(merged.events()[1].op, 3u);
+  EXPECT_EQ(merged.events()[3].op, 5u);
+  EXPECT_EQ(merged.events()[3].kind, EventKind::ZeroDetectLate);
+}
+
+TEST(EventLog, ToJsonGolden) {
+  EventLog log(2);
+  log.begin_op(3, 0x1, 0x2, 0x3);
+  log.raise(EventKind::Cancellation, 52);
+  EXPECT_EQ(log.to_json(),
+            "{\"capacity\":2,\"raised\":1,\"dropped\":0,\"events\":["
+            "{\"kind\":\"cancellation\",\"op\":3,"
+            "\"a\":\"0x0000000000000001\","
+            "\"b\":\"0x0000000000000002\","
+            "\"c\":\"0x0000000000000003\",\"detail\":52}]}");
+}
+
+TEST(EventLog, ResetClearsEverything) {
+  EventLog log(2);
+  log.begin_op(1, 9, 9, 9);
+  log.raise(EventKind::MisroundVsIeee);
+  log.reset();
+  EXPECT_EQ(log.raised(), 0u);
+  EXPECT_TRUE(log.events().empty());
+  log.raise(EventKind::MisroundVsIeee);  // context was cleared too
+  EXPECT_EQ(log.events()[0].op, 0u);
+  EXPECT_EQ(log.events()[0].a_bits, 0u);
+}
+
+TEST(EventLog, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(EventKind::MisroundVsIeee), "misround_vs_ieee");
+  EXPECT_STREQ(to_string(EventKind::Cancellation), "cancellation");
+  EXPECT_STREQ(to_string(EventKind::LzaMispredict), "lza_mispredict");
+  EXPECT_STREQ(to_string(EventKind::ZeroDetectLate), "zero_detect_late");
+  EXPECT_STREQ(to_string(EventKind::SubnormalFlush), "subnormal_flush");
+}
+
+}  // namespace
+}  // namespace csfma
