@@ -10,13 +10,43 @@
 #include "common/rng.hpp"
 #include "fma/pcs_config.hpp"
 #include "fpga/device.hpp"
+#include "harness.hpp"
 #include "telemetry/report.hpp"
 
 int main(int argc, char** argv) {
   using namespace csfma;
+  HarnessOptions hopts = extract_harness_args(argc, argv);
   const ReportCliArgs out_paths = extract_report_args(argc, argv);
   const Device dev = virtex6();
   Rng rng(5150);
+
+  // Host-perf phase: the generic-geometry PCS unit on the paper's 55/11
+  // point (the full geometry sweep runs once below).
+  BenchHarness harness("ablation_block_size", hopts);
+  {
+    constexpr std::uint64_t kOps = 2000;
+    GenPcsFma unit(PcsConfig{55, 11});
+    Rng prng(5151);
+    harness.measure(
+        "gen_pcs.55_11",
+        [&] {
+          double sink = 0;
+          for (std::uint64_t t = 0; t < kOps; ++t) {
+            PFloat a = PFloat::from_double(kBinary64,
+                                           prng.next_fp_in_exp_range(-20, 20));
+            PFloat b = PFloat::from_double(kBinary64,
+                                           prng.next_fp_in_exp_range(-20, 20));
+            PFloat c = PFloat::from_double(kBinary64,
+                                           prng.next_fp_in_exp_range(-20, 20));
+            sink +=
+                unit.fma_ieee(a, b, c, Round::HalfAwayFromZero).to_double();
+          }
+          volatile double keep = sink;
+          (void)keep;
+        },
+        kOps);
+  }
+
   Report report("ablation_block_size");
   report.meta("device", "Virtex-6");
   report.meta("trials_per_geometry", 4000);
@@ -77,9 +107,11 @@ int main(int argc, char** argv) {
                  {"block", "group", "operand_bits", "group_adder_ns",
                   "mux_fanin", "digits", "mean_ulp", "max_ulp"},
                  std::move(rows));
+    harness.attach(report);
     if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
     if (!out_paths.csv_path.empty())
       report.write_csv(out_paths.csv_path, "block_size");
   }
+  harness.write_baseline();
   return 0;
 }

@@ -10,12 +10,35 @@
 #include "cs/pcs.hpp"
 #include "common/rng.hpp"
 #include "fpga/device.hpp"
+#include "harness.hpp"
 #include "telemetry/report.hpp"
 
 int main(int argc, char** argv) {
   using namespace csfma;
+  HarnessOptions hopts = extract_harness_args(argc, argv);
   const ReportCliArgs out_paths = extract_report_args(argc, argv);
   const Device dev = virtex6();
+
+  // Host-perf phase: the carry_reduce hot loop on the paper's 11b spacing.
+  BenchHarness harness("ablation_carry_spacing", hopts);
+  {
+    constexpr std::uint64_t kReduces = 2000;
+    Rng prng(78);
+    harness.measure(
+        "carry_reduce.11",
+        [&] {
+          bool ok = true;
+          for (std::uint64_t i = 0; i < kReduces; ++i) {
+            CsNum x(385, prng.next_wide_bits<7>(385),
+                    prng.next_wide_bits<7>(385));
+            ok = ok && (carry_reduce(x, 11).to_binary() == x.to_binary());
+          }
+          volatile bool keep = ok;
+          (void)keep;
+        },
+        kReduces);
+  }
+
   Report report("ablation_carry_spacing");
   report.meta("device", "Virtex-6");
   report.meta("adder_width", 385);
@@ -58,9 +81,11 @@ int main(int argc, char** argv) {
                  {"group", "adder_ns", "carry_bits", "operand_bits",
                   "value_preserving"},
                  std::move(rows));
+    harness.attach(report);
     if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
     if (!out_paths.csv_path.empty())
       report.write_csv(out_paths.csv_path, "carry_spacing");
   }
+  harness.write_baseline();
   return 0;
 }

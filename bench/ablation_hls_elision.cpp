@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "frontend/parser.hpp"
+#include "harness.hpp"
 #include "hls/fma_insert.hpp"
 #include "hls/schedule.hpp"
 #include "solver/solvers.hpp"
@@ -14,8 +15,27 @@
 
 int main(int argc, char** argv) {
   using namespace csfma;
+  HarnessOptions hopts = extract_harness_args(argc, argv);
   const ReportCliArgs out_paths = extract_report_args(argc, argv);
   OperatorLibrary lib = OperatorLibrary::for_device(virtex6());
+
+  // Host-perf phase: insertion with and without elision on the smallest
+  // paper solver (the full sweep runs once below).
+  BenchHarness harness("ablation_hls_elision", hopts);
+  {
+    KernelInfo k = parse_kernel(paper_solvers().front().ldlsolve_src);
+    harness.measure("insert_elide", [&] {
+      int sink = 0;
+      for (bool elide : {true, false}) {
+        Cdfg g = k.graph;
+        insert_fma_units(g, lib, FmaStyle::Fcs, elide);
+        sink += schedule_asap(g, lib).length;
+      }
+      volatile int keep = sink;
+      (void)keep;
+    });
+  }
+
   Report report("ablation_hls_elision");
   report.meta("device", "Virtex-6");
   std::vector<std::vector<ReportCell>> rows;
@@ -47,9 +67,11 @@ int main(int argc, char** argv) {
     report.table("hls_elision",
                  {"solver", "style", "discrete", "elide", "no_elide"},
                  std::move(rows));
+    harness.attach(report);
     if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
     if (!out_paths.csv_path.empty())
       report.write_csv(out_paths.csv_path, "hls_elision");
   }
+  harness.write_baseline();
   return 0;
 }

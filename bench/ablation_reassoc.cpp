@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "frontend/parser.hpp"
+#include "harness.hpp"
 #include "hls/dot_insert.hpp"
 #include "hls/fma_insert.hpp"
 #include "hls/reassociate.hpp"
@@ -20,8 +21,24 @@
 
 int main(int argc, char** argv) {
   using namespace csfma;
+  HarnessOptions hopts = extract_harness_args(argc, argv);
   const ReportCliArgs out_paths = extract_report_args(argc, argv);
   OperatorLibrary lib = OperatorLibrary::for_device(virtex6());
+
+  // Host-perf phase: the reassociate + fuse transform pipeline on the
+  // smallest paper solver (the full sweep runs once below).
+  BenchHarness harness("ablation_reassoc", hopts);
+  {
+    KernelInfo k = parse_kernel(paper_solvers().front().ldlsolve_src);
+    harness.measure("reassoc_fuse", [&] {
+      Cdfg g = k.graph;
+      reassociate_sums(g, lib);
+      insert_fma_units(g, lib, FmaStyle::Fcs);
+      volatile int keep = schedule_asap(g, lib).length;
+      (void)keep;
+    });
+  }
+
   Report report("ablation_reassoc");
   report.meta("device", "Virtex-6");
   std::vector<std::vector<ReportCell>> rows;
@@ -74,9 +91,11 @@ int main(int argc, char** argv) {
     report.table("reassoc",
                  {"solver", "chain", "balanced", "fma", "bal_fma", "dots"},
                  std::move(rows));
+    harness.attach(report);
     if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
     if (!out_paths.csv_path.empty())
       report.write_csv(out_paths.csv_path, "reassoc");
   }
+  harness.write_baseline();
   return 0;
 }

@@ -12,14 +12,42 @@
 
 #include "common/rng.hpp"
 #include "cs/cs_num.hpp"
+#include "harness.hpp"
 #include "telemetry/report.hpp"
 
 #include <cmath>
 
 int main(int argc, char** argv) {
   using namespace csfma;
+  HarnessOptions hopts = extract_harness_args(argc, argv);
   const ReportCliArgs out_paths = extract_report_args(argc, argv);
   const int total_frac = 165;  // fractional digits below the mantissa
+
+  // Host-perf phase: a fixed slice of the Monte Carlo misrounding loop at
+  // the paper's 55b width (the full 2e6-trial sweep runs once below).
+  BenchHarness harness("ablation_rounding_width", hopts);
+  {
+    constexpr std::uint64_t kTrials = 100000;
+    constexpr int kWidth = 55;
+    Rng prng(98);
+    harness.measure(
+        "mc_misround.55",
+        [&] {
+          long long bad = 0;
+          for (std::uint64_t t = 0; t < kTrials; ++t) {
+            CsWord rs = prng.next_wide_bits<7>(total_frac);
+            CsWord rc = prng.next_wide_bits<7>(total_frac);
+            const CsWord p2 = rs.extract(total_frac - kWidth, kWidth) +
+                              rc.extract(total_frac - kWidth, kWidth);
+            const CsWord f2 = (rs + rc).truncated(total_frac + 2);
+            if (p2.bit(kWidth - 1) != f2.bit(total_frac - 1)) ++bad;
+          }
+          volatile long long keep = bad;
+          (void)keep;
+        },
+        kTrials);
+  }
+
   Report report("ablation_rounding_width");
   report.meta("total_frac_digits", total_frac);
   report.meta("mc_trials", 2000000);
@@ -86,9 +114,11 @@ int main(int argc, char** argv) {
                  {"width", "worst_value", "witness_misrounds", "mc_misrounds",
                   "mc_expected"},
                  std::move(rows));
+    harness.attach(report);
     if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
     if (!out_paths.csv_path.empty())
       report.write_csv(out_paths.csv_path, "rounding_width");
   }
+  harness.write_baseline();
   return 0;
 }

@@ -11,12 +11,45 @@
 #include "fma/fcs_fma.hpp"
 #include "fma/pcs_format.hpp"
 #include "fpga/architectures.hpp"
+#include "harness.hpp"
 #include "telemetry/report.hpp"
 
 int main(int argc, char** argv) {
   using namespace csfma;
+  HarnessOptions hopts = extract_harness_args(argc, argv);
   const ReportCliArgs out_paths = extract_report_args(argc, argv);
   const Device dev = virtex6();
+
+  // Host-perf phase: both FCS selection variants on a fixed slice of the
+  // cancellation workload (the full 20000-trial sweep runs once below).
+  BenchHarness harness("ablation_zd_vs_lza", hopts);
+  {
+    constexpr std::uint64_t kOps = 2000;
+    Rng prng(31338);
+    FcsFma lza_u(nullptr, FcsSelect::EarlyLza);
+    FcsFma zd_u(nullptr, FcsSelect::ZeroDetect);
+    harness.measure(
+        "fcs_cancellation",
+        [&] {
+          double sink = 0;
+          for (std::uint64_t t = 0; t < kOps / 2; ++t) {
+            double bd = prng.next_double(0.5, 2.0);
+            double cd = prng.next_double(0.5, 2.0);
+            double ad = -bd * cd *
+                        (1.0 + prng.next_double(-0x1.0p-40, 0x1.0p-40));
+            PFloat a = PFloat::from_double(kBinary64, ad);
+            PFloat b = PFloat::from_double(kBinary64, bd);
+            PFloat c = PFloat::from_double(kBinary64, cd);
+            sink +=
+                lza_u.fma_ieee(a, b, c, Round::HalfAwayFromZero).to_double();
+            sink +=
+                zd_u.fma_ieee(a, b, c, Round::HalfAwayFromZero).to_double();
+          }
+          volatile double keep = sink;
+          (void)keep;
+        },
+        kOps);
+  }
 
   // ---- timing/area ----
   SynthesisReport lza_r = synthesize("FCS (early LZA)", build_fcs_fma(dev),
@@ -79,9 +112,11 @@ int main(int argc, char** argv) {
     report.table("zd_vs_lza",
                  {"variant", "fmax_mhz", "cycles", "luts", "min_ma_time_ns"},
                  std::move(rows));
+    harness.attach(report);
     if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
     if (!out_paths.csv_path.empty())
       report.write_csv(out_paths.csv_path, "zd_vs_lza");
   }
+  harness.write_baseline();
   return 0;
 }

@@ -5,12 +5,17 @@
 // activity totals whatever the thread count.
 //
 //   engine_throughput [ops] [threads] [--json <path>] [--trace <path>]
+//                     [--reps N] [--warmup N] [--bench-out <path>]
+//                     [--no-bench-out] [--progress]
 //                                        (default: 1000000 ops,
 //                                         max(4, hardware_concurrency))
 //
 // --json writes a csfma-report-v1 document (see docs/observability.md);
 // its "metrics" section is byte-identical for any thread count.  --trace
-// writes a chrome://tracing / Perfetto trace of the parallel run.
+// writes a chrome://tracing / Perfetto trace of the parallel run.  Both
+// runs repeat warmup+reps times through the shared bench harness
+// (bench/harness.hpp), which writes the BENCH_engine_throughput.json
+// host-performance baseline for scripts/bench_compare.py.
 //
 // Exit status: 1 on any determinism violation; 1 if the default (no-args)
 // run on a machine with >= 4 hardware threads fails the >= 3x speedup
@@ -24,6 +29,7 @@
 #include <thread>
 
 #include "engine/sim_engine.hpp"
+#include "harness.hpp"
 #include "telemetry/report.hpp"
 
 using namespace csfma;
@@ -31,6 +37,7 @@ using namespace csfma;
 namespace {
 
 BatchResult run(UnitKind kind, const OperandSource& src, int threads,
+                BenchHarness* harness = nullptr,
                 MetricsRegistry* metrics = nullptr,
                 TraceSession* trace = nullptr) {
   EngineConfig cfg;
@@ -39,6 +46,7 @@ BatchResult run(UnitKind kind, const OperandSource& src, int threads,
   cfg.rm = Round::NearestEven;
   cfg.metrics = metrics;
   cfg.trace = trace;
+  if (harness != nullptr) harness->configure_engine(cfg);
   SimEngine engine(cfg);
   return engine.run_batch(src);
 }
@@ -71,6 +79,7 @@ std::uint64_t results_fingerprint(const std::vector<PFloat>& results) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const HarnessOptions hopts = extract_harness_args(argc, argv);
   const ReportCliArgs out_paths = extract_report_args(argc, argv);
   const std::uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
                                    : 1000000ull;
@@ -78,17 +87,27 @@ int main(int argc, char** argv) {
   const int par = argc > 2 ? std::atoi(argv[2])
                            : (int)(hw > 4 ? hw : 4);
   const std::uint64_t seed = 20260806;
+  const bool gate_speedup = argc == 1;
+  BenchHarness harness("engine_throughput", hopts);
 
   std::printf("SimEngine throughput — %llu PCS-FMA ops, %u hardware threads\n\n",
               (unsigned long long)n, hw);
   RandomTripleSource src(seed, n);
 
-  BatchResult r1 = run(UnitKind::Pcs, src, 1);
+  BatchResult r1;
+  const RobustStats st1 = harness.measure(
+      "batch_1t", [&] { r1 = run(UnitKind::Pcs, src, 1, &harness); }, n);
   print_stats("1 thread", r1.stats);
   MetricsRegistry metrics;
   TraceSession trace;
-  BatchResult rn = run(UnitKind::Pcs, src, par, &metrics,
-                       out_paths.trace_path.empty() ? nullptr : &trace);
+  BatchResult rn;
+  const RobustStats stp = harness.measure(
+      "batch_parallel",
+      [&] {
+        rn = run(UnitKind::Pcs, src, par, &harness, &metrics,
+                 out_paths.trace_path.empty() ? nullptr : &trace);
+      },
+      n);
   std::printf("  (%d worker threads)\n", par);
   print_stats("parallel", rn.stats);
 
@@ -103,14 +122,15 @@ int main(int argc, char** argv) {
                     it->second.toggles() == probe.toggles();
   }
 
-  const double speedup = rn.stats.seconds > 0.0 && r1.stats.seconds > 0.0
-                             ? r1.stats.seconds / rn.stats.seconds
-                             : 0.0;
+  // Median-of-reps speedup: robust against a single slow repetition.
+  const double speedup =
+      stp.median > 0.0 && st1.median > 0.0 ? st1.median / stp.median : 0.0;
   std::printf("\n  results bit-identical:      %s\n", identical ? "yes" : "NO");
   std::printf("  merged activity identical:  %s (%llu toggles)\n",
               same_activity ? "yes" : "NO",
               (unsigned long long)r1.activity.total_toggles());
-  std::printf("  speedup %d threads vs 1:    %.2fx\n", par, speedup);
+  std::printf("  speedup %d threads vs 1:    %.2fx (median of %d reps)\n", par,
+              speedup, hopts.reps);
 
   if (!out_paths.trace_path.empty()) {
     trace.write_json(out_paths.trace_path);
@@ -140,15 +160,19 @@ int main(int argc, char** argv) {
     report.timing("ops_per_sec_parallel", rn.stats.ops_per_sec);
     report.timing("speedup", speedup);
     report.section("activity", rn.activity.to_json());
+    harness.attach(report);
     report.write_json(out_paths.json_path);
     std::printf("  report written to %s\n", out_paths.json_path.c_str());
   }
+  const std::string baseline = harness.write_baseline();
+  if (!baseline.empty())
+    std::printf("  baseline written to %s\n", baseline.c_str());
 
   if (!identical || !same_activity) {
     std::printf("\nFAIL: determinism contract violated\n");
     return 1;
   }
-  if (argc == 1 && hw >= 4 && speedup < 3.0) {
+  if (gate_speedup && hw >= 4 && speedup < 3.0) {
     std::printf("\nFAIL: >=3x speedup target missed on a >=4-thread machine\n");
     return 1;
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "frontend/parser.hpp"
+#include "harness.hpp"
 #include "hls/dot_insert.hpp"
 #include "hls/fma_insert.hpp"
 #include "hls/schedule.hpp"
@@ -38,8 +39,23 @@ std::string mvm_kernel(int n) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  HarnessOptions hopts = extract_harness_args(argc, argv);
   const ReportCliArgs out_paths = extract_report_args(argc, argv);
   OperatorLibrary lib = OperatorLibrary::for_device(virtex6());
+
+  // Host-perf phase: dot insertion + scheduling on the 16x16 MVM (the
+  // full sweep runs once below).
+  BenchHarness harness("ext_dot_hls", hopts);
+  {
+    KernelInfo k = parse_kernel(mvm_kernel(16));
+    harness.measure("mvm_dot_insert.16", [&] {
+      Cdfg g = k.graph;
+      insert_dot_products(g, lib, 16);
+      volatile int keep = schedule_asap(g, lib).length;
+      (void)keep;
+    });
+  }
+
   Report report("ext_dot_hls");
   report.meta("device", "Virtex-6");
   report.meta("max_dot_terms", 16);
@@ -101,8 +117,10 @@ int main(int argc, char** argv) {
                  std::move(mvm_rows));
     report.table("ldlsolve", {"solver", "discrete", "fma", "dots", "dots_fma"},
                  std::move(solve_rows));
+    harness.attach(report);
     if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
     if (!out_paths.csv_path.empty()) report.write_csv(out_paths.csv_path, "mvm");
   }
+  harness.write_baseline();
   return 0;
 }

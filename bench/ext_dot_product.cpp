@@ -12,15 +12,42 @@
 #include "fma/discrete.hpp"
 #include "fma/dot_product.hpp"
 #include "fma/pcs_fma.hpp"
+#include "harness.hpp"
 #include "telemetry/report.hpp"
 
 int main(int argc, char** argv) {
   using namespace csfma;
+  HarnessOptions hopts = extract_harness_args(argc, argv);
   const ReportCliArgs out_paths = extract_report_args(argc, argv);
   Rng rng(8080);
   PcsDotProduct fused;
   PcsFma fma;
   DiscreteMulAdd coregen;
+
+  // Host-perf phase: the fused unit on fixed 16-term dots (the accuracy
+  // sweep below runs once).
+  BenchHarness harness("ext_dot_product", hopts);
+  {
+    constexpr std::uint64_t kDots = 500;
+    Rng prng(8081);
+    std::vector<std::pair<PFloat, PFloat>> terms;
+    for (int i = 0; i < 16; ++i) {
+      terms.emplace_back(
+          PFloat::from_double(kBinary64, prng.next_fp_in_exp_range(-8, 8)),
+          PFloat::from_double(kBinary64, prng.next_fp_in_exp_range(-8, 8)));
+    }
+    harness.measure(
+        "fused_dot.16",
+        [&] {
+          double sink = 0;
+          for (std::uint64_t d = 0; d < kDots; ++d)
+            sink += fused.dot_ieee(terms, Round::HalfAwayFromZero).to_double();
+          volatile double keep = sink;
+          (void)keep;
+        },
+        kDots);
+  }
+
   Report report("ext_dot_product");
   report.meta("seed", (std::uint64_t)8080);
   report.meta("draws", 2000);
@@ -74,9 +101,11 @@ int main(int argc, char** argv) {
     report.table("dot_product",
                  {"terms", "ulp_discrete", "ulp_fma_chain", "ulp_fused_dot"},
                  std::move(rows));
+    harness.attach(report);
     if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
     if (!out_paths.csv_path.empty())
       report.write_csv(out_paths.csv_path, "dot_product");
   }
+  harness.write_baseline();
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "frontend/parser.hpp"
+#include "harness.hpp"
 #include "hls/dot_insert.hpp"
 #include "hls/fma_insert.hpp"
 #include "hls/schedule.hpp"
@@ -77,7 +78,27 @@ void run(const char* name, const std::string& src, Report* report,
 }  // namespace
 
 int main(int argc, char** argv) {
+  HarnessOptions hopts = extract_harness_args(argc, argv);
   const ReportCliArgs out_paths = extract_report_args(argc, argv);
+
+  // Host-perf phase: the full fir-16 pipeline (parse + both transforms +
+  // schedules); the table below runs once.
+  BenchHarness harness("ext_dsp_kernels", hopts);
+  {
+    const std::string src = fir_kernel(16, 8);
+    OperatorLibrary lib = OperatorLibrary::for_device(virtex6());
+    harness.measure("fir16_pipeline", [&] {
+      KernelInfo k = parse_kernel(src);
+      Cdfg fma = k.graph;
+      insert_fma_units(fma, lib, FmaStyle::Fcs);
+      Cdfg dot = k.graph;
+      insert_dot_products(dot, lib, 16);
+      volatile int keep =
+          schedule_asap(fma, lib).length + schedule_asap(dot, lib).length;
+      (void)keep;
+    });
+  }
+
   Report report("ext_dsp_kernels");
   report.meta("device", "Virtex-6");
   std::vector<std::vector<ReportCell>> rows;
@@ -98,9 +119,11 @@ int main(int argc, char** argv) {
     report.table("dsp_kernels",
                  {"kernel", "stmts", "discrete", "fma", "dots"},
                  std::move(rows));
+    harness.attach(report);
     if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
     if (!out_paths.csv_path.empty())
       report.write_csv(out_paths.csv_path, "dsp_kernels");
   }
+  harness.write_baseline();
   return 0;
 }

@@ -14,6 +14,7 @@
 
 #include "engine/watch.hpp"
 #include "fpga/architectures.hpp"
+#include "harness.hpp"
 #include "introspect/event_log.hpp"
 #include "introspect/signal_tap.hpp"
 #include "telemetry/report.hpp"
@@ -78,9 +79,19 @@ int main(int argc, char** argv) {
   argp.push_back(argv[0]);
   for (auto& a : args) argp.push_back(a.data());
   int argn = (int)argp.size();
+  const HarnessOptions hopts = extract_harness_args(argn, argp.data());
   const ReportCliArgs out_paths = extract_report_args(argn, argp.data());
   if (watch.enabled()) write_watch_vcd(watch);
-  auto rows = table1_reports(virtex6(), 200.0);
+  BenchHarness harness("fig13_latency", hopts);
+  std::vector<SynthesisReport> rows;
+  // 64 model evaluations per rep: one run is microseconds, too short to
+  // time stably.
+  harness.measure(
+      "synthesis_model",
+      [&] {
+        for (int i = 0; i < 64; ++i) rows = table1_reports(virtex6(), 200.0);
+      },
+      64 * 4 /* architectures */);
 
   // Paper values: cycles / fmax from Table I.
   struct P {
@@ -137,9 +148,11 @@ int main(int argc, char** argv) {
     }
     report.table("fig13", {"arch", "paper_ns", "model_ns"},
                  std::move(table_rows));
+    harness.attach(report);
     if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
     if (!out_paths.csv_path.empty())
       report.write_csv(out_paths.csv_path, "fig13");
   }
+  harness.write_baseline();
   return 0;
 }

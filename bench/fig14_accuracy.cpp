@@ -21,6 +21,7 @@
 
 #include "common/rng.hpp"
 #include "energy/workload.hpp"
+#include "harness.hpp"
 #include "telemetry/report.hpp"
 
 namespace {
@@ -53,7 +54,8 @@ RecurrenceInputs lift_inputs(const Inputs& in) {
 /// natively by the engine; also returns the run's merged event log.
 std::vector<PFloat> chain_finals(UnitKind kind,
                                  const std::vector<RecurrenceInputs>& inputs,
-                                 int depth, int threads, EventLog* events) {
+                                 int depth, int threads, EventLog* events,
+                                 BenchHarness* harness) {
   RecurrenceChainSource src(inputs, depth);
   EngineConfig cfg;
   cfg.unit = kind;
@@ -61,6 +63,7 @@ std::vector<PFloat> chain_finals(UnitKind kind,
   cfg.shard_ops = src.ops_per_chain();  // one chain per shard
   cfg.rm = Round::HalfAwayFromZero;  // the CS units' deferred readout rule
   cfg.event_capacity = 256;
+  if (harness != nullptr) harness->configure_engine(cfg);
   SimEngine engine(cfg);
   BatchResult r = engine.run_chained(src);
   *events = r.events;
@@ -93,6 +96,7 @@ PFloat discrete(const Inputs& in, const FloatFormat& fmt, int n) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const HarnessOptions hopts = extract_harness_args(argc, argv);
   const ReportCliArgs out_paths = extract_report_args(argc, argv);
   int threads = 1;
   for (int i = 1; i + 1 < argc; ++i) {
@@ -107,21 +111,43 @@ int main(int argc, char** argv) {
     inputs.push_back(random_inputs(rng));
     chain_inputs.push_back(lift_inputs(inputs.back()));
   }
+  BenchHarness harness("fig14_accuracy", hopts);
+  const std::uint64_t ops_per_rep =
+      (std::uint64_t)kRuns * 2u * (std::uint64_t)(kDepth - 2);
   EventLog pcs_events(0), fcs_events(0);
-  const std::vector<PFloat> pcs_finals =
-      chain_finals(UnitKind::Pcs, chain_inputs, kDepth, threads, &pcs_events);
-  const std::vector<PFloat> fcs_finals =
-      chain_finals(UnitKind::Fcs, chain_inputs, kDepth, threads, &fcs_events);
+  std::vector<PFloat> pcs_finals, fcs_finals;
+  harness.measure(
+      "chain.pcs",
+      [&] {
+        pcs_finals = chain_finals(UnitKind::Pcs, chain_inputs, kDepth, threads,
+                                  &pcs_events, &harness);
+      },
+      ops_per_rep);
+  harness.measure(
+      "chain.fcs",
+      [&] {
+        fcs_finals = chain_finals(UnitKind::Fcs, chain_inputs, kDepth, threads,
+                                  &fcs_events, &harness);
+      },
+      ops_per_rep);
 
   double e64 = 0, e68 = 0, e_pcs = 0, e_fcs = 0;
-  for (int run = 0; run < kRuns; ++run) {
-    const Inputs& in = inputs[(std::size_t)run];
-    PFloat golden = discrete(in, kBinary75, kDepth);  // the 75b reference
-    e64 += PFloat::ulp_error(discrete(in, kBinary64, kDepth), golden, 52);
-    e68 += PFloat::ulp_error(discrete(in, kBinary68, kDepth), golden, 52);
-    e_pcs += PFloat::ulp_error(pcs_finals[(std::size_t)run], golden, 52);
-    e_fcs += PFloat::ulp_error(fcs_finals[(std::size_t)run], golden, 52);
-  }
+  harness.measure(
+      "format_ladder",
+      [&] {
+        e64 = e68 = e_pcs = e_fcs = 0;
+        for (int run = 0; run < kRuns; ++run) {
+          const Inputs& in = inputs[(std::size_t)run];
+          PFloat golden = discrete(in, kBinary75, kDepth);  // 75b reference
+          e64 +=
+              PFloat::ulp_error(discrete(in, kBinary64, kDepth), golden, 52);
+          e68 +=
+              PFloat::ulp_error(discrete(in, kBinary68, kDepth), golden, 52);
+          e_pcs += PFloat::ulp_error(pcs_finals[(std::size_t)run], golden, 52);
+          e_fcs += PFloat::ulp_error(fcs_finals[(std::size_t)run], golden, 52);
+        }
+      },
+      ops_per_rep);
   e64 /= kRuns;
   e68 /= kRuns;
   e_pcs /= kRuns;
@@ -175,7 +201,9 @@ int main(int argc, char** argv) {
     // the engine; byte-identical for any thread count).
     report.section("events.pcs", pcs_events.to_json());
     report.section("events.fcs", fcs_events.to_json());
+    harness.attach(report);
     report.write_json(out_paths.json_path);
   }
+  harness.write_baseline();
   return (e_pcs < e64 && e_fcs < e64) ? 0 : 1;
 }

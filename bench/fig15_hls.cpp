@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "frontend/parser.hpp"
+#include "harness.hpp"
 #include "hls/fma_insert.hpp"
 #include "hls/schedule.hpp"
 #include "solver/solvers.hpp"
@@ -14,10 +15,31 @@
 
 int main(int argc, char** argv) {
   using namespace csfma;
+  HarnessOptions hopts = extract_harness_args(argc, argv);
   const ReportCliArgs out_paths = extract_report_args(argc, argv);
   OperatorLibrary lib = OperatorLibrary::for_device(virtex6());
   ResourceLimits limits;
   limits.fma = 39;  // the paper's unit budget (Sec. IV-D)
+
+  // Host-perf phase: the full parse -> FMA-insert -> schedule pipeline over
+  // every paper solver, compute only (the printing loop below runs once).
+  BenchHarness harness("fig15_hls", hopts);
+  {
+    harness.measure("hls_pipeline", [&] {
+      int sink = 0;
+      for (const auto& s : paper_solvers()) {
+        KernelInfo k = parse_kernel(s.ldlsolve_src);
+        sink += schedule_list(k.graph, lib, limits).length;
+        for (FmaStyle style : {FmaStyle::Pcs, FmaStyle::Fcs}) {
+          Cdfg g = k.graph;
+          insert_fma_units(g, lib, style);
+          sink += schedule_list(g, lib, limits).length;
+        }
+      }
+      volatile int keep = sink;  // defeat dead-code elimination
+      (void)keep;
+    });
+  }
 
   Report report("fig15_hls");
   report.meta("device", "Virtex-6");
@@ -73,9 +95,11 @@ int main(int argc, char** argv) {
                   "red_pcs_pct", "red_fcs_pct", "pcs_fma", "pcs_elided",
                   "fcs_fma", "fcs_elided"},
                  std::move(rows));
+    harness.attach(report);
     if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
     if (!out_paths.csv_path.empty())
       report.write_csv(out_paths.csv_path, "fig15");
   }
+  harness.write_baseline();
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "fpga/architectures.hpp"
+#include "harness.hpp"
 #include "telemetry/report.hpp"
 
 namespace {
@@ -27,9 +28,19 @@ constexpr PaperRow kPaper[] = {
 
 int main(int argc, char** argv) {
   using namespace csfma;
+  const HarnessOptions hopts = extract_harness_args(argc, argv);
   const ReportCliArgs out_paths = extract_report_args(argc, argv);
   const Device dev = virtex6();
-  auto rows = table1_reports(dev, 200.0);
+  BenchHarness harness("table1_synthesis", hopts);
+  std::vector<SynthesisReport> rows;
+  // 64 model evaluations per rep: one run is microseconds, too short to
+  // time stably.
+  harness.measure(
+      "synthesis_model",
+      [&] {
+        for (int i = 0; i < 64; ++i) rows = table1_reports(dev, 200.0);
+      },
+      64 * 4 /* architectures */);
 
   std::printf("Table I — synthesis results (%s, 200 MHz constraint)\n",
               dev.name.c_str());
@@ -87,9 +98,11 @@ int main(int argc, char** argv) {
                   "cycles_model", "luts_paper", "luts_model", "dsps_paper",
                   "dsps_model"},
                  synth_table(rows, kPaper, 4));
+    harness.attach(report);
     if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
     if (!out_paths.csv_path.empty())
       report.write_csv(out_paths.csv_path, "table1");
   }
+  harness.write_baseline();
   return 0;
 }

@@ -8,18 +8,33 @@
 #include "energy/energy_model.hpp"
 #include "energy/workload.hpp"
 #include "fpga/architectures.hpp"
+#include "harness.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/report.hpp"
 
 int main(int argc, char** argv) {
   using namespace csfma;
+  const HarnessOptions hopts = extract_harness_args(argc, argv);
   const ReportCliArgs out_paths = extract_report_args(argc, argv);
   const int runs = 20, depth = 50;  // the paper's benchmark size
   const std::uint64_t seed = 1001;
-  auto disc = measure_discrete(seed, runs, depth);
-  auto classic = measure_classic(seed, runs, depth);
-  auto pcs = measure_pcs(seed, runs, depth);
-  auto fcs = measure_fcs(seed, runs, depth);
+  BenchHarness harness("table2_energy", hopts);
+  // 2 multiply-adds per recurrence step, depth-2 steps per run.
+  const std::uint64_t ops_per_rep =
+      (std::uint64_t)runs * 2u * (std::uint64_t)(depth - 2);
+  ActivityMeasurement disc, classic, pcs, fcs;
+  harness.measure(
+      "measure.discrete", [&] { disc = measure_discrete(seed, runs, depth); },
+      ops_per_rep);
+  harness.measure(
+      "measure.classic", [&] { classic = measure_classic(seed, runs, depth); },
+      ops_per_rep);
+  harness.measure(
+      "measure.pcs", [&] { pcs = measure_pcs(seed, runs, depth); },
+      ops_per_rep);
+  harness.measure(
+      "measure.fcs", [&] { fcs = measure_fcs(seed, runs, depth); },
+      ops_per_rep);
 
   auto t1 = table1_reports(virtex6(), 200.0);
   auto luts = [&t1](const char* n) {
@@ -161,9 +176,11 @@ int main(int argc, char** argv) {
       stage_json += "}";
       report.section("stage_activity", stage_json);
     }
+    harness.attach(report);
     if (!out_paths.json_path.empty()) report.write_json(out_paths.json_path);
     if (!out_paths.csv_path.empty())
       report.write_csv(out_paths.csv_path, "table2");
   }
+  harness.write_baseline();
   return 0;
 }

@@ -1,85 +1,76 @@
 // Accuracy exploration of the carry-save formats: run the Sec. IV-B
 // recurrence at increasing depth and watch the error of each number system
 // grow relative to the 75b golden — the analysis behind Fig 14, exposed
-// as an API walk-through.
+// as an API walk-through for the engine layer:
+//
+//   * recurrence_inputs()     draws the shared workload coefficients,
+//   * RecurrenceChainSource   unrolls them into chained multiply-adds,
+//   * SimEngine::run_chained  streams them through an FmaUnit, keeping
+//                             CS operands (deferred-rounding tails)
+//                             between the links of each chain.
+//
+// The discrete 64/68/75b runs stay explicit loops: those are operand
+// FORMATS of the two-rounding pipeline, not FmaUnit architectures.
 //
 //   ./build/examples/accuracy_explorer [runs]
-#include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
-#include "common/rng.hpp"
-#include "fma/fcs_fma.hpp"
-#include "fma/pcs_fma.hpp"
+#include "energy/workload.hpp"
+#include "engine/sim_engine.hpp"
 
 namespace {
 
 using namespace csfma;
 
-struct Chains {
-  PFloat f64, f68, golden;
-  PFloat pcs, fcs;
-};
+/// Final x[depth] of every run's recurrence through `kind`, chained
+/// natively by the engine (one chain per engine shard).
+std::vector<PFloat> chain_finals(UnitKind kind,
+                                 const std::vector<RecurrenceInputs>& inputs,
+                                 int depth) {
+  RecurrenceChainSource src(inputs, depth);
+  EngineConfig cfg;
+  cfg.unit = kind;
+  cfg.shard_ops = src.ops_per_chain();
+  cfg.rm = Round::HalfAwayFromZero;  // the CS units' deferred readout rule
+  SimEngine engine(cfg);
+  BatchResult r = engine.run_chained(src);
+  const std::uint64_t opc = src.ops_per_chain();
+  std::vector<PFloat> finals;
+  finals.reserve(inputs.size());
+  for (std::size_t run = 0; run < inputs.size(); ++run)
+    finals.push_back(r.results[(run + 1) * (std::size_t)opc - 1]);
+  return finals;
+}
 
-Chains run_to_depth(Rng& rng, int depth) {
-  const double b1 = rng.next_double(1.0, 32.0) * (rng.next_bool() ? 1 : -1);
-  const double b2 = rng.next_double(0.001, 1.0) * (rng.next_bool() ? 1 : -1);
-  std::array<double, 3> x0{};
-  for (auto& x : x0) x = rng.next_double(-1.0, 1.0);
-
-  auto discrete = [&](const FloatFormat& fmt) {
-    PFloat B1 = PFloat::from_double(fmt, b1), B2 = PFloat::from_double(fmt, b2);
-    PFloat x3 = PFloat::from_double(fmt, x0[0]);
-    PFloat x2 = PFloat::from_double(fmt, x0[1]);
-    PFloat x1 = PFloat::from_double(fmt, x0[2]);
-    for (int i = 3; i <= depth; ++i) {
-      PFloat t = PFloat::add(PFloat::mul(B2, x2, fmt, Round::NearestEven), x3,
-                             fmt, Round::NearestEven);
-      PFloat x = PFloat::add(PFloat::mul(B1, x1, fmt, Round::NearestEven), t,
-                             fmt, Round::NearestEven);
-      x3 = x2; x2 = x1; x1 = x;
-    }
-    return x1;
-  };
-
-  Chains c;
-  c.f64 = discrete(kBinary64);
-  c.f68 = discrete(kBinary68);
-  c.golden = discrete(kBinary75);
-
-  PFloat B1 = PFloat::from_double(kBinary64, b1);
-  PFloat B2 = PFloat::from_double(kBinary64, b2);
-  {
-    PcsFma u;
-    PcsOperand x3 = ieee_to_pcs(PFloat::from_double(kBinary64, x0[0]));
-    PcsOperand x2 = ieee_to_pcs(PFloat::from_double(kBinary64, x0[1]));
-    PcsOperand x1 = ieee_to_pcs(PFloat::from_double(kBinary64, x0[2]));
-    for (int i = 3; i <= depth; ++i) {
-      PcsOperand t = u.fma(x3, B2, x2);
-      PcsOperand x = u.fma(t, B1, x1);
-      x3 = x2; x2 = x1; x1 = x;
-    }
-    c.pcs = pcs_to_ieee(x1, kBinary64, Round::HalfAwayFromZero);
+/// The same recurrence through the discrete pipeline at format `fmt`
+/// (a rounding per multiply and per add — the CoreGen baseline).
+PFloat discrete(const RecurrenceInputs& in, const FloatFormat& fmt,
+                int depth) {
+  PFloat b1 = PFloat::from_double(fmt, in.b1.to_double());
+  PFloat b2 = PFloat::from_double(fmt, in.b2.to_double());
+  PFloat x3 = PFloat::from_double(fmt, in.x[0].to_double());
+  PFloat x2 = PFloat::from_double(fmt, in.x[1].to_double());
+  PFloat x1 = PFloat::from_double(fmt, in.x[2].to_double());
+  for (int i = 3; i <= depth; ++i) {
+    PFloat t = PFloat::add(PFloat::mul(b2, x2, fmt, Round::NearestEven), x3,
+                           fmt, Round::NearestEven);
+    PFloat x = PFloat::add(PFloat::mul(b1, x1, fmt, Round::NearestEven), t,
+                           fmt, Round::NearestEven);
+    x3 = x2;
+    x2 = x1;
+    x1 = x;
   }
-  {
-    FcsFma u;
-    FcsOperand x3 = ieee_to_fcs(PFloat::from_double(kBinary64, x0[0]));
-    FcsOperand x2 = ieee_to_fcs(PFloat::from_double(kBinary64, x0[1]));
-    FcsOperand x1 = ieee_to_fcs(PFloat::from_double(kBinary64, x0[2]));
-    for (int i = 3; i <= depth; ++i) {
-      FcsOperand t = u.fma(x3, B2, x2);
-      FcsOperand x = u.fma(t, B1, x1);
-      x3 = x2; x2 = x1; x1 = x;
-    }
-    c.fcs = fcs_to_ieee(x1, kBinary64, Round::HalfAwayFromZero);
-  }
-  return c;
+  return x1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const int runs = argc > 1 ? std::atoi(argv[1]) : 20;
+  const std::vector<RecurrenceInputs> inputs = recurrence_inputs(2026, runs);
+
   std::printf("mean |error| of x[depth] vs 75b golden, in binary64 ulps "
               "(%d runs)\n\n", runs);
   std::printf("%6s | %10s | %10s | %10s | %10s\n", "depth", "64b", "68b",
@@ -87,14 +78,16 @@ int main(int argc, char** argv) {
   std::printf("%.*s\n", 60, "--------------------------------------------------"
                             "----------");
   for (int depth : {10, 20, 35, 50, 80}) {
+    const std::vector<PFloat> pcs = chain_finals(UnitKind::Pcs, inputs, depth);
+    const std::vector<PFloat> fcs = chain_finals(UnitKind::Fcs, inputs, depth);
     double e64 = 0, e68 = 0, ep = 0, ef = 0;
-    Rng rng(2026);
     for (int i = 0; i < runs; ++i) {
-      Chains c = run_to_depth(rng, depth);
-      e64 += PFloat::ulp_error(c.f64, c.golden, 52);
-      e68 += PFloat::ulp_error(c.f68, c.golden, 52);
-      ep += PFloat::ulp_error(c.pcs, c.golden, 52);
-      ef += PFloat::ulp_error(c.fcs, c.golden, 52);
+      const RecurrenceInputs& in = inputs[(std::size_t)i];
+      PFloat golden = discrete(in, kBinary75, depth);
+      e64 += PFloat::ulp_error(discrete(in, kBinary64, depth), golden, 52);
+      e68 += PFloat::ulp_error(discrete(in, kBinary68, depth), golden, 52);
+      ep += PFloat::ulp_error(pcs[(std::size_t)i], golden, 52);
+      ef += PFloat::ulp_error(fcs[(std::size_t)i], golden, 52);
     }
     std::printf("%6d | %10.3f | %10.3f | %10.3f | %10.3f\n", depth, e64 / runs,
                 e68 / runs, ep / runs, ef / runs);

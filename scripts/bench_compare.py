@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Compare bench host-performance baselines (stdlib only).
+
+The bench harness (bench/harness.cpp) writes one BENCH_<name>.json per
+bench run: a csfma-report-v1 document whose sections.bench_host_perf
+carries robust per-phase host timings (median of N reps with MAD-based
+outlier rejection).  This tool diffs a fresh run against a stored
+baseline and gates on regression:
+
+  bench_compare.py baseline.json current.json
+      Per-phase comparison with noise-aware thresholds.  Exit codes:
+        0  every phase within noise / thresholds (warnings allowed)
+        1  at least one phase regressed beyond the fail threshold
+        2  usage or structural error (missing phase, malformed file)
+
+  bench_compare.py --trend <dir> [--bench <name>]
+      Print a trend table over every BENCH_*.json found in <dir>
+      (historical snapshots, e.g. CI artifacts collected over time).
+
+Thresholds (override with --fail-pct / --warn-pct):
+  * FAIL when the median slows down by more than 15%.  The robustness
+    against run-to-run noise comes from the measurement itself (median
+    of N reps after MAD outlier rejection), so the fail gate is a hard
+    threshold — a 20% regression always trips it.
+  * WARN above 5% or above the phase's own noise band (4 x the scaled
+    MAD as a fraction of the median), whichever is larger — small
+    deltas inside a phase's natural scatter stay quiet.  A phase whose
+    noise band exceeds the fail threshold is flagged noisy: grow its
+    per-rep work or reps rather than widening the gate.
+  * New/removed phases are structural FAILs: the bench changed shape.
+
+Host fingerprints: timings from different machines are not comparable.
+When baseline and current disagree on sections.bench_host_perf.host the
+comparison downgrades to structure-only (phases must match; timings are
+reported but never gated) unless --force-cross-host is given.
+"""
+import argparse
+import glob
+import json
+import os
+import sys
+
+FAIL_PCT = 15.0
+WARN_PCT = 5.0
+NOISE_MADS = 4.0  # noise band = NOISE_MADS * scaled MAD / baseline median
+MAD_SCALE = 1.4826  # scaled-MAD consistency constant for a normal dist.
+
+
+def die(msg):
+    print(f"bench_compare: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_perf(path):
+    """Load a BENCH_*.json and return (bench, bench_host_perf section)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"{path}: cannot load: {e}")
+    if doc.get("schema") != "csfma-report-v1":
+        die(f"{path}: not a csfma-report-v1 document")
+    sec = doc.get("sections", {}).get("bench_host_perf")
+    if not isinstance(sec, dict) or not isinstance(sec.get("phases"), dict):
+        die(f"{path}: missing sections.bench_host_perf.phases")
+    return doc.get("bench", "?"), sec
+
+
+def noise_pct(phase):
+    """Measurement-noise band for a phase, as % of its median."""
+    med = phase.get("median_s", 0.0)
+    mad = phase.get("mad_s", 0.0)
+    if not med or med <= 0.0:
+        return 0.0
+    return 100.0 * NOISE_MADS * MAD_SCALE * mad / med
+
+
+def compare(baseline_path, current_path, fail_pct, warn_pct,
+            force_cross_host=False):
+    bench_a, base = load_perf(baseline_path)
+    bench_b, cur = load_perf(current_path)
+    if bench_a != bench_b:
+        die(f"bench mismatch: baseline is '{bench_a}', "
+            f"current is '{bench_b}'")
+
+    cross_host = base.get("host") != cur.get("host")
+    gate_timings = not cross_host or force_cross_host
+    if cross_host:
+        mode = "forced" if force_cross_host else "structure-only"
+        print(f"NOTE: host fingerprints differ "
+              f"('{base.get('host')}' vs '{cur.get('host')}'); "
+            f"timing gate: {mode}")
+
+    base_phases = base["phases"]
+    cur_phases = cur["phases"]
+    failures = []
+    warnings = []
+
+    missing = sorted(set(base_phases) - set(cur_phases))
+    added = sorted(set(cur_phases) - set(base_phases))
+    for name in missing:
+        failures.append(f"phase '{name}' present in baseline but not in "
+                        f"current run")
+    for name in added:
+        failures.append(f"phase '{name}' present in current run but not "
+                        f"in baseline (regenerate the baseline)")
+
+    print(f"bench: {bench_a}")
+    print(f"{'phase':<24} {'baseline':>12} {'current':>12} {'delta':>8} "
+          f"{'noise':>7}  verdict")
+    for name in sorted(set(base_phases) & set(cur_phases)):
+        b, c = base_phases[name], cur_phases[name]
+        bm, cm = b.get("median_s", 0.0), c.get("median_s", 0.0)
+        if not bm or bm <= 0.0:
+            print(f"{name:<24} {'-':>12} {'-':>12} {'-':>8} {'-':>7}  "
+                  f"skip (zero baseline median)")
+            continue
+        delta_pct = 100.0 * (cm - bm) / bm
+        band = max(noise_pct(b), noise_pct(c))
+        verdict = "ok"
+        if gate_timings and delta_pct > fail_pct:
+            verdict = "FAIL"
+            failures.append(f"phase '{name}': median regressed "
+                            f"{delta_pct:+.1f}% "
+                            f"(fail threshold {fail_pct:.0f}%, "
+                            f"noise band {band:.1f}%)")
+        elif gate_timings and delta_pct > max(warn_pct, band):
+            verdict = "warn"
+            warnings.append(f"phase '{name}': median slower by "
+                            f"{delta_pct:+.1f}% (within fail threshold)")
+        elif delta_pct < -warn_pct:
+            verdict = "improved"
+        if band > fail_pct:
+            warnings.append(f"phase '{name}': noise band {band:.1f}% "
+                            f"exceeds the fail threshold — phase too "
+                            f"short or reps too few to gate reliably")
+        print(f"{name:<24} {bm:>11.6f}s {cm:>11.6f}s {delta_pct:>+7.1f}% "
+              f"{band:>6.1f}%  {verdict}")
+
+    for w in warnings:
+        print(f"WARN: {w}")
+    for f_ in failures:
+        print(f"FAIL: {f_}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"{current_path}: no regression vs {baseline_path} "
+          f"({len(warnings)} warning(s))")
+    return 0
+
+
+def trend(directory, bench_filter):
+    paths = sorted(glob.glob(os.path.join(directory, "**", "BENCH_*.json"),
+                             recursive=True))
+    if not paths:
+        die(f"no BENCH_*.json under {directory}")
+    # bench -> phase -> [(label, median, mad)]
+    series = {}
+    for path in paths:
+        bench, sec = load_perf(path)
+        if bench_filter and bench != bench_filter:
+            continue
+        label = os.path.relpath(path, directory)
+        for name, p in sec["phases"].items():
+            series.setdefault(bench, {}).setdefault(name, []).append(
+                (label, p.get("median_s", 0.0), p.get("mad_s", 0.0)))
+    if not series:
+        die(f"no matching benches under {directory}")
+    for bench in sorted(series):
+        print(f"== {bench} ==")
+        for phase in sorted(series[bench]):
+            rows = series[bench][phase]
+            print(f"  {phase}:")
+            first = rows[0][1]
+            for label, med, mad in rows:
+                rel = f"{100.0 * (med - first) / first:+6.1f}%" \
+                    if first > 0 else "     -"
+                print(f"    {label:<40} {med:>11.6f}s "
+                      f"(mad {mad:.6f}s) {rel}")
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        prog="bench_compare.py",
+        description="Diff bench host-perf baselines; gate on regression.")
+    ap.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
+    ap.add_argument("current", nargs="?", help="current BENCH_*.json")
+    ap.add_argument("--fail-pct", type=float, default=FAIL_PCT,
+                    help=f"median regression %% that fails "
+                         f"(default {FAIL_PCT:.0f})")
+    ap.add_argument("--warn-pct", type=float, default=WARN_PCT,
+                    help=f"median regression %% that warns "
+                         f"(default {WARN_PCT:.0f})")
+    ap.add_argument("--force-cross-host", action="store_true",
+                    help="gate timings even if host fingerprints differ")
+    ap.add_argument("--trend", metavar="DIR",
+                    help="print a trend table over BENCH_*.json in DIR")
+    ap.add_argument("--bench", help="with --trend: restrict to one bench")
+    args = ap.parse_args(argv)
+
+    if args.trend:
+        if args.baseline or args.current:
+            die("--trend takes no positional arguments")
+        return trend(args.trend, args.bench)
+    if not args.baseline or not args.current:
+        ap.print_usage(sys.stderr)
+        return 2
+    if args.warn_pct > args.fail_pct:
+        die("--warn-pct must not exceed --fail-pct")
+    return compare(args.baseline, args.current, args.fail_pct,
+                   args.warn_pct, args.force_cross_host)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -139,6 +139,73 @@ def check_stage_activity(path, sec):
                        f"total_toggles says {a['total_toggles']}")
 
 
+def check_bench_host_perf(path, sec):
+    """Validate the host-performance section the bench harness attaches
+    (BenchHarness::attach, bench/harness.cpp).  All values here are
+    Timing-class — wall-clock measurements — so this section is exempt
+    from --compare-metrics (see compare_metrics below)."""
+    where = 'sections["bench_host_perf"]'
+    if not isinstance(sec, dict):
+        fail(path, f"{where}: must be an object")
+    for key in ("host", "hw_counters", "reps", "warmup", "phases",
+                "profiler"):
+        if key not in sec:
+            fail(path, f"{where}: missing key '{key}'")
+    if not isinstance(sec["host"], str) or not sec["host"]:
+        fail(path, f"{where}: 'host' must be a non-empty string")
+    if not isinstance(sec["hw_counters"], bool):
+        fail(path, f"{where}: 'hw_counters' must be a bool")
+    for key in ("reps", "warmup"):
+        if not isinstance(sec[key], int) or sec[key] < 0:
+            fail(path, f"{where}: '{key}' must be a non-negative integer")
+    phases = sec["phases"]
+    if not isinstance(phases, dict) or not phases:
+        fail(path, f"{where}: 'phases' must be a non-empty object")
+    stat_keys = ("median_s", "mad_s", "mean_s", "min_s", "max_s")
+    for name, p in phases.items():
+        pw = f'{where} phase "{name}"'
+        if not isinstance(p, dict):
+            fail(path, f"{pw}: must be an object")
+        for key in stat_keys + ("kept", "rejected", "ops_per_rep",
+                                "ops_per_sec", "samples_s"):
+            if key not in p:
+                fail(path, f"{pw}: missing key '{key}'")
+        for key in stat_keys:
+            if not is_number(p[key]) or p[key] < 0:
+                fail(path, f"{pw}: '{key}' must be a non-negative number")
+        if p["min_s"] > p["median_s"] or p["median_s"] > p["max_s"]:
+            fail(path, f"{pw}: min <= median <= max violated")
+        for key in ("kept", "rejected", "ops_per_rep"):
+            if not isinstance(p[key], int) or p[key] < 0:
+                fail(path, f"{pw}: '{key}' must be a non-negative integer")
+        if p["kept"] < 1:
+            fail(path, f"{pw}: outlier rejection must keep >= 1 sample")
+        samples = p["samples_s"]
+        if not isinstance(samples, list) or \
+                not all(is_number(x) for x in samples):
+            fail(path, f"{pw}: 'samples_s' must be a number array")
+        if len(samples) != p["kept"] + p["rejected"]:
+            fail(path, f"{pw}: {len(samples)} samples but kept + rejected "
+                       f"= {p['kept'] + p['rejected']}")
+    prof = sec["profiler"]
+    if not isinstance(prof, dict) or "scopes" not in prof or \
+            "hw_counters" not in prof:
+        fail(path, f"{where}: 'profiler' must have 'hw_counters' and "
+                   f"'scopes'")
+    for name, s in prof["scopes"].items():
+        sw = f'{where} profiler scope "{name}"'
+        for key in ("calls", "items", "wall_ns", "cpu_ns", "cycles",
+                    "instructions", "cache_misses"):
+            if not isinstance(s.get(key), int) or s[key] < 0:
+                fail(path, f"{sw}: '{key}' must be a non-negative integer")
+        if s["calls"] < 1:
+            fail(path, f"{sw}: recorded scope must have calls >= 1")
+        if not sec["hw_counters"] and \
+                (s["cycles"] or s["instructions"] or s["cache_misses"]):
+            fail(path, f"{sw}: hardware counts present but hw_counters "
+                       f"is false")
+
+
 def check_vcd(path):
     """Validate VCD well-formedness (the files SignalTap/VcdWriter write)."""
     try:
@@ -267,6 +334,8 @@ def check_report(path):
             check_event_log(path, name, sec)
         elif name == "stage_activity":
             check_stage_activity(path, sec)
+        elif name == "bench_host_perf":
+            check_bench_host_perf(path, sec)
 
     nmetrics = len(r["metrics"])
     print(f"{path}: OK ({r['bench']}, {nmetrics} metrics, "
@@ -274,21 +343,31 @@ def check_report(path):
     return r
 
 
+# Sections that carry Timing-class (wall-clock) data and are therefore
+# exempt from the determinism comparison, like "timing" itself.
+TIMING_SECTIONS = {"bench_host_perf"}
+
+
 def compare_metrics(path_a, path_b, a, b):
     ok = True
     for section in ("metrics", "tables", "sections"):
-        if a[section] != b[section]:
+        sa = {k: v for k, v in a[section].items()
+              if section != "sections" or k not in TIMING_SECTIONS}
+        sb = {k: v for k, v in b[section].items()
+              if section != "sections" or k not in TIMING_SECTIONS}
+        if sa != sb:
             ok = False
-            keys = sorted(set(a[section]) | set(b[section]))
+            keys = sorted(set(sa) | set(sb))
             for k in keys:
-                va, vb = a[section].get(k), b[section].get(k)
+                va, vb = sa.get(k), sb.get(k)
                 if va != vb:
                     print(f'DETERMINISM VIOLATION: {section}["{k}"]: '
                           f"{path_a} has {va!r}, {path_b} has {vb!r}",
                           file=sys.stderr)
     if not ok:
         sys.exit(1)
-    print(f"{path_a} vs {path_b}: deterministic sections identical")
+    print(f"{path_a} vs {path_b}: deterministic sections identical "
+          f"(timing-class sections exempt)")
 
 
 def main(argv):

@@ -1,13 +1,24 @@
 #!/usr/bin/env bash
 # Regenerate every table, figure, ablation and extension experiment.
-# JSON reports (csfma-report-v1) land in reports/; validate them with
-# scripts/check_report.py.
+# All artifacts of one invocation land in a single timestamped directory:
+#
+#   results/<UTC timestamp>/
+#     reports/   csfma-report-v1 JSON per experiment (check_report.py)
+#     bench/     BENCH_<name>.json host-perf baselines (bench_compare.py)
+#
+# so successive runs accumulate side by side and
+#   python3 scripts/bench_compare.py --trend results
+# prints the performance history across them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Prefer Ninja when available, otherwise fall back to CMake's default
-# generator (the seed hard-coded -G Ninja and failed on make-only hosts).
-if command -v ninja >/dev/null 2>&1; then
+# Reuse an already-configured tree as-is (passing -G against a cache
+# configured with another generator is a hard CMake error); otherwise
+# prefer Ninja when available, falling back to CMake's default generator
+# (the seed hard-coded -G Ninja and failed on make-only hosts).
+if [[ -f build/CMakeCache.txt ]]; then
+  cmake -B build
+elif command -v ninja >/dev/null 2>&1; then
   cmake -B build -G Ninja
 else
   cmake -B build
@@ -25,7 +36,7 @@ benches=(table1_synthesis fig13_latency table2_energy fig14_accuracy fig15_hls
 # Fail up front, with the full list, if the build produced no binary for
 # any requested bench (e.g. a stale build directory from an older tree).
 missing=()
-for b in "${benches[@]}" micro_units micro_flow; do
+for b in "${benches[@]}" engine_throughput micro_units micro_flow; do
   [[ -x "./build/bench/$b" ]] || missing+=("$b")
 done
 if ((${#missing[@]})); then
@@ -34,12 +45,33 @@ if ((${#missing[@]})); then
   exit 1
 fi
 
-mkdir -p reports
+outdir="results/$(date -u +%Y%m%dT%H%M%SZ)"
+mkdir -p "$outdir/reports" "$outdir/bench"
+echo "collecting artifacts under $outdir/"
+
 for b in "${benches[@]}"; do
   echo; echo "=================== $b ==================="
-  "./build/bench/$b" --json "reports/$b.json"
+  "./build/bench/$b" --json "$outdir/reports/$b.json" \
+                     --bench-out "$outdir/bench/BENCH_$b.json"
 done
+
+echo; echo "=================== engine throughput ==================="
+./build/bench/engine_throughput 200000 4 \
+    --json "$outdir/reports/engine_throughput.json" \
+    --bench-out "$outdir/bench/BENCH_engine_throughput.json"
+
 echo; echo "=================== microbenchmarks ==================="
-./build/bench/micro_units --benchmark_min_time=0.05
-./build/bench/micro_flow --benchmark_min_time=0.05
-echo; echo "reports written to reports/ (validate: python3 scripts/check_report.py reports/*.json)"
+./build/bench/micro_units --bench-out "$outdir/bench/BENCH_micro_units.json" \
+    --benchmark_min_time=0.05
+./build/bench/micro_flow --bench-out "$outdir/bench/BENCH_micro_flow.json" \
+    --benchmark_min_time=0.05
+
+echo; echo "=================== validation ==================="
+python3 scripts/check_report.py "$outdir"/reports/*.json \
+                                "$outdir"/bench/BENCH_*.json
+
+echo
+echo "artifacts in $outdir/ — compare against an earlier run with"
+echo "  python3 scripts/bench_compare.py <old>/bench/BENCH_x.json $outdir/bench/BENCH_x.json"
+echo "or see the history with"
+echo "  python3 scripts/bench_compare.py --trend results"

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <mutex>
 #include <thread>
 
@@ -9,6 +10,79 @@
 #include "common/rng.hpp"
 
 namespace csfma {
+
+namespace {
+
+/// Serialized, rate-limited progress emission shared by the batch and
+/// chained drivers.  Workers bump atomic counters per completed shard; a
+/// compare-exchange on the next-beat deadline elects at most one emitter
+/// per interval, and the callback itself runs under a mutex so user code
+/// never sees concurrent invocations.
+class ProgressGate {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  ProgressGate(const ProgressFn& fn, double interval_s,
+               std::uint64_t ops_total, std::uint64_t shards_total,
+               clock::time_point t0)
+      : fn_(fn),
+        interval_us_((std::int64_t)(interval_s * 1e6)),
+        ops_total_(ops_total),
+        shards_total_(shards_total),
+        t0_(t0) {
+    next_emit_us_.store(interval_us_, std::memory_order_relaxed);
+  }
+
+  void shard_done(std::uint64_t ops) {
+    if (!fn_) return;
+    ops_done_.fetch_add(ops, std::memory_order_relaxed);
+    shards_done_.fetch_add(1, std::memory_order_relaxed);
+    const std::int64_t now = now_us();
+    std::int64_t deadline = next_emit_us_.load(std::memory_order_relaxed);
+    if (now < deadline) return;
+    if (!next_emit_us_.compare_exchange_strong(deadline, now + interval_us_))
+      return;  // another worker took this beat
+    emit(now);
+  }
+
+  /// The final 100% beat, after the join (always fires, even on runs
+  /// shorter than one interval).
+  void finish() {
+    if (!fn_) return;
+    emit(now_us());
+  }
+
+ private:
+  std::int64_t now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                                 t0_)
+        .count();
+  }
+
+  void emit(std::int64_t now) {
+    EngineProgress p;
+    p.ops_done = ops_done_.load(std::memory_order_relaxed);
+    p.ops_total = ops_total_;
+    p.shards_done = shards_done_.load(std::memory_order_relaxed);
+    p.shards_total = shards_total_;
+    p.seconds = (double)now / 1e6;
+    p.ops_per_sec = safe_rate(p.ops_done, p.seconds);
+    if (p.ops_per_sec > 0.0 && p.ops_total >= p.ops_done)
+      p.eta_seconds = (double)(p.ops_total - p.ops_done) / p.ops_per_sec;
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_(p);
+  }
+
+  const ProgressFn& fn_;
+  const std::int64_t interval_us_;
+  const std::uint64_t ops_total_, shards_total_;
+  const clock::time_point t0_;
+  std::atomic<std::uint64_t> ops_done_{0}, shards_done_{0};
+  std::atomic<std::int64_t> next_emit_us_{0};
+  std::mutex mu_;
+};
+
+}  // namespace
 
 void VectorSource::fill(std::uint64_t start, OperandTriple* out,
                         std::size_t n) const {
@@ -88,6 +162,19 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
   std::vector<double> worker_busy((std::size_t)(nthreads > 0 ? nthreads : 1),
                                   0.0);
 
+  // Per-shard host profilers, same shape as shard_recs (deque because
+  // HostProfiler owns a mutex and cannot be copied into a vector).
+  HostProfiler* profiler = cfg_.profiler;
+  std::deque<HostProfiler> shard_profs;
+  if (profiler != nullptr) {
+    for (std::uint64_t s = 0; s < num_shards; ++s)
+      shard_profs.emplace_back(profiler->hw_enabled());
+  }
+
+  const auto wall0 = clock::now();
+  ProgressGate gate(cfg_.progress, cfg_.progress_interval_s, n, num_shards,
+                    wall0);
+
   auto worker = [&](int wid) {
     // Reusable per-worker buffers: one operand chunk and (in streaming
     // mode) one result chunk, regardless of stream length.
@@ -99,12 +186,16 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
       const std::uint64_t start = s * shard_ops;
       const std::size_t count =
           (std::size_t)(shard_ops < n - start ? shard_ops : n - start);
+      HostProfiler* prof =
+          profiler != nullptr ? &shard_profs[(std::size_t)s] : nullptr;
       TraceSpan shard_span(trace, "shard", "engine", wid);
       shard_span.arg("index", s);
       shard_span.arg("start", start);
       shard_span.arg("ops", (std::uint64_t)count);
       {
         TraceSpan fill_span(trace, "fill", "engine", wid);
+        ProfScope fill_scope(prof, "engine.fill");
+        fill_scope.items(count);
         in_buf.resize(count);
         src.fill(start, in_buf.data(), count);
       }
@@ -123,6 +214,8 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
       const auto t0 = clock::now();
       {
         TraceSpan sim_span(trace, "simulate", "engine", wid);
+        ProfScope sim_scope(prof, "engine.simulate");
+        sim_scope.items(count);
         for (std::size_t i = 0; i < count; ++i) {
           if (ev != nullptr) {
             ev->begin_op(start + i, in_buf[i].a.to_bits().lo64(),
@@ -156,12 +249,14 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
               std::chrono::duration<double>(clock::now() - w0).count());
         }
         TraceSpan consume_span(trace, "consume", "engine", wid);
+        ProfScope consume_scope(prof, "engine.consume");
+        consume_scope.items(count);
         (*consume)(start, out, count);
       }
+      gate.shard_done(count);
     }
   };
 
-  const auto wall0 = clock::now();
   if (nthreads <= 1) {
     worker(0);
   } else {
@@ -178,12 +273,18 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
   {
     TraceSpan merge_span(trace, "merge", "engine", 0);
     merge_span.arg("shards", num_shards);
+    ProfScope merge_scope(profiler, "engine.merge");
+    merge_scope.items(num_shards);
     for (const auto& rec : shard_recs) activity->merge_from(rec);
     if (log_events && events != nullptr) {
       *events = EventLog(cfg_.event_capacity);
       for (const auto& log : shard_events) events->merge_from(log);
     }
   }
+  if (profiler != nullptr) {
+    for (const auto& p : shard_profs) profiler->merge_from(p);
+  }
+  gate.finish();
   if (metrics != nullptr) {
     // Utilization = simulate time / wall time per worker lane; Timing by
     // definition (and the gauge names depend on the worker count).
@@ -256,6 +357,17 @@ BatchResult SimEngine::run_chained(const ChainSource& src) const {
       (int)(num_shards < (std::uint64_t)threads_ ? num_shards
                                                  : (std::uint64_t)threads_);
 
+  HostProfiler* profiler = cfg_.profiler;
+  std::deque<HostProfiler> shard_profs;
+  if (profiler != nullptr) {
+    for (std::uint64_t s = 0; s < num_shards; ++s)
+      shard_profs.emplace_back(profiler->hw_enabled());
+  }
+
+  const auto wall0 = clock::now();
+  ProgressGate gate(cfg_.progress, cfg_.progress_interval_s, n, num_shards,
+                    wall0);
+
   auto worker = [&](int wid) {
     std::vector<ChainedOp> chain_buf((std::size_t)opc);
     std::vector<FmaOperand> natives((std::size_t)opc);
@@ -265,6 +377,8 @@ BatchResult SimEngine::run_chained(const ChainSource& src) const {
       const std::uint64_t g0 = s * chains_per_shard;
       const std::uint64_t g1 =
           g0 + chains_per_shard < chains ? g0 + chains_per_shard : chains;
+      HostProfiler* prof =
+          profiler != nullptr ? &shard_profs[(std::size_t)s] : nullptr;
       ActivityRecorder& rec = shard_recs[(std::size_t)s];
       EventLog* ev = log_events ? &shard_events[(std::size_t)s] : nullptr;
       IntrospectHooks hooks;
@@ -273,7 +387,13 @@ BatchResult SimEngine::run_chained(const ChainSource& src) const {
           make_fma_unit(cfg_.unit, &rec, ev != nullptr ? &hooks : nullptr);
       const auto t0 = clock::now();
       for (std::uint64_t g = g0; g < g1; ++g) {
-        src.fill_chain(g, chain_buf.data());
+        {
+          ProfScope fill_scope(prof, "engine.fill");
+          fill_scope.items(opc);
+          src.fill_chain(g, chain_buf.data());
+        }
+        ProfScope sim_scope(prof, "engine.simulate");
+        sim_scope.items(opc);
         for (std::uint64_t j = 0; j < opc; ++j) {
           const ChainedOp& op = chain_buf[(std::size_t)j];
           const std::uint64_t idx = g * opc + j;
@@ -312,10 +432,10 @@ BatchResult SimEngine::run_chained(const ChainSource& src) const {
         m_ops->add(st.ops);
         m_shards->add(1);
       }
+      gate.shard_done(st.ops);
     }
   };
 
-  const auto wall0 = clock::now();
   if (nthreads <= 1) {
     if (num_shards > 0) worker(0);
   } else {
@@ -328,11 +448,19 @@ BatchResult SimEngine::run_chained(const ChainSource& src) const {
   const double wall =
       std::chrono::duration<double>(clock::now() - wall0).count();
 
-  for (const auto& rec : shard_recs) r.activity.merge_from(rec);
-  if (log_events) {
-    r.events = EventLog(cfg_.event_capacity);
-    for (const auto& log : shard_events) r.events.merge_from(log);
+  {
+    ProfScope merge_scope(profiler, "engine.merge");
+    merge_scope.items(num_shards);
+    for (const auto& rec : shard_recs) r.activity.merge_from(rec);
+    if (log_events) {
+      r.events = EventLog(cfg_.event_capacity);
+      for (const auto& log : shard_events) r.events.merge_from(log);
+    }
   }
+  if (profiler != nullptr) {
+    for (const auto& p : shard_profs) profiler->merge_from(p);
+  }
+  gate.finish();
   r.stats.ops = n;
   r.stats.seconds = wall;
   r.stats.ops_per_sec = safe_rate(n, wall);

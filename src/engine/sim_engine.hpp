@@ -29,6 +29,7 @@
 #include "fma/fma_unit.hpp"
 #include "introspect/event_log.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/perf.hpp"
 #include "telemetry/trace.hpp"
 
 namespace csfma {
@@ -115,6 +116,20 @@ class ChainSource {
   virtual void fill_chain(std::uint64_t chain, ChainedOp* out) const = 0;
 };
 
+/// Heartbeat snapshot for long runs, handed to EngineConfig::progress.
+/// ops_per_sec and eta_seconds use safe_rate-style guards: they are 0
+/// until enough has happened to divide by.
+struct EngineProgress {
+  std::uint64_t ops_done = 0;
+  std::uint64_t ops_total = 0;
+  std::uint64_t shards_done = 0;
+  std::uint64_t shards_total = 0;
+  double seconds = 0.0;      // elapsed wall clock
+  double ops_per_sec = 0.0;  // ops_done / seconds
+  double eta_seconds = 0.0;  // remaining ops at the current rate
+};
+using ProgressFn = std::function<void(const EngineProgress&)>;
+
 struct EngineConfig {
   UnitKind unit = UnitKind::Pcs;
   /// Worker threads; 0 = std::thread::hardware_concurrency().
@@ -135,6 +150,19 @@ struct EngineConfig {
   /// merge span.
   MetricsRegistry* metrics = nullptr;
   TraceSession* trace = nullptr;
+  /// Host-performance profiler (telemetry/perf.hpp; not owned).  Each
+  /// shard records engine.fill / engine.simulate / engine.consume scopes
+  /// into its own per-shard profiler; the shards merge IN SHARD ORDER
+  /// into this one after the join (plus an engine.merge scope), so the
+  /// scope-name structure and the calls/items counts are thread-count
+  /// invariant even though the timings are not.
+  HostProfiler* profiler = nullptr;
+  /// Progress heartbeat for multi-minute runs: invoked (serialized, never
+  /// concurrently) after a shard completes when at least
+  /// progress_interval_s elapsed since the previous beat, and once more
+  /// at 100% before the run returns.  Null = silent (no clock cost).
+  ProgressFn progress;
+  double progress_interval_s = 0.5;
   /// Capacity of the numerical event log (introspect/event_log.hpp);
   /// 0 disables it entirely (no begin_op/raise cost in the unit).  Each
   /// shard records into its own log; the logs merge IN SHARD ORDER, so the

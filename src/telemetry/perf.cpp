@@ -1,0 +1,215 @@
+#include "telemetry/perf.hpp"
+
+#include <chrono>
+
+#include "telemetry/json.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <ctime>
+#endif
+
+namespace csfma {
+
+namespace {
+
+std::uint64_t wall_now_ns() {
+  return (std::uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t thread_cpu_now_ns() {
+#if defined(__linux__)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return (std::uint64_t)ts.tv_sec * 1000000000ull + (std::uint64_t)ts.tv_nsec;
+#else
+  return 0;
+#endif
+}
+
+#if defined(__linux__)
+
+int open_hw_counter(std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // pid=0, cpu=-1: this thread, any CPU.
+  return (int)syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0);
+}
+
+/// One thread's counter file descriptors, opened lazily on the thread's
+/// first hardware-sampled scope and closed at thread exit.  Any open
+/// failure (EPERM under perf_event_paranoid, ENOSYS in seccomp'd
+/// containers, ENOENT without PMU access) marks the whole set unusable —
+/// the scope then records timers only.
+struct ThreadCounters {
+  int fd_cycles = -1;
+  int fd_instructions = -1;
+  int fd_cache_misses = -1;
+  bool ok = false;
+
+  ThreadCounters() {
+    fd_cycles = open_hw_counter(PERF_COUNT_HW_CPU_CYCLES);
+    fd_instructions = open_hw_counter(PERF_COUNT_HW_INSTRUCTIONS);
+    fd_cache_misses = open_hw_counter(PERF_COUNT_HW_CACHE_MISSES);
+    ok = fd_cycles >= 0 && fd_instructions >= 0 && fd_cache_misses >= 0;
+    if (!ok) close_all();
+  }
+  ~ThreadCounters() { close_all(); }
+
+  void close_all() {
+    for (int* fd : {&fd_cycles, &fd_instructions, &fd_cache_misses}) {
+      if (*fd >= 0) close(*fd);
+      *fd = -1;
+    }
+    ok = false;
+  }
+
+  static bool read_one(int fd, std::uint64_t* out) {
+    std::uint64_t v = 0;
+    if (read(fd, &v, sizeof(v)) != (ssize_t)sizeof(v)) return false;
+    *out = v;
+    return true;
+  }
+
+  bool sample(HwCounters* out) {
+    if (!ok) return false;
+    HwCounters h;
+    if (!read_one(fd_cycles, &h.cycles) ||
+        !read_one(fd_instructions, &h.instructions) ||
+        !read_one(fd_cache_misses, &h.cache_misses)) {
+      return false;
+    }
+    h.available = true;
+    *out = h;
+    return true;
+  }
+};
+
+ThreadCounters& thread_counters() {
+  thread_local ThreadCounters counters;
+  return counters;
+}
+
+#endif  // __linux__
+
+bool sample_hw(HwCounters* out) {
+#if defined(__linux__)
+  return thread_counters().sample(out);
+#else
+  (void)out;
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool perf_events_available() {
+  static const bool available = [] {
+#if defined(__linux__)
+    int fd = open_hw_counter(PERF_COUNT_HW_CPU_CYCLES);
+    if (fd < 0) return false;
+    close(fd);
+    return true;
+#else
+    return false;
+#endif
+  }();
+  return available;
+}
+
+HostProfiler::HostProfiler(bool want_hw_counters)
+    : hw_(want_hw_counters && perf_events_available()) {}
+
+void HostProfiler::record(std::string_view name, const ScopeStats& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scopes_[std::string(name)] += delta;
+}
+
+void HostProfiler::merge_from(const HostProfiler& o) {
+  std::map<std::string, ScopeStats> theirs = o.snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, stats] : theirs) scopes_[name] += stats;
+}
+
+std::map<std::string, ScopeStats> HostProfiler::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scopes_;
+}
+
+std::string HostProfiler::to_json() const {
+  const std::map<std::string, ScopeStats> scopes = snapshot();
+  JsonWriter w;
+  w.begin_object();
+  w.key("hw_counters");
+  w.value(hw_);
+  w.key("scopes");
+  w.begin_object();
+  for (const auto& [name, s] : scopes) {
+    w.key(name);
+    w.begin_object();
+    // Every scope exports the same fields whether or not counters were
+    // live, so the export's structure never depends on the environment.
+    w.key("calls");
+    w.value(s.calls);
+    w.key("items");
+    w.value(s.items);
+    w.key("wall_ns");
+    w.value(s.wall_ns);
+    w.key("cpu_ns");
+    w.value(s.cpu_ns);
+    w.key("cycles");
+    w.value(s.hw.cycles);
+    w.key("instructions");
+    w.value(s.hw.instructions);
+    w.key("cache_misses");
+    w.value(s.hw.cache_misses);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+ProfScope::ProfScope(HostProfiler* profiler, std::string_view name)
+    : profiler_(profiler) {
+  if (profiler_ == nullptr) return;
+  name_ = name;
+  if (profiler_->hw_enabled()) hw_live_ = sample_hw(&hw0_);
+  cpu0_ns_ = thread_cpu_now_ns();
+  wall0_ns_ = wall_now_ns();
+}
+
+ProfScope::~ProfScope() {
+  if (profiler_ == nullptr) return;
+  ScopeStats d;
+  const std::uint64_t wall1 = wall_now_ns();
+  const std::uint64_t cpu1 = thread_cpu_now_ns();
+  d.calls = 1;
+  d.items = items_;
+  d.wall_ns = wall1 >= wall0_ns_ ? wall1 - wall0_ns_ : 0;
+  d.cpu_ns = cpu1 >= cpu0_ns_ ? cpu1 - cpu0_ns_ : 0;
+  if (hw_live_) {
+    HwCounters hw1;
+    if (sample_hw(&hw1)) {
+      d.hw.cycles = hw1.cycles - hw0_.cycles;
+      d.hw.instructions = hw1.instructions - hw0_.instructions;
+      d.hw.cache_misses = hw1.cache_misses - hw0_.cache_misses;
+      d.hw.available = true;
+    }
+  }
+  profiler_->record(name_, d);
+}
+
+}  // namespace csfma

@@ -1,0 +1,139 @@
+// Host-performance profiler: where does the SIMULATOR's own time go?
+//
+// Everything else in src/telemetry observes the simulated hardware (toggle
+// counts, pipeline cycles, ulp errors).  HostProfiler observes the software
+// that computes them: RAII scoped timers sample steady-clock wall time,
+// per-thread CPU time and — when the kernel allows it — hardware counters
+// (cycles, instructions, cache misses) via Linux perf_event, and accumulate
+// them under stable scope names ("engine.simulate", "engine.fill", ...).
+//
+// Degradation contract: perf_event_open is often unavailable (CI
+// containers, locked-down perf_event_paranoid, non-Linux hosts).  The
+// profiler probes availability ONCE and silently degrades to timers-only;
+// every exported scope then carries zero hardware counts and the export is
+// tagged `hw_counters: false`.  Nothing in the repo may fail because the
+// counters are missing.
+//
+// Determinism contract: host timings are wall-clock derived and therefore
+// Timing-stability data (see metrics.hpp) — the VALUES are exempt from the
+// thread-count-invariance promise, but the STRUCTURE is not.  Per-shard
+// profilers are merged in shard order exactly like
+// ActivityRecorder::merge_from, so the set of scope names and the
+// Deterministic fields (calls, items) are byte-identical for any worker
+// thread count; only the nanosecond/counter fields vary.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace csfma {
+
+/// Hardware counters sampled from perf_event.  `available` is false when
+/// the scope ran without counters (degraded environment); the counts are
+/// then zero and must not be interpreted.
+struct HwCounters {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_misses = 0;
+  bool available = false;
+
+  HwCounters& operator+=(const HwCounters& o) {
+    cycles += o.cycles;
+    instructions += o.instructions;
+    cache_misses += o.cache_misses;
+    available = available || o.available;
+    return *this;
+  }
+};
+
+/// True when this process can open perf_event hardware counters (probed
+/// once, result cached).  Always false off Linux.
+bool perf_events_available();
+
+/// Accumulated samples of one named scope.  `calls` and `items` are pure
+/// counts of work (Deterministic under the engine's shard model); the
+/// nanosecond and hardware fields are Timing data.
+struct ScopeStats {
+  std::uint64_t calls = 0;    // ProfScope activations
+  std::uint64_t items = 0;    // caller-attributed work units (e.g. ops)
+  std::uint64_t wall_ns = 0;  // steady-clock wall time
+  std::uint64_t cpu_ns = 0;   // per-thread CPU time (CLOCK_THREAD_CPUTIME_ID)
+  HwCounters hw;
+
+  ScopeStats& operator+=(const ScopeStats& o) {
+    calls += o.calls;
+    items += o.items;
+    wall_ns += o.wall_ns;
+    cpu_ns += o.cpu_ns;
+    hw += o.hw;
+    return *this;
+  }
+};
+
+/// Thread-safe named scope accumulation.  Mirrors MetricsRegistry's shape:
+/// record() takes a mutex per completed scope (scopes are coarse — per
+/// shard, per phase — never per multiply-add), merge_from() folds another
+/// profiler in by name, and to_json() renders sorted keys so exports with
+/// equal contents are byte-equal.
+class HostProfiler {
+ public:
+  /// `want_hw_counters` requests perf_event sampling; it is AND-ed with
+  /// perf_events_available(), so passing true never makes construction or
+  /// scope entry fail — it degrades to timers-only.
+  explicit HostProfiler(bool want_hw_counters = true);
+  HostProfiler(const HostProfiler&) = delete;
+  HostProfiler& operator=(const HostProfiler&) = delete;
+
+  /// True when scopes on this profiler sample hardware counters.
+  bool hw_enabled() const { return hw_; }
+
+  /// Fold `delta` into the named scope's accumulator (find-or-create).
+  void record(std::string_view name, const ScopeStats& delta);
+
+  /// Fold another profiler in: per-name ScopeStats addition.  Merging
+  /// per-shard profilers in shard order yields a deterministic scope-name
+  /// structure and deterministic calls/items for any thread count.
+  void merge_from(const HostProfiler& o);
+
+  std::map<std::string, ScopeStats> snapshot() const;
+
+  /// {"hw_counters": bool, "scopes": {name: {calls, items, wall_ns,
+  /// cpu_ns, cycles, instructions, cache_misses}}} — keys sorted, every
+  /// scope carries the same fields whether or not counters were live, so
+  /// the structure is stable across environments.
+  std::string to_json() const;
+
+ private:
+  bool hw_;
+  mutable std::mutex mu_;
+  std::map<std::string, ScopeStats> scopes_;
+};
+
+/// RAII scope: samples clocks (and hardware counters when the profiler has
+/// them) at construction and records the deltas at destruction.  With a
+/// null profiler every member is a no-op — no clock read, no allocation —
+/// the same cost contract as TraceSpan.
+class ProfScope {
+ public:
+  ProfScope(HostProfiler* profiler, std::string_view name);
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+  ~ProfScope();
+
+  /// Attribute `n` work units (e.g. simulated ops) to this activation.
+  void items(std::uint64_t n) { items_ += n; }
+
+ private:
+  HostProfiler* profiler_;
+  std::string name_;
+  std::uint64_t items_ = 0;
+  std::uint64_t wall0_ns_ = 0;
+  std::uint64_t cpu0_ns_ = 0;
+  HwCounters hw0_;
+  bool hw_live_ = false;
+};
+
+}  // namespace csfma

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_compare.py: pass / warn / fail exit codes
+and the structural and cross-host rules, on synthetic BENCH_*.json files.
+Registered with CTest (see tests/CMakeLists.txt); stdlib only."""
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+COMPARE = os.path.join(REPO, "scripts", "bench_compare.py")
+
+
+def make_doc(median=1.0, mad=0.01, host="testhost/x86_64",
+             phases=("alpha", "beta")):
+    doc = {
+        "schema": "csfma-report-v1",
+        "bench": "synthetic",
+        "meta": {"git": "0000000"},
+        "metrics": {},
+        "timing": {},
+        "tables": {},
+        "sections": {"bench_host_perf": {
+            "host": host,
+            "hw_counters": False,
+            "reps": 5,
+            "warmup": 1,
+            "phases": {},
+            "profiler": {"hw_counters": False, "scopes": {}},
+        }},
+    }
+    for name in phases:
+        doc["sections"]["bench_host_perf"]["phases"][name] = {
+            "median_s": median, "mad_s": mad, "mean_s": median,
+            "min_s": median - mad, "max_s": median + mad,
+            "kept": 5, "rejected": 0, "ops_per_rep": 100,
+            "ops_per_sec": 100.0 / median,
+            "samples_s": [median] * 5,
+        }
+    return doc
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_compare(self, *args):
+        return subprocess.run([sys.executable, COMPARE, *args],
+                              capture_output=True, text=True)
+
+    def test_identical_runs_pass(self):
+        a = self.write("a.json", make_doc())
+        b = self.write("b.json", make_doc())
+        r = self.run_compare(a, b)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("no regression", r.stdout)
+
+    def test_small_regression_warns_but_passes(self):
+        a = self.write("a.json", make_doc(median=1.0, mad=0.001))
+        b = self.write("b.json", make_doc(median=1.08, mad=0.001))
+        r = self.run_compare(a, b)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("WARN", r.stdout)
+
+    def test_large_regression_fails(self):
+        a = self.write("a.json", make_doc(median=1.0))
+        b = self.write("b.json", make_doc(median=1.2))  # +20%
+        r = self.run_compare(a, b)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("FAIL", r.stderr)
+
+    def test_noise_band_suppresses_warning(self):
+        # +7% delta inside a ~12% noise band: ok, not even a warn.
+        a = self.write("a.json", make_doc(median=1.0, mad=0.02))
+        b = self.write("b.json", make_doc(median=1.07, mad=0.02))
+        r = self.run_compare(a, b)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertNotIn("WARN", r.stdout)
+
+    def test_noisy_phase_is_flagged(self):
+        # A noise band beyond the fail threshold cannot be gated reliably:
+        # the tool warns but a within-threshold delta still passes.
+        a = self.write("a.json", make_doc(median=1.0, mad=0.05))
+        b = self.write("b.json", make_doc(median=1.05, mad=0.05))
+        r = self.run_compare(a, b)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("exceeds the fail threshold", r.stdout)
+
+    def test_improvement_passes(self):
+        a = self.write("a.json", make_doc(median=1.0))
+        b = self.write("b.json", make_doc(median=0.7))
+        r = self.run_compare(a, b)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("improved", r.stdout)
+
+    def test_missing_phase_is_structural_failure(self):
+        a = self.write("a.json", make_doc(phases=("alpha", "beta")))
+        b = self.write("b.json", make_doc(phases=("alpha",)))
+        r = self.run_compare(a, b)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("beta", r.stderr)
+
+    def test_added_phase_is_structural_failure(self):
+        a = self.write("a.json", make_doc(phases=("alpha",)))
+        b = self.write("b.json", make_doc(phases=("alpha", "gamma")))
+        r = self.run_compare(a, b)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_cross_host_is_structure_only(self):
+        # A 50% regression on a DIFFERENT machine must not fail...
+        a = self.write("a.json", make_doc(median=1.0, host="ci/x86_64"))
+        b = self.write("b.json", make_doc(median=1.5, host="dev/aarch64"))
+        r = self.run_compare(a, b)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("structure-only", r.stdout)
+        # ...unless forced.
+        r = self.run_compare("--force-cross-host", a, b)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_cross_host_still_checks_structure(self):
+        a = self.write("a.json", make_doc(host="ci/x86_64"))
+        b = self.write("b.json", make_doc(host="dev/aarch64",
+                                          phases=("alpha",)))
+        r = self.run_compare(a, b)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_bench_mismatch_is_usage_error(self):
+        a = self.write("a.json", make_doc())
+        other = make_doc()
+        other["bench"] = "different"
+        b = self.write("b.json", other)
+        r = self.run_compare(a, b)
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+
+    def test_malformed_file_is_usage_error(self):
+        a = self.write("a.json", make_doc())
+        bad = copy.deepcopy(make_doc())
+        del bad["sections"]["bench_host_perf"]["phases"]
+        b = self.write("b.json", bad)
+        r = self.run_compare(a, b)
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+
+    def test_custom_thresholds(self):
+        a = self.write("a.json", make_doc(median=1.0, mad=0.001))
+        b = self.write("b.json", make_doc(median=1.08, mad=0.001))
+        r = self.run_compare("--fail-pct", "6", a, b)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_trend_table(self):
+        os.mkdir(os.path.join(self.tmp.name, "run1"))
+        os.mkdir(os.path.join(self.tmp.name, "run2"))
+        self.write(os.path.join("run1", "BENCH_synthetic.json"),
+                   make_doc(median=1.0))
+        self.write(os.path.join("run2", "BENCH_synthetic.json"),
+                   make_doc(median=1.1))
+        r = self.run_compare("--trend", self.tmp.name)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("== synthetic ==", r.stdout)
+        self.assertIn("+10.0%", r.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
