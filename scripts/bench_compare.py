@@ -8,10 +8,13 @@ outlier rejection).  This tool diffs a fresh run against a stored
 baseline and gates on regression:
 
   bench_compare.py baseline.json current.json
-      Per-phase comparison with noise-aware thresholds.  Exit codes:
+      Per-phase comparison with noise-aware thresholds.  Exit codes are
+      distinct per failure class so CI can react differently to each:
         0  every phase within noise / thresholds (warnings allowed)
         1  at least one phase regressed beyond the fail threshold
-        2  usage or structural error (missing phase, malformed file)
+        2  usage error or malformed input file
+        3  structural mismatch (different bench, phases added/removed)
+        4  host fingerprints differ and --require-same-host was given
 
   bench_compare.py --trend <dir> [--bench <name>]
       Print a trend table over every BENCH_*.json found in <dir>
@@ -30,9 +33,11 @@ Thresholds (override with --fail-pct / --warn-pct):
   * New/removed phases are structural FAILs: the bench changed shape.
 
 Host fingerprints: timings from different machines are not comparable.
-When baseline and current disagree on sections.bench_host_perf.host the
-comparison downgrades to structure-only (phases must match; timings are
-reported but never gated) unless --force-cross-host is given.
+The fingerprint is "nodename/machine" (uname); when baseline and current
+disagree, the note names the field(s) that differ and the comparison
+downgrades to structure-only (phases must match; timings are reported but
+never gated).  --force-cross-host gates timings anyway;
+--require-same-host turns the mismatch itself into a failure (exit 4).
 """
 import argparse
 import glob
@@ -45,10 +50,34 @@ WARN_PCT = 5.0
 NOISE_MADS = 4.0  # noise band = NOISE_MADS * scaled MAD / baseline median
 MAD_SCALE = 1.4826  # scaled-MAD consistency constant for a normal dist.
 
+EXIT_OK = 0
+EXIT_PERF = 1        # timing regression beyond the fail threshold
+EXIT_USAGE = 2       # bad arguments / malformed input
+EXIT_STRUCTURAL = 3  # bench or phase-set mismatch
+EXIT_HOST = 4        # fingerprint mismatch under --require-same-host
+
 
 def die(msg):
     print(f"bench_compare: {msg}", file=sys.stderr)
-    sys.exit(2)
+    sys.exit(EXIT_USAGE)
+
+
+def fingerprint_fields(host):
+    """Split a "nodename/machine" fingerprint into its named fields."""
+    if isinstance(host, str) and "/" in host:
+        nodename, machine = host.split("/", 1)
+        return {"nodename": nodename, "machine": machine}
+    return {"fingerprint": host}
+
+
+def fingerprint_diff(base_host, cur_host):
+    """Human-readable list of fingerprint fields that differ."""
+    a, b = fingerprint_fields(base_host), fingerprint_fields(cur_host)
+    diffs = []
+    for field in sorted(set(a) | set(b)):
+        if a.get(field) != b.get(field):
+            diffs.append(f"{field} ('{a.get(field)}' vs '{b.get(field)}')")
+    return diffs
 
 
 def load_perf(path):
@@ -76,34 +105,36 @@ def noise_pct(phase):
 
 
 def compare(baseline_path, current_path, fail_pct, warn_pct,
-            force_cross_host=False):
+            force_cross_host=False, require_same_host=False):
     bench_a, base = load_perf(baseline_path)
     bench_b, cur = load_perf(current_path)
     if bench_a != bench_b:
-        die(f"bench mismatch: baseline is '{bench_a}', "
-            f"current is '{bench_b}'")
+        print(f"FAIL: bench mismatch: baseline is '{bench_a}', "
+              f"current is '{bench_b}'", file=sys.stderr)
+        return EXIT_STRUCTURAL
 
     cross_host = base.get("host") != cur.get("host")
     gate_timings = not cross_host or force_cross_host
     if cross_host:
         mode = "forced" if force_cross_host else "structure-only"
-        print(f"NOTE: host fingerprints differ "
-              f"('{base.get('host')}' vs '{cur.get('host')}'); "
-            f"timing gate: {mode}")
+        diffs = fingerprint_diff(base.get("host"), cur.get("host"))
+        print(f"NOTE: host fingerprint differs in "
+              f"{', '.join(diffs)}; timing gate: {mode}")
 
     base_phases = base["phases"]
     cur_phases = cur["phases"]
+    structural = []
     failures = []
     warnings = []
 
     missing = sorted(set(base_phases) - set(cur_phases))
     added = sorted(set(cur_phases) - set(base_phases))
     for name in missing:
-        failures.append(f"phase '{name}' present in baseline but not in "
-                        f"current run")
+        structural.append(f"phase '{name}' present in baseline but not in "
+                          f"current run")
     for name in added:
-        failures.append(f"phase '{name}' present in current run but not "
-                        f"in baseline (regenerate the baseline)")
+        structural.append(f"phase '{name}' present in current run but not "
+                          f"in baseline (regenerate the baseline)")
 
     print(f"bench: {bench_a}")
     print(f"{'phase':<24} {'baseline':>12} {'current':>12} {'delta':>8} "
@@ -139,13 +170,20 @@ def compare(baseline_path, current_path, fail_pct, warn_pct,
 
     for w in warnings:
         print(f"WARN: {w}")
-    for f_ in failures:
+    for f_ in structural + failures:
         print(f"FAIL: {f_}", file=sys.stderr)
+    if cross_host and require_same_host:
+        diffs = fingerprint_diff(base.get("host"), cur.get("host"))
+        print(f"FAIL: --require-same-host: fingerprint differs in "
+              f"{', '.join(diffs)}", file=sys.stderr)
+        return EXIT_HOST
+    if structural:
+        return EXIT_STRUCTURAL
     if failures:
-        return 1
+        return EXIT_PERF
     print(f"{current_path}: no regression vs {baseline_path} "
           f"({len(warnings)} warning(s))")
-    return 0
+    return EXIT_OK
 
 
 def trend(directory, bench_filter):
@@ -193,6 +231,9 @@ def main(argv):
                          f"(default {WARN_PCT:.0f})")
     ap.add_argument("--force-cross-host", action="store_true",
                     help="gate timings even if host fingerprints differ")
+    ap.add_argument("--require-same-host", action="store_true",
+                    help="fail (exit 4) when host fingerprints differ "
+                         "instead of downgrading to structure-only")
     ap.add_argument("--trend", metavar="DIR",
                     help="print a trend table over BENCH_*.json in DIR")
     ap.add_argument("--bench", help="with --trend: restrict to one bench")
@@ -207,8 +248,11 @@ def main(argv):
         return 2
     if args.warn_pct > args.fail_pct:
         die("--warn-pct must not exceed --fail-pct")
+    if args.force_cross_host and args.require_same_host:
+        die("--force-cross-host and --require-same-host are exclusive")
     return compare(args.baseline, args.current, args.fail_pct,
-                   args.warn_pct, args.force_cross_host)
+                   args.warn_pct, args.force_cross_host,
+                   args.require_same_host)
 
 
 if __name__ == "__main__":

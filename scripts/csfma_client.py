@@ -1,0 +1,447 @@
+#!/usr/bin/env python3
+"""Stdlib JSON-lines client for the csfma_serve daemon.
+
+Speaks the protocol of docs/service.md over either transport the daemon
+offers: a spawned child process on stdin/stdout, or a Unix stream socket.
+Used three ways:
+
+  csfma_client.py submit --serve BIN --mode batch --unit pcs --ops 100000 --seed 1
+      spawn a daemon, run one job, print the result reply as JSON
+
+  csfma_client.py selftest --serve BIN [--transport stdio|socket|both]
+      the end-to-end protocol conformance suite CI runs: cache-hit
+      byte-identity, cooperative cancel, malformed-input replies, and
+      1-vs-4-worker result determinism.  Exit 0 iff every check passes.
+
+  from csfma_client import Client   (library use from tests)
+
+No third-party imports; python3 stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+
+class ProtocolError(RuntimeError):
+    """The daemon violated the JSON-lines protocol (or crashed)."""
+
+
+class _StdioTransport:
+    """Daemon as a child process; requests on stdin, replies on stdout."""
+
+    def __init__(self, argv):
+        self.proc = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+
+    def send_line(self, line):
+        try:
+            self.proc.stdin.write(line + "\n")
+            self.proc.stdin.flush()
+        except BrokenPipeError:
+            raise ProtocolError("daemon closed stdin (crashed?)")
+
+    def recv_line(self):
+        line = self.proc.stdout.readline()
+        if line == "":
+            rc = self.proc.poll()
+            raise ProtocolError(f"daemon EOF (exit status {rc})")
+        return line.rstrip("\n")
+
+    def close(self):
+        if self.proc.stdin and not self.proc.stdin.closed:
+            self.proc.stdin.close()
+        rc = self.proc.wait(timeout=60)
+        self.proc.stdout.close()
+        return rc
+
+
+class _SocketTransport:
+    """Connection to a daemon already listening on --socket PATH."""
+
+    def __init__(self, path, timeout_s=300.0):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(timeout_s)
+        self.sock.connect(path)
+        self.rfile = self.sock.makefile("r", encoding="utf-8")
+
+    def send_line(self, line):
+        try:
+            self.sock.sendall((line + "\n").encode("utf-8"))
+        except (BrokenPipeError, ConnectionResetError):
+            raise ProtocolError("daemon closed the socket (crashed?)")
+
+    def recv_line(self):
+        line = self.rfile.readline()
+        if line == "":
+            raise ProtocolError("daemon EOF on socket")
+        return line.rstrip("\n")
+
+    def close(self):
+        try:
+            self.sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+        # Drain whatever the daemon still sends (the final "bye").
+        try:
+            while self.rfile.readline():
+                pass
+        except OSError:
+            pass
+        self.rfile.close()
+        self.sock.close()
+        return 0
+
+
+class Result:
+    """One finished submit: the terminal reply plus everything en route."""
+
+    def __init__(self, accepted, terminal, raw_terminal, progress):
+        self.accepted = accepted        # parsed "accepted" reply
+        self.terminal = terminal        # parsed "result"/"cancelled"/"error"
+        self.raw_terminal = raw_terminal  # exact daemon bytes (str)
+        self.progress = progress        # parsed "progress" events, in order
+
+    @property
+    def job(self):
+        return self.accepted["job"]
+
+    @property
+    def report_bytes(self):
+        """The raw report object out of a "result" line.
+
+        Splices the substring after `"report":` so byte-identity checks
+        are immune to the reply envelope (id, elapsed_s, cache verdict).
+        """
+        marker = '"report":'
+        idx = self.raw_terminal.find(marker)
+        if idx < 0:
+            raise ProtocolError(f"no report in reply: {self.raw_terminal!r}")
+        return self.raw_terminal[idx + len(marker):-1]
+
+
+class Client:
+    """Synchronous protocol driver on top of either transport."""
+
+    def __init__(self, transport):
+        self.t = transport
+        self._next_id = 0
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def spawn(cls, serve_binary, workers=2, cache=64, progress_interval=0.5,
+              extra_args=()):
+        argv = [serve_binary,
+                "--workers", str(workers),
+                "--job-cache", str(cache),
+                "--progress-interval", str(progress_interval)]
+        argv += list(extra_args)
+        return cls(_StdioTransport(argv))
+
+    @classmethod
+    def connect(cls, socket_path, timeout_s=300.0):
+        return cls(_SocketTransport(socket_path, timeout_s))
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def close(self):
+        return self.t.close()
+
+    # -- raw line layer ---------------------------------------------------
+
+    def _send(self, obj):
+        self.t.send_line(json.dumps(obj))
+
+    def _recv(self):
+        raw = self.t.recv_line()
+        try:
+            msg = json.loads(raw)
+        except json.JSONDecodeError as e:
+            raise ProtocolError(f"daemon emitted malformed JSON: {raw!r}: {e}")
+        if not isinstance(msg, dict) or "type" not in msg:
+            raise ProtocolError(f"daemon reply has no type: {raw!r}")
+        return msg, raw
+
+    def _rid(self):
+        self._next_id += 1
+        return f"c{self._next_id}"
+
+    # -- requests ---------------------------------------------------------
+
+    def submit_async(self, params):
+        """Send a submit; return the parsed accepted (or error) reply."""
+        req = dict(params)
+        req["type"] = "submit"
+        req.setdefault("id", self._rid())
+        self._send(req)
+        msg, raw = self._recv()
+        return msg, raw
+
+    def wait(self, job):
+        """Collect events until `job`'s terminal reply; return it + progress."""
+        progress = []
+        while True:
+            msg, raw = self._recv()
+            if msg["type"] == "progress":
+                if msg["job"] == job:
+                    progress.append(msg)
+                continue
+            if msg.get("job") == job:
+                return msg, raw, progress
+            # Terminal reply for some other in-flight job: not ours to
+            # consume in this simple synchronous client.
+            raise ProtocolError(f"unexpected interleaved reply: {raw!r}")
+
+    def submit(self, **params):
+        """Submit and block for the terminal reply (result/cancelled)."""
+        acc, raw_acc = self.submit_async(params)
+        if acc["type"] == "error":
+            return Result(acc, acc, raw_acc, [])
+        terminal, raw, progress = self.wait(acc["job"])
+        return Result(acc, terminal, raw, progress)
+
+    def cancel(self, job):
+        self._send({"type": "cancel", "id": self._rid(), "job": job})
+        msg, _ = self._recv()
+        return msg
+
+    def status(self):
+        self._send({"type": "status", "id": self._rid()})
+        msg, _ = self._recv()
+        return msg
+
+    def shutdown(self):
+        self._send({"type": "shutdown", "id": self._rid()})
+        msg, _ = self._recv()
+        return msg
+
+    def send_raw(self, text):
+        """Send a raw (possibly malformed) line; return the parsed reply."""
+        self.t.send_line(text)
+        msg, _ = self._recv()
+        return msg
+
+
+# -- selftest ------------------------------------------------------------
+
+
+class Check:
+    def __init__(self):
+        self.failures = []
+
+    def ok(self, cond, what):
+        tag = "ok" if cond else "FAIL"
+        print(f"  [{tag}] {what}")
+        if not cond:
+            self.failures.append(what)
+
+
+BATCH = dict(mode="batch", unit="pcs", ops=20000, seed=11)
+
+
+def selftest_session(check, client):
+    """Protocol conformance against one live session (any transport)."""
+    # 1. Determinism + cache: identical sequential submits; the second must
+    #    be served from the LRU cache and the report must be byte-identical.
+    r1 = client.submit(**BATCH)
+    r2 = client.submit(**BATCH)
+    check.ok(r1.terminal["type"] == "result", "first submit completes")
+    check.ok(r1.terminal["cache"] == "miss", "first submit is a cache miss")
+    check.ok(r2.terminal["cache"] == "hit", "second identical submit is a cache hit")
+    check.ok(r1.accepted["cache_key"] == r2.accepted["cache_key"],
+             "identical submits share a cache key")
+    check.ok(r1.report_bytes == r2.report_bytes,
+             "cache hit replays byte-identical report")
+    check.ok(len(r1.progress) >= 1, "job streamed progress events")
+    if r1.progress:
+        last = r1.progress[-1]
+        check.ok(last["ops_done"] == last["ops_total"] == BATCH["ops"],
+                 "final progress event reports 100%")
+
+    # 2. Cooperative cancel: a job big enough to still be running when the
+    #    cancel lands; expect cancel_ok then a clean `cancelled` terminal
+    #    reply, and a daemon that still answers afterwards.
+    big = dict(mode="batch", unit="pcs", ops=200_000_000, seed=3,
+               shard_ops=4096)
+    acc, _ = client.submit_async(big)
+    check.ok(acc["type"] == "accepted", "long job accepted")
+    ack = client.cancel(acc["job"])
+    # The ack can arrive after progress lines already in flight.
+    while ack["type"] == "progress":
+        ack, _ = client._recv()
+    check.ok(ack["type"] == "cancel_ok", f"cancel acknowledged ({ack['type']})")
+    terminal, _, _ = client.wait(acc["job"])
+    check.ok(terminal["type"] == "cancelled", "cancelled terminal reply")
+    check.ok(terminal["ops_done"] < big["ops"],
+             "cancel stopped the job before completion")
+    st = client.status()
+    check.ok(st["type"] == "status", "daemon alive after cancel")
+    states = {j["job"]: j["state"] for j in st["jobs"]}
+    check.ok(states.get(acc["job"]) == "cancelled",
+             "status shows job cancelled")
+
+    # 3. Typed errors for malformed input — and the daemon survives them.
+    e = client.send_raw("this is not json")
+    check.ok(e["type"] == "error" and e["code"] == "parse_error",
+             "malformed line gets parse_error")
+    e = client.send_raw('{"type":"frobnicate"}')
+    check.ok(e["type"] == "error" and e["code"] == "unknown_type",
+             "unknown request type gets unknown_type")
+    e = client.send_raw('{"type":"submit","mode":"batch","unit":"pcs","seed":1}')
+    check.ok(e["type"] == "error" and e["code"] == "bad_request",
+             "missing field gets bad_request")
+    e = client.cancel("job-99999")
+    check.ok(e["type"] == "error" and e["code"] == "unknown_job",
+             "cancel of unknown job gets unknown_job")
+    check.ok(client.status()["type"] == "status",
+             "daemon alive after error barrage")
+
+
+def selftest_stdio(check, serve):
+    print("stdio transport:")
+    with Client.spawn(serve, workers=2, progress_interval=0.05) as client:
+        selftest_session(check, client)
+        bye = client.shutdown()
+        check.ok(bye["type"] == "bye", "shutdown answers bye")
+    # 4. Worker-count determinism through the service path: independent
+    #    daemons (cache off, so both actually simulate) must produce
+    #    byte-identical reports for the same request.
+    print("worker determinism:")
+    reports = []
+    for workers in (1, 4):
+        with Client.spawn(serve, workers=workers, cache=0) as client:
+            r = client.submit(**BATCH)
+            check.ok(r.terminal.get("cache") == "miss",
+                     f"cache disabled under --workers {workers}")
+            reports.append(r.report_bytes)
+            client.shutdown()
+    check.ok(reports[0] == reports[1],
+             "1-worker and 4-worker reports byte-identical")
+
+
+def selftest_socket(check, serve):
+    print("socket transport:")
+    tmp = tempfile.mkdtemp(prefix="csfma_serve.")
+    path = os.path.join(tmp, "sock")
+    proc = subprocess.Popen(
+        [serve, "--workers", "2", "--progress-interval", "0.05",
+         "--socket", path],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    try:
+        deadline = time.time() + 30
+        while not os.path.exists(path):
+            if time.time() > deadline or proc.poll() is not None:
+                check.ok(False, "socket daemon came up")
+                return
+            time.sleep(0.05)
+        with Client.connect(path) as client:
+            selftest_session(check, client)
+        # A fresh connection shares the daemon-wide cache: instant hit.
+        with Client.connect(path) as client:
+            r = client.submit(**BATCH)
+            check.ok(r.terminal.get("cache") == "hit",
+                     "cache shared across connections")
+            bye = client.shutdown()
+            check.ok(bye["type"] == "bye", "socket shutdown answers bye")
+        rc = proc.wait(timeout=60)
+        check.ok(rc == 0, f"daemon exit status 0 (got {rc})")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        if os.path.exists(path):
+            os.unlink(path)
+        os.rmdir(tmp)
+
+
+def cmd_selftest(args):
+    check = Check()
+    if args.transport in ("stdio", "both"):
+        selftest_stdio(check, args.serve)
+    if args.transport in ("socket", "both"):
+        selftest_socket(check, args.serve)
+    if check.failures:
+        print(f"\n{len(check.failures)} check(s) FAILED:", file=sys.stderr)
+        for f in check.failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nall service checks passed")
+    return 0
+
+
+def cmd_submit(args):
+    params = dict(mode=args.mode, unit=args.unit, seed=args.seed)
+    if args.mode == "chained":
+        params.update(chains=args.chains, depth=args.depth)
+    else:
+        params.update(ops=args.ops)
+    if args.rounding:
+        params["rounding"] = args.rounding
+    if args.threads:
+        params["threads"] = args.threads
+    if args.socket:
+        client = Client.connect(args.socket)
+    else:
+        client = Client.spawn(args.serve, workers=args.threads or 2)
+    with client:
+        r = client.submit(**params)
+        print(r.raw_terminal)
+        if not args.socket:
+            client.shutdown()
+    return 0 if r.terminal["type"] == "result" else 1
+
+
+def main(argv=None):
+    p = argparse.ArgumentParser(description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    st = sub.add_parser("selftest", help="end-to-end protocol conformance")
+    st.add_argument("--serve", required=True, help="path to csfma_serve")
+    st.add_argument("--transport", choices=("stdio", "socket", "both"),
+                    default="both")
+    st.set_defaults(fn=cmd_selftest)
+
+    sm = sub.add_parser("submit", help="run one job and print the result")
+    sm.add_argument("--serve", help="path to csfma_serve (spawn mode)")
+    sm.add_argument("--socket", help="connect to an existing daemon instead")
+    sm.add_argument("--mode", choices=("batch", "stream", "chained"),
+                    default="batch")
+    sm.add_argument("--unit", default="pcs")
+    sm.add_argument("--rounding", default=None)
+    sm.add_argument("--ops", type=int, default=100000)
+    sm.add_argument("--chains", type=int, default=1024)
+    sm.add_argument("--depth", type=int, default=18)
+    sm.add_argument("--seed", type=int, default=1)
+    sm.add_argument("--threads", type=int, default=0)
+    sm.set_defaults(fn=cmd_submit)
+
+    args = p.parse_args(argv)
+    if args.cmd == "submit" and not (args.serve or args.socket):
+        p.error("submit needs --serve or --socket")
+    try:
+        return args.fn(args)
+    except ProtocolError as e:
+        print(f"csfma_client: protocol violation: {e}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -130,6 +130,8 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
       log_events ? (std::size_t)num_shards : 0, EventLog(cfg_.event_capacity));
   std::vector<ShardStats> shard_stats((std::size_t)num_shards);
   std::atomic<std::uint64_t> next_shard{0};
+  std::atomic<std::uint64_t> done_shards{0}, done_ops{0};
+  const std::atomic<bool>* abort = cfg_.abort;
   std::mutex consume_mu;
 
   // Resolve telemetry handles once, outside the worker loop.  All of the
@@ -181,6 +183,9 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
     std::vector<OperandTriple> in_buf;
     std::vector<PFloat> out_buf;
     for (;;) {
+      // Cooperative cancellation: stop claiming shards once the abort flag
+      // is raised; the shard being simulated always runs to completion.
+      if (abort != nullptr && abort->load(std::memory_order_relaxed)) break;
       const std::uint64_t s = next_shard.fetch_add(1);
       if (s >= num_shards) break;
       const std::uint64_t start = s * shard_ops;
@@ -253,6 +258,8 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
         consume_scope.items(count);
         (*consume)(start, out, count);
       }
+      done_shards.fetch_add(1, std::memory_order_relaxed);
+      done_ops.fetch_add(count, std::memory_order_relaxed);
       gate.shard_done(count);
     }
   };
@@ -301,6 +308,8 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
   stats->ops = n;
   stats->seconds = wall;
   stats->ops_per_sec = safe_rate(n, wall);
+  stats->ops_done = done_ops.load(std::memory_order_relaxed);
+  stats->aborted = done_shards.load(std::memory_order_relaxed) < num_shards;
   stats->shards.assign(shard_stats.begin(), shard_stats.end());
 }
 
@@ -345,6 +354,8 @@ BatchResult SimEngine::run_chained(const ChainSource& src) const {
       log_events ? (std::size_t)num_shards : 0, EventLog(cfg_.event_capacity));
   std::vector<ShardStats> shard_stats((std::size_t)num_shards);
   std::atomic<std::uint64_t> next_shard{0};
+  std::atomic<std::uint64_t> done_shards{0}, done_ops{0};
+  const std::atomic<bool>* abort = cfg_.abort;
 
   Counter* m_ops = nullptr;
   Counter* m_shards = nullptr;
@@ -372,6 +383,7 @@ BatchResult SimEngine::run_chained(const ChainSource& src) const {
     std::vector<ChainedOp> chain_buf((std::size_t)opc);
     std::vector<FmaOperand> natives((std::size_t)opc);
     for (;;) {
+      if (abort != nullptr && abort->load(std::memory_order_relaxed)) break;
       const std::uint64_t s = next_shard.fetch_add(1);
       if (s >= num_shards) break;
       const std::uint64_t g0 = s * chains_per_shard;
@@ -432,6 +444,8 @@ BatchResult SimEngine::run_chained(const ChainSource& src) const {
         m_ops->add(st.ops);
         m_shards->add(1);
       }
+      done_shards.fetch_add(1, std::memory_order_relaxed);
+      done_ops.fetch_add(st.ops, std::memory_order_relaxed);
       gate.shard_done(st.ops);
     }
   };
@@ -464,6 +478,8 @@ BatchResult SimEngine::run_chained(const ChainSource& src) const {
   r.stats.ops = n;
   r.stats.seconds = wall;
   r.stats.ops_per_sec = safe_rate(n, wall);
+  r.stats.ops_done = done_ops.load(std::memory_order_relaxed);
+  r.stats.aborted = done_shards.load(std::memory_order_relaxed) < num_shards;
   r.stats.shards.assign(shard_stats.begin(), shard_stats.end());
   return r;
 }

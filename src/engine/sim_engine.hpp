@@ -20,6 +20,7 @@
 // shard seam are never counted, in any configuration.)
 #pragma once
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <functional>
@@ -169,6 +170,16 @@ struct EngineConfig {
   /// merged sequence — and its to_json() — is byte-identical for any
   /// thread count.
   std::size_t event_capacity = 0;
+  /// Cooperative cancellation flag (not owned; must outlive the run).
+  /// Checked at SHARD CLAIM boundaries only: a worker finishes the shard it
+  /// is simulating, then stops claiming new ones, so an aborted run still
+  /// joins cleanly and the flag costs one relaxed load per shard.  When the
+  /// flag stopped any shard from running, the run's stats report
+  /// `aborted = true` and the partial results/activity/events MUST be
+  /// discarded by the caller — the set of completed shards depends on
+  /// scheduling, so partial output is the one thing the engine cannot make
+  /// deterministic (src/service drops it; see docs/service.md).
+  const std::atomic<bool>* abort = nullptr;
 };
 
 struct ShardStats {
@@ -183,6 +194,12 @@ struct BatchStats {
   std::uint64_t ops = 0;
   double seconds = 0.0;  // wall clock over the whole run
   double ops_per_sec = 0.0;
+  /// True when EngineConfig::abort stopped at least one shard from being
+  /// simulated.  Results, activity and events are then PARTIAL and
+  /// scheduling-dependent; callers must not emit or cache them.
+  bool aborted = false;
+  /// Operations actually simulated (== ops unless aborted).
+  std::uint64_t ops_done = 0;
   std::vector<ShardStats> shards;  // in shard order
 };
 

@@ -1,0 +1,56 @@
+#include "service/cache.hpp"
+
+namespace csfma {
+
+ResultCache::ResultCache(std::size_t capacity, MetricsRegistry* metrics)
+    : capacity_(capacity) {
+  if (metrics != nullptr) {
+    // Timing stability: the hit/miss split depends on request arrival
+    // order (concurrent identical submits can both miss), so these are
+    // outside the Deterministic byte-identical-export contract.
+    hits_ = &metrics->counter("service.cache.hits", Stability::Timing);
+    misses_ = &metrics->counter("service.cache.misses", Stability::Timing);
+    evictions_ =
+        &metrics->counter("service.cache.evictions", Stability::Timing);
+    insertions_ =
+        &metrics->counter("service.cache.insertions", Stability::Timing);
+  }
+}
+
+std::optional<std::string> ResultCache::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    if (misses_ != nullptr) misses_->add();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote
+  if (hits_ != nullptr) hits_->add();
+  return it->second->second;
+}
+
+void ResultCache::put(const std::string& key, std::string payload) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(payload));
+  index_[key] = lru_.begin();
+  if (insertions_ != nullptr) insertions_->add();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    if (evictions_ != nullptr) evictions_->add();
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace csfma

@@ -1,0 +1,356 @@
+#include "service/json_value.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace csfma {
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::Bool;
+  j.b_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_int(std::int64_t v) {
+  JsonValue j;
+  j.kind_ = Kind::Int;
+  j.i_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_double(double v) {
+  JsonValue j;
+  j.kind_ = Kind::Double;
+  j.d_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue j;
+  j.kind_ = Kind::String;
+  j.s_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::make_array(Array v) {
+  JsonValue j;
+  j.kind_ = Kind::Array;
+  j.a_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::make_object(Object v) {
+  JsonValue j;
+  j.kind_ = Kind::Object;
+  j.o_ = std::move(v);
+  return j;
+}
+
+bool JsonValue::as_bool() const {
+  CSFMA_CHECK(kind_ == Kind::Bool);
+  return b_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  CSFMA_CHECK(kind_ == Kind::Int);
+  return i_;
+}
+
+double JsonValue::as_number() const {
+  CSFMA_CHECK(is_number());
+  return kind_ == Kind::Int ? (double)i_ : d_;
+}
+
+const std::string& JsonValue::as_string() const {
+  CSFMA_CHECK(kind_ == Kind::String);
+  return s_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  CSFMA_CHECK(kind_ == Kind::Array);
+  return a_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  CSFMA_CHECK(kind_ == Kind::Object);
+  return o_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  auto it = o_.find(key);
+  return it == o_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  Parser(std::string_view text, JsonParseError* err)
+      : text_(text), err_(err) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    JsonValue v;
+    if (!value(&v, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after value");
+    *out = std::move(v);
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    if (err_ != nullptr) {
+      err_->pos = pos_;
+      err_->message = msg;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("invalid literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        if (!literal("null")) return false;
+        *out = JsonValue();
+        return true;
+      case 't':
+        if (!literal("true")) return false;
+        *out = JsonValue::make_bool(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        *out = JsonValue::make_bool(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!string(&s)) return false;
+        *out = JsonValue::make_string(std::move(s));
+        return true;
+      }
+      case '[':
+        return array(out, depth);
+      case '{':
+        return object(out, depth);
+      default:
+        return number(out);
+    }
+  }
+
+  bool string(std::string* out) {
+    ++pos_;  // opening quote
+    std::string s;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        *out = std::move(s);
+        return true;
+      }
+      if ((unsigned char)c < 0x20)
+        return fail("unescaped control character in string");
+      if (c != '\\') {
+        s += c;
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= text_.size()) return fail("truncated escape");
+      char e = text_[pos_ + 1];
+      pos_ += 2;
+      switch (e) {
+        case '"': s += '"'; break;
+        case '\\': s += '\\'; break;
+        case '/': s += '/'; break;
+        case 'b': s += '\b'; break;
+        case 'f': s += '\f'; break;
+        case 'n': s += '\n'; break;
+        case 'r': s += '\r'; break;
+        case 't': s += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_ + (std::size_t)i];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= (unsigned)(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= (unsigned)(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= (unsigned)(h - 'A' + 10);
+            else return fail("bad \\u escape digit");
+          }
+          pos_ += 4;
+          if (cp >= 0xd800 && cp <= 0xdfff)
+            return fail("surrogate \\u escapes are not supported");
+          // Encode the code point as UTF-8.
+          if (cp < 0x80) {
+            s += (char)cp;
+          } else if (cp < 0x800) {
+            s += (char)(0xc0 | (cp >> 6));
+            s += (char)(0x80 | (cp & 0x3f));
+          } else {
+            s += (char)(0xe0 | (cp >> 12));
+            s += (char)(0x80 | ((cp >> 6) & 0x3f));
+            s += (char)(0x80 | (cp & 0x3f));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+      return fail("invalid number");
+    // Leading zeros: "0" is fine, "01" is not.
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9')
+      return fail("leading zero in number");
+    bool integral = true;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+      ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+        return fail("digit required after decimal point");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+        return fail("digit required in exponent");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    const std::string tok(text_.substr(start, pos_ - start));
+    errno = 0;
+    if (integral) {
+      char* end = nullptr;
+      long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (errno != ERANGE && end == tok.c_str() + tok.size()) {
+        *out = JsonValue::make_int((std::int64_t)v);
+        return true;
+      }
+      // Out of int64 range: fall through to double.
+      errno = 0;
+    }
+    char* end = nullptr;
+    double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return fail("invalid number");
+    if (errno == ERANGE && (d > 1.0 || d < -1.0))
+      return fail("number out of range");
+    *out = JsonValue::make_double(d);
+    return true;
+  }
+
+  bool array(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    JsonValue::Array items;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      *out = JsonValue::make_array(std::move(items));
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue v;
+      if (!value(&v, depth + 1)) return false;
+      items.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        *out = JsonValue::make_array(std::move(items));
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool object(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    JsonValue::Object members;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      *out = JsonValue::make_object(std::move(members));
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected string key in object");
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':')
+        return fail("expected ':' after object key");
+      ++pos_;
+      skip_ws();
+      JsonValue v;
+      if (!value(&v, depth + 1)) return false;
+      if (!members.emplace(std::move(key), std::move(v)).second)
+        return fail("duplicate object key");
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        *out = JsonValue::make_object(std::move(members));
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  JsonParseError* err_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool json_parse(std::string_view text, JsonValue* out, JsonParseError* err) {
+  return Parser(text, err).parse(out);
+}
+
+}  // namespace csfma

@@ -1,0 +1,84 @@
+// Minimal JSON parsing for the service protocol.
+//
+// The telemetry layer only ever EMITS JSON (telemetry/json.hpp); the
+// service layer must also ACCEPT it — one request per line on stdin or a
+// Unix socket (docs/service.md).  JsonValue is a small immutable document
+// tree with a recursive-descent parser: no dependencies, no surprises, and
+// object members are stored in a sorted map so two requests that differ
+// only in member order parse to the same tree (the cache-key
+// canonicalization in protocol.cpp leans on this).
+//
+// Deliberately minimal: UTF-8 passes through untouched (only \uXXXX basic
+// escapes are decoded, surrogate pairs are rejected), numbers are either
+// int64 (when written without '.', 'e' and in range) or double, and the
+// nesting depth is capped so a hostile request cannot overflow the stack.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csfma {
+
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+  using Array = std::vector<JsonValue>;
+  /// Sorted member map: canonical order regardless of the input's order.
+  /// Duplicate keys are a parse error (last-wins silently corrupts keys).
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : kind_(Kind::Null) {}
+  static JsonValue make_bool(bool v);
+  static JsonValue make_int(std::int64_t v);
+  static JsonValue make_double(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(Array v);
+  static JsonValue make_object(Object v);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  /// Int and Double are both numbers; is_int() means "written integral".
+  bool is_number() const {
+    return kind_ == Kind::Int || kind_ == Kind::Double;
+  }
+  bool is_int() const { return kind_ == Kind::Int; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  /// Unwrap; checked (CSFMA_CHECK) against the stored kind.
+  bool as_bool() const;
+  std::int64_t as_int() const;  // Int only
+  double as_number() const;     // Int or Double
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+
+ private:
+  Kind kind_;
+  bool b_ = false;
+  std::int64_t i_ = 0;
+  double d_ = 0.0;
+  std::string s_;
+  Array a_;
+  Object o_;
+};
+
+struct JsonParseError {
+  std::size_t pos = 0;  // byte offset into the input
+  std::string message;
+};
+
+/// Parse exactly one JSON document (trailing whitespace allowed, anything
+/// else after it is an error).  Returns false and fills `err` on malformed
+/// input; `out` is untouched on failure.
+bool json_parse(std::string_view text, JsonValue* out, JsonParseError* err);
+
+}  // namespace csfma

@@ -1,0 +1,441 @@
+#include "service/protocol.hpp"
+
+#include <cstdio>
+
+#include "service/json_value.hpp"
+#include "telemetry/json.hpp"
+
+namespace csfma {
+
+const char* to_string(SimMode m) {
+  switch (m) {
+    case SimMode::Batch: return "batch";
+    case SimMode::Stream: return "stream";
+    case SimMode::Chained: return "chained";
+  }
+  return "?";
+}
+
+bool parse_sim_mode(std::string_view s, SimMode* out) {
+  if (s == "batch") *out = SimMode::Batch;
+  else if (s == "stream") *out = SimMode::Stream;
+  else if (s == "chained") *out = SimMode::Chained;
+  else return false;
+  return true;
+}
+
+bool parse_unit_kind(std::string_view s, UnitKind* out) {
+  for (UnitKind k : kAllUnitKinds) {
+    if (s == to_string(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_round(std::string_view s, Round* out) {
+  for (Round r : {Round::NearestEven, Round::HalfAwayFromZero,
+                  Round::TowardZero, Round::TowardPositive,
+                  Round::TowardNegative}) {
+    if (s == to_string(r)) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* to_string(ServiceError code) {
+  switch (code) {
+    case ServiceError::ParseError: return "parse_error";
+    case ServiceError::BadRequest: return "bad_request";
+    case ServiceError::UnknownType: return "unknown_type";
+    case ServiceError::UnknownJob: return "unknown_job";
+    case ServiceError::ShuttingDown: return "shutting_down";
+    case ServiceError::Internal: return "internal";
+  }
+  return "?";
+}
+
+std::uint64_t SubmitRequest::total_ops() const {
+  if (mode == SimMode::Chained)
+    return chains * 2ull * (std::uint64_t)(depth - 2);
+  return ops;
+}
+
+std::string SubmitRequest::canonical_key() const {
+  // Fixed field order, defaults applied by construction, mode-specific
+  // fields only — two requests meaning the same simulation render the same
+  // string whatever their JSON spelling.  `threads` is intentionally
+  // absent (results are thread-count invariant).
+  std::string k;
+  k += "mode=";
+  k += to_string(mode);
+  k += "&unit=";
+  k += to_string(unit);
+  k += "&rm=";
+  k += to_string(rm);
+  k += "&seed=" + std::to_string(seed);
+  if (mode == SimMode::Chained) {
+    k += "&chains=" + std::to_string(chains);
+    k += "&depth=" + std::to_string(depth);
+  } else {
+    k += "&ops=" + std::to_string(ops);
+    k += "&emin=" + std::to_string(emin);
+    k += "&emax=" + std::to_string(emax);
+  }
+  k += "&shard_ops=" + std::to_string(shard_ops);
+  return k;
+}
+
+std::string SubmitRequest::cache_key() const {
+  // FNV-1a 64 over the canonical string.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : canonical_key()) {
+    h ^= (std::uint64_t)(unsigned char)c;
+    h *= 0x100000001b3ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", (unsigned long long)h);
+  return std::string(buf);
+}
+
+namespace {
+
+/// Field extraction helpers: each returns false and fills `msg` with a
+/// message naming the offending field, so every malformed request gets a
+/// actionable bad_request reply.
+bool want_string(const JsonValue& obj, const std::string& key, bool required,
+                 std::string* out, std::string* msg) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    if (required) {
+      *msg = "missing required field \"" + key + "\"";
+      return false;
+    }
+    return true;
+  }
+  if (!v->is_string()) {
+    *msg = "field \"" + key + "\" must be a string";
+    return false;
+  }
+  *out = v->as_string();
+  return true;
+}
+
+bool want_u64(const JsonValue& obj, const std::string& key, bool required,
+              std::uint64_t lo, std::uint64_t hi, std::uint64_t* out,
+              std::string* msg) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    if (required) {
+      *msg = "missing required field \"" + key + "\"";
+      return false;
+    }
+    return true;
+  }
+  if (!v->is_int() || v->as_int() < 0) {
+    *msg = "field \"" + key + "\" must be a non-negative integer";
+    return false;
+  }
+  const std::uint64_t n = (std::uint64_t)v->as_int();
+  if (n < lo || n > hi) {
+    *msg = "field \"" + key + "\" must be in [" + std::to_string(lo) + ", " +
+           std::to_string(hi) + "]";
+    return false;
+  }
+  *out = n;
+  return true;
+}
+
+bool want_int(const JsonValue& obj, const std::string& key, std::int64_t lo,
+              std::int64_t hi, int* out, std::string* msg) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_int()) {
+    *msg = "field \"" + key + "\" must be an integer";
+    return false;
+  }
+  const std::int64_t n = v->as_int();
+  if (n < lo || n > hi) {
+    *msg = "field \"" + key + "\" must be in [" + std::to_string(lo) + ", " +
+           std::to_string(hi) + "]";
+    return false;
+  }
+  *out = (int)n;
+  return true;
+}
+
+bool parse_submit(const JsonValue& obj, SubmitRequest* req,
+                  std::string* msg) {
+  std::string mode_s, unit_s, rm_s;
+  if (!want_string(obj, "mode", false, &mode_s, msg)) return false;
+  if (!mode_s.empty() && !parse_sim_mode(mode_s, &req->mode)) {
+    *msg = "field \"mode\" must be one of batch|stream|chained";
+    return false;
+  }
+  if (!want_string(obj, "unit", true, &unit_s, msg)) return false;
+  if (!parse_unit_kind(unit_s, &req->unit)) {
+    *msg = "field \"unit\" must be one of discrete|classic|pcs|fcs";
+    return false;
+  }
+  if (!want_string(obj, "rounding", false, &rm_s, msg)) return false;
+  if (!rm_s.empty() && !parse_round(rm_s, &req->rm)) {
+    *msg = "field \"rounding\" is not a known rounding mode";
+    return false;
+  }
+  if (!want_u64(obj, "seed", true, 0, ~0ull, &req->seed, msg)) return false;
+  if (req->mode == SimMode::Chained) {
+    if (!want_u64(obj, "chains", true, 1, 1u << 20, &req->chains, msg))
+      return false;
+    if (!want_int(obj, "depth", 3, 64, &req->depth, msg)) return false;
+    if (obj.find("ops") != nullptr) {
+      *msg = "chained jobs take \"chains\"/\"depth\", not \"ops\"";
+      return false;
+    }
+  } else {
+    if (!want_u64(obj, "ops", true, 1, 1ull << 32, &req->ops, msg))
+      return false;
+    if (!want_int(obj, "emin", -1000, 1000, &req->emin, msg)) return false;
+    if (!want_int(obj, "emax", -1000, 1000, &req->emax, msg)) return false;
+    if (req->emin > req->emax) {
+      *msg = "field \"emin\" must not exceed \"emax\"";
+      return false;
+    }
+    if (obj.find("chains") != nullptr || obj.find("depth") != nullptr) {
+      *msg = "\"chains\"/\"depth\" are only valid with mode \"chained\"";
+      return false;
+    }
+  }
+  if (!want_u64(obj, "shard_ops", false, 1, 1u << 20, &req->shard_ops, msg))
+    return false;
+  if (!want_int(obj, "threads", 0, 64, &req->threads, msg)) return false;
+  return true;
+}
+
+}  // namespace
+
+ParseOutcome parse_request_line(const std::string& line) {
+  ParseOutcome out;
+  JsonValue doc;
+  JsonParseError perr;
+  if (!json_parse(line, &doc, &perr)) {
+    out.code = ServiceError::ParseError;
+    out.message = "byte " + std::to_string(perr.pos) + ": " + perr.message;
+    return out;
+  }
+  if (!doc.is_object()) {
+    out.code = ServiceError::ParseError;
+    out.message = "request must be a JSON object";
+    return out;
+  }
+  // Echo the correlation id even in error replies, when it parses.
+  if (const JsonValue* id = doc.find("id"); id != nullptr && id->is_string())
+    out.id = id->as_string();
+
+  std::string type, msg;
+  if (!want_string(doc, "type", true, &type, &msg)) {
+    out.code = ServiceError::BadRequest;
+    out.message = msg;
+    return out;
+  }
+
+  out.request.id = out.id;
+  if (type == "submit") {
+    SubmitRequest req;
+    if (!parse_submit(doc, &req, &msg)) {
+      out.code = ServiceError::BadRequest;
+      out.message = msg;
+      return out;
+    }
+    out.request.op = req;
+  } else if (type == "status") {
+    StatusRequest req;
+    if (!want_string(doc, "job", false, &req.job, &msg)) {
+      out.code = ServiceError::BadRequest;
+      out.message = msg;
+      return out;
+    }
+    out.request.op = req;
+  } else if (type == "cancel") {
+    CancelRequest req;
+    if (!want_string(doc, "job", true, &req.job, &msg)) {
+      out.code = ServiceError::BadRequest;
+      out.message = msg;
+      return out;
+    }
+    out.request.op = req;
+  } else if (type == "shutdown") {
+    out.request.op = ShutdownRequest{};
+  } else {
+    out.code = ServiceError::UnknownType;
+    out.message = "unknown request type \"" + type + "\"";
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+namespace {
+
+void put_id(JsonWriter& w, const std::string& id) {
+  if (id.empty()) return;
+  w.key("id");
+  w.value(id);
+}
+
+}  // namespace
+
+std::string error_reply(const std::string& id, ServiceError code,
+                        const std::string& message) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type");
+  w.value("error");
+  put_id(w, id);
+  w.key("code");
+  w.value(to_string(code));
+  w.key("message");
+  w.value(message);
+  w.end_object();
+  return w.str();
+}
+
+std::string accepted_reply(const std::string& id, const std::string& job,
+                           const std::string& cache_key) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type");
+  w.value("accepted");
+  put_id(w, id);
+  w.key("job");
+  w.value(job);
+  w.key("cache_key");
+  w.value(cache_key);
+  w.end_object();
+  return w.str();
+}
+
+std::string progress_event_line(const ProgressEvent& ev) {
+  const EngineProgress& p = ev.progress;
+  JsonWriter w;
+  w.begin_object();
+  w.key("type");
+  w.value("progress");
+  w.key("job");
+  w.value(ev.job);
+  w.key("ops_done");
+  w.value(p.ops_done);
+  w.key("ops_total");
+  w.value(p.ops_total);
+  w.key("shards_done");
+  w.value(p.shards_done);
+  w.key("shards_total");
+  w.value(p.shards_total);
+  w.key("seconds");
+  w.value(p.seconds);
+  w.key("ops_per_sec");
+  w.value(p.ops_per_sec);
+  w.key("eta_seconds");
+  w.value(p.eta_seconds);
+  w.end_object();
+  return w.str();
+}
+
+std::string result_reply(const std::string& id, const std::string& job,
+                         bool cache_hit, double elapsed_s,
+                         const std::string& report_json) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type");
+  w.value("result");
+  put_id(w, id);
+  w.key("job");
+  w.value(job);
+  w.key("cache");
+  w.value(cache_hit ? "hit" : "miss");
+  w.key("elapsed_s");
+  w.value(elapsed_s);
+  w.key("report");
+  w.raw(report_json);
+  w.end_object();
+  return w.str();
+}
+
+std::string cancel_ok_reply(const std::string& id, const std::string& job,
+                            const std::string& state) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type");
+  w.value("cancel_ok");
+  put_id(w, id);
+  w.key("job");
+  w.value(job);
+  w.key("state");
+  w.value(state);
+  w.end_object();
+  return w.str();
+}
+
+std::string cancelled_reply(const std::string& id, const std::string& job,
+                            std::uint64_t ops_done) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type");
+  w.value("cancelled");
+  put_id(w, id);
+  w.key("job");
+  w.value(job);
+  w.key("ops_done");
+  w.value(ops_done);
+  w.end_object();
+  return w.str();
+}
+
+std::string status_reply(const std::string& id,
+                         const std::vector<JobStatus>& jobs) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type");
+  w.value("status");
+  put_id(w, id);
+  w.key("jobs");
+  w.begin_array();
+  for (const JobStatus& j : jobs) {
+    w.begin_object();
+    w.key("job");
+    w.value(j.job);
+    w.key("state");
+    w.value(j.state);
+    w.key("ops_done");
+    w.value(j.ops_done);
+    w.key("ops_total");
+    w.value(j.ops_total);
+    w.key("cache_key");
+    w.value(j.cache_key);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string bye_reply(const std::string& id, std::uint64_t completed,
+                      std::uint64_t cancelled, std::uint64_t failed) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("type");
+  w.value("bye");
+  put_id(w, id);
+  w.key("jobs_completed");
+  w.value(completed);
+  w.key("jobs_cancelled");
+  w.value(cancelled);
+  w.key("jobs_failed");
+  w.value(failed);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace csfma

@@ -1,0 +1,157 @@
+// JSON-lines service protocol: typed requests, replies and error codes.
+//
+// csfma_serve speaks newline-delimited JSON on stdin/stdout or a Unix
+// socket: one request object per line in, one reply/event object per line
+// out (docs/service.md documents every schema).  This header is the typed
+// boundary between the wire format and the scheduler: parse_request_line()
+// turns a line into a validated Request (or a typed error a session can
+// answer with instead of crashing), and the *_reply() renderers produce
+// byte-stable reply lines through telemetry/json.hpp's deterministic rules.
+//
+// Cache-key canonicalization: SubmitRequest::cache_key() hashes only the
+// RESULT-DETERMINING fields (mode, unit, rounding, seed, stream geometry,
+// shard size — results and activity are functions of these alone).  The
+// worker thread count is deliberately excluded: the engine's determinism
+// contract makes results byte-identical for any thread count, so a 4-thread
+// resubmit of a 1-thread job is a legitimate cache hit.  Requests that
+// differ only in JSON member order, whitespace, or explicitly-spelled
+// defaults produce the same key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "engine/sim_engine.hpp"
+#include "fma/fma_unit.hpp"
+#include "fp/rounding.hpp"
+
+namespace csfma {
+
+/// Simulation flavours a job can run (the three SimEngine drivers).
+enum class SimMode {
+  Batch,    // run_batch over seeded random triples
+  Stream,   // run_stream (memory-bounded; results reduced to a checksum)
+  Chained,  // run_chained over the Sec. IV-B recurrence workload
+};
+
+const char* to_string(SimMode m);
+bool parse_sim_mode(std::string_view s, SimMode* out);
+bool parse_unit_kind(std::string_view s, UnitKind* out);
+bool parse_round(std::string_view s, Round* out);
+
+/// Typed error codes for error replies (docs/service.md#errors).
+enum class ServiceError {
+  ParseError,    // the line is not a JSON object
+  BadRequest,    // missing / ill-typed / out-of-range field
+  UnknownType,   // "type" is not submit|status|cancel|shutdown
+  UnknownJob,    // status/cancel named a job id the service never issued
+  ShuttingDown,  // submit received after shutdown
+  Internal,      // a job failed with an internal error (bug, not bad input)
+};
+
+const char* to_string(ServiceError code);
+
+struct SubmitRequest {
+  SimMode mode = SimMode::Batch;
+  UnitKind unit = UnitKind::Pcs;
+  Round rm = Round::NearestEven;
+  std::uint64_t seed = 1;
+  std::uint64_t ops = 0;     // batch/stream: operation count
+  std::uint64_t chains = 0;  // chained: independent recurrence chains
+  int depth = 18;            // chained: recurrence depth (>= 3)
+  std::uint64_t shard_ops = 8192;
+  int threads = 1;     // engine worker threads; 0 = hardware concurrency
+  int emin = -8;       // batch/stream operand exponent range
+  int emax = 8;
+
+  /// Total operations the job will simulate (progress denominator).
+  std::uint64_t total_ops() const;
+
+  /// The canonical result-determining field string (mode-specific fields
+  /// only, fixed order, defaults applied) — the memoization identity.
+  std::string canonical_key() const;
+  /// FNV-1a 64-bit hash of canonical_key(), as 16 lowercase hex digits.
+  std::string cache_key() const;
+};
+
+struct StatusRequest {
+  std::string job;  // "" = report every job
+};
+
+struct CancelRequest {
+  std::string job;
+};
+
+struct ShutdownRequest {};
+
+struct Request {
+  std::string id;  // client correlation id, echoed verbatim in replies
+  std::variant<SubmitRequest, StatusRequest, CancelRequest, ShutdownRequest>
+      op;
+};
+
+/// Outcome of parsing one request line: either a Request or a typed error
+/// (with the client id echoed when it could still be recovered).
+struct ParseOutcome {
+  bool ok = false;
+  Request request;           // valid iff ok
+  ServiceError code = ServiceError::ParseError;  // valid iff !ok
+  std::string message;       // valid iff !ok
+  std::string id;            // best-effort echo for error replies
+};
+
+ParseOutcome parse_request_line(const std::string& line);
+
+// ---- reply / event rendering (one JSON line each, no trailing \n) ----
+
+std::string error_reply(const std::string& id, ServiceError code,
+                        const std::string& message);
+
+std::string accepted_reply(const std::string& id, const std::string& job,
+                           const std::string& cache_key);
+
+/// Structured progress event: EngineConfig::progress lifted onto the wire
+/// with the owning job attached (the machine-readable successor of the
+/// benches' stderr heartbeat).
+struct ProgressEvent {
+  std::string job;
+  EngineProgress progress;
+};
+
+std::string progress_event_line(const ProgressEvent& ev);
+
+/// Terminal success reply.  `report_json` is a pre-rendered csfma-report-v1
+/// document spliced in verbatim — a cache hit therefore repeats the ORIGINAL
+/// bytes, which is what makes "byte-identical repeat" testable.
+std::string result_reply(const std::string& id, const std::string& job,
+                         bool cache_hit, double elapsed_s,
+                         const std::string& report_json);
+
+/// Immediate acknowledgement of a cancel request (the job itself terminates
+/// with a separate cancelled_reply once its workers stop).
+std::string cancel_ok_reply(const std::string& id, const std::string& job,
+                            const std::string& state);
+
+/// Terminal reply of a cancelled job: ops_done is observational; partial
+/// results are never emitted (BatchStats::aborted contract).
+std::string cancelled_reply(const std::string& id, const std::string& job,
+                            std::uint64_t ops_done);
+
+struct JobStatus {
+  std::string job;
+  std::string state;  // queued | running | done | cancelled | failed
+  std::uint64_t ops_done = 0;
+  std::uint64_t ops_total = 0;
+  std::string cache_key;
+};
+
+std::string status_reply(const std::string& id,
+                         const std::vector<JobStatus>& jobs);
+
+std::string bye_reply(const std::string& id, std::uint64_t completed,
+                      std::uint64_t cancelled, std::uint64_t failed);
+
+}  // namespace csfma

@@ -1,0 +1,411 @@
+#include "service/session.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "common/check.hpp"
+#include "energy/workload.hpp"
+#include "telemetry/report.hpp"
+
+namespace csfma {
+
+namespace {
+
+/// Order-independent result digest: per-operation splitmix of (index,
+/// result bits), combined by modular addition so streaming shards can be
+/// folded in completion order and still match a sequential batch.
+std::uint64_t mix_result(std::uint64_t index, std::uint64_t bits) {
+  std::uint64_t x = index * 0x9e3779b97f4a7c15ULL ^ bits;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t checksum_range(std::uint64_t start, const PFloat* results,
+                             std::size_t n) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    sum += mix_result(start + i, results[i].to_bits().lo64());
+  return sum;
+}
+
+}  // namespace
+
+const char* ServiceSession::state_name(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Cancelled: return "cancelled";
+    case JobState::Failed: return "failed";
+  }
+  return "?";
+}
+
+ServiceSession::ServiceSession(ServiceConfig cfg, WriteFn write)
+    : cfg_(cfg), write_(std::move(write)) {
+  CSFMA_CHECK(write_ != nullptr);
+  if (cfg_.workers < 1) cfg_.workers = 1;
+  if (cfg_.cache == nullptr) {
+    owned_cache_ =
+        std::make_unique<ResultCache>(cfg_.cache_entries, cfg_.metrics);
+    cache_ = owned_cache_.get();
+  } else {
+    cache_ = cfg_.cache;
+  }
+  if (cfg_.metrics != nullptr) {
+    // Timing stability: request/job counts track the arrival order of the
+    // request stream, not the simulation seed, so they are exempt from the
+    // byte-identical-export contract Deterministic metrics carry.
+    m_requests =
+        &cfg_.metrics->counter("service.requests", Stability::Timing);
+    m_errors = &cfg_.metrics->counter("service.errors", Stability::Timing);
+    m_submitted =
+        &cfg_.metrics->counter("service.jobs.submitted", Stability::Timing);
+    m_completed =
+        &cfg_.metrics->counter("service.jobs.completed", Stability::Timing);
+    m_cancelled =
+        &cfg_.metrics->counter("service.jobs.cancelled", Stability::Timing);
+    m_failed = &cfg_.metrics->counter("service.jobs.failed", Stability::Timing);
+  }
+  pool_.reserve((std::size_t)cfg_.workers);
+  for (int w = 0; w < cfg_.workers; ++w)
+    pool_.emplace_back([this] { worker_loop(); });
+}
+
+ServiceSession::~ServiceSession() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& t : pool_) t.join();
+}
+
+void ServiceSession::emit(const std::string& line) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  write_(line);
+}
+
+void ServiceSession::handle_line(const std::string& line) {
+  if (m_requests != nullptr) m_requests->add();
+  ParseOutcome out = parse_request_line(line);
+  if (!out.ok) {
+    if (m_errors != nullptr) m_errors->add();
+    emit(error_reply(out.id, out.code, out.message));
+    return;
+  }
+  const std::string& id = out.request.id;
+  if (const auto* req = std::get_if<SubmitRequest>(&out.request.op)) {
+    on_submit(id, *req);
+  } else if (const auto* st = std::get_if<StatusRequest>(&out.request.op)) {
+    on_status(id, *st);
+  } else if (const auto* cn = std::get_if<CancelRequest>(&out.request.op)) {
+    on_cancel(id, *cn);
+  } else {
+    on_shutdown(id);
+  }
+}
+
+void ServiceSession::on_submit(const std::string& id,
+                               const SubmitRequest& req) {
+  Job* job = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      if (m_errors != nullptr) m_errors->add();
+      emit(error_reply(id, ServiceError::ShuttingDown,
+                       "service is shutting down"));
+      return;
+    }
+    auto j = std::make_unique<Job>();
+    j->id = "job-" + std::to_string(next_job_++);
+    j->request_id = id;
+    j->req = req;
+    j->cache_key = req.cache_key();
+    j->ops_total = req.total_ops();
+    job = j.get();
+    by_id_[j->id] = job;
+    jobs_.push_back(std::move(j));
+  }
+  if (m_submitted != nullptr) m_submitted->add();
+  emit(accepted_reply(id, job->id, job->cache_key));
+
+  // Memoized result: replay the original payload bytes, skip the pool.
+  if (auto hit = cache_->get(job->cache_key)) {
+    job->ops_done.store(job->ops_total, std::memory_order_relaxed);
+    job->state.store(JobState::Done, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++completed_;
+    }
+    if (m_completed != nullptr) m_completed->add();
+    emit(result_reply(id, job->id, /*cache_hit=*/true, 0.0, *hit));
+    idle_cv_.notify_all();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(job);
+  }
+  queue_cv_.notify_one();
+}
+
+void ServiceSession::on_status(const std::string& id,
+                               const StatusRequest& req) {
+  std::vector<JobStatus> statuses;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!req.job.empty() && by_id_.find(req.job) == by_id_.end()) {
+      if (m_errors != nullptr) m_errors->add();
+      emit(error_reply(id, ServiceError::UnknownJob,
+                       "no such job \"" + req.job + "\""));
+      return;
+    }
+    for (const auto& j : jobs_) {
+      if (!req.job.empty() && j->id != req.job) continue;
+      JobStatus s;
+      s.job = j->id;
+      s.state = state_name(j->state.load(std::memory_order_relaxed));
+      s.ops_done = j->ops_done.load(std::memory_order_relaxed);
+      s.ops_total = j->ops_total;
+      s.cache_key = j->cache_key;
+      statuses.push_back(std::move(s));
+    }
+  }
+  emit(status_reply(id, statuses));
+}
+
+void ServiceSession::on_cancel(const std::string& id,
+                               const CancelRequest& req) {
+  Job* job = nullptr;
+  JobState seen;
+  bool newly_cancelled = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_id_.find(req.job);
+    if (it == by_id_.end()) {
+      if (m_errors != nullptr) m_errors->add();
+      emit(error_reply(id, ServiceError::UnknownJob,
+                       "no such job \"" + req.job + "\""));
+      return;
+    }
+    job = it->second;
+    seen = job->state.load(std::memory_order_relaxed);
+    job->abort.store(true, std::memory_order_relaxed);
+    if (seen == JobState::Queued) {
+      // Never started: cancel right here; the pool skips it on pop.
+      job->state.store(JobState::Cancelled, std::memory_order_relaxed);
+      ++cancelled_;
+      newly_cancelled = true;
+    }
+    // Running jobs stop at the next shard boundary; run_job() emits the
+    // cancelled reply.  (A cancel that lands after the last shard is too
+    // late by definition — the job completes normally.)
+  }
+  emit(cancel_ok_reply(id, job->id, state_name(seen)));
+  if (newly_cancelled) {
+    if (m_cancelled != nullptr) m_cancelled->add();
+    emit(cancelled_reply(job->request_id, job->id, 0));
+    idle_cv_.notify_all();
+  }
+}
+
+void ServiceSession::on_shutdown(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  shutdown_id_ = id;
+}
+
+bool ServiceSession::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+void ServiceSession::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ServiceSession::finish() {
+  wait_idle();
+  std::uint64_t completed, cancelled, failed;
+  std::string id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (bye_sent_) return;
+    bye_sent_ = true;
+    completed = completed_;
+    cancelled = cancelled_;
+    failed = failed_;
+    id = shutdown_id_;
+  }
+  emit(bye_reply(id, completed, cancelled, failed));
+}
+
+std::uint64_t ServiceSession::jobs_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+std::uint64_t ServiceSession::jobs_cancelled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancelled_;
+}
+
+void ServiceSession::worker_loop() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      job = queue_.front();
+      queue_.pop_front();
+      if (job->state.load(std::memory_order_relaxed) ==
+          JobState::Cancelled) {
+        // Cancelled while queued; on_cancel() already replied.
+        if (queue_.empty()) idle_cv_.notify_all();
+        continue;
+      }
+      job->state.store(JobState::Running, std::memory_order_relaxed);
+      ++active_;
+    }
+    run_job(*job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void ServiceSession::run_job(Job& job) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  std::string payload;
+  std::uint64_t ops_done = 0;
+  bool completed = false;
+  try {
+    completed = simulate(job, &payload, &ops_done);
+  } catch (const std::exception& e) {
+    job.state.store(JobState::Failed, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++failed_;
+    }
+    if (m_failed != nullptr) m_failed->add();
+    emit(error_reply(job.request_id, ServiceError::Internal,
+                     std::string("job ") + job.id + " failed: " + e.what()));
+    return;
+  }
+  if (!completed) {
+    job.state.store(JobState::Cancelled, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++cancelled_;
+    }
+    if (m_cancelled != nullptr) m_cancelled->add();
+    emit(cancelled_reply(job.request_id, job.id, ops_done));
+    return;
+  }
+  cache_->put(job.cache_key, payload);
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  job.ops_done.store(job.ops_total, std::memory_order_relaxed);
+  job.state.store(JobState::Done, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++completed_;
+  }
+  if (m_completed != nullptr) m_completed->add();
+  emit(result_reply(job.request_id, job.id, /*cache_hit=*/false, elapsed,
+                    payload));
+}
+
+bool ServiceSession::simulate(Job& job, std::string* payload,
+                              std::uint64_t* ops_done) {
+  const SubmitRequest& req = job.req;
+  EngineConfig ecfg;
+  ecfg.unit = req.unit;
+  ecfg.threads = req.threads;
+  ecfg.rm = req.rm;
+  ecfg.shard_ops = req.shard_ops;
+  ecfg.abort = &job.abort;
+  ecfg.progress_interval_s = cfg_.progress_interval_s;
+  ecfg.progress = [this, &job](const EngineProgress& p) {
+    job.ops_done.store(p.ops_done, std::memory_order_relaxed);
+    emit(progress_event_line({job.id, p}));
+  };
+  SimEngine engine(ecfg);
+
+  std::uint64_t checksum = 0;
+  BatchStats stats;
+  ActivityRecorder activity;
+  switch (req.mode) {
+    case SimMode::Batch: {
+      RandomTripleSource src(req.seed, req.ops, req.emin, req.emax);
+      BatchResult r = engine.run_batch(src);
+      stats = std::move(r.stats);
+      activity = std::move(r.activity);
+      if (!stats.aborted)
+        checksum = checksum_range(0, r.results.data(), r.results.size());
+      break;
+    }
+    case SimMode::Stream: {
+      RandomTripleSource src(req.seed, req.ops, req.emin, req.emax);
+      StreamResult r = engine.run_stream(
+          src, [&checksum](std::uint64_t start, const PFloat* results,
+                           std::size_t n) {
+            // Serialized by the engine's consume lock; the digest is
+            // order-independent, so completion order does not matter.
+            checksum += checksum_range(start, results, n);
+          });
+      stats = std::move(r.stats);
+      activity = std::move(r.activity);
+      break;
+    }
+    case SimMode::Chained: {
+      RecurrenceChainSource src(
+          recurrence_inputs(req.seed, (int)req.chains), req.depth);
+      BatchResult r = engine.run_chained(src);
+      stats = std::move(r.stats);
+      activity = std::move(r.activity);
+      if (!stats.aborted)
+        checksum = checksum_range(0, r.results.data(), r.results.size());
+      break;
+    }
+  }
+  *ops_done = stats.ops_done;
+  if (stats.aborted) return false;
+
+  // The deterministic result payload: everything here is a function of the
+  // canonical key alone (no wall clock, no thread count), so a rerun at any
+  // worker count reproduces these bytes exactly.
+  Report rep("csfma_serve");
+  rep.meta("mode", to_string(req.mode));
+  rep.meta("unit", to_string(req.unit));
+  rep.meta("rounding", to_string(req.rm));
+  rep.meta("seed", req.seed);
+  rep.meta("shard_ops", req.shard_ops);
+  if (req.mode == SimMode::Chained) {
+    rep.meta("chains", req.chains);
+    rep.meta("depth", req.depth);
+  } else {
+    rep.meta("ops_requested", req.ops);
+    rep.meta("emin", req.emin);
+    rep.meta("emax", req.emax);
+  }
+  rep.meta("cache_key", job.cache_key);
+  rep.metric("ops", stats.ops);
+  rep.metric("result_checksum", checksum);
+  rep.metric("activity.total_toggles", activity.total_toggles());
+  rep.section("activity", activity.to_json());
+  *payload = rep.to_json();
+  return true;
+}
+
+}  // namespace csfma

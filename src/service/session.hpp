@@ -1,0 +1,143 @@
+// The simulation service: a JSON-lines session multiplexing submitted jobs
+// onto a bounded SimEngine worker pool.
+//
+// One ServiceSession owns one request/reply stream (stdin/stdout, one Unix
+// socket connection, or a test harness): handle_line() parses a request,
+// answers malformed input with typed error replies, and runs accepted
+// submissions on `workers` pool threads — each job is a SimEngine run whose
+// structured progress events (protocol.hpp ProgressEvent) stream back
+// interleaved with other replies.  Completed results are rendered once as a
+// csfma-report-v1 document, memoized in the ResultCache under the request's
+// canonical key, and replayed byte-identically on repeat submissions.
+// Cancellation sets the job's abort flag (checked by the engine at shard
+// claim boundaries); a cancelled job terminates with a `cancelled` reply
+// and never emits or caches partial results.
+//
+// Determinism: the report payload contains only Deterministic data (no
+// wall clock, no thread count), so two sessions running the same request
+// with different worker/thread counts produce byte-identical payloads —
+// the service-path extension of the engine's determinism contract, gated
+// in CI (docs/service.md).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace csfma {
+
+struct ServiceConfig {
+  /// Pool threads running jobs (concurrent jobs); each job may itself use
+  /// SubmitRequest::threads engine workers.
+  int workers = 2;
+  /// Result-cache capacity in entries; 0 disables memoization.  Ignored
+  /// when a shared `cache` is supplied.
+  std::size_t cache_entries = 64;
+  /// Progress heartbeat interval handed to EngineConfig::progress_interval_s.
+  double progress_interval_s = 0.5;
+  /// Optional shared sinks (not owned; must outlive the session).  The
+  /// session counts service.requests / service.errors /
+  /// service.jobs.{submitted,completed,cancelled,failed} and the cache's
+  /// service.cache.* when a registry is attached.
+  MetricsRegistry* metrics = nullptr;
+  ResultCache* cache = nullptr;  // null = the session owns a private cache
+};
+
+class ServiceSession {
+ public:
+  /// `write` receives one rendered reply/event line (no trailing newline),
+  /// serialized — never invoked concurrently.
+  using WriteFn = std::function<void(const std::string&)>;
+
+  ServiceSession(ServiceConfig cfg, WriteFn write);
+  ~ServiceSession();
+  ServiceSession(const ServiceSession&) = delete;
+  ServiceSession& operator=(const ServiceSession&) = delete;
+
+  /// Handle one request line (sans newline).  Every line gets at least one
+  /// reply; malformed lines get typed error replies, never an exception.
+  void handle_line(const std::string& line);
+
+  /// Block until no job is queued or running.
+  void wait_idle();
+
+  /// True once a shutdown request was handled; the read loop should stop
+  /// feeding lines and call finish().
+  bool shutdown_requested() const;
+
+  /// Drain (wait_idle) and emit the final bye reply exactly once.
+  void finish();
+
+  std::uint64_t jobs_completed() const;
+  std::uint64_t jobs_cancelled() const;
+
+ private:
+  enum class JobState { Queued, Running, Done, Cancelled, Failed };
+  static const char* state_name(JobState s);
+
+  struct Job {
+    std::string id;          // service-assigned "job-N"
+    std::string request_id;  // client correlation id of the submit
+    std::string cache_key;
+    SubmitRequest req;
+    std::uint64_t ops_total = 0;
+    std::atomic<JobState> state{JobState::Queued};
+    std::atomic<bool> abort{false};
+    std::atomic<std::uint64_t> ops_done{0};
+  };
+
+  void emit(const std::string& line);
+  void worker_loop();
+  void run_job(Job& job);
+  /// Simulate and render the job's deterministic result payload; returns
+  /// false (without a payload) when the run was aborted.
+  bool simulate(Job& job, std::string* payload, std::uint64_t* ops_done);
+
+  void on_submit(const std::string& id, const SubmitRequest& req);
+  void on_status(const std::string& id, const StatusRequest& req);
+  void on_cancel(const std::string& id, const CancelRequest& req);
+  void on_shutdown(const std::string& id);
+
+  ServiceConfig cfg_;
+  WriteFn write_;
+  std::unique_ptr<ResultCache> owned_cache_;
+  ResultCache* cache_;
+
+  Counter* m_requests = nullptr;
+  Counter* m_errors = nullptr;
+  Counter* m_submitted = nullptr;
+  Counter* m_completed = nullptr;
+  Counter* m_cancelled = nullptr;
+  Counter* m_failed = nullptr;
+
+  mutable std::mutex mu_;  // jobs_, queue_, flags, terminal counters
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::vector<std::unique_ptr<Job>> jobs_;  // insertion order, never removed
+  std::unordered_map<std::string, Job*> by_id_;
+  std::deque<Job*> queue_;
+  int active_ = 0;
+  bool stop_ = false;
+  bool shutdown_ = false;
+  bool bye_sent_ = false;
+  std::string shutdown_id_;
+  std::uint64_t next_job_ = 1;
+  std::uint64_t completed_ = 0, cancelled_ = 0, failed_ = 0;
+
+  std::mutex write_mu_;
+  std::vector<std::thread> pool_;
+};
+
+}  // namespace csfma

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -311,6 +312,72 @@ TEST(SimEngine, MeasureChainedIsThreadCountInvariant) {
   EXPECT_EQ(one.by_component, four.by_component);
   EXPECT_EQ(one.stage_toggles, four.stage_toggles);
   EXPECT_GT(one.toggles_per_op, 0.0);
+}
+
+// Cooperative cancellation: EngineConfig::abort is polled at shard CLAIM
+// boundaries only, so an aborted run stops on an exact shard boundary,
+// reports a truthful ops_done, and the shards it did finish are bit-exact.
+TEST(SimEngine, AbortPreSetClaimsNoShards) {
+  RandomTripleSource src(21, 4000);
+  std::atomic<bool> stop{true};
+  EngineConfig cfg = config(UnitKind::Pcs, 3, 256);
+  cfg.abort = &stop;
+  SimEngine engine(cfg);
+  BatchResult r = engine.run_batch(src);
+  EXPECT_TRUE(r.stats.aborted);
+  EXPECT_EQ(r.stats.ops_done, 0u);
+  EXPECT_EQ(r.stats.ops, 4000u);  // requested size still reported
+}
+
+TEST(SimEngine, AbortUnsetRunsToCompletion) {
+  RandomTripleSource src(23, 1000);
+  std::atomic<bool> stop{false};
+  EngineConfig cfg = config(UnitKind::Fcs, 2, 300);
+  cfg.abort = &stop;
+  SimEngine engine(cfg);
+  BatchResult r = engine.run_batch(src);
+  EXPECT_FALSE(r.stats.aborted);
+  EXPECT_EQ(r.stats.ops_done, 1000u);
+}
+
+TEST(SimEngine, AbortMidRunStopsOnShardBoundary) {
+  RandomTripleSource src(22, 4000);
+  std::atomic<bool> stop{false};
+  EngineConfig cfg = config(UnitKind::Pcs, 1, 250);
+  cfg.abort = &stop;
+  cfg.progress_interval_s = 0.0;  // a beat after every shard
+  cfg.progress = [&](const EngineProgress& p) {
+    if (p.ops_done >= 500) stop.store(true);
+  };
+  SimEngine engine(cfg);
+  BatchResult aborted = engine.run_batch(src);
+  EXPECT_TRUE(aborted.stats.aborted);
+  // One worker, abort raised after the second beat: exactly two shards ran.
+  EXPECT_EQ(aborted.stats.ops_done, 500u);
+
+  // The in-flight shard runs to completion, so the prefix that WAS
+  // simulated matches a full run bit for bit.
+  SimEngine full(config(UnitKind::Pcs, 1, 250));
+  BatchResult want = full.run_batch(src);
+  EXPECT_FALSE(want.stats.aborted);
+  for (std::uint64_t i = 0; i < aborted.stats.ops_done; ++i)
+    ASSERT_TRUE(PFloat::same_value(aborted.results[i], want.results[i])) << i;
+}
+
+TEST(SimEngine, AbortChainedStopsOnChainBoundary) {
+  RecurrenceChainSource src(recurrence_inputs(9, 12), 20);
+  std::atomic<bool> stop{false};
+  EngineConfig cfg = config(UnitKind::Fcs, 1, src.ops_per_chain());
+  cfg.abort = &stop;
+  cfg.progress_interval_s = 0.0;
+  cfg.progress = [&](const EngineProgress& p) {
+    if (p.shards_done >= 3) stop.store(true);
+  };
+  SimEngine engine(cfg);
+  BatchResult r = engine.run_chained(src);
+  EXPECT_TRUE(r.stats.aborted);
+  EXPECT_EQ(r.stats.ops_done, 3 * src.ops_per_chain());
+  EXPECT_EQ(r.stats.ops_done % src.ops_per_chain(), 0u);
 }
 
 TEST(SimEngine, MeasureStreamIsThreadCountInvariant) {

@@ -107,17 +107,25 @@ class BenchCompareTest(unittest.TestCase):
         self.assertIn("improved", r.stdout)
 
     def test_missing_phase_is_structural_failure(self):
+        # Structural mismatches exit 3, distinct from perf regressions (1).
         a = self.write("a.json", make_doc(phases=("alpha", "beta")))
         b = self.write("b.json", make_doc(phases=("alpha",)))
         r = self.run_compare(a, b)
-        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertEqual(r.returncode, 3, r.stdout + r.stderr)
         self.assertIn("beta", r.stderr)
 
     def test_added_phase_is_structural_failure(self):
         a = self.write("a.json", make_doc(phases=("alpha",)))
         b = self.write("b.json", make_doc(phases=("alpha", "gamma")))
         r = self.run_compare(a, b)
-        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertEqual(r.returncode, 3, r.stdout + r.stderr)
+
+    def test_structural_outranks_perf_regression(self):
+        a = self.write("a.json", make_doc(median=1.0,
+                                          phases=("alpha", "beta")))
+        b = self.write("b.json", make_doc(median=1.5, phases=("alpha",)))
+        r = self.run_compare(a, b)
+        self.assertEqual(r.returncode, 3, r.stdout + r.stderr)
 
     def test_cross_host_is_structure_only(self):
         # A 50% regression on a DIFFERENT machine must not fail...
@@ -130,20 +138,48 @@ class BenchCompareTest(unittest.TestCase):
         r = self.run_compare("--force-cross-host", a, b)
         self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
 
+    def test_cross_host_note_names_differing_fields(self):
+        a = self.write("a.json", make_doc(host="ci/x86_64"))
+        b = self.write("b.json", make_doc(host="dev/x86_64"))
+        r = self.run_compare(a, b)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("nodename ('ci' vs 'dev')", r.stdout)
+        self.assertNotIn("machine", r.stdout)  # machine matched
+
+        b2 = self.write("b2.json", make_doc(host="dev/aarch64"))
+        r = self.run_compare(a, b2)
+        self.assertIn("nodename ('ci' vs 'dev')", r.stdout)
+        self.assertIn("machine ('x86_64' vs 'aarch64')", r.stdout)
+
+    def test_require_same_host_fails_with_exit_4(self):
+        a = self.write("a.json", make_doc(host="ci/x86_64"))
+        b = self.write("b.json", make_doc(host="dev/x86_64"))
+        r = self.run_compare("--require-same-host", a, b)
+        self.assertEqual(r.returncode, 4, r.stdout + r.stderr)
+        self.assertIn("nodename", r.stderr)
+        # Same fingerprint: the flag changes nothing.
+        c = self.write("c.json", make_doc(host="ci/x86_64"))
+        r = self.run_compare("--require-same-host", a, c)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        # Exclusive with --force-cross-host.
+        r = self.run_compare("--require-same-host", "--force-cross-host",
+                             a, b)
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+
     def test_cross_host_still_checks_structure(self):
         a = self.write("a.json", make_doc(host="ci/x86_64"))
         b = self.write("b.json", make_doc(host="dev/aarch64",
                                           phases=("alpha",)))
         r = self.run_compare(a, b)
-        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertEqual(r.returncode, 3, r.stdout + r.stderr)
 
-    def test_bench_mismatch_is_usage_error(self):
+    def test_bench_mismatch_is_structural_failure(self):
         a = self.write("a.json", make_doc())
         other = make_doc()
         other["bench"] = "different"
         b = self.write("b.json", other)
         r = self.run_compare(a, b)
-        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertEqual(r.returncode, 3, r.stdout + r.stderr)
 
     def test_malformed_file_is_usage_error(self):
         a = self.write("a.json", make_doc())

@@ -1,0 +1,64 @@
+// ResultCache: LRU memoization of rendered reports, with hit/miss/eviction
+// counters in the metrics registry.
+#include "service/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace csfma {
+namespace {
+
+TEST(ResultCache, MissThenHitReturnsOriginalBytes) {
+  ResultCache cache(4);
+  EXPECT_FALSE(cache.get("k1").has_value());
+  cache.put("k1", "payload-one");
+  auto hit = cache.get("k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "payload-one");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, PutRefreshesExistingKey) {
+  ResultCache cache(4);
+  cache.put("k", "old");
+  cache.put("k", "new");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.get("k"), "new");
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.put("a", "A");
+  cache.put("b", "B");
+  ASSERT_TRUE(cache.get("a").has_value());  // promote "a"
+  cache.put("c", "C");                      // evicts "b", the LRU entry
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+}
+
+TEST(ResultCache, ZeroCapacityDisablesMemoization) {
+  ResultCache cache(0);
+  cache.put("k", "payload");
+  EXPECT_FALSE(cache.get("k").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCache, CountsLandInMetrics) {
+  MetricsRegistry metrics;
+  ResultCache cache(1, &metrics);
+  cache.get("k");           // miss
+  cache.put("k", "v");      // insertion
+  cache.get("k");           // hit
+  cache.put("k2", "v2");    // insertion + eviction of "k"
+  cache.get("k");           // miss (evicted)
+  EXPECT_EQ(metrics.counter("service.cache.hits", Stability::Timing).value(), 1u);
+  EXPECT_EQ(metrics.counter("service.cache.misses", Stability::Timing).value(), 2u);
+  EXPECT_EQ(metrics.counter("service.cache.insertions", Stability::Timing).value(), 2u);
+  EXPECT_EQ(metrics.counter("service.cache.evictions", Stability::Timing).value(), 1u);
+}
+
+}  // namespace
+}  // namespace csfma

@@ -1,0 +1,141 @@
+// JsonValue / json_parse: the request side of the service protocol.
+// Emission is telemetry/json.hpp's job; these tests pin down acceptance —
+// what parses, what is rejected, and the canonical-order object storage the
+// cache-key canonicalization relies on.
+#include "service/json_value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace csfma {
+namespace {
+
+JsonValue parse_ok(const std::string& text) {
+  JsonValue v;
+  JsonParseError err;
+  EXPECT_TRUE(json_parse(text, &v, &err))
+      << text << " -> byte " << err.pos << ": " << err.message;
+  return v;
+}
+
+std::string parse_fail(const std::string& text) {
+  JsonValue v;
+  JsonParseError err;
+  EXPECT_FALSE(json_parse(text, &v, &err)) << text;
+  return err.message;
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_TRUE(parse_ok("true").as_bool());
+  EXPECT_FALSE(parse_ok("false").as_bool());
+  EXPECT_EQ(parse_ok("42").as_int(), 42);
+  EXPECT_EQ(parse_ok("-7").as_int(), -7);
+  EXPECT_EQ(parse_ok("0").as_int(), 0);
+  EXPECT_EQ(parse_ok("\"hi\"").as_string(), "hi");
+  EXPECT_DOUBLE_EQ(parse_ok("2.5").as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_ok("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_ok("-0.125").as_number(), -0.125);
+}
+
+TEST(JsonParse, IntegralVersusDouble) {
+  // Written-integral stays Int (exact 64-bit); '.' or exponent => Double.
+  EXPECT_TRUE(parse_ok("9007199254740993").is_int());  // > 2^53, exact
+  EXPECT_EQ(parse_ok("9007199254740993").as_int(), 9007199254740993LL);
+  EXPECT_FALSE(parse_ok("1.0").is_int());
+  EXPECT_TRUE(parse_ok("1.0").is_number());
+  EXPECT_FALSE(parse_ok("1e2").is_int());
+  // Out-of-int64-range integrals degrade to double rather than failing.
+  EXPECT_FALSE(parse_ok("99999999999999999999").is_int());
+  EXPECT_TRUE(parse_ok("99999999999999999999").is_number());
+}
+
+TEST(JsonParse, Strings) {
+  EXPECT_EQ(parse_ok(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(parse_ok(R"("a\\b")").as_string(), "a\\b");
+  EXPECT_EQ(parse_ok(R"("a\nb\tc")").as_string(), "a\nb\tc");
+  // \uXXXX escapes re-encode as UTF-8 (1-, 2- and 3-byte forms).
+  EXPECT_EQ(parse_ok("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(parse_ok("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(parse_ok("\"\\u20ac\"").as_string(), "\xe2\x82\xac");
+  // Raw UTF-8 passes through untouched.
+  EXPECT_EQ(parse_ok("\"\xc3\xa9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParse, ArraysAndObjects) {
+  JsonValue v = parse_ok(R"([1, "two", [3], {"four": 4}, null])");
+  ASSERT_EQ(v.as_array().size(), 5u);
+  EXPECT_EQ(v.as_array()[0].as_int(), 1);
+  EXPECT_EQ(v.as_array()[1].as_string(), "two");
+  EXPECT_EQ(v.as_array()[2].as_array()[0].as_int(), 3);
+  EXPECT_EQ(v.as_array()[3].find("four")->as_int(), 4);
+  EXPECT_TRUE(v.as_array()[4].is_null());
+  EXPECT_EQ(parse_ok("[]").as_array().size(), 0u);
+  EXPECT_EQ(parse_ok("{}").as_object().size(), 0u);
+}
+
+TEST(JsonParse, ObjectMemberOrderIsCanonical) {
+  // The sorted-map storage: member order in the input is irrelevant.
+  JsonValue a = parse_ok(R"({"b": 2, "a": 1})");
+  JsonValue b = parse_ok(R"({"a": 1, "b": 2})");
+  auto keys = [](const JsonValue& v) {
+    std::string out;
+    for (const auto& [k, _] : v.as_object()) out += k;
+    return out;
+  };
+  EXPECT_EQ(keys(a), "ab");
+  EXPECT_EQ(keys(a), keys(b));
+}
+
+TEST(JsonParse, FindOnMissingOrNonObject) {
+  JsonValue v = parse_ok(R"({"x": 1})");
+  EXPECT_NE(v.find("x"), nullptr);
+  EXPECT_EQ(v.find("y"), nullptr);
+  EXPECT_EQ(parse_ok("[1]").find("x"), nullptr);
+}
+
+TEST(JsonParse, Rejections) {
+  parse_fail("");
+  parse_fail("   ");
+  parse_fail("{");
+  parse_fail("}");
+  parse_fail("[1,]");
+  parse_fail("{\"a\":}");
+  parse_fail("{\"a\" 1}");
+  parse_fail("{'a': 1}");       // single quotes
+  parse_fail("nul");            // truncated literal
+  parse_fail("TRUE");           // wrong case
+  parse_fail("01");             // leading zero
+  parse_fail("+1");             // leading plus
+  parse_fail("1.");             // bare trailing dot
+  parse_fail(".5");             // bare leading dot
+  parse_fail("\"unterminated");
+  parse_fail("\"bad \\x escape\"");
+  parse_fail("{} trailing");    // trailing garbage
+  parse_fail("1 2");
+  parse_fail(R"({"dup": 1, "dup": 2})");  // duplicate keys are an error
+  parse_fail(R"("\ud800")");    // lone surrogate
+}
+
+TEST(JsonParse, DepthCapStopsHostileNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  parse_fail(deep);
+  // ...but reasonable nesting is fine.
+  std::string ok = "[[[[[[[[[[1]]]]]]]]]]";
+  EXPECT_TRUE(parse_ok(ok).is_array());
+}
+
+TEST(JsonParse, ErrorsCarryBytePositions) {
+  JsonValue v;
+  JsonParseError err;
+  ASSERT_FALSE(json_parse("{\"a\": bad}", &v, &err));
+  EXPECT_EQ(err.pos, 6u);
+  ASSERT_FALSE(json_parse("[1, 2, x]", &v, &err));
+  EXPECT_EQ(err.pos, 7u);
+}
+
+}  // namespace
+}  // namespace csfma

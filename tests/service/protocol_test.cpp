@@ -1,0 +1,293 @@
+// Protocol goldens: exact wire bytes for every request, reply and error
+// type, plus the cache-key canonicalization contract — two spellings of the
+// same simulation hash to the same key; result-determining differences
+// never collide in these cases.
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/json_value.hpp"
+
+namespace csfma {
+namespace {
+
+SubmitRequest submit_of(const std::string& line) {
+  ParseOutcome out = parse_request_line(line);
+  EXPECT_TRUE(out.ok) << line << " -> " << out.message;
+  EXPECT_TRUE(std::holds_alternative<SubmitRequest>(out.request.op)) << line;
+  return std::get<SubmitRequest>(out.request.op);
+}
+
+void expect_error(const std::string& line, ServiceError code,
+                  const std::string& message_fragment) {
+  ParseOutcome out = parse_request_line(line);
+  EXPECT_FALSE(out.ok) << line;
+  EXPECT_EQ(out.code, code) << line << " -> " << out.message;
+  EXPECT_NE(out.message.find(message_fragment), std::string::npos)
+      << line << " -> " << out.message;
+}
+
+// ---- request parsing --------------------------------------------------
+
+TEST(Protocol, ParsesFullBatchSubmit) {
+  SubmitRequest r = submit_of(
+      R"({"type":"submit","id":"r1","mode":"batch","unit":"fcs",)"
+      R"("rounding":"toward-zero","seed":99,"ops":5000,"emin":-4,"emax":4,)"
+      R"("shard_ops":512,"threads":3})");
+  EXPECT_EQ(r.mode, SimMode::Batch);
+  EXPECT_EQ(r.unit, UnitKind::Fcs);
+  EXPECT_EQ(r.rm, Round::TowardZero);
+  EXPECT_EQ(r.seed, 99u);
+  EXPECT_EQ(r.ops, 5000u);
+  EXPECT_EQ(r.emin, -4);
+  EXPECT_EQ(r.emax, 4);
+  EXPECT_EQ(r.shard_ops, 512u);
+  EXPECT_EQ(r.threads, 3);
+  EXPECT_EQ(r.total_ops(), 5000u);
+}
+
+TEST(Protocol, ParsesChainedSubmitWithDefaults) {
+  SubmitRequest r = submit_of(
+      R"({"type":"submit","mode":"chained","unit":"classic","seed":7,)"
+      R"("chains":12})");
+  EXPECT_EQ(r.mode, SimMode::Chained);
+  EXPECT_EQ(r.unit, UnitKind::Classic);
+  EXPECT_EQ(r.rm, Round::NearestEven);  // default
+  EXPECT_EQ(r.depth, 18);               // default
+  EXPECT_EQ(r.chains, 12u);
+  EXPECT_EQ(r.total_ops(), 12u * 2u * 16u);  // chains * 2 * (depth - 2)
+}
+
+TEST(Protocol, ParsesStatusCancelShutdown) {
+  ParseOutcome st = parse_request_line(R"({"type":"status","id":"s"})");
+  ASSERT_TRUE(st.ok);
+  EXPECT_EQ(st.request.id, "s");
+  EXPECT_TRUE(std::holds_alternative<StatusRequest>(st.request.op));
+  EXPECT_EQ(std::get<StatusRequest>(st.request.op).job, "");
+
+  ParseOutcome stj =
+      parse_request_line(R"({"type":"status","job":"job-3"})");
+  ASSERT_TRUE(stj.ok);
+  EXPECT_EQ(std::get<StatusRequest>(stj.request.op).job, "job-3");
+
+  ParseOutcome ca =
+      parse_request_line(R"({"type":"cancel","id":"c","job":"job-1"})");
+  ASSERT_TRUE(ca.ok);
+  EXPECT_EQ(std::get<CancelRequest>(ca.request.op).job, "job-1");
+
+  ParseOutcome sd = parse_request_line(R"({"type":"shutdown"})");
+  ASSERT_TRUE(sd.ok);
+  EXPECT_TRUE(std::holds_alternative<ShutdownRequest>(sd.request.op));
+}
+
+TEST(Protocol, TypedParseErrors) {
+  expect_error("not json at all", ServiceError::ParseError, "byte 0");
+  expect_error("[1,2,3]", ServiceError::ParseError, "JSON object");
+  expect_error("{}", ServiceError::BadRequest, "\"type\"");
+  expect_error(R"({"type":"frobnicate"})", ServiceError::UnknownType,
+               "frobnicate");
+  expect_error(R"({"type":"cancel"})", ServiceError::BadRequest, "\"job\"");
+}
+
+TEST(Protocol, TypedSubmitValidation) {
+  // Missing / ill-typed / out-of-range fields all name the field.
+  expect_error(R"({"type":"submit","seed":1,"ops":10})",
+               ServiceError::BadRequest, "\"unit\"");
+  expect_error(R"({"type":"submit","unit":"pcs","ops":10})",
+               ServiceError::BadRequest, "\"seed\"");
+  expect_error(R"({"type":"submit","unit":"pcs","seed":1})",
+               ServiceError::BadRequest, "\"ops\"");
+  expect_error(R"({"type":"submit","unit":"ternary","seed":1,"ops":10})",
+               ServiceError::BadRequest, "\"unit\"");
+  expect_error(
+      R"({"type":"submit","mode":"warp","unit":"pcs","seed":1,"ops":10})",
+      ServiceError::BadRequest, "\"mode\"");
+  expect_error(R"({"type":"submit","unit":"pcs","seed":-1,"ops":10})",
+               ServiceError::BadRequest, "\"seed\"");
+  expect_error(R"({"type":"submit","unit":"pcs","seed":1,"ops":"many"})",
+               ServiceError::BadRequest, "\"ops\"");
+  expect_error(R"({"type":"submit","unit":"pcs","seed":1,"ops":0})",
+               ServiceError::BadRequest, "\"ops\"");
+  expect_error(
+      R"({"type":"submit","unit":"pcs","seed":1,"ops":10,"threads":65})",
+      ServiceError::BadRequest, "\"threads\"");
+  expect_error(
+      R"({"type":"submit","unit":"pcs","seed":1,"ops":10,"emin":3,"emax":1})",
+      ServiceError::BadRequest, "\"emin\"");
+  // Mode-exclusive fields are rejected, not silently ignored.
+  expect_error(
+      R"({"type":"submit","unit":"pcs","seed":1,"ops":10,"chains":4})",
+      ServiceError::BadRequest, "chained");
+  expect_error(
+      R"({"type":"submit","mode":"chained","unit":"pcs","seed":1,)"
+      R"("chains":4,"ops":10})",
+      ServiceError::BadRequest, "\"ops\"");
+  expect_error(
+      R"({"type":"submit","mode":"chained","unit":"pcs","seed":1,)"
+      R"("chains":4,"depth":2})",
+      ServiceError::BadRequest, "\"depth\"");
+}
+
+TEST(Protocol, ErrorOutcomeStillEchoesId) {
+  ParseOutcome out = parse_request_line(
+      R"({"type":"submit","id":"req-7","unit":"pcs","seed":1})");
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.id, "req-7");
+}
+
+// ---- cache-key canonicalization ---------------------------------------
+
+TEST(Protocol, CacheKeyIgnoresSpelling) {
+  // The canonical request, four spellings: member order shuffled,
+  // whitespace added, defaults written out explicitly, threads changed
+  // (thread count never affects results — engine determinism contract).
+  const std::string a =
+      R"({"type":"submit","unit":"pcs","seed":5,"ops":1000})";
+  const std::string b =
+      R"({"ops":1000,"seed":5,"unit":"pcs","type":"submit"})";
+  const std::string c =
+      "{ \"type\" : \"submit\" ,\t\"unit\" : \"pcs\" , \"seed\" : 5 , "
+      "\"ops\" : 1000 }";
+  const std::string d =
+      R"({"type":"submit","mode":"batch","unit":"pcs",)"
+      R"("rounding":"nearest-even","seed":5,"ops":1000,"emin":-8,"emax":8,)"
+      R"("shard_ops":8192,"threads":4})";
+  const std::string key = submit_of(a).cache_key();
+  EXPECT_EQ(key.size(), 16u);
+  EXPECT_EQ(submit_of(b).cache_key(), key);
+  EXPECT_EQ(submit_of(c).cache_key(), key);
+  EXPECT_EQ(submit_of(d).cache_key(), key);
+  EXPECT_EQ(submit_of(b).canonical_key(), submit_of(a).canonical_key());
+}
+
+TEST(Protocol, CacheKeySeparatesResultDeterminingFields) {
+  const std::string base =
+      R"({"type":"submit","unit":"pcs","seed":5,"ops":1000})";
+  const std::string key = submit_of(base).cache_key();
+  const char* variants[] = {
+      R"({"type":"submit","unit":"fcs","seed":5,"ops":1000})",
+      R"({"type":"submit","unit":"pcs","seed":6,"ops":1000})",
+      R"({"type":"submit","unit":"pcs","seed":5,"ops":1001})",
+      R"({"type":"submit","unit":"pcs","seed":5,"ops":1000,"emax":9})",
+      R"({"type":"submit","unit":"pcs","seed":5,"ops":1000,"shard_ops":64})",
+      R"({"type":"submit","mode":"stream","unit":"pcs","seed":5,"ops":1000})",
+      R"({"type":"submit","unit":"pcs","seed":5,"ops":1000,)"
+      R"("rounding":"toward-zero"})",
+  };
+  for (const char* v : variants)
+    EXPECT_NE(submit_of(v).cache_key(), key) << v;
+}
+
+TEST(Protocol, CanonicalKeyIsModeSpecific) {
+  SubmitRequest chained = submit_of(
+      R"({"type":"submit","mode":"chained","unit":"pcs","seed":5,)"
+      R"("chains":8,"depth":10})");
+  const std::string k = chained.canonical_key();
+  // Chained keys carry chains/depth, never the batch-only geometry.
+  EXPECT_NE(k.find("chains=8"), std::string::npos);
+  EXPECT_NE(k.find("depth=10"), std::string::npos);
+  EXPECT_EQ(k.find("emin"), std::string::npos);
+  EXPECT_EQ(k.find("ops="), k.find("shard_ops=") + 6);  // only shard_ops
+  EXPECT_EQ(k.find("threads"), std::string::npos);
+}
+
+// ---- reply goldens (exact bytes) --------------------------------------
+
+TEST(Protocol, ErrorReplyGolden) {
+  EXPECT_EQ(error_reply("r1", ServiceError::BadRequest, "no"),
+            R"({"type":"error","id":"r1","code":"bad_request","message":"no"})");
+  // Empty id is omitted, not rendered as "".
+  EXPECT_EQ(error_reply("", ServiceError::ParseError, "x"),
+            R"({"type":"error","code":"parse_error","message":"x"})");
+}
+
+TEST(Protocol, AcceptedReplyGolden) {
+  EXPECT_EQ(accepted_reply("a", "job-1", "00ff00ff00ff00ff"),
+            R"({"type":"accepted","id":"a","job":"job-1",)"
+            R"("cache_key":"00ff00ff00ff00ff"})");
+}
+
+TEST(Protocol, ProgressEventGolden) {
+  ProgressEvent ev;
+  ev.job = "job-2";
+  ev.progress.ops_done = 512;
+  ev.progress.ops_total = 2048;
+  ev.progress.shards_done = 1;
+  ev.progress.shards_total = 4;
+  ev.progress.seconds = 0.5;
+  ev.progress.ops_per_sec = 1024;
+  ev.progress.eta_seconds = 1.5;
+  EXPECT_EQ(progress_event_line(ev),
+            R"({"type":"progress","job":"job-2","ops_done":512,)"
+            R"("ops_total":2048,"shards_done":1,"shards_total":4,)"
+            R"("seconds":0.5,"ops_per_sec":1024,"eta_seconds":1.5})");
+}
+
+TEST(Protocol, ResultReplyGoldenSplicesReportVerbatim) {
+  const std::string report = R"({"schema":"csfma-report-v1","bench":"x"})";
+  EXPECT_EQ(result_reply("r", "job-3", true, 0.25, report),
+            R"({"type":"result","id":"r","job":"job-3","cache":"hit",)"
+            R"("elapsed_s":0.25,"report":{"schema":"csfma-report-v1",)"
+            R"("bench":"x"}})");
+  EXPECT_NE(result_reply("r", "job-3", false, 0.25, report)
+                .find(R"("cache":"miss")"),
+            std::string::npos);
+}
+
+TEST(Protocol, CancelRepliesGolden) {
+  EXPECT_EQ(cancel_ok_reply("c", "job-4", "running"),
+            R"({"type":"cancel_ok","id":"c","job":"job-4",)"
+            R"("state":"running"})");
+  EXPECT_EQ(cancelled_reply("c", "job-4", 8192),
+            R"({"type":"cancelled","id":"c","job":"job-4","ops_done":8192})");
+  EXPECT_EQ(cancelled_reply("", "job-4", 0),
+            R"({"type":"cancelled","job":"job-4","ops_done":0})");
+}
+
+TEST(Protocol, StatusReplyGolden) {
+  JobStatus j;
+  j.job = "job-5";
+  j.state = "running";
+  j.ops_done = 10;
+  j.ops_total = 100;
+  j.cache_key = "deadbeefdeadbeef";
+  EXPECT_EQ(status_reply("s", {j}),
+            R"({"type":"status","id":"s","jobs":[{"job":"job-5",)"
+            R"("state":"running","ops_done":10,"ops_total":100,)"
+            R"("cache_key":"deadbeefdeadbeef"}]})");
+  EXPECT_EQ(status_reply("s", {}),
+            R"({"type":"status","id":"s","jobs":[]})");
+}
+
+TEST(Protocol, ByeReplyGolden) {
+  EXPECT_EQ(bye_reply("z", 3, 1, 0),
+            R"({"type":"bye","id":"z","jobs_completed":3,)"
+            R"("jobs_cancelled":1,"jobs_failed":0})");
+}
+
+TEST(Protocol, EveryReplyParsesBackAsJson) {
+  // The emit side must stay within what the accept side understands.
+  const std::string lines[] = {
+      error_reply("i", ServiceError::Internal, "boom \"quoted\"\n"),
+      accepted_reply("i", "job-1", "0123456789abcdef"),
+      progress_event_line({"job-1", {}}),
+      result_reply("i", "job-1", false, 1.0 / 3.0, "{}"),
+      cancel_ok_reply("i", "job-1", "queued"),
+      cancelled_reply("i", "job-1", 1),
+      status_reply("i", {{"job-1", "done", 1, 1, "k"}}),
+      bye_reply("i", 0, 0, 0),
+  };
+  for (const std::string& line : lines) {
+    JsonValue v;
+    JsonParseError err;
+    EXPECT_TRUE(json_parse(line, &v, &err))
+        << line << " -> " << err.message;
+    EXPECT_TRUE(v.is_object()) << line;
+    EXPECT_NE(v.find("type"), nullptr) << line;
+  }
+}
+
+}  // namespace
+}  // namespace csfma

@@ -1,0 +1,365 @@
+// ServiceSession: the scheduler end of the tentpole contract — submit /
+// progress / result round trips, byte-identical cache replay, cooperative
+// cancellation that never leaks partial results, and worker-count
+// determinism of the rendered payload.
+#include "service/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/json_value.hpp"
+
+namespace csfma {
+namespace {
+
+/// Thread-safe collector for the session's serialized reply stream.
+class LineSink {
+ public:
+  ServiceSession::WriteFn fn() {
+    return [this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu_);
+      lines_.push_back(line);
+    };
+  }
+
+  std::vector<std::string> lines() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+
+  /// Parse every line (all must be valid JSON objects) and return those
+  /// whose "type" matches.
+  std::vector<JsonValue> of_type(const std::string& type) const {
+    std::vector<JsonValue> out;
+    for (const std::string& line : lines()) {
+      JsonValue v;
+      JsonParseError err;
+      EXPECT_TRUE(json_parse(line, &v, &err)) << line;
+      if (const JsonValue* t = v.find("type");
+          t != nullptr && t->as_string() == type)
+        out.push_back(std::move(v));
+    }
+    return out;
+  }
+
+  /// Raw line of the first "result" reply for `job`, for byte comparisons.
+  std::string raw_result(const std::string& job) const {
+    for (const std::string& line : lines()) {
+      JsonValue v;
+      JsonParseError err;
+      if (!json_parse(line, &v, &err)) continue;
+      const JsonValue* t = v.find("type");
+      const JsonValue* j = v.find("job");
+      if (t != nullptr && t->as_string() == "result" && j != nullptr &&
+          j->as_string() == job)
+        return line;
+    }
+    return "";
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+/// The report object spliced into a result line, shorn of the reply
+/// envelope (id / job / cache verdict / elapsed time).
+std::string report_bytes(const std::string& result_line) {
+  const std::string marker = "\"report\":";
+  const std::size_t idx = result_line.find(marker);
+  EXPECT_NE(idx, std::string::npos) << result_line;
+  if (idx == std::string::npos) return "";
+  return result_line.substr(idx + marker.size(),
+                            result_line.size() - idx - marker.size() - 1);
+}
+
+const char* kSmallBatch =
+    R"({"type":"submit","id":"r1","unit":"pcs","seed":11,"ops":600,)"
+    R"("shard_ops":128})";
+
+TEST(ServiceSession, SubmitRoundTrip) {
+  LineSink sink;
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.progress_interval_s = 0.0;  // a progress beat per shard
+  ServiceSession session(cfg, sink.fn());
+  session.handle_line(kSmallBatch);
+  session.wait_idle();
+
+  auto accepted = sink.of_type("accepted");
+  ASSERT_EQ(accepted.size(), 1u);
+  EXPECT_EQ(accepted[0].find("id")->as_string(), "r1");
+  EXPECT_EQ(accepted[0].find("job")->as_string(), "job-1");
+  EXPECT_EQ(accepted[0].find("cache_key")->as_string().size(), 16u);
+
+  auto progress = sink.of_type("progress");
+  ASSERT_GE(progress.size(), 1u);  // 600/128 = 5 shards
+  const JsonValue& last = progress.back();
+  EXPECT_EQ(last.find("job")->as_string(), "job-1");
+  EXPECT_EQ(last.find("ops_done")->as_int(), 600);
+  EXPECT_EQ(last.find("ops_total")->as_int(), 600);
+  EXPECT_EQ(last.find("shards_total")->as_int(), 5);
+
+  auto results = sink.of_type("result");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].find("id")->as_string(), "r1");
+  EXPECT_EQ(results[0].find("cache")->as_string(), "miss");
+  const JsonValue* report = results[0].find("report");
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->find("schema")->as_string(), "csfma-report-v1");
+  EXPECT_EQ(report->find("meta")->find("mode")->as_string(), "batch");
+  EXPECT_EQ(report->find("metrics")->find("ops")->as_int(), 600);
+  EXPECT_EQ(session.jobs_completed(), 1u);
+}
+
+TEST(ServiceSession, CacheHitReplaysByteIdenticalReport) {
+  LineSink sink;
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  MetricsRegistry metrics;
+  cfg.metrics = &metrics;
+  ServiceSession session(cfg, sink.fn());
+  session.handle_line(kSmallBatch);
+  session.wait_idle();
+  std::string resubmit = kSmallBatch;
+  resubmit.replace(resubmit.find("r1"), 2, "r2");
+  session.handle_line(resubmit);
+  session.wait_idle();
+
+  auto results = sink.of_type("result");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].find("cache")->as_string(), "miss");
+  EXPECT_EQ(results[1].find("cache")->as_string(), "hit");
+  EXPECT_EQ(report_bytes(sink.raw_result("job-1")),
+            report_bytes(sink.raw_result("job-2")));
+  EXPECT_EQ(metrics.counter("service.cache.hits", Stability::Timing).value(), 1u);
+  EXPECT_EQ(metrics.counter("service.cache.misses", Stability::Timing).value(), 1u);
+}
+
+TEST(ServiceSession, WorkerAndThreadCountDoNotChangeReportBytes) {
+  // The service-path determinism gate: different pool widths AND different
+  // engine thread counts, byte-identical reports.  Cache off so both
+  // sessions actually simulate.
+  auto run = [](int workers, int threads) {
+    LineSink sink;
+    ServiceConfig cfg;
+    cfg.workers = workers;
+    cfg.cache_entries = 0;
+    ServiceSession session(cfg, sink.fn());
+    session.handle_line(
+        R"({"type":"submit","id":"d","unit":"fcs","seed":3,"ops":900,)"
+        R"("shard_ops":100,"threads":)" +
+        std::to_string(threads) + "}");
+    session.wait_idle();
+    std::string line = sink.raw_result("job-1");
+    EXPECT_NE(line, "") << "no result with workers=" << workers;
+    EXPECT_NE(line.find("\"cache\":\"miss\""), std::string::npos) << line;
+    return report_bytes(line);
+  };
+  const std::string one = run(1, 1);
+  const std::string four = run(4, 4);
+  EXPECT_EQ(one, four);
+  EXPECT_NE(one, "");
+}
+
+TEST(ServiceSession, ChainedAndStreamJobsComplete) {
+  LineSink sink;
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  ServiceSession session(cfg, sink.fn());
+  session.handle_line(
+      R"({"type":"submit","id":"c","mode":"chained","unit":"classic",)"
+      R"("seed":5,"chains":6,"depth":10})");
+  session.handle_line(
+      R"({"type":"submit","id":"s","mode":"stream","unit":"discrete",)"
+      R"("seed":5,"ops":500,"shard_ops":100})");
+  session.wait_idle();
+  auto results = sink.of_type("result");
+  ASSERT_EQ(results.size(), 2u);
+  for (const JsonValue& r : results) {
+    const JsonValue* report = r.find("report");
+    ASSERT_NE(report, nullptr);
+    EXPECT_NE(report->find("metrics")->find("result_checksum"), nullptr);
+  }
+  EXPECT_EQ(session.jobs_completed(), 2u);
+}
+
+TEST(ServiceSession, StreamChecksumMatchesBatch) {
+  // Stream reduces results to an order-independent checksum; it must equal
+  // the batch checksum of the same operation set (consume order differs,
+  // the simulated values do not).
+  auto checksum_of = [](const std::string& mode) -> std::string {
+    LineSink sink;
+    ServiceConfig cfg;
+    cfg.cache_entries = 0;
+    ServiceSession session(cfg, sink.fn());
+    session.handle_line(R"({"type":"submit","id":"x","mode":")" + mode +
+                        R"(","unit":"pcs","seed":21,"ops":700,)"
+                        R"("shard_ops":64,"threads":3})");
+    session.wait_idle();
+    // Compare the raw decimal token: the checksum is a full uint64, which
+    // does not round-trip through as_int()/double.
+    const std::string line = sink.raw_result("job-1");
+    const std::string marker = "\"result_checksum\":";
+    const std::size_t i = line.find(marker);
+    EXPECT_NE(i, std::string::npos) << line;
+    if (i == std::string::npos) return "";
+    return line.substr(i + marker.size(),
+                       line.find_first_of(",}", i + marker.size()) - i -
+                           marker.size());
+  };
+  const std::string batch = checksum_of("batch");
+  EXPECT_EQ(batch, checksum_of("stream"));
+  EXPECT_NE(batch, "");
+}
+
+TEST(ServiceSession, CancelRunningJobEmitsNoResult) {
+  LineSink sink;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  ServiceSession session(cfg, sink.fn());
+  // Big enough that the cancel always lands mid-run on one pool worker.
+  session.handle_line(
+      R"({"type":"submit","id":"big","unit":"pcs","seed":1,)"
+      R"("ops":400000000,"shard_ops":4096})");
+  session.handle_line(R"({"type":"cancel","id":"c1","job":"job-1"})");
+  session.wait_idle();
+
+  EXPECT_EQ(sink.of_type("cancel_ok").size(), 1u);
+  auto cancelled = sink.of_type("cancelled");
+  ASSERT_EQ(cancelled.size(), 1u);
+  EXPECT_EQ(cancelled[0].find("job")->as_string(), "job-1");
+  EXPECT_LT(cancelled[0].find("ops_done")->as_int(), 400000000);
+  // The partial-results contract: no result reply, nothing cached.
+  EXPECT_EQ(sink.of_type("result").size(), 0u);
+  EXPECT_EQ(session.jobs_cancelled(), 1u);
+  EXPECT_EQ(session.jobs_completed(), 0u);
+
+  // A resubmit after the cancel must MISS (partial runs never memoize)
+  // and run to completion.
+  session.handle_line(
+      R"({"type":"submit","id":"ok","unit":"pcs","seed":1,"ops":500,)"
+      R"("shard_ops":128})");
+  session.wait_idle();
+  auto results = sink.of_type("result");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].find("cache")->as_string(), "miss");
+}
+
+TEST(ServiceSession, CancelQueuedJobNeverRuns) {
+  LineSink sink;
+  ServiceConfig cfg;
+  cfg.workers = 1;  // one pool thread: the second submit must queue
+  ServiceSession session(cfg, sink.fn());
+  session.handle_line(
+      R"({"type":"submit","id":"big","unit":"pcs","seed":1,)"
+      R"("ops":400000000,"shard_ops":4096})");
+  session.handle_line(
+      R"({"type":"submit","id":"q","unit":"pcs","seed":2,"ops":1000})");
+  session.handle_line(R"({"type":"cancel","id":"c1","job":"job-2"})");
+  session.handle_line(R"({"type":"cancel","id":"c2","job":"job-1"})");
+  session.wait_idle();
+  auto cancelled = sink.of_type("cancelled");
+  ASSERT_EQ(cancelled.size(), 2u);
+  // The queued job was cancelled before ever claiming a shard.
+  for (const JsonValue& c : cancelled) {
+    if (c.find("job")->as_string() == "job-2") {
+      EXPECT_EQ(c.find("ops_done")->as_int(), 0);
+    }
+  }
+  EXPECT_EQ(sink.of_type("result").size(), 0u);
+  EXPECT_EQ(session.jobs_cancelled(), 2u);
+}
+
+TEST(ServiceSession, StatusTracksJobLifecycle) {
+  LineSink sink;
+  ServiceConfig cfg;
+  ServiceSession session(cfg, sink.fn());
+  session.handle_line(kSmallBatch);
+  session.wait_idle();
+  session.handle_line(R"({"type":"status","id":"st"})");
+  auto status = sink.of_type("status");
+  ASSERT_EQ(status.size(), 1u);
+  const auto& jobs = status[0].find("jobs")->as_array();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].find("job")->as_string(), "job-1");
+  EXPECT_EQ(jobs[0].find("state")->as_string(), "done");
+  EXPECT_EQ(jobs[0].find("ops_done")->as_int(), 600);
+
+  session.handle_line(R"({"type":"status","id":"n","job":"job-77"})");
+  auto errors = sink.of_type("error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].find("code")->as_string(), "unknown_job");
+}
+
+TEST(ServiceSession, MalformedLinesGetTypedErrorsAndCount) {
+  LineSink sink;
+  ServiceConfig cfg;
+  MetricsRegistry metrics;
+  cfg.metrics = &metrics;
+  ServiceSession session(cfg, sink.fn());
+  session.handle_line("garbage");
+  session.handle_line(R"({"type":"submit","id":"b","unit":"pcs","seed":1})");
+  session.handle_line(R"({"type":"teleport"})");
+  auto errors = sink.of_type("error");
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_EQ(errors[0].find("code")->as_string(), "parse_error");
+  EXPECT_EQ(errors[1].find("code")->as_string(), "bad_request");
+  EXPECT_EQ(errors[1].find("id")->as_string(), "b");
+  EXPECT_EQ(errors[2].find("code")->as_string(), "unknown_type");
+  EXPECT_EQ(metrics.counter("service.errors", Stability::Timing).value(), 3u);
+  EXPECT_EQ(metrics.counter("service.requests", Stability::Timing).value(), 3u);
+}
+
+TEST(ServiceSession, ShutdownRefusesNewWorkAndSaysBye) {
+  LineSink sink;
+  ServiceConfig cfg;
+  ServiceSession session(cfg, sink.fn());
+  session.handle_line(kSmallBatch);
+  session.handle_line(R"({"type":"shutdown","id":"sd"})");
+  EXPECT_TRUE(session.shutdown_requested());
+  session.handle_line(
+      R"({"type":"submit","id":"late","unit":"pcs","seed":9,"ops":100})");
+  session.finish();
+  session.finish();  // idempotent: exactly one bye
+
+  auto errors = sink.of_type("error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].find("code")->as_string(), "shutting_down");
+  EXPECT_EQ(errors[0].find("id")->as_string(), "late");
+  // The in-flight job still drains to a result before the bye.
+  EXPECT_EQ(sink.of_type("result").size(), 1u);
+  auto byes = sink.of_type("bye");
+  ASSERT_EQ(byes.size(), 1u);
+  EXPECT_EQ(byes[0].find("id")->as_string(), "sd");
+  EXPECT_EQ(byes[0].find("jobs_completed")->as_int(), 1);
+  EXPECT_EQ(sink.lines().back().find("\"type\":\"bye\""), 0u + 1u);
+}
+
+TEST(ServiceSession, SharedCacheServesSecondSession) {
+  MetricsRegistry metrics;
+  ResultCache shared(8, &metrics);
+  auto run = [&](const char* id) {
+    LineSink sink;
+    ServiceConfig cfg;
+    cfg.cache = &shared;
+    ServiceSession session(cfg, sink.fn());
+    std::string line = kSmallBatch;
+    line.replace(line.find("r1"), 2, id);
+    session.handle_line(line);
+    session.wait_idle();
+    auto results = sink.of_type("result");
+    EXPECT_EQ(results.size(), 1u);
+    return results.empty() ? std::string()
+                           : results[0].find("cache")->as_string();
+  };
+  EXPECT_EQ(run("s1"), "miss");
+  EXPECT_EQ(run("s2"), "hit");  // a different session, the same cache
+  EXPECT_EQ(shared.size(), 1u);
+}
+
+}  // namespace
+}  // namespace csfma

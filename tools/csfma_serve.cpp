@@ -1,0 +1,197 @@
+// csfma_serve — the long-running simulation service daemon.
+//
+// Speaks the JSON-lines protocol of docs/service.md: one request object
+// per line in, one reply/event object per line out.
+//
+//   csfma_serve [--workers N] [--job-cache N] [--progress-interval S]
+//               [--socket PATH] [--metrics]
+//
+// Default transport is stdin/stdout (the mode CI and the tests drive via
+// scripts/csfma_client.py); --socket listens on a Unix stream socket
+// instead, one session per connection, all connections sharing one result
+// cache and metrics registry.  EOF on a transport drains that session's
+// jobs and emits the final "bye" reply; a "shutdown" request does the same
+// and, under --socket, also stops the accept loop.  --metrics dumps the
+// MetricsRegistry JSON (cache hit/miss counts, job totals) to stderr at
+// exit.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/session.hpp"
+
+namespace {
+
+using namespace csfma;
+
+struct ServeOptions {
+  ServiceConfig service;
+  std::string socket_path;  // "" = stdio transport
+  bool dump_metrics = false;
+};
+
+[[noreturn]] void usage(int rc) {
+  std::fprintf(
+      stderr,
+      "usage: csfma_serve [--workers N] [--job-cache N]\n"
+      "                   [--progress-interval SECONDS] [--socket PATH]\n"
+      "                   [--metrics]\n"
+      "JSON-lines simulation service; see docs/service.md for the "
+      "protocol.\n");
+  std::exit(rc);
+}
+
+ServeOptions parse_args(int argc, char** argv) {
+  ServeOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (arg == "--workers") {
+      opt.service.workers = std::atoi(value());
+      if (opt.service.workers < 1) usage(2);
+    } else if (arg == "--job-cache") {
+      long n = std::atol(value());
+      if (n < 0) usage(2);
+      opt.service.cache_entries = (std::size_t)n;
+    } else if (arg == "--progress-interval") {
+      opt.service.progress_interval_s = std::atof(value());
+      if (opt.service.progress_interval_s < 0.0) usage(2);
+    } else if (arg == "--socket") {
+      opt.socket_path = value();
+    } else if (arg == "--metrics") {
+      opt.dump_metrics = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::fprintf(stderr, "csfma_serve: unknown argument %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+  return opt;
+}
+
+int run_stdio(const ServeOptions& opt, MetricsRegistry& metrics) {
+  ServiceConfig cfg = opt.service;
+  cfg.metrics = &metrics;
+  ServiceSession session(cfg, [](const std::string& line) {
+    // One write per line, flushed: a client must never block on a reply
+    // sitting in a stdio buffer.
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  });
+  std::string line;
+  while (!session.shutdown_requested() && std::getline(std::cin, line)) {
+    session.handle_line(line);
+  }
+  session.finish();
+  return 0;
+}
+
+int run_socket(const ServeOptions& opt, MetricsRegistry& metrics) {
+  ResultCache cache(opt.service.cache_entries, &metrics);
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("csfma_serve: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opt.socket_path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "csfma_serve: socket path too long\n");
+    return 1;
+  }
+  std::strncpy(addr.sun_path, opt.socket_path.c_str(),
+               sizeof addr.sun_path - 1);
+  ::unlink(opt.socket_path.c_str());
+  if (::bind(listen_fd, (const sockaddr*)&addr, sizeof addr) < 0 ||
+      ::listen(listen_fd, 8) < 0) {
+    std::perror("csfma_serve: bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  std::fprintf(stderr, "csfma_serve: listening on %s\n",
+               opt.socket_path.c_str());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> sessions;
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop.load()) break;
+      if (errno == EINTR) continue;
+      std::perror("csfma_serve: accept");
+      break;
+    }
+    sessions.emplace_back([fd, &opt, &metrics, &cache, &stop, listen_fd] {
+      ServiceConfig cfg = opt.service;
+      cfg.metrics = &metrics;
+      cfg.cache = &cache;
+      ServiceSession session(cfg, [fd](const std::string& line) {
+        std::string out = line + "\n";
+        std::size_t off = 0;
+        while (off < out.size()) {
+          ssize_t n = ::write(fd, out.data() + off, out.size() - off);
+          if (n <= 0) return;  // client went away; drop the line
+          off += (std::size_t)n;
+        }
+      });
+      // Line-buffered reads through stdio on a dup so closing the FILE
+      // does not race the writer using `fd`.
+      FILE* in = ::fdopen(::dup(fd), "r");
+      if (in != nullptr) {
+        char* buf = nullptr;
+        std::size_t cap = 0;
+        ssize_t len;
+        while (!session.shutdown_requested() &&
+               (len = ::getline(&buf, &cap, in)) >= 0) {
+          while (len > 0 && (buf[len - 1] == '\n' || buf[len - 1] == '\r'))
+            buf[--len] = '\0';
+          session.handle_line(std::string(buf, (std::size_t)len));
+        }
+        std::free(buf);
+        std::fclose(in);
+      }
+      session.finish();
+      if (session.shutdown_requested()) {
+        // A shutdown request stops the whole daemon: close the listener so
+        // the accept loop unblocks.
+        stop.store(true);
+        ::shutdown(listen_fd, SHUT_RDWR);
+      }
+      ::close(fd);
+    });
+    if (stop.load()) break;
+  }
+  for (auto& t : sessions) t.join();
+  ::close(listen_fd);
+  ::unlink(opt.socket_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);  // dead clients must not kill the daemon
+  const ServeOptions opt = parse_args(argc, argv);
+  MetricsRegistry metrics;
+  const int rc = opt.socket_path.empty() ? run_stdio(opt, metrics)
+                                         : run_socket(opt, metrics);
+  if (opt.dump_metrics)
+    std::fprintf(stderr, "%s\n", metrics.to_json().c_str());
+  return rc;
+}
