@@ -21,6 +21,22 @@ Usage:
       scopes, declared ids, monotone timestamps, and value tokens that
       fit their declared widths (the files SignalTap writes, see
       docs/observability.md).
+
+  check_report.py --check-journal cache.journal [more ...]
+      Validate a csfma-journal-v1 cache-persistence file (the format
+      csfma_serve --cache-file writes, docs/service.md): magic header,
+      per-record key/length/FNV-1a checksum integrity.  A truncated or
+      corrupt trailing record FAILS the check — the daemon skips such
+      tails at recovery, but a checked-in or published journal must be
+      whole.
+
+  check_report.py --check-sweep transcript.jsonl [more ...]
+      Validate a sweep transcript (the JSON lines a `sweep` request
+      streams back; csfma_client.py sweep --transcript writes one):
+      proto versioning, sweep_point lines in index order, each embedded
+      csfma-report-v1 payload schema-valid, hit/miss counts consistent,
+      and the sweep_done digest matching an independent FNV-1a
+      recomputation over the point payload bytes.
 """
 import json
 import math
@@ -292,6 +308,15 @@ def check_report(path):
             r = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(path, f"cannot load: {e}")
+    check_report_obj(path, r)
+    nmetrics = len(r["metrics"])
+    print(f"{path}: OK ({r['bench']}, {nmetrics} metrics, "
+          f"{len(r['timing'])} timing entries, {len(r['tables'])} tables)")
+    return r
+
+
+def check_report_obj(path, r):
+    """Validate one csfma-report-v1 document already parsed from JSON."""
     if not isinstance(r, dict):
         fail(path, "top level must be an object")
     if r.get("schema") != SCHEMA:
@@ -336,11 +361,186 @@ def check_report(path):
             check_stage_activity(path, sec)
         elif name == "bench_host_perf":
             check_bench_host_perf(path, sec)
-
-    nmetrics = len(r["metrics"])
-    print(f"{path}: OK ({r['bench']}, {nmetrics} metrics, "
-          f"{len(r['timing'])} timing entries, {len(tables)} tables)")
     return r
+
+
+PROTO = 1
+JOURNAL_MAGIC = b"csfma-journal-v1"
+KEY16 = re.compile(r"^[0-9a-f]{16}$")
+
+
+def fnv1a64(data, h=0xCBF29CE484222325):
+    """FNV-1a 64 over bytes — must match fnv1a64() in service/protocol.cpp."""
+    for byte in data:
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def check_journal(path):
+    """Validate a csfma-journal-v1 file; any torn/corrupt record fails."""
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError as e:
+        fail(path, f"cannot load: {e}")
+
+    pos = 0
+
+    def next_line():
+        nonlocal pos
+        nl = data.find(b"\n", pos)
+        if nl < 0:
+            return None  # a record without its newline is a torn append
+        line = data[pos:nl]
+        pos = nl + 1
+        return line
+
+    header = next_line()
+    if header is None:
+        fail(path, "truncated before the end of the magic header")
+    if header != JOURNAL_MAGIC:
+        fail(path, f"bad magic header {header!r}, "
+                   f"expected {JOURNAL_MAGIC.decode()!r}")
+
+    records, keys = 0, set()
+    while pos < len(data):
+        record_no = records + 1
+        line = next_line()
+        if line is None:
+            fail(path, f"record {record_no}: truncated trailing record "
+                       f"({len(data) - pos} byte(s) without a newline)")
+        # "<key16> <len> <fnv16> <payload>" — mirror parse_record() in
+        # service/persist.cpp, but strict: any violation is fatal here.
+        parts = line.split(b" ", 3)
+        if len(parts) != 4:
+            fail(path, f"record {record_no}: expected 4 space-separated "
+                       f"fields, got {len(parts)}")
+        key, len_s, sum_s, payload = parts
+        if not KEY16.match(key.decode("ascii", "replace")):
+            fail(path, f"record {record_no}: key {key!r} is not 16 hex digits")
+        if not len_s.isdigit():
+            fail(path, f"record {record_no}: length {len_s!r} not decimal")
+        if not KEY16.match(sum_s.decode("ascii", "replace")):
+            fail(path, f"record {record_no}: checksum {sum_s!r} is not "
+                       f"16 hex digits")
+        if int(len_s) != len(payload):
+            fail(path, f"record {record_no}: declared length {int(len_s)} "
+                       f"but payload is {len(payload)} byte(s) — torn or "
+                       f"overwritten record")
+        if f"{fnv1a64(payload):016x}".encode() != sum_s:
+            fail(path, f"record {record_no}: FNV-1a checksum mismatch")
+        records += 1
+        keys.add(key)
+    if records == 0:
+        print(f"{path}: OK (empty journal)")
+    else:
+        print(f"{path}: OK ({records} record(s), {len(keys)} distinct "
+              f"key(s))")
+
+
+def _report_bytes(raw_line):
+    """The exact report-payload bytes out of a line carrying `"report":`.
+
+    The daemon emits the payload as the last member before the closing
+    brace (sweep.cpp sweep_point_line), so the splice is unambiguous.
+    """
+    marker = '"report":'
+    idx = raw_line.find(marker)
+    if idx < 0:
+        return None
+    return raw_line[idx + len(marker):-1]
+
+
+def check_sweep(path):
+    """Validate one sweep transcript: ordering, schema, digest replay."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw_lines = f.read().splitlines()
+    except OSError as e:
+        fail(path, f"cannot load: {e}")
+
+    npoints_declared = None
+    points_seen = 0
+    digest = 0xCBF29CE484222325  # kSweepDigestSeed (sweep.hpp)
+    done = None
+    for lineno, raw in enumerate(raw_lines, start=1):
+        if not raw.strip():
+            continue
+        where = f"line {lineno}"
+        if done is not None:
+            fail(path, f"{where}: content after the sweep_done summary")
+        try:
+            msg = json.loads(raw)
+        except json.JSONDecodeError as e:
+            fail(path, f"{where}: malformed JSON: {e}")
+        if not isinstance(msg, dict) or "type" not in msg:
+            fail(path, f"{where}: not a typed reply object")
+        if msg.get("proto") != PROTO:
+            fail(path, f'{where}: proto is {msg.get("proto")!r}, '
+                       f"expected {PROTO}")
+        t = msg["type"]
+        if t == "progress":
+            continue  # heartbeats may interleave; not part of the contract
+        if t == "accepted":
+            if not isinstance(msg.get("points"), int) or msg["points"] < 1:
+                fail(path, f"{where}: sweep acceptance must declare a "
+                           f"positive point count")
+            npoints_declared = msg["points"]
+            continue
+        if t == "sweep_point":
+            if msg.get("index") != points_seen:
+                fail(path, f'{where}: point index {msg.get("index")!r}, '
+                           f"expected {points_seen} (index order is the "
+                           f"contract)")
+            if npoints_declared is None:
+                npoints_declared = msg.get("points")
+            if msg.get("points") != npoints_declared:
+                fail(path, f'{where}: point count {msg.get("points")!r} '
+                           f"disagrees with {npoints_declared}")
+            if msg.get("cache") not in ("hit", "miss"):
+                fail(path, f'{where}: cache must be "hit" or "miss"')
+            if not isinstance(msg.get("cache_key"), str) or \
+                    not KEY16.match(msg["cache_key"]):
+                fail(path, f"{where}: cache_key must be 16 hex digits")
+            params = msg.get("params")
+            if not isinstance(params, dict):
+                fail(path, f"{where}: missing params object")
+            for k in ("mode", "unit", "rounding", "seed"):
+                if k not in params:
+                    fail(path, f"{where}: params missing '{k}'")
+            payload = _report_bytes(raw)
+            if payload is None:
+                fail(path, f"{where}: sweep_point without a report payload")
+            check_report_obj(f"{path}:{lineno} report", msg.get("report"))
+            digest = fnv1a64(payload.encode("utf-8"), digest)
+            points_seen += 1
+            continue
+        if t == "sweep_done":
+            done = msg
+            continue
+        fail(path, f"{where}: unexpected reply type {t!r} in a sweep "
+                   f"transcript")
+
+    if done is None:
+        fail(path, "no sweep_done summary — truncated transcript")
+    if done.get("points") != points_seen:
+        fail(path, f'sweep_done says {done.get("points")!r} points but '
+                   f"{points_seen} were streamed")
+    if npoints_declared is not None and points_seen != npoints_declared:
+        fail(path, f"{points_seen} point(s) streamed of {npoints_declared} "
+                   f"declared")
+    hits, misses = done.get("cache_hits"), done.get("cache_misses")
+    if not isinstance(hits, int) or not isinstance(misses, int) or \
+            hits + misses != points_seen:
+        fail(path, f"cache_hits ({hits!r}) + cache_misses ({misses!r}) "
+                   f"must equal the point count {points_seen}")
+    if done.get("digest") != f"{digest:016x}":
+        fail(path, f'digest {done.get("digest")!r} does not match the '
+                   f"recomputed FNV-1a over point payloads "
+                   f"({digest:016x}) — payload bytes drifted")
+    print(f"{path}: OK ({points_seen} point(s), {hits} hit(s), "
+          f"{misses} miss(es), digest {done['digest']})")
 
 
 # Sections that carry Timing-class (wall-clock) data and are therefore
@@ -376,6 +576,18 @@ def main(argv):
             fail("usage", "--check-vcd needs at least one VCD path")
         for path in argv[1:]:
             check_vcd(path)
+        return
+    if len(argv) >= 1 and argv[0] == "--check-journal":
+        if len(argv) < 2:
+            fail("usage", "--check-journal needs at least one journal path")
+        for path in argv[1:]:
+            check_journal(path)
+        return
+    if len(argv) >= 1 and argv[0] == "--check-sweep":
+        if len(argv) < 2:
+            fail("usage", "--check-sweep needs at least one transcript path")
+        for path in argv[1:]:
+            check_sweep(path)
         return
     if len(argv) >= 1 and argv[0] == "--compare-metrics":
         if len(argv) != 3:

@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
 """Stdlib JSON-lines client for the csfma_serve daemon.
 
-Speaks the protocol of docs/service.md over either transport the daemon
-offers: a spawned child process on stdin/stdout, or a Unix stream socket.
-Used three ways:
+Speaks proto version 1 of the protocol in docs/service.md over any
+transport the daemon offers: a spawned child process on stdin/stdout, a
+Unix stream socket, or TCP.  The importable surface is the CsfmaClient
+class (construction via CsfmaClient.spawn / .connect / .connect_tcp;
+requests via .submit / .sweep / .status / .cancel / .shutdown); the CLI
+below is a thin wrapper over it.
 
   csfma_client.py submit --serve BIN --mode batch --unit pcs --ops 100000 --seed 1
       spawn a daemon, run one job, print the result reply as JSON
 
-  csfma_client.py selftest --serve BIN [--transport stdio|socket|both]
-      the end-to-end protocol conformance suite CI runs: cache-hit
-      byte-identity, cooperative cancel, malformed-input replies, and
-      1-vs-4-worker result determinism.  Exit 0 iff every check passes.
+  csfma_client.py sweep --serve BIN --units pcs,fcs --seeds 1,2 --ops 20000
+      run a server-side sweep, print per-point summaries + the digest
 
-  from csfma_client import Client   (library use from tests)
+  csfma_client.py selftest --serve BIN [--transport stdio|socket|tcp|both|all]
+      the end-to-end conformance suite CI runs: cache-hit byte-identity,
+      cooperative cancel, malformed-input replies, proto-version gating,
+      1-vs-4-worker determinism, backpressure busy errors, cache
+      persistence across a daemon restart, and sweep replay byte-identity.
+      Exit 0 iff every check passes.
 
 No third-party imports; python3 stdlib only.
 """
@@ -28,6 +34,11 @@ import subprocess
 import sys
 import tempfile
 import time
+
+#: The protocol generation this client speaks.  Sent in every request;
+#: the daemon answers any other value with an `unsupported_version` error
+#: and every reply carries the daemon's own proto for the client to check.
+PROTO = 1
 
 
 class ProtocolError(RuntimeError):
@@ -69,12 +80,15 @@ class _StdioTransport:
 
 
 class _SocketTransport:
-    """Connection to a daemon already listening on --socket PATH."""
+    """Connection to a listening daemon: Unix path or (host, port)."""
 
-    def __init__(self, path, timeout_s=300.0):
-        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    def __init__(self, addr, timeout_s=300.0):
+        if isinstance(addr, tuple):
+            self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        else:
+            self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         self.sock.settimeout(timeout_s)
-        self.sock.connect(path)
+        self.sock.connect(addr)
         self.rfile = self.sock.makefile("r", encoding="utf-8")
 
     def send_line(self, line):
@@ -105,6 +119,19 @@ class _SocketTransport:
         return 0
 
 
+def _report_bytes(raw_line):
+    """The raw report object out of a reply line carrying `"report":`.
+
+    Splices the substring after the marker so byte-identity checks are
+    immune to the reply envelope (id, elapsed_s, cache verdict).
+    """
+    marker = '"report":'
+    idx = raw_line.find(marker)
+    if idx < 0:
+        raise ProtocolError(f"no report in reply: {raw_line!r}")
+    return raw_line[idx + len(marker):-1]
+
+
 class Result:
     """One finished submit: the terminal reply plus everything en route."""
 
@@ -120,20 +147,35 @@ class Result:
 
     @property
     def report_bytes(self):
-        """The raw report object out of a "result" line.
-
-        Splices the substring after `"report":` so byte-identity checks
-        are immune to the reply envelope (id, elapsed_s, cache verdict).
-        """
-        marker = '"report":'
-        idx = self.raw_terminal.find(marker)
-        if idx < 0:
-            raise ProtocolError(f"no report in reply: {self.raw_terminal!r}")
-        return self.raw_terminal[idx + len(marker):-1]
+        return _report_bytes(self.raw_terminal)
 
 
-class Client:
-    """Synchronous protocol driver on top of either transport."""
+class SweepResult:
+    """One finished sweep: ordered point lines plus the terminal summary."""
+
+    def __init__(self, accepted, points, raw_points, done, raw_done,
+                 progress):
+        self.accepted = accepted      # parsed "accepted" (carries "points")
+        self.points = points          # parsed "sweep_point" lines, in order
+        self.raw_points = raw_points  # exact daemon bytes per point (str)
+        self.done = done              # parsed "sweep_done" summary
+        self.raw_done = raw_done      # exact daemon bytes of the summary
+        self.progress = progress      # parsed "progress" events, in order
+
+    @property
+    def job(self):
+        return self.accepted["job"]
+
+    @property
+    def digest(self):
+        return self.done["digest"]
+
+    def point_report_bytes(self, index):
+        return _report_bytes(self.raw_points[index])
+
+
+class CsfmaClient:
+    """Synchronous proto-1 driver on top of any line transport."""
 
     def __init__(self, transport):
         self.t = transport
@@ -143,17 +185,28 @@ class Client:
 
     @classmethod
     def spawn(cls, serve_binary, workers=2, cache=64, progress_interval=0.5,
-              extra_args=()):
+              max_pending=None, cache_file=None, extra_args=()):
+        """Spawn a private daemon on stdin/stdout."""
         argv = [serve_binary,
                 "--workers", str(workers),
                 "--job-cache", str(cache),
                 "--progress-interval", str(progress_interval)]
+        if max_pending is not None:
+            argv += ["--max-pending", str(max_pending)]
+        if cache_file is not None:
+            argv += ["--cache-file", str(cache_file)]
         argv += list(extra_args)
         return cls(_StdioTransport(argv))
 
     @classmethod
     def connect(cls, socket_path, timeout_s=300.0):
+        """Connect to a daemon listening on --socket PATH."""
         return cls(_SocketTransport(socket_path, timeout_s))
+
+    @classmethod
+    def connect_tcp(cls, host, port, timeout_s=300.0):
+        """Connect to a daemon listening on --tcp HOST:PORT."""
+        return cls(_SocketTransport((host, int(port)), timeout_s))
 
     def __enter__(self):
         return self
@@ -177,6 +230,10 @@ class Client:
             raise ProtocolError(f"daemon emitted malformed JSON: {raw!r}: {e}")
         if not isinstance(msg, dict) or "type" not in msg:
             raise ProtocolError(f"daemon reply has no type: {raw!r}")
+        if msg.get("proto") != PROTO:
+            raise ProtocolError(
+                f"daemon speaks proto {msg.get('proto')!r}, "
+                f"this client wants {PROTO}: {raw!r}")
         return msg, raw
 
     def _rid(self):
@@ -189,6 +246,7 @@ class Client:
         """Send a submit; return the parsed accepted (or error) reply."""
         req = dict(params)
         req["type"] = "submit"
+        req["proto"] = PROTO
         req.setdefault("id", self._rid())
         self._send(req)
         msg, raw = self._recv()
@@ -217,18 +275,50 @@ class Client:
         terminal, raw, progress = self.wait(acc["job"])
         return Result(acc, terminal, raw, progress)
 
+    def sweep(self, **params):
+        """Run a server-side sweep and block for its sweep_done summary."""
+        req = dict(params)
+        req["type"] = "sweep"
+        req["proto"] = PROTO
+        req.setdefault("id", self._rid())
+        self._send(req)
+        acc, raw_acc = self._recv()
+        if acc["type"] == "error":
+            return SweepResult(acc, [], [], acc, raw_acc, [])
+        job = acc["job"]
+        points, raw_points, progress = [], [], []
+        while True:
+            msg, raw = self._recv()
+            if msg["type"] == "progress":
+                if msg["job"] == job:
+                    progress.append(msg)
+                continue
+            if msg["type"] == "sweep_point" and msg["job"] == job:
+                if msg["index"] != len(points):
+                    raise ProtocolError(
+                        f"sweep point out of order: got index {msg['index']}, "
+                        f"expected {len(points)}")
+                points.append(msg)
+                raw_points.append(raw)
+                continue
+            if msg.get("job") == job:  # sweep_done / cancelled / error
+                return SweepResult(acc, points, raw_points, msg, raw,
+                                   progress)
+            raise ProtocolError(f"unexpected interleaved reply: {raw!r}")
+
     def cancel(self, job):
-        self._send({"type": "cancel", "id": self._rid(), "job": job})
+        self._send({"type": "cancel", "proto": PROTO, "id": self._rid(),
+                    "job": job})
         msg, _ = self._recv()
         return msg
 
     def status(self):
-        self._send({"type": "status", "id": self._rid()})
+        self._send({"type": "status", "proto": PROTO, "id": self._rid()})
         msg, _ = self._recv()
         return msg
 
     def shutdown(self):
-        self._send({"type": "shutdown", "id": self._rid()})
+        self._send({"type": "shutdown", "proto": PROTO, "id": self._rid()})
         msg, _ = self._recv()
         return msg
 
@@ -237,6 +327,39 @@ class Client:
         self.t.send_line(text)
         msg, _ = self._recv()
         return msg
+
+
+#: Backward-compatible alias; new code should import CsfmaClient.
+Client = CsfmaClient
+
+
+# -- daemon spawning helpers (selftest + CLI) -----------------------------
+
+
+def _spawn_listening(serve, args, ready):
+    """Start a listening daemon; wait for `ready()` truthy or die trying."""
+    proc = subprocess.Popen([serve] + args, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    deadline = time.time() + 30
+    while True:
+        r = ready()
+        if r:
+            return proc, r
+        if time.time() > deadline or proc.poll() is not None:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            return None, None
+        time.sleep(0.05)
+
+
+def _read_port_file(path):
+    try:
+        with open(path) as f:
+            text = f.read().strip()
+        return int(text) if text else None
+    except (OSError, ValueError):
+        return None
 
 
 # -- selftest ------------------------------------------------------------
@@ -254,6 +377,7 @@ class Check:
 
 
 BATCH = dict(mode="batch", unit="pcs", ops=20000, seed=11)
+SWEEP = dict(mode="batch", unit=["pcs", "fcs"], seed=[11, 12], ops=20000)
 
 
 def selftest_session(check, client):
@@ -274,6 +398,9 @@ def selftest_session(check, client):
         last = r1.progress[-1]
         check.ok(last["ops_done"] == last["ops_total"] == BATCH["ops"],
                  "final progress event reports 100%")
+    check.ok(r1.accepted.get("proto") == PROTO and
+             r1.terminal.get("proto") == PROTO,
+             "replies carry proto version 1")
 
     # 2. Cooperative cancel: a job big enough to still be running when the
     #    cancel lands; expect cancel_ok then a clean `cancelled` terminal
@@ -307,26 +434,55 @@ def selftest_session(check, client):
     e = client.send_raw('{"type":"submit","mode":"batch","unit":"pcs","seed":1}')
     check.ok(e["type"] == "error" and e["code"] == "bad_request",
              "missing field gets bad_request")
+    e = client.send_raw('{"type":"status","proto":99,"id":"v"}')
+    check.ok(e["type"] == "error" and e["code"] == "unsupported_version",
+             "wrong proto version gets unsupported_version")
     e = client.cancel("job-99999")
     check.ok(e["type"] == "error" and e["code"] == "unknown_job",
              "cancel of unknown job gets unknown_job")
     check.ok(client.status()["type"] == "status",
              "daemon alive after error barrage")
 
+    # 4. Server-side sweep: 4 points, streamed in index order, summarized
+    #    with a digest; a repeat sweep is all cache hits with the same
+    #    digest and byte-identical point payloads.
+    s1 = client.sweep(**SWEEP)
+    check.ok(s1.accepted["type"] == "accepted" and s1.accepted["points"] == 4,
+             "sweep accepted with 4 points")
+    check.ok(s1.done["type"] == "sweep_done", "sweep completes")
+    check.ok(len(s1.points) == 4, "every sweep point streamed")
+    check.ok([p["params"]["unit"] for p in s1.points] ==
+             ["pcs", "pcs", "fcs", "fcs"],
+             "points follow the fixed expansion order")
+    s2 = client.sweep(**SWEEP)
+    check.ok(s2.done["cache_hits"] == 4 and s2.done["cache_misses"] == 0,
+             "repeat sweep is all cache hits")
+    check.ok(s1.digest == s2.digest, "repeat sweep digest matches")
+    check.ok(all(s1.point_report_bytes(i) == s2.point_report_bytes(i)
+                 for i in range(4)),
+             "repeat sweep point payloads byte-identical")
+    # A sweep point result is the same bytes a plain submit produces
+    # (cache-deduplicated both ways: this submit is a hit).
+    r = client.submit(**BATCH)
+    check.ok(r.terminal["cache"] == "hit" and
+             r.report_bytes == s1.point_report_bytes(0),
+             "sweep point deduplicates against plain submits")
+
 
 def selftest_stdio(check, serve):
     print("stdio transport:")
-    with Client.spawn(serve, workers=2, progress_interval=0.05) as client:
+    with CsfmaClient.spawn(serve, workers=2, progress_interval=0.05) as client:
         selftest_session(check, client)
         bye = client.shutdown()
         check.ok(bye["type"] == "bye", "shutdown answers bye")
-    # 4. Worker-count determinism through the service path: independent
-    #    daemons (cache off, so both actually simulate) must produce
-    #    byte-identical reports for the same request.
+        check.ok(bye.get("proto") == PROTO, "bye carries proto version 1")
+    # Worker-count determinism through the service path: independent
+    # daemons (cache off, so both actually simulate) must produce
+    # byte-identical reports for the same request.
     print("worker determinism:")
     reports = []
     for workers in (1, 4):
-        with Client.spawn(serve, workers=workers, cache=0) as client:
+        with CsfmaClient.spawn(serve, workers=workers, cache=0) as client:
             r = client.submit(**BATCH)
             check.ok(r.terminal.get("cache") == "miss",
                      f"cache disabled under --workers {workers}")
@@ -340,21 +496,19 @@ def selftest_socket(check, serve):
     print("socket transport:")
     tmp = tempfile.mkdtemp(prefix="csfma_serve.")
     path = os.path.join(tmp, "sock")
-    proc = subprocess.Popen(
-        [serve, "--workers", "2", "--progress-interval", "0.05",
-         "--socket", path],
-        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    proc, _ = _spawn_listening(
+        serve, ["--workers", "2", "--progress-interval", "0.05",
+                "--socket", path],
+        lambda: os.path.exists(path))
+    if proc is None:
+        check.ok(False, "socket daemon came up")
+        os.rmdir(tmp)
+        return
     try:
-        deadline = time.time() + 30
-        while not os.path.exists(path):
-            if time.time() > deadline or proc.poll() is not None:
-                check.ok(False, "socket daemon came up")
-                return
-            time.sleep(0.05)
-        with Client.connect(path) as client:
+        with CsfmaClient.connect(path) as client:
             selftest_session(check, client)
         # A fresh connection shares the daemon-wide cache: instant hit.
-        with Client.connect(path) as client:
+        with CsfmaClient.connect(path) as client:
             r = client.submit(**BATCH)
             check.ok(r.terminal.get("cache") == "hit",
                      "cache shared across connections")
@@ -371,12 +525,152 @@ def selftest_socket(check, serve):
         os.rmdir(tmp)
 
 
+def selftest_tcp(check, serve):
+    print("tcp transport:")
+    tmp = tempfile.mkdtemp(prefix="csfma_serve.")
+    port_file = os.path.join(tmp, "port")
+    proc, port = _spawn_listening(
+        serve, ["--workers", "2", "--progress-interval", "0.05",
+                "--tcp", "127.0.0.1:0", "--port-file", port_file],
+        lambda: _read_port_file(port_file))
+    if proc is None:
+        check.ok(False, "tcp daemon came up")
+        os.rmdir(tmp)
+        return
+    try:
+        with CsfmaClient.connect_tcp("127.0.0.1", port) as client:
+            selftest_session(check, client)
+        # Two concurrent connections: each its own session, one shared
+        # cache; a hit on connection B for work done on connection A.
+        a = CsfmaClient.connect_tcp("127.0.0.1", port)
+        b = CsfmaClient.connect_tcp("127.0.0.1", port)
+        try:
+            fresh = dict(mode="batch", unit="classic", ops=20000, seed=21)
+            ra = a.submit(**fresh)
+            rb = b.submit(**fresh)
+            check.ok(ra.terminal["cache"] == "miss" and
+                     rb.terminal["cache"] == "hit",
+                     "cache shared across concurrent TCP connections")
+            check.ok(ra.report_bytes == rb.report_bytes,
+                     "cross-connection replay byte-identical")
+        finally:
+            a.close()
+        bye = b.shutdown()
+        check.ok(bye["type"] == "bye", "tcp shutdown answers bye")
+        b.close()
+        rc = proc.wait(timeout=60)
+        check.ok(rc == 0, f"daemon exit status 0 (got {rc})")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        if os.path.exists(port_file):
+            os.unlink(port_file)
+        os.rmdir(tmp)
+
+
+def selftest_backpressure(check, serve):
+    """A saturated pending queue must answer typed busy errors, not hang."""
+    print("backpressure:")
+    big = dict(mode="batch", unit="pcs", ops=200_000_000, shard_ops=4096)
+    with CsfmaClient.spawn(serve, workers=1, cache=0, max_pending=1,
+                           progress_interval=5.0) as client:
+        acc1, _ = client.submit_async(dict(big, seed=101))
+        check.ok(acc1["type"] == "accepted", "first submission accepted")
+        # Wait until job 1 occupies the lone worker (the pending queue only
+        # counts queued-not-running jobs, and the pop races the next submit).
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            st = client.status()
+            while st["type"] == "progress":
+                st, _ = client._recv()
+            states = {j["job"]: j["state"] for j in st["jobs"]}
+            if states.get(acc1.get("job")) == "running":
+                break
+            time.sleep(0.05)
+        acc2, _ = client.submit_async(dict(big, seed=102))  # queued
+        while acc2["type"] == "progress":
+            acc2, _ = client._recv()
+        acc3, _ = client.submit_async(dict(big, seed=103))  # over the bound
+        while acc3["type"] == "progress":
+            acc3, _ = client._recv()
+        check.ok(acc2["type"] == "accepted",
+                 "submission filling the queue accepted")
+        check.ok(acc3["type"] == "error" and acc3["code"] == "busy",
+                 "submission beyond the bound gets typed busy error")
+        for acc in (acc1, acc2):
+            if acc["type"] != "accepted":
+                continue
+            ack = client.cancel(acc["job"])
+            while ack["type"] == "progress":
+                ack, _ = client._recv()
+            terminal, _, _ = client.wait(acc["job"])
+            check.ok(terminal["type"] == "cancelled",
+                     f"{acc['job']} drains after busy rejection")
+        bye = client.shutdown()
+        check.ok(bye["type"] == "bye", "daemon healthy after backpressure")
+
+
+def selftest_persistence(check, serve):
+    """Cache survives a daemon restart: byte-identical replay from disk."""
+    print("cache persistence:")
+    tmp = tempfile.mkdtemp(prefix="csfma_journal.")
+    journal = os.path.join(tmp, "cache.journal")
+    try:
+        with CsfmaClient.spawn(serve, cache_file=journal) as client:
+            r1 = client.submit(**BATCH)
+            check.ok(r1.terminal["cache"] == "miss",
+                     "fresh journal starts cold")
+            s1 = client.sweep(**SWEEP)
+            check.ok(s1.done["type"] == "sweep_done", "sweep completes")
+            client.shutdown()
+        check.ok(os.path.exists(journal), "journal written at shutdown")
+        with CsfmaClient.spawn(serve, cache_file=journal) as client:
+            r2 = client.submit(**BATCH)
+            check.ok(r2.terminal["cache"] == "hit",
+                     "restarted daemon replays from the journal")
+            check.ok(r1.report_bytes == r2.report_bytes,
+                     "persisted replay byte-identical")
+            s2 = client.sweep(**SWEEP)
+            check.ok(s2.done["cache_hits"] == s1.done["points"] and
+                     s2.done["cache_misses"] == 0,
+                     "restarted sweep is all cache hits")
+            check.ok(s1.digest == s2.digest,
+                     "sweep digest identical across restart")
+            client.shutdown()
+        # Truncation tolerance: a torn trailing record must not take the
+        # good records (or the daemon) down with it.
+        with open(journal, "ab") as f:
+            f.write(b"0123456789abcdef 999 0123456789abcdef {\"torn")
+        with CsfmaClient.spawn(serve, cache_file=journal) as client:
+            r3 = client.submit(**BATCH)
+            check.ok(r3.terminal["cache"] == "hit" and
+                     r3.report_bytes == r1.report_bytes,
+                     "torn journal tail skipped, good records kept")
+            client.shutdown()
+    finally:
+        for name in os.listdir(tmp):
+            os.unlink(os.path.join(tmp, name))
+        os.rmdir(tmp)
+
+
 def cmd_selftest(args):
     check = Check()
-    if args.transport in ("stdio", "both"):
+    transports = {
+        "stdio": ("stdio",),
+        "socket": ("socket",),
+        "tcp": ("tcp",),
+        "both": ("stdio", "socket"),
+        "all": ("stdio", "socket", "tcp"),
+    }[args.transport]
+    if "stdio" in transports:
         selftest_stdio(check, args.serve)
-    if args.transport in ("socket", "both"):
+    if "socket" in transports:
         selftest_socket(check, args.serve)
+    if "tcp" in transports:
+        selftest_tcp(check, args.serve)
+    selftest_backpressure(check, args.serve)
+    selftest_persistence(check, args.serve)
     if check.failures:
         print(f"\n{len(check.failures)} check(s) FAILED:", file=sys.stderr)
         for f in check.failures:
@@ -384,6 +678,15 @@ def cmd_selftest(args):
         return 1
     print("\nall service checks passed")
     return 0
+
+
+def _make_client(args, workers=2):
+    if getattr(args, "socket", None):
+        return CsfmaClient.connect(args.socket)
+    if getattr(args, "tcp", None):
+        host, _, port = args.tcp.rpartition(":")
+        return CsfmaClient.connect_tcp(host or "127.0.0.1", port)
+    return CsfmaClient.spawn(args.serve, workers=workers)
 
 
 def cmd_submit(args):
@@ -396,16 +699,49 @@ def cmd_submit(args):
         params["rounding"] = args.rounding
     if args.threads:
         params["threads"] = args.threads
-    if args.socket:
-        client = Client.connect(args.socket)
-    else:
-        client = Client.spawn(args.serve, workers=args.threads or 2)
-    with client:
+    spawned = not (args.socket or args.tcp)
+    with _make_client(args, workers=args.threads or 2) as client:
         r = client.submit(**params)
         print(r.raw_terminal)
-        if not args.socket:
+        if spawned:
             client.shutdown()
     return 0 if r.terminal["type"] == "result" else 1
+
+
+def cmd_sweep(args):
+    csv = lambda s: [x for x in s.split(",") if x]
+    # Sweep axes reuse the submit field names; each takes a scalar or array.
+    params = dict(mode=args.mode,
+                  unit=csv(args.units),
+                  seed=[int(x) for x in csv(args.seeds)])
+    if args.roundings:
+        params["rounding"] = csv(args.roundings)
+    if args.mode == "chained":
+        params["chains"] = [int(x) for x in csv(args.chains)]
+        params["depth"] = [int(x) for x in csv(args.depths)]
+    else:
+        params["ops"] = [int(x) for x in csv(args.ops)]
+    spawned = not (args.socket or args.tcp)
+    with _make_client(args) as client:
+        s = client.sweep(**params)
+        if s.done["type"] != "sweep_done":
+            print(json.dumps(s.done))
+            return 1
+        if args.transcript:
+            # Raw daemon bytes, the input check_report.py --check-sweep
+            # validates (including the digest recomputation).
+            with open(args.transcript, "w", encoding="utf-8") as f:
+                for raw in s.raw_points:
+                    f.write(raw + "\n")
+                f.write(s.raw_done + "\n")
+        for p in s.points:
+            print(json.dumps({"index": p["index"], "cache": p["cache"],
+                              "cache_key": p["cache_key"],
+                              "params": p["params"]}))
+        print(json.dumps(s.done))
+        if spawned:
+            client.shutdown()
+    return 0
 
 
 def main(argv=None):
@@ -415,13 +751,18 @@ def main(argv=None):
 
     st = sub.add_parser("selftest", help="end-to-end protocol conformance")
     st.add_argument("--serve", required=True, help="path to csfma_serve")
-    st.add_argument("--transport", choices=("stdio", "socket", "both"),
-                    default="both")
+    st.add_argument("--transport",
+                    choices=("stdio", "socket", "tcp", "both", "all"),
+                    default="all")
     st.set_defaults(fn=cmd_selftest)
 
+    def common_connect(sp):
+        sp.add_argument("--serve", help="path to csfma_serve (spawn mode)")
+        sp.add_argument("--socket", help="connect to a --socket daemon")
+        sp.add_argument("--tcp", help="connect to a --tcp daemon (HOST:PORT)")
+
     sm = sub.add_parser("submit", help="run one job and print the result")
-    sm.add_argument("--serve", help="path to csfma_serve (spawn mode)")
-    sm.add_argument("--socket", help="connect to an existing daemon instead")
+    common_connect(sm)
     sm.add_argument("--mode", choices=("batch", "stream", "chained"),
                     default="batch")
     sm.add_argument("--unit", default="pcs")
@@ -433,9 +774,25 @@ def main(argv=None):
     sm.add_argument("--threads", type=int, default=0)
     sm.set_defaults(fn=cmd_submit)
 
+    sw = sub.add_parser("sweep", help="run a server-side parameter sweep")
+    common_connect(sw)
+    sw.add_argument("--mode", choices=("batch", "stream", "chained"),
+                    default="batch")
+    sw.add_argument("--units", default="pcs", help="comma-separated")
+    sw.add_argument("--roundings", default=None, help="comma-separated")
+    sw.add_argument("--seeds", default="1", help="comma-separated")
+    sw.add_argument("--ops", default="100000", help="comma-separated")
+    sw.add_argument("--chains", default="1024", help="comma-separated")
+    sw.add_argument("--depths", default="18", help="comma-separated")
+    sw.add_argument("--transcript",
+                    help="write the raw sweep_point/sweep_done lines here "
+                         "(input for check_report.py --check-sweep)")
+    sw.set_defaults(fn=cmd_sweep)
+
     args = p.parse_args(argv)
-    if args.cmd == "submit" and not (args.serve or args.socket):
-        p.error("submit needs --serve or --socket")
+    if args.cmd in ("submit", "sweep") and not (
+            args.serve or args.socket or args.tcp):
+        p.error(f"{args.cmd} needs --serve, --socket or --tcp")
     try:
         return args.fn(args)
     except ProtocolError as e:

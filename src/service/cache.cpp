@@ -1,5 +1,7 @@
 #include "service/cache.hpp"
 
+#include "service/persist.hpp"
+
 namespace csfma {
 
 ResultCache::ResultCache(std::size_t capacity, MetricsRegistry* metrics)
@@ -34,10 +36,13 @@ void ResultCache::put(const std::string& key, std::string payload) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
+    if (it->second->second != payload && journal_ != nullptr)
+      journal_->append(key, payload);
     it->second->second = std::move(payload);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
+  if (journal_ != nullptr) journal_->append(key, payload);
   lru_.emplace_front(key, std::move(payload));
   index_[key] = lru_.begin();
   if (insertions_ != nullptr) insertions_->add();
@@ -46,6 +51,20 @@ void ResultCache::put(const std::string& key, std::string payload) {
     lru_.pop_back();
     if (evictions_ != nullptr) evictions_->add();
   }
+}
+
+void ResultCache::set_journal(CacheJournal* journal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_ = journal;
+}
+
+std::vector<std::pair<std::string, std::string>>
+ResultCache::entries_oldest_first() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(lru_.size());
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) out.push_back(*it);
+  return out;
 }
 
 std::size_t ResultCache::size() const {

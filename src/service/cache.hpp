@@ -22,10 +22,13 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "telemetry/metrics.hpp"
 
 namespace csfma {
+
+class CacheJournal;
 
 class ResultCache {
  public:
@@ -45,10 +48,21 @@ class ResultCache {
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
 
+  /// Attach a persistence journal (not owned; must outlive the cache).
+  /// Every subsequent put() appends its record — attach AFTER replaying
+  /// the journal into the cache, or the load would re-append every entry.
+  void set_journal(CacheJournal* journal);
+
+  /// Live entries, least recently used first, for CacheJournal::compact
+  /// (reloading a compacted journal reproduces the recency order).
+  std::vector<std::pair<std::string, std::string>> entries_oldest_first()
+      const;
+
  private:
   using Entry = std::pair<std::string, std::string>;  // key -> payload
 
   std::size_t capacity_;
+  CacheJournal* journal_ = nullptr;
   Counter* hits_ = nullptr;
   Counter* misses_ = nullptr;
   Counter* evictions_ = nullptr;

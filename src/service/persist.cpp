@@ -1,0 +1,161 @@
+#include "service/persist.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+
+namespace csfma {
+
+CacheJournal::CacheJournal(std::string path, MetricsRegistry* metrics)
+    : path_(std::move(path)) {
+  if (metrics != nullptr) {
+    m_loaded = &metrics->counter("service.journal.records_loaded",
+                                 Stability::Timing);
+    m_appended =
+        &metrics->counter("service.journal.appends", Stability::Timing);
+    m_skipped_bytes = &metrics->counter("service.journal.skipped_bytes",
+                                        Stability::Timing);
+  }
+}
+
+CacheJournal::~CacheJournal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+std::string CacheJournal::render_record(const std::string& key,
+                                        const std::string& payload) {
+  std::string rec = key;
+  rec += ' ';
+  rec += std::to_string(payload.size());
+  rec += ' ';
+  rec += hex16(fnv1a64(payload));
+  rec += ' ';
+  rec += payload;
+  rec += '\n';
+  return rec;
+}
+
+bool CacheJournal::parse_record(const std::string& line, std::string* key,
+                                std::string* payload) {
+  // "<key16> <len> <fnv16> <payload>" — the line arrives without its
+  // trailing newline.  Every check here is a truncation/corruption guard.
+  const std::size_t s1 = line.find(' ');
+  if (s1 != 16) return false;
+  const std::size_t s2 = line.find(' ', s1 + 1);
+  if (s2 == std::string::npos) return false;
+  const std::size_t s3 = line.find(' ', s2 + 1);
+  if (s3 == std::string::npos || s3 - s2 != 17) return false;
+  const std::string key_s = line.substr(0, s1);
+  const std::string len_s = line.substr(s1 + 1, s2 - s1 - 1);
+  const std::string sum_s = line.substr(s2 + 1, 16);
+  if (len_s.empty() ||
+      len_s.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  if (key_s.find_first_not_of("0123456789abcdef") != std::string::npos ||
+      sum_s.find_first_not_of("0123456789abcdef") != std::string::npos)
+    return false;
+  const std::string body = line.substr(s3 + 1);
+  if (std::to_string(body.size()) != len_s) return false;
+  if (hex16(fnv1a64(body)) != sum_s) return false;
+  *key = key_s;
+  *payload = body;
+  return true;
+}
+
+JournalLoadStats CacheJournal::load(ResultCache* cache) {
+  JournalLoadStats stats;
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) {
+    stats.missing = true;
+    return stats;
+  }
+  std::string data;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) data.append(buf, n);
+  std::fclose(f);
+
+  std::size_t pos = 0;
+  auto next_line = [&](std::string* line) -> bool {
+    // A record without its newline is a truncated append: not a line.
+    const std::size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) return false;
+    line->assign(data, pos, nl - pos);
+    pos = nl + 1;
+    return true;
+  };
+  std::string line;
+  if (!next_line(&line) || line != kJournalMagic) {
+    // Unrecognized or truncated header: nothing is trustworthy.
+    stats.bytes_skipped = data.size();
+    stats.corrupt_tail = !data.empty();
+    if (m_skipped_bytes != nullptr) m_skipped_bytes->add(stats.bytes_skipped);
+    return stats;
+  }
+  std::string key, payload;
+  for (;;) {
+    const std::size_t record_start = pos;
+    if (!next_line(&line)) {
+      stats.bytes_skipped = data.size() - record_start;
+      break;
+    }
+    if (!parse_record(line, &key, &payload)) {
+      // First bad record: everything after it is suspect too — stop.
+      stats.bytes_skipped = data.size() - record_start;
+      break;
+    }
+    if (cache != nullptr) cache->put(key, std::move(payload));
+    ++stats.records_loaded;
+  }
+  stats.corrupt_tail = stats.bytes_skipped > 0;
+  if (m_loaded != nullptr) m_loaded->add(stats.records_loaded);
+  if (m_skipped_bytes != nullptr) m_skipped_bytes->add(stats.bytes_skipped);
+  return stats;
+}
+
+void CacheJournal::append(const std::string& key,
+                          const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (f_ == nullptr) {
+    // First append decides whether a header is needed: appending to an
+    // existing journal must not inject a second magic line.
+    std::FILE* probe = std::fopen(path_.c_str(), "rb");
+    const bool fresh = probe == nullptr || std::fgetc(probe) == EOF;
+    if (probe != nullptr) std::fclose(probe);
+    f_ = std::fopen(path_.c_str(), "ab");
+    if (f_ == nullptr) return;  // persistence is best-effort, never fatal
+    if (fresh) std::fprintf(f_, "%s\n", kJournalMagic);
+  }
+  const std::string rec = render_record(key, payload);
+  std::fwrite(rec.data(), 1, rec.size(), f_);
+  std::fflush(f_);
+  if (m_appended != nullptr) m_appended->add();
+}
+
+bool CacheJournal::compact(
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (f_ != nullptr) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fprintf(f, "%s\n", kJournalMagic) > 0;
+  for (const auto& [key, payload] : entries) {
+    const std::string rec = render_record(key, payload);
+    ok = ok && std::fwrite(rec.data(), 1, rec.size(), f) == rec.size();
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path_.c_str()) == 0;
+}
+
+}  // namespace csfma

@@ -1,0 +1,97 @@
+// Cache persistence: an append-only on-disk journal of rendered results.
+//
+// The ResultCache maps canonical FNV-1a keys to byte-exact csfma-report-v1
+// payloads; both are pure functions of the request, so a cache entry is
+// valid across daemon restarts forever.  CacheJournal makes that durable:
+// every put() appends one record to a journal file, load() replays the
+// records into a fresh cache at startup, and compact() rewrites the file
+// with only the live entries at shutdown (append-only files otherwise grow
+// with every refresh and evicted entry).
+//
+// Format (csfma-journal-v1, documented in docs/service.md#journal and
+// cross-linked from FORMATS.md):
+//
+//   csfma-journal-v1\n
+//   <key> <payload_len> <fnv1a64(payload)> <payload>\n     (one per record)
+//
+// where <key> is the 16-hex-digit cache key, <payload_len> is the decimal
+// byte length of the payload, and the checksum is hex16.  Payloads are
+// JsonWriter output and therefore never contain newlines, so the journal
+// stays line-oriented and greppable.
+//
+// Recovery: a crash mid-append leaves at most one truncated trailing
+// record.  load() verifies every record's length and checksum and STOPS at
+// the first bad one — earlier records are kept, the tail is skipped, and
+// the daemon starts with whatever survived.  Corruption is recoverable by
+// construction, never fatal (the persist_test truncates journals at every
+// byte offset to prove it).  check_report.py --check-journal is the
+// stricter offline validator: it REJECTS files with a corrupt tail so CI
+// can distinguish "daemon recovered" from "journal is clean".
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace csfma {
+
+class ResultCache;
+
+inline constexpr const char* kJournalMagic = "csfma-journal-v1";
+
+struct JournalLoadStats {
+  std::size_t records_loaded = 0;
+  /// Bytes of unreadable tail (0 for a clean journal).  The count of
+  /// records lost is unknowable — the tail is corrupt.
+  std::size_t bytes_skipped = 0;
+  bool missing = false;  // no file yet: a fresh daemon, not an error
+  bool corrupt_tail = false;
+};
+
+class CacheJournal {
+ public:
+  /// `metrics` (optional, not owned) receives service.journal.*.
+  explicit CacheJournal(std::string path, MetricsRegistry* metrics = nullptr);
+  ~CacheJournal();
+  CacheJournal(const CacheJournal&) = delete;
+  CacheJournal& operator=(const CacheJournal&) = delete;
+
+  /// Replay the journal into `cache` (journal order; later records for the
+  /// same key win, matching append order).  Call before attaching this
+  /// journal to the cache, or every replayed put would re-append.
+  JournalLoadStats load(ResultCache* cache);
+
+  /// Append one record and flush (a dead daemon loses at most the record
+  /// being written, which recovery skips).
+  void append(const std::string& key, const std::string& payload);
+
+  /// Atomically rewrite the file with exactly `entries` (oldest first, so
+  /// a reload reproduces the cache's recency order).  Returns false on I/O
+  /// failure, leaving the append-only file as it was.
+  bool compact(
+      const std::vector<std::pair<std::string, std::string>>& entries);
+
+  const std::string& path() const { return path_; }
+
+  /// One record line (with trailing newline) / its inverse.  Exposed for
+  /// the tests and any offline tooling that writes journals.
+  static std::string render_record(const std::string& key,
+                                   const std::string& payload);
+  static bool parse_record(const std::string& line, std::string* key,
+                           std::string* payload);
+
+ private:
+  std::string path_;
+  Counter* m_loaded = nullptr;
+  Counter* m_appended = nullptr;
+  Counter* m_skipped_bytes = nullptr;
+  std::mutex mu_;     // serializes append/compact
+  std::FILE* f_ = nullptr;  // append handle, opened lazily
+};
+
+}  // namespace csfma

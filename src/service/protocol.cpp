@@ -7,6 +7,20 @@
 
 namespace csfma {
 
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t h) {
+  for (char c : bytes) {
+    h ^= (std::uint64_t)(unsigned char)c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", (unsigned long long)v);
+  return std::string(buf);
+}
+
 const char* to_string(SimMode m) {
   switch (m) {
     case SimMode::Batch: return "batch";
@@ -53,6 +67,8 @@ const char* to_string(ServiceError code) {
     case ServiceError::UnknownType: return "unknown_type";
     case ServiceError::UnknownJob: return "unknown_job";
     case ServiceError::ShuttingDown: return "shutting_down";
+    case ServiceError::Busy: return "busy";
+    case ServiceError::UnsupportedVersion: return "unsupported_version";
     case ServiceError::Internal: return "internal";
   }
   return "?";
@@ -90,15 +106,14 @@ std::string SubmitRequest::canonical_key() const {
 }
 
 std::string SubmitRequest::cache_key() const {
-  // FNV-1a 64 over the canonical string.
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (char c : canonical_key()) {
-    h ^= (std::uint64_t)(unsigned char)c;
-    h *= 0x100000001b3ULL;
-  }
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx", (unsigned long long)h);
-  return std::string(buf);
+  return hex16(fnv1a64(canonical_key()));
+}
+
+std::size_t SweepRequest::point_count() const {
+  const std::size_t inner = mode == SimMode::Chained
+                                ? chains.size() * depths.size()
+                                : ops.size();
+  return units.size() * rms.size() * seeds.size() * inner;
 }
 
 namespace {
@@ -164,6 +179,140 @@ bool want_int(const JsonValue& obj, const std::string& key, std::int64_t lo,
     return false;
   }
   *out = (int)n;
+  return true;
+}
+
+/// Scalar-or-array sweep axis: `"seed":3` and `"seed":[3,4]` both parse.
+/// Fills `out` with the element values (one for a scalar); a present but
+/// empty array is an error, as is a missing required axis.
+bool axis_elements(const JsonValue& obj, const std::string& key,
+                   bool required, std::vector<const JsonValue*>* out,
+                   std::string* msg) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    if (required) {
+      *msg = "missing required field \"" + key + "\"";
+      return false;
+    }
+    return true;
+  }
+  if (v->is_array()) {
+    const auto& arr = v->as_array();
+    if (arr.empty()) {
+      *msg = "field \"" + key + "\" must not be an empty array";
+      return false;
+    }
+    for (const JsonValue& e : arr) out->push_back(&e);
+  } else {
+    out->push_back(v);
+  }
+  return true;
+}
+
+bool want_u64_axis(const JsonValue& obj, const std::string& key,
+                   bool required, std::uint64_t lo, std::uint64_t hi,
+                   std::vector<std::uint64_t>* out, std::string* msg) {
+  std::vector<const JsonValue*> vals;
+  if (!axis_elements(obj, key, required, &vals, msg)) return false;
+  if (vals.empty()) return true;  // optional axis absent: keep the default
+  out->clear();
+  for (const JsonValue* v : vals) {
+    if (!v->is_int() || v->as_int() < 0) {
+      *msg = "field \"" + key + "\" values must be non-negative integers";
+      return false;
+    }
+    const std::uint64_t n = (std::uint64_t)v->as_int();
+    if (n < lo || n > hi) {
+      *msg = "field \"" + key + "\" values must be in [" +
+             std::to_string(lo) + ", " + std::to_string(hi) + "]";
+      return false;
+    }
+    out->push_back(n);
+  }
+  return true;
+}
+
+bool want_int_axis(const JsonValue& obj, const std::string& key,
+                   std::int64_t lo, std::int64_t hi, std::vector<int>* out,
+                   std::string* msg) {
+  std::vector<const JsonValue*> vals;
+  if (!axis_elements(obj, key, false, &vals, msg)) return false;
+  if (vals.empty()) return true;
+  out->clear();
+  for (const JsonValue* v : vals) {
+    if (!v->is_int() || v->as_int() < lo || v->as_int() > hi) {
+      *msg = "field \"" + key + "\" values must be integers in [" +
+             std::to_string(lo) + ", " + std::to_string(hi) + "]";
+      return false;
+    }
+    out->push_back((int)v->as_int());
+  }
+  return true;
+}
+
+bool parse_sweep(const JsonValue& obj, SweepRequest* req, std::string* msg) {
+  std::string mode_s;
+  if (!want_string(obj, "mode", false, &mode_s, msg)) return false;
+  if (!mode_s.empty() && !parse_sim_mode(mode_s, &req->mode)) {
+    *msg = "field \"mode\" must be one of batch|stream|chained";
+    return false;
+  }
+  std::vector<const JsonValue*> unit_vals, rm_vals;
+  if (!axis_elements(obj, "unit", true, &unit_vals, msg)) return false;
+  for (const JsonValue* v : unit_vals) {
+    UnitKind k;
+    if (!v->is_string() || !parse_unit_kind(v->as_string(), &k)) {
+      *msg = "field \"unit\" values must be one of discrete|classic|pcs|fcs";
+      return false;
+    }
+    req->units.push_back(k);
+  }
+  if (!axis_elements(obj, "rounding", false, &rm_vals, msg)) return false;
+  if (!rm_vals.empty()) {
+    req->rms.clear();
+    for (const JsonValue* v : rm_vals) {
+      Round r;
+      if (!v->is_string() || !parse_round(v->as_string(), &r)) {
+        *msg = "field \"rounding\" values must be known rounding modes";
+        return false;
+      }
+      req->rms.push_back(r);
+    }
+  }
+  if (!want_u64_axis(obj, "seed", true, 0, ~0ull, &req->seeds, msg))
+    return false;
+  if (req->mode == SimMode::Chained) {
+    if (!want_u64_axis(obj, "chains", true, 1, 1u << 20, &req->chains, msg))
+      return false;
+    if (!want_int_axis(obj, "depth", 3, 64, &req->depths, msg)) return false;
+    if (obj.find("ops") != nullptr) {
+      *msg = "chained sweeps take \"chains\"/\"depth\", not \"ops\"";
+      return false;
+    }
+  } else {
+    if (!want_u64_axis(obj, "ops", true, 1, 1ull << 32, &req->ops, msg))
+      return false;
+    if (!want_int(obj, "emin", -1000, 1000, &req->emin, msg)) return false;
+    if (!want_int(obj, "emax", -1000, 1000, &req->emax, msg)) return false;
+    if (req->emin > req->emax) {
+      *msg = "field \"emin\" must not exceed \"emax\"";
+      return false;
+    }
+    if (obj.find("chains") != nullptr || obj.find("depth") != nullptr) {
+      *msg = "\"chains\"/\"depth\" are only valid with mode \"chained\"";
+      return false;
+    }
+  }
+  if (!want_u64(obj, "shard_ops", false, 1, 1u << 20, &req->shard_ops, msg))
+    return false;
+  if (!want_int(obj, "threads", 0, 64, &req->threads, msg)) return false;
+  const std::size_t points = req->point_count();
+  if (points > kMaxSweepPoints) {
+    *msg = "sweep expands to " + std::to_string(points) +
+           " points, more than the limit of " +
+           std::to_string(kMaxSweepPoints);
+    return false;
+  }
   return true;
 }
 
@@ -234,6 +383,18 @@ ParseOutcome parse_request_line(const std::string& line) {
   if (const JsonValue* id = doc.find("id"); id != nullptr && id->is_string())
     out.id = id->as_string();
 
+  // Version gate before anything else: a request speaking a different
+  // protocol version must not be half-interpreted under this one's rules.
+  // Absent "proto" means version 1 (pre-versioning wire compatibility).
+  if (const JsonValue* proto = doc.find("proto"); proto != nullptr) {
+    if (!proto->is_int() || proto->as_int() != kProtoVersion) {
+      out.code = ServiceError::UnsupportedVersion;
+      out.message = "this daemon speaks proto " +
+                    std::to_string(kProtoVersion) + " only";
+      return out;
+    }
+  }
+
   std::string type, msg;
   if (!want_string(doc, "type", true, &type, &msg)) {
     out.code = ServiceError::BadRequest;
@@ -245,6 +406,14 @@ ParseOutcome parse_request_line(const std::string& line) {
   if (type == "submit") {
     SubmitRequest req;
     if (!parse_submit(doc, &req, &msg)) {
+      out.code = ServiceError::BadRequest;
+      out.message = msg;
+      return out;
+    }
+    out.request.op = req;
+  } else if (type == "sweep") {
+    SweepRequest req;
+    if (!parse_sweep(doc, &req, &msg)) {
       out.code = ServiceError::BadRequest;
       out.message = msg;
       return out;
@@ -287,13 +456,19 @@ void put_id(JsonWriter& w, const std::string& id) {
 
 }  // namespace
 
+void begin_reply(JsonWriter& w, const char* type, const std::string& id) {
+  w.begin_object();
+  w.key("type");
+  w.value(type);
+  w.key("proto");
+  w.value(kProtoVersion);
+  put_id(w, id);
+}
+
 std::string error_reply(const std::string& id, ServiceError code,
                         const std::string& message) {
   JsonWriter w;
-  w.begin_object();
-  w.key("type");
-  w.value("error");
-  put_id(w, id);
+  begin_reply(w, "error", id);
   w.key("code");
   w.value(to_string(code));
   w.key("message");
@@ -305,10 +480,7 @@ std::string error_reply(const std::string& id, ServiceError code,
 std::string accepted_reply(const std::string& id, const std::string& job,
                            const std::string& cache_key) {
   JsonWriter w;
-  w.begin_object();
-  w.key("type");
-  w.value("accepted");
-  put_id(w, id);
+  begin_reply(w, "accepted", id);
   w.key("job");
   w.value(job);
   w.key("cache_key");
@@ -320,9 +492,7 @@ std::string accepted_reply(const std::string& id, const std::string& job,
 std::string progress_event_line(const ProgressEvent& ev) {
   const EngineProgress& p = ev.progress;
   JsonWriter w;
-  w.begin_object();
-  w.key("type");
-  w.value("progress");
+  begin_reply(w, "progress", "");
   w.key("job");
   w.value(ev.job);
   w.key("ops_done");
@@ -347,10 +517,7 @@ std::string result_reply(const std::string& id, const std::string& job,
                          bool cache_hit, double elapsed_s,
                          const std::string& report_json) {
   JsonWriter w;
-  w.begin_object();
-  w.key("type");
-  w.value("result");
-  put_id(w, id);
+  begin_reply(w, "result", id);
   w.key("job");
   w.value(job);
   w.key("cache");
@@ -366,10 +533,7 @@ std::string result_reply(const std::string& id, const std::string& job,
 std::string cancel_ok_reply(const std::string& id, const std::string& job,
                             const std::string& state) {
   JsonWriter w;
-  w.begin_object();
-  w.key("type");
-  w.value("cancel_ok");
-  put_id(w, id);
+  begin_reply(w, "cancel_ok", id);
   w.key("job");
   w.value(job);
   w.key("state");
@@ -381,10 +545,7 @@ std::string cancel_ok_reply(const std::string& id, const std::string& job,
 std::string cancelled_reply(const std::string& id, const std::string& job,
                             std::uint64_t ops_done) {
   JsonWriter w;
-  w.begin_object();
-  w.key("type");
-  w.value("cancelled");
-  put_id(w, id);
+  begin_reply(w, "cancelled", id);
   w.key("job");
   w.value(job);
   w.key("ops_done");
@@ -396,10 +557,7 @@ std::string cancelled_reply(const std::string& id, const std::string& job,
 std::string status_reply(const std::string& id,
                          const std::vector<JobStatus>& jobs) {
   JsonWriter w;
-  w.begin_object();
-  w.key("type");
-  w.value("status");
-  put_id(w, id);
+  begin_reply(w, "status", id);
   w.key("jobs");
   w.begin_array();
   for (const JobStatus& j : jobs) {
@@ -414,6 +572,12 @@ std::string status_reply(const std::string& id,
     w.value(j.ops_total);
     w.key("cache_key");
     w.value(j.cache_key);
+    if (j.points_total > 0) {
+      w.key("points_done");
+      w.value(j.points_done);
+      w.key("points_total");
+      w.value(j.points_total);
+    }
     w.end_object();
   }
   w.end_array();
@@ -424,10 +588,7 @@ std::string status_reply(const std::string& id,
 std::string bye_reply(const std::string& id, std::uint64_t completed,
                       std::uint64_t cancelled, std::uint64_t failed) {
   JsonWriter w;
-  w.begin_object();
-  w.key("type");
-  w.value("bye");
-  put_id(w, id);
+  begin_reply(w, "bye", id);
   w.key("jobs_completed");
   w.value(completed);
   w.key("jobs_cancelled");

@@ -30,6 +30,25 @@
 
 namespace csfma {
 
+/// Wire protocol version.  Requests and replies carry a "proto" field;
+/// a request naming any other version is answered with a typed
+/// `unsupported_version` error instead of being misinterpreted.  Requests
+/// without the field are treated as version 1 (the last unversioned
+/// protocol was wire-compatible with version 1).
+inline constexpr int kProtoVersion = 1;
+
+/// Upper bound on the points one sweep may expand to (cross-product of
+/// its axes) — a hostile or fat-fingered sweep is a bad_request, not an
+/// unbounded server-side fan-out.
+inline constexpr std::size_t kMaxSweepPoints = 4096;
+
+/// FNV-1a 64-bit running hash; fold more bytes into `h` to chain (the
+/// cache key, journal record checksums and sweep digests all use this).
+std::uint64_t fnv1a64(std::string_view bytes,
+                      std::uint64_t h = 0xcbf29ce484222325ULL);
+/// A uint64 as 16 lowercase hex digits (the wire spelling of hashes).
+std::string hex16(std::uint64_t v);
+
 /// Simulation flavours a job can run (the three SimEngine drivers).
 enum class SimMode {
   Batch,    // run_batch over seeded random triples
@@ -46,9 +65,11 @@ bool parse_round(std::string_view s, Round* out);
 enum class ServiceError {
   ParseError,    // the line is not a JSON object
   BadRequest,    // missing / ill-typed / out-of-range field
-  UnknownType,   // "type" is not submit|status|cancel|shutdown
+  UnknownType,   // "type" is not submit|sweep|status|cancel|shutdown
   UnknownJob,    // status/cancel named a job id the service never issued
   ShuttingDown,  // submit received after shutdown
+  Busy,          // admission control: the pending-job queue is full
+  UnsupportedVersion,  // "proto" names a version this daemon cannot speak
   Internal,      // a job failed with an internal error (bug, not bad input)
 };
 
@@ -77,6 +98,32 @@ struct SubmitRequest {
   std::string cache_key() const;
 };
 
+/// A server-side parameter sweep: one request fanning into the cross
+/// product of its axes.  Axis fields accept a scalar or an array on the
+/// wire; parsing normalizes both to a non-empty vector.  Expansion order
+/// is fixed (unit outermost, then rounding, seed, ops|chains, depth) so a
+/// sweep's point indices — and therefore its streamed `sweep_point`
+/// lines and its digest — are deterministic (sweep.hpp).
+struct SweepRequest {
+  SimMode mode = SimMode::Batch;
+  std::vector<UnitKind> units;          // required, >= 1
+  std::vector<Round> rms{Round::NearestEven};
+  std::vector<std::uint64_t> seeds;     // required, >= 1
+  std::vector<std::uint64_t> ops;       // batch/stream: required, >= 1
+  std::vector<std::uint64_t> chains;    // chained: required, >= 1
+  std::vector<int> depths{18};          // chained
+  std::uint64_t shard_ops = 8192;
+  int threads = 1;  // engine threads per point
+  int emin = -8;
+  int emax = 8;
+
+  /// Cross-product cardinality (what kMaxSweepPoints bounds).
+  std::size_t point_count() const;
+  /// The per-point submit requests, in fixed expansion order
+  /// (implemented in sweep.cpp).
+  std::vector<SubmitRequest> expand() const;
+};
+
 struct StatusRequest {
   std::string job;  // "" = report every job
 };
@@ -89,7 +136,8 @@ struct ShutdownRequest {};
 
 struct Request {
   std::string id;  // client correlation id, echoed verbatim in replies
-  std::variant<SubmitRequest, StatusRequest, CancelRequest, ShutdownRequest>
+  std::variant<SubmitRequest, SweepRequest, StatusRequest, CancelRequest,
+               ShutdownRequest>
       op;
 };
 
@@ -106,6 +154,14 @@ struct ParseOutcome {
 ParseOutcome parse_request_line(const std::string& line);
 
 // ---- reply / event rendering (one JSON line each, no trailing \n) ----
+// Every reply/event line starts {"type":...,"proto":1[,"id":...]} — the
+// version stamp lets clients assert compatibility on every line.
+
+class JsonWriter;
+
+/// Open a reply object and emit the shared type/proto/id prefix (the id
+/// is omitted when empty).  The sweep renderers (sweep.cpp) share it.
+void begin_reply(JsonWriter& w, const char* type, const std::string& id);
 
 std::string error_reply(const std::string& id, ServiceError code,
                         const std::string& message);
@@ -145,7 +201,10 @@ struct JobStatus {
   std::string state;  // queued | running | done | cancelled | failed
   std::uint64_t ops_done = 0;
   std::uint64_t ops_total = 0;
-  std::string cache_key;
+  std::string cache_key;  // empty for sweep jobs (each point has its own)
+  // Sweep jobs only (points_total > 0): per-point completion.
+  std::uint64_t points_done = 0;
+  std::uint64_t points_total = 0;
 };
 
 std::string status_reply(const std::string& id,

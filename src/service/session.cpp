@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "energy/workload.hpp"
+#include "service/sweep.hpp"
 #include "telemetry/report.hpp"
 
 namespace csfma {
@@ -65,11 +66,17 @@ ServiceSession::ServiceSession(ServiceConfig cfg, WriteFn write)
     m_errors = &cfg_.metrics->counter("service.errors", Stability::Timing);
     m_submitted =
         &cfg_.metrics->counter("service.jobs.submitted", Stability::Timing);
+    m_sweeps =
+        &cfg_.metrics->counter("service.jobs.sweeps", Stability::Timing);
     m_completed =
         &cfg_.metrics->counter("service.jobs.completed", Stability::Timing);
     m_cancelled =
         &cfg_.metrics->counter("service.jobs.cancelled", Stability::Timing);
     m_failed = &cfg_.metrics->counter("service.jobs.failed", Stability::Timing);
+    m_rejected =
+        &cfg_.metrics->counter("service.jobs.rejected", Stability::Timing);
+    m_queue_depth =
+        &cfg_.metrics->gauge("service.queue.depth", Stability::Timing);
   }
   pool_.reserve((std::size_t)cfg_.workers);
   for (int w = 0; w < cfg_.workers; ++w)
@@ -101,6 +108,8 @@ void ServiceSession::handle_line(const std::string& line) {
   const std::string& id = out.request.id;
   if (const auto* req = std::get_if<SubmitRequest>(&out.request.op)) {
     on_submit(id, *req);
+  } else if (const auto* sw = std::get_if<SweepRequest>(&out.request.op)) {
+    on_sweep(id, *sw);
   } else if (const auto* st = std::get_if<StatusRequest>(&out.request.op)) {
     on_status(id, *st);
   } else if (const auto* cn = std::get_if<CancelRequest>(&out.request.op)) {
@@ -110,8 +119,32 @@ void ServiceSession::handle_line(const std::string& line) {
   }
 }
 
+bool ServiceSession::reject_if_busy_locked(const std::string& id) {
+  if (cfg_.max_pending == 0 || queue_.size() < cfg_.max_pending)
+    return false;
+  if (m_errors != nullptr) m_errors->add();
+  if (m_rejected != nullptr) m_rejected->add();
+  emit(error_reply(id, ServiceError::Busy,
+                   "pending queue full (" + std::to_string(queue_.size()) +
+                       " jobs); retry later"));
+  return true;
+}
+
+void ServiceSession::enqueue(Job* job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(job);
+    if (m_queue_depth != nullptr) m_queue_depth->set((double)queue_.size());
+  }
+  queue_cv_.notify_one();
+}
+
 void ServiceSession::on_submit(const std::string& id,
                                const SubmitRequest& req) {
+  // The cache probe happens before admission control: a memoized result
+  // costs no pool slot, so a full queue must not reject it.
+  const std::string cache_key = req.cache_key();
+  auto hit = cache_->get(cache_key);
   Job* job = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -121,11 +154,12 @@ void ServiceSession::on_submit(const std::string& id,
                        "service is shutting down"));
       return;
     }
+    if (!hit && reject_if_busy_locked(id)) return;
     auto j = std::make_unique<Job>();
     j->id = "job-" + std::to_string(next_job_++);
     j->request_id = id;
     j->req = req;
-    j->cache_key = req.cache_key();
+    j->cache_key = cache_key;
     j->ops_total = req.total_ops();
     job = j.get();
     by_id_[j->id] = job;
@@ -135,7 +169,7 @@ void ServiceSession::on_submit(const std::string& id,
   emit(accepted_reply(id, job->id, job->cache_key));
 
   // Memoized result: replay the original payload bytes, skip the pool.
-  if (auto hit = cache_->get(job->cache_key)) {
+  if (hit) {
     job->ops_done.store(job->ops_total, std::memory_order_relaxed);
     job->state.store(JobState::Done, std::memory_order_relaxed);
     {
@@ -147,11 +181,41 @@ void ServiceSession::on_submit(const std::string& id,
     idle_cv_.notify_all();
     return;
   }
+  enqueue(job);
+}
+
+void ServiceSession::on_sweep(const std::string& id,
+                              const SweepRequest& req) {
+  std::vector<SweepPoint> points = expand_sweep(req);
+  Job* job = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(job);
+    if (shutdown_) {
+      if (m_errors != nullptr) m_errors->add();
+      emit(error_reply(id, ServiceError::ShuttingDown,
+                       "service is shutting down"));
+      return;
+    }
+    // Sweeps always take a pool slot (each point re-probes the cache when
+    // it actually runs, so hits are still free — they just stream from
+    // the worker rather than inline).
+    if (reject_if_busy_locked(id)) return;
+    auto j = std::make_unique<Job>();
+    j->id = "job-" + std::to_string(next_job_++);
+    j->request_id = id;
+    j->points.reserve(points.size());
+    for (SweepPoint& p : points) {
+      j->ops_total += p.req.total_ops();
+      j->points.push_back(std::move(p.req));
+    }
+    job = j.get();
+    by_id_[j->id] = job;
+    jobs_.push_back(std::move(j));
   }
-  queue_cv_.notify_one();
+  if (m_submitted != nullptr) m_submitted->add();
+  if (m_sweeps != nullptr) m_sweeps->add();
+  emit(sweep_accepted_reply(id, job->id, job->points.size()));
+  enqueue(job);
 }
 
 void ServiceSession::on_status(const std::string& id,
@@ -173,6 +237,8 @@ void ServiceSession::on_status(const std::string& id,
       s.ops_done = j->ops_done.load(std::memory_order_relaxed);
       s.ops_total = j->ops_total;
       s.cache_key = j->cache_key;
+      s.points_done = j->points_done.load(std::memory_order_relaxed);
+      s.points_total = j->points.size();
       statuses.push_back(std::move(s));
     }
   }
@@ -230,6 +296,11 @@ void ServiceSession::wait_idle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+bool ServiceSession::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.empty() && active_ == 0;
+}
+
 void ServiceSession::finish() {
   wait_idle();
   std::uint64_t completed, cancelled, failed;
@@ -265,6 +336,8 @@ void ServiceSession::worker_loop() {
       if (stop_) return;
       job = queue_.front();
       queue_.pop_front();
+      if (m_queue_depth != nullptr)
+        m_queue_depth->set((double)queue_.size());
       if (job->state.load(std::memory_order_relaxed) ==
           JobState::Cancelled) {
         // Cancelled while queued; on_cancel() already replied.
@@ -284,13 +357,11 @@ void ServiceSession::worker_loop() {
 }
 
 void ServiceSession::run_job(Job& job) {
-  using clock = std::chrono::steady_clock;
-  const auto t0 = clock::now();
-  std::string payload;
-  std::uint64_t ops_done = 0;
-  bool completed = false;
   try {
-    completed = simulate(job, &payload, &ops_done);
+    if (job.points.empty())
+      run_submit(job);
+    else
+      run_sweep(job);
   } catch (const std::exception& e) {
     job.state.store(JobState::Failed, std::memory_order_relaxed);
     {
@@ -300,16 +371,28 @@ void ServiceSession::run_job(Job& job) {
     if (m_failed != nullptr) m_failed->add();
     emit(error_reply(job.request_id, ServiceError::Internal,
                      std::string("job ") + job.id + " failed: " + e.what()));
-    return;
   }
-  if (!completed) {
-    job.state.store(JobState::Cancelled, std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++cancelled_;
-    }
-    if (m_cancelled != nullptr) m_cancelled->add();
-    emit(cancelled_reply(job.request_id, job.id, ops_done));
+}
+
+void ServiceSession::mark_cancelled(Job& job) {
+  job.state.store(JobState::Cancelled, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++cancelled_;
+  }
+  if (m_cancelled != nullptr) m_cancelled->add();
+  emit(cancelled_reply(job.request_id, job.id,
+                       job.ops_done.load(std::memory_order_relaxed)));
+}
+
+void ServiceSession::run_submit(Job& job) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  std::string payload;
+  std::uint64_t ops_done = 0;
+  if (!simulate(job.req, job.cache_key, job, 0, &payload, &ops_done)) {
+    job.ops_done.store(ops_done, std::memory_order_relaxed);
+    mark_cancelled(job);
     return;
   }
   cache_->put(job.cache_key, payload);
@@ -326,9 +409,59 @@ void ServiceSession::run_job(Job& job) {
                     payload));
 }
 
-bool ServiceSession::simulate(Job& job, std::string* payload,
+void ServiceSession::run_sweep(Job& job) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const std::size_t total = job.points.size();
+  std::uint64_t digest = kSweepDigestSeed;
+  std::uint64_t hits = 0, misses = 0;
+  std::uint64_t ops_base = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    // Point boundaries are cancellation points too (inner runs also stop
+    // at engine shard boundaries, exactly like a plain submit).
+    if (job.abort.load(std::memory_order_relaxed)) {
+      mark_cancelled(job);
+      return;
+    }
+    const SubmitRequest& point = job.points[i];
+    const std::string key = point.cache_key();
+    std::string payload;
+    bool hit = false;
+    if (auto cached = cache_->get(key)) {
+      payload = std::move(*cached);
+      hit = true;
+    } else {
+      std::uint64_t point_ops = 0;
+      if (!simulate(point, key, job, ops_base, &payload, &point_ops)) {
+        job.ops_done.store(ops_base + point_ops, std::memory_order_relaxed);
+        mark_cancelled(job);
+        return;
+      }
+      cache_->put(key, payload);
+    }
+    (hit ? hits : misses) += 1;
+    ops_base += point.total_ops();
+    job.ops_done.store(ops_base, std::memory_order_relaxed);
+    job.points_done.store(i + 1, std::memory_order_relaxed);
+    digest = fold_sweep_digest(digest, payload);
+    emit(sweep_point_line(job.id, i, total, hit, key, point, payload));
+  }
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  job.state.store(JobState::Done, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++completed_;
+  }
+  if (m_completed != nullptr) m_completed->add();
+  emit(sweep_done_reply(job.request_id, job.id, total, hits, misses,
+                        elapsed, digest));
+}
+
+bool ServiceSession::simulate(const SubmitRequest& req,
+                              const std::string& cache_key, Job& job,
+                              std::uint64_t base_ops, std::string* payload,
                               std::uint64_t* ops_done) {
-  const SubmitRequest& req = job.req;
   EngineConfig ecfg;
   ecfg.unit = req.unit;
   ecfg.threads = req.threads;
@@ -336,9 +469,14 @@ bool ServiceSession::simulate(Job& job, std::string* payload,
   ecfg.shard_ops = req.shard_ops;
   ecfg.abort = &job.abort;
   ecfg.progress_interval_s = cfg_.progress_interval_s;
-  ecfg.progress = [this, &job](const EngineProgress& p) {
-    job.ops_done.store(p.ops_done, std::memory_order_relaxed);
-    emit(progress_event_line({job.id, p}));
+  ecfg.progress = [this, &job, base_ops](const EngineProgress& p) {
+    // Progress is job-level: sweep points report their ops on top of the
+    // points already finished, against the whole job's denominator.
+    EngineProgress jp = p;
+    jp.ops_done = base_ops + p.ops_done;
+    jp.ops_total = job.ops_total;
+    job.ops_done.store(jp.ops_done, std::memory_order_relaxed);
+    emit(progress_event_line({job.id, jp}));
   };
   SimEngine engine(ecfg);
 
@@ -346,16 +484,16 @@ bool ServiceSession::simulate(Job& job, std::string* payload,
   BatchStats stats;
   ActivityRecorder activity;
   switch (req.mode) {
-    case SimMode::Batch: {
-      RandomTripleSource src(req.seed, req.ops, req.emin, req.emax);
-      BatchResult r = engine.run_batch(src);
-      stats = std::move(r.stats);
-      activity = std::move(r.activity);
-      if (!stats.aborted)
-        checksum = checksum_range(0, r.results.data(), r.results.size());
-      break;
-    }
+    case SimMode::Batch:
     case SimMode::Stream: {
+      // Both modes run the memory-bounded streaming driver: the service
+      // only ever needs the order-independent checksum, and run_batch's
+      // materialized result vector is O(ops) memory allocated BEFORE the
+      // first abort poll — a daemon-sized submit must neither exhaust
+      // memory nor stall cancellation behind a giant allocation.  The
+      // stream checksum equals the batch checksum of the same operation
+      // set (ServiceSession.StreamChecksumMatchesBatch), so the rendered
+      // payload is unchanged.
       RandomTripleSource src(req.seed, req.ops, req.emin, req.emax);
       StreamResult r = engine.run_stream(
           src, [&checksum](std::uint64_t start, const PFloat* results,
@@ -399,7 +537,7 @@ bool ServiceSession::simulate(Job& job, std::string* payload,
     rep.meta("emin", req.emin);
     rep.meta("emax", req.emax);
   }
-  rep.meta("cache_key", job.cache_key);
+  rep.meta("cache_key", cache_key);
   rep.metric("ops", stats.ops);
   rep.metric("result_checksum", checksum);
   rep.metric("activity.total_toggles", activity.total_toggles());

@@ -45,6 +45,12 @@ struct ServiceConfig {
   /// Result-cache capacity in entries; 0 disables memoization.  Ignored
   /// when a shared `cache` is supplied.
   std::size_t cache_entries = 64;
+  /// Admission control: submissions beyond this many queued-not-yet-
+  /// running jobs are rejected with a typed `busy` error instead of
+  /// queueing without bound (a full queue must surface as backpressure,
+  /// never as a hang).  0 = unlimited.  Cache hits bypass the queue and
+  /// are never rejected.
+  std::size_t max_pending = 256;
   /// Progress heartbeat interval handed to EngineConfig::progress_interval_s.
   double progress_interval_s = 0.5;
   /// Optional shared sinks (not owned; must outlive the session).  The
@@ -73,6 +79,10 @@ class ServiceSession {
   /// Block until no job is queued or running.
   void wait_idle();
 
+  /// Non-blocking idle probe (the transport layer's idle-timeout logic:
+  /// a connection with work in flight is never "idle").
+  bool idle() const;
+
   /// True once a shutdown request was handled; the read loop should stop
   /// feeding lines and call finish().
   bool shutdown_requested() const;
@@ -89,23 +99,40 @@ class ServiceSession {
 
   struct Job {
     std::string id;          // service-assigned "job-N"
-    std::string request_id;  // client correlation id of the submit
-    std::string cache_key;
-    SubmitRequest req;
+    std::string request_id;  // client correlation id of the submit/sweep
+    std::string cache_key;   // submit jobs; empty for sweeps
+    SubmitRequest req;       // submit jobs; unused for sweeps
+    /// Sweep jobs: the expanded points, in index order (empty = submit).
+    std::vector<SubmitRequest> points;
     std::uint64_t ops_total = 0;
     std::atomic<JobState> state{JobState::Queued};
     std::atomic<bool> abort{false};
     std::atomic<std::uint64_t> ops_done{0};
+    std::atomic<std::uint64_t> points_done{0};
   };
 
   void emit(const std::string& line);
   void worker_loop();
   void run_job(Job& job);
-  /// Simulate and render the job's deterministic result payload; returns
-  /// false (without a payload) when the run was aborted.
-  bool simulate(Job& job, std::string* payload, std::uint64_t* ops_done);
+  void run_submit(Job& job);
+  /// Sweep execution: points sequentially, each cache-deduplicated and
+  /// streamed as a sweep_point line; terminal sweep_done with the digest.
+  void run_sweep(Job& job);
+  /// Simulate `req` and render its deterministic result payload (with
+  /// `cache_key` as its identity in the report meta); returns false
+  /// (without a payload) when the run was aborted.  `base_ops` offsets the
+  /// job-level progress for sweep points that already completed.
+  bool simulate(const SubmitRequest& req, const std::string& cache_key,
+                Job& job, std::uint64_t base_ops, std::string* payload,
+                std::uint64_t* ops_done);
+  /// Admission control (call with mu_ held): true when the pending queue
+  /// is full, in which case the caller answers `busy` instead of queueing.
+  bool reject_if_busy_locked(const std::string& id);
+  void enqueue(Job* job);
+  void mark_cancelled(Job& job);
 
   void on_submit(const std::string& id, const SubmitRequest& req);
+  void on_sweep(const std::string& id, const SweepRequest& req);
   void on_status(const std::string& id, const StatusRequest& req);
   void on_cancel(const std::string& id, const CancelRequest& req);
   void on_shutdown(const std::string& id);
@@ -118,9 +145,12 @@ class ServiceSession {
   Counter* m_requests = nullptr;
   Counter* m_errors = nullptr;
   Counter* m_submitted = nullptr;
+  Counter* m_sweeps = nullptr;
   Counter* m_completed = nullptr;
   Counter* m_cancelled = nullptr;
   Counter* m_failed = nullptr;
+  Counter* m_rejected = nullptr;
+  Gauge* m_queue_depth = nullptr;
 
   mutable std::mutex mu_;  // jobs_, queue_, flags, terminal counters
   std::condition_variable queue_cv_;

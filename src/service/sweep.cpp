@@ -1,0 +1,147 @@
+#include "service/sweep.hpp"
+
+#include "telemetry/json.hpp"
+
+namespace csfma {
+
+std::vector<SweepPoint> expand_sweep(const SweepRequest& req) {
+  std::vector<SweepPoint> points;
+  points.reserve(req.point_count());
+  auto push = [&](const SubmitRequest& r) {
+    points.push_back({points.size(), r});
+  };
+  SubmitRequest base;
+  base.mode = req.mode;
+  base.shard_ops = req.shard_ops;
+  base.threads = req.threads;
+  base.emin = req.emin;
+  base.emax = req.emax;
+  // Fixed nesting, outermost first: unit, rounding, seed, ops|chains,
+  // depth.  This order IS the point-index contract (docs/service.md).
+  for (UnitKind unit : req.units) {
+    for (Round rm : req.rms) {
+      for (std::uint64_t seed : req.seeds) {
+        SubmitRequest r = base;
+        r.unit = unit;
+        r.rm = rm;
+        r.seed = seed;
+        if (req.mode == SimMode::Chained) {
+          for (std::uint64_t chains : req.chains) {
+            for (int depth : req.depths) {
+              r.chains = chains;
+              r.depth = depth;
+              push(r);
+            }
+          }
+        } else {
+          for (std::uint64_t ops : req.ops) {
+            r.ops = ops;
+            push(r);
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+std::uint64_t fold_sweep_digest(std::uint64_t digest,
+                                const std::string& payload) {
+  return fnv1a64(payload, digest);
+}
+
+std::string sweep_accepted_reply(const std::string& id,
+                                 const std::string& job,
+                                 std::size_t points) {
+  JsonWriter w;
+  begin_reply(w, "accepted", id);
+  w.key("job");
+  w.value(job);
+  w.key("points");
+  w.value((std::uint64_t)points);
+  w.end_object();
+  return w.str();
+}
+
+namespace {
+
+/// The point's parameters as a JSON object — the fields a client needs to
+/// re-issue the point as a plain submit (same canonical key).
+void put_point_params(JsonWriter& w, const SubmitRequest& p) {
+  w.begin_object();
+  w.key("mode");
+  w.value(to_string(p.mode));
+  w.key("unit");
+  w.value(to_string(p.unit));
+  w.key("rounding");
+  w.value(to_string(p.rm));
+  w.key("seed");
+  w.value(p.seed);
+  if (p.mode == SimMode::Chained) {
+    w.key("chains");
+    w.value(p.chains);
+    w.key("depth");
+    w.value(p.depth);
+  } else {
+    w.key("ops");
+    w.value(p.ops);
+    w.key("emin");
+    w.value(p.emin);
+    w.key("emax");
+    w.value(p.emax);
+  }
+  w.key("shard_ops");
+  w.value(p.shard_ops);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string sweep_point_line(const std::string& job, std::size_t index,
+                             std::size_t points, bool cache_hit,
+                             const std::string& cache_key,
+                             const SubmitRequest& point,
+                             const std::string& report_json) {
+  JsonWriter w;
+  begin_reply(w, "sweep_point", "");
+  w.key("job");
+  w.value(job);
+  w.key("index");
+  w.value((std::uint64_t)index);
+  w.key("points");
+  w.value((std::uint64_t)points);
+  w.key("cache");
+  w.value(cache_hit ? "hit" : "miss");
+  w.key("cache_key");
+  w.value(cache_key);
+  w.key("params");
+  put_point_params(w, point);
+  w.key("report");
+  w.raw(report_json);
+  w.end_object();
+  return w.str();
+}
+
+std::string sweep_done_reply(const std::string& id, const std::string& job,
+                             std::size_t points, std::uint64_t cache_hits,
+                             std::uint64_t cache_misses, double elapsed_s,
+                             std::uint64_t digest) {
+  JsonWriter w;
+  begin_reply(w, "sweep_done", id);
+  w.key("job");
+  w.value(job);
+  w.key("points");
+  w.value((std::uint64_t)points);
+  w.key("cache_hits");
+  w.value(cache_hits);
+  w.key("cache_misses");
+  w.value(cache_misses);
+  w.key("elapsed_s");
+  w.value(elapsed_s);
+  w.key("digest");
+  w.value(hex16(digest));
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace csfma

@@ -1,0 +1,66 @@
+// Server-side parameter sweeps: one request, a cross-product of engine
+// configs, streamed per-point results.
+//
+// A `sweep` request (protocol.hpp SweepRequest) expands into an ordered
+// list of SubmitRequests — the design-space exploration primitive the
+// paper's Fig 13 ran by hand, turned into a single wire request.  The
+// session executes the points sequentially on one pool worker: each point
+// is looked up in the shared ResultCache under its own canonical key
+// (cache-deduplicated against previous points, previous sweeps and plain
+// submits alike), simulated only on a miss, and streamed back as one
+// `sweep_point` line carrying the point's full csfma-report-v1 payload.
+// The terminal `sweep_done` reply summarizes hit/miss counts and a
+// FNV-1a digest folded over every point's payload bytes in index order —
+// one comparable value that certifies "this sweep replayed byte-
+// identically" (the restart-persistence acceptance test leans on it).
+//
+// Expansion order is fixed (unit, rounding, seed, ops|chains, depth;
+// outermost first), so point indices, the streamed order and the digest
+// are all deterministic functions of the request.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace csfma {
+
+/// One expanded point, paired with its index in the fixed expansion order.
+struct SweepPoint {
+  std::size_t index = 0;
+  SubmitRequest req;
+};
+
+/// Expand a sweep into its points (at most kMaxSweepPoints; the parser
+/// enforces the bound before a SweepRequest ever reaches the session).
+std::vector<SweepPoint> expand_sweep(const SweepRequest& req);
+
+/// Fold one point's payload bytes into the sweep digest (FNV-1a chained
+/// over payloads in index order, rendered with hex16()).
+std::uint64_t fold_sweep_digest(std::uint64_t digest,
+                                const std::string& payload);
+inline constexpr std::uint64_t kSweepDigestSeed = 0xcbf29ce484222325ULL;
+
+/// Acceptance of a sweep: like accepted_reply but with the expanded point
+/// count instead of a single cache key.
+std::string sweep_accepted_reply(const std::string& id,
+                                 const std::string& job, std::size_t points);
+
+/// One streamed point result.  The report payload is spliced in verbatim
+/// as the LAST member, so clients (and check_report.py --check-sweep) can
+/// recover the exact bytes between `"report":` and the closing brace.
+std::string sweep_point_line(const std::string& job, std::size_t index,
+                             std::size_t points, bool cache_hit,
+                             const std::string& cache_key,
+                             const SubmitRequest& point,
+                             const std::string& report_json);
+
+/// Terminal summary of a completed sweep.
+std::string sweep_done_reply(const std::string& id, const std::string& job,
+                             std::size_t points, std::uint64_t cache_hits,
+                             std::uint64_t cache_misses, double elapsed_s,
+                             std::uint64_t digest);
+
+}  // namespace csfma

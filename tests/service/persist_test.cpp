@@ -1,0 +1,205 @@
+// CacheJournal: the cache-persistence contract — append/load round trips
+// reproduce the exact payload bytes, recovery stops at the first torn or
+// corrupt record instead of crashing, and compaction rewrites the file to
+// the live entries.
+#include "service/persist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+
+namespace csfma {
+namespace {
+
+/// A journal path under the test's scratch dir, deleted on destruction.
+class ScratchFile {
+ public:
+  explicit ScratchFile(const std::string& name)
+      : path_(std::string(::testing::TempDir()) + name) {
+    std::remove(path_.c_str());
+  }
+  ~ScratchFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+  std::string read() const {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  void write(const std::string& bytes) const {
+    std::ofstream out(path_, std::ios::binary);
+    out << bytes;
+  }
+
+ private:
+  std::string path_;
+};
+
+std::string key_of(int i) {
+  return hex16(0x1000000000000000ULL + (std::uint64_t)i);
+}
+
+TEST(CacheJournal, RecordRoundTrip) {
+  const std::string key = "0123456789abcdef";
+  const std::string payload = R"({"schema":"csfma-report-v1","bench":"x"})";
+  const std::string rec = CacheJournal::render_record(key, payload);
+  ASSERT_FALSE(rec.empty());
+  EXPECT_EQ(rec.back(), '\n');
+  std::string k, p;
+  EXPECT_TRUE(
+      CacheJournal::parse_record(rec.substr(0, rec.size() - 1), &k, &p));
+  EXPECT_EQ(k, key);
+  EXPECT_EQ(p, payload);
+}
+
+TEST(CacheJournal, ParseRejectsEveryTruncationOfARecord) {
+  const std::string rec = CacheJournal::render_record(
+      "00000000000000aa", R"({"bench":"fma","metrics":{"ops":600}})");
+  const std::string line = rec.substr(0, rec.size() - 1);
+  std::string k, p;
+  // Chop one byte at a time: no prefix of a valid record is itself valid
+  // (the declared length and checksum see to that).
+  for (std::size_t n = 0; n < line.size(); ++n)
+    EXPECT_FALSE(CacheJournal::parse_record(line.substr(0, n), &k, &p))
+        << "prefix of " << n << " bytes parsed";
+  // Payload corruption flips the checksum.
+  std::string flipped = line;
+  flipped.back() = flipped.back() == '}' ? ']' : '}';
+  EXPECT_FALSE(CacheJournal::parse_record(flipped, &k, &p));
+}
+
+TEST(CacheJournal, AppendThenLoadRestoresCache) {
+  ScratchFile file("persist_roundtrip.journal");
+  {
+    CacheJournal journal(file.path(), nullptr);
+    journal.append(key_of(1), "payload-one");
+    journal.append(key_of(2), "payload-two");
+  }
+  CacheJournal reload(file.path(), nullptr);
+  ResultCache cache(8);
+  const JournalLoadStats stats = reload.load(&cache);
+  EXPECT_FALSE(stats.missing);
+  EXPECT_FALSE(stats.corrupt_tail);
+  EXPECT_EQ(stats.records_loaded, 2u);
+  EXPECT_EQ(stats.bytes_skipped, 0u);
+  EXPECT_EQ(cache.get(key_of(1)), "payload-one");
+  EXPECT_EQ(cache.get(key_of(2)), "payload-two");
+}
+
+TEST(CacheJournal, LoadSkipsTornTrailingRecord) {
+  ScratchFile file("persist_torn.journal");
+  {
+    CacheJournal journal(file.path(), nullptr);
+    journal.append(key_of(1), "good-payload");
+  }
+  // A crash mid-append leaves a record without its newline.
+  const std::string whole = file.read();
+  file.write(whole + "00000000000000ff 100 0123456789abcdef {\"torn");
+  MetricsRegistry metrics;
+  CacheJournal reload(file.path(), &metrics);
+  ResultCache cache(8);
+  const JournalLoadStats stats = reload.load(&cache);
+  EXPECT_EQ(stats.records_loaded, 1u);
+  EXPECT_TRUE(stats.corrupt_tail);
+  EXPECT_GT(stats.bytes_skipped, 0u);
+  EXPECT_EQ(cache.get(key_of(1)), "good-payload");
+  EXPECT_EQ(metrics
+                .counter("service.journal.skipped_bytes", Stability::Timing)
+                .value(),
+            stats.bytes_skipped);
+}
+
+TEST(CacheJournal, LoadStopsAtFirstCorruptRecord) {
+  ScratchFile file("persist_corrupt.journal");
+  {
+    CacheJournal journal(file.path(), nullptr);
+    journal.append(key_of(1), "kept");
+    journal.append(key_of(2), "about-to-corrupt");
+    journal.append(key_of(3), "after-the-damage");
+  }
+  // Flip one payload byte of the middle record: its checksum no longer
+  // matches, and everything after the first bad record is suspect.
+  std::string bytes = file.read();
+  const std::size_t at = bytes.find("about-to-corrupt");
+  ASSERT_NE(at, std::string::npos);
+  bytes[at] = 'X';
+  file.write(bytes);
+  CacheJournal reload(file.path(), nullptr);
+  ResultCache cache(8);
+  const JournalLoadStats stats = reload.load(&cache);
+  EXPECT_EQ(stats.records_loaded, 1u);
+  EXPECT_TRUE(stats.corrupt_tail);
+  EXPECT_EQ(cache.get(key_of(1)), "kept");
+  EXPECT_EQ(cache.get(key_of(3)), std::nullopt);
+}
+
+TEST(CacheJournal, MissingFileAndBadMagic) {
+  ScratchFile file("persist_missing.journal");
+  {
+    CacheJournal journal(file.path(), nullptr);
+    EXPECT_TRUE(journal.load(nullptr).missing);
+  }
+  file.write("not-a-journal\nwhatever\n");
+  CacheJournal bad(file.path(), nullptr);
+  ResultCache cache(8);
+  const JournalLoadStats stats = bad.load(&cache);
+  EXPECT_FALSE(stats.missing);
+  EXPECT_TRUE(stats.corrupt_tail);
+  EXPECT_EQ(stats.records_loaded, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CacheJournal, CachePutAppendsAndCompactRewrites) {
+  ScratchFile file("persist_compact.journal");
+  MetricsRegistry metrics;
+  CacheJournal journal(file.path(), &metrics);
+  ResultCache cache(8, &metrics);
+  cache.set_journal(&journal);
+  cache.put(key_of(1), "one");
+  cache.put(key_of(2), "two");
+  cache.put(key_of(1), "one");          // unchanged refresh: no append
+  cache.put(key_of(2), "two-revised");  // changed bytes: appended
+  EXPECT_EQ(
+      metrics.counter("service.journal.appends", Stability::Timing).value(),
+      3u);
+
+  cache.set_journal(nullptr);
+  ASSERT_TRUE(journal.compact(cache.entries_oldest_first()));
+  // The compacted file holds exactly the live entries, once each.
+  CacheJournal reload(file.path(), nullptr);
+  ResultCache fresh(8);
+  const JournalLoadStats stats = reload.load(&fresh);
+  EXPECT_EQ(stats.records_loaded, 2u);
+  EXPECT_FALSE(stats.corrupt_tail);
+  EXPECT_EQ(fresh.get(key_of(1)), "one");
+  EXPECT_EQ(fresh.get(key_of(2)), "two-revised");
+}
+
+TEST(CacheJournal, AppendToExistingFileKeepsOneHeader) {
+  ScratchFile file("persist_reopen.journal");
+  {
+    CacheJournal journal(file.path(), nullptr);
+    journal.append(key_of(1), "first-run");
+  }
+  {
+    CacheJournal journal(file.path(), nullptr);
+    journal.append(key_of(2), "second-run");
+  }
+  const std::string bytes = file.read();
+  EXPECT_EQ(bytes.find(kJournalMagic), 0u);
+  EXPECT_EQ(bytes.find(kJournalMagic, 1), std::string::npos);
+  CacheJournal reload(file.path(), nullptr);
+  ResultCache cache(8);
+  EXPECT_EQ(reload.load(&cache).records_loaded, 2u);
+}
+
+}  // namespace
+}  // namespace csfma

@@ -137,6 +137,120 @@ TEST(Protocol, ErrorOutcomeStillEchoesId) {
   EXPECT_EQ(out.id, "req-7");
 }
 
+// ---- proto versioning -------------------------------------------------
+
+TEST(Protocol, ProtoFieldGatesVersions) {
+  // Absent proto = version 1 (wire back-compat with pre-versioned
+  // clients); the current version is accepted explicitly; anything else
+  // is a typed error naming the version the daemon speaks.
+  EXPECT_TRUE(parse_request_line(R"({"type":"status"})").ok);
+  EXPECT_TRUE(parse_request_line(R"({"type":"status","proto":1})").ok);
+  expect_error(R"({"type":"status","proto":2})",
+               ServiceError::UnsupportedVersion, "proto 1");
+  expect_error(R"({"type":"status","proto":0})",
+               ServiceError::UnsupportedVersion, "proto 1");
+  expect_error(R"({"type":"status","proto":"1"})",
+               ServiceError::UnsupportedVersion, "proto 1");
+}
+
+TEST(Protocol, ProtoErrorStillEchoesId) {
+  ParseOutcome out =
+      parse_request_line(R"({"type":"status","proto":9,"id":"v1"})");
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.code, ServiceError::UnsupportedVersion);
+  EXPECT_EQ(out.id, "v1");
+}
+
+TEST(Protocol, NewErrorCodesRender) {
+  EXPECT_NE(error_reply("i", ServiceError::Busy, "m").find(R"("code":"busy")"),
+            std::string::npos);
+  EXPECT_NE(error_reply("i", ServiceError::UnsupportedVersion, "m")
+                .find(R"("code":"unsupported_version")"),
+            std::string::npos);
+}
+
+// ---- hashing helpers --------------------------------------------------
+
+TEST(Protocol, Fnv1a64ReferenceVectors) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);  // offset basis
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+  // Chaining: folding in two pieces equals hashing the concatenation.
+  EXPECT_EQ(fnv1a64("bar", fnv1a64("foo")), fnv1a64("foobar"));
+  EXPECT_EQ(hex16(0), "0000000000000000");
+  EXPECT_EQ(hex16(0xdeadbeefULL), "00000000deadbeef");
+  EXPECT_EQ(hex16(~0ULL), "ffffffffffffffff");
+}
+
+// ---- sweep parsing ----------------------------------------------------
+
+SweepRequest sweep_of(const std::string& line) {
+  ParseOutcome out = parse_request_line(line);
+  EXPECT_TRUE(out.ok) << line << " -> " << out.message;
+  EXPECT_TRUE(std::holds_alternative<SweepRequest>(out.request.op)) << line;
+  return std::get<SweepRequest>(out.request.op);
+}
+
+TEST(Protocol, ParsesSweepAxes) {
+  SweepRequest r = sweep_of(
+      R"({"type":"sweep","unit":["pcs","fcs"],)"
+      R"("rounding":["nearest-even","toward-zero"],)"
+      R"("seed":[1,2,3],"ops":[100,200]})");
+  EXPECT_EQ(r.units.size(), 2u);
+  EXPECT_EQ(r.rms.size(), 2u);
+  EXPECT_EQ(r.seeds.size(), 3u);
+  EXPECT_EQ(r.ops.size(), 2u);
+  EXPECT_EQ(r.point_count(), 2u * 2u * 3u * 2u);
+}
+
+TEST(Protocol, SweepScalarAxesAreOnePointEach) {
+  // Every axis accepts the submit-style scalar spelling too.
+  SweepRequest r =
+      sweep_of(R"({"type":"sweep","unit":"pcs","seed":7,"ops":100})");
+  EXPECT_EQ(r.units.size(), 1u);
+  EXPECT_EQ(r.seeds.size(), 1u);
+  EXPECT_EQ(r.point_count(), 1u);
+}
+
+TEST(Protocol, ChainedSweepUsesChainsAndDepth) {
+  SweepRequest r = sweep_of(
+      R"({"type":"sweep","mode":"chained","unit":"classic","seed":[1,2],)"
+      R"("chains":[16,32],"depth":[8,18]})");
+  EXPECT_EQ(r.mode, SimMode::Chained);
+  EXPECT_EQ(r.point_count(), 1u * 2u * 2u * 2u);
+}
+
+TEST(Protocol, SweepValidation) {
+  expect_error(R"({"type":"sweep","seed":1,"ops":10})",
+               ServiceError::BadRequest, "\"unit\"");
+  expect_error(R"({"type":"sweep","unit":[],"seed":1,"ops":10})",
+               ServiceError::BadRequest, "\"unit\"");
+  expect_error(R"({"type":"sweep","unit":"pcs","ops":10})",
+               ServiceError::BadRequest, "\"seed\"");
+  expect_error(R"({"type":"sweep","unit":"pcs","seed":1})",
+               ServiceError::BadRequest, "\"ops\"");
+  expect_error(R"({"type":"sweep","unit":["ternary"],"seed":1,"ops":10})",
+               ServiceError::BadRequest, "\"unit\"");
+  expect_error(
+      R"({"type":"sweep","mode":"chained","unit":"pcs","seed":1,)"
+      R"("chains":4,"ops":10})",
+      ServiceError::BadRequest, "\"ops\"");
+  expect_error(
+      R"({"type":"sweep","unit":"pcs","seed":1,"ops":10,"chains":4})",
+      ServiceError::BadRequest, "chained");
+}
+
+TEST(Protocol, SweepPointCountIsBounded) {
+  // kMaxSweepPoints + 1 points must be rejected before expansion.
+  std::string line = R"({"type":"sweep","unit":"pcs","ops":10,"seed":[)";
+  for (std::size_t i = 0; i <= kMaxSweepPoints; ++i) {
+    if (i != 0) line += ',';
+    line += std::to_string(i);
+  }
+  line += "]}";
+  expect_error(line, ServiceError::BadRequest, "more than the limit");
+}
+
 // ---- cache-key canonicalization ---------------------------------------
 
 TEST(Protocol, CacheKeyIgnoresSpelling) {
@@ -197,15 +311,17 @@ TEST(Protocol, CanonicalKeyIsModeSpecific) {
 
 TEST(Protocol, ErrorReplyGolden) {
   EXPECT_EQ(error_reply("r1", ServiceError::BadRequest, "no"),
-            R"({"type":"error","id":"r1","code":"bad_request","message":"no"})");
+            R"({"type":"error","proto":1,"id":"r1","code":"bad_request",)"
+            R"("message":"no"})");
   // Empty id is omitted, not rendered as "".
   EXPECT_EQ(error_reply("", ServiceError::ParseError, "x"),
-            R"({"type":"error","code":"parse_error","message":"x"})");
+            R"({"type":"error","proto":1,"code":"parse_error",)"
+            R"("message":"x"})");
 }
 
 TEST(Protocol, AcceptedReplyGolden) {
   EXPECT_EQ(accepted_reply("a", "job-1", "00ff00ff00ff00ff"),
-            R"({"type":"accepted","id":"a","job":"job-1",)"
+            R"({"type":"accepted","proto":1,"id":"a","job":"job-1",)"
             R"("cache_key":"00ff00ff00ff00ff"})");
 }
 
@@ -220,7 +336,7 @@ TEST(Protocol, ProgressEventGolden) {
   ev.progress.ops_per_sec = 1024;
   ev.progress.eta_seconds = 1.5;
   EXPECT_EQ(progress_event_line(ev),
-            R"({"type":"progress","job":"job-2","ops_done":512,)"
+            R"({"type":"progress","proto":1,"job":"job-2","ops_done":512,)"
             R"("ops_total":2048,"shards_done":1,"shards_total":4,)"
             R"("seconds":0.5,"ops_per_sec":1024,"eta_seconds":1.5})");
 }
@@ -228,9 +344,9 @@ TEST(Protocol, ProgressEventGolden) {
 TEST(Protocol, ResultReplyGoldenSplicesReportVerbatim) {
   const std::string report = R"({"schema":"csfma-report-v1","bench":"x"})";
   EXPECT_EQ(result_reply("r", "job-3", true, 0.25, report),
-            R"({"type":"result","id":"r","job":"job-3","cache":"hit",)"
-            R"("elapsed_s":0.25,"report":{"schema":"csfma-report-v1",)"
-            R"("bench":"x"}})");
+            R"({"type":"result","proto":1,"id":"r","job":"job-3",)"
+            R"("cache":"hit","elapsed_s":0.25,)"
+            R"("report":{"schema":"csfma-report-v1","bench":"x"}})");
   EXPECT_NE(result_reply("r", "job-3", false, 0.25, report)
                 .find(R"("cache":"miss")"),
             std::string::npos);
@@ -238,12 +354,13 @@ TEST(Protocol, ResultReplyGoldenSplicesReportVerbatim) {
 
 TEST(Protocol, CancelRepliesGolden) {
   EXPECT_EQ(cancel_ok_reply("c", "job-4", "running"),
-            R"({"type":"cancel_ok","id":"c","job":"job-4",)"
+            R"({"type":"cancel_ok","proto":1,"id":"c","job":"job-4",)"
             R"("state":"running"})");
   EXPECT_EQ(cancelled_reply("c", "job-4", 8192),
-            R"({"type":"cancelled","id":"c","job":"job-4","ops_done":8192})");
+            R"({"type":"cancelled","proto":1,"id":"c","job":"job-4",)"
+            R"("ops_done":8192})");
   EXPECT_EQ(cancelled_reply("", "job-4", 0),
-            R"({"type":"cancelled","job":"job-4","ops_done":0})");
+            R"({"type":"cancelled","proto":1,"job":"job-4","ops_done":0})");
 }
 
 TEST(Protocol, StatusReplyGolden) {
@@ -254,16 +371,16 @@ TEST(Protocol, StatusReplyGolden) {
   j.ops_total = 100;
   j.cache_key = "deadbeefdeadbeef";
   EXPECT_EQ(status_reply("s", {j}),
-            R"({"type":"status","id":"s","jobs":[{"job":"job-5",)"
+            R"({"type":"status","proto":1,"id":"s","jobs":[{"job":"job-5",)"
             R"("state":"running","ops_done":10,"ops_total":100,)"
             R"("cache_key":"deadbeefdeadbeef"}]})");
   EXPECT_EQ(status_reply("s", {}),
-            R"({"type":"status","id":"s","jobs":[]})");
+            R"({"type":"status","proto":1,"id":"s","jobs":[]})");
 }
 
 TEST(Protocol, ByeReplyGolden) {
   EXPECT_EQ(bye_reply("z", 3, 1, 0),
-            R"({"type":"bye","id":"z","jobs_completed":3,)"
+            R"({"type":"bye","proto":1,"id":"z","jobs_completed":3,)"
             R"("jobs_cancelled":1,"jobs_failed":0})");
 }
 

@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/json_value.hpp"
@@ -337,6 +339,58 @@ TEST(ServiceSession, ShutdownRefusesNewWorkAndSaysBye) {
   EXPECT_EQ(byes[0].find("id")->as_string(), "sd");
   EXPECT_EQ(byes[0].find("jobs_completed")->as_int(), 1);
   EXPECT_EQ(sink.lines().back().find("\"type\":\"bye\""), 0u + 1u);
+}
+
+TEST(ServiceSession, FullPendingQueueAnswersBusyInsteadOfHanging) {
+  LineSink sink;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_entries = 0;  // hits would bypass admission control
+  cfg.max_pending = 1;
+  MetricsRegistry metrics;
+  cfg.metrics = &metrics;
+  ServiceSession session(cfg, sink.fn());
+  // Job 1 occupies the one worker for a long time.  Wait until it is
+  // RUNNING (not merely queued) so the pending count is deterministic.
+  session.handle_line(
+      R"({"type":"submit","id":"big","unit":"pcs","seed":1,)"
+      R"("ops":400000000,"shard_ops":4096})");
+  for (int spin = 0; spin < 2000; ++spin) {
+    session.handle_line(R"({"type":"status","id":"poll","job":"job-1"})");
+    const auto lines = sink.lines();
+    if (!lines.empty() &&
+        lines.back().find("\"state\":\"running\"") != std::string::npos)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Job 2 fills the single pending slot; job 3 must bounce with a typed
+  // busy error, not queue without bound and not block handle_line.
+  session.handle_line(
+      R"({"type":"submit","id":"fits","unit":"pcs","seed":2,)"
+      R"("ops":400000000,"shard_ops":4096})");
+  session.handle_line(
+      R"({"type":"submit","id":"bounced","unit":"pcs","seed":3,"ops":100})");
+
+  auto errors = sink.of_type("error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].find("code")->as_string(), "busy");
+  EXPECT_EQ(errors[0].find("id")->as_string(), "bounced");
+  EXPECT_EQ(sink.of_type("accepted").size(), 2u);
+  EXPECT_EQ(
+      metrics.counter("service.jobs.rejected", Stability::Timing).value(),
+      1u);
+
+  session.handle_line(R"({"type":"cancel","id":"c1","job":"job-1"})");
+  session.handle_line(R"({"type":"cancel","id":"c2","job":"job-2"})");
+  session.wait_idle();
+  EXPECT_EQ(session.jobs_cancelled(), 2u);
+
+  // With the queue drained, submissions are admitted again.
+  session.handle_line(
+      R"({"type":"submit","id":"again","unit":"pcs","seed":3,"ops":100})");
+  session.wait_idle();
+  EXPECT_EQ(session.jobs_completed(), 1u);
+  EXPECT_EQ(sink.of_type("error").size(), 1u);
 }
 
 TEST(ServiceSession, SharedCacheServesSecondSession) {

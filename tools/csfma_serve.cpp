@@ -1,34 +1,38 @@
 // csfma_serve — the long-running simulation service daemon.
 //
-// Speaks the JSON-lines protocol of docs/service.md: one request object
-// per line in, one reply/event object per line out.
+// Speaks the JSON-lines protocol of docs/service.md (proto version 1):
+// one request object per line in, one reply/event object per line out.
 //
-//   csfma_serve [--workers N] [--job-cache N] [--progress-interval S]
-//               [--socket PATH] [--metrics]
+//   csfma_serve [--workers N] [--job-cache N] [--max-pending N]
+//               [--progress-interval S] [--idle-timeout S]
+//               [--socket PATH | --tcp HOST:PORT] [--port-file PATH]
+//               [--cache-file PATH] [--metrics]
 //
-// Default transport is stdin/stdout (the mode CI and the tests drive via
-// scripts/csfma_client.py); --socket listens on a Unix stream socket
-// instead, one session per connection, all connections sharing one result
-// cache and metrics registry.  EOF on a transport drains that session's
-// jobs and emits the final "bye" reply; a "shutdown" request does the same
-// and, under --socket, also stops the accept loop.  --metrics dumps the
-// MetricsRegistry JSON (cache hit/miss counts, job totals) to stderr at
-// exit.
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <atomic>
+// Transports (src/service/transport.hpp): stdin/stdout by default (the
+// mode CI and the tests drive via scripts/csfma_client.py), --socket for
+// a Unix stream socket, --tcp for a TCP listener — one session per
+// connection, all connections sharing one result cache and metrics
+// registry.  --tcp 127.0.0.1:0 binds an ephemeral port; --port-file
+// writes the bound port for harnesses to pick up.  EOF on a connection
+// drains that session's jobs and emits the final "bye" reply; a
+// "shutdown" request from any connection stops the daemon.
+//
+// --cache-file makes the result cache durable (src/service/persist.hpp):
+// the journal is replayed at startup — cache hits replay byte-identically
+// across restarts — and compacted to the live entries at clean exit.
+// --max-pending bounds the per-session pending queue (excess submissions
+// get typed `busy` errors).  --metrics dumps the MetricsRegistry JSON to
+// stderr at exit.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <iostream>
+#include <memory>
 #include <string>
-#include <thread>
-#include <vector>
 
+#include "service/cache.hpp"
+#include "service/persist.hpp"
 #include "service/session.hpp"
+#include "service/transport.hpp"
 
 namespace {
 
@@ -36,16 +40,23 @@ using namespace csfma;
 
 struct ServeOptions {
   ServiceConfig service;
-  std::string socket_path;  // "" = stdio transport
+  std::string socket_path;   // Unix transport
+  std::string tcp_spec;      // TCP transport ("HOST:PORT")
+  std::string port_file;     // write the bound TCP port here
+  std::string cache_file;    // persistence journal
+  double idle_timeout_s = 0.0;
   bool dump_metrics = false;
 };
 
 [[noreturn]] void usage(int rc) {
   std::fprintf(
       stderr,
-      "usage: csfma_serve [--workers N] [--job-cache N]\n"
-      "                   [--progress-interval SECONDS] [--socket PATH]\n"
-      "                   [--metrics]\n"
+      "usage: csfma_serve [--workers N] [--job-cache N] [--max-pending N]\n"
+      "                   [--progress-interval SECONDS] [--idle-timeout "
+      "SECONDS]\n"
+      "                   [--socket PATH | --tcp HOST:PORT] [--port-file "
+      "PATH]\n"
+      "                   [--cache-file PATH] [--metrics]\n"
       "JSON-lines simulation service; see docs/service.md for the "
       "protocol.\n");
   std::exit(rc);
@@ -66,11 +77,24 @@ ServeOptions parse_args(int argc, char** argv) {
       long n = std::atol(value());
       if (n < 0) usage(2);
       opt.service.cache_entries = (std::size_t)n;
+    } else if (arg == "--max-pending") {
+      long n = std::atol(value());
+      if (n < 0) usage(2);
+      opt.service.max_pending = (std::size_t)n;
     } else if (arg == "--progress-interval") {
       opt.service.progress_interval_s = std::atof(value());
       if (opt.service.progress_interval_s < 0.0) usage(2);
+    } else if (arg == "--idle-timeout") {
+      opt.idle_timeout_s = std::atof(value());
+      if (opt.idle_timeout_s < 0.0) usage(2);
     } else if (arg == "--socket") {
       opt.socket_path = value();
+    } else if (arg == "--tcp") {
+      opt.tcp_spec = value();
+    } else if (arg == "--port-file") {
+      opt.port_file = value();
+    } else if (arg == "--cache-file") {
+      opt.cache_file = value();
     } else if (arg == "--metrics") {
       opt.dump_metrics = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -80,117 +104,73 @@ ServeOptions parse_args(int argc, char** argv) {
       usage(2);
     }
   }
+  if (!opt.socket_path.empty() && !opt.tcp_spec.empty()) {
+    std::fprintf(stderr,
+                 "csfma_serve: --socket and --tcp are mutually exclusive\n");
+    usage(2);
+  }
   return opt;
-}
-
-int run_stdio(const ServeOptions& opt, MetricsRegistry& metrics) {
-  ServiceConfig cfg = opt.service;
-  cfg.metrics = &metrics;
-  ServiceSession session(cfg, [](const std::string& line) {
-    // One write per line, flushed: a client must never block on a reply
-    // sitting in a stdio buffer.
-    std::fwrite(line.data(), 1, line.size(), stdout);
-    std::fputc('\n', stdout);
-    std::fflush(stdout);
-  });
-  std::string line;
-  while (!session.shutdown_requested() && std::getline(std::cin, line)) {
-    session.handle_line(line);
-  }
-  session.finish();
-  return 0;
-}
-
-int run_socket(const ServeOptions& opt, MetricsRegistry& metrics) {
-  ResultCache cache(opt.service.cache_entries, &metrics);
-
-  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    std::perror("csfma_serve: socket");
-    return 1;
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (opt.socket_path.size() >= sizeof addr.sun_path) {
-    std::fprintf(stderr, "csfma_serve: socket path too long\n");
-    return 1;
-  }
-  std::strncpy(addr.sun_path, opt.socket_path.c_str(),
-               sizeof addr.sun_path - 1);
-  ::unlink(opt.socket_path.c_str());
-  if (::bind(listen_fd, (const sockaddr*)&addr, sizeof addr) < 0 ||
-      ::listen(listen_fd, 8) < 0) {
-    std::perror("csfma_serve: bind/listen");
-    ::close(listen_fd);
-    return 1;
-  }
-  std::fprintf(stderr, "csfma_serve: listening on %s\n",
-               opt.socket_path.c_str());
-
-  std::atomic<bool> stop{false};
-  std::vector<std::thread> sessions;
-  for (;;) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (stop.load()) break;
-      if (errno == EINTR) continue;
-      std::perror("csfma_serve: accept");
-      break;
-    }
-    sessions.emplace_back([fd, &opt, &metrics, &cache, &stop, listen_fd] {
-      ServiceConfig cfg = opt.service;
-      cfg.metrics = &metrics;
-      cfg.cache = &cache;
-      ServiceSession session(cfg, [fd](const std::string& line) {
-        std::string out = line + "\n";
-        std::size_t off = 0;
-        while (off < out.size()) {
-          ssize_t n = ::write(fd, out.data() + off, out.size() - off);
-          if (n <= 0) return;  // client went away; drop the line
-          off += (std::size_t)n;
-        }
-      });
-      // Line-buffered reads through stdio on a dup so closing the FILE
-      // does not race the writer using `fd`.
-      FILE* in = ::fdopen(::dup(fd), "r");
-      if (in != nullptr) {
-        char* buf = nullptr;
-        std::size_t cap = 0;
-        ssize_t len;
-        while (!session.shutdown_requested() &&
-               (len = ::getline(&buf, &cap, in)) >= 0) {
-          while (len > 0 && (buf[len - 1] == '\n' || buf[len - 1] == '\r'))
-            buf[--len] = '\0';
-          session.handle_line(std::string(buf, (std::size_t)len));
-        }
-        std::free(buf);
-        std::fclose(in);
-      }
-      session.finish();
-      if (session.shutdown_requested()) {
-        // A shutdown request stops the whole daemon: close the listener so
-        // the accept loop unblocks.
-        stop.store(true);
-        ::shutdown(listen_fd, SHUT_RDWR);
-      }
-      ::close(fd);
-    });
-    if (stop.load()) break;
-  }
-  for (auto& t : sessions) t.join();
-  ::close(listen_fd);
-  ::unlink(opt.socket_path.c_str());
-  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);  // dead clients must not kill the daemon
-  const ServeOptions opt = parse_args(argc, argv);
+  ServeOptions opt = parse_args(argc, argv);
+
   MetricsRegistry metrics;
-  const int rc = opt.socket_path.empty() ? run_stdio(opt, metrics)
-                                         : run_socket(opt, metrics);
+  ResultCache cache(opt.service.cache_entries, &metrics);
+  std::unique_ptr<CacheJournal> journal;
+  if (!opt.cache_file.empty()) {
+    journal = std::make_unique<CacheJournal>(opt.cache_file, &metrics);
+    const JournalLoadStats loaded = journal->load(&cache);
+    if (loaded.corrupt_tail)
+      std::fprintf(stderr,
+                   "csfma_serve: journal %s: skipped %zu corrupt trailing "
+                   "byte(s) after %zu good record(s)\n",
+                   opt.cache_file.c_str(), loaded.bytes_skipped,
+                   loaded.records_loaded);
+    else if (!loaded.missing)
+      std::fprintf(stderr, "csfma_serve: journal %s: %zu record(s) loaded\n",
+                   opt.cache_file.c_str(), loaded.records_loaded);
+    cache.set_journal(journal.get());
+  }
+  opt.service.metrics = &metrics;
+  opt.service.cache = &cache;
+
+  int rc = 0;
+  if (!opt.socket_path.empty() || !opt.tcp_spec.empty()) {
+    std::string err;
+    std::unique_ptr<Listener> listener =
+        opt.tcp_spec.empty() ? listen_unix(opt.socket_path, &err)
+                             : listen_tcp(opt.tcp_spec, &err);
+    if (listener == nullptr) {
+      std::fprintf(stderr, "csfma_serve: %s\n", err.c_str());
+      return 1;
+    }
+    if (!opt.port_file.empty()) {
+      if (std::FILE* f = std::fopen(opt.port_file.c_str(), "w")) {
+        std::fprintf(f, "%d\n", listener->port());
+        std::fclose(f);
+      }
+    }
+    std::fprintf(stderr, "csfma_serve: listening on %s\n",
+                 listener->where().c_str());
+    ServerConfig scfg;
+    scfg.session = opt.service;
+    scfg.idle_timeout_s = opt.idle_timeout_s;
+    serve_connections(*listener, scfg);
+  } else {
+    LineChannel stdio(/*read_fd=*/0, /*write_fd=*/1);
+    run_session_on_channel(stdio, opt.service, opt.idle_timeout_s);
+  }
+
+  if (journal != nullptr) {
+    cache.set_journal(nullptr);
+    if (!journal->compact(cache.entries_oldest_first()))
+      std::fprintf(stderr, "csfma_serve: journal compaction failed; the "
+                           "append-only file is kept as-is\n");
+  }
   if (opt.dump_metrics)
     std::fprintf(stderr, "%s\n", metrics.to_json().c_str());
   return rc;
