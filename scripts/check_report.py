@@ -37,6 +37,14 @@ Usage:
       csfma-report-v1 payload schema-valid, hit/miss counts consistent,
       and the sweep_done digest matching an independent FNV-1a
       recomputation over the point payload bytes.
+
+  check_report.py --check-log serve.log [more ...]
+      Validate a csfma-log-v1 structured server log (the file
+      csfma_serve --log-file appends, docs/FORMATS.md): every line a
+      JSON object with a known "kind", "seq" strictly increasing,
+      timestamps under "t" non-decreasing, every request_begin paired
+      with exactly one request_end for the same (conn, req) carrying a
+      known outcome, and connection lifecycle lines well-formed.
 """
 import json
 import math
@@ -543,6 +551,95 @@ def check_sweep(path):
           f"{misses} miss(es), digest {done['digest']})")
 
 
+LOG_KINDS = {
+    "conn_accept", "conn_close", "request_begin", "request_end",
+    "reject", "cancel", "journal_compact", "slow_request",
+}
+LOG_OUTCOMES = {"ok", "cache_hit", "busy", "cancelled", "error"}
+LOG_CLOSE_WHY = {"eof", "read_error", "idle_timeout", "shutdown",
+                 "dead_peer"}
+
+
+def check_log(path):
+    """Validate one csfma-log-v1 structured server log (docs/FORMATS.md)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw_lines = f.read().splitlines()
+    except OSError as e:
+        fail(path, f"cannot load: {e}")
+
+    last_seq = 0
+    last_ts = None
+    open_reqs = {}   # (conn, req) -> begin line number
+    ended = set()    # (conn, req) already closed by a request_end
+    counts = {}
+    for lineno, raw in enumerate(raw_lines, start=1):
+        if not raw.strip():
+            continue
+        where = f"line {lineno}"
+        try:
+            entry = json.loads(raw)
+        except json.JSONDecodeError as e:
+            fail(path, f"{where}: malformed JSON: {e}")
+        if not isinstance(entry, dict):
+            fail(path, f"{where}: not a JSON object")
+        kind = entry.get("kind")
+        if kind not in LOG_KINDS:
+            fail(path, f"{where}: unknown kind {kind!r}")
+        counts[kind] = counts.get(kind, 0) + 1
+        seq = entry.get("seq")
+        if not isinstance(seq, int) or seq <= last_seq:
+            fail(path, f"{where}: seq {seq!r} not strictly increasing "
+                       f"(previous {last_seq})")
+        last_seq = seq
+        t = entry.get("t")
+        if not isinstance(t, dict) or not is_number(t.get("ts_ms")):
+            fail(path, f'{where}: missing timing object "t" with '
+                       f"numeric ts_ms")
+        if last_ts is not None and t["ts_ms"] < last_ts:
+            fail(path, f'{where}: ts_ms {t["ts_ms"]} went backwards '
+                       f"(previous {last_ts})")
+        last_ts = t["ts_ms"]
+
+        if kind in ("conn_accept", "conn_close", "request_begin",
+                    "request_end", "reject", "cancel", "slow_request"):
+            if not isinstance(entry.get("conn"), str):
+                fail(path, f"{where}: {kind} without a conn string")
+        if kind == "conn_close" and entry.get("why") not in LOG_CLOSE_WHY:
+            fail(path, f'{where}: conn_close why {entry.get("why")!r} '
+                       f"not one of {sorted(LOG_CLOSE_WHY)}")
+        if kind in ("request_begin", "request_end", "slow_request"):
+            if not isinstance(entry.get("req"), str) or \
+                    not isinstance(entry.get("type"), str):
+                fail(path, f"{where}: {kind} needs req and type strings")
+        if kind == "request_begin":
+            key = (entry["conn"], entry["req"])
+            if key in open_reqs or key in ended:
+                fail(path, f'{where}: duplicate request_begin for '
+                           f"{key[1]} on {key[0]}")
+            open_reqs[key] = lineno
+        if kind == "request_end":
+            key = (entry["conn"], entry["req"])
+            if key not in open_reqs:
+                fail(path, f'{where}: request_end for {key[1]} on '
+                           f"{key[0]} without a matching request_begin")
+            del open_reqs[key]
+            ended.add(key)
+            if entry.get("outcome") not in LOG_OUTCOMES:
+                fail(path, f'{where}: outcome {entry.get("outcome")!r} '
+                           f"not one of {sorted(LOG_OUTCOMES)}")
+            if not is_number(t.get("latency_ms")) or t["latency_ms"] < 0:
+                fail(path, f"{where}: request_end needs non-negative "
+                           f"t.latency_ms")
+
+    if open_reqs:
+        dangling = ", ".join(f"{req} on {conn} (line {ln})"
+                             for (conn, req), ln in sorted(open_reqs.items()))
+        fail(path, f"request_begin without request_end: {dangling}")
+    print(f"{path}: OK ({sum(counts.values())} line(s): " +
+          ", ".join(f"{k}={v}" for k, v in sorted(counts.items())) + ")")
+
+
 # Sections that carry Timing-class (wall-clock) data and are therefore
 # exempt from the determinism comparison, like "timing" itself.
 TIMING_SECTIONS = {"bench_host_perf"}
@@ -582,6 +679,12 @@ def main(argv):
             fail("usage", "--check-journal needs at least one journal path")
         for path in argv[1:]:
             check_journal(path)
+        return
+    if len(argv) >= 1 and argv[0] == "--check-log":
+        if len(argv) < 2:
+            fail("usage", "--check-log needs at least one log path")
+        for path in argv[1:]:
+            check_log(path)
         return
     if len(argv) >= 1 and argv[0] == "--check-sweep":
         if len(argv) < 2:

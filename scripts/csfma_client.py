@@ -14,11 +14,15 @@ below is a thin wrapper over it.
   csfma_client.py sweep --serve BIN --units pcs,fcs --seeds 1,2 --ops 20000
       run a server-side sweep, print per-point summaries + the digest
 
+  csfma_client.py stats --serve BIN            (or --socket/--tcp)
+      fetch the live metrics snapshot (`stats` request) and print it
+
   csfma_client.py selftest --serve BIN [--transport stdio|socket|tcp|both|all]
       the end-to-end conformance suite CI runs: cache-hit byte-identity,
       cooperative cancel, malformed-input replies, proto-version gating,
       1-vs-4-worker determinism, backpressure busy errors, cache
-      persistence across a daemon restart, and sweep replay byte-identity.
+      persistence across a daemon restart, sweep replay byte-identity,
+      trace_id echo, live stats, and structured-log determinism.
       Exit 0 iff every check passes.
 
 No third-party imports; python3 stdlib only.
@@ -243,7 +247,12 @@ class CsfmaClient:
     # -- requests ---------------------------------------------------------
 
     def submit_async(self, params):
-        """Send a submit; return the parsed accepted (or error) reply."""
+        """Send a submit; return the parsed accepted (or error) reply.
+
+        A `trace_id` entry in `params` goes out on the wire like any other
+        field; the daemon echoes it on every reply and progress event of
+        this request (the same holds for sweep()).
+        """
         req = dict(params)
         req["type"] = "submit"
         req["proto"] = PROTO
@@ -306,19 +315,43 @@ class CsfmaClient:
                                    progress)
             raise ProtocolError(f"unexpected interleaved reply: {raw!r}")
 
-    def cancel(self, job):
-        self._send({"type": "cancel", "proto": PROTO, "id": self._rid(),
-                    "job": job})
+    def cancel(self, job, trace_id=None):
+        req = {"type": "cancel", "proto": PROTO, "id": self._rid(),
+               "job": job}
+        if trace_id is not None:
+            req["trace_id"] = trace_id
+        self._send(req)
         msg, _ = self._recv()
         return msg
 
-    def status(self):
-        self._send({"type": "status", "proto": PROTO, "id": self._rid()})
+    def status(self, trace_id=None):
+        req = {"type": "status", "proto": PROTO, "id": self._rid()}
+        if trace_id is not None:
+            req["trace_id"] = trace_id
+        self._send(req)
         msg, _ = self._recv()
         return msg
 
-    def shutdown(self):
-        self._send({"type": "shutdown", "proto": PROTO, "id": self._rid()})
+    def stats(self, trace_id=None):
+        """Fetch the live metrics snapshot (answered inline, never queued).
+
+        Progress events from jobs still in flight may interleave; they are
+        skipped, so this is safe to call while work is running.
+        """
+        req = {"type": "stats", "proto": PROTO, "id": self._rid()}
+        if trace_id is not None:
+            req["trace_id"] = trace_id
+        self._send(req)
+        msg, _ = self._recv()
+        while msg["type"] == "progress":
+            msg, _ = self._recv()
+        return msg
+
+    def shutdown(self, trace_id=None):
+        req = {"type": "shutdown", "proto": PROTO, "id": self._rid()}
+        if trace_id is not None:
+            req["trace_id"] = trace_id
+        self._send(req)
         msg, _ = self._recv()
         return msg
 
@@ -467,6 +500,59 @@ def selftest_session(check, client):
     check.ok(r.terminal["cache"] == "hit" and
              r.report_bytes == s1.point_report_bytes(0),
              "sweep point deduplicates against plain submits")
+
+    # 5. trace_id propagation: a client-supplied trace_id comes back on
+    #    every reply and event of its request — accepted, progress, result
+    #    for a submit; accepted, sweep_point, sweep_done for a sweep.
+    fresh = dict(mode="batch", unit="pcs", ops=20000, seed=41)
+    r = client.submit(trace_id="tr-submit", **fresh)
+    check.ok(r.accepted.get("trace_id") == "tr-submit",
+             "trace_id echoed on accepted reply")
+    check.ok(r.terminal.get("trace_id") == "tr-submit",
+             "trace_id echoed on result reply")
+    check.ok(len(r.progress) >= 1 and
+             all(p.get("trace_id") == "tr-submit" for p in r.progress),
+             "trace_id echoed on every progress event")
+    s = client.sweep(trace_id="tr-sweep", **SWEEP)
+    check.ok(s.accepted.get("trace_id") == "tr-sweep" and
+             s.done.get("trace_id") == "tr-sweep",
+             "trace_id echoed on sweep accepted and sweep_done")
+    check.ok(all(p.get("trace_id") == "tr-sweep" for p in s.points),
+             "trace_id echoed on every sweep_point line")
+    e = client.send_raw('{"type":"status","proto":99,"trace_id":"tr-bad"}')
+    check.ok(e.get("trace_id") == "tr-bad",
+             "trace_id echoed even on error replies")
+
+    # 6. Live stats: answered inline with the metrics snapshot and
+    #    per-request-type/per-outcome latency percentiles.  The submits
+    #    above must already show up in the request-latency histograms.
+    st = client.stats(trace_id="tr-stats")
+    check.ok(st["type"] == "stats" and st.get("proto") == PROTO,
+             "stats reply is typed and carries proto 1")
+    check.ok(st.get("trace_id") == "tr-stats",
+             "trace_id echoed on stats reply")
+    check.ok(isinstance(st.get("uptime_s"), float) and st["uptime_s"] >= 0,
+             "stats reports daemon uptime")
+    metrics = st.get("metrics", {})
+    check.ok(all(k in metrics for k in ("counters", "gauges", "histograms")),
+             "stats embeds the full metrics snapshot")
+    hists = metrics.get("histograms", {})
+    lat = {k: v for k, v in hists.items()
+           if k.startswith("service.latency_ms.")}
+    ok_count = sum(v.get("count", 0)
+                   for k, v in lat.items() if k.endswith(".ok"))
+    hit_count = hists.get("service.latency_ms.submit.cache_hit",
+                          {}).get("count", 0)
+    check.ok(ok_count >= 1 and hit_count >= 1,
+             "request-latency histograms count completed requests")
+    pct = st.get("percentiles", {})
+    check.ok(all(set(v) >= {"count", "p50", "p90", "p99"}
+                 for v in pct.values()) and
+             set(pct) == set(hists),
+             "stats reports p50/p90/p99 for every histogram")
+    check.ok(all(0 <= v["p50"] <= v["p90"] <= v["p99"]
+                 for v in pct.values() if v["count"] > 0),
+             "percentiles are ordered p50 <= p90 <= p99")
 
 
 def selftest_stdio(check, serve):
@@ -654,6 +740,62 @@ def selftest_persistence(check, serve):
         os.rmdir(tmp)
 
 
+def _log_projection(path):
+    """The deterministic projection of a csfma-log-v1 file (docs/FORMATS.md).
+
+    Drops each line's "t" member (wall-clock timestamps and latencies) and
+    every slow_request line (whether a request is "slow" is a timing fact);
+    what remains is scheduling-independent for a synchronously driven
+    request sequence.
+    """
+    out = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            entry = json.loads(line)
+            if entry.get("kind") == "slow_request":
+                continue
+            entry.pop("t", None)
+            out.append(json.dumps(entry, sort_keys=True))
+    return "\n".join(out)
+
+
+def selftest_logging(check, serve):
+    """--log-file determinism: for one synchronously driven request
+    sequence, the deterministic projection of the structured log must be
+    byte-identical whether the daemon runs 1 worker or 4."""
+    print("structured log:")
+    tmp = tempfile.mkdtemp(prefix="csfma_log.")
+    projections = []
+    try:
+        for workers in (1, 4):
+            path = os.path.join(tmp, f"serve-w{workers}.log")
+            with CsfmaClient.spawn(serve, workers=workers,
+                                   extra_args=["--log-file", path]) as client:
+                client.submit(**BATCH)
+                client.submit(**BATCH)     # cache hit
+                client.sweep(**SWEEP)
+                client.status()
+                client.stats()
+                client.shutdown()
+            check.ok(os.path.exists(path),
+                     f"--log-file written under --workers {workers}")
+            kinds = [json.loads(l)["kind"]
+                     for l in open(path, encoding="utf-8")]
+            check.ok(kinds.count("request_begin") == 6 and
+                     kinds.count("request_end") == 6,
+                     f"every request logged begin+end (--workers {workers})")
+            check.ok(kinds[0] == "conn_accept" and kinds[-1] == "conn_close",
+                     f"log brackets the connection (--workers {workers})")
+            projections.append(_log_projection(path))
+    finally:
+        for name in os.listdir(tmp):
+            os.unlink(os.path.join(tmp, name))
+        os.rmdir(tmp)
+    check.ok(projections[0] == projections[1],
+             "deterministic log projection byte-identical across "
+             "1 vs 4 workers")
+
+
 def cmd_selftest(args):
     check = Check()
     transports = {
@@ -671,6 +813,7 @@ def cmd_selftest(args):
         selftest_tcp(check, args.serve)
     selftest_backpressure(check, args.serve)
     selftest_persistence(check, args.serve)
+    selftest_logging(check, args.serve)
     if check.failures:
         print(f"\n{len(check.failures)} check(s) FAILED:", file=sys.stderr)
         for f in check.failures:
@@ -744,6 +887,17 @@ def cmd_sweep(args):
     return 0
 
 
+def cmd_stats(args):
+    spawned = not (args.socket or args.tcp)
+    with _make_client(args) as client:
+        st = client.stats()
+        print(json.dumps(st, indent=2 if args.pretty else None,
+                         sort_keys=True))
+        if spawned:
+            client.shutdown()
+    return 0 if st["type"] == "stats" else 1
+
+
 def main(argv=None):
     p = argparse.ArgumentParser(description=__doc__,
                                 formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -789,8 +943,14 @@ def main(argv=None):
                          "(input for check_report.py --check-sweep)")
     sw.set_defaults(fn=cmd_sweep)
 
+    sg = sub.add_parser("stats", help="fetch the live metrics snapshot")
+    common_connect(sg)
+    sg.add_argument("--pretty", action="store_true",
+                    help="indent the JSON output")
+    sg.set_defaults(fn=cmd_stats)
+
     args = p.parse_args(argv)
-    if args.cmd in ("submit", "sweep") and not (
+    if args.cmd in ("submit", "sweep", "stats") and not (
             args.serve or args.socket or args.tcp):
         p.error(f"{args.cmd} needs --serve, --socket or --tcp")
     try:

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Live ASCII dashboard for a running csfma_serve daemon.
+
+Polls the `stats` request (docs/service.md#observability) over a Unix
+socket or TCP and renders the metrics snapshot as a terminal dashboard:
+uptime, request counters by type, queue depth, cache hit rate, and the
+per-request-type/per-outcome latency distribution with p50/p90/p99.
+
+  service_top.py --socket /tmp/csfma.sock            refresh every 2s
+  service_top.py --tcp 127.0.0.1:7421 --interval 5
+  service_top.py --socket PATH --once                one snapshot, no UI
+                                                     (the CI smoke mode)
+
+Percentiles are recomputed client-side from the raw histogram buckets —
+the same fixed-bucket interpolation MetricsRegistry uses — so the numbers
+shown here cross-check the daemon's own `percentiles` rendering; a
+mismatch beyond float formatting is a bug.  python3 stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from csfma_client import CsfmaClient, ProtocolError  # noqa: E402
+
+
+def percentile(bounds, counts, q):
+    """Mirror of HistogramSnapshot::percentile (src/telemetry/metrics.cpp).
+
+    Smallest bucket whose cumulative count reaches q*total, linearly
+    interpolated inside the bucket; the overflow bucket saturates at the
+    last finite bound; an empty histogram reports 0.
+    """
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    q = min(max(q, 0.0), 1.0)
+    rank = q * total
+    cum = 0
+    for i, in_bucket in enumerate(counts):
+        if in_bucket == 0:
+            continue
+        if cum + in_bucket >= rank:
+            if i >= len(bounds):
+                return bounds[-1] if bounds else 0.0
+            lo = 0.0 if i == 0 else bounds[i - 1]
+            hi = bounds[i]
+            frac = max((rank - cum) / in_bucket, 0.0)
+            return lo + (hi - lo) * frac
+        cum += in_bucket
+    return bounds[-1] if bounds else 0.0
+
+
+def _fmt_ms(v):
+    return f"{v:8.2f}" if v < 1000 else f"{v:8.0f}"
+
+
+def render(st):
+    """One dashboard frame (a list of lines) from a parsed stats reply."""
+    m = st.get("metrics", {})
+    counters = {k: v["value"] for k, v in m.get("counters", {}).items()}
+    gauges = {k: v["value"] for k, v in m.get("gauges", {}).items()}
+    hists = m.get("histograms", {})
+
+    lines = []
+    up = st.get("uptime_s", 0.0)
+    lines.append(f"csfma_serve  up {up:10.1f}s   "
+                 f"queue depth {gauges.get('service.queue.depth', 0):.0f}")
+
+    reqs = {k.rsplit(".", 1)[1]: int(v) for k, v in counters.items()
+            if k.startswith("service.requests.")}
+    total = int(counters.get("service.requests", 0))
+    lines.append("requests: total %d   %s" % (
+        total, "  ".join(f"{k}={v}" for k, v in sorted(reqs.items()))))
+
+    hits = counters.get("service.cache.hits", 0)
+    misses = counters.get("service.cache.misses", 0)
+    rate = 100.0 * hits / (hits + misses) if hits + misses else 0.0
+    lines.append(f"cache: {hits:.0f} hit / {misses:.0f} miss "
+                 f"({rate:.1f}% hit rate)   conns: "
+                 f"accepted={counters.get('service.conn.accepted', 0):.0f} "
+                 f"idle_closed={counters.get('service.conn.idle_closed', 0):.0f} "
+                 f"dead_peer={counters.get('service.conn.dead_peer', 0):.0f}")
+
+    lines.append("")
+    lines.append(f"{'latency (ms)':28s} {'count':>7s} {'p50':>8s} "
+                 f"{'p90':>8s} {'p99':>8s}")
+    rows = [(k, v) for k, v in sorted(hists.items())
+            if k.startswith("service.latency_ms.") or
+            k == "service.queue_wait_ms"]
+    for name, h in rows:
+        label = name.replace("service.latency_ms.", "").replace(
+            "service.queue_wait_ms", "queue_wait")
+        cnt = h.get("count", 0)
+        b, c = h.get("bounds", []), h.get("counts", [])
+        lines.append(f"{label:28s} {cnt:7d} {_fmt_ms(percentile(b, c, 0.5))} "
+                     f"{_fmt_ms(percentile(b, c, 0.9))} "
+                     f"{_fmt_ms(percentile(b, c, 0.99))}")
+    if not rows:
+        lines.append("  (no requests finished yet)")
+    return lines
+
+
+def _connect(args):
+    if args.socket:
+        return CsfmaClient.connect(args.socket)
+    host, _, port = args.tcp.rpartition(":")
+    return CsfmaClient.connect_tcp(host or "127.0.0.1", port)
+
+
+def main(argv=None):
+    p = argparse.ArgumentParser(description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    p.add_argument("--socket", help="daemon Unix socket path")
+    p.add_argument("--tcp", help="daemon TCP address (HOST:PORT)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh period in seconds (default 2)")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (CI smoke mode)")
+    args = p.parse_args(argv)
+    if bool(args.socket) == bool(args.tcp):
+        p.error("exactly one of --socket or --tcp is required")
+
+    try:
+        with _connect(args) as client:
+            while True:
+                st = client.stats()
+                if st.get("type") != "stats":
+                    print(f"service_top: unexpected reply: {json.dumps(st)}",
+                          file=sys.stderr)
+                    return 1
+                frame = "\n".join(render(st))
+                if args.once:
+                    print(frame)
+                    return 0
+                # Clear + home, then the frame: a flicker-free poor man's top.
+                sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+                sys.stdout.flush()
+                time.sleep(args.interval)
+    except ProtocolError as e:
+        print(f"service_top: {e}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+// Structured JSON-lines server log for csfma_serve (--log-file).
+//
+// One line per event, schema csfma-log-v1 (docs/FORMATS.md).  Every line
+// is a JSON object of the shape
+//
+//   {"kind":"...","seq":N,<deterministic fields>,"t":{"ts_ms":...,<timing>}}
+//
+// following the metrics Stability convention (docs/observability.md):
+// everything outside the "t" member is Deterministic — for a fixed request
+// sequence driven synchronously over one connection, those fields are
+// byte-identical whatever the worker count — while "t" collects the
+// wall-clock-derived fields (timestamps, latencies, scheduling-dependent
+// progress counts).  Tests and check_report.py --check-log byte-compare
+// the *deterministic projection*: drop each line's "t" member and drop
+// "slow_request" lines entirely (they only exist when a latency threshold
+// fired, which is itself a timing fact).
+//
+// Line kinds: conn_accept, conn_close, request_begin, request_end, reject,
+// cancel, journal_compact, slow_request.  Every request_begin is paired
+// with exactly one request_end carrying the outcome
+// (ok|cache_hit|busy|cancelled|error); reject/cancel/slow_request lines
+// are supplementary.  "seq" increases strictly by 1 and "t.ts_ms" is
+// clamped monotonic, both assigned under the writer mutex, so a validator
+// can check ordering without trusting thread scheduling.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace csfma {
+
+class ServiceLog {
+ public:
+  /// Append-mode open; returns nullptr (and leaves errno set) on failure.
+  static std::unique_ptr<ServiceLog> open(const std::string& path);
+  /// Log onto an already-open stream (tests).  Never closes it.
+  static std::unique_ptr<ServiceLog> attach(std::FILE* stream);
+
+  ~ServiceLog();
+  ServiceLog(const ServiceLog&) = delete;
+  ServiceLog& operator=(const ServiceLog&) = delete;
+
+  /// One log line under construction.  det() fields are emitted top-level
+  /// in call order; timing() fields go under "t".  The line is written
+  /// (seq + ts_ms assigned, fflushed) when commit() runs — at destruction
+  /// if not called explicitly.
+  class Line {
+   public:
+    Line(Line&& o) noexcept
+        : log_(o.log_),
+          kind_(std::move(o.kind_)),
+          det_(std::move(o.det_)),
+          timing_(std::move(o.timing_)) {
+      o.log_ = nullptr;  // the moved-from line must not commit again
+    }
+    ~Line() { commit(); }
+
+    Line& det(const char* key, const std::string& v);
+    Line& det(const char* key, const char* v);
+    Line& det(const char* key, std::uint64_t v);
+    Line& det(const char* key, int v);
+    Line& timing(const char* key, double v);
+    Line& timing(const char* key, std::uint64_t v);
+    void commit();
+
+   private:
+    friend class ServiceLog;
+    explicit Line(ServiceLog* log, const char* kind);
+    ServiceLog* log_;  // null once committed
+    std::string kind_;
+    std::vector<std::pair<std::string, std::string>> det_;
+    std::vector<std::pair<std::string, std::string>> timing_;
+  };
+
+  Line line(const char* kind) { return Line(this, kind); }
+
+ private:
+  ServiceLog(std::FILE* f, bool owns);
+  void write_line(Line& l);
+
+  std::FILE* f_;
+  bool owns_;
+  std::chrono::steady_clock::time_point origin_;
+  std::mutex mu_;
+  std::uint64_t seq_ = 0;
+  double last_ts_ms_ = 0.0;
+};
+
+}  // namespace csfma

@@ -4,6 +4,7 @@
 
 #include "service/json_value.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace csfma {
 
@@ -382,6 +383,11 @@ ParseOutcome parse_request_line(const std::string& line) {
   // Echo the correlation id even in error replies, when it parses.
   if (const JsonValue* id = doc.find("id"); id != nullptr && id->is_string())
     out.id = id->as_string();
+  // Same best-effort echo for the trace id, so even version-gated errors
+  // correlate; the typed (bad_request) validation runs after the gate.
+  if (const JsonValue* tid = doc.find("trace_id");
+      tid != nullptr && tid->is_string())
+    out.trace_id = tid->as_string();
 
   // Version gate before anything else: a request speaking a different
   // protocol version must not be half-interpreted under this one's rules.
@@ -396,6 +402,11 @@ ParseOutcome parse_request_line(const std::string& line) {
   }
 
   std::string type, msg;
+  if (!want_string(doc, "trace_id", false, &out.trace_id, &msg)) {
+    out.code = ServiceError::BadRequest;
+    out.message = msg;
+    return out;
+  }
   if (!want_string(doc, "type", true, &type, &msg)) {
     out.code = ServiceError::BadRequest;
     out.message = msg;
@@ -403,6 +414,7 @@ ParseOutcome parse_request_line(const std::string& line) {
   }
 
   out.request.id = out.id;
+  out.request.trace_id = out.trace_id;
   if (type == "submit") {
     SubmitRequest req;
     if (!parse_submit(doc, &req, &msg)) {
@@ -437,6 +449,8 @@ ParseOutcome parse_request_line(const std::string& line) {
     out.request.op = req;
   } else if (type == "shutdown") {
     out.request.op = ShutdownRequest{};
+  } else if (type == "stats") {
+    out.request.op = StatsRequest{};
   } else {
     out.code = ServiceError::UnknownType;
     out.message = "unknown request type \"" + type + "\"";
@@ -456,19 +470,25 @@ void put_id(JsonWriter& w, const std::string& id) {
 
 }  // namespace
 
-void begin_reply(JsonWriter& w, const char* type, const std::string& id) {
+void begin_reply(JsonWriter& w, const char* type, const std::string& id,
+                 const std::string& trace_id) {
   w.begin_object();
   w.key("type");
   w.value(type);
   w.key("proto");
   w.value(kProtoVersion);
   put_id(w, id);
+  if (!trace_id.empty()) {
+    w.key("trace_id");
+    w.value(trace_id);
+  }
 }
 
 std::string error_reply(const std::string& id, ServiceError code,
-                        const std::string& message) {
+                        const std::string& message,
+                        const std::string& trace_id) {
   JsonWriter w;
-  begin_reply(w, "error", id);
+  begin_reply(w, "error", id, trace_id);
   w.key("code");
   w.value(to_string(code));
   w.key("message");
@@ -478,9 +498,10 @@ std::string error_reply(const std::string& id, ServiceError code,
 }
 
 std::string accepted_reply(const std::string& id, const std::string& job,
-                           const std::string& cache_key) {
+                           const std::string& cache_key,
+                           const std::string& trace_id) {
   JsonWriter w;
-  begin_reply(w, "accepted", id);
+  begin_reply(w, "accepted", id, trace_id);
   w.key("job");
   w.value(job);
   w.key("cache_key");
@@ -492,7 +513,7 @@ std::string accepted_reply(const std::string& id, const std::string& job,
 std::string progress_event_line(const ProgressEvent& ev) {
   const EngineProgress& p = ev.progress;
   JsonWriter w;
-  begin_reply(w, "progress", "");
+  begin_reply(w, "progress", "", ev.trace_id);
   w.key("job");
   w.value(ev.job);
   w.key("ops_done");
@@ -515,9 +536,10 @@ std::string progress_event_line(const ProgressEvent& ev) {
 
 std::string result_reply(const std::string& id, const std::string& job,
                          bool cache_hit, double elapsed_s,
-                         const std::string& report_json) {
+                         const std::string& report_json,
+                         const std::string& trace_id) {
   JsonWriter w;
-  begin_reply(w, "result", id);
+  begin_reply(w, "result", id, trace_id);
   w.key("job");
   w.value(job);
   w.key("cache");
@@ -531,9 +553,10 @@ std::string result_reply(const std::string& id, const std::string& job,
 }
 
 std::string cancel_ok_reply(const std::string& id, const std::string& job,
-                            const std::string& state) {
+                            const std::string& state,
+                            const std::string& trace_id) {
   JsonWriter w;
-  begin_reply(w, "cancel_ok", id);
+  begin_reply(w, "cancel_ok", id, trace_id);
   w.key("job");
   w.value(job);
   w.key("state");
@@ -543,9 +566,10 @@ std::string cancel_ok_reply(const std::string& id, const std::string& job,
 }
 
 std::string cancelled_reply(const std::string& id, const std::string& job,
-                            std::uint64_t ops_done) {
+                            std::uint64_t ops_done,
+                            const std::string& trace_id) {
   JsonWriter w;
-  begin_reply(w, "cancelled", id);
+  begin_reply(w, "cancelled", id, trace_id);
   w.key("job");
   w.value(job);
   w.key("ops_done");
@@ -555,9 +579,10 @@ std::string cancelled_reply(const std::string& id, const std::string& job,
 }
 
 std::string status_reply(const std::string& id,
-                         const std::vector<JobStatus>& jobs) {
+                         const std::vector<JobStatus>& jobs,
+                         const std::string& trace_id) {
   JsonWriter w;
-  begin_reply(w, "status", id);
+  begin_reply(w, "status", id, trace_id);
   w.key("jobs");
   w.begin_array();
   for (const JobStatus& j : jobs) {
@@ -586,15 +611,45 @@ std::string status_reply(const std::string& id,
 }
 
 std::string bye_reply(const std::string& id, std::uint64_t completed,
-                      std::uint64_t cancelled, std::uint64_t failed) {
+                      std::uint64_t cancelled, std::uint64_t failed,
+                      const std::string& trace_id) {
   JsonWriter w;
-  begin_reply(w, "bye", id);
+  begin_reply(w, "bye", id, trace_id);
   w.key("jobs_completed");
   w.value(completed);
   w.key("jobs_cancelled");
   w.value(cancelled);
   w.key("jobs_failed");
   w.value(failed);
+  w.end_object();
+  return w.str();
+}
+
+std::string stats_reply(const std::string& id, double uptime_s,
+                        const MetricsSnapshot& metrics,
+                        const std::string& trace_id) {
+  JsonWriter w;
+  begin_reply(w, "stats", id, trace_id);
+  w.key("uptime_s");
+  w.value(uptime_s);
+  w.key("percentiles");
+  w.begin_object();
+  for (const auto& [name, h] : metrics.histograms) {
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.value(h.count);
+    w.key("p50");
+    w.value(h.percentile(0.50));
+    w.key("p90");
+    w.value(h.percentile(0.90));
+    w.key("p99");
+    w.value(h.percentile(0.99));
+    w.end_object();
+  }
+  w.end_object();
+  w.key("metrics");
+  w.raw(to_json(metrics));
   w.end_object();
   return w.str();
 }

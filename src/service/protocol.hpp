@@ -65,7 +65,7 @@ bool parse_round(std::string_view s, Round* out);
 enum class ServiceError {
   ParseError,    // the line is not a JSON object
   BadRequest,    // missing / ill-typed / out-of-range field
-  UnknownType,   // "type" is not submit|sweep|status|cancel|shutdown
+  UnknownType,   // "type" is not submit|sweep|status|cancel|shutdown|stats
   UnknownJob,    // status/cancel named a job id the service never issued
   ShuttingDown,  // submit received after shutdown
   Busy,          // admission control: the pending-job queue is full
@@ -134,10 +134,17 @@ struct CancelRequest {
 
 struct ShutdownRequest {};
 
+/// Read-only observability probe: answered inline from the metrics
+/// registry, never queued behind the worker pool (docs/service.md#stats).
+struct StatsRequest {};
+
 struct Request {
   std::string id;  // client correlation id, echoed verbatim in replies
+  /// Optional client-supplied trace correlation id, echoed on every
+  /// reply/progress/sweep_point line of this request ("" = absent).
+  std::string trace_id;
   std::variant<SubmitRequest, SweepRequest, StatusRequest, CancelRequest,
-               ShutdownRequest>
+               ShutdownRequest, StatsRequest>
       op;
 };
 
@@ -149,31 +156,44 @@ struct ParseOutcome {
   ServiceError code = ServiceError::ParseError;  // valid iff !ok
   std::string message;       // valid iff !ok
   std::string id;            // best-effort echo for error replies
+  std::string trace_id;      // best-effort echo for error replies
 };
 
 ParseOutcome parse_request_line(const std::string& line);
 
 // ---- reply / event rendering (one JSON line each, no trailing \n) ----
-// Every reply/event line starts {"type":...,"proto":1[,"id":...]} — the
-// version stamp lets clients assert compatibility on every line.
+// Every reply/event line starts {"type":...,"proto":1[,"id":...
+// [,"trace_id":...]]} — the version stamp lets clients assert
+// compatibility on every line, and the trace id (echoed only when the
+// request supplied one) lets a client correlate every line of a request
+// across interleaved jobs.  Renderers take the trace id as a trailing
+// defaulted parameter so trace-less callers render the pre-trace bytes.
 
 class JsonWriter;
+struct MetricsSnapshot;
 
-/// Open a reply object and emit the shared type/proto/id prefix (the id
-/// is omitted when empty).  The sweep renderers (sweep.cpp) share it.
-void begin_reply(JsonWriter& w, const char* type, const std::string& id);
+/// Open a reply object and emit the shared type/proto/id/trace_id prefix
+/// (id and trace_id are omitted when empty).  The sweep renderers
+/// (sweep.cpp) share it.  Keeping the trace id in the PREFIX preserves the
+/// "report is the last member" splice convention of result/sweep_point
+/// lines.
+void begin_reply(JsonWriter& w, const char* type, const std::string& id,
+                 const std::string& trace_id = "");
 
 std::string error_reply(const std::string& id, ServiceError code,
-                        const std::string& message);
+                        const std::string& message,
+                        const std::string& trace_id = "");
 
 std::string accepted_reply(const std::string& id, const std::string& job,
-                           const std::string& cache_key);
+                           const std::string& cache_key,
+                           const std::string& trace_id = "");
 
 /// Structured progress event: EngineConfig::progress lifted onto the wire
 /// with the owning job attached (the machine-readable successor of the
 /// benches' stderr heartbeat).
 struct ProgressEvent {
   std::string job;
+  std::string trace_id;  // the owning request's trace id ("" = none)
   EngineProgress progress;
 };
 
@@ -184,17 +204,20 @@ std::string progress_event_line(const ProgressEvent& ev);
 /// bytes, which is what makes "byte-identical repeat" testable.
 std::string result_reply(const std::string& id, const std::string& job,
                          bool cache_hit, double elapsed_s,
-                         const std::string& report_json);
+                         const std::string& report_json,
+                         const std::string& trace_id = "");
 
 /// Immediate acknowledgement of a cancel request (the job itself terminates
 /// with a separate cancelled_reply once its workers stop).
 std::string cancel_ok_reply(const std::string& id, const std::string& job,
-                            const std::string& state);
+                            const std::string& state,
+                            const std::string& trace_id = "");
 
 /// Terminal reply of a cancelled job: ops_done is observational; partial
 /// results are never emitted (BatchStats::aborted contract).
 std::string cancelled_reply(const std::string& id, const std::string& job,
-                            std::uint64_t ops_done);
+                            std::uint64_t ops_done,
+                            const std::string& trace_id = "");
 
 struct JobStatus {
   std::string job;
@@ -208,9 +231,20 @@ struct JobStatus {
 };
 
 std::string status_reply(const std::string& id,
-                         const std::vector<JobStatus>& jobs);
+                         const std::vector<JobStatus>& jobs,
+                         const std::string& trace_id = "");
 
 std::string bye_reply(const std::string& id, std::uint64_t completed,
-                      std::uint64_t cancelled, std::uint64_t failed);
+                      std::uint64_t cancelled, std::uint64_t failed,
+                      const std::string& trace_id = "");
+
+/// Live stats reply (docs/service.md#stats): daemon uptime, a percentile
+/// summary (count/p50/p90/p99 per histogram, from
+/// HistogramSnapshot::percentile) and the full metrics registry snapshot
+/// in the metrics-file JSON shape.  Everything here is operator-facing
+/// Timing data; the reply is not part of the determinism contract.
+std::string stats_reply(const std::string& id, double uptime_s,
+                        const MetricsSnapshot& metrics,
+                        const std::string& trace_id = "");
 
 }  // namespace csfma

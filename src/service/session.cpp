@@ -1,7 +1,9 @@
 #include "service/session.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
+#include <optional>
 
 #include "common/check.hpp"
 #include "energy/workload.hpp"
@@ -33,6 +35,22 @@ std::uint64_t checksum_range(std::uint64_t start, const PFloat* results,
   return sum;
 }
 
+/// Fixed request-latency bucket bounds, milliseconds.  Shared by every
+/// service.latency_ms.<type>.<outcome> histogram and the queue-wait
+/// histogram so stats percentiles are comparable across request types.
+const std::vector<double>& latency_bounds_ms() {
+  static const std::vector<double> bounds = {0.1, 0.3,  1.0,   3.0,   10.0,
+                                             30.0, 100.0, 300.0, 1000.0,
+                                             3000.0, 10000.0};
+  return bounds;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 const char* ServiceSession::state_name(JobState s) {
@@ -50,37 +68,45 @@ ServiceSession::ServiceSession(ServiceConfig cfg, WriteFn write)
     : cfg_(cfg), write_(std::move(write)) {
   CSFMA_CHECK(write_ != nullptr);
   if (cfg_.workers < 1) cfg_.workers = 1;
+  if (cfg_.metrics == nullptr) {
+    // Always have a registry: the stats request and the queue-depth gauge
+    // must work whether or not the embedder attached a shared one.
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  } else {
+    metrics_ = cfg_.metrics;
+  }
   if (cfg_.cache == nullptr) {
-    owned_cache_ =
-        std::make_unique<ResultCache>(cfg_.cache_entries, cfg_.metrics);
+    owned_cache_ = std::make_unique<ResultCache>(cfg_.cache_entries, metrics_);
     cache_ = owned_cache_.get();
   } else {
     cache_ = cfg_.cache;
   }
-  if (cfg_.metrics != nullptr) {
-    // Timing stability: request/job counts track the arrival order of the
-    // request stream, not the simulation seed, so they are exempt from the
-    // byte-identical-export contract Deterministic metrics carry.
-    m_requests =
-        &cfg_.metrics->counter("service.requests", Stability::Timing);
-    m_errors = &cfg_.metrics->counter("service.errors", Stability::Timing);
-    m_submitted =
-        &cfg_.metrics->counter("service.jobs.submitted", Stability::Timing);
-    m_sweeps =
-        &cfg_.metrics->counter("service.jobs.sweeps", Stability::Timing);
-    m_completed =
-        &cfg_.metrics->counter("service.jobs.completed", Stability::Timing);
-    m_cancelled =
-        &cfg_.metrics->counter("service.jobs.cancelled", Stability::Timing);
-    m_failed = &cfg_.metrics->counter("service.jobs.failed", Stability::Timing);
-    m_rejected =
-        &cfg_.metrics->counter("service.jobs.rejected", Stability::Timing);
-    m_queue_depth =
-        &cfg_.metrics->gauge("service.queue.depth", Stability::Timing);
-  }
+  start_ = cfg_.start_time == std::chrono::steady_clock::time_point{}
+               ? std::chrono::steady_clock::now()
+               : cfg_.start_time;
+  // Timing stability: request/job counts track the arrival order of the
+  // request stream, not the simulation seed, so they are exempt from the
+  // byte-identical-export contract Deterministic metrics carry.
+  m_requests = &metrics_->counter("service.requests", Stability::Timing);
+  m_errors = &metrics_->counter("service.errors", Stability::Timing);
+  m_submitted =
+      &metrics_->counter("service.jobs.submitted", Stability::Timing);
+  m_sweeps = &metrics_->counter("service.jobs.sweeps", Stability::Timing);
+  m_completed =
+      &metrics_->counter("service.jobs.completed", Stability::Timing);
+  m_cancelled =
+      &metrics_->counter("service.jobs.cancelled", Stability::Timing);
+  m_failed = &metrics_->counter("service.jobs.failed", Stability::Timing);
+  m_rejected =
+      &metrics_->counter("service.jobs.rejected", Stability::Timing);
+  m_queue_depth = &metrics_->gauge("service.queue.depth", Stability::Timing);
+  m_queue_depth->set(0.0);
+  m_queue_wait = &metrics_->histogram("service.queue_wait_ms",
+                                      latency_bounds_ms(), Stability::Timing);
   pool_.reserve((std::size_t)cfg_.workers);
   for (int w = 0; w < cfg_.workers; ++w)
-    pool_.emplace_back([this] { worker_loop(); });
+    pool_.emplace_back([this, w] { worker_loop(w + 1); });
 }
 
 ServiceSession::~ServiceSession() {
@@ -97,67 +123,157 @@ void ServiceSession::emit(const std::string& line) {
   write_(line);
 }
 
-void ServiceSession::handle_line(const std::string& line) {
-  if (m_requests != nullptr) m_requests->add();
-  ParseOutcome out = parse_request_line(line);
-  if (!out.ok) {
-    if (m_errors != nullptr) m_errors->add();
-    emit(error_reply(out.id, out.code, out.message));
-    return;
+namespace {
+
+/// The wire type name of a parsed request (for per-type metrics and log
+/// lines); unparsable lines are typed "invalid".
+const char* request_type_name(const ParseOutcome& out) {
+  if (!out.ok) return "invalid";
+  if (std::holds_alternative<SubmitRequest>(out.request.op)) return "submit";
+  if (std::holds_alternative<SweepRequest>(out.request.op)) return "sweep";
+  if (std::holds_alternative<StatusRequest>(out.request.op)) return "status";
+  if (std::holds_alternative<CancelRequest>(out.request.op)) return "cancel";
+  if (std::holds_alternative<StatsRequest>(out.request.op)) return "stats";
+  return "shutdown";
+}
+
+}  // namespace
+
+void ServiceSession::finish_request(const char* type, const char* outcome,
+                                    const RequestCtx& ctx,
+                                    const std::string& job_id) {
+  const double ms = ms_since(ctx.t0);
+  metrics_
+      ->histogram(
+          "service.latency_ms." + std::string(type) + "." + outcome,
+          latency_bounds_ms(), Stability::Timing)
+      .observe(ms);
+  if (cfg_.log == nullptr) return;
+  {
+    ServiceLog::Line l = cfg_.log->line("request_end");
+    l.det("conn", cfg_.conn).det("req", ctx.req).det("type", type);
+    if (!ctx.id.empty()) l.det("id", ctx.id);
+    if (!ctx.trace_id.empty()) l.det("trace_id", ctx.trace_id);
+    if (!job_id.empty()) l.det("job", job_id);
+    l.det("outcome", outcome);
+    l.timing("latency_ms", ms);
   }
-  const std::string& id = out.request.id;
-  if (const auto* req = std::get_if<SubmitRequest>(&out.request.op)) {
-    on_submit(id, *req);
-  } else if (const auto* sw = std::get_if<SweepRequest>(&out.request.op)) {
-    on_sweep(id, *sw);
-  } else if (const auto* st = std::get_if<StatusRequest>(&out.request.op)) {
-    on_status(id, *st);
-  } else if (const auto* cn = std::get_if<CancelRequest>(&out.request.op)) {
-    on_cancel(id, *cn);
-  } else {
-    on_shutdown(id);
+  if (cfg_.slow_ms > 0.0 && ms > cfg_.slow_ms) {
+    cfg_.log->line("slow_request")
+        .det("conn", cfg_.conn)
+        .det("req", ctx.req)
+        .det("type", type)
+        .timing("latency_ms", ms);
   }
 }
 
-bool ServiceSession::reject_if_busy_locked(const std::string& id) {
+void ServiceSession::handle_line(const std::string& line) {
+  RequestCtx ctx;
+  ctx.t0 = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ctx.req = "req-" + std::to_string(next_request_++);
+  }
+  m_requests->add();
+  ParseOutcome out;
+  {
+    TraceSpan span(cfg_.trace, "parse", "service");
+    span.arg("req", ctx.req);
+    out = parse_request_line(line);
+  }
+  ctx.id = out.id;
+  ctx.trace_id = out.trace_id;
+  const char* type = request_type_name(out);
+  metrics_->counter("service.requests." + std::string(type), Stability::Timing)
+      .add();
+  if (cfg_.log != nullptr) {
+    ServiceLog::Line l = cfg_.log->line("request_begin");
+    l.det("conn", cfg_.conn).det("req", ctx.req).det("type", type);
+    if (!ctx.id.empty()) l.det("id", ctx.id);
+    if (!ctx.trace_id.empty()) l.det("trace_id", ctx.trace_id);
+  }
+  if (!out.ok) {
+    m_errors->add();
+    finish_request(type, "error", ctx);
+    emit(error_reply(out.id, out.code, out.message, out.trace_id));
+    return;
+  }
+  if (const auto* req = std::get_if<SubmitRequest>(&out.request.op)) {
+    on_submit(ctx, *req);
+  } else if (const auto* sw = std::get_if<SweepRequest>(&out.request.op)) {
+    on_sweep(ctx, *sw);
+  } else if (const auto* st = std::get_if<StatusRequest>(&out.request.op)) {
+    on_status(ctx, *st);
+  } else if (const auto* cn = std::get_if<CancelRequest>(&out.request.op)) {
+    on_cancel(ctx, *cn);
+  } else if (std::holds_alternative<StatsRequest>(out.request.op)) {
+    on_stats(ctx);
+  } else {
+    on_shutdown(ctx);
+  }
+}
+
+bool ServiceSession::reject_if_busy_locked(const char* type,
+                                           const RequestCtx& ctx) {
   if (cfg_.max_pending == 0 || queue_.size() < cfg_.max_pending)
     return false;
-  if (m_errors != nullptr) m_errors->add();
-  if (m_rejected != nullptr) m_rejected->add();
-  emit(error_reply(id, ServiceError::Busy,
+  m_errors->add();
+  m_rejected->add();
+  if (cfg_.log != nullptr) {
+    ServiceLog::Line l = cfg_.log->line("reject");
+    l.det("conn", cfg_.conn).det("req", ctx.req).det("type", type);
+    if (!ctx.id.empty()) l.det("id", ctx.id);
+    l.det("reason", "busy");
+  }
+  finish_request(type, "busy", ctx);
+  emit(error_reply(ctx.id, ServiceError::Busy,
                    "pending queue full (" + std::to_string(queue_.size()) +
-                       " jobs); retry later"));
+                       " jobs); retry later",
+                   ctx.trace_id));
   return true;
 }
 
 void ServiceSession::enqueue(Job* job) {
+  job->t_enqueue = std::chrono::steady_clock::now();
+  if (cfg_.trace != nullptr) job->trace_enq_us = cfg_.trace->now_us();
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(job);
-    if (m_queue_depth != nullptr) m_queue_depth->set((double)queue_.size());
+    m_queue_depth->set((double)queue_.size());
   }
   queue_cv_.notify_one();
 }
 
-void ServiceSession::on_submit(const std::string& id,
+void ServiceSession::on_submit(const RequestCtx& ctx,
                                const SubmitRequest& req) {
   // The cache probe happens before admission control: a memoized result
   // costs no pool slot, so a full queue must not reject it.
   const std::string cache_key = req.cache_key();
-  auto hit = cache_->get(cache_key);
+  std::optional<std::string> hit;
+  {
+    TraceSpan span(cfg_.trace, "cache-lookup", "service");
+    span.arg("req", ctx.req);
+    span.arg("key", cache_key);
+    hit = cache_->get(cache_key);
+  }
   Job* job = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
-      if (m_errors != nullptr) m_errors->add();
-      emit(error_reply(id, ServiceError::ShuttingDown,
-                       "service is shutting down"));
+      m_errors->add();
+      finish_request("submit", "error", ctx);
+      emit(error_reply(ctx.id, ServiceError::ShuttingDown,
+                       "service is shutting down", ctx.trace_id));
       return;
     }
-    if (!hit && reject_if_busy_locked(id)) return;
+    if (!hit && reject_if_busy_locked("submit", ctx)) return;
     auto j = std::make_unique<Job>();
     j->id = "job-" + std::to_string(next_job_++);
-    j->request_id = id;
+    j->request_id = ctx.id;
+    j->trace_id = ctx.trace_id;
+    j->req_tag = ctx.req;
+    j->type = "submit";
+    j->t_begin = ctx.t0;
     j->req = req;
     j->cache_key = cache_key;
     j->ops_total = req.total_ops();
@@ -165,8 +281,8 @@ void ServiceSession::on_submit(const std::string& id,
     by_id_[j->id] = job;
     jobs_.push_back(std::move(j));
   }
-  if (m_submitted != nullptr) m_submitted->add();
-  emit(accepted_reply(id, job->id, job->cache_key));
+  m_submitted->add();
+  emit(accepted_reply(ctx.id, job->id, job->cache_key, ctx.trace_id));
 
   // Memoized result: replay the original payload bytes, skip the pool.
   if (hit) {
@@ -176,33 +292,40 @@ void ServiceSession::on_submit(const std::string& id,
       std::lock_guard<std::mutex> lock(mu_);
       ++completed_;
     }
-    if (m_completed != nullptr) m_completed->add();
-    emit(result_reply(id, job->id, /*cache_hit=*/true, 0.0, *hit));
+    m_completed->add();
+    finish_request("submit", "cache_hit", ctx, job->id);
+    emit(result_reply(ctx.id, job->id, /*cache_hit=*/true, 0.0, *hit,
+                      ctx.trace_id));
     idle_cv_.notify_all();
     return;
   }
   enqueue(job);
 }
 
-void ServiceSession::on_sweep(const std::string& id,
+void ServiceSession::on_sweep(const RequestCtx& ctx,
                               const SweepRequest& req) {
   std::vector<SweepPoint> points = expand_sweep(req);
   Job* job = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
-      if (m_errors != nullptr) m_errors->add();
-      emit(error_reply(id, ServiceError::ShuttingDown,
-                       "service is shutting down"));
+      m_errors->add();
+      finish_request("sweep", "error", ctx);
+      emit(error_reply(ctx.id, ServiceError::ShuttingDown,
+                       "service is shutting down", ctx.trace_id));
       return;
     }
     // Sweeps always take a pool slot (each point re-probes the cache when
     // it actually runs, so hits are still free — they just stream from
     // the worker rather than inline).
-    if (reject_if_busy_locked(id)) return;
+    if (reject_if_busy_locked("sweep", ctx)) return;
     auto j = std::make_unique<Job>();
     j->id = "job-" + std::to_string(next_job_++);
-    j->request_id = id;
+    j->request_id = ctx.id;
+    j->trace_id = ctx.trace_id;
+    j->req_tag = ctx.req;
+    j->type = "sweep";
+    j->t_begin = ctx.t0;
     j->points.reserve(points.size());
     for (SweepPoint& p : points) {
       j->ops_total += p.req.total_ops();
@@ -212,21 +335,23 @@ void ServiceSession::on_sweep(const std::string& id,
     by_id_[j->id] = job;
     jobs_.push_back(std::move(j));
   }
-  if (m_submitted != nullptr) m_submitted->add();
-  if (m_sweeps != nullptr) m_sweeps->add();
-  emit(sweep_accepted_reply(id, job->id, job->points.size()));
+  m_submitted->add();
+  m_sweeps->add();
+  emit(sweep_accepted_reply(ctx.id, job->id, job->points.size(),
+                            ctx.trace_id));
   enqueue(job);
 }
 
-void ServiceSession::on_status(const std::string& id,
+void ServiceSession::on_status(const RequestCtx& ctx,
                                const StatusRequest& req) {
   std::vector<JobStatus> statuses;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!req.job.empty() && by_id_.find(req.job) == by_id_.end()) {
-      if (m_errors != nullptr) m_errors->add();
-      emit(error_reply(id, ServiceError::UnknownJob,
-                       "no such job \"" + req.job + "\""));
+      m_errors->add();
+      finish_request("status", "error", ctx);
+      emit(error_reply(ctx.id, ServiceError::UnknownJob,
+                       "no such job \"" + req.job + "\"", ctx.trace_id));
       return;
     }
     for (const auto& j : jobs_) {
@@ -242,10 +367,11 @@ void ServiceSession::on_status(const std::string& id,
       statuses.push_back(std::move(s));
     }
   }
-  emit(status_reply(id, statuses));
+  finish_request("status", "ok", ctx);
+  emit(status_reply(ctx.id, statuses, ctx.trace_id));
 }
 
-void ServiceSession::on_cancel(const std::string& id,
+void ServiceSession::on_cancel(const RequestCtx& ctx,
                                const CancelRequest& req) {
   Job* job = nullptr;
   JobState seen;
@@ -254,17 +380,23 @@ void ServiceSession::on_cancel(const std::string& id,
     std::lock_guard<std::mutex> lock(mu_);
     auto it = by_id_.find(req.job);
     if (it == by_id_.end()) {
-      if (m_errors != nullptr) m_errors->add();
-      emit(error_reply(id, ServiceError::UnknownJob,
-                       "no such job \"" + req.job + "\""));
+      m_errors->add();
+      finish_request("cancel", "error", ctx);
+      emit(error_reply(ctx.id, ServiceError::UnknownJob,
+                       "no such job \"" + req.job + "\"", ctx.trace_id));
       return;
     }
     job = it->second;
     seen = job->state.load(std::memory_order_relaxed);
     job->abort.store(true, std::memory_order_relaxed);
     if (seen == JobState::Queued) {
-      // Never started: cancel right here; the pool skips it on pop.
+      // Never started: cancel right here and take it out of the pending
+      // queue, so the depth gauge never counts a corpse (the pool's
+      // skip-on-pop check stays as a belt-and-braces fallback).
       job->state.store(JobState::Cancelled, std::memory_order_relaxed);
+      auto qit = std::find(queue_.begin(), queue_.end(), job);
+      if (qit != queue_.end()) queue_.erase(qit);
+      m_queue_depth->set((double)queue_.size());
       ++cancelled_;
       newly_cancelled = true;
     }
@@ -272,18 +404,44 @@ void ServiceSession::on_cancel(const std::string& id,
     // cancelled reply.  (A cancel that lands after the last shard is too
     // late by definition — the job completes normally.)
   }
-  emit(cancel_ok_reply(id, job->id, state_name(seen)));
+  if (cfg_.log != nullptr) {
+    cfg_.log->line("cancel")
+        .det("conn", cfg_.conn)
+        .det("req", ctx.req)
+        .det("job", job->id)
+        .det("state", state_name(seen));
+  }
+  finish_request("cancel", "ok", ctx, job->id);
+  emit(cancel_ok_reply(ctx.id, job->id, state_name(seen), ctx.trace_id));
   if (newly_cancelled) {
-    if (m_cancelled != nullptr) m_cancelled->add();
-    emit(cancelled_reply(job->request_id, job->id, 0));
+    m_cancelled->add();
+    finish_request(job->type, "cancelled", job->ctx(), job->id);
+    emit(cancelled_reply(job->request_id, job->id, 0, job->trace_id));
     idle_cv_.notify_all();
   }
 }
 
-void ServiceSession::on_shutdown(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  shutdown_ = true;
-  shutdown_id_ = id;
+void ServiceSession::on_shutdown(const RequestCtx& ctx) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    shutdown_id_ = ctx.id;
+    shutdown_trace_id_ = ctx.trace_id;
+  }
+  // The bye reply comes from finish() once the queue drains; the request
+  // itself is done the moment the flag is set.
+  finish_request("shutdown", "ok", ctx);
+}
+
+void ServiceSession::on_stats(const RequestCtx& ctx) {
+  // Answered inline on the session thread — never queued behind the pool,
+  // so an operator can always read a busy daemon.
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  MetricsSnapshot snap = metrics_->snapshot();
+  finish_request("stats", "ok", ctx);
+  emit(stats_reply(ctx.id, uptime, snap, ctx.trace_id));
 }
 
 bool ServiceSession::shutdown_requested() const {
@@ -304,7 +462,7 @@ bool ServiceSession::idle() const {
 void ServiceSession::finish() {
   wait_idle();
   std::uint64_t completed, cancelled, failed;
-  std::string id;
+  std::string id, trace_id;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (bye_sent_) return;
@@ -313,8 +471,9 @@ void ServiceSession::finish() {
     cancelled = cancelled_;
     failed = failed_;
     id = shutdown_id_;
+    trace_id = shutdown_trace_id_;
   }
-  emit(bye_reply(id, completed, cancelled, failed));
+  emit(bye_reply(id, completed, cancelled, failed, trace_id));
 }
 
 std::uint64_t ServiceSession::jobs_completed() const {
@@ -327,7 +486,7 @@ std::uint64_t ServiceSession::jobs_cancelled() const {
   return cancelled_;
 }
 
-void ServiceSession::worker_loop() {
+void ServiceSession::worker_loop(int worker) {
   for (;;) {
     Job* job = nullptr;
     {
@@ -336,18 +495,26 @@ void ServiceSession::worker_loop() {
       if (stop_) return;
       job = queue_.front();
       queue_.pop_front();
-      if (m_queue_depth != nullptr)
-        m_queue_depth->set((double)queue_.size());
+      m_queue_depth->set((double)queue_.size());
       if (job->state.load(std::memory_order_relaxed) ==
           JobState::Cancelled) {
         // Cancelled while queued; on_cancel() already replied.
         if (queue_.empty()) idle_cv_.notify_all();
         continue;
       }
+      const double wait_ms = ms_since(job->t_enqueue);
+      m_queue_wait->observe(wait_ms < 0.0 ? 0.0 : wait_ms);
+      if (cfg_.trace != nullptr) {
+        const std::uint64_t now = cfg_.trace->now_us();
+        cfg_.trace->add_complete(
+            "queue-wait", "service", worker, job->trace_enq_us,
+            now - job->trace_enq_us,
+            {{"req", job->req_tag, false}, {"job", job->id, false}});
+      }
       job->state.store(JobState::Running, std::memory_order_relaxed);
       ++active_;
     }
-    run_job(*job);
+    run_job(*job, worker);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;
@@ -356,21 +523,23 @@ void ServiceSession::worker_loop() {
   }
 }
 
-void ServiceSession::run_job(Job& job) {
+void ServiceSession::run_job(Job& job, int worker) {
   try {
     if (job.points.empty())
-      run_submit(job);
+      run_submit(job, worker);
     else
-      run_sweep(job);
+      run_sweep(job, worker);
   } catch (const std::exception& e) {
     job.state.store(JobState::Failed, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++failed_;
     }
-    if (m_failed != nullptr) m_failed->add();
+    m_failed->add();
+    finish_request(job.type, "error", job.ctx(), job.id);
     emit(error_reply(job.request_id, ServiceError::Internal,
-                     std::string("job ") + job.id + " failed: " + e.what()));
+                     std::string("job ") + job.id + " failed: " + e.what(),
+                     job.trace_id));
   }
 }
 
@@ -380,17 +549,20 @@ void ServiceSession::mark_cancelled(Job& job) {
     std::lock_guard<std::mutex> lock(mu_);
     ++cancelled_;
   }
-  if (m_cancelled != nullptr) m_cancelled->add();
+  m_cancelled->add();
+  finish_request(job.type, "cancelled", job.ctx(), job.id);
   emit(cancelled_reply(job.request_id, job.id,
-                       job.ops_done.load(std::memory_order_relaxed)));
+                       job.ops_done.load(std::memory_order_relaxed),
+                       job.trace_id));
 }
 
-void ServiceSession::run_submit(Job& job) {
+void ServiceSession::run_submit(Job& job, int worker) {
   using clock = std::chrono::steady_clock;
   const auto t0 = clock::now();
   std::string payload;
   std::uint64_t ops_done = 0;
-  if (!simulate(job.req, job.cache_key, job, 0, &payload, &ops_done)) {
+  if (!simulate(job.req, job.cache_key, job, 0, worker, &payload,
+                &ops_done)) {
     job.ops_done.store(ops_done, std::memory_order_relaxed);
     mark_cancelled(job);
     return;
@@ -404,12 +576,13 @@ void ServiceSession::run_submit(Job& job) {
     std::lock_guard<std::mutex> lock(mu_);
     ++completed_;
   }
-  if (m_completed != nullptr) m_completed->add();
+  m_completed->add();
+  finish_request("submit", "ok", job.ctx(), job.id);
   emit(result_reply(job.request_id, job.id, /*cache_hit=*/false, elapsed,
-                    payload));
+                    payload, job.trace_id));
 }
 
-void ServiceSession::run_sweep(Job& job) {
+void ServiceSession::run_sweep(Job& job, int worker) {
   using clock = std::chrono::steady_clock;
   const auto t0 = clock::now();
   const std::size_t total = job.points.size();
@@ -427,12 +600,20 @@ void ServiceSession::run_sweep(Job& job) {
     const std::string key = point.cache_key();
     std::string payload;
     bool hit = false;
-    if (auto cached = cache_->get(key)) {
+    std::optional<std::string> cached;
+    {
+      TraceSpan span(cfg_.trace, "cache-lookup", "service", worker);
+      span.arg("req", job.req_tag);
+      span.arg("key", key);
+      cached = cache_->get(key);
+    }
+    if (cached) {
       payload = std::move(*cached);
       hit = true;
     } else {
       std::uint64_t point_ops = 0;
-      if (!simulate(point, key, job, ops_base, &payload, &point_ops)) {
+      if (!simulate(point, key, job, ops_base, worker, &payload,
+                    &point_ops)) {
         job.ops_done.store(ops_base + point_ops, std::memory_order_relaxed);
         mark_cancelled(job);
         return;
@@ -444,7 +625,8 @@ void ServiceSession::run_sweep(Job& job) {
     job.ops_done.store(ops_base, std::memory_order_relaxed);
     job.points_done.store(i + 1, std::memory_order_relaxed);
     digest = fold_sweep_digest(digest, payload);
-    emit(sweep_point_line(job.id, i, total, hit, key, point, payload));
+    emit(sweep_point_line(job.id, i, total, hit, key, point, payload,
+                          job.trace_id));
   }
   const double elapsed =
       std::chrono::duration<double>(clock::now() - t0).count();
@@ -453,14 +635,16 @@ void ServiceSession::run_sweep(Job& job) {
     std::lock_guard<std::mutex> lock(mu_);
     ++completed_;
   }
-  if (m_completed != nullptr) m_completed->add();
+  m_completed->add();
+  finish_request("sweep", "ok", job.ctx(), job.id);
   emit(sweep_done_reply(job.request_id, job.id, total, hits, misses,
-                        elapsed, digest));
+                        elapsed, digest, job.trace_id));
 }
 
 bool ServiceSession::simulate(const SubmitRequest& req,
                               const std::string& cache_key, Job& job,
-                              std::uint64_t base_ops, std::string* payload,
+                              std::uint64_t base_ops, int worker,
+                              std::string* payload,
                               std::uint64_t* ops_done) {
   EngineConfig ecfg;
   ecfg.unit = req.unit;
@@ -468,6 +652,10 @@ bool ServiceSession::simulate(const SubmitRequest& req,
   ecfg.rm = req.rm;
   ecfg.shard_ops = req.shard_ops;
   ecfg.abort = &job.abort;
+  // Engine shard spans land in the same trace session, so a request's
+  // engine-run span decomposes into the engine's claim/fill/simulate/
+  // consume timeline in one chrome://tracing view.
+  ecfg.trace = cfg_.trace;
   ecfg.progress_interval_s = cfg_.progress_interval_s;
   ecfg.progress = [this, &job, base_ops](const EngineProgress& p) {
     // Progress is job-level: sweep points report their ops on top of the
@@ -476,49 +664,62 @@ bool ServiceSession::simulate(const SubmitRequest& req,
     jp.ops_done = base_ops + p.ops_done;
     jp.ops_total = job.ops_total;
     job.ops_done.store(jp.ops_done, std::memory_order_relaxed);
-    emit(progress_event_line({job.id, jp}));
+    emit(progress_event_line({job.id, job.trace_id, jp}));
   };
   SimEngine engine(ecfg);
 
   std::uint64_t checksum = 0;
   BatchStats stats;
   ActivityRecorder activity;
-  switch (req.mode) {
-    case SimMode::Batch:
-    case SimMode::Stream: {
-      // Both modes run the memory-bounded streaming driver: the service
-      // only ever needs the order-independent checksum, and run_batch's
-      // materialized result vector is O(ops) memory allocated BEFORE the
-      // first abort poll — a daemon-sized submit must neither exhaust
-      // memory nor stall cancellation behind a giant allocation.  The
-      // stream checksum equals the batch checksum of the same operation
-      // set (ServiceSession.StreamChecksumMatchesBatch), so the rendered
-      // payload is unchanged.
-      RandomTripleSource src(req.seed, req.ops, req.emin, req.emax);
-      StreamResult r = engine.run_stream(
-          src, [&checksum](std::uint64_t start, const PFloat* results,
-                           std::size_t n) {
-            // Serialized by the engine's consume lock; the digest is
-            // order-independent, so completion order does not matter.
-            checksum += checksum_range(start, results, n);
-          });
-      stats = std::move(r.stats);
-      activity = std::move(r.activity);
-      break;
-    }
-    case SimMode::Chained: {
-      RecurrenceChainSource src(
-          recurrence_inputs(req.seed, (int)req.chains), req.depth);
-      BatchResult r = engine.run_chained(src);
-      stats = std::move(r.stats);
-      activity = std::move(r.activity);
-      if (!stats.aborted)
-        checksum = checksum_range(0, r.results.data(), r.results.size());
-      break;
+  std::vector<PFloat> chained_results;
+  {
+    TraceSpan span(cfg_.trace, "engine-run", "service", worker);
+    span.arg("req", job.req_tag);
+    span.arg("job", job.id);
+    span.arg("key", cache_key);
+    switch (req.mode) {
+      case SimMode::Batch:
+      case SimMode::Stream: {
+        // Both modes run the memory-bounded streaming driver: the service
+        // only ever needs the order-independent checksum, and run_batch's
+        // materialized result vector is O(ops) memory allocated BEFORE the
+        // first abort poll — a daemon-sized submit must neither exhaust
+        // memory nor stall cancellation behind a giant allocation.  The
+        // stream checksum equals the batch checksum of the same operation
+        // set (ServiceSession.StreamChecksumMatchesBatch), so the rendered
+        // payload is unchanged.
+        RandomTripleSource src(req.seed, req.ops, req.emin, req.emax);
+        StreamResult r = engine.run_stream(
+            src, [&checksum](std::uint64_t start, const PFloat* results,
+                             std::size_t n) {
+              // Serialized by the engine's consume lock; the digest is
+              // order-independent, so completion order does not matter.
+              checksum += checksum_range(start, results, n);
+            });
+        stats = std::move(r.stats);
+        activity = std::move(r.activity);
+        break;
+      }
+      case SimMode::Chained: {
+        RecurrenceChainSource src(
+            recurrence_inputs(req.seed, (int)req.chains), req.depth);
+        BatchResult r = engine.run_chained(src);
+        stats = std::move(r.stats);
+        activity = std::move(r.activity);
+        chained_results = std::move(r.results);
+        break;
+      }
     }
   }
+  if (req.mode == SimMode::Chained && !stats.aborted)
+    checksum =
+        checksum_range(0, chained_results.data(), chained_results.size());
   *ops_done = stats.ops_done;
   if (stats.aborted) return false;
+
+  TraceSpan render_span(cfg_.trace, "render", "service", worker);
+  render_span.arg("req", job.req_tag);
+  render_span.arg("job", job.id);
 
   // The deterministic result payload: everything here is a function of the
   // canonical key alone (no wall clock, no thread count), so a rerun at any

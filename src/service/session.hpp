@@ -21,6 +21,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -33,8 +34,10 @@
 #include <vector>
 
 #include "service/cache.hpp"
+#include "service/log.hpp"
 #include "service/protocol.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace csfma {
 
@@ -55,10 +58,30 @@ struct ServiceConfig {
   double progress_interval_s = 0.5;
   /// Optional shared sinks (not owned; must outlive the session).  The
   /// session counts service.requests / service.errors /
-  /// service.jobs.{submitted,completed,cancelled,failed} and the cache's
-  /// service.cache.* when a registry is attached.
+  /// service.jobs.{submitted,completed,cancelled,failed}, per-request-type
+  /// counters, per-type/per-outcome latency histograms, queue-wait
+  /// histograms and the cache's service.cache.*.  When null the session
+  /// owns a private registry, so the `stats` request always has something
+  /// to report.
   MetricsRegistry* metrics = nullptr;
   ResultCache* cache = nullptr;  // null = the session owns a private cache
+  /// Request-scoped tracing sink (not owned).  Each request contributes
+  /// parse / cache-lookup / queue-wait / engine-run / render spans tagged
+  /// with its server request id, and EngineConfig::trace is pointed here
+  /// so engine shard spans nest in the same timeline.  Null = no tracing
+  /// (pointer-test cost only).
+  TraceSession* trace = nullptr;
+  /// Structured server log (not owned).  Null = no logging.
+  ServiceLog* log = nullptr;
+  /// Connection name stamped on this session's log lines ("stdio" for the
+  /// stdio transport; serve_connections assigns "conn-N").
+  std::string conn = "stdio";
+  /// Log a supplementary slow_request line when a request's latency
+  /// exceeds this many milliseconds; 0 disables.
+  double slow_ms = 0.0;
+  /// Daemon start time reported as `uptime_s` by the stats reply.
+  /// Default (epoch) = the session's own construction time.
+  std::chrono::steady_clock::time_point start_time{};
 };
 
 class ServiceSession {
@@ -97,9 +120,25 @@ class ServiceSession {
   enum class JobState { Queued, Running, Done, Cancelled, Failed };
   static const char* state_name(JobState s);
 
+  /// The per-request context threaded from handle_line() to the terminal
+  /// reply: client correlation id, trace id, server-assigned request id
+  /// ("req-N"), and the arrival time the latency histograms measure from.
+  struct RequestCtx {
+    std::string id;
+    std::string trace_id;
+    std::string req;
+    std::chrono::steady_clock::time_point t0{};
+  };
+
   struct Job {
     std::string id;          // service-assigned "job-N"
     std::string request_id;  // client correlation id of the submit/sweep
+    std::string trace_id;    // client trace id, echoed on every job line
+    std::string req_tag;     // server request id of the originating request
+    const char* type = "submit";  // request_end type: "submit" | "sweep"
+    std::chrono::steady_clock::time_point t_begin{};    // request arrival
+    std::chrono::steady_clock::time_point t_enqueue{};  // queue admission
+    std::uint64_t trace_enq_us = 0;  // enqueue time on the trace clock
     std::string cache_key;   // submit jobs; empty for sweeps
     SubmitRequest req;       // submit jobs; unused for sweeps
     /// Sweep jobs: the expanded points, in index order (empty = submit).
@@ -109,38 +148,51 @@ class ServiceSession {
     std::atomic<bool> abort{false};
     std::atomic<std::uint64_t> ops_done{0};
     std::atomic<std::uint64_t> points_done{0};
+
+    RequestCtx ctx() const { return {request_id, trace_id, req_tag, t_begin}; }
   };
 
   void emit(const std::string& line);
-  void worker_loop();
-  void run_job(Job& job);
-  void run_submit(Job& job);
+  /// Record a request's terminal outcome: observe its
+  /// service.latency_ms.<type>.<outcome> histogram and write the
+  /// request_end (and, past slow_ms, slow_request) log lines.  MUST run
+  /// before the terminal reply is emitted, so a client that saw the reply
+  /// can rely on the log line already existing.
+  void finish_request(const char* type, const char* outcome,
+                      const RequestCtx& ctx, const std::string& job_id = "");
+  void worker_loop(int worker);
+  void run_job(Job& job, int worker);
+  void run_submit(Job& job, int worker);
   /// Sweep execution: points sequentially, each cache-deduplicated and
   /// streamed as a sweep_point line; terminal sweep_done with the digest.
-  void run_sweep(Job& job);
+  void run_sweep(Job& job, int worker);
   /// Simulate `req` and render its deterministic result payload (with
   /// `cache_key` as its identity in the report meta); returns false
   /// (without a payload) when the run was aborted.  `base_ops` offsets the
   /// job-level progress for sweep points that already completed.
   bool simulate(const SubmitRequest& req, const std::string& cache_key,
-                Job& job, std::uint64_t base_ops, std::string* payload,
-                std::uint64_t* ops_done);
+                Job& job, std::uint64_t base_ops, int worker,
+                std::string* payload, std::uint64_t* ops_done);
   /// Admission control (call with mu_ held): true when the pending queue
   /// is full, in which case the caller answers `busy` instead of queueing.
-  bool reject_if_busy_locked(const std::string& id);
+  bool reject_if_busy_locked(const char* type, const RequestCtx& ctx);
   void enqueue(Job* job);
   void mark_cancelled(Job& job);
 
-  void on_submit(const std::string& id, const SubmitRequest& req);
-  void on_sweep(const std::string& id, const SweepRequest& req);
-  void on_status(const std::string& id, const StatusRequest& req);
-  void on_cancel(const std::string& id, const CancelRequest& req);
-  void on_shutdown(const std::string& id);
+  void on_submit(const RequestCtx& ctx, const SubmitRequest& req);
+  void on_sweep(const RequestCtx& ctx, const SweepRequest& req);
+  void on_status(const RequestCtx& ctx, const StatusRequest& req);
+  void on_cancel(const RequestCtx& ctx, const CancelRequest& req);
+  void on_shutdown(const RequestCtx& ctx);
+  void on_stats(const RequestCtx& ctx);
 
   ServiceConfig cfg_;
   WriteFn write_;
   std::unique_ptr<ResultCache> owned_cache_;
   ResultCache* cache_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;  // never null (owned_metrics_ backs it)
+  std::chrono::steady_clock::time_point start_;
 
   Counter* m_requests = nullptr;
   Counter* m_errors = nullptr;
@@ -151,6 +203,7 @@ class ServiceSession {
   Counter* m_failed = nullptr;
   Counter* m_rejected = nullptr;
   Gauge* m_queue_depth = nullptr;
+  Histogram* m_queue_wait = nullptr;
 
   mutable std::mutex mu_;  // jobs_, queue_, flags, terminal counters
   std::condition_variable queue_cv_;
@@ -163,7 +216,9 @@ class ServiceSession {
   bool shutdown_ = false;
   bool bye_sent_ = false;
   std::string shutdown_id_;
+  std::string shutdown_trace_id_;
   std::uint64_t next_job_ = 1;
+  std::uint64_t next_request_ = 1;
   std::uint64_t completed_ = 0, cancelled_ = 0, failed_ = 0;
 
   std::mutex write_mu_;

@@ -46,7 +46,8 @@ inline constexpr std::uint64_t kSweepDigestSeed = 0xcbf29ce484222325ULL;
 /// Acceptance of a sweep: like accepted_reply but with the expanded point
 /// count instead of a single cache key.
 std::string sweep_accepted_reply(const std::string& id,
-                                 const std::string& job, std::size_t points);
+                                 const std::string& job, std::size_t points,
+                                 const std::string& trace_id = "");
 
 /// One streamed point result.  The report payload is spliced in verbatim
 /// as the LAST member, so clients (and check_report.py --check-sweep) can
@@ -55,12 +56,14 @@ std::string sweep_point_line(const std::string& job, std::size_t index,
                              std::size_t points, bool cache_hit,
                              const std::string& cache_key,
                              const SubmitRequest& point,
-                             const std::string& report_json);
+                             const std::string& report_json,
+                             const std::string& trace_id = "");
 
 /// Terminal summary of a completed sweep.
 std::string sweep_done_reply(const std::string& id, const std::string& job,
                              std::size_t points, std::uint64_t cache_hits,
                              std::uint64_t cache_misses, double elapsed_s,
-                             std::uint64_t digest);
+                             std::uint64_t digest,
+                             const std::string& trace_id = "");
 
 }  // namespace csfma

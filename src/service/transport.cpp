@@ -195,11 +195,13 @@ std::unique_ptr<Listener> listen_tcp(const std::string& host_port,
 
 bool run_session_on_channel(LineChannel& ch, const ServiceConfig& cfg,
                             double idle_timeout_s) {
+  if (cfg.log != nullptr)
+    cfg.log->line("conn_accept").det("conn", cfg.conn);
   ServiceSession session(cfg, [&ch](const std::string& line) {
     ch.write_line(line);  // write failures mean a dead client: drop
   });
   std::string line;
-  bool idle_closed = false;
+  const char* why = "eof";
   while (!session.shutdown_requested()) {
     const LineChannel::Read r = ch.read_line(&line, idle_timeout_s);
     if (r == LineChannel::Read::Line) {
@@ -210,15 +212,27 @@ bool run_session_on_channel(LineChannel& ch, const ServiceConfig& cfg,
       // Only a connection with nothing queued or running is idle; a slow
       // job's client keeps its connection for the terminal reply.
       if (!session.idle()) continue;
-      idle_closed = true;
+      why = "idle_timeout";
       break;
     }
+    why = r == LineChannel::Read::Error ? "read_error" : "eof";
     break;  // Eof or Error: drain and tear down
   }
   session.finish();
-  if (idle_closed && cfg.metrics != nullptr)
-    cfg.metrics->counter("service.conn.idle_closed", Stability::Timing)
-        .add();
+  if (session.shutdown_requested()) why = "shutdown";
+  // A failed write anywhere along the way means the client vanished
+  // mid-conversation — worth distinguishing from an orderly close.
+  if (ch.peer_gone()) why = "dead_peer";
+  if (cfg.metrics != nullptr) {
+    if (std::string_view(why) == "idle_timeout")
+      cfg.metrics->counter("service.conn.idle_closed", Stability::Timing)
+          .add();
+    if (std::string_view(why) == "dead_peer")
+      cfg.metrics->counter("service.conn.dead_peer", Stability::Timing)
+          .add();
+  }
+  if (cfg.log != nullptr)
+    cfg.log->line("conn_close").det("conn", cfg.conn).det("why", why);
   return session.shutdown_requested();
 }
 
@@ -238,10 +252,12 @@ int serve_connections(Listener& listener, const ServerConfig& cfg) {
     if (fd < 0) break;
     ++served;
     if (accepted != nullptr) accepted->add();
-    threads.emplace_back([fd, &cfg, &listener, closed] {
+    ServiceConfig session_cfg = cfg.session;
+    session_cfg.conn = "conn-" + std::to_string(served);
+    threads.emplace_back([fd, session_cfg, idle = cfg.idle_timeout_s,
+                          &listener, closed] {
       LineChannel ch(fd, fd);
-      const bool shutdown =
-          run_session_on_channel(ch, cfg.session, cfg.idle_timeout_s);
+      const bool shutdown = run_session_on_channel(ch, session_cfg, idle);
       ::close(fd);
       if (closed != nullptr) closed->add();
       // One client's shutdown request stops the whole daemon.

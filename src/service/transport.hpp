@@ -58,6 +58,11 @@ class LineChannel {
   /// Write `line` plus a newline; false once the peer is gone.
   bool write_line(std::string_view line);
 
+  /// True once a write failed because the client vanished (the
+  /// connection-lifecycle accounting distinguishes dead peers from
+  /// orderly closes).
+  bool peer_gone() const { return peer_gone_; }
+
  private:
   int rfd_;
   int wfd_;

@@ -1,6 +1,7 @@
 #include "telemetry/metrics.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/check.hpp"
 #include "telemetry/json.hpp"
@@ -9,6 +10,27 @@ namespace csfma {
 
 const char* to_string(Stability s) {
   return s == Stability::Deterministic ? "deterministic" : "timing";
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * (double)count;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    if ((double)(cum + in_bucket) >= rank) {
+      if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac = (rank - (double)cum) / (double)in_bucket;
+      return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac);
+    }
+    cum += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
 }
 
 Histogram::Histogram(std::vector<double> bounds, Stability stability)
@@ -115,8 +137,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return s;
 }
 
-std::string MetricsRegistry::to_json() const {
-  MetricsSnapshot s = snapshot();
+std::string MetricsRegistry::to_json() const { return csfma::to_json(snapshot()); }
+
+std::string to_json(const MetricsSnapshot& s) {
   JsonWriter w;
   w.begin_object();
   w.key("counters");
@@ -167,6 +190,61 @@ std::string MetricsRegistry::to_json() const {
   w.end_object();
   w.end_object();
   return w.str();
+}
+
+namespace {
+
+std::string prom_name(const std::string& name) {
+  std::string out = "csfma_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string prom_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& s) {
+  std::string out;
+  for (const auto& [name, c] : s.counters) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + "{stability=\"" + to_string(c.stability) + "\"} " +
+           std::to_string(c.value) + "\n";
+  }
+  for (const auto& [name, g] : s.gauges) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + "{stability=\"" + to_string(g.stability) + "\"} " +
+           prom_num(g.value) + "\n";
+  }
+  for (const auto& [name, h] : s.histograms) {
+    const std::string n = prom_name(name);
+    const std::string stab =
+        std::string(",stability=\"") + to_string(h.stability) + "\"";
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += h.counts[i];
+      out += n + "_bucket{le=\"" + prom_num(h.bounds[i]) + "\"" + stab + "} " +
+             std::to_string(cum) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"" + stab + "} " + std::to_string(h.count) +
+           "\n";
+    out += n + "_sum{stability=\"" + to_string(h.stability) + "\"} " +
+           prom_num(h.sum) + "\n";
+    out += n + "_count{stability=\"" + to_string(h.stability) + "\"} " +
+           std::to_string(h.count) + "\n";
+  }
+  return out;
 }
 
 }  // namespace csfma

@@ -65,6 +65,15 @@ struct HistogramSnapshot {
   std::uint64_t count = 0;
   double sum = 0.0;
   Stability stability = Stability::Deterministic;
+
+  /// Estimated q-quantile (q in [0,1]) from the fixed buckets: the answer
+  /// lands in the smallest bucket whose cumulative count reaches q*count,
+  /// linearly interpolated inside that bucket.  Bucket i's lower edge is
+  /// bounds[i-1] (0 for the first bucket); the unbounded overflow bucket
+  /// cannot be interpolated and reports the last bound.  Returns 0 for an
+  /// empty histogram.  Derived purely from bucket counts, so the estimate
+  /// inherits the histogram's determinism.
+  double percentile(double q) const;
 };
 
 /// Fixed-bucket histogram: bucket i counts observations v <= bounds[i]
@@ -154,5 +163,18 @@ class MetricsRegistry {
   std::map<std::string, GaugeEntry> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/// A snapshot as the same JSON object MetricsRegistry::to_json() renders
+/// (the stats reply embeds a snapshot taken outside the registry lock).
+std::string to_json(const MetricsSnapshot& s);
+
+/// Snapshot rendered in the Prometheus text exposition format (what
+/// csfma_serve --metrics-file writes for external scrapers).  Metric names
+/// are sanitized to [a-zA-Z0-9_:] and prefixed "csfma_"; every sample
+/// carries a stability="deterministic|timing" label mirroring the JSON
+/// stability tag; histograms expand to _bucket{le=...}/_sum/_count series
+/// with a final le="+Inf" bucket.  Map iteration keeps the output
+/// byte-stable for equal snapshots.
+std::string to_prometheus(const MetricsSnapshot& s);
 
 }  // namespace csfma

@@ -389,7 +389,7 @@ TEST(Protocol, EveryReplyParsesBackAsJson) {
   const std::string lines[] = {
       error_reply("i", ServiceError::Internal, "boom \"quoted\"\n"),
       accepted_reply("i", "job-1", "0123456789abcdef"),
-      progress_event_line({"job-1", {}}),
+      progress_event_line({"job-1", "", {}}),
       result_reply("i", "job-1", false, 1.0 / 3.0, "{}"),
       cancel_ok_reply("i", "job-1", "queued"),
       cancelled_reply("i", "job-1", 1),

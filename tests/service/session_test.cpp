@@ -7,12 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "service/json_value.hpp"
+#include "service/log.hpp"
 
 namespace csfma {
 namespace {
@@ -391,6 +395,164 @@ TEST(ServiceSession, FullPendingQueueAnswersBusyInsteadOfHanging) {
   session.wait_idle();
   EXPECT_EQ(session.jobs_completed(), 1u);
   EXPECT_EQ(sink.of_type("error").size(), 1u);
+}
+
+TEST(ServiceSession, QueueDepthGaugeReturnsToZeroAfterDrainedBurst) {
+  // The gauge must track every enqueue/dequeue — including sessions with
+  // no --max-pending bound and jobs cancelled while still queued — and
+  // read 0 once the burst drains.
+  LineSink sink;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_entries = 0;  // hits would bypass the queue
+  MetricsRegistry metrics;
+  cfg.metrics = &metrics;
+  ServiceSession session(cfg, sink.fn());
+  Gauge& depth = metrics.gauge("service.queue.depth", Stability::Timing);
+  EXPECT_TRUE(depth.is_set());
+  EXPECT_EQ(depth.value(), 0.0);
+  for (int seed = 1; seed <= 4; ++seed) {
+    session.handle_line(
+        R"({"type":"submit","id":"b","unit":"pcs","seed":)" +
+        std::to_string(seed) + R"(,"ops":600,"shard_ops":128})");
+  }
+  session.wait_idle();
+  EXPECT_EQ(sink.of_type("result").size(), 4u);
+  EXPECT_EQ(depth.value(), 0.0);
+
+  // Cancelling a still-queued job must remove it from the queue (and the
+  // gauge) immediately, not leave a ghost entry until a worker pops it.
+  session.handle_line(
+      R"({"type":"submit","id":"big","unit":"pcs","seed":1,)"
+      R"("ops":400000000,"shard_ops":4096})");
+  session.handle_line(
+      R"({"type":"submit","id":"q","unit":"pcs","seed":2,"ops":1000})");
+  session.handle_line(R"({"type":"cancel","id":"c1","job":"job-6"})");
+  session.handle_line(R"({"type":"cancel","id":"c2","job":"job-5"})");
+  session.wait_idle();
+  EXPECT_EQ(session.jobs_cancelled(), 2u);
+  EXPECT_EQ(depth.value(), 0.0);
+}
+
+TEST(ServiceSession, StatsReplyCarriesSnapshotAndLatencyHistograms) {
+  LineSink sink;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  ServiceSession session(cfg, sink.fn());  // no registry attached: the
+                                           // session's own fallback serves
+  session.handle_line(kSmallBatch);
+  session.wait_idle();
+  std::string resubmit = kSmallBatch;
+  resubmit.replace(resubmit.find("r1"), 2, "r2");
+  session.handle_line(resubmit);  // cache hit, answered inline
+  session.handle_line(R"({"type":"stats","id":"st"})");
+
+  auto stats = sink.of_type("stats");
+  ASSERT_EQ(stats.size(), 1u);
+  const JsonValue& s = stats[0];
+  EXPECT_EQ(s.find("id")->as_string(), "st");
+  EXPECT_GE(s.find("uptime_s")->as_number(), 0.0);
+  const JsonValue* metrics = s.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->find("counters")
+                ->find("service.requests")->find("value")->as_int(),
+            3);
+  const JsonValue* hists = metrics->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  // One completed miss and one inline cache hit, each in its own
+  // per-type/per-outcome latency histogram.
+  const JsonValue* ok = hists->find("service.latency_ms.submit.ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->find("count")->as_int(), 1);
+  const JsonValue* hit = hists->find("service.latency_ms.submit.cache_hit");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->find("count")->as_int(), 1);
+  const JsonValue* pct = s.find("percentiles");
+  ASSERT_NE(pct, nullptr);
+  const JsonValue* ok_pct = pct->find("service.latency_ms.submit.ok");
+  ASSERT_NE(ok_pct, nullptr);
+  EXPECT_EQ(ok_pct->find("count")->as_int(), 1);
+  EXPECT_LE(ok_pct->find("p50")->as_number(),
+            ok_pct->find("p99")->as_number());
+}
+
+TEST(ServiceSession, TraceIdIsEchoedOnEveryReplyAndEvent) {
+  LineSink sink;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.progress_interval_s = 0.0;  // a progress beat per shard
+  ServiceSession session(cfg, sink.fn());
+  std::string line = kSmallBatch;
+  line.insert(1, R"("trace_id":"tr-9",)");
+  session.handle_line(line);
+  session.wait_idle();
+  for (const char* type : {"accepted", "progress", "result"}) {
+    auto replies = sink.of_type(type);
+    ASSERT_GE(replies.size(), 1u) << type;
+    for (const JsonValue& r : replies) {
+      const JsonValue* tid = r.find("trace_id");
+      ASSERT_NE(tid, nullptr) << type;
+      EXPECT_EQ(tid->as_string(), "tr-9") << type;
+    }
+  }
+  // Untraced requests carry no trace_id key at all (wire-stable replies).
+  session.handle_line(R"({"type":"status","id":"st"})");
+  auto status = sink.of_type("status");
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].find("trace_id"), nullptr);
+  // Error replies echo it too, even for unparseable request types.
+  session.handle_line(R"({"type":"warp","trace_id":"tr-err"})");
+  auto errors = sink.of_type("error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].find("trace_id")->as_string(), "tr-err");
+}
+
+TEST(ServiceSession, StructuredLogPairsEveryRequestBeginWithAnEnd) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  auto log = ServiceLog::attach(tmp);
+  {
+    LineSink sink;
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.log = log.get();
+    cfg.conn = "test-conn";
+    ServiceSession session(cfg, sink.fn());
+    session.handle_line(kSmallBatch);
+    session.wait_idle();
+    std::string resubmit = kSmallBatch;
+    resubmit.replace(resubmit.find("r1"), 2, "r2");
+    session.handle_line(resubmit);          // cache_hit outcome
+    session.handle_line("not json");        // error outcome
+    session.handle_line(R"({"type":"shutdown","id":"sd"})");
+    session.finish();
+  }
+  std::rewind(tmp);
+  std::map<std::string, int> kinds;
+  std::map<std::string, int> outcomes;
+  std::int64_t last_seq = 0;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, tmp) != nullptr) {
+    JsonValue v;
+    JsonParseError err;
+    ASSERT_TRUE(json_parse(buf, &v, &err)) << buf;
+    ++kinds[v.find("kind")->as_string()];
+    const std::int64_t seq = v.find("seq")->as_int();
+    EXPECT_GT(seq, last_seq) << "seq must increase strictly";
+    last_seq = seq;
+    ASSERT_NE(v.find("t"), nullptr);
+    EXPECT_GE(v.find("t")->find("ts_ms")->as_number(), 0.0);
+    if (v.find("kind")->as_string() == "request_end") {
+      EXPECT_EQ(v.find("conn")->as_string(), "test-conn");
+      ++outcomes[v.find("outcome")->as_string()];
+    }
+  }
+  std::fclose(tmp);
+  EXPECT_EQ(kinds["request_begin"], 4);
+  EXPECT_EQ(kinds["request_end"], 4);
+  EXPECT_EQ(outcomes["ok"], 2);  // the first submit and the shutdown
+  EXPECT_EQ(outcomes["cache_hit"], 1);
+  EXPECT_EQ(outcomes["error"], 1);
 }
 
 TEST(ServiceSession, SharedCacheServesSecondSession) {

@@ -12,12 +12,14 @@
 #include <unistd.h>
 
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "service/cache.hpp"
+#include "service/log.hpp"
 
 namespace csfma {
 namespace {
@@ -74,13 +76,27 @@ TEST_F(TransportTest, LineChannelWriteAppendsNewlineAndDropsDeadPeer) {
   ::close(fds[1]);
 }
 
+/// Every log line of `f` (rewinding first), for lifecycle assertions.
+std::vector<std::string> log_lines(std::FILE* f) {
+  std::rewind(f);
+  std::vector<std::string> lines;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, f) != nullptr) lines.emplace_back(buf);
+  return lines;
+}
+
 TEST_F(TransportTest, IdleTimeoutClosesAQuietSession) {
   int in[2], out[2];
   ASSERT_EQ(::pipe(in), 0);
   ASSERT_EQ(::pipe(out), 0);
   MetricsRegistry metrics;
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  auto log = ServiceLog::attach(tmp);
   ServiceConfig cfg;
   cfg.metrics = &metrics;
+  cfg.log = log.get();
+  cfg.conn = "quiet";
   LineChannel ch(in[0], out[1]);
   // Nothing ever arrives: the idle timeout must end the session (with its
   // final bye), not leave it blocked on read forever.
@@ -89,12 +105,63 @@ TEST_F(TransportTest, IdleTimeoutClosesAQuietSession) {
   EXPECT_EQ(metrics.counter("service.conn.idle_closed", Stability::Timing)
                 .value(),
             1u);
+  EXPECT_EQ(metrics.counter("service.conn.dead_peer", Stability::Timing)
+                .value(),
+            0u);
   LineChannel reader(out[0], -1);
   ::close(out[1]);
   std::string line;
   ASSERT_EQ(reader.read_line(&line), LineChannel::Read::Line);
   EXPECT_NE(line.find("\"type\":\"bye\""), std::string::npos);
+  // The structured log brackets the connection and records the cause.
+  const auto logged = log_lines(tmp);
+  ASSERT_EQ(logged.size(), 2u);
+  EXPECT_NE(logged.front().find("\"kind\":\"conn_accept\""),
+            std::string::npos);
+  EXPECT_NE(logged.back().find("\"kind\":\"conn_close\""),
+            std::string::npos);
+  EXPECT_NE(logged.back().find("\"conn\":\"quiet\""), std::string::npos);
+  EXPECT_NE(logged.back().find("\"why\":\"idle_timeout\""),
+            std::string::npos);
+  std::fclose(tmp);
   for (int fd : {in[0], in[1], out[0]}) ::close(fd);
+}
+
+TEST_F(TransportTest, DeadPeerIsCountedAndLoggedDistinctly) {
+  int in[2], out[2];
+  ASSERT_EQ(::pipe(in), 0);
+  ASSERT_EQ(::pipe(out), 0);
+  MetricsRegistry metrics;
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  auto log = ServiceLog::attach(tmp);
+  ServiceConfig cfg;
+  cfg.metrics = &metrics;
+  cfg.log = log.get();
+  cfg.conn = "vanisher";
+  // The client vanishes before its reply: closing the read side of the
+  // reply pipe makes the first write fail, marking the peer gone.
+  ::close(out[0]);
+  const char* req = "{\"type\":\"status\",\"id\":\"s\"}\n";
+  ASSERT_GT(::write(in[1], req, std::strlen(req)), 0);
+  ::close(in[1]);  // then EOF
+  LineChannel ch(in[0], out[1]);
+  const bool shutdown = run_session_on_channel(ch, cfg);
+  EXPECT_FALSE(shutdown);
+  EXPECT_TRUE(ch.peer_gone());
+  EXPECT_EQ(metrics.counter("service.conn.dead_peer", Stability::Timing)
+                .value(),
+            1u);
+  EXPECT_EQ(metrics.counter("service.conn.idle_closed", Stability::Timing)
+                .value(),
+            0u);
+  const auto logged = log_lines(tmp);
+  ASSERT_GE(logged.size(), 2u);
+  EXPECT_NE(logged.back().find("\"kind\":\"conn_close\""),
+            std::string::npos);
+  EXPECT_NE(logged.back().find("\"why\":\"dead_peer\""), std::string::npos);
+  std::fclose(tmp);
+  for (int fd : {in[0], out[1]}) ::close(fd);
 }
 
 int connect_tcp_client(int port) {

@@ -152,6 +152,67 @@ TEST(Metrics, ToJsonTagsStabilityAndSortsKeys) {
   EXPECT_NE(j.find("\"stability\":\"timing\""), std::string::npos);
 }
 
+TEST(Metrics, PercentileInterpolatesInsideTheBucket) {
+  Histogram h({10.0, 20.0, 40.0});
+  for (int i = 0; i < 10; ++i) h.observe(5.0);   // bucket 0: (0, 10]
+  for (int i = 0; i < 10; ++i) h.observe(15.0);  // bucket 1: (10, 20]
+  HistogramSnapshot s = h.snapshot();
+  // p50 rank = 10 -> exactly exhausts bucket 0 -> its upper bound.
+  EXPECT_DOUBLE_EQ(s.percentile(0.50), 10.0);
+  // p75 rank = 15 -> halfway through bucket 1 -> 10 + 0.5 * (20 - 10).
+  EXPECT_DOUBLE_EQ(s.percentile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+}
+
+TEST(Metrics, PercentileHandlesEmptyAndOverflow) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.snapshot().percentile(0.5), 0.0);  // empty
+  h.observe(100.0);                                     // overflow bucket
+  // The overflow bucket has no upper edge to interpolate toward; the
+  // estimate saturates at the last finite bound.
+  EXPECT_DOUBLE_EQ(h.snapshot().percentile(0.99), 2.0);
+}
+
+TEST(Metrics, PercentileIsDeterministicAcrossMergeOrder) {
+  Histogram a({1.0, 4.0, 16.0}), b({1.0, 4.0, 16.0}), c({1.0, 4.0, 16.0});
+  for (int i = 0; i < 50; ++i) a.observe((double)(i % 20));
+  for (int i = 50; i < 100; ++i) b.observe((double)(i % 20));
+  c.merge_from(b);
+  c.merge_from(a);
+  Histogram seq({1.0, 4.0, 16.0});
+  for (int i = 0; i < 100; ++i) seq.observe((double)(i % 20));
+  EXPECT_DOUBLE_EQ(c.snapshot().percentile(0.9), seq.snapshot().percentile(0.9));
+}
+
+TEST(Metrics, PrometheusRenderingExpandsHistogramsCumulatively) {
+  MetricsRegistry reg;
+  reg.counter("service.requests").add(3);
+  reg.gauge("queue-depth", Stability::Timing).set(2.0);
+  Histogram& h = reg.histogram("lat", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  std::string p = to_prometheus(reg.snapshot());
+  // Names sanitized to [a-zA-Z0-9_:] with a csfma_ prefix.
+  EXPECT_NE(p.find("csfma_service_requests{stability=\"deterministic\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(p.find("csfma_queue_depth{stability=\"timing\"} 2\n"),
+            std::string::npos);
+  // Buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(p.find("csfma_lat_bucket{le=\"1\",stability=\"deterministic\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(
+      p.find("csfma_lat_bucket{le=\"10\",stability=\"deterministic\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(
+      p.find("csfma_lat_bucket{le=\"+Inf\",stability=\"deterministic\"} 3\n"),
+      std::string::npos);
+  EXPECT_NE(p.find("csfma_lat_count{stability=\"deterministic\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(p.find("# TYPE csfma_lat histogram\n"), std::string::npos);
+}
+
 TEST(Metrics, SnapshotSkipsUnsetGauges) {
   MetricsRegistry reg;
   reg.gauge("unset");

@@ -6,7 +6,8 @@
 //   csfma_serve [--workers N] [--job-cache N] [--max-pending N]
 //               [--progress-interval S] [--idle-timeout S]
 //               [--socket PATH | --tcp HOST:PORT] [--port-file PATH]
-//               [--cache-file PATH] [--metrics]
+//               [--cache-file PATH] [--metrics] [--metrics-file PATH]
+//               [--log-file PATH] [--slow-ms MS] [--trace-out PATH]
 //
 // Transports (src/service/transport.hpp): stdin/stdout by default (the
 // mode CI and the tests drive via scripts/csfma_client.py), --socket for
@@ -21,18 +22,32 @@
 // the journal is replayed at startup — cache hits replay byte-identically
 // across restarts — and compacted to the live entries at clean exit.
 // --max-pending bounds the per-session pending queue (excess submissions
-// get typed `busy` errors).  --metrics dumps the MetricsRegistry JSON to
-// stderr at exit.
+// get typed `busy` errors).
+//
+// Observability (docs/service.md#observability): --metrics dumps the
+// MetricsRegistry JSON to stderr at exit; --metrics-file atomically
+// rewrites the registry as a Prometheus text file once a second (and at
+// exit) for external scrapers; --log-file appends the csfma-log-v1
+// structured JSON-lines server log (--slow-ms adds slow_request lines);
+// --trace-out writes the request-scoped chrome://tracing span tree at
+// exit.  The live `stats` request works on any transport with no flags.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "service/cache.hpp"
+#include "service/log.hpp"
 #include "service/persist.hpp"
 #include "service/session.hpp"
 #include "service/transport.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 
@@ -44,6 +59,9 @@ struct ServeOptions {
   std::string tcp_spec;      // TCP transport ("HOST:PORT")
   std::string port_file;     // write the bound TCP port here
   std::string cache_file;    // persistence journal
+  std::string metrics_file;  // Prometheus text file, rewritten periodically
+  std::string log_file;      // structured JSON-lines server log
+  std::string trace_out;     // chrome://tracing dump at exit
   double idle_timeout_s = 0.0;
   bool dump_metrics = false;
 };
@@ -57,6 +75,8 @@ struct ServeOptions {
       "                   [--socket PATH | --tcp HOST:PORT] [--port-file "
       "PATH]\n"
       "                   [--cache-file PATH] [--metrics]\n"
+      "                   [--metrics-file PATH] [--log-file PATH]\n"
+      "                   [--slow-ms MS] [--trace-out PATH]\n"
       "JSON-lines simulation service; see docs/service.md for the "
       "protocol.\n");
   std::exit(rc);
@@ -97,6 +117,15 @@ ServeOptions parse_args(int argc, char** argv) {
       opt.cache_file = value();
     } else if (arg == "--metrics") {
       opt.dump_metrics = true;
+    } else if (arg == "--metrics-file") {
+      opt.metrics_file = value();
+    } else if (arg == "--log-file") {
+      opt.log_file = value();
+    } else if (arg == "--slow-ms") {
+      opt.service.slow_ms = std::atof(value());
+      if (opt.service.slow_ms < 0.0) usage(2);
+    } else if (arg == "--trace-out") {
+      opt.trace_out = value();
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -112,6 +141,63 @@ ServeOptions parse_args(int argc, char** argv) {
   return opt;
 }
 
+/// Atomically rewrite `path` with the registry's Prometheus text
+/// rendering: write a sibling tmp file, then rename over the target, so a
+/// scraper never reads a half-written snapshot.
+bool write_metrics_file(const MetricsRegistry& metrics,
+                        const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = to_prometheus(metrics.snapshot());
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+/// Background scrape-file writer: rewrites the metrics file once a second
+/// until stopped (a final write at exit catches the tail).
+class MetricsFileWriter {
+ public:
+  MetricsFileWriter(const MetricsRegistry& metrics, std::string path)
+      : metrics_(metrics), path_(std::move(path)) {
+    thread_ = std::thread([this] { loop(); });
+  }
+  ~MetricsFileWriter() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    write_metrics_file(metrics_, path_);
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      lock.unlock();
+      write_metrics_file(metrics_, path_);
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::seconds(1), [this] { return stop_; });
+    }
+  }
+
+  const MetricsRegistry& metrics_;
+  std::string path_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -120,6 +206,17 @@ int main(int argc, char** argv) {
 
   MetricsRegistry metrics;
   ResultCache cache(opt.service.cache_entries, &metrics);
+  std::unique_ptr<TraceSession> trace;
+  if (!opt.trace_out.empty()) trace = std::make_unique<TraceSession>();
+  std::unique_ptr<ServiceLog> log;
+  if (!opt.log_file.empty()) {
+    log = ServiceLog::open(opt.log_file);
+    if (log == nullptr) {
+      std::fprintf(stderr, "csfma_serve: cannot open --log-file %s\n",
+                   opt.log_file.c_str());
+      return 1;
+    }
+  }
   std::unique_ptr<CacheJournal> journal;
   if (!opt.cache_file.empty()) {
     journal = std::make_unique<CacheJournal>(opt.cache_file, &metrics);
@@ -137,6 +234,14 @@ int main(int argc, char** argv) {
   }
   opt.service.metrics = &metrics;
   opt.service.cache = &cache;
+  opt.service.trace = trace.get();
+  opt.service.log = log.get();
+  opt.service.start_time = std::chrono::steady_clock::now();
+
+  std::unique_ptr<MetricsFileWriter> metrics_writer;
+  if (!opt.metrics_file.empty())
+    metrics_writer =
+        std::make_unique<MetricsFileWriter>(metrics, opt.metrics_file);
 
   int rc = 0;
   if (!opt.socket_path.empty() || !opt.tcp_spec.empty()) {
@@ -167,9 +272,23 @@ int main(int argc, char** argv) {
 
   if (journal != nullptr) {
     cache.set_journal(nullptr);
-    if (!journal->compact(cache.entries_oldest_first()))
+    const std::size_t entries = cache.entries_oldest_first().size();
+    if (!journal->compact(cache.entries_oldest_first())) {
       std::fprintf(stderr, "csfma_serve: journal compaction failed; the "
                            "append-only file is kept as-is\n");
+    } else if (log != nullptr) {
+      log->line("journal_compact").det("entries", (std::uint64_t)entries);
+    }
+  }
+  metrics_writer.reset();  // final --metrics-file write
+  if (trace != nullptr) {
+    try {
+      trace->write_json(opt.trace_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "csfma_serve: --trace-out %s: %s\n",
+                   opt.trace_out.c_str(), e.what());
+      rc = 1;
+    }
   }
   if (opt.dump_metrics)
     std::fprintf(stderr, "%s\n", metrics.to_json().c_str());
