@@ -32,6 +32,17 @@ Thresholds (override with --fail-pct / --warn-pct):
     per-rep work or reps rather than widening the gate.
   * New/removed phases are structural FAILs: the bench changed shape.
 
+  --history DIR derives per-phase thresholds from accumulated trend
+  history instead (the same BENCH_*.json snapshots --trend reads).  For
+  each phase with at least 4 same-bench, same-host snapshots the
+  run-to-run scatter of the medians (4 x scaled MAD, as % of the
+  history median) sets the gate: fail at twice the scatter, warn at the
+  scatter itself, both clamped into [5%, --fail-pct] — history can
+  tighten the gate on a stable phase, never loosen it beyond the global
+  threshold on a noisy one.  Phases with thin history (fewer than 4
+  snapshots, or none after the host filter) keep the global thresholds.
+  Derived gates are marked with '*' in the table.
+
 Host fingerprints: timings from different machines are not comparable.
 The fingerprint is "nodename/machine" (uname); when baseline and current
 disagree, the note names the field(s) that differ and the comparison
@@ -49,6 +60,8 @@ FAIL_PCT = 15.0
 WARN_PCT = 5.0
 NOISE_MADS = 4.0  # noise band = NOISE_MADS * scaled MAD / baseline median
 MAD_SCALE = 1.4826  # scaled-MAD consistency constant for a normal dist.
+MIN_HISTORY = 4     # snapshots below which --history falls back to global
+DERIVED_FLOOR_PCT = 5.0  # derived gates never tighten below this
 
 EXIT_OK = 0
 EXIT_PERF = 1        # timing regression beyond the fail threshold
@@ -104,8 +117,61 @@ def noise_pct(phase):
     return 100.0 * NOISE_MADS * MAD_SCALE * mad / med
 
 
+def _median(values):
+    v = sorted(values)
+    mid = len(v) // 2
+    return v[mid] if len(v) % 2 else 0.5 * (v[mid - 1] + v[mid])
+
+
+def derive_thresholds(directory, bench, host, fail_pct):
+    """Per-phase (warn, fail) gates from accumulated trend history.
+
+    Only snapshots of the same bench from the same host fingerprint
+    count — cross-host history says nothing about this machine's
+    scatter.  A phase needs MIN_HISTORY usable medians; the gate is the
+    observed run-to-run scatter (NOISE_MADS x scaled MAD of the
+    medians, as % of their median), warn at 1x and fail at 2x, both
+    clamped into [DERIVED_FLOOR_PCT, fail_pct].
+    """
+    paths = sorted(glob.glob(os.path.join(directory, "**", "BENCH_*.json"),
+                             recursive=True))
+    medians = {}  # phase -> [median_s]
+    for path in paths:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            continue  # foreign files may share the directory
+        if doc.get("schema") != "csfma-report-v1" or \
+                doc.get("bench") != bench:
+            continue
+        sec = doc.get("sections", {}).get("bench_host_perf")
+        if not isinstance(sec, dict) or sec.get("host") != host or \
+                not isinstance(sec.get("phases"), dict):
+            continue
+        for name, p in sec["phases"].items():
+            med = p.get("median_s", 0.0)
+            if med and med > 0.0:
+                medians.setdefault(name, []).append(med)
+
+    derived = {}
+    for name, meds in medians.items():
+        if len(meds) < MIN_HISTORY:
+            continue
+        hist_med = _median(meds)
+        if hist_med <= 0.0:
+            continue
+        mad = _median([abs(m - hist_med) for m in meds])
+        band = 100.0 * NOISE_MADS * MAD_SCALE * mad / hist_med
+        fail = min(max(2.0 * band, DERIVED_FLOOR_PCT), fail_pct)
+        warn = min(max(band, DERIVED_FLOOR_PCT / 2.0), fail)
+        derived[name] = {"warn": warn, "fail": fail, "n": len(meds)}
+    return derived
+
+
 def compare(baseline_path, current_path, fail_pct, warn_pct,
-            force_cross_host=False, require_same_host=False):
+            force_cross_host=False, require_same_host=False,
+            history_dir=None):
     bench_a, base = load_perf(baseline_path)
     bench_b, cur = load_perf(current_path)
     if bench_a != bench_b:
@@ -120,6 +186,19 @@ def compare(baseline_path, current_path, fail_pct, warn_pct,
         diffs = fingerprint_diff(base.get("host"), cur.get("host"))
         print(f"NOTE: host fingerprint differs in "
               f"{', '.join(diffs)}; timing gate: {mode}")
+
+    derived = {}
+    if history_dir is not None:
+        derived = derive_thresholds(history_dir, bench_a, base.get("host"),
+                                    fail_pct)
+        if derived:
+            print(f"NOTE: thresholds derived from history for "
+                  f"{len(derived)} phase(s) under {history_dir} "
+                  f"(fallback: global {fail_pct:.0f}%)")
+        else:
+            print(f"NOTE: history under {history_dir} too thin "
+                  f"(< {MIN_HISTORY} same-host snapshots per phase); "
+                  f"using global thresholds")
 
     base_phases = base["phases"]
     cur_phases = cur["phases"]
@@ -138,35 +217,40 @@ def compare(baseline_path, current_path, fail_pct, warn_pct,
 
     print(f"bench: {bench_a}")
     print(f"{'phase':<24} {'baseline':>12} {'current':>12} {'delta':>8} "
-          f"{'noise':>7}  verdict")
+          f"{'noise':>7} {'gate':>7}  verdict")
     for name in sorted(set(base_phases) & set(cur_phases)):
         b, c = base_phases[name], cur_phases[name]
         bm, cm = b.get("median_s", 0.0), c.get("median_s", 0.0)
         if not bm or bm <= 0.0:
-            print(f"{name:<24} {'-':>12} {'-':>12} {'-':>8} {'-':>7}  "
-                  f"skip (zero baseline median)")
+            print(f"{name:<24} {'-':>12} {'-':>12} {'-':>8} {'-':>7} "
+                  f"{'-':>7}  skip (zero baseline median)")
             continue
+        d = derived.get(name)
+        p_fail = d["fail"] if d else fail_pct
+        p_warn = d["warn"] if d else warn_pct
+        gate = f"{p_fail:.1f}%*" if d else f"{p_fail:.0f}%"
         delta_pct = 100.0 * (cm - bm) / bm
         band = max(noise_pct(b), noise_pct(c))
         verdict = "ok"
-        if gate_timings and delta_pct > fail_pct:
+        if gate_timings and delta_pct > p_fail:
             verdict = "FAIL"
+            src = f"derived from {d['n']} snapshot(s)" if d else "global"
             failures.append(f"phase '{name}': median regressed "
                             f"{delta_pct:+.1f}% "
-                            f"(fail threshold {fail_pct:.0f}%, "
+                            f"(fail threshold {p_fail:.1f}% {src}, "
                             f"noise band {band:.1f}%)")
-        elif gate_timings and delta_pct > max(warn_pct, band):
+        elif gate_timings and delta_pct > max(p_warn, band):
             verdict = "warn"
             warnings.append(f"phase '{name}': median slower by "
                             f"{delta_pct:+.1f}% (within fail threshold)")
-        elif delta_pct < -warn_pct:
+        elif delta_pct < -p_warn:
             verdict = "improved"
-        if band > fail_pct:
+        if band > p_fail:
             warnings.append(f"phase '{name}': noise band {band:.1f}% "
                             f"exceeds the fail threshold — phase too "
                             f"short or reps too few to gate reliably")
         print(f"{name:<24} {bm:>11.6f}s {cm:>11.6f}s {delta_pct:>+7.1f}% "
-              f"{band:>6.1f}%  {verdict}")
+              f"{band:>6.1f}% {gate:>7}  {verdict}")
 
     for w in warnings:
         print(f"WARN: {w}")
@@ -234,6 +318,11 @@ def main(argv):
     ap.add_argument("--require-same-host", action="store_true",
                     help="fail (exit 4) when host fingerprints differ "
                          "instead of downgrading to structure-only")
+    ap.add_argument("--history", metavar="DIR",
+                    help="derive per-phase thresholds from BENCH_*.json "
+                         "trend history in DIR (same bench and host; "
+                         f"needs >= {MIN_HISTORY} snapshots per phase, "
+                         "falls back to the global thresholds)")
     ap.add_argument("--trend", metavar="DIR",
                     help="print a trend table over BENCH_*.json in DIR")
     ap.add_argument("--bench", help="with --trend: restrict to one bench")
@@ -242,7 +331,11 @@ def main(argv):
     if args.trend:
         if args.baseline or args.current:
             die("--trend takes no positional arguments")
+        if args.history:
+            die("--history applies to comparisons, not --trend")
         return trend(args.trend, args.bench)
+    if args.history and not os.path.isdir(args.history):
+        die(f"--history: {args.history} is not a directory")
     if not args.baseline or not args.current:
         ap.print_usage(sys.stderr)
         return 2
@@ -252,7 +345,7 @@ def main(argv):
         die("--force-cross-host and --require-same-host are exclusive")
     return compare(args.baseline, args.current, args.fail_pct,
                    args.warn_pct, args.force_cross_host,
-                   args.require_same_host)
+                   args.require_same_host, args.history)
 
 
 if __name__ == "__main__":

@@ -38,6 +38,22 @@ Usage:
       and the sweep_done digest matching an independent FNV-1a
       recomputation over the point payload bytes.
 
+  check_report.py --check-frontier frontier.json [more ...]
+      Validate a csfma-frontier-v1 exploration report (what
+      csfma_explore --out writes, docs/dse.md): the declared config
+      space re-expanded and matched point-for-point in index order,
+      every point's canonical cache key and the replay digest
+      recomputed, the Pareto frontier (membership, eviction log,
+      rejected count) replayed from the points, sensitivity medians
+      recomputed, and coverage counts cross-checked against the space.
+
+  check_report.py --compare-frontier a.json b.json
+      Assert the deterministic projections of two frontier reports —
+      all bytes before the trailing "timing" member — are identical.
+      This is the CI gate for the exploration determinism contract:
+      any daemon count, worker count, and point arrival order must
+      produce byte-identical reports (docs/dse.md).
+
   check_report.py --check-log serve.log [more ...]
       Validate a csfma-log-v1 structured server log (the file
       csfma_serve --log-file appends, docs/FORMATS.md): every line a
@@ -551,6 +567,273 @@ def check_sweep(path):
           f"{misses} miss(es), digest {done['digest']})")
 
 
+FRONTIER_SCHEMA = "csfma-frontier-v1"
+FRONTIER_AXES = ("unit", "rounding", "seed", "block", "group", "rwidth",
+                 "select", "depth", "ops")
+POINT_METRICS = ("delay_ns", "cycles", "fmax_mhz", "luts", "dsps",
+                 "toggles_per_op", "energy_nj")
+OBJECTIVES = ("delay_ns", "luts", "dsps", "energy_nj")
+
+
+def _expand_space(space):
+    """Re-expand the declared config space in canonical index order.
+
+    Mirrors build_chunks() + expand_sweep() (tools/csfma_explore.cpp,
+    service/sweep.cpp): unit > rounding > seed > block > group > rwidth >
+    select > depth > ops nesting, pcs requiring block % group == 0, and
+    rwidth resolved (0 means one block) in the emitted axis values.
+    """
+    out = []
+    for unit in space["unit"]:
+        for rm in space["rounding"]:
+            for seed in space["seed"]:
+                for block in space["block"]:
+                    for group in space["group"]:
+                        if unit == "pcs" and block % group != 0:
+                            continue
+                        for rwidth in space["rwidth"]:
+                            for select in space["select"]:
+                                for depth in space["depth"]:
+                                    for ops in space["ops"]:
+                                        out.append({
+                                            "unit": unit, "rounding": rm,
+                                            "seed": seed, "block": block,
+                                            "group": group,
+                                            "rwidth": rwidth if rwidth > 0
+                                            else block,
+                                            "select": select, "depth": depth,
+                                            "ops": ops,
+                                        })
+    return out
+
+
+def _model_key(p):
+    """Canonical cache key of a model point — mirrors canonical_key()
+    (service/protocol.cpp); the report carries rwidth already resolved."""
+    canon = ("mode=model&unit={unit}&rm={rounding}&seed={seed}"
+             "&block={block}&group={group}&rwidth={rwidth}"
+             "&select={select}&depth={depth}&ops={ops}").format(**p)
+    return f"{fnv1a64(canon.encode('ascii')):016x}"
+
+
+def _objectives(p):
+    return tuple(float(p[m]) for m in OBJECTIVES)
+
+
+def _dominates(a, b):
+    """a dominates b: no worse in every objective, strictly better in one
+    — mirrors dominates() in dse/frontier.cpp."""
+    if any(x > y for x, y in zip(a, b)):
+        return False
+    return any(x < y for x, y in zip(a, b))
+
+
+def _replay_frontier(points):
+    """Replay the Pareto frontier in index order — mirrors
+    ParetoFrontier::insert (dse/frontier.cpp) including the
+    lexicographic-key tie-break and the eviction log order."""
+    members = []  # [(key, objectives)] in insertion order
+    evictions = []
+    rejected = 0
+    for p in points:
+        key, obj = p["key"], _objectives(p)
+        beaten = any(_dominates(qo, obj) or (qo == obj and qk <= key)
+                     for qk, qo in members)
+        if beaten:
+            rejected += 1
+            continue
+        for qk, qo in members:
+            if _dominates(obj, qo):
+                evictions.append({"evicted": qk, "by": key,
+                                  "reason": "dominated"})
+            elif qo == obj:
+                evictions.append({"evicted": qk, "by": key, "reason": "tie"})
+        members = [(qk, qo) for qk, qo in members
+                   if not _dominates(obj, qo) and qo != obj]
+        members.append((key, obj))
+    return members, evictions, rejected
+
+
+def _median(v):
+    if not v:
+        return 0.0
+    v = sorted(v)
+    mid = len(v) // 2
+    return v[mid] if len(v) % 2 else 0.5 * (v[mid - 1] + v[mid])
+
+
+def _value_less_key(value):
+    """Sort key matching value_less() in dse/sensitivity.cpp: numeric when
+    the value parses as an integer, lexicographic otherwise."""
+    try:
+        return (0, int(value), value)
+    except ValueError:
+        return (1, 0, value)
+
+
+def _axis_sensitivity(points):
+    """Recompute per-knob sensitivity — mirrors axis_sensitivity()
+    (dse/sensitivity.cpp): group by all-other-axes context, order along
+    the varying axis, median of adjacent |deltas| per objective."""
+    out = {}
+    for axis in FRONTIER_AXES:
+        groups = {}
+        for p in points:
+            ctx = "&".join(f"{a}={p[a]}" for a in sorted(FRONTIER_AXES)
+                           if a != axis)
+            groups.setdefault(ctx, []).append((str(p[axis]), _objectives(p)))
+        deltas = [[], [], [], []]
+        for ctx in sorted(groups):
+            g = sorted(groups[ctx], key=lambda e: _value_less_key(e[0]))
+            for prev, cur in zip(g, g[1:]):
+                if prev[0] == cur[0]:
+                    continue  # duplicate config
+                for i in range(4):
+                    deltas[i].append(abs(cur[1][i] - prev[1][i]))
+        out[axis] = {"pairs": len(deltas[0]),
+                     **{m: _median(deltas[i])
+                        for i, m in enumerate(OBJECTIVES)}}
+    return out
+
+
+def check_frontier(path):
+    """Validate one csfma-frontier-v1 report end to end (docs/dse.md)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            r = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"cannot load: {e}")
+    if not isinstance(r, dict):
+        fail(path, "top level must be a JSON object")
+    if r.get("format") != FRONTIER_SCHEMA:
+        fail(path, f'format is {r.get("format")!r}, '
+                   f"expected {FRONTIER_SCHEMA!r}")
+    for key in ("tool", "space", "points", "frontier", "evictions",
+                "rejected", "sensitivity", "coverage", "digest", "timing"):
+        if key not in r:
+            fail(path, f"missing top-level member '{key}'")
+    if list(r)[-1] != "timing":
+        fail(path, '"timing" must be the last member — the deterministic '
+                   "projection is everything before it")
+
+    # --- the config space, re-expanded ---------------------------------
+    space = r["space"]
+    for axis in FRONTIER_AXES:
+        v = space.get(axis)
+        if not isinstance(v, list) or not v:
+            fail(path, f'space["{axis}"] must be a non-empty array')
+    expanded = _expand_space(space)
+    if space.get("points") != len(expanded):
+        fail(path, f'space declares {space.get("points")!r} points but the '
+                   f"axes expand to {len(expanded)}")
+
+    # --- points: index order, axis values, canonical keys --------------
+    points = r["points"]
+    if not isinstance(points, list) or len(points) != len(expanded):
+        fail(path, f"expected {len(expanded)} points, got "
+                   f"{len(points) if isinstance(points, list) else points!r}")
+    digest = 0xCBF29CE484222325  # kSweepDigestSeed (service/sweep.hpp)
+    for i, (p, want) in enumerate(zip(points, expanded)):
+        where = f"points[{i}]"
+        if p.get("index") != i:
+            fail(path, f'{where}: index {p.get("index")!r}, expected {i} '
+                       f"(canonical index order is the contract)")
+        for axis in FRONTIER_AXES:
+            if p.get(axis) != want[axis]:
+                fail(path, f'{where}: {axis} is {p.get(axis)!r}, the '
+                           f"expansion says {want[axis]!r}")
+        key = p.get("key")
+        if not isinstance(key, str) or not KEY16.match(key):
+            fail(path, f"{where}: key must be 16 hex digits")
+        if key != _model_key(want):
+            fail(path, f"{where}: key {key} does not match the canonical "
+                       f"key recomputation {_model_key(want)}")
+        for m in POINT_METRICS:
+            if not is_number(p.get(m)) or not math.isfinite(p[m]):
+                fail(path, f"{where}: metric '{m}' must be a finite number")
+        digest = fnv1a64(key.encode("ascii"), digest)
+    if r["digest"] != f"{digest:016x}":
+        fail(path, f'digest {r["digest"]!r} does not match the FNV-1a fold '
+                   f"over point keys in index order ({digest:016x})")
+
+    # --- frontier, eviction log and rejected count, replayed -----------
+    members, evictions, rejected = _replay_frontier(points)
+    want_frontier = sorted(
+        ({"key": k, **dict(zip(OBJECTIVES, obj))} for k, obj in members),
+        key=lambda e: e["key"])
+    if r["frontier"] != want_frontier:
+        fail(path, f'frontier has {len(r["frontier"])} member(s) and the '
+                   f"replay produces {len(want_frontier)} — membership or "
+                   f"objectives drifted from the point set")
+    if r["evictions"] != evictions:
+        fail(path, f'eviction log ({len(r["evictions"])} entries) does not '
+                   f"match the index-order replay ({len(evictions)})")
+    if r["rejected"] != rejected:
+        fail(path, f'rejected is {r["rejected"]!r}, replay says {rejected}')
+
+    # --- sensitivity, recomputed ---------------------------------------
+    if r["sensitivity"] != _axis_sensitivity(points):
+        fail(path, "sensitivity statistics do not match the recomputation "
+                   "from the point set")
+
+    # --- coverage vs the space -----------------------------------------
+    cov = r["coverage"]
+    if cov.get("points") != len(expanded):
+        fail(path, f'coverage.points is {cov.get("points")!r}, space has '
+                   f"{len(expanded)}")
+    if cov.get("done") != len(points):
+        fail(path, f'coverage.done is {cov.get("done")!r} but the report '
+                   f"carries {len(points)} point(s)")
+    want_axes = {}
+    for want in expanded:
+        for axis in FRONTIER_AXES:
+            per = want_axes.setdefault(axis, {})
+            per[str(want[axis])] = per.get(str(want[axis]), 0) + 1
+    for axis in FRONTIER_AXES:
+        got = cov["axes"].get(axis)
+        if got is None:
+            fail(path, f"coverage.axes missing axis '{axis}'")
+        if {k: v["expected"] for k, v in got.items()} != want_axes[axis]:
+            fail(path, f"coverage.axes[{axis!r}]: expected counts disagree "
+                       f"with the space expansion")
+        for value, c in got.items():
+            if not (0 <= c["failed"] <= c["done"] <= c["expected"]):
+                fail(path, f"coverage.axes[{axis!r}][{value!r}]: "
+                           f"failed <= done <= expected violated")
+
+    print(f"{path}: OK ({len(points)} point(s), "
+          f'{len(r["frontier"])} on the frontier, '
+          f"{len(evictions)} eviction(s), digest {r['digest']})")
+    return r
+
+
+def _frontier_projection(path):
+    """The deterministic projection: all bytes before the trailing
+    "timing" member (docs/dse.md, "Determinism contract")."""
+    with open(path, "rb") as f:
+        raw = f.read()
+    marker = b',"timing":'
+    idx = raw.rfind(marker)
+    if idx < 0:
+        fail(path, "no timing member — not a frontier report?")
+    return raw[:idx]
+
+
+def compare_frontier(path_a, path_b):
+    a, b = _frontier_projection(path_a), _frontier_projection(path_b)
+    if a != b:
+        n = min(len(a), len(b))
+        at = next((i for i in range(n) if a[i] != b[i]), n)
+        ctx_a = a[max(0, at - 40):at + 40].decode("utf-8", "replace")
+        ctx_b = b[max(0, at - 40):at + 40].decode("utf-8", "replace")
+        print(f"DETERMINISM VIOLATION: projections diverge at byte {at}:\n"
+              f"  {path_a}: ...{ctx_a}...\n"
+              f"  {path_b}: ...{ctx_b}...", file=sys.stderr)
+        sys.exit(1)
+    print(f"{path_a} vs {path_b}: deterministic projections identical "
+          f"({len(a)} byte(s); timing exempt)")
+
+
 LOG_KINDS = {
     "conn_accept", "conn_close", "request_begin", "request_end",
     "reject", "cancel", "journal_compact", "slow_request",
@@ -691,6 +974,20 @@ def main(argv):
             fail("usage", "--check-sweep needs at least one transcript path")
         for path in argv[1:]:
             check_sweep(path)
+        return
+    if len(argv) >= 1 and argv[0] == "--check-frontier":
+        if len(argv) < 2:
+            fail("usage", "--check-frontier needs at least one report path")
+        for path in argv[1:]:
+            check_frontier(path)
+        return
+    if len(argv) >= 1 and argv[0] == "--compare-frontier":
+        if len(argv) != 3:
+            fail("usage", "--compare-frontier needs exactly two report "
+                          "paths")
+        check_frontier(argv[1])
+        check_frontier(argv[2])
+        compare_frontier(argv[1], argv[2])
         return
     if len(argv) >= 1 and argv[0] == "--compare-metrics":
         if len(argv) != 3:

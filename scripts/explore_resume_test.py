@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""End-to-end resume test for csfma_explore (docs/dse.md, "Resume").
+
+Exploration must be resumable purely through the daemons' journaled result
+caches (csfma_serve --cache-file):
+
+  1. a full run against a journal-backed daemon, then a rerun against a
+     RESTARTED daemon, must re-simulate nothing (fresh == 0) and reproduce
+     the identical report bytes (timing section excluded);
+  2. a driver killed mid-run loses nothing the daemon already finished: a
+     rerun serves those points from the restored cache and converges to
+     the same deterministic projection and frontier digest.
+
+stdlib-only; spawns real daemons on ephemeral TCP ports.  Used by ctest
+(explore_resume_py) and runnable by hand:
+
+  explore_resume_test.py --serve build/tools/csfma_serve \\
+                         --explore build/tools/csfma_explore
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SPACE = ["--unit", "pcs,fcs", "--block", "33:62:3", "--group", "11",
+         "--rwidth", "0,11", "--select", "lza,zd", "--depth", "2:12:2"]
+
+
+def fail(msg):
+    print(f"explore_resume_test: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+class Daemon:
+    """One csfma_serve on an ephemeral TCP port with a journaled cache."""
+
+    def __init__(self, serve, workdir, name, journal):
+        self.port_file = os.path.join(workdir, f"{name}.port")
+        # The cache must hold the whole space: resume lives in the journal,
+        # and a cache smaller than the space evicts restored entries before
+        # the rerun can hit them (docs/dse.md, "Resume").
+        self.proc = subprocess.Popen(
+            [serve, "--tcp", "127.0.0.1:0", "--port-file", self.port_file,
+             "--workers", "2", "--job-cache", "4096",
+             "--cache-file", journal],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        for _ in range(200):
+            if os.path.exists(self.port_file) and \
+                    os.path.getsize(self.port_file) > 0:
+                break
+            time.sleep(0.05)
+        else:
+            fail(f"daemon {name} never published its port")
+        with open(self.port_file) as f:
+            self.port = int(f.read().strip())
+
+    def stop(self):
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+
+
+def run_explore(explore, daemons, out, extra=()):
+    """Full run; returns the parsed explore_done line."""
+    argv = [explore, "--out", out, *SPACE, *extra]
+    for d in daemons:
+        argv += ["--daemon", f"127.0.0.1:{d.port}"]
+    res = subprocess.run(argv, capture_output=True, text=True, timeout=300)
+    if res.returncode != 0:
+        fail(f"csfma_explore exited {res.returncode}: {res.stderr.strip()}")
+    done = [json.loads(l) for l in res.stdout.splitlines()
+            if l.startswith('{"type":"explore_done"')]
+    if len(done) != 1:
+        fail("expected exactly one explore_done line")
+    return done[0]
+
+
+def projection(path):
+    """Deterministic projection: the report bytes before the timing member."""
+    with open(path, "rb") as f:
+        raw = f.read()
+    marker = b',"timing":'
+    if marker not in raw:
+        fail(f"{path}: no timing member")
+    return raw[:raw.rindex(marker)]
+
+
+def digest_of(path):
+    with open(path) as f:
+        return json.load(f)["digest"]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--serve", required=True)
+    ap.add_argument("--explore", required=True)
+    args = ap.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="csfma-explore-resume.") as tmp:
+        journal = os.path.join(tmp, "cache.journal")
+        ref = os.path.join(tmp, "ref.json")
+        resumed = os.path.join(tmp, "resumed.json")
+
+        # --- full run, then rerun against a restarted daemon -------------
+        d = Daemon(args.serve, tmp, "d1", journal)
+        done = run_explore(args.explore, [d], ref)
+        d.stop()
+        if done["cached"] != 0:
+            fail(f"first run expected a cold cache, got {done['cached']} hits")
+        total = done["points"]
+
+        d = Daemon(args.serve, tmp, "d2", journal)
+        done = run_explore(args.explore, [d], resumed)
+        d.stop()
+        if done["fresh"] != 0:
+            fail(f"resumed run re-simulated {done['fresh']} cached points")
+        if done["cached"] != total:
+            fail(f"resumed run served {done['cached']}/{total} from cache")
+        if projection(ref) != projection(resumed):
+            fail("resumed report projection differs from the reference")
+        if digest_of(ref) != digest_of(resumed):
+            fail("resumed frontier digest differs")
+        print(f"resume-after-restart: {total} points, 0 re-simulated, "
+              f"digest {digest_of(ref)}")
+
+        # --- driver killed mid-run, journal carries the progress ---------
+        journal2 = os.path.join(tmp, "cache2.journal")
+        killed_out = os.path.join(tmp, "killed.json")
+        final = os.path.join(tmp, "final.json")
+        d = Daemon(args.serve, tmp, "d3", journal2)
+        argv = [args.explore, "--out", killed_out,
+                "--daemon", f"127.0.0.1:{d.port}",
+                "--progress-interval", "0.02", *SPACE]
+        proc = subprocess.Popen(argv, stdout=subprocess.PIPE, text=True)
+        try:
+            for line in proc.stdout:
+                ev = json.loads(line)
+                if ev.get("type") == "explore_progress" and \
+                        0 < ev["points_done"] < total:
+                    break
+            else:
+                fail("driver finished before it could be killed mid-run")
+            proc.send_signal(signal.SIGKILL)
+        finally:
+            proc.wait()
+        if os.path.exists(killed_out):
+            fail("killed driver must not have written a final report")
+        time.sleep(1.0)  # let the daemon drain the in-flight sweep
+        d.stop()  # journal now holds the completed points
+
+        d = Daemon(args.serve, tmp, "d4", journal2)
+        done = run_explore(args.explore, [d], final)
+        d.stop()
+        if done["cached"] == 0:
+            fail("rerun after mid-run kill found nothing in the journal")
+        if projection(ref) != projection(final):
+            fail("post-kill rerun projection differs from the reference")
+        if digest_of(ref) != digest_of(final):
+            fail("post-kill rerun frontier digest differs")
+        print(f"resume-after-kill: {done['cached']}/{total} from journal, "
+              f"digest matches")
+
+    print("explore_resume_test: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,7 +39,9 @@ def percentile(bounds, counts, q):
     total = sum(counts)
     if total == 0:
         return 0.0
-    q = min(max(q, 0.0), 1.0)
+    if not q >= 0.0:  # NaN and negatives alike, mirroring the C++ clamp
+        q = 0.0
+    q = min(q, 1.0)
     rank = q * total
     cum = 0
     for i, in_bucket in enumerate(counts):
@@ -60,7 +62,37 @@ def _fmt_ms(v):
     return f"{v:8.2f}" if v < 1000 else f"{v:8.0f}"
 
 
-def render(st):
+SPARK_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(samples, width=24):
+    """The last `width` samples as unicode block characters, scaled to the
+    window's max (a flat zero line renders as spaces)."""
+    window = list(samples)[-width:]
+    if not window:
+        return ""
+    peak = max(window)
+    if peak <= 0:
+        return " " * len(window)
+    out = []
+    for v in window:
+        idx = int(round(v / peak * (len(SPARK_BLOCKS) - 1)))
+        out.append(SPARK_BLOCKS[max(0, min(idx, len(SPARK_BLOCKS) - 1))])
+    return "".join(out)
+
+
+def read_frontier_snapshot(path):
+    """Best-effort parse of a csfma_explore snapshot file; None if absent
+    or mid-write garbage (snapshots are atomic-renamed, so a parse error
+    just means we raced the very first write)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return None
+
+
+def render(st, depth_history=None, points_per_s=None, frontier=None):
     """One dashboard frame (a list of lines) from a parsed stats reply."""
     m = st.get("metrics", {})
     counters = {k: v["value"] for k, v in m.get("counters", {}).items()}
@@ -69,8 +101,11 @@ def render(st):
 
     lines = []
     up = st.get("uptime_s", 0.0)
-    lines.append(f"csfma_serve  up {up:10.1f}s   "
-                 f"queue depth {gauges.get('service.queue.depth', 0):.0f}")
+    depth_line = (f"csfma_serve  up {up:10.1f}s   "
+                  f"queue depth {gauges.get('service.queue.depth', 0):.0f}")
+    if depth_history:
+        depth_line += f"  [{sparkline(depth_history)}]"
+    lines.append(depth_line)
 
     reqs = {k.rsplit(".", 1)[1]: int(v) for k, v in counters.items()
             if k.startswith("service.requests.")}
@@ -86,6 +121,22 @@ def render(st):
                  f"accepted={counters.get('service.conn.accepted', 0):.0f} "
                  f"idle_closed={counters.get('service.conn.idle_closed', 0):.0f} "
                  f"dead_peer={counters.get('service.conn.dead_peer', 0):.0f}")
+
+    # Sweep / exploration panel: live fan-out telemetry (the counters exist
+    # once the daemon has served any request; a daemon that never swept
+    # shows zeros, which is itself informative during an exploration run).
+    sw_active = gauges.get("service.sweep.active")
+    sw_points = counters.get("service.sweep.points")
+    if sw_active is not None or sw_points is not None:
+        rate = f"{points_per_s:.1f}/s" if points_per_s is not None else "-"
+        sweep_line = (f"sweeps: active={sw_active or 0:.0f} "
+                      f"points={sw_points or 0:.0f} "
+                      f"cached={counters.get('service.sweep.points_cached', 0):.0f} "
+                      f"rate={rate}")
+        if frontier is not None:
+            sweep_line += (f"   frontier: {len(frontier.get('frontier', []))} "
+                           f"of {frontier.get('points_done', 0)} pts")
+        lines.append(sweep_line)
 
     lines.append("")
     lines.append(f"{'latency (ms)':28s} {'count':>7s} {'p50':>8s} "
@@ -122,10 +173,16 @@ def main(argv=None):
                    help="refresh period in seconds (default 2)")
     p.add_argument("--once", action="store_true",
                    help="print one snapshot and exit (CI smoke mode)")
+    p.add_argument("--frontier-snapshot", metavar="PATH",
+                   help="csfma_explore snapshot file to fold into the sweep "
+                        "panel (frontier size / points covered)")
     args = p.parse_args(argv)
     if bool(args.socket) == bool(args.tcp):
         p.error("exactly one of --socket or --tcp is required")
 
+    depth_history = []
+    prev_points = None
+    prev_t = None
     try:
         with _connect(args) as client:
             while True:
@@ -134,7 +191,23 @@ def main(argv=None):
                     print(f"service_top: unexpected reply: {json.dumps(st)}",
                           file=sys.stderr)
                     return 1
-                frame = "\n".join(render(st))
+                m = st.get("metrics", {})
+                gauges = m.get("gauges", {})
+                depth_history.append(
+                    gauges.get("service.queue.depth", {}).get("value", 0.0))
+                del depth_history[:-64]
+                now = time.monotonic()
+                points = m.get("counters", {}).get(
+                    "service.sweep.points", {}).get("value")
+                rate = None
+                if (points is not None and prev_points is not None
+                        and now > prev_t):
+                    rate = max(points - prev_points, 0) / (now - prev_t)
+                prev_points, prev_t = points, now
+                frontier = (read_frontier_snapshot(args.frontier_snapshot)
+                            if args.frontier_snapshot else None)
+                frame = "\n".join(
+                    render(st, depth_history, rate, frontier))
                 if args.once:
                     print(frame)
                     return 0

@@ -1,0 +1,35 @@
+#include "dse/coverage.hpp"
+
+namespace csfma::dse {
+
+void CoverageTracker::add_expected(const std::string& axis,
+                                   const std::string& value, std::uint64_t n) {
+  axes_[axis][value].expected += n;
+}
+
+void CoverageTracker::record(
+    const std::vector<std::pair<std::string, std::string>>& axis_values,
+    bool cached, bool failed) {
+  for (const auto& [axis, value] : axis_values) {
+    AxisCount& c = axes_[axis][value];
+    ++c.done;
+    if (cached) ++c.cached;
+    if (failed) ++c.failed;
+  }
+  ++done_;
+  if (cached) ++cached_;
+  if (failed) ++failed_;
+}
+
+void CoverageTracker::observe_latency(double seconds) {
+  latency_sum_s_ += seconds;
+  ++latency_samples_;
+}
+
+double CoverageTracker::eta_seconds() const {
+  if (latency_samples_ == 0 || done_ >= total_) return 0.0;
+  const double mean = latency_sum_s_ / static_cast<double>(latency_samples_);
+  return mean * static_cast<double>(total_ - done_);
+}
+
+}  // namespace csfma::dse

@@ -1,0 +1,63 @@
+// Exploration coverage accounting: per-axis-region point counts plus an
+// ETA derived from observed point latency.
+//
+// The counts (expected/done/cached/failed per axis value) are
+// Deterministic — pure functions of the config space and the point
+// results — and appear in the csfma-frontier-v1 report.  The latency
+// observations and the ETA are Timing-class and only ever surface in the
+// live explore_progress stream, mirroring the metrics registry's
+// stability split.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace csfma::dse {
+
+struct AxisCount {
+  std::uint64_t expected = 0;
+  std::uint64_t done = 0;  // fresh + cached + failed
+  std::uint64_t cached = 0;
+  std::uint64_t failed = 0;
+};
+
+class CoverageTracker {
+ public:
+  /// Declare the space: per-axis value populations and the total point
+  /// count (axes multiply, so totals are declared separately).
+  void add_expected(const std::string& axis, const std::string& value,
+                    std::uint64_t n);
+  void set_total(std::uint64_t n) { total_ = n; }
+
+  /// Record one completed point under all of its axis values.
+  void record(
+      const std::vector<std::pair<std::string, std::string>>& axis_values,
+      bool cached, bool failed);
+
+  /// Timing-class: one fresh (non-cached) point took `seconds`.
+  void observe_latency(double seconds);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t done() const { return done_; }
+  std::uint64_t cached() const { return cached_; }
+  std::uint64_t failed() const { return failed_; }
+  /// Remaining points times the mean observed fresh-point latency
+  /// (0 until the first fresh point lands).
+  double eta_seconds() const;
+
+  /// axis -> value -> counts, deterministically ordered.
+  const std::map<std::string, std::map<std::string, AxisCount>>& axes() const {
+    return axes_;
+  }
+
+ private:
+  std::map<std::string, std::map<std::string, AxisCount>> axes_;
+  std::uint64_t total_ = 0, done_ = 0, cached_ = 0, failed_ = 0;
+  double latency_sum_s_ = 0.0;
+  std::uint64_t latency_samples_ = 0;
+};
+
+}  // namespace csfma::dse

@@ -1,0 +1,60 @@
+#include "dse/frontier.hpp"
+
+#include <algorithm>
+
+namespace csfma::dse {
+
+bool dominates(const Objectives& a, const Objectives& b) {
+  if (a.delay_ns > b.delay_ns || a.luts > b.luts || a.dsps > b.dsps ||
+      a.energy_nj > b.energy_nj) {
+    return false;
+  }
+  return a.delay_ns < b.delay_ns || a.luts < b.luts || a.dsps < b.dsps ||
+         a.energy_nj < b.energy_nj;
+}
+
+bool same_objectives(const Objectives& a, const Objectives& b) {
+  return a.delay_ns == b.delay_ns && a.luts == b.luts && a.dsps == b.dsps &&
+         a.energy_nj == b.energy_nj;
+}
+
+bool ParetoFrontier::insert(const FrontierPoint& p) {
+  // Pass 1: is the newcomer beaten?  An incumbent that dominates it, or
+  // holds the same objectives with a smaller-or-equal key, keeps it out.
+  for (const auto& q : points_) {
+    if (dominates(q.obj, p.obj)) {
+      ++rejected_;
+      return false;
+    }
+    if (same_objectives(q.obj, p.obj) && q.key <= p.key) {
+      ++rejected_;
+      return false;
+    }
+  }
+  // Pass 2: evict incumbents the newcomer beats.  (An exact-tie loser and
+  // a dominated incumbent cannot coexist with pass 1 having passed.)
+  for (std::size_t i = 0; i < points_.size();) {
+    const bool dominated = dominates(p.obj, points_[i].obj);
+    const bool tie_lost = same_objectives(p.obj, points_[i].obj);
+    if (dominated || tie_lost) {
+      evictions_.push_back(
+          {points_[i].key, p.key, dominated ? "dominated" : "tie"});
+      points_.erase(points_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  points_.push_back(p);
+  return true;
+}
+
+std::vector<FrontierPoint> ParetoFrontier::sorted() const {
+  std::vector<FrontierPoint> out = points_;
+  std::sort(out.begin(), out.end(),
+            [](const FrontierPoint& a, const FrontierPoint& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+}  // namespace csfma::dse

@@ -1,0 +1,70 @@
+// Incremental multi-objective Pareto frontier (delay, LUTs, DSPs,
+// energy — all minimized).
+//
+// Membership is a pure function of the point SET: a point is on the
+// frontier iff no other point dominates it, and among points with exactly
+// equal objective vectors only the lexicographically smallest key
+// survives (the deterministic tie-break).  Insertion order therefore
+// never changes the final membership — only the eviction log's order,
+// which is why the explorer keeps a live frontier for observability but
+// rebuilds the reported one by replaying points in canonical index order
+// (docs/dse.md, "Determinism contract").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csfma::dse {
+
+/// The four exploration objectives, all minimized.  LUTs/DSPs are carried
+/// as doubles so the dominance test is one uniform comparison; values are
+/// exact small integers, so no precision is lost.
+struct Objectives {
+  double delay_ns = 0.0;
+  double luts = 0.0;
+  double dsps = 0.0;
+  double energy_nj = 0.0;
+};
+
+/// a dominates b: no worse in every objective, strictly better in one.
+bool dominates(const Objectives& a, const Objectives& b);
+bool same_objectives(const Objectives& a, const Objectives& b);
+
+struct FrontierPoint {
+  std::string key;  // canonical identity (the point's cache key)
+  Objectives obj;
+};
+
+/// One dominated-point eviction: `evicted` left the frontier because of
+/// `by` (reason "dominated"), or lost an exact-objective tie to it
+/// (reason "tie").
+struct Eviction {
+  std::string evicted;
+  std::string by;
+  std::string reason;
+};
+
+class ParetoFrontier {
+ public:
+  /// Offer a point.  Returns true when the point joins the frontier
+  /// (possibly evicting dominated or tie-losing incumbents, appended to
+  /// the eviction log); false when an incumbent dominates it or wins the
+  /// tie-break.
+  bool insert(const FrontierPoint& p);
+
+  std::size_t size() const { return points_.size(); }
+  /// Members sorted by key — the canonical report order.
+  std::vector<FrontierPoint> sorted() const;
+  const std::vector<Eviction>& evictions() const { return evictions_; }
+  /// Points offered but rejected (dominated on arrival or tie-lost).
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  std::vector<FrontierPoint> points_;
+  std::vector<Eviction> evictions_;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace csfma::dse

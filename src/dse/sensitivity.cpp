@@ -1,0 +1,93 @@
+#include "dse/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <utility>
+
+namespace csfma::dse {
+
+namespace {
+
+bool parse_int(const std::string& s, long long& v) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  v = std::strtoll(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+/// Numeric order when both values are integers, lexicographic otherwise —
+/// so "8" < "11" < "55" on the block axis but "lza" < "zd" on select.
+bool value_less(const std::string& a, const std::string& b) {
+  long long va = 0, vb = 0;
+  if (parse_int(a, va) && parse_int(b, vb)) {
+    return va != vb ? va < vb : a < b;
+  }
+  return a < b;
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+}  // namespace
+
+std::map<std::string, SensitivityStat> axis_sensitivity(
+    const std::vector<SensPoint>& points) {
+  std::set<std::string> names;
+  for (const auto& p : points) {
+    for (const auto& [k, v] : p.axes) names.insert(k);
+  }
+
+  std::map<std::string, SensitivityStat> out;
+  for (const std::string& axis : names) {
+    // Group by the fixed context (every other axis value) — std::map
+    // keys keep the group iteration deterministic.
+    std::map<std::string, std::vector<std::pair<std::string, Objectives>>>
+        groups;
+    for (const auto& p : points) {
+      auto it = p.axes.find(axis);
+      if (it == p.axes.end()) continue;
+      std::string ctx;
+      for (const auto& [k, v] : p.axes) {
+        if (k == axis) continue;
+        ctx += k;
+        ctx += '=';
+        ctx += v;
+        ctx += '&';
+      }
+      groups[ctx].emplace_back(it->second, p.obj);
+    }
+
+    std::vector<double> d_delay, d_luts, d_dsps, d_energy;
+    for (auto& [ctx, g] : groups) {
+      std::sort(g.begin(), g.end(), [](const auto& a, const auto& b) {
+        return value_less(a.first, b.first);
+      });
+      for (std::size_t i = 1; i < g.size(); ++i) {
+        if (g[i - 1].first == g[i].first) continue;  // duplicate config
+        const Objectives& a = g[i - 1].second;
+        const Objectives& b = g[i].second;
+        d_delay.push_back(std::fabs(b.delay_ns - a.delay_ns));
+        d_luts.push_back(std::fabs(b.luts - a.luts));
+        d_dsps.push_back(std::fabs(b.dsps - a.dsps));
+        d_energy.push_back(std::fabs(b.energy_nj - a.energy_nj));
+      }
+    }
+
+    SensitivityStat st;
+    st.pairs = d_delay.size();
+    st.delay_ns = median(d_delay);
+    st.luts = median(d_luts);
+    st.dsps = median(d_dsps);
+    st.energy_nj = median(d_energy);
+    out[axis] = st;
+  }
+  return out;
+}
+
+}  // namespace csfma::dse

@@ -1,0 +1,40 @@
+// Per-knob sensitivity: the median absolute metric delta when ONE axis
+// varies and every other axis is held fixed.
+//
+// For each axis the points are grouped by the values of all OTHER axes
+// (the "context"); within a group the points are ordered along the
+// varying axis (numerically when the values parse as integers) and each
+// adjacent pair contributes |Δmetric| per objective.  The reported
+// statistic is the median over all such deltas — a robust answer to "how
+// much does turning this knob one notch move each metric?", computed
+// deterministically from the point set alone.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dse/frontier.hpp"
+
+namespace csfma::dse {
+
+struct SensPoint {
+  std::map<std::string, std::string> axes;  // axis name -> value
+  Objectives obj;
+};
+
+struct SensitivityStat {
+  std::uint64_t pairs = 0;  // adjacent same-context pairs observed
+  double delay_ns = 0.0;    // median |Δ| per objective
+  double luts = 0.0;
+  double dsps = 0.0;
+  double energy_nj = 0.0;
+};
+
+/// Sensitivity per axis name, deterministically ordered.  Axes with no
+/// same-context pair (fewer than two values anywhere) report zero pairs.
+std::map<std::string, SensitivityStat> axis_sensitivity(
+    const std::vector<SensPoint>& points);
+
+}  // namespace csfma::dse

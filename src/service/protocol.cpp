@@ -27,6 +27,7 @@ const char* to_string(SimMode m) {
     case SimMode::Batch: return "batch";
     case SimMode::Stream: return "stream";
     case SimMode::Chained: return "chained";
+    case SimMode::Model: return "model";
   }
   return "?";
 }
@@ -35,6 +36,7 @@ bool parse_sim_mode(std::string_view s, SimMode* out) {
   if (s == "batch") *out = SimMode::Batch;
   else if (s == "stream") *out = SimMode::Stream;
   else if (s == "chained") *out = SimMode::Chained;
+  else if (s == "model") *out = SimMode::Model;
   else return false;
   return true;
 }
@@ -81,6 +83,20 @@ std::uint64_t SubmitRequest::total_ops() const {
   return ops;
 }
 
+dse::DseConfig SubmitRequest::model_config() const {
+  dse::DseConfig cfg;
+  cfg.unit = unit;
+  cfg.rm = rm;
+  cfg.seed = seed;
+  cfg.block = block;
+  cfg.group = group;
+  cfg.round_width = rwidth;
+  cfg.select = select;
+  cfg.depth = depth;
+  cfg.ops = ops;
+  return cfg;
+}
+
 std::string SubmitRequest::canonical_key() const {
   // Fixed field order, defaults applied by construction, mode-specific
   // fields only — two requests meaning the same simulation render the same
@@ -94,6 +110,19 @@ std::string SubmitRequest::canonical_key() const {
   k += "&rm=";
   k += to_string(rm);
   k += "&seed=" + std::to_string(seed);
+  if (mode == SimMode::Model) {
+    // The design knobs, with rwidth resolved (0 means one block) so the
+    // default spelling and the explicit width share one key.  shard_ops
+    // is excluded like threads: the evaluator never shards.
+    k += "&block=" + std::to_string(block);
+    k += "&group=" + std::to_string(group);
+    k += "&rwidth=" + std::to_string(rwidth > 0 ? rwidth : block);
+    k += "&select=";
+    k += dse::to_string(select);
+    k += "&depth=" + std::to_string(depth);
+    k += "&ops=" + std::to_string(ops);
+    return k;
+  }
   if (mode == SimMode::Chained) {
     k += "&chains=" + std::to_string(chains);
     k += "&depth=" + std::to_string(depth);
@@ -111,9 +140,15 @@ std::string SubmitRequest::cache_key() const {
 }
 
 std::size_t SweepRequest::point_count() const {
-  const std::size_t inner = mode == SimMode::Chained
-                                ? chains.size() * depths.size()
-                                : ops.size();
+  std::size_t inner;
+  if (mode == SimMode::Chained) {
+    inner = chains.size() * depths.size();
+  } else if (mode == SimMode::Model) {
+    inner = blocks.size() * groups.size() * rwidths.size() * selects.size() *
+            depths.size() * ops.size();
+  } else {
+    inner = ops.size();
+  }
   return units.size() * rms.size() * seeds.size() * inner;
 }
 
@@ -251,11 +286,25 @@ bool want_int_axis(const JsonValue& obj, const std::string& key,
   return true;
 }
 
+/// The DSE knob fields are only meaningful in model mode; rejecting them
+/// elsewhere keeps "same simulation, same key" honest (an ignored field
+/// would silently alias distinct-looking requests).
+bool reject_model_fields(const JsonValue& obj, std::string* msg) {
+  for (const char* key : {"block", "group", "rwidth", "select"}) {
+    if (obj.find(key) != nullptr) {
+      *msg = "field \"" + std::string(key) +
+             "\" is only valid with mode \"model\"";
+      return false;
+    }
+  }
+  return true;
+}
+
 bool parse_sweep(const JsonValue& obj, SweepRequest* req, std::string* msg) {
   std::string mode_s;
   if (!want_string(obj, "mode", false, &mode_s, msg)) return false;
   if (!mode_s.empty() && !parse_sim_mode(mode_s, &req->mode)) {
-    *msg = "field \"mode\" must be one of batch|stream|chained";
+    *msg = "field \"mode\" must be one of batch|stream|chained|model";
     return false;
   }
   std::vector<const JsonValue*> unit_vals, rm_vals;
@@ -283,6 +332,7 @@ bool parse_sweep(const JsonValue& obj, SweepRequest* req, std::string* msg) {
   if (!want_u64_axis(obj, "seed", true, 0, ~0ull, &req->seeds, msg))
     return false;
   if (req->mode == SimMode::Chained) {
+    if (!reject_model_fields(obj, msg)) return false;
     if (!want_u64_axis(obj, "chains", true, 1, 1u << 20, &req->chains, msg))
       return false;
     if (!want_int_axis(obj, "depth", 3, 64, &req->depths, msg)) return false;
@@ -290,7 +340,50 @@ bool parse_sweep(const JsonValue& obj, SweepRequest* req, std::string* msg) {
       *msg = "chained sweeps take \"chains\"/\"depth\", not \"ops\"";
       return false;
     }
+  } else if (req->mode == SimMode::Model) {
+    req->depths = {8};
+    if (!want_int_axis(obj, "block", 8, 62, &req->blocks, msg)) return false;
+    if (!want_int_axis(obj, "group", 2, 63, &req->groups, msg)) return false;
+    if (!want_int_axis(obj, "rwidth", 0, 256, &req->rwidths, msg))
+      return false;
+    std::vector<const JsonValue*> sel_vals;
+    if (!axis_elements(obj, "select", false, &sel_vals, msg)) return false;
+    if (!sel_vals.empty()) {
+      req->selects.clear();
+      for (const JsonValue* v : sel_vals) {
+        dse::BlockSelect s;
+        if (!v->is_string() || !dse::parse_block_select(v->as_string(), s)) {
+          *msg = "field \"select\" values must be one of lza|zd";
+          return false;
+        }
+        req->selects.push_back(s);
+      }
+    }
+    if (!want_int_axis(obj, "depth", 1, 64, &req->depths, msg)) return false;
+    if (!want_u64_axis(obj, "ops", false, 1, 65536, &req->ops, msg))
+      return false;
+    if (req->ops.empty()) req->ops = {32};
+    if (obj.find("chains") != nullptr) {
+      *msg = "\"chains\" is only valid with mode \"chained\"";
+      return false;
+    }
+    // Every expanded (unit, block, group) must be a valid design; the
+    // only cross-axis constraint is the pcs divisibility rule.
+    for (UnitKind u : req->units) {
+      if (u != UnitKind::Pcs) continue;
+      for (int b : req->blocks) {
+        for (int g : req->groups) {
+          if (b % g != 0) {
+            *msg = "field \"group\" value " + std::to_string(g) +
+                   " must divide \"block\" value " + std::to_string(b) +
+                   " for unit pcs";
+            return false;
+          }
+        }
+      }
+    }
   } else {
+    if (!reject_model_fields(obj, msg)) return false;
     if (!want_u64_axis(obj, "ops", true, 1, 1ull << 32, &req->ops, msg))
       return false;
     if (!want_int(obj, "emin", -1000, 1000, &req->emin, msg)) return false;
@@ -322,7 +415,7 @@ bool parse_submit(const JsonValue& obj, SubmitRequest* req,
   std::string mode_s, unit_s, rm_s;
   if (!want_string(obj, "mode", false, &mode_s, msg)) return false;
   if (!mode_s.empty() && !parse_sim_mode(mode_s, &req->mode)) {
-    *msg = "field \"mode\" must be one of batch|stream|chained";
+    *msg = "field \"mode\" must be one of batch|stream|chained|model";
     return false;
   }
   if (!want_string(obj, "unit", true, &unit_s, msg)) return false;
@@ -337,6 +430,7 @@ bool parse_submit(const JsonValue& obj, SubmitRequest* req,
   }
   if (!want_u64(obj, "seed", true, 0, ~0ull, &req->seed, msg)) return false;
   if (req->mode == SimMode::Chained) {
+    if (!reject_model_fields(obj, msg)) return false;
     if (!want_u64(obj, "chains", true, 1, 1u << 20, &req->chains, msg))
       return false;
     if (!want_int(obj, "depth", 3, 64, &req->depth, msg)) return false;
@@ -344,7 +438,31 @@ bool parse_submit(const JsonValue& obj, SubmitRequest* req,
       *msg = "chained jobs take \"chains\"/\"depth\", not \"ops\"";
       return false;
     }
+  } else if (req->mode == SimMode::Model) {
+    req->depth = 8;
+    req->ops = 32;
+    if (!want_int(obj, "block", 8, 62, &req->block, msg)) return false;
+    if (!want_int(obj, "group", 2, 63, &req->group, msg)) return false;
+    if (!want_int(obj, "rwidth", 0, 256, &req->rwidth, msg)) return false;
+    std::string sel_s;
+    if (!want_string(obj, "select", false, &sel_s, msg)) return false;
+    if (!sel_s.empty() && !dse::parse_block_select(sel_s, req->select)) {
+      *msg = "field \"select\" must be one of lza|zd";
+      return false;
+    }
+    if (!want_int(obj, "depth", 1, 64, &req->depth, msg)) return false;
+    if (!want_u64(obj, "ops", false, 1, 65536, &req->ops, msg)) return false;
+    if (obj.find("chains") != nullptr) {
+      *msg = "\"chains\" is only valid with mode \"chained\"";
+      return false;
+    }
+    // Cross-field design validation (e.g. group | block for pcs).
+    if (std::string err = req->model_config().validate(); !err.empty()) {
+      *msg = err;
+      return false;
+    }
   } else {
+    if (!reject_model_fields(obj, msg)) return false;
     if (!want_u64(obj, "ops", true, 1, 1ull << 32, &req->ops, msg))
       return false;
     if (!want_int(obj, "emin", -1000, 1000, &req->emin, msg)) return false;

@@ -24,6 +24,7 @@
 #include <variant>
 #include <vector>
 
+#include "dse/config.hpp"
 #include "engine/sim_engine.hpp"
 #include "fma/fma_unit.hpp"
 #include "fp/rounding.hpp"
@@ -49,11 +50,13 @@ std::uint64_t fnv1a64(std::string_view bytes,
 /// A uint64 as 16 lowercase hex digits (the wire spelling of hashes).
 std::string hex16(std::uint64_t v);
 
-/// Simulation flavours a job can run (the three SimEngine drivers).
+/// Simulation flavours a job can run (the three SimEngine drivers plus
+/// the DSE design-point evaluator).
 enum class SimMode {
   Batch,    // run_batch over seeded random triples
   Stream,   // run_stream (memory-bounded; results reduced to a checksum)
   Chained,  // run_chained over the Sec. IV-B recurrence workload
+  Model,    // dse::eval_design: timing/area/energy of one design point
 };
 
 const char* to_string(SimMode m);
@@ -81,15 +84,25 @@ struct SubmitRequest {
   Round rm = Round::NearestEven;
   std::uint64_t seed = 1;
   std::uint64_t ops = 0;     // batch/stream: operation count
+                             // model: energy-workload multiply-adds
   std::uint64_t chains = 0;  // chained: independent recurrence chains
   int depth = 18;            // chained: recurrence depth (>= 3)
+                             // model: target pipeline depth (>= 1)
   std::uint64_t shard_ops = 8192;
   int threads = 1;     // engine worker threads; 0 = hardware concurrency
   int emin = -8;       // batch/stream operand exponent range
   int emax = 8;
+  // Model mode only: the DSE design knobs (dse/config.hpp).
+  int block = 55;   // carry-save block size (digits)
+  int group = 11;   // explicit-carry spacing (must divide block for pcs)
+  int rwidth = 0;   // rounding examination width in bits; 0 = one block
+  dse::BlockSelect select = dse::BlockSelect::Lza;  // fcs block selection
 
   /// Total operations the job will simulate (progress denominator).
   std::uint64_t total_ops() const;
+
+  /// The model-mode design point this request names (mode == Model).
+  dse::DseConfig model_config() const;
 
   /// The canonical result-determining field string (mode-specific fields
   /// only, fixed order, defaults applied) — the memoization identity.
@@ -103,15 +116,23 @@ struct SubmitRequest {
 /// wire; parsing normalizes both to a non-empty vector.  Expansion order
 /// is fixed (unit outermost, then rounding, seed, ops|chains, depth) so a
 /// sweep's point indices — and therefore its streamed `sweep_point`
-/// lines and its digest — are deterministic (sweep.hpp).
+/// lines and its digest — are deterministic (sweep.hpp).  Model sweeps
+/// additionally cross the DSE knob axes (block, group, rwidth, select)
+/// between seed and depth.
 struct SweepRequest {
   SimMode mode = SimMode::Batch;
   std::vector<UnitKind> units;          // required, >= 1
   std::vector<Round> rms{Round::NearestEven};
   std::vector<std::uint64_t> seeds;     // required, >= 1
   std::vector<std::uint64_t> ops;       // batch/stream: required, >= 1
+                                        // model: optional, default {32}
   std::vector<std::uint64_t> chains;    // chained: required, >= 1
-  std::vector<int> depths{18};          // chained
+  std::vector<int> depths{18};          // chained; model default {8}
+  // Model mode only: the DSE knob axes.
+  std::vector<int> blocks{55};
+  std::vector<int> groups{11};
+  std::vector<int> rwidths{0};
+  std::vector<dse::BlockSelect> selects{dse::BlockSelect::Lza};
   std::uint64_t shard_ops = 8192;
   int threads = 1;  // engine threads per point
   int emin = -8;

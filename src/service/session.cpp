@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/check.hpp"
+#include "dse/eval.hpp"
 #include "energy/workload.hpp"
 #include "service/sweep.hpp"
 #include "telemetry/report.hpp"
@@ -100,6 +101,15 @@ ServiceSession::ServiceSession(ServiceConfig cfg, WriteFn write)
   m_failed = &metrics_->counter("service.jobs.failed", Stability::Timing);
   m_rejected =
       &metrics_->counter("service.jobs.rejected", Stability::Timing);
+  // Sweep telemetry for live dashboards (service_top): points streamed,
+  // points answered from cache, and sweeps currently executing.
+  m_sweep_points =
+      &metrics_->counter("service.sweep.points", Stability::Timing);
+  m_sweep_points_cached =
+      &metrics_->counter("service.sweep.points_cached", Stability::Timing);
+  m_sweeps_active =
+      &metrics_->gauge("service.sweep.active", Stability::Timing);
+  m_sweeps_active->set(0.0);
   m_queue_depth = &metrics_->gauge("service.queue.depth", Stability::Timing);
   m_queue_depth->set(0.0);
   m_queue_wait = &metrics_->histogram("service.queue_wait_ms",
@@ -543,6 +553,12 @@ void ServiceSession::run_job(Job& job, int worker) {
   }
 }
 
+void ServiceSession::sweep_active(int delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_sweeps_ += delta;
+  m_sweeps_active->set((double)active_sweeps_);
+}
+
 void ServiceSession::mark_cancelled(Job& job) {
   job.state.store(JobState::Cancelled, std::memory_order_relaxed);
   {
@@ -585,6 +601,13 @@ void ServiceSession::run_submit(Job& job, int worker) {
 void ServiceSession::run_sweep(Job& job, int worker) {
   using clock = std::chrono::steady_clock;
   const auto t0 = clock::now();
+  // service.sweep.active covers every exit path (done, cancelled, or a
+  // thrown failure unwinding through run_job).
+  struct ActiveGuard {
+    ServiceSession* s;
+    explicit ActiveGuard(ServiceSession* s_) : s(s_) { s->sweep_active(+1); }
+    ~ActiveGuard() { s->sweep_active(-1); }
+  } active_guard(this);
   const std::size_t total = job.points.size();
   std::uint64_t digest = kSweepDigestSeed;
   std::uint64_t hits = 0, misses = 0;
@@ -621,6 +644,8 @@ void ServiceSession::run_sweep(Job& job, int worker) {
       cache_->put(key, payload);
     }
     (hit ? hits : misses) += 1;
+    m_sweep_points->add();
+    if (hit) m_sweep_points_cached->add();
     ops_base += point.total_ops();
     job.ops_done.store(ops_base, std::memory_order_relaxed);
     job.points_done.store(i + 1, std::memory_order_relaxed);
@@ -646,6 +671,45 @@ bool ServiceSession::simulate(const SubmitRequest& req,
                               std::uint64_t base_ops, int worker,
                               std::string* payload,
                               std::uint64_t* ops_done) {
+  if (req.mode == SimMode::Model) {
+    // Design-point evaluation: no engine run, no shards.  The whole point
+    // is cheap enough that it is not a cancellation point — abort lands at
+    // the enclosing sweep's next point boundary.
+    const dse::DseConfig cfg = req.model_config();
+    dse::DseMetrics m;
+    {
+      TraceSpan span(cfg_.trace, "model-eval", "service", worker);
+      span.arg("req", job.req_tag);
+      span.arg("job", job.id);
+      span.arg("key", cache_key);
+      m = dse::eval_design(cfg);
+    }
+    *ops_done = req.total_ops();
+    // Deterministic payload: every value below is a pure function of the
+    // canonical key (dse::eval_design is seeded and wall-clock free), so
+    // model points keep the byte-identical-replay contract.
+    Report rep("csfma_serve");
+    rep.meta("mode", to_string(req.mode));
+    rep.meta("unit", to_string(req.unit));
+    rep.meta("rounding", to_string(req.rm));
+    rep.meta("seed", req.seed);
+    rep.meta("block", cfg.block);
+    rep.meta("group", cfg.group);
+    rep.meta("rwidth", cfg.resolved_round_width());
+    rep.meta("select", dse::to_string(cfg.select));
+    rep.meta("depth", cfg.depth);
+    rep.meta("ops", cfg.ops);
+    rep.meta("cache_key", cache_key);
+    rep.metric("delay_ns", m.delay_ns);
+    rep.metric("cycles", (std::uint64_t)m.cycles);
+    rep.metric("fmax_mhz", m.fmax_mhz);
+    rep.metric("luts", (std::uint64_t)m.luts);
+    rep.metric("dsps", (std::uint64_t)m.dsps);
+    rep.metric("toggles_per_op", m.toggles_per_op);
+    rep.metric("energy_nj", m.energy_nj);
+    *payload = rep.to_json();
+    return true;
+  }
   EngineConfig ecfg;
   ecfg.unit = req.unit;
   ecfg.threads = req.threads;
@@ -709,6 +773,8 @@ bool ServiceSession::simulate(const SubmitRequest& req,
         chained_results = std::move(r.results);
         break;
       }
+      case SimMode::Model:
+        CSFMA_CHECK(false);  // handled by the early return above
     }
   }
   if (req.mode == SimMode::Chained && !stats.aborted)

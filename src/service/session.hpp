@@ -178,6 +178,9 @@ class ServiceSession {
   bool reject_if_busy_locked(const char* type, const RequestCtx& ctx);
   void enqueue(Job* job);
   void mark_cancelled(Job& job);
+  /// Adjust the running-sweep count and mirror it into the
+  /// service.sweep.active gauge.
+  void sweep_active(int delta);
 
   void on_submit(const RequestCtx& ctx, const SubmitRequest& req);
   void on_sweep(const RequestCtx& ctx, const SweepRequest& req);
@@ -202,6 +205,9 @@ class ServiceSession {
   Counter* m_cancelled = nullptr;
   Counter* m_failed = nullptr;
   Counter* m_rejected = nullptr;
+  Counter* m_sweep_points = nullptr;
+  Counter* m_sweep_points_cached = nullptr;
+  Gauge* m_sweeps_active = nullptr;
   Gauge* m_queue_depth = nullptr;
   Histogram* m_queue_wait = nullptr;
 
@@ -212,6 +218,7 @@ class ServiceSession {
   std::unordered_map<std::string, Job*> by_id_;
   std::deque<Job*> queue_;
   int active_ = 0;
+  int active_sweeps_ = 0;
   bool stop_ = false;
   bool shutdown_ = false;
   bool bye_sent_ = false;

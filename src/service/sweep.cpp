@@ -16,8 +16,10 @@ std::vector<SweepPoint> expand_sweep(const SweepRequest& req) {
   base.threads = req.threads;
   base.emin = req.emin;
   base.emax = req.emax;
-  // Fixed nesting, outermost first: unit, rounding, seed, ops|chains,
-  // depth.  This order IS the point-index contract (docs/service.md).
+  // Fixed nesting, outermost first: unit, rounding, seed, then the
+  // mode-specific axes — ops|chains, depth for the engine modes; block,
+  // group, rwidth, select, depth, ops for model sweeps.  This order IS
+  // the point-index contract (docs/service.md).
   for (UnitKind unit : req.units) {
     for (Round rm : req.rms) {
       for (std::uint64_t seed : req.seeds) {
@@ -31,6 +33,26 @@ std::vector<SweepPoint> expand_sweep(const SweepRequest& req) {
               r.chains = chains;
               r.depth = depth;
               push(r);
+            }
+          }
+        } else if (req.mode == SimMode::Model) {
+          for (int block : req.blocks) {
+            for (int group : req.groups) {
+              for (int rwidth : req.rwidths) {
+                for (dse::BlockSelect select : req.selects) {
+                  for (int depth : req.depths) {
+                    for (std::uint64_t ops : req.ops) {
+                      r.block = block;
+                      r.group = group;
+                      r.rwidth = rwidth;
+                      r.select = select;
+                      r.depth = depth;
+                      r.ops = ops;
+                      push(r);
+                    }
+                  }
+                }
+              }
             }
           }
         } else {
@@ -82,6 +104,21 @@ void put_point_params(JsonWriter& w, const SubmitRequest& p) {
     w.value(p.chains);
     w.key("depth");
     w.value(p.depth);
+  } else if (p.mode == SimMode::Model) {
+    w.key("block");
+    w.value(p.block);
+    w.key("group");
+    w.value(p.group);
+    w.key("rwidth");
+    w.value(p.rwidth);
+    w.key("select");
+    w.value(dse::to_string(p.select));
+    w.key("depth");
+    w.value(p.depth);
+    w.key("ops");
+    w.value(p.ops);
+    w.end_object();
+    return;  // shard_ops is not result-determining for model points
   } else {
     w.key("ops");
     w.value(p.ops);

@@ -13,14 +13,18 @@ const char* to_string(Stability s) {
 }
 
 double HistogramSnapshot::percentile(double q) const {
+  // Hardened edges: an empty histogram (a registry serving its first stats
+  // request has observed nothing yet) answers 0.0 for every quantile, and a
+  // non-finite q is clamped instead of silently failing every comparison
+  // below and "answering" the top bound.
   if (count == 0) return 0.0;
-  if (q < 0.0) q = 0.0;
+  if (!(q >= 0.0)) q = 0.0;  // NaN and negatives alike
   if (q > 1.0) q = 1.0;
   const double rank = q * (double)count;
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < counts.size(); ++i) {
     const std::uint64_t in_bucket = counts[i];
-    if (in_bucket == 0) continue;
+    if (in_bucket == 0) continue;  // never interpolate across empty buckets
     if ((double)(cum + in_bucket) >= rank) {
       if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
       const double lo = i == 0 ? 0.0 : bounds[i - 1];

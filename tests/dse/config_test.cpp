@@ -1,0 +1,72 @@
+// DseConfig: knob validation ranges (shared verbatim by the service's
+// model-mode request parsing), rounding-width resolution, and the
+// BlockSelect spelling round trip.
+#include "dse/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace csfma::dse {
+namespace {
+
+TEST(DseConfig, DefaultsAreThePaperGeometryAndValid) {
+  DseConfig cfg;
+  EXPECT_EQ(cfg.unit, UnitKind::Pcs);
+  EXPECT_EQ(cfg.block, 55);
+  EXPECT_EQ(cfg.group, 11);
+  EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(DseConfig, RoundWidthZeroResolvesToOneBlock) {
+  DseConfig cfg;
+  EXPECT_EQ(cfg.resolved_round_width(), 55);
+  cfg.round_width = 11;
+  EXPECT_EQ(cfg.resolved_round_width(), 11);
+  cfg.block = 29;
+  cfg.round_width = 0;
+  EXPECT_EQ(cfg.resolved_round_width(), 29);
+}
+
+TEST(DseConfig, ValidateNamesTheOffendingField) {
+  DseConfig cfg;
+  cfg.block = 7;
+  EXPECT_NE(cfg.validate().find("\"block\""), std::string::npos);
+  cfg.block = 63;
+  EXPECT_NE(cfg.validate().find("\"block\""), std::string::npos);
+  cfg = DseConfig{};
+  cfg.group = 1;
+  EXPECT_NE(cfg.validate().find("\"group\""), std::string::npos);
+  cfg = DseConfig{};
+  cfg.round_width = 257;
+  EXPECT_NE(cfg.validate().find("\"rwidth\""), std::string::npos);
+  cfg = DseConfig{};
+  cfg.depth = 0;
+  EXPECT_NE(cfg.validate().find("\"depth\""), std::string::npos);
+  cfg = DseConfig{};
+  cfg.ops = 0;
+  EXPECT_NE(cfg.validate().find("\"ops\""), std::string::npos);
+}
+
+TEST(DseConfig, PcsRequiresGroupDividingBlockFcsDoesNot) {
+  DseConfig cfg;
+  cfg.block = 56;  // 56 % 11 != 0
+  EXPECT_NE(cfg.validate().find("divide"), std::string::npos);
+  cfg.unit = UnitKind::Fcs;
+  EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(BlockSelect, SpellingRoundTrips) {
+  EXPECT_STREQ(to_string(BlockSelect::Lza), "lza");
+  EXPECT_STREQ(to_string(BlockSelect::Zd), "zd");
+  BlockSelect s = BlockSelect::Lza;
+  EXPECT_TRUE(parse_block_select("zd", s));
+  EXPECT_EQ(s, BlockSelect::Zd);
+  EXPECT_TRUE(parse_block_select("lza", s));
+  EXPECT_EQ(s, BlockSelect::Lza);
+  EXPECT_FALSE(parse_block_select("LZA", s));
+  EXPECT_FALSE(parse_block_select("", s));
+}
+
+}  // namespace
+}  // namespace csfma::dse

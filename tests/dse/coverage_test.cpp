@@ -1,0 +1,72 @@
+// CoverageTracker: per-axis-value accounting and the latency-derived
+// ETA (docs/dse.md, "Coverage and progress").
+#include "dse/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace csfma::dse {
+namespace {
+
+using AxisValues = std::vector<std::pair<std::string, std::string>>;
+
+TEST(Coverage, RecordsUnderEveryAxisValue) {
+  CoverageTracker cov;
+  cov.add_expected("block", "33", 2);
+  cov.add_expected("block", "55", 2);
+  cov.add_expected("select", "lza", 2);
+  cov.add_expected("select", "zd", 2);
+  cov.set_total(4);
+
+  cov.record(AxisValues{{"block", "33"}, {"select", "lza"}},
+             /*cached=*/false, /*failed=*/false);
+  cov.record(AxisValues{{"block", "33"}, {"select", "zd"}},
+             /*cached=*/true, /*failed=*/false);
+  cov.record(AxisValues{{"block", "55"}, {"select", "lza"}},
+             /*cached=*/false, /*failed=*/true);
+
+  EXPECT_EQ(cov.total(), 4u);
+  EXPECT_EQ(cov.done(), 3u);
+  EXPECT_EQ(cov.cached(), 1u);
+  EXPECT_EQ(cov.failed(), 1u);
+
+  const auto& b33 = cov.axes().at("block").at("33");
+  EXPECT_EQ(b33.expected, 2u);
+  EXPECT_EQ(b33.done, 2u);
+  EXPECT_EQ(b33.cached, 1u);
+  EXPECT_EQ(b33.failed, 0u);
+  const auto& b55 = cov.axes().at("block").at("55");
+  EXPECT_EQ(b55.done, 1u);
+  EXPECT_EQ(b55.failed, 1u);
+  const auto& zd = cov.axes().at("select").at("zd");
+  EXPECT_EQ(zd.done, 1u);
+  EXPECT_EQ(zd.cached, 1u);
+}
+
+TEST(Coverage, EtaIsRemainingTimesMeanFreshLatency) {
+  CoverageTracker cov;
+  cov.set_total(10);
+  EXPECT_DOUBLE_EQ(cov.eta_seconds(), 0.0);  // no observation yet
+  cov.record(AxisValues{{"block", "33"}}, false, false);
+  cov.record(AxisValues{{"block", "33"}}, false, false);
+  cov.observe_latency(1.0);
+  cov.observe_latency(3.0);  // mean 2.0 s/point, 8 points remain
+  EXPECT_DOUBLE_EQ(cov.eta_seconds(), 16.0);
+}
+
+TEST(Coverage, EtaClampsWhenOverComplete) {
+  // More recorded than declared (e.g. a re-run against a stale total)
+  // must not produce a negative ETA.
+  CoverageTracker cov;
+  cov.set_total(1);
+  cov.record(AxisValues{{"block", "33"}}, false, false);
+  cov.record(AxisValues{{"block", "33"}}, false, false);
+  cov.observe_latency(5.0);
+  EXPECT_GE(cov.eta_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace csfma::dse

@@ -1,0 +1,122 @@
+// eval_design / build_model_chain: the exploration's origin points are
+// exactly the fixed Table I builders (component for component), the
+// Table II energy anchors hold, and evaluation is a pure function of
+// the DseConfig (the cacheability contract behind the canonical key).
+#include "dse/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fpga/architectures.hpp"
+#include "fpga/device.hpp"
+
+namespace csfma::dse {
+namespace {
+
+void expect_same_chain(const std::vector<Component>& got,
+                       const std::vector<Component>& want,
+                       const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const Component& g = got[i];
+    const Component& w = want[i];
+    EXPECT_EQ(g.name, w.name) << label << "[" << i << "]";
+    EXPECT_EQ(g.sub_delays, w.sub_delays) << label << "[" << i << "] "
+                                          << g.name;
+    EXPECT_EQ(g.area.luts, w.area.luts) << label << "[" << i << "] "
+                                        << g.name;
+    EXPECT_EQ(g.area.dsps, w.area.dsps) << label << "[" << i << "] "
+                                        << g.name;
+    EXPECT_EQ(g.off_critical_path, w.off_critical_path)
+        << label << "[" << i << "] " << g.name;
+  }
+}
+
+TEST(EvalChain, PcsDefaultGeometryMatchesFixedBuilder) {
+  const Device dev = virtex6();
+  DseConfig cfg;  // unit pcs, block 55, group 11, rwidth 0 -> 55
+  expect_same_chain(build_model_chain(cfg, dev), build_pcs_fma(dev), "pcs");
+}
+
+TEST(EvalChain, FcsBaselineGeometryMatchesFixedBuilders) {
+  const Device dev = virtex6();
+  DseConfig cfg;
+  cfg.unit = UnitKind::Fcs;
+  cfg.block = 29;  // the fixed FCS builders' block size (3 x 29 digits)
+  cfg.select = BlockSelect::Lza;
+  expect_same_chain(build_model_chain(cfg, dev), build_fcs_fma(dev),
+                    "fcs-lza");
+  cfg.select = BlockSelect::Zd;
+  expect_same_chain(build_model_chain(cfg, dev), build_fcs_fma_zd(dev),
+                    "fcs-zd");
+}
+
+TEST(EvalChain, DiscreteAndClassicMatchTheFixedBuildersAtDefaultWidth) {
+  const Device dev = virtex6();
+  DseConfig cfg;
+  cfg.unit = UnitKind::Discrete;  // CoreGen pair, concatenated
+  std::vector<Component> want = build_coregen_mul(dev);
+  const std::vector<Component> add = build_coregen_add(dev);
+  want.insert(want.end(), add.begin(), add.end());
+  expect_same_chain(build_model_chain(cfg, dev), want, "discrete");
+
+  cfg.unit = UnitKind::Classic;
+  expect_same_chain(build_model_chain(cfg, dev), build_flopoco_fused(dev),
+                    "classic");
+}
+
+TEST(EvalDesign, TableIIEnergyAnchorsHold) {
+  // The energy coefficients are calibrated against the Table II anchors
+  // with this model's own toggles and LUTs, so the anchor points land
+  // exactly: discrete 0.54 nJ, paper-geometry PCS 2.67 nJ.
+  DseConfig pcs;
+  EXPECT_NEAR(eval_design(pcs).energy_nj, 2.67, 1e-9);
+  DseConfig disc;
+  disc.unit = UnitKind::Discrete;
+  EXPECT_NEAR(eval_design(disc).energy_nj, 0.54, 1e-9);
+}
+
+TEST(EvalDesign, PaperPcsPointReportsTheShippingFigures) {
+  const DseMetrics m = eval_design(DseConfig{});
+  EXPECT_EQ(m.luts, 5802);
+  EXPECT_EQ(m.dsps, 21);
+  EXPECT_GT(m.fmax_mhz, 0.0);
+  EXPECT_GT(m.cycles, 0);
+  EXPECT_NEAR(m.delay_ns, m.cycles * 1000.0 / m.fmax_mhz, 1e-12);
+}
+
+TEST(EvalDesign, IsAPureFunctionOfTheConfig) {
+  DseConfig cfg;
+  cfg.unit = UnitKind::Fcs;
+  cfg.block = 33;
+  cfg.round_width = 11;
+  cfg.select = BlockSelect::Zd;
+  cfg.depth = 12;
+  const DseMetrics a = eval_design(cfg);
+  const DseMetrics b = eval_design(cfg);
+  EXPECT_EQ(a.delay_ns, b.delay_ns);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.fmax_mhz, b.fmax_mhz);
+  EXPECT_EQ(a.luts, b.luts);
+  EXPECT_EQ(a.dsps, b.dsps);
+  EXPECT_EQ(a.toggles_per_op, b.toggles_per_op);
+  EXPECT_EQ(a.energy_nj, b.energy_nj);
+}
+
+TEST(EvalDesign, KnobsActuallyMoveTheMetrics) {
+  // Smaller rounding width trims LUTs; a deeper pipeline adds cycles.
+  DseConfig base;
+  DseConfig narrow = base;
+  narrow.round_width = 11;
+  EXPECT_LT(eval_design(narrow).luts, eval_design(base).luts);
+  DseConfig deep = base;
+  deep.depth = 16;
+  DseConfig shallow = base;
+  shallow.depth = 2;
+  EXPECT_GT(eval_design(deep).cycles, eval_design(shallow).cycles);
+}
+
+}  // namespace
+}  // namespace csfma::dse

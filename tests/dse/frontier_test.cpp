@@ -1,0 +1,110 @@
+// ParetoFrontier: dominance, the lexicographic-key tie-break, the
+// eviction log, and the property the explorer's determinism contract
+// rests on — membership is a pure function of the point SET, never of
+// insertion order (docs/dse.md, "Determinism contract").
+#include "dse/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace csfma::dse {
+namespace {
+
+FrontierPoint pt(const std::string& key, double delay, double luts,
+                 double dsps, double energy) {
+  return {key, {delay, luts, dsps, energy}};
+}
+
+std::vector<std::string> keys_of(const ParetoFrontier& f) {
+  std::vector<std::string> out;
+  for (const auto& p : f.sorted()) out.push_back(p.key);
+  return out;
+}
+
+TEST(Dominates, RequiresNoWorseEverywhereStrictlyBetterSomewhere) {
+  const Objectives a{1.0, 10.0, 2.0, 0.5};
+  const Objectives b{2.0, 10.0, 2.0, 0.5};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+  EXPECT_FALSE(dominates(a, a));  // equal vectors dominate neither way
+  const Objectives c{0.5, 20.0, 2.0, 0.5};  // trade-off: incomparable
+  EXPECT_FALSE(dominates(a, c));
+  EXPECT_FALSE(dominates(c, a));
+}
+
+TEST(ParetoFrontier, DominatedArrivalsAreRejectedAndCounted) {
+  ParetoFrontier f;
+  EXPECT_TRUE(f.insert(pt("aa", 1.0, 100, 1, 1.0)));
+  EXPECT_FALSE(f.insert(pt("bb", 2.0, 200, 2, 2.0)));  // dominated
+  EXPECT_FALSE(f.insert(pt("cc", 1.0, 100, 1, 2.0)));  // dominated
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.rejected(), 2u);
+  EXPECT_TRUE(f.evictions().empty());
+}
+
+TEST(ParetoFrontier, NewcomerEvictsEveryIncumbentItBeats) {
+  ParetoFrontier f;
+  // Two incomparable incumbents...
+  EXPECT_TRUE(f.insert(pt("aa", 1.0, 200, 1, 1.0)));
+  EXPECT_TRUE(f.insert(pt("bb", 2.0, 100, 1, 1.0)));
+  // ...both dominated by one newcomer.
+  EXPECT_TRUE(f.insert(pt("cc", 1.0, 100, 1, 1.0)));
+  EXPECT_EQ(keys_of(f), (std::vector<std::string>{"cc"}));
+  ASSERT_EQ(f.evictions().size(), 2u);
+  for (const auto& e : f.evictions()) {
+    EXPECT_EQ(e.by, "cc");
+    EXPECT_EQ(e.reason, "dominated");
+  }
+}
+
+TEST(ParetoFrontier, ExactTieKeepsLexicographicallySmallestKey) {
+  // Same objective vector, both arrival orders: "aa" always survives.
+  ParetoFrontier first;
+  EXPECT_TRUE(first.insert(pt("aa", 1.0, 100, 1, 1.0)));
+  EXPECT_FALSE(first.insert(pt("bb", 1.0, 100, 1, 1.0)));
+  EXPECT_EQ(keys_of(first), (std::vector<std::string>{"aa"}));
+  EXPECT_EQ(first.rejected(), 1u);
+  EXPECT_TRUE(first.evictions().empty());
+
+  ParetoFrontier second;
+  EXPECT_TRUE(second.insert(pt("bb", 1.0, 100, 1, 1.0)));
+  EXPECT_TRUE(second.insert(pt("aa", 1.0, 100, 1, 1.0)));
+  EXPECT_EQ(keys_of(second), (std::vector<std::string>{"aa"}));
+  ASSERT_EQ(second.evictions().size(), 1u);
+  EXPECT_EQ(second.evictions()[0].evicted, "bb");
+  EXPECT_EQ(second.evictions()[0].reason, "tie");
+}
+
+TEST(ParetoFrontier, MembershipIsInsertionOrderInvariant) {
+  std::vector<FrontierPoint> pts = {
+      pt("aa", 1.0, 400, 4, 4.0), pt("bb", 4.0, 100, 4, 4.0),
+      pt("cc", 4.0, 400, 1, 4.0), pt("dd", 2.0, 500, 5, 5.0),
+      pt("ee", 1.0, 400, 4, 4.0),  // exact tie with "aa"
+      pt("ff", 5.0, 500, 5, 5.0),  // dominated by everything useful
+  };
+  std::sort(pts.begin(), pts.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  std::vector<std::string> want;
+  {
+    ParetoFrontier f;
+    for (const auto& p : pts) f.insert(p);
+    want = keys_of(f);
+  }
+  EXPECT_EQ(want, (std::vector<std::string>{"aa", "bb", "cc"}));
+  int perm = 0;
+  do {
+    ParetoFrontier f;
+    for (const auto& p : pts) f.insert(p);
+    EXPECT_EQ(keys_of(f), want) << "permutation " << perm;
+    ++perm;
+  } while (std::next_permutation(
+      pts.begin(), pts.end(),
+      [](const auto& a, const auto& b) { return a.key < b.key; }));
+  EXPECT_EQ(perm, 720);  // all 6! orders actually ran
+}
+
+}  // namespace
+}  // namespace csfma::dse

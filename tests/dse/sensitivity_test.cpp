@@ -1,0 +1,85 @@
+// axis_sensitivity: adjacent same-context deltas, numeric value
+// ordering, the median statistic, and duplicate-config handling
+// (docs/dse.md, "Sensitivity").
+#include "dse/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace csfma::dse {
+namespace {
+
+SensPoint sp(const std::string& block, const std::string& depth,
+             double delay, double luts) {
+  SensPoint p;
+  p.axes = {{"block", block}, {"depth", depth}};
+  p.obj = {delay, luts, 0.0, 0.0};
+  return p;
+}
+
+TEST(Sensitivity, AdjacentDeltasWithinOneContext) {
+  // One context (depth=8), three block values: two adjacent pairs.
+  const std::vector<SensPoint> pts = {
+      sp("8", "8", 10.0, 100.0),
+      sp("16", "8", 14.0, 160.0),
+      sp("32", "8", 15.0, 300.0),
+  };
+  const auto s = axis_sensitivity(pts);
+  ASSERT_EQ(s.count("block"), 1u);
+  EXPECT_EQ(s.at("block").pairs, 2u);
+  // Deltas 4.0 and 1.0: even count, median = mean of the two middles.
+  EXPECT_DOUBLE_EQ(s.at("block").delay_ns, 2.5);
+  EXPECT_DOUBLE_EQ(s.at("block").luts, 100.0);  // median of {60, 140}
+  // The depth axis has a single value everywhere: no pair anywhere.
+  ASSERT_EQ(s.count("depth"), 1u);
+  EXPECT_EQ(s.at("depth").pairs, 0u);
+  EXPECT_DOUBLE_EQ(s.at("depth").delay_ns, 0.0);
+}
+
+TEST(Sensitivity, ValuesOrderNumericallyNotLexicographically) {
+  // Lexicographically "11" < "8"; numerically 8 < 11 < 55.  The adjacent
+  // pairs must be (8,11) and (11,55) — deltas 1.0 and 2.0 — not the
+  // string-order pairs (11,55),(55,8) with deltas 2.0 and 3.0.
+  const std::vector<SensPoint> pts = {
+      sp("55", "8", 13.0, 0.0),
+      sp("8", "8", 10.0, 0.0),
+      sp("11", "8", 11.0, 0.0),
+  };
+  const auto s = axis_sensitivity(pts);
+  EXPECT_EQ(s.at("block").pairs, 2u);
+  EXPECT_DOUBLE_EQ(s.at("block").delay_ns, 1.5);  // median of {1.0, 2.0}
+}
+
+TEST(Sensitivity, ContextsDoNotMixAndOddCountTakesMiddle) {
+  // Two depth contexts, each with its own block pair: the deltas pool
+  // across contexts for the axis median.
+  const std::vector<SensPoint> pts = {
+      sp("8", "4", 10.0, 0.0),  sp("16", "4", 11.0, 0.0),   // delta 1.0
+      sp("8", "8", 20.0, 0.0),  sp("16", "8", 25.0, 0.0),   // delta 5.0
+      sp("8", "16", 30.0, 0.0), sp("16", "16", 39.0, 0.0),  // delta 9.0
+  };
+  const auto s = axis_sensitivity(pts);
+  EXPECT_EQ(s.at("block").pairs, 3u);
+  EXPECT_DOUBLE_EQ(s.at("block").delay_ns, 5.0);  // odd count: the middle
+  // And the depth axis sees two contexts (block=8, block=16) with two
+  // adjacent pairs each.
+  EXPECT_EQ(s.at("depth").pairs, 4u);
+}
+
+TEST(Sensitivity, DuplicateConfigsContributeNoPair) {
+  const std::vector<SensPoint> pts = {
+      sp("8", "8", 10.0, 0.0),
+      sp("8", "8", 99.0, 0.0),  // same config again (e.g. a replayed point)
+  };
+  const auto s = axis_sensitivity(pts);
+  EXPECT_EQ(s.at("block").pairs, 0u);
+}
+
+TEST(Sensitivity, EmptyInputYieldsNoAxes) {
+  EXPECT_TRUE(axis_sensitivity({}).empty());
+}
+
+}  // namespace
+}  // namespace csfma::dse

@@ -195,6 +195,60 @@ class BenchCompareTest(unittest.TestCase):
         r = self.run_compare("--fail-pct", "6", a, b)
         self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
 
+    def write_history(self, medians, host="testhost/x86_64", mad=0.001):
+        """One BENCH_*.json snapshot per median, under tmp/history/."""
+        hist = os.path.join(self.tmp.name, "history")
+        os.makedirs(hist, exist_ok=True)
+        for i, med in enumerate(medians):
+            self.write(os.path.join("history", f"BENCH_run{i:03}.json"),
+                       make_doc(median=med, mad=mad, host=host))
+        return hist
+
+    def test_history_tightens_the_fail_gate(self):
+        # Six stable snapshots (~0.1% scatter): the derived gate clamps
+        # to the 5% floor, so a +8% regression — fine under the global
+        # 15% gate — now fails.
+        hist = self.write_history([1.0, 1.001, 0.999, 1.0, 1.001, 0.999])
+        a = self.write("a.json", make_doc(median=1.0, mad=0.001))
+        b = self.write("b.json", make_doc(median=1.08, mad=0.001))
+        r = self.run_compare(a, b)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)  # global ok
+        r = self.run_compare("--history", hist, a, b)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("derived from 6 snapshot(s)", r.stderr)
+        self.assertIn("%*", r.stdout)  # derived gates are marked
+
+    def test_history_never_loosens_beyond_global(self):
+        # Wildly scattered history must not push the gate past the
+        # global fail threshold: a +20% regression still fails.
+        hist = self.write_history([1.0, 1.4, 0.7, 1.3, 0.8, 1.2])
+        a = self.write("a.json", make_doc(median=1.0, mad=0.001))
+        b = self.write("b.json", make_doc(median=1.2, mad=0.001))
+        r = self.run_compare("--history", hist, a, b)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+
+    def test_thin_history_falls_back_to_global(self):
+        hist = self.write_history([1.0, 1.001, 0.999])  # < MIN_HISTORY
+        a = self.write("a.json", make_doc(median=1.0, mad=0.001))
+        b = self.write("b.json", make_doc(median=1.08, mad=0.001))
+        r = self.run_compare("--history", hist, a, b)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("too thin", r.stdout)
+
+    def test_cross_host_history_is_ignored(self):
+        # Plenty of snapshots, all from another machine: fall back.
+        hist = self.write_history([1.0] * 6, host="other/aarch64")
+        a = self.write("a.json", make_doc(median=1.0, mad=0.001))
+        b = self.write("b.json", make_doc(median=1.08, mad=0.001))
+        r = self.run_compare("--history", hist, a, b)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("too thin", r.stdout)
+
+    def test_history_excluded_from_trend_mode(self):
+        r = self.run_compare("--trend", self.tmp.name, "--history",
+                             self.tmp.name)
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+
     def test_trend_table(self):
         os.mkdir(os.path.join(self.tmp.name, "run1"))
         os.mkdir(os.path.join(self.tmp.name, "run2"))

@@ -220,6 +220,117 @@ TEST(Protocol, ChainedSweepUsesChainsAndDepth) {
   EXPECT_EQ(r.point_count(), 1u * 2u * 2u * 2u);
 }
 
+TEST(Protocol, ParsesModelSubmitWithDesignKnobs) {
+  SubmitRequest r = submit_of(
+      R"({"type":"submit","mode":"model","unit":"fcs","seed":3,)"
+      R"("block":33,"group":11,"rwidth":11,"select":"zd","depth":12,)"
+      R"("ops":64})");
+  EXPECT_EQ(r.mode, SimMode::Model);
+  EXPECT_EQ(r.block, 33);
+  EXPECT_EQ(r.group, 11);
+  EXPECT_EQ(r.rwidth, 11);
+  EXPECT_EQ(r.select, dse::BlockSelect::Zd);
+  EXPECT_EQ(r.depth, 12);
+  EXPECT_EQ(r.total_ops(), 64u);
+  const dse::DseConfig cfg = r.model_config();
+  EXPECT_EQ(cfg.unit, UnitKind::Fcs);
+  EXPECT_EQ(cfg.block, 33);
+  EXPECT_EQ(cfg.resolved_round_width(), 11);
+  EXPECT_EQ(cfg.select, dse::BlockSelect::Zd);
+}
+
+TEST(Protocol, ModelSubmitDefaultsAreThePaperGeometry) {
+  SubmitRequest r = submit_of(
+      R"({"type":"submit","mode":"model","unit":"pcs","seed":1})");
+  EXPECT_EQ(r.block, 55);
+  EXPECT_EQ(r.group, 11);
+  EXPECT_EQ(r.rwidth, 0);
+  EXPECT_EQ(r.select, dse::BlockSelect::Lza);
+  EXPECT_EQ(r.depth, 8);
+  EXPECT_EQ(r.total_ops(), 32u);  // the default energy workload
+}
+
+TEST(Protocol, ModelSubmitValidation) {
+  expect_error(
+      R"({"type":"submit","mode":"model","unit":"pcs","seed":1,"block":7})",
+      ServiceError::BadRequest, "\"block\"");
+  expect_error(
+      R"({"type":"submit","mode":"model","unit":"pcs","seed":1,)"
+      R"("block":56})",
+      ServiceError::BadRequest, "divide");
+  expect_error(
+      R"({"type":"submit","mode":"model","unit":"pcs","seed":1,)"
+      R"("select":"guess"})",
+      ServiceError::BadRequest, "\"select\"");
+  // The design knobs belong to model mode alone.
+  expect_error(
+      R"({"type":"submit","unit":"pcs","seed":1,"ops":10,"block":55})",
+      ServiceError::BadRequest, "model");
+}
+
+TEST(Protocol, ModelCacheKeyResolvesRoundingWidth) {
+  // rwidth 0 means one block: the default spelling and the explicit
+  // width are the same design and must share one cache entry.
+  const std::string implicit_width =
+      R"({"type":"submit","mode":"model","unit":"pcs","seed":1})";
+  const std::string explicit_width =
+      R"({"type":"submit","mode":"model","unit":"pcs","seed":1,)"
+      R"("rwidth":55})";
+  EXPECT_EQ(submit_of(implicit_width).cache_key(),
+            submit_of(explicit_width).cache_key());
+  // While a genuinely different width is a different design.
+  const std::string narrow =
+      R"({"type":"submit","mode":"model","unit":"pcs","seed":1,)"
+      R"("rwidth":11})";
+  EXPECT_NE(submit_of(narrow).cache_key(),
+            submit_of(implicit_width).cache_key());
+  // shard_ops and threads stay excluded, as in every other mode.
+  const std::string sharded =
+      R"({"type":"submit","mode":"model","unit":"pcs","seed":1,)"
+      R"("shard_ops":64,"threads":3})";
+  EXPECT_EQ(submit_of(sharded).cache_key(),
+            submit_of(implicit_width).cache_key());
+}
+
+TEST(Protocol, ModelCanonicalKeyCarriesEveryDesignKnob) {
+  SubmitRequest r = submit_of(
+      R"({"type":"submit","mode":"model","unit":"fcs","seed":2,)"
+      R"("block":29,"group":29,"rwidth":11,"select":"zd","depth":4,)"
+      R"("ops":16})");
+  EXPECT_EQ(r.canonical_key(),
+            "mode=model&unit=fcs&rm=nearest-even&seed=2&block=29&group=29"
+            "&rwidth=11&select=zd&depth=4&ops=16");
+}
+
+TEST(Protocol, ParsesModelSweepAxes) {
+  SweepRequest r = sweep_of(
+      R"({"type":"sweep","mode":"model","unit":["pcs","fcs"],"seed":1,)"
+      R"("block":[33,55],"group":11,"rwidth":[0,11],"select":["lza","zd"],)"
+      R"("depth":[4,8]})");
+  EXPECT_EQ(r.mode, SimMode::Model);
+  EXPECT_EQ(r.blocks.size(), 2u);
+  EXPECT_EQ(r.rwidths.size(), 2u);
+  EXPECT_EQ(r.selects.size(), 2u);
+  EXPECT_EQ(r.ops, (std::vector<std::uint64_t>{32}));   // model default
+  EXPECT_EQ(r.depths, (std::vector<int>{4, 8}));
+  EXPECT_EQ(r.point_count(), 2u * 2u * 2u * 2u * 2u);
+}
+
+TEST(Protocol, ModelSweepValidation) {
+  expect_error(
+      R"({"type":"sweep","mode":"model","unit":"pcs","seed":1,)"
+      R"("block":[7]})",
+      ServiceError::BadRequest, "\"block\"");
+  expect_error(
+      R"({"type":"sweep","mode":"model","unit":"pcs","seed":1,)"
+      R"("block":[55,56]})",
+      ServiceError::BadRequest, "divide");
+  expect_error(
+      R"({"type":"sweep","mode":"model","unit":"pcs","seed":1,)"
+      R"("chains":[4]})",
+      ServiceError::BadRequest, "chained");
+}
+
 TEST(Protocol, SweepValidation) {
   expect_error(R"({"type":"sweep","seed":1,"ops":10})",
                ServiceError::BadRequest, "\"unit\"");

@@ -476,6 +476,96 @@ TEST(ServiceSession, StatsReplyCarriesSnapshotAndLatencyHistograms) {
             ok_pct->find("p99")->as_number());
 }
 
+TEST(ServiceSession, ModelSubmitRoundTripCarriesTheDesignMetrics) {
+  LineSink sink;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  ServiceSession session(cfg, sink.fn());
+  session.handle_line(
+      R"({"type":"submit","id":"m1","mode":"model","unit":"pcs","seed":1})");
+  session.wait_idle();
+  auto results = sink.of_type("result");
+  ASSERT_EQ(results.size(), 1u);
+  const JsonValue* rep = results[0].find("report");
+  ASSERT_NE(rep, nullptr);
+  const JsonValue* meta = rep->find("meta");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->find("mode")->as_string(), "model");
+  EXPECT_EQ(meta->find("rwidth")->as_string(), "55");  // resolved, not 0
+  const JsonValue* metrics = rep->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  // The paper-geometry PCS point: the Fig 9 area and the Table II anchor.
+  EXPECT_EQ(metrics->find("luts")->as_int(), 5802);
+  EXPECT_EQ(metrics->find("dsps")->as_int(), 21);
+  EXPECT_NEAR(metrics->find("energy_nj")->as_number(), 2.67, 1e-9);
+  EXPECT_GT(metrics->find("delay_ns")->as_number(), 0.0);
+
+  // The same design spelled with an explicit rwidth is a cache hit.
+  session.handle_line(
+      R"({"type":"submit","id":"m2","mode":"model","unit":"pcs","seed":1,)"
+      R"("rwidth":55})");
+  session.wait_idle();
+  results = sink.of_type("result");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[1].find("cache")->as_string(), "hit");
+}
+
+TEST(ServiceSession, SweepMetricsCountPointsAndActiveSweeps) {
+  LineSink sink;
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  MetricsRegistry metrics;
+  cfg.metrics = &metrics;
+  ServiceSession session(cfg, sink.fn());
+  Gauge& active = metrics.gauge("service.sweep.active", Stability::Timing);
+  EXPECT_TRUE(active.is_set());
+  EXPECT_EQ(active.value(), 0.0);
+
+  session.handle_line(
+      R"({"type":"sweep","id":"s1","mode":"model","unit":"pcs","seed":1,)"
+      R"("rwidth":[0,55,11]})");
+  session.wait_idle();
+  // rwidth 0 and 55 resolve to the same design: 3 points, 1 cache hit.
+  EXPECT_EQ(sink.of_type("sweep_point").size(), 3u);
+  EXPECT_EQ(metrics.counter("service.sweep.points",
+                            Stability::Timing).value(), 3u);
+  EXPECT_EQ(metrics.counter("service.sweep.points_cached",
+                            Stability::Timing).value(), 1u);
+  EXPECT_EQ(active.value(), 0.0);  // returned to idle after the sweep
+}
+
+TEST(ServiceSession, StatsAsFirstRequestIsWellDefined) {
+  // A stats request on a completely fresh session — empty histograms,
+  // every counter zero — must answer with defined values (count 0,
+  // percentiles 0.0), not NaN or garbage ranks.
+  LineSink sink;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  ServiceSession session(cfg, sink.fn());
+  session.handle_line(R"({"type":"stats","id":"first"})");
+  auto stats = sink.of_type("stats");
+  ASSERT_EQ(stats.size(), 1u);
+  const JsonValue& s = stats[0];
+  EXPECT_EQ(s.find("id")->as_string(), "first");
+  const JsonValue* metrics = s.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  // The stats request itself is the only traffic so far.
+  EXPECT_EQ(metrics->find("counters")
+                ->find("service.requests")->find("value")->as_int(),
+            1);
+  const JsonValue* pct = s.find("percentiles");
+  ASSERT_NE(pct, nullptr);
+  for (const auto& [name, snap] : pct->as_object()) {
+    ASSERT_NE(snap.find("count"), nullptr) << name;
+    if (snap.find("count")->as_int() != 0) continue;
+    for (const char* q : {"p50", "p90", "p99"}) {
+      const JsonValue* v = snap.find(q);
+      ASSERT_NE(v, nullptr) << name;
+      EXPECT_EQ(v->as_number(), 0.0) << name << " " << q;
+    }
+  }
+}
+
 TEST(ServiceSession, TraceIdIsEchoedOnEveryReplyAndEvent) {
   LineSink sink;
   ServiceConfig cfg;

@@ -56,6 +56,34 @@ TEST(Sweep, ChainedExpansionVariesChainsThenDepth) {
   EXPECT_EQ(points[3].req.depth, 10);
 }
 
+TEST(Sweep, ModelExpansionCrossesTheDesignKnobAxes) {
+  // Model nesting: unit > rm > seed > block > group > rwidth > select >
+  // depth > ops — the explorer's global point indices depend on it.
+  SweepRequest req = sweep_of(
+      R"({"type":"sweep","mode":"model","unit":"fcs","seed":1,)"
+      R"("block":[29,33],"group":11,"rwidth":[0,11],)"
+      R"("select":["lza","zd"],"depth":8})");
+  const std::vector<SweepPoint> points = expand_sweep(req);
+  ASSERT_EQ(points.size(), 8u);
+  // block varies slowest of the three; select fastest.
+  const int want_block[] = {29, 29, 29, 29, 33, 33, 33, 33};
+  const int want_rwidth[] = {0, 0, 11, 11, 0, 0, 11, 11};
+  const dse::BlockSelect want_select[] = {
+      dse::BlockSelect::Lza, dse::BlockSelect::Zd,
+      dse::BlockSelect::Lza, dse::BlockSelect::Zd,
+      dse::BlockSelect::Lza, dse::BlockSelect::Zd,
+      dse::BlockSelect::Lza, dse::BlockSelect::Zd,
+  };
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, i);
+    EXPECT_EQ(points[i].req.mode, SimMode::Model);
+    EXPECT_EQ(points[i].req.block, want_block[i]) << i;
+    EXPECT_EQ(points[i].req.rwidth, want_rwidth[i]) << i;
+    EXPECT_EQ(points[i].req.select, want_select[i]) << i;
+    EXPECT_EQ(points[i].req.depth, 8);
+  }
+}
+
 TEST(Sweep, ExpandedPointsShareTheBaseGeometry) {
   SweepRequest req = sweep_of(
       R"({"type":"sweep","unit":"pcs","seed":1,"ops":100,)"

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -172,6 +173,24 @@ TEST(Metrics, PercentileHandlesEmptyAndOverflow) {
   // The overflow bucket has no upper edge to interpolate toward; the
   // estimate saturates at the last finite bound.
   EXPECT_DOUBLE_EQ(h.snapshot().percentile(0.99), 2.0);
+}
+
+TEST(Metrics, PercentileClampsPathologicalQuantiles) {
+  // Out-of-range quantiles clamp to [0, 1] instead of producing a
+  // garbage rank; NaN — which fails every comparison — behaves as 0.
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 4; ++i) h.observe(5.0);
+  HistogramSnapshot s = h.snapshot();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(s.percentile(-3.0), s.percentile(0.0));
+  EXPECT_DOUBLE_EQ(s.percentile(7.0), s.percentile(1.0));
+  EXPECT_DOUBLE_EQ(s.percentile(nan), s.percentile(0.0));
+  // The empty snapshot answers 0.0 for every quantile, pathological
+  // included.
+  HistogramSnapshot empty = Histogram({1.0}).snapshot();
+  EXPECT_DOUBLE_EQ(empty.percentile(nan), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(-1.0), 0.0);
 }
 
 TEST(Metrics, PercentileIsDeterministicAcrossMergeOrder) {
