@@ -61,6 +61,23 @@ Usage:
       timestamps under "t" non-decreasing, every request_begin paired
       with exactly one request_end for the same (conn, req) carrying a
       known outcome, and connection lifecycle lines well-formed.
+
+  check_report.py --check-fleettrace summary.json [more ...]
+      Validate a csfma-fleetmerge-v1 fleet-trace summary (what
+      scripts/trace_merge.py --summary writes from a csfma_explore
+      --fleettrace artifact plus the daemons' --trace-out files): zero
+      orphan spans, exactly one server request tree per sweep chunk,
+      order-normalized chunk/orphan arrays, consistent totals, and the
+      trailing "daemons" member so the deterministic projection is a
+      byte prefix (docs/FORMATS.md).
+
+  check_report.py --compare-fleettrace a.json b.json
+      Assert the deterministic projections of two fleet-trace summaries
+      — all bytes before the trailing "daemons" member — are identical.
+      CI gate for the fleet-tracing determinism contract: any daemon
+      count, worker count, and chunk arrival order over the same config
+      space must produce the same chunks, totals, and (empty) orphan
+      list.
 """
 import json
 import math
@@ -836,7 +853,8 @@ def compare_frontier(path_a, path_b):
 
 LOG_KINDS = {
     "conn_accept", "conn_close", "request_begin", "request_end",
-    "reject", "cancel", "journal_compact", "slow_request",
+    "reject", "cancel", "journal_compact", "journal_load",
+    "slow_request", "slow_point",
 }
 LOG_OUTCOMES = {"ok", "cache_hit", "busy", "cancelled", "error"}
 LOG_CLOSE_WHY = {"eof", "read_error", "idle_timeout", "shutdown",
@@ -885,7 +903,8 @@ def check_log(path):
         last_ts = t["ts_ms"]
 
         if kind in ("conn_accept", "conn_close", "request_begin",
-                    "request_end", "reject", "cancel", "slow_request"):
+                    "request_end", "reject", "cancel", "slow_request",
+                    "slow_point"):
             if not isinstance(entry.get("conn"), str):
                 fail(path, f"{where}: {kind} without a conn string")
         if kind == "conn_close" and entry.get("why") not in LOG_CLOSE_WHY:
@@ -895,6 +914,32 @@ def check_log(path):
             if not isinstance(entry.get("req"), str) or \
                     not isinstance(entry.get("type"), str):
                 fail(path, f"{where}: {kind} needs req and type strings")
+        if kind in ("request_begin", "request_end"):
+            # Trace context is optional (omitted for legacy clients) but
+            # must be a string when present.
+            for key in ("trace_id", "parent_span"):
+                if key in entry and not isinstance(entry[key], str):
+                    fail(path, f"{where}: {kind} '{key}' must be a string")
+        if kind == "journal_load":
+            for key in ("records", "bytes_skipped"):
+                if not isinstance(entry.get(key), int) or entry[key] < 0:
+                    fail(path, f"{where}: journal_load '{key}' must be a "
+                               f"non-negative integer")
+            if entry.get("torn") not in (0, 1):
+                fail(path, f"{where}: journal_load 'torn' must be 0 or 1")
+        if kind == "slow_point":
+            for key in ("req", "job"):
+                if not isinstance(entry.get(key), str):
+                    fail(path, f"{where}: slow_point needs a '{key}' string")
+            if not isinstance(entry.get("index"), int) or \
+                    entry["index"] < 0:
+                fail(path, f"{where}: slow_point 'index' must be a "
+                           f"non-negative integer")
+            if not isinstance(entry.get("params"), dict):
+                fail(path, f"{where}: slow_point needs a params object")
+            if not is_number(t.get("latency_ms")) or t["latency_ms"] < 0:
+                fail(path, f"{where}: slow_point needs non-negative "
+                           f"t.latency_ms")
         if kind == "request_begin":
             key = (entry["conn"], entry["req"])
             if key in open_reqs or key in ended:
@@ -921,6 +966,120 @@ def check_log(path):
         fail(path, f"request_begin without request_end: {dangling}")
     print(f"{path}: OK ({sum(counts.values())} line(s): " +
           ", ".join(f"{k}={v}" for k, v in sorted(counts.items())) + ")")
+
+
+FLEETMERGE_SCHEMA = "csfma-fleetmerge-v1"
+TRACE_ID = re.compile(r"^explore-[0-9a-f]{16}$")
+
+
+def check_fleettrace(path):
+    """Validate a csfma-fleetmerge-v1 summary (what trace_merge.py
+    --summary writes, docs/FORMATS.md): zero orphan spans, exactly one
+    server request tree per sweep chunk, order-normalized arrays, totals
+    consistent, and the trailing "daemons" member so the deterministic
+    projection is a byte prefix."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            s = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"cannot load: {e}")
+    if not isinstance(s, dict):
+        fail(path, "top level must be a JSON object")
+    if s.get("format") != FLEETMERGE_SCHEMA:
+        fail(path, f'format is {s.get("format")!r}, '
+                   f"expected {FLEETMERGE_SCHEMA!r}")
+    for key in ("trace_id", "chunks", "orphans", "totals", "daemons"):
+        if key not in s:
+            fail(path, f"missing top-level member '{key}'")
+    if list(s)[-1] != "daemons":
+        fail(path, '"daemons" must be the last member — the deterministic '
+                   "projection is everything before it")
+    if not isinstance(s["trace_id"], str) or not TRACE_ID.match(s["trace_id"]):
+        fail(path, f'trace_id {s["trace_id"]!r} must look like '
+                   f"explore-<16 hex digits>")
+
+    chunks = s["chunks"]
+    if not isinstance(chunks, list) or not chunks:
+        fail(path, '"chunks" must be a non-empty array')
+    for i, c in enumerate(chunks):
+        where = f"chunks[{i}]"
+        if c.get("id") != f"chunk-{i}":
+            fail(path, f'{where}: id {c.get("id")!r}, expected "chunk-{i}" '
+                       f"(ordinal order is the contract)")
+        if not isinstance(c.get("points"), int) or c["points"] < 1:
+            fail(path, f"{where}: points must be a positive integer")
+        if c.get("req_trees") != 1:
+            fail(path, f'{where}: req_trees is {c.get("req_trees")!r} — '
+                       f"each chunk must map to exactly one server "
+                       f"request tree")
+
+    orphans = s["orphans"]
+    if not isinstance(orphans, list):
+        fail(path, '"orphans" must be an array')
+    if orphans:
+        listed = "; ".join(
+            f'daemon {o.get("daemon")} {o.get("req") or "?"} span '
+            f'{o.get("name")!r} parent {o.get("parent")!r}'
+            for o in orphans[:10])
+        fail(path, f"{len(orphans)} orphan span(s) — server spans whose "
+                   f"parent is not an explorer span: {listed}")
+
+    totals = s["totals"]
+    want = {"chunks": len(chunks),
+            "points": sum(c["points"] for c in chunks),
+            "req_trees": sum(c["req_trees"] for c in chunks)}
+    if totals != want:
+        fail(path, f"totals {totals!r} disagree with the chunk list "
+                   f"({want!r})")
+
+    daemons = s["daemons"]
+    if not isinstance(daemons, list) or not daemons:
+        fail(path, '"daemons" must be a non-empty array')
+    for i, d in enumerate(daemons):
+        where = f"daemons[{i}]"
+        if d.get("index") != i:
+            fail(path, f'{where}: index {d.get("index")!r}, expected {i}')
+        for key in ("spans", "reqs"):
+            if not isinstance(d.get(key), int) or d[key] < 0:
+                fail(path, f"{where}: '{key}' must be a non-negative "
+                           f"integer")
+        if d["spans"] < d["reqs"]:
+            fail(path, f'{where}: {d["spans"]} span(s) for {d["reqs"]} '
+                       f"request(s) — every request tree has at least "
+                       f"one span")
+        if d["reqs"] < 1:
+            fail(path, f"{where}: a connected daemon must have served at "
+                       f"least the stats handshake")
+    print(f'{path}: OK ({want["chunks"]} chunk(s), {want["points"]} '
+          f"point(s), {len(daemons)} daemon(s), 0 orphans)")
+
+
+def _fleetmerge_projection(path):
+    """The deterministic projection: all bytes before the trailing
+    "daemons" member (per-daemon span counts vary with the fleet
+    layout; the chunk/orphan/totals prefix must not)."""
+    with open(path, "rb") as f:
+        raw = f.read()
+    marker = b',"daemons":'
+    idx = raw.rfind(marker)
+    if idx < 0:
+        fail(path, "no daemons member — not a fleet-merge summary?")
+    return raw[:idx]
+
+
+def compare_fleettrace(path_a, path_b):
+    a, b = _fleetmerge_projection(path_a), _fleetmerge_projection(path_b)
+    if a != b:
+        n = min(len(a), len(b))
+        at = next((i for i in range(n) if a[i] != b[i]), n)
+        ctx_a = a[max(0, at - 40):at + 40].decode("utf-8", "replace")
+        ctx_b = b[max(0, at - 40):at + 40].decode("utf-8", "replace")
+        print(f"DETERMINISM VIOLATION: projections diverge at byte {at}:\n"
+              f"  {path_a}: ...{ctx_a}...\n"
+              f"  {path_b}: ...{ctx_b}...", file=sys.stderr)
+        sys.exit(1)
+    print(f"{path_a} vs {path_b}: deterministic projections identical "
+          f"({len(a)} byte(s); per-daemon counts exempt)")
 
 
 # Sections that carry Timing-class (wall-clock) data and are therefore
@@ -968,6 +1127,21 @@ def main(argv):
             fail("usage", "--check-log needs at least one log path")
         for path in argv[1:]:
             check_log(path)
+        return
+    if len(argv) >= 1 and argv[0] == "--check-fleettrace":
+        if len(argv) < 2:
+            fail("usage", "--check-fleettrace needs at least one summary "
+                          "path")
+        for path in argv[1:]:
+            check_fleettrace(path)
+        return
+    if len(argv) >= 1 and argv[0] == "--compare-fleettrace":
+        if len(argv) != 3:
+            fail("usage", "--compare-fleettrace needs exactly two summary "
+                          "paths")
+        check_fleettrace(argv[1])
+        check_fleettrace(argv[2])
+        compare_fleettrace(argv[1], argv[2])
         return
     if len(argv) >= 1 and argv[0] == "--check-sweep":
         if len(argv) < 2:

@@ -22,7 +22,8 @@ below is a thin wrapper over it.
       cooperative cancel, malformed-input replies, proto-version gating,
       1-vs-4-worker determinism, backpressure busy errors, cache
       persistence across a daemon restart, sweep replay byte-identity,
-      trace_id echo, live stats, and structured-log determinism.
+      trace-context echo (trace_id and parent_span), live stats, and
+      structured-log determinism.
       Exit 0 iff every check passes.
 
 No third-party imports; python3 stdlib only.
@@ -249,9 +250,9 @@ class CsfmaClient:
     def submit_async(self, params):
         """Send a submit; return the parsed accepted (or error) reply.
 
-        A `trace_id` entry in `params` goes out on the wire like any other
-        field; the daemon echoes it on every reply and progress event of
-        this request (the same holds for sweep()).
+        A `trace_id` or `parent_span` entry in `params` goes out on the
+        wire like any other field; the daemon echoes both on every reply
+        and progress event of this request (the same holds for sweep()).
         """
         req = dict(params)
         req["type"] = "submit"
@@ -332,7 +333,7 @@ class CsfmaClient:
         msg, _ = self._recv()
         return msg
 
-    def stats(self, trace_id=None):
+    def stats(self, trace_id=None, parent_span=None):
         """Fetch the live metrics snapshot (answered inline, never queued).
 
         Progress events from jobs still in flight may interleave; they are
@@ -341,6 +342,8 @@ class CsfmaClient:
         req = {"type": "stats", "proto": PROTO, "id": self._rid()}
         if trace_id is not None:
             req["trace_id"] = trace_id
+        if parent_span is not None:
+            req["parent_span"] = parent_span
         self._send(req)
         msg, _ = self._recv()
         while msg["type"] == "progress":
@@ -554,6 +557,40 @@ def selftest_session(check, client):
                  for v in pct.values() if v["count"] > 0),
              "percentiles are ordered p50 <= p90 <= p99")
 
+    # 7. parent_span propagation: the second half of the trace context.
+    #    A caller-supplied parent_span rides next to the trace_id on every
+    #    reply of its request — this is how csfma_explore hangs each
+    #    daemon-side req-N span tree under its own chunk spans — while
+    #    requests without one get no parent_span key at all (legacy
+    #    clients see byte-identical replies).
+    fresh = dict(mode="batch", unit="pcs", ops=20000, seed=42)
+    r = client.submit(trace_id="tr-ps", parent_span="chunk-7", **fresh)
+    check.ok(r.accepted.get("parent_span") == "chunk-7",
+             "parent_span echoed on accepted reply")
+    check.ok(r.terminal.get("parent_span") == "chunk-7",
+             "parent_span echoed on result reply")
+    check.ok(all(p.get("parent_span") == "chunk-7" for p in r.progress),
+             "parent_span echoed on every progress event")
+    s = client.sweep(trace_id="tr-ps", parent_span="chunk-8", **SWEEP)
+    check.ok(s.accepted.get("parent_span") == "chunk-8" and
+             s.done.get("parent_span") == "chunk-8",
+             "parent_span echoed on sweep accepted and sweep_done")
+    check.ok(all(p.get("parent_span") == "chunk-8" for p in s.points),
+             "parent_span echoed on every sweep_point line")
+    st = client.stats(trace_id="tr-ps", parent_span="conn-3")
+    check.ok(st.get("parent_span") == "conn-3",
+             "parent_span echoed on stats reply")
+    e = client.send_raw('{"type":"status","proto":99,"trace_id":"tr-ps",'
+                        '"parent_span":"chunk-9"}')
+    check.ok(e.get("parent_span") == "chunk-9",
+             "parent_span echoed even on version-gated error replies")
+    e = client.send_raw('{"type":"status","proto":1,"id":"q",'
+                        '"parent_span":7}')
+    check.ok(e["type"] == "error" and e["code"] == "bad_request",
+             "non-string parent_span gets bad_request")
+    check.ok("parent_span" not in client.status(),
+             "requests without a parent_span get no parent_span key")
+
 
 def selftest_stdio(check, serve):
     print("stdio transport:")
@@ -744,15 +781,15 @@ def _log_projection(path):
     """The deterministic projection of a csfma-log-v1 file (docs/FORMATS.md).
 
     Drops each line's "t" member (wall-clock timestamps and latencies) and
-    every slow_request line (whether a request is "slow" is a timing fact);
-    what remains is scheduling-independent for a synchronously driven
-    request sequence.
+    every slow_request/slow_point line (whether a request or sweep point is
+    "slow" is a timing fact); what remains is scheduling-independent for a
+    synchronously driven request sequence.
     """
     out = []
     with open(path, encoding="utf-8") as f:
         for line in f:
             entry = json.loads(line)
-            if entry.get("kind") == "slow_request":
+            if entry.get("kind") in ("slow_request", "slow_point"):
                 continue
             entry.pop("t", None)
             out.append(json.dumps(entry, sort_keys=True))

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Live ASCII dashboard for a running csfma_serve daemon.
+"""Live ASCII dashboard for running csfma_serve daemons.
 
 Polls the `stats` request (docs/service.md#observability) over a Unix
 socket or TCP and renders the metrics snapshot as a terminal dashboard:
@@ -10,6 +10,15 @@ per-request-type/per-outcome latency distribution with p50/p90/p99.
   service_top.py --tcp 127.0.0.1:7421 --interval 5
   service_top.py --socket PATH --once                one snapshot, no UI
                                                      (the CI smoke mode)
+
+Repeat --socket/--tcp to watch a whole explorer fleet: with more than
+one address the dashboard switches to a fleet panel, one row per daemon
+(up, queue depth with sparkline, cache hit rate, sweep points, p99
+latency — the same health signals csfma_explore polls into its frontier
+report), so a degraded member stands out at a glance.  A daemon that
+stops answering shows as "down" without taking the panel out.
+
+  service_top.py --tcp 127.0.0.1:7421 --tcp 127.0.0.1:7422
 
 Percentiles are recomputed client-side from the raw histogram buckets —
 the same fixed-bucket interpolation MetricsRegistry uses — so the numbers
@@ -157,18 +166,111 @@ def render(st, depth_history=None, points_per_s=None, frontier=None):
     return lines
 
 
-def _connect(args):
-    if args.socket:
-        return CsfmaClient.connect(args.socket)
-    host, _, port = args.tcp.rpartition(":")
+def _connect_addr(kind, addr):
+    if kind == "socket":
+        return CsfmaClient.connect(addr)
+    host, _, port = addr.rpartition(":")
     return CsfmaClient.connect_tcp(host or "127.0.0.1", port)
+
+
+def _daemon_health(st):
+    """The fleet-panel signals out of one parsed stats reply — the same
+    ones csfma_explore folds into its frontier report's health section."""
+    m = st.get("metrics", {})
+    counters = {k: v["value"] for k, v in m.get("counters", {}).items()}
+    gauges = {k: v["value"] for k, v in m.get("gauges", {}).items()}
+    hists = m.get("histograms", {})
+    hits = counters.get("service.cache.hits", 0)
+    misses = counters.get("service.cache.misses", 0)
+    p99 = 0.0
+    for name, h in hists.items():
+        if name.startswith("service.latency_ms.") and h.get("count", 0):
+            p99 = max(p99, percentile(h["bounds"], h["counts"], 0.99))
+    return {
+        "up_s": st.get("uptime_s", 0.0),
+        "depth": gauges.get("service.queue.depth", 0.0),
+        "hit_rate": 100.0 * hits / (hits + misses) if hits + misses else 0.0,
+        "reqs": int(counters.get("service.requests", 0)),
+        "points": int(counters.get("service.sweep.points", 0)),
+        "p99_ms": p99,
+    }
+
+
+def render_fleet(addrs, states, depth_histories):
+    """The multi-daemon panel: one row per fleet member, None = down."""
+    lines = [f"csfma fleet: {len(addrs)} daemon(s)", ""]
+    lines.append(f"{'daemon':24s} {'up':>8s} {'depth':>6s} {'hit%':>6s} "
+                 f"{'reqs':>7s} {'points':>8s} {'p99 ms':>8s}  depth history")
+    for i, (kind, addr) in enumerate(addrs):
+        label = f"[{i}] {addr}"
+        st = states[i]
+        if st is None:
+            lines.append(f"{label:24s} {'down':>8s}")
+            continue
+        h = _daemon_health(st)
+        lines.append(f"{label:24s} {h['up_s']:7.1f}s {h['depth']:6.0f} "
+                     f"{h['hit_rate']:6.1f} {h['reqs']:7d} {h['points']:8d} "
+                     f"{_fmt_ms(h['p99_ms'])}  "
+                     f"[{sparkline(depth_histories[i])}]")
+    return lines
+
+
+def run_fleet(args, addrs):
+    """Poll every daemon each tick; a dead member degrades to a 'down' row
+    (its connection is retried on the next tick) instead of ending the
+    dashboard."""
+    clients = [None] * len(addrs)
+    depth_histories = [[] for _ in addrs]
+    try:
+        while True:
+            states = []
+            for i, (kind, addr) in enumerate(addrs):
+                st = None
+                try:
+                    if clients[i] is None:
+                        clients[i] = _connect_addr(kind, addr)
+                    st = clients[i].stats()
+                    if st.get("type") != "stats":
+                        st = None
+                except (OSError, ProtocolError):
+                    if clients[i] is not None:
+                        try:
+                            clients[i].close()
+                        except (OSError, ProtocolError):
+                            pass
+                    clients[i] = None
+                    st = None
+                states.append(st)
+                if st is not None:
+                    m = st.get("metrics", {}).get("gauges", {})
+                    depth_histories[i].append(
+                        m.get("service.queue.depth", {}).get("value", 0.0))
+                    del depth_histories[i][:-24]
+            frame = "\n".join(render_fleet(addrs, states, depth_histories))
+            if args.once:
+                print(frame)
+                return 0 if all(s is not None for s in states) else 1
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        for c in clients:
+            if c is not None:
+                try:
+                    c.close()
+                except (OSError, ProtocolError):
+                    pass
 
 
 def main(argv=None):
     p = argparse.ArgumentParser(description=__doc__,
                                 formatter_class=argparse.RawDescriptionHelpFormatter)
-    p.add_argument("--socket", help="daemon Unix socket path")
-    p.add_argument("--tcp", help="daemon TCP address (HOST:PORT)")
+    p.add_argument("--socket", action="append", default=[],
+                   help="daemon Unix socket path (repeat for a fleet)")
+    p.add_argument("--tcp", action="append", default=[],
+                   help="daemon TCP address HOST:PORT (repeat for a fleet)")
     p.add_argument("--interval", type=float, default=2.0,
                    help="refresh period in seconds (default 2)")
     p.add_argument("--once", action="store_true",
@@ -177,14 +279,18 @@ def main(argv=None):
                    help="csfma_explore snapshot file to fold into the sweep "
                         "panel (frontier size / points covered)")
     args = p.parse_args(argv)
-    if bool(args.socket) == bool(args.tcp):
-        p.error("exactly one of --socket or --tcp is required")
+    addrs = [("socket", s) for s in args.socket] + \
+            [("tcp", t) for t in args.tcp]
+    if not addrs:
+        p.error("at least one --socket or --tcp is required")
+    if len(addrs) > 1:
+        return run_fleet(args, addrs)
 
     depth_history = []
     prev_points = None
     prev_t = None
     try:
-        with _connect(args) as client:
+        with _connect_addr(*addrs[0]) as client:
             while True:
                 st = client.stats()
                 if st.get("type") != "stats":

@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Merge an exploration's fleet traces into one timeline (stdlib only).
+
+Usage:
+  trace_merge.py --fleettrace fleet.json --out merged.json \
+      --summary summary.json d0.trace.json [d1.trace.json ...]
+
+Joins the csfma-fleettrace-v1 artifact `csfma_explore --fleettrace`
+writes (explorer-side spans: the exploration root, one `conn-<d>` span
+per daemon connection, one `chunk-<n>` span per sweep chunk, plus the
+recorded per-daemon clock-offset estimates) with each daemon's
+`csfma_serve --trace-out` chrome://tracing file into:
+
+  --out      one offset-aligned chrome://tracing timeline.  The explorer
+             owns pid 0; daemon `d` (the d-th positional trace file,
+             matching `--daemon` order) gets its own pid lane `d + 1`
+             with every timestamp shifted by that daemon's mean clock
+             offset, so server spans line up under the explorer chunk
+             spans that caused them.  Load it in chrome://tracing or
+             Perfetto.
+
+  --summary  a csfma-fleetmerge-v1 summary: span counts per daemon,
+             per-chunk point and request-tree counts, and the
+             orphan-span list — server spans carrying this exploration's
+             trace id whose recorded parent is not an explorer span.
+             All arrays are order-normalized (chunks by ordinal, orphans
+             lexicographically), and the "daemons" member comes last:
+             everything before it is the deterministic projection,
+             byte-identical across daemon counts, worker counts and
+             point arrival orders.  `check_report.py --check-fleettrace`
+             validates the summary; `--compare-fleettrace` diffs two
+             projections.
+
+Daemon events that do not carry this exploration's trace id (other
+clients' traffic, server housekeeping) still appear in the merged
+timeline — they are real daemon activity — but are excluded from the
+summary and the orphan check.
+"""
+import argparse
+import json
+import re
+import sys
+
+FLEETTRACE_SCHEMA = "csfma-fleettrace-v1"
+FLEETMERGE_SCHEMA = "csfma-fleetmerge-v1"
+CHUNK_ID = re.compile(r"^chunk-(\d+)$")
+
+
+def die(msg):
+    print(f"trace_merge: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"{path}: cannot load: {e}")
+
+
+def load_fleettrace(path):
+    ft = load_json(path)
+    if not isinstance(ft, dict) or ft.get("format") != FLEETTRACE_SCHEMA:
+        die(f"{path}: not a {FLEETTRACE_SCHEMA} artifact")
+    for key in ("trace_id", "spans", "daemons"):
+        if key not in ft:
+            die(f"{path}: missing member '{key}'")
+    return ft
+
+
+def explorer_events(ft):
+    """The explorer's own spans as chrome trace X events on pid 0."""
+    events = [{"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+               "args": {"name": "csfma_explore"}}]
+    for span in ft["spans"]:
+        args = {"kind": span["kind"]}
+        for key in ("daemon", "addr", "base", "points"):
+            if key in span:
+                args[key] = span[key]
+        if span.get("parent"):
+            args["parent"] = span["parent"]
+        events.append({
+            "name": span["id"], "cat": "explore", "ph": "X",
+            "ts": span["t0_us"], "dur": span["t1_us"] - span["t0_us"],
+            "pid": 0, "tid": span["daemon"] + 1 if "daemon" in span else 0,
+            "args": args,
+        })
+    return events
+
+
+def daemon_events(path, index, addr, offset_us):
+    """One daemon's trace events, shifted onto the explorer clock."""
+    trace = load_json(path)
+    raw = trace.get("traceEvents")
+    if not isinstance(raw, list):
+        die(f"{path}: no traceEvents array — not a --trace-out file?")
+    shift = round(offset_us)
+    events = [{"name": "process_name", "ph": "M", "pid": index + 1,
+               "tid": 0, "args": {"name": f"daemon {index} ({addr})"}}]
+    for e in raw:
+        if e.get("ph") == "M":
+            continue  # replaced by the lane name above
+        out = dict(e)
+        out["pid"] = index + 1
+        if "ts" in out:
+            out["ts"] = out["ts"] + shift
+        events.append(out)
+    return events
+
+
+def in_trace_spans(path, trace_id):
+    """This exploration's spans out of one daemon's --trace-out file."""
+    trace = load_json(path)
+    spans = []
+    for e in trace.get("traceEvents", []):
+        args = e.get("args")
+        if isinstance(args, dict) and args.get("trace") == trace_id:
+            spans.append(e)
+    return spans
+
+
+def build_summary(ft, trace_paths):
+    trace_id = ft["trace_id"]
+    explorer_ids = {span["id"] for span in ft["spans"]}
+
+    chunks = {}  # ordinal -> {"id", "points", "req_trees" set}
+    for span in ft["spans"]:
+        m = CHUNK_ID.match(span["id"])
+        if span.get("kind") == "chunk" and m:
+            chunks[int(m.group(1))] = {"id": span["id"],
+                                       "points": span.get("points", 0),
+                                       "trees": set()}
+
+    daemons = []
+    orphans = []
+    for index, path in enumerate(trace_paths):
+        meta = ft["daemons"][index] if index < len(ft["daemons"]) else {}
+        spans = in_trace_spans(path, trace_id)
+        reqs = set()
+        for e in spans:
+            args = e["args"]
+            req = args.get("req", "")
+            reqs.add(req)
+            parent = args.get("parent", "")
+            if parent not in explorer_ids:
+                orphans.append({"daemon": index, "name": e.get("name", ""),
+                                "req": req, "parent": parent})
+            m = CHUNK_ID.match(parent)
+            if m and int(m.group(1)) in chunks:
+                chunks[int(m.group(1))]["trees"].add((index, req))
+        daemons.append({"index": index, "addr": meta.get("addr", ""),
+                        "spans": len(spans), "reqs": len(reqs)})
+
+    chunk_list = [{"id": c["id"], "points": c["points"],
+                   "req_trees": len(c["trees"])}
+                  for _, c in sorted(chunks.items())]
+    orphans.sort(key=lambda o: (o["daemon"], o["req"], o["name"],
+                                o["parent"]))
+    # "daemons" last: everything before it is the deterministic
+    # projection (mirrors the frontier report's trailing "timing").
+    return {
+        "format": FLEETMERGE_SCHEMA,
+        "trace_id": trace_id,
+        "chunks": chunk_list,
+        "orphans": orphans,
+        "totals": {"chunks": len(chunk_list),
+                   "points": sum(c["points"] for c in chunk_list),
+                   "req_trees": sum(c["req_trees"] for c in chunk_list)},
+        "daemons": daemons,
+    }
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        prog="trace_merge.py", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--fleettrace", required=True,
+                    help="csfma-fleettrace-v1 artifact from csfma_explore")
+    ap.add_argument("--out", help="merged chrome://tracing timeline")
+    ap.add_argument("--summary", help="csfma-fleetmerge-v1 summary")
+    ap.add_argument("traces", nargs="+", metavar="TRACE",
+                    help="daemon --trace-out files, in --daemon order")
+    args = ap.parse_args(argv)
+
+    ft = load_fleettrace(args.fleettrace)
+    if len(args.traces) != len(ft["daemons"]):
+        die(f"{len(args.traces)} trace file(s) for "
+            f"{len(ft['daemons'])} daemon(s) in {args.fleettrace}")
+
+    if args.out:
+        events = explorer_events(ft)
+        for index, path in enumerate(args.traces):
+            meta = ft["daemons"][index]
+            offset = meta.get("clock_offset_us", {}).get("mean", 0.0)
+            events.extend(daemon_events(path, index, meta.get("addr", ""),
+                                        offset))
+        # Stable order: metadata first, then by (ts, pid, tid, name).
+        events.sort(key=lambda e: (e.get("ph") != "M", e.get("ts", 0),
+                                   e.get("pid", 0), e.get("tid", 0),
+                                   e.get("name", "")))
+        merged = {"displayTimeUnit": "ms", "traceEvents": events}
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(merged, f, separators=(",", ":"))
+            f.write("\n")
+
+    summary = build_summary(ft, args.traces)
+    if args.summary:
+        with open(args.summary, "w", encoding="utf-8") as f:
+            json.dump(summary, f, separators=(",", ":"))
+            f.write("\n")
+
+    t = summary["totals"]
+    print(f"{args.fleettrace}: merged {len(args.traces)} daemon lane(s); "
+          f"{t['chunks']} chunk(s), {t['points']} point(s), "
+          f"{t['req_trees']} request tree(s), "
+          f"{len(summary['orphans'])} orphan span(s)")
+    if summary["orphans"]:
+        for o in summary["orphans"][:10]:
+            print(f"  orphan: daemon {o['daemon']} {o['req'] or '?'} "
+                  f"span {o['name']!r} parent {o['parent']!r}",
+                  file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -44,6 +44,12 @@ ServiceLog::Line& ServiceLog::Line::det(const char* key, int v) {
   return *this;
 }
 
+ServiceLog::Line& ServiceLog::Line::det_raw(const char* key,
+                                            const std::string& json) {
+  det_.emplace_back(key, json);
+  return *this;
+}
+
 ServiceLog::Line& ServiceLog::Line::timing(const char* key, double v) {
   timing_.emplace_back(key, json_double(v));
   return *this;

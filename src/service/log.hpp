@@ -12,14 +12,15 @@
 // wall-clock-derived fields (timestamps, latencies, scheduling-dependent
 // progress counts).  Tests and check_report.py --check-log byte-compare
 // the *deterministic projection*: drop each line's "t" member and drop
-// "slow_request" lines entirely (they only exist when a latency threshold
-// fired, which is itself a timing fact).
+// "slow_request"/"slow_point" lines entirely (they only exist when a
+// latency threshold fired, which is itself a timing fact).
 //
 // Line kinds: conn_accept, conn_close, request_begin, request_end, reject,
-// cancel, journal_compact, slow_request.  Every request_begin is paired
-// with exactly one request_end carrying the outcome
-// (ok|cache_hit|busy|cancelled|error); reject/cancel/slow_request lines
-// are supplementary.  "seq" increases strictly by 1 and "t.ts_ms" is
+// cancel, journal_compact, journal_load, slow_request, slow_point.  Every
+// request_begin is paired with exactly one request_end carrying the
+// outcome (ok|cache_hit|busy|cancelled|error);
+// reject/cancel/slow_request/slow_point lines are supplementary and
+// journal_load records what --cache-file replayed at startup.  "seq" increases strictly by 1 and "t.ts_ms" is
 // clamped monotonic, both assigned under the writer mutex, so a validator
 // can check ordering without trusting thread scheduling.
 #pragma once
@@ -65,6 +66,9 @@ class ServiceLog {
     Line& det(const char* key, const char* v);
     Line& det(const char* key, std::uint64_t v);
     Line& det(const char* key, int v);
+    /// A pre-rendered JSON value spliced in verbatim (e.g. the params
+    /// object of a slow_point line).  The caller guarantees valid JSON.
+    Line& det_raw(const char* key, const std::string& json);
     Line& timing(const char* key, double v);
     Line& timing(const char* key, std::uint64_t v);
     void commit();

@@ -501,11 +501,15 @@ ParseOutcome parse_request_line(const std::string& line) {
   // Echo the correlation id even in error replies, when it parses.
   if (const JsonValue* id = doc.find("id"); id != nullptr && id->is_string())
     out.id = id->as_string();
-  // Same best-effort echo for the trace id, so even version-gated errors
-  // correlate; the typed (bad_request) validation runs after the gate.
+  // Same best-effort echo for the trace context, so even version-gated
+  // errors correlate; the typed (bad_request) validation runs after the
+  // gate.
   if (const JsonValue* tid = doc.find("trace_id");
       tid != nullptr && tid->is_string())
     out.trace_id = tid->as_string();
+  if (const JsonValue* ps = doc.find("parent_span");
+      ps != nullptr && ps->is_string())
+    out.parent_span = ps->as_string();
 
   // Version gate before anything else: a request speaking a different
   // protocol version must not be half-interpreted under this one's rules.
@@ -525,6 +529,11 @@ ParseOutcome parse_request_line(const std::string& line) {
     out.message = msg;
     return out;
   }
+  if (!want_string(doc, "parent_span", false, &out.parent_span, &msg)) {
+    out.code = ServiceError::BadRequest;
+    out.message = msg;
+    return out;
+  }
   if (!want_string(doc, "type", true, &type, &msg)) {
     out.code = ServiceError::BadRequest;
     out.message = msg;
@@ -533,6 +542,7 @@ ParseOutcome parse_request_line(const std::string& line) {
 
   out.request.id = out.id;
   out.request.trace_id = out.trace_id;
+  out.request.parent_span = out.parent_span;
   if (type == "submit") {
     SubmitRequest req;
     if (!parse_submit(doc, &req, &msg)) {
@@ -589,7 +599,7 @@ void put_id(JsonWriter& w, const std::string& id) {
 }  // namespace
 
 void begin_reply(JsonWriter& w, const char* type, const std::string& id,
-                 const std::string& trace_id) {
+                 const std::string& trace_id, const std::string& parent_span) {
   w.begin_object();
   w.key("type");
   w.value(type);
@@ -600,13 +610,18 @@ void begin_reply(JsonWriter& w, const char* type, const std::string& id,
     w.key("trace_id");
     w.value(trace_id);
   }
+  if (!parent_span.empty()) {
+    w.key("parent_span");
+    w.value(parent_span);
+  }
 }
 
 std::string error_reply(const std::string& id, ServiceError code,
                         const std::string& message,
-                        const std::string& trace_id) {
+                        const std::string& trace_id,
+                        const std::string& parent_span) {
   JsonWriter w;
-  begin_reply(w, "error", id, trace_id);
+  begin_reply(w, "error", id, trace_id, parent_span);
   w.key("code");
   w.value(to_string(code));
   w.key("message");
@@ -617,9 +632,10 @@ std::string error_reply(const std::string& id, ServiceError code,
 
 std::string accepted_reply(const std::string& id, const std::string& job,
                            const std::string& cache_key,
-                           const std::string& trace_id) {
+                           const std::string& trace_id,
+                           const std::string& parent_span) {
   JsonWriter w;
-  begin_reply(w, "accepted", id, trace_id);
+  begin_reply(w, "accepted", id, trace_id, parent_span);
   w.key("job");
   w.value(job);
   w.key("cache_key");
@@ -631,7 +647,7 @@ std::string accepted_reply(const std::string& id, const std::string& job,
 std::string progress_event_line(const ProgressEvent& ev) {
   const EngineProgress& p = ev.progress;
   JsonWriter w;
-  begin_reply(w, "progress", "", ev.trace_id);
+  begin_reply(w, "progress", "", ev.trace_id, ev.parent_span);
   w.key("job");
   w.value(ev.job);
   w.key("ops_done");
@@ -655,9 +671,10 @@ std::string progress_event_line(const ProgressEvent& ev) {
 std::string result_reply(const std::string& id, const std::string& job,
                          bool cache_hit, double elapsed_s,
                          const std::string& report_json,
-                         const std::string& trace_id) {
+                         const std::string& trace_id,
+                         const std::string& parent_span) {
   JsonWriter w;
-  begin_reply(w, "result", id, trace_id);
+  begin_reply(w, "result", id, trace_id, parent_span);
   w.key("job");
   w.value(job);
   w.key("cache");
@@ -672,9 +689,10 @@ std::string result_reply(const std::string& id, const std::string& job,
 
 std::string cancel_ok_reply(const std::string& id, const std::string& job,
                             const std::string& state,
-                            const std::string& trace_id) {
+                            const std::string& trace_id,
+                            const std::string& parent_span) {
   JsonWriter w;
-  begin_reply(w, "cancel_ok", id, trace_id);
+  begin_reply(w, "cancel_ok", id, trace_id, parent_span);
   w.key("job");
   w.value(job);
   w.key("state");
@@ -685,9 +703,10 @@ std::string cancel_ok_reply(const std::string& id, const std::string& job,
 
 std::string cancelled_reply(const std::string& id, const std::string& job,
                             std::uint64_t ops_done,
-                            const std::string& trace_id) {
+                            const std::string& trace_id,
+                            const std::string& parent_span) {
   JsonWriter w;
-  begin_reply(w, "cancelled", id, trace_id);
+  begin_reply(w, "cancelled", id, trace_id, parent_span);
   w.key("job");
   w.value(job);
   w.key("ops_done");
@@ -698,9 +717,10 @@ std::string cancelled_reply(const std::string& id, const std::string& job,
 
 std::string status_reply(const std::string& id,
                          const std::vector<JobStatus>& jobs,
-                         const std::string& trace_id) {
+                         const std::string& trace_id,
+                         const std::string& parent_span) {
   JsonWriter w;
-  begin_reply(w, "status", id, trace_id);
+  begin_reply(w, "status", id, trace_id, parent_span);
   w.key("jobs");
   w.begin_array();
   for (const JobStatus& j : jobs) {
@@ -730,9 +750,10 @@ std::string status_reply(const std::string& id,
 
 std::string bye_reply(const std::string& id, std::uint64_t completed,
                       std::uint64_t cancelled, std::uint64_t failed,
-                      const std::string& trace_id) {
+                      const std::string& trace_id,
+                      const std::string& parent_span) {
   JsonWriter w;
-  begin_reply(w, "bye", id, trace_id);
+  begin_reply(w, "bye", id, trace_id, parent_span);
   w.key("jobs_completed");
   w.value(completed);
   w.key("jobs_cancelled");
@@ -745,9 +766,10 @@ std::string bye_reply(const std::string& id, std::uint64_t completed,
 
 std::string stats_reply(const std::string& id, double uptime_s,
                         const MetricsSnapshot& metrics,
-                        const std::string& trace_id) {
+                        const std::string& trace_id,
+                        const std::string& parent_span) {
   JsonWriter w;
-  begin_reply(w, "stats", id, trace_id);
+  begin_reply(w, "stats", id, trace_id, parent_span);
   w.key("uptime_s");
   w.value(uptime_s);
   w.key("percentiles");

@@ -164,6 +164,12 @@ struct Request {
   /// Optional client-supplied trace correlation id, echoed on every
   /// reply/progress/sweep_point line of this request ("" = absent).
   std::string trace_id;
+  /// Optional distributed-tracing parent span id: the caller's span this
+  /// request hangs under.  Echoed on every line of the request (like
+  /// trace_id) and stamped on the server's req-N span tree so an offline
+  /// merge can re-parent it under the caller ("" = absent; legacy clients
+  /// simply never send it).
+  std::string parent_span;
   std::variant<SubmitRequest, SweepRequest, StatusRequest, CancelRequest,
                ShutdownRequest, StatsRequest>
       op;
@@ -178,43 +184,49 @@ struct ParseOutcome {
   std::string message;       // valid iff !ok
   std::string id;            // best-effort echo for error replies
   std::string trace_id;      // best-effort echo for error replies
+  std::string parent_span;   // best-effort echo for error replies
 };
 
 ParseOutcome parse_request_line(const std::string& line);
 
 // ---- reply / event rendering (one JSON line each, no trailing \n) ----
 // Every reply/event line starts {"type":...,"proto":1[,"id":...
-// [,"trace_id":...]]} — the version stamp lets clients assert
-// compatibility on every line, and the trace id (echoed only when the
-// request supplied one) lets a client correlate every line of a request
-// across interleaved jobs.  Renderers take the trace id as a trailing
-// defaulted parameter so trace-less callers render the pre-trace bytes.
+// [,"trace_id":...][,"parent_span":...]]} — the version stamp lets clients
+// assert compatibility on every line, and the trace context (echoed only
+// when the request supplied it) lets a client correlate every line of a
+// request across interleaved jobs and daemons.  Renderers take the trace
+// context as trailing defaulted parameters so trace-less callers render
+// the pre-trace bytes.
 
 class JsonWriter;
 struct MetricsSnapshot;
 
-/// Open a reply object and emit the shared type/proto/id/trace_id prefix
-/// (id and trace_id are omitted when empty).  The sweep renderers
-/// (sweep.cpp) share it.  Keeping the trace id in the PREFIX preserves the
-/// "report is the last member" splice convention of result/sweep_point
-/// lines.
+/// Open a reply object and emit the shared type/proto/id/trace_id/
+/// parent_span prefix (id, trace_id and parent_span are omitted when
+/// empty).  The sweep renderers (sweep.cpp) share it.  Keeping the trace
+/// context in the PREFIX preserves the "report is the last member" splice
+/// convention of result/sweep_point lines.
 void begin_reply(JsonWriter& w, const char* type, const std::string& id,
-                 const std::string& trace_id = "");
+                 const std::string& trace_id = "",
+                 const std::string& parent_span = "");
 
 std::string error_reply(const std::string& id, ServiceError code,
                         const std::string& message,
-                        const std::string& trace_id = "");
+                        const std::string& trace_id = "",
+                        const std::string& parent_span = "");
 
 std::string accepted_reply(const std::string& id, const std::string& job,
                            const std::string& cache_key,
-                           const std::string& trace_id = "");
+                           const std::string& trace_id = "",
+                           const std::string& parent_span = "");
 
 /// Structured progress event: EngineConfig::progress lifted onto the wire
 /// with the owning job attached (the machine-readable successor of the
 /// benches' stderr heartbeat).
 struct ProgressEvent {
   std::string job;
-  std::string trace_id;  // the owning request's trace id ("" = none)
+  std::string trace_id;     // the owning request's trace id ("" = none)
+  std::string parent_span;  // the owning request's parent span ("" = none)
   EngineProgress progress;
 };
 
@@ -226,19 +238,22 @@ std::string progress_event_line(const ProgressEvent& ev);
 std::string result_reply(const std::string& id, const std::string& job,
                          bool cache_hit, double elapsed_s,
                          const std::string& report_json,
-                         const std::string& trace_id = "");
+                         const std::string& trace_id = "",
+                         const std::string& parent_span = "");
 
 /// Immediate acknowledgement of a cancel request (the job itself terminates
 /// with a separate cancelled_reply once its workers stop).
 std::string cancel_ok_reply(const std::string& id, const std::string& job,
                             const std::string& state,
-                            const std::string& trace_id = "");
+                            const std::string& trace_id = "",
+                            const std::string& parent_span = "");
 
 /// Terminal reply of a cancelled job: ops_done is observational; partial
 /// results are never emitted (BatchStats::aborted contract).
 std::string cancelled_reply(const std::string& id, const std::string& job,
                             std::uint64_t ops_done,
-                            const std::string& trace_id = "");
+                            const std::string& trace_id = "",
+                            const std::string& parent_span = "");
 
 struct JobStatus {
   std::string job;
@@ -253,11 +268,13 @@ struct JobStatus {
 
 std::string status_reply(const std::string& id,
                          const std::vector<JobStatus>& jobs,
-                         const std::string& trace_id = "");
+                         const std::string& trace_id = "",
+                         const std::string& parent_span = "");
 
 std::string bye_reply(const std::string& id, std::uint64_t completed,
                       std::uint64_t cancelled, std::uint64_t failed,
-                      const std::string& trace_id = "");
+                      const std::string& trace_id = "",
+                      const std::string& parent_span = "");
 
 /// Live stats reply (docs/service.md#stats): daemon uptime, a percentile
 /// summary (count/p50/p90/p99 per histogram, from
@@ -266,6 +283,7 @@ std::string bye_reply(const std::string& id, std::uint64_t completed,
 /// Timing data; the reply is not part of the determinism contract.
 std::string stats_reply(const std::string& id, double uptime_s,
                         const MetricsSnapshot& metrics,
-                        const std::string& trace_id = "");
+                        const std::string& trace_id = "",
+                        const std::string& parent_span = "");
 
 }  // namespace csfma

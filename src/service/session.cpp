@@ -164,6 +164,7 @@ void ServiceSession::finish_request(const char* type, const char* outcome,
     l.det("conn", cfg_.conn).det("req", ctx.req).det("type", type);
     if (!ctx.id.empty()) l.det("id", ctx.id);
     if (!ctx.trace_id.empty()) l.det("trace_id", ctx.trace_id);
+    if (!ctx.parent_span.empty()) l.det("parent_span", ctx.parent_span);
     if (!job_id.empty()) l.det("job", job_id);
     l.det("outcome", outcome);
     l.timing("latency_ms", ms);
@@ -190,9 +191,15 @@ void ServiceSession::handle_line(const std::string& line) {
     TraceSpan span(cfg_.trace, "parse", "service");
     span.arg("req", ctx.req);
     out = parse_request_line(line);
+    // The caller's trace context, stamped on every server span of this
+    // request so trace_merge.py can hang the req-N tree under the caller's
+    // chunk span in the merged fleet timeline.
+    if (!out.trace_id.empty()) span.arg("trace", out.trace_id);
+    if (!out.parent_span.empty()) span.arg("parent", out.parent_span);
   }
   ctx.id = out.id;
   ctx.trace_id = out.trace_id;
+  ctx.parent_span = out.parent_span;
   const char* type = request_type_name(out);
   metrics_->counter("service.requests." + std::string(type), Stability::Timing)
       .add();
@@ -201,11 +208,13 @@ void ServiceSession::handle_line(const std::string& line) {
     l.det("conn", cfg_.conn).det("req", ctx.req).det("type", type);
     if (!ctx.id.empty()) l.det("id", ctx.id);
     if (!ctx.trace_id.empty()) l.det("trace_id", ctx.trace_id);
+    if (!ctx.parent_span.empty()) l.det("parent_span", ctx.parent_span);
   }
   if (!out.ok) {
     m_errors->add();
     finish_request(type, "error", ctx);
-    emit(error_reply(out.id, out.code, out.message, out.trace_id));
+    emit(error_reply(out.id, out.code, out.message, out.trace_id,
+                     out.parent_span));
     return;
   }
   if (const auto* req = std::get_if<SubmitRequest>(&out.request.op)) {
@@ -239,7 +248,7 @@ bool ServiceSession::reject_if_busy_locked(const char* type,
   emit(error_reply(ctx.id, ServiceError::Busy,
                    "pending queue full (" + std::to_string(queue_.size()) +
                        " jobs); retry later",
-                   ctx.trace_id));
+                   ctx.trace_id, ctx.parent_span));
   return true;
 }
 
@@ -264,6 +273,8 @@ void ServiceSession::on_submit(const RequestCtx& ctx,
     TraceSpan span(cfg_.trace, "cache-lookup", "service");
     span.arg("req", ctx.req);
     span.arg("key", cache_key);
+    if (!ctx.trace_id.empty()) span.arg("trace", ctx.trace_id);
+    if (!ctx.parent_span.empty()) span.arg("parent", ctx.parent_span);
     hit = cache_->get(cache_key);
   }
   Job* job = nullptr;
@@ -273,7 +284,8 @@ void ServiceSession::on_submit(const RequestCtx& ctx,
       m_errors->add();
       finish_request("submit", "error", ctx);
       emit(error_reply(ctx.id, ServiceError::ShuttingDown,
-                       "service is shutting down", ctx.trace_id));
+                       "service is shutting down", ctx.trace_id,
+                       ctx.parent_span));
       return;
     }
     if (!hit && reject_if_busy_locked("submit", ctx)) return;
@@ -281,6 +293,7 @@ void ServiceSession::on_submit(const RequestCtx& ctx,
     j->id = "job-" + std::to_string(next_job_++);
     j->request_id = ctx.id;
     j->trace_id = ctx.trace_id;
+    j->parent_span = ctx.parent_span;
     j->req_tag = ctx.req;
     j->type = "submit";
     j->t_begin = ctx.t0;
@@ -292,7 +305,8 @@ void ServiceSession::on_submit(const RequestCtx& ctx,
     jobs_.push_back(std::move(j));
   }
   m_submitted->add();
-  emit(accepted_reply(ctx.id, job->id, job->cache_key, ctx.trace_id));
+  emit(accepted_reply(ctx.id, job->id, job->cache_key, ctx.trace_id,
+                      ctx.parent_span));
 
   // Memoized result: replay the original payload bytes, skip the pool.
   if (hit) {
@@ -305,7 +319,7 @@ void ServiceSession::on_submit(const RequestCtx& ctx,
     m_completed->add();
     finish_request("submit", "cache_hit", ctx, job->id);
     emit(result_reply(ctx.id, job->id, /*cache_hit=*/true, 0.0, *hit,
-                      ctx.trace_id));
+                      ctx.trace_id, ctx.parent_span));
     idle_cv_.notify_all();
     return;
   }
@@ -322,7 +336,8 @@ void ServiceSession::on_sweep(const RequestCtx& ctx,
       m_errors->add();
       finish_request("sweep", "error", ctx);
       emit(error_reply(ctx.id, ServiceError::ShuttingDown,
-                       "service is shutting down", ctx.trace_id));
+                       "service is shutting down", ctx.trace_id,
+                       ctx.parent_span));
       return;
     }
     // Sweeps always take a pool slot (each point re-probes the cache when
@@ -333,6 +348,7 @@ void ServiceSession::on_sweep(const RequestCtx& ctx,
     j->id = "job-" + std::to_string(next_job_++);
     j->request_id = ctx.id;
     j->trace_id = ctx.trace_id;
+    j->parent_span = ctx.parent_span;
     j->req_tag = ctx.req;
     j->type = "sweep";
     j->t_begin = ctx.t0;
@@ -348,7 +364,7 @@ void ServiceSession::on_sweep(const RequestCtx& ctx,
   m_submitted->add();
   m_sweeps->add();
   emit(sweep_accepted_reply(ctx.id, job->id, job->points.size(),
-                            ctx.trace_id));
+                            ctx.trace_id, ctx.parent_span));
   enqueue(job);
 }
 
@@ -361,7 +377,8 @@ void ServiceSession::on_status(const RequestCtx& ctx,
       m_errors->add();
       finish_request("status", "error", ctx);
       emit(error_reply(ctx.id, ServiceError::UnknownJob,
-                       "no such job \"" + req.job + "\"", ctx.trace_id));
+                       "no such job \"" + req.job + "\"", ctx.trace_id,
+                       ctx.parent_span));
       return;
     }
     for (const auto& j : jobs_) {
@@ -378,7 +395,7 @@ void ServiceSession::on_status(const RequestCtx& ctx,
     }
   }
   finish_request("status", "ok", ctx);
-  emit(status_reply(ctx.id, statuses, ctx.trace_id));
+  emit(status_reply(ctx.id, statuses, ctx.trace_id, ctx.parent_span));
 }
 
 void ServiceSession::on_cancel(const RequestCtx& ctx,
@@ -393,7 +410,8 @@ void ServiceSession::on_cancel(const RequestCtx& ctx,
       m_errors->add();
       finish_request("cancel", "error", ctx);
       emit(error_reply(ctx.id, ServiceError::UnknownJob,
-                       "no such job \"" + req.job + "\"", ctx.trace_id));
+                       "no such job \"" + req.job + "\"", ctx.trace_id,
+                       ctx.parent_span));
       return;
     }
     job = it->second;
@@ -422,11 +440,13 @@ void ServiceSession::on_cancel(const RequestCtx& ctx,
         .det("state", state_name(seen));
   }
   finish_request("cancel", "ok", ctx, job->id);
-  emit(cancel_ok_reply(ctx.id, job->id, state_name(seen), ctx.trace_id));
+  emit(cancel_ok_reply(ctx.id, job->id, state_name(seen), ctx.trace_id,
+                       ctx.parent_span));
   if (newly_cancelled) {
     m_cancelled->add();
     finish_request(job->type, "cancelled", job->ctx(), job->id);
-    emit(cancelled_reply(job->request_id, job->id, 0, job->trace_id));
+    emit(cancelled_reply(job->request_id, job->id, 0, job->trace_id,
+                         job->parent_span));
     idle_cv_.notify_all();
   }
 }
@@ -437,6 +457,7 @@ void ServiceSession::on_shutdown(const RequestCtx& ctx) {
     shutdown_ = true;
     shutdown_id_ = ctx.id;
     shutdown_trace_id_ = ctx.trace_id;
+    shutdown_parent_span_ = ctx.parent_span;
   }
   // The bye reply comes from finish() once the queue drains; the request
   // itself is done the moment the flag is set.
@@ -451,7 +472,7 @@ void ServiceSession::on_stats(const RequestCtx& ctx) {
           .count();
   MetricsSnapshot snap = metrics_->snapshot();
   finish_request("stats", "ok", ctx);
-  emit(stats_reply(ctx.id, uptime, snap, ctx.trace_id));
+  emit(stats_reply(ctx.id, uptime, snap, ctx.trace_id, ctx.parent_span));
 }
 
 bool ServiceSession::shutdown_requested() const {
@@ -472,7 +493,7 @@ bool ServiceSession::idle() const {
 void ServiceSession::finish() {
   wait_idle();
   std::uint64_t completed, cancelled, failed;
-  std::string id, trace_id;
+  std::string id, trace_id, parent_span;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (bye_sent_) return;
@@ -482,8 +503,9 @@ void ServiceSession::finish() {
     failed = failed_;
     id = shutdown_id_;
     trace_id = shutdown_trace_id_;
+    parent_span = shutdown_parent_span_;
   }
-  emit(bye_reply(id, completed, cancelled, failed, trace_id));
+  emit(bye_reply(id, completed, cancelled, failed, trace_id, parent_span));
 }
 
 std::uint64_t ServiceSession::jobs_completed() const {
@@ -516,10 +538,15 @@ void ServiceSession::worker_loop(int worker) {
       m_queue_wait->observe(wait_ms < 0.0 ? 0.0 : wait_ms);
       if (cfg_.trace != nullptr) {
         const std::uint64_t now = cfg_.trace->now_us();
-        cfg_.trace->add_complete(
-            "queue-wait", "service", worker, job->trace_enq_us,
-            now - job->trace_enq_us,
-            {{"req", job->req_tag, false}, {"job", job->id, false}});
+        std::vector<TraceArg> args = {{"req", job->req_tag, false},
+                                      {"job", job->id, false}};
+        if (!job->trace_id.empty())
+          args.push_back({"trace", job->trace_id, false});
+        if (!job->parent_span.empty())
+          args.push_back({"parent", job->parent_span, false});
+        cfg_.trace->add_complete("queue-wait", "service", worker,
+                                 job->trace_enq_us, now - job->trace_enq_us,
+                                 std::move(args));
       }
       job->state.store(JobState::Running, std::memory_order_relaxed);
       ++active_;
@@ -549,7 +576,7 @@ void ServiceSession::run_job(Job& job, int worker) {
     finish_request(job.type, "error", job.ctx(), job.id);
     emit(error_reply(job.request_id, ServiceError::Internal,
                      std::string("job ") + job.id + " failed: " + e.what(),
-                     job.trace_id));
+                     job.trace_id, job.parent_span));
   }
 }
 
@@ -569,7 +596,7 @@ void ServiceSession::mark_cancelled(Job& job) {
   finish_request(job.type, "cancelled", job.ctx(), job.id);
   emit(cancelled_reply(job.request_id, job.id,
                        job.ops_done.load(std::memory_order_relaxed),
-                       job.trace_id));
+                       job.trace_id, job.parent_span));
 }
 
 void ServiceSession::run_submit(Job& job, int worker) {
@@ -595,7 +622,7 @@ void ServiceSession::run_submit(Job& job, int worker) {
   m_completed->add();
   finish_request("submit", "ok", job.ctx(), job.id);
   emit(result_reply(job.request_id, job.id, /*cache_hit=*/false, elapsed,
-                    payload, job.trace_id));
+                    payload, job.trace_id, job.parent_span));
 }
 
 void ServiceSession::run_sweep(Job& job, int worker) {
@@ -620,6 +647,7 @@ void ServiceSession::run_sweep(Job& job, int worker) {
       return;
     }
     const SubmitRequest& point = job.points[i];
+    const auto t_point = clock::now();
     const std::string key = point.cache_key();
     std::string payload;
     bool hit = false;
@@ -628,6 +656,8 @@ void ServiceSession::run_sweep(Job& job, int worker) {
       TraceSpan span(cfg_.trace, "cache-lookup", "service", worker);
       span.arg("req", job.req_tag);
       span.arg("key", key);
+      if (!job.trace_id.empty()) span.arg("trace", job.trace_id);
+      if (!job.parent_span.empty()) span.arg("parent", job.parent_span);
       cached = cache_->get(key);
     }
     if (cached) {
@@ -651,7 +681,22 @@ void ServiceSession::run_sweep(Job& job, int worker) {
     job.points_done.store(i + 1, std::memory_order_relaxed);
     digest = fold_sweep_digest(digest, payload);
     emit(sweep_point_line(job.id, i, total, hit, key, point, payload,
-                          job.trace_id));
+                          job.trace_id, job.parent_span));
+    // --slow-ms applies per point too: a single pathological point inside
+    // an otherwise-fast sweep should be attributable without reading every
+    // sweep_point latency.
+    const double point_ms = std::chrono::duration<double, std::milli>(
+                                clock::now() - t_point)
+                                .count();
+    if (cfg_.log != nullptr && cfg_.slow_ms > 0.0 && point_ms > cfg_.slow_ms) {
+      cfg_.log->line("slow_point")
+          .det("conn", cfg_.conn)
+          .det("req", job.req_tag)
+          .det("job", job.id)
+          .det("index", (std::uint64_t)i)
+          .det_raw("params", point_params_json(point))
+          .timing("latency_ms", point_ms);
+    }
   }
   const double elapsed =
       std::chrono::duration<double>(clock::now() - t0).count();
@@ -663,7 +708,7 @@ void ServiceSession::run_sweep(Job& job, int worker) {
   m_completed->add();
   finish_request("sweep", "ok", job.ctx(), job.id);
   emit(sweep_done_reply(job.request_id, job.id, total, hits, misses,
-                        elapsed, digest, job.trace_id));
+                        elapsed, digest, job.trace_id, job.parent_span));
 }
 
 bool ServiceSession::simulate(const SubmitRequest& req,
@@ -682,6 +727,8 @@ bool ServiceSession::simulate(const SubmitRequest& req,
       span.arg("req", job.req_tag);
       span.arg("job", job.id);
       span.arg("key", cache_key);
+      if (!job.trace_id.empty()) span.arg("trace", job.trace_id);
+      if (!job.parent_span.empty()) span.arg("parent", job.parent_span);
       m = dse::eval_design(cfg);
     }
     *ops_done = req.total_ops();
@@ -728,7 +775,7 @@ bool ServiceSession::simulate(const SubmitRequest& req,
     jp.ops_done = base_ops + p.ops_done;
     jp.ops_total = job.ops_total;
     job.ops_done.store(jp.ops_done, std::memory_order_relaxed);
-    emit(progress_event_line({job.id, job.trace_id, jp}));
+    emit(progress_event_line({job.id, job.trace_id, job.parent_span, jp}));
   };
   SimEngine engine(ecfg);
 
@@ -741,6 +788,8 @@ bool ServiceSession::simulate(const SubmitRequest& req,
     span.arg("req", job.req_tag);
     span.arg("job", job.id);
     span.arg("key", cache_key);
+    if (!job.trace_id.empty()) span.arg("trace", job.trace_id);
+    if (!job.parent_span.empty()) span.arg("parent", job.parent_span);
     switch (req.mode) {
       case SimMode::Batch:
       case SimMode::Stream: {
@@ -786,6 +835,8 @@ bool ServiceSession::simulate(const SubmitRequest& req,
   TraceSpan render_span(cfg_.trace, "render", "service", worker);
   render_span.arg("req", job.req_tag);
   render_span.arg("job", job.id);
+  if (!job.trace_id.empty()) render_span.arg("trace", job.trace_id);
+  if (!job.parent_span.empty()) render_span.arg("parent", job.parent_span);
 
   // The deterministic result payload: everything here is a function of the
   // canonical key alone (no wall clock, no thread count), so a rerun at any

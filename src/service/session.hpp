@@ -126,6 +126,7 @@ class ServiceSession {
   struct RequestCtx {
     std::string id;
     std::string trace_id;
+    std::string parent_span;  // caller's span id, echoed with the trace id
     std::string req;
     std::chrono::steady_clock::time_point t0{};
   };
@@ -134,6 +135,7 @@ class ServiceSession {
     std::string id;          // service-assigned "job-N"
     std::string request_id;  // client correlation id of the submit/sweep
     std::string trace_id;    // client trace id, echoed on every job line
+    std::string parent_span;  // caller's span id, echoed on every job line
     std::string req_tag;     // server request id of the originating request
     const char* type = "submit";  // request_end type: "submit" | "sweep"
     std::chrono::steady_clock::time_point t_begin{};    // request arrival
@@ -149,7 +151,9 @@ class ServiceSession {
     std::atomic<std::uint64_t> ops_done{0};
     std::atomic<std::uint64_t> points_done{0};
 
-    RequestCtx ctx() const { return {request_id, trace_id, req_tag, t_begin}; }
+    RequestCtx ctx() const {
+      return {request_id, trace_id, parent_span, req_tag, t_begin};
+    }
   };
 
   void emit(const std::string& line);
@@ -224,6 +228,7 @@ class ServiceSession {
   bool bye_sent_ = false;
   std::string shutdown_id_;
   std::string shutdown_trace_id_;
+  std::string shutdown_parent_span_;
   std::uint64_t next_job_ = 1;
   std::uint64_t next_request_ = 1;
   std::uint64_t completed_ = 0, cancelled_ = 0, failed_ = 0;

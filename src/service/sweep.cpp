@@ -74,9 +74,10 @@ std::uint64_t fold_sweep_digest(std::uint64_t digest,
 
 std::string sweep_accepted_reply(const std::string& id,
                                  const std::string& job, std::size_t points,
-                                 const std::string& trace_id) {
+                                 const std::string& trace_id,
+                                 const std::string& parent_span) {
   JsonWriter w;
-  begin_reply(w, "accepted", id, trace_id);
+  begin_reply(w, "accepted", id, trace_id, parent_span);
   w.key("job");
   w.value(job);
   w.key("points");
@@ -134,14 +135,21 @@ void put_point_params(JsonWriter& w, const SubmitRequest& p) {
 
 }  // namespace
 
+std::string point_params_json(const SubmitRequest& point) {
+  JsonWriter w;
+  put_point_params(w, point);
+  return w.str();
+}
+
 std::string sweep_point_line(const std::string& job, std::size_t index,
                              std::size_t points, bool cache_hit,
                              const std::string& cache_key,
                              const SubmitRequest& point,
                              const std::string& report_json,
-                             const std::string& trace_id) {
+                             const std::string& trace_id,
+                             const std::string& parent_span) {
   JsonWriter w;
-  begin_reply(w, "sweep_point", "", trace_id);
+  begin_reply(w, "sweep_point", "", trace_id, parent_span);
   w.key("job");
   w.value(job);
   w.key("index");
@@ -164,9 +172,10 @@ std::string sweep_done_reply(const std::string& id, const std::string& job,
                              std::size_t points, std::uint64_t cache_hits,
                              std::uint64_t cache_misses, double elapsed_s,
                              std::uint64_t digest,
-                             const std::string& trace_id) {
+                             const std::string& trace_id,
+                             const std::string& parent_span) {
   JsonWriter w;
-  begin_reply(w, "sweep_done", id, trace_id);
+  begin_reply(w, "sweep_done", id, trace_id, parent_span);
   w.key("job");
   w.value(job);
   w.key("points");

@@ -47,7 +47,8 @@ inline constexpr std::uint64_t kSweepDigestSeed = 0xcbf29ce484222325ULL;
 /// count instead of a single cache key.
 std::string sweep_accepted_reply(const std::string& id,
                                  const std::string& job, std::size_t points,
-                                 const std::string& trace_id = "");
+                                 const std::string& trace_id = "",
+                                 const std::string& parent_span = "");
 
 /// One streamed point result.  The report payload is spliced in verbatim
 /// as the LAST member, so clients (and check_report.py --check-sweep) can
@@ -57,13 +58,20 @@ std::string sweep_point_line(const std::string& job, std::size_t index,
                              const std::string& cache_key,
                              const SubmitRequest& point,
                              const std::string& report_json,
-                             const std::string& trace_id = "");
+                             const std::string& trace_id = "",
+                             const std::string& parent_span = "");
+
+/// The point's result-determining parameters as one JSON object (the
+/// `params` member of sweep_point lines; also embedded in `slow_point`
+/// log lines so a slow point is re-issuable as a plain submit).
+std::string point_params_json(const SubmitRequest& point);
 
 /// Terminal summary of a completed sweep.
 std::string sweep_done_reply(const std::string& id, const std::string& job,
                              std::size_t points, std::uint64_t cache_hits,
                              std::uint64_t cache_misses, double elapsed_s,
                              std::uint64_t digest,
-                             const std::string& trace_id = "");
+                             const std::string& trace_id = "",
+                             const std::string& parent_span = "");
 
 }  // namespace csfma

@@ -25,6 +25,10 @@ void TraceSession::add_complete(std::string name, std::string cat, int tid,
   ev.dur_us = dur_us;
   ev.args = std::move(args);
   std::lock_guard<std::mutex> lock(mu_);
+  if (cap_ != 0 && events_.size() >= cap_) {
+    ++dropped_;
+    return;
+  }
   events_.push_back(std::move(ev));
 }
 
@@ -38,7 +42,26 @@ void TraceSession::add_instant(std::string name, std::string cat, int tid,
   ev.instant = true;
   ev.args = std::move(args);
   std::lock_guard<std::mutex> lock(mu_);
+  if (cap_ != 0 && events_.size() >= cap_) {
+    ++dropped_;
+    return;
+  }
   events_.push_back(std::move(ev));
+}
+
+void TraceSession::set_cap(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cap_ = cap;
+}
+
+std::size_t TraceSession::cap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cap_;
+}
+
+std::uint64_t TraceSession::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 std::size_t TraceSession::size() const {

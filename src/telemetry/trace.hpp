@@ -48,6 +48,15 @@ class TraceSession {
   /// Microseconds since the session started.
   std::uint64_t now_us() const;
 
+  /// Bound the retained events: once `cap` events are stored, further
+  /// submissions are counted in dropped() instead of growing the vector
+  /// (0 = unbounded, the default).  A long-running daemon sets this so a
+  /// multi-hour exploration cannot grow the trace without bound.
+  void set_cap(std::size_t cap);
+  std::size_t cap() const;
+  /// Events discarded because the cap was reached.
+  std::uint64_t dropped() const;
+
   void add_complete(std::string name, std::string cat, int tid,
                     std::uint64_t ts_us, std::uint64_t dur_us,
                     std::vector<TraceArg> args = {});
@@ -68,6 +77,8 @@ class TraceSession {
   std::chrono::steady_clock::time_point origin_;
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
+  std::size_t cap_ = 0;        // 0 = unbounded
+  std::uint64_t dropped_ = 0;  // events refused once the cap was hit
 };
 
 /// RAII span: records a complete event covering its lifetime.  With a null

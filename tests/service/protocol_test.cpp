@@ -161,6 +161,59 @@ TEST(Protocol, ProtoErrorStillEchoesId) {
   EXPECT_EQ(out.id, "v1");
 }
 
+// ---- trace context (trace_id + parent_span) ---------------------------
+
+TEST(Protocol, ParentSpanRoundTrips) {
+  ParseOutcome out = parse_request_line(
+      R"({"type":"status","trace_id":"tr-9","parent_span":"chunk-3"})");
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.trace_id, "tr-9");
+  EXPECT_EQ(out.parent_span, "chunk-3");
+  EXPECT_EQ(out.request.trace_id, "tr-9");
+  EXPECT_EQ(out.request.parent_span, "chunk-3");
+}
+
+TEST(Protocol, ParentSpanDefaultsEmptyForLegacyClients) {
+  // Pre-fleet clients never send the field; absence means "no parent",
+  // not an error, and replies must not grow a member for it.
+  ParseOutcome out = parse_request_line(R"({"type":"status","id":"s"})");
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.parent_span, "");
+  EXPECT_EQ(out.request.parent_span, "");
+  EXPECT_EQ(status_reply("s", {}),
+            R"({"type":"status","proto":1,"id":"s","jobs":[]})");
+}
+
+TEST(Protocol, ParentSpanMustBeAString) {
+  expect_error(R"({"type":"status","parent_span":7})",
+               ServiceError::BadRequest, "\"parent_span\"");
+}
+
+TEST(Protocol, VersionGatedErrorStillEchoesTraceContext) {
+  // The proto gate runs before typed field validation, but the trace
+  // context must survive it so a mixed-version fleet's error replies
+  // still land under the caller's span in the merged timeline.
+  ParseOutcome out = parse_request_line(
+      R"({"type":"status","proto":9,"trace_id":"tr","parent_span":"ps"})");
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.code, ServiceError::UnsupportedVersion);
+  EXPECT_EQ(out.trace_id, "tr");
+  EXPECT_EQ(out.parent_span, "ps");
+}
+
+TEST(Protocol, RepliesEchoParentSpanAfterTraceId) {
+  EXPECT_EQ(status_reply("s", {}, "tr", "ps"),
+            R"({"type":"status","proto":1,"id":"s","trace_id":"tr",)"
+            R"("parent_span":"ps","jobs":[]})");
+  EXPECT_EQ(error_reply("e", ServiceError::BadRequest, "no", "tr", "ps"),
+            R"({"type":"error","proto":1,"id":"e","trace_id":"tr",)"
+            R"("parent_span":"ps","code":"bad_request","message":"no"})");
+  // parent_span without a trace id is legal (the field stands alone).
+  EXPECT_EQ(bye_reply("z", 0, 0, 0, "", "ps"),
+            R"({"type":"bye","proto":1,"id":"z","parent_span":"ps",)"
+            R"("jobs_completed":0,"jobs_cancelled":0,"jobs_failed":0})");
+}
+
 TEST(Protocol, NewErrorCodesRender) {
   EXPECT_NE(error_reply("i", ServiceError::Busy, "m").find(R"("code":"busy")"),
             std::string::npos);
@@ -500,7 +553,7 @@ TEST(Protocol, EveryReplyParsesBackAsJson) {
   const std::string lines[] = {
       error_reply("i", ServiceError::Internal, "boom \"quoted\"\n"),
       accepted_reply("i", "job-1", "0123456789abcdef"),
-      progress_event_line({"job-1", "", {}}),
+      progress_event_line({"job-1", "", "", {}}),
       result_reply("i", "job-1", false, 1.0 / 3.0, "{}"),
       cancel_ok_reply("i", "job-1", "queued"),
       cancelled_reply("i", "job-1", 1),

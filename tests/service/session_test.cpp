@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -595,6 +596,57 @@ TEST(ServiceSession, TraceIdIsEchoedOnEveryReplyAndEvent) {
   auto errors = sink.of_type("error");
   ASSERT_EQ(errors.size(), 1u);
   EXPECT_EQ(errors[0].find("trace_id")->as_string(), "tr-err");
+}
+
+TEST(ServiceSession, ParentSpanIsEchoedAndStampedOnServerSpans) {
+  LineSink sink;
+  TraceSession trace;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.trace = &trace;
+  ServiceSession session(cfg, sink.fn());
+  std::string line = kSmallBatch;
+  line.insert(1, R"("trace_id":"tr-9","parent_span":"chunk-2",)");
+  session.handle_line(line);
+  session.wait_idle();
+  // The wire echo, alongside the trace id.
+  for (const char* type : {"accepted", "result"}) {
+    auto replies = sink.of_type(type);
+    ASSERT_EQ(replies.size(), 1u) << type;
+    EXPECT_EQ(replies[0].find("parent_span")->as_string(), "chunk-2") << type;
+    EXPECT_EQ(replies[0].find("trace_id")->as_string(), "tr-9") << type;
+  }
+  // Every service-category span of the request carries the caller's trace
+  // context as args, so trace_merge.py can hang the whole req-1 tree
+  // under the explorer's chunk span.
+  std::size_t service_spans = 0;
+  for (const TraceEvent& ev : trace.events()) {
+    if (ev.cat != "service") continue;
+    ++service_spans;
+    std::string trace_arg, parent_arg;
+    for (const TraceArg& a : ev.args) {
+      if (a.key == "trace") trace_arg = a.value;
+      if (a.key == "parent") parent_arg = a.value;
+    }
+    EXPECT_EQ(trace_arg, "tr-9") << ev.name;
+    EXPECT_EQ(parent_arg, "chunk-2") << ev.name;
+  }
+  // parse, cache-lookup, queue-wait, engine-run, render.
+  EXPECT_EQ(service_spans, 5u);
+  // A legacy request without the field produces spans without the args.
+  session.handle_line(R"({"type":"status","id":"st"})");
+  auto status = sink.of_type("status");
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].find("parent_span"), nullptr);
+  for (const TraceEvent& ev : trace.events()) {
+    if (ev.cat != "service" || ev.name != "parse") continue;
+    const bool second_request =
+        std::any_of(ev.args.begin(), ev.args.end(), [](const TraceArg& a) {
+          return a.key == "req" && a.value == "req-2";
+        });
+    if (!second_request) continue;
+    for (const TraceArg& a : ev.args) EXPECT_NE(a.key, "parent");
+  }
 }
 
 TEST(ServiceSession, StructuredLogPairsEveryRequestBeginWithAnEnd) {

@@ -71,6 +71,28 @@ TEST(Trace, NullSessionSpanIsANoOp) {
   // Destructor runs at scope exit; nothing to assert beyond "no crash".
 }
 
+TEST(Trace, CapBoundsRetainedEventsAndCountsDrops) {
+  TraceSession session;
+  EXPECT_EQ(session.cap(), 0u);  // unbounded by default
+  session.set_cap(2);
+  EXPECT_EQ(session.cap(), 2u);
+  session.add_complete("a", "engine", 0, 0, 1);
+  session.add_instant("b", "engine", 0);
+  session.add_complete("c", "engine", 0, 2, 1);  // refused: cap reached
+  session.add_instant("d", "engine", 0);         // refused too
+  EXPECT_EQ(session.size(), 2u);
+  EXPECT_EQ(session.dropped(), 2u);
+  auto evs = session.events();
+  EXPECT_EQ(evs[0].name, "a");
+  EXPECT_EQ(evs[1].name, "b");
+  // Raising the cap re-admits new events; the drop count is cumulative.
+  session.set_cap(3);
+  session.add_instant("e", "engine", 0);
+  session.add_instant("f", "engine", 0);
+  EXPECT_EQ(session.size(), 3u);
+  EXPECT_EQ(session.dropped(), 3u);
+}
+
 TEST(Trace, TimestampsAreMonotonicWithinASession) {
   TraceSession session;
   std::uint64_t a = session.now_us();

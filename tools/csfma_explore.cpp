@@ -11,7 +11,23 @@
 //     written tmp+rename so a dashboard never reads a torn file);
 //   - a final csfma-frontier-v1 report: every point's metrics, the Pareto
 //     frontier with its eviction log, per-axis sensitivity, coverage, a
-//     replay digest, and (timing-only) per-daemon contribution.
+//     replay digest, and (timing-only) per-daemon contribution and fleet
+//     health;
+//   - with --fleettrace, a csfma-fleettrace-v1 artifact (docs/FORMATS.md):
+//     the exploration's own span tree — one trace id for the whole run,
+//     one span per daemon connection and per sweep chunk with send/recv
+//     timestamps — plus per-daemon clock-offset estimates (midpoint
+//     method over stats round trips; recorded, never silently applied).
+//     scripts/trace_merge.py joins it with each daemon's --trace-out file
+//     into one offset-aligned chrome://tracing timeline.
+//
+// Distributed tracing: every chunk request carries the exploration trace
+// id and the chunk span id as its parent_span, so each daemon-side req-N
+// span tree hangs under the chunk that caused it in the merged timeline.
+// --stats-poll additionally polls each daemon's `stats` request on a
+// timer (over a dedicated connection, so a busy worker stream is never
+// interleaved) into the per-daemon fleet-health section of the report's
+// timing member: queue depth, cache hit rate, p99 latency.
 //
 // Determinism contract: everything in the report except the trailing
 // "timing" member is a pure function of the configuration space — byte
@@ -60,9 +76,11 @@ struct Options {
   std::vector<std::string> daemons;  // HOST:PORT, one worker thread each
   std::string out;                   // final report path (required)
   std::string snapshot;              // frontier snapshot path ("" = off)
+  std::string fleettrace;            // csfma-fleettrace-v1 artifact path
   std::uint64_t snapshot_every = 256;   // points between snapshots
   double progress_interval_s = 1.0;     // min seconds between progress lines
   double read_timeout_s = 300.0;        // per-line daemon read timeout
+  double stats_poll_s = 0.0;            // fleet-health poll period; 0 = off
 
   // The configuration space (defaults = the paper's shipping geometry).
   std::vector<UnitKind> units{UnitKind::Pcs};
@@ -83,6 +101,7 @@ struct Options {
                "--out FILE\n"
                "  [--snapshot FILE] [--snapshot-every N]\n"
                "  [--progress-interval SECONDS]\n"
+               "  [--fleettrace FILE] [--stats-poll SECONDS]\n"
                "  space axes (comma lists; LO:HI:STEP ranges for ints):\n"
                "  [--unit pcs,fcs,discrete,classic] [--rounding LIST]\n"
                "  [--seed LIST] [--block LIST] [--group LIST]\n"
@@ -160,6 +179,11 @@ Options parse_options(int argc, char** argv) {
       o.progress_interval_s = std::strtod(need(i).c_str(), nullptr);
     } else if (a == "--read-timeout") {
       o.read_timeout_s = std::strtod(need(i).c_str(), nullptr);
+    } else if (a == "--fleettrace") {
+      o.fleettrace = need(i);
+    } else if (a == "--stats-poll") {
+      o.stats_poll_s = std::strtod(need(i).c_str(), nullptr);
+      if (o.stats_poll_s < 0.0) usage("--stats-poll must be >= 0");
     } else if (a == "--unit") {
       o.units.clear();
       for (const std::string& tok : split_commas(need(i))) {
@@ -216,21 +240,56 @@ struct Chunk {
   std::size_t base = 0;                // global index of the first point
   std::vector<SubmitRequest> points;   // expected, in server order
   std::string wire;                    // the rendered sweep request line
+  // Fleet tracing, filled by the one worker that ran the chunk: which
+  // daemon took it, and the chunk span's bounds on the explorer clock
+  // (request write to sweep_done read, microseconds since exploration
+  // start).
+  int daemon = -1;
+  std::uint64_t send_us = 0;
+  std::uint64_t recv_us = 0;
 };
 
 bool valid_design(UnitKind unit, int block, int group) {
   return unit != UnitKind::Pcs || block % group == 0;
 }
 
-std::string render_sweep_line(const Options& o, std::size_t ordinal,
-                              UnitKind unit, Round rm, std::uint64_t seed,
-                              int block, int group, int rwidth) {
+/// The exploration-level trace id: a pure function of the configuration
+/// space, so reruns of the same space correlate under the same id.
+std::string exploration_trace_id(const Options& o) {
+  std::uint64_t d = fnv1a64("csfma-explore");
+  for (UnitKind u : o.units) d = fnv1a64(to_string(u), fnv1a64("|u|", d));
+  for (Round r : o.rms) d = fnv1a64(to_string(r), fnv1a64("|r|", d));
+  for (std::uint64_t s : o.seeds)
+    d = fnv1a64(std::to_string(s), fnv1a64("|s|", d));
+  for (int b : o.blocks) d = fnv1a64(std::to_string(b), fnv1a64("|b|", d));
+  for (int g : o.groups) d = fnv1a64(std::to_string(g), fnv1a64("|g|", d));
+  for (int r : o.rwidths) d = fnv1a64(std::to_string(r), fnv1a64("|w|", d));
+  for (dse::BlockSelect s : o.selects)
+    d = fnv1a64(dse::to_string(s), fnv1a64("|x|", d));
+  for (int dp : o.depths) d = fnv1a64(std::to_string(dp), fnv1a64("|d|", d));
+  for (std::uint64_t op : o.ops)
+    d = fnv1a64(std::to_string(op), fnv1a64("|o|", d));
+  return "explore-" + hex16(d);
+}
+
+std::string render_sweep_line(const Options& o, const std::string& trace_id,
+                              std::size_t ordinal, UnitKind unit, Round rm,
+                              std::uint64_t seed, int block, int group,
+                              int rwidth) {
   JsonWriter w;
   w.begin_object();
   w.key("type");
   w.value("sweep");
   w.key("id");
   w.value("c" + std::to_string(ordinal));
+  // The distributed-tracing context: the daemon echoes both fields on
+  // every reply and stamps its server spans with them, which is what lets
+  // trace_merge.py parent the daemon-side req-N span tree under this
+  // chunk's span.
+  w.key("trace_id");
+  w.value(trace_id);
+  w.key("parent_span");
+  w.value("chunk-" + std::to_string(ordinal));
   w.key("mode");
   w.value("model");
   w.key("unit");
@@ -261,7 +320,8 @@ std::string render_sweep_line(const Options& o, std::size_t ordinal,
   return w.str();
 }
 
-std::vector<Chunk> build_chunks(const Options& o) {
+std::vector<Chunk> build_chunks(const Options& o,
+                                const std::string& trace_id) {
   const std::size_t inner =
       o.selects.size() * o.depths.size() * o.ops.size();
   if (inner == 0 || inner > kMaxSweepPoints)
@@ -278,8 +338,8 @@ std::vector<Chunk> build_chunks(const Options& o) {
               Chunk c;
               c.ordinal = chunks.size();
               c.base = base;
-              c.wire = render_sweep_line(o, c.ordinal, unit, rm, seed,
-                                         block, group, rwidth);
+              c.wire = render_sweep_line(o, trace_id, c.ordinal, unit, rm,
+                                         seed, block, group, rwidth);
               SweepRequest sweep;
               sweep.mode = SimMode::Model;
               sweep.units = {unit};
@@ -335,15 +395,29 @@ std::vector<std::pair<std::string, std::string>> point_axes(
 struct DaemonStats {
   std::string addr;
   std::uint64_t chunks = 0, points = 0, cached = 0, fresh = 0;
+  // Connection span bounds (explorer clock, us since exploration start).
+  std::uint64_t conn_t0_us = 0, conn_t1_us = 0;
+  // Fleet health, refreshed by each stats round trip (last value wins).
+  std::uint64_t stats_samples = 0;
+  double queue_depth = 0.0;
+  double cache_hit_rate = 0.0;
+  double p99_ms = 0.0;
+  /// Midpoint clock-offset estimates, one per stats round trip:
+  /// explorer_us ~= daemon_us + offset_us, where daemon_us counts from
+  /// the daemon's start (the clock its --trace-out spans use).  Recorded
+  /// for trace_merge.py; never applied here.
+  std::vector<double> offsets_us;
 };
 
 struct Explorer {
   const Options& opt;
   std::vector<Chunk>& chunks;
   std::size_t total_points;
+  std::string trace_id;
 
   std::atomic<std::size_t> next_chunk{0};
   std::atomic<bool> failed{false};
+  std::atomic<bool> done{false};  // stops the fleet-health pollers
 
   std::mutex mu;  // everything below
   std::vector<PointRec> results;       // by global index
@@ -363,7 +437,11 @@ struct Explorer {
         for (const auto& [axis, value] : point_axes(p))
           coverage.add_expected(axis, value, 1);
     coverage.set_total(total);
-    for (const std::string& addr : o.daemons) daemons.push_back({addr});
+    for (const std::string& addr : o.daemons) {
+      DaemonStats ds;
+      ds.addr = addr;
+      daemons.push_back(std::move(ds));
+    }
     t0 = std::chrono::steady_clock::now();
     last_progress = t0 - std::chrono::hours(1);
   }
@@ -376,6 +454,14 @@ struct Explorer {
   double elapsed_s() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          t0)
+        .count();
+  }
+
+  /// Microseconds since exploration start — the explorer's trace clock.
+  std::uint64_t us_now() const {
+    return (std::uint64_t)std::chrono::duration_cast<
+               std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                          t0)
         .count();
   }
 
@@ -476,11 +562,119 @@ int connect_tcp(const std::string& host_port, std::string* err) {
   return fd;
 }
 
+/// One `stats` round trip on `ch`: refresh the daemon's fleet-health
+/// fields and record a midpoint clock-offset sample.  Returns false when
+/// the connection is unusable; health polling is observability, so the
+/// caller decides whether that is fatal.
+bool stats_round(Explorer& ex, LineChannel& ch, DaemonStats& stats,
+                 std::size_t daemon_idx, std::uint64_t seq) {
+  JsonWriter req;
+  req.begin_object();
+  req.key("type");
+  req.value("stats");
+  req.key("id");
+  req.value("health-" + std::to_string(daemon_idx) + "-" +
+            std::to_string(seq));
+  req.key("trace_id");
+  req.value(ex.trace_id);
+  req.key("parent_span");
+  req.value("conn-" + std::to_string(daemon_idx));
+  req.end_object();
+  const std::uint64_t send_us = ex.us_now();
+  if (!ch.write_line(req.str())) return false;
+  JsonValue doc;
+  std::string line;
+  for (;;) {
+    if (ch.read_line(&line, ex.opt.read_timeout_s) !=
+        LineChannel::Read::Line)
+      return false;
+    JsonParseError jerr;
+    if (!json_parse(line, &doc, &jerr)) return false;
+    const JsonValue* type = doc.find("type");
+    if (type == nullptr || !type->is_string()) return false;
+    if (type->as_string() == "stats") break;
+  }
+  const std::uint64_t recv_us = ex.us_now();
+  const JsonValue* up = doc.find("uptime_s");
+  if (up == nullptr || !up->is_number()) return false;
+  // Midpoint method: the daemon stamped uptime_s somewhere between our
+  // send and our recv; the midpoint is the unbiased estimate.  The
+  // resulting offset maps the daemon's own clock (which its --trace-out
+  // spans use) onto the explorer timeline.  Recorded only — applying it
+  // is trace_merge.py's job.
+  const double offset_us = 0.5 * ((double)send_us + (double)recv_us) -
+                           up->as_number() * 1e6;
+  double queue_depth = 0.0, hit_rate = 0.0, p99 = 0.0;
+  if (const JsonValue* metrics = doc.find("metrics")) {
+    if (const JsonValue* gauges = metrics->find("gauges"))
+      if (const JsonValue* g = gauges->find("service.queue.depth"))
+        if (const JsonValue* v = g->find("value");
+            v != nullptr && v->is_number())
+          queue_depth = v->as_number();
+    if (const JsonValue* counters = metrics->find("counters")) {
+      auto counter = [&](const char* name) -> double {
+        const JsonValue* c = counters->find(name);
+        const JsonValue* v = c != nullptr ? c->find("value") : nullptr;
+        return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+      };
+      const double hits = counter("service.cache.hits");
+      const double lookups = hits + counter("service.cache.misses");
+      hit_rate = lookups > 0.0 ? hits / lookups : 0.0;
+    }
+  }
+  if (const JsonValue* pct = doc.find("percentiles");
+      pct != nullptr && pct->is_object()) {
+    // The slowest tail the daemon has shown for any request type/outcome.
+    for (const auto& [name, h] : pct->as_object()) {
+      if (name.rfind("service.latency_ms.", 0) != 0) continue;
+      const JsonValue* count = h.find("count");
+      const JsonValue* v = h.find("p99");
+      if (count != nullptr && count->is_int() && count->as_int() > 0 &&
+          v != nullptr && v->is_number() && v->as_number() > p99)
+        p99 = v->as_number();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(ex.mu);
+    stats.stats_samples += 1;
+    stats.queue_depth = queue_depth;
+    stats.cache_hit_rate = hit_rate;
+    stats.p99_ms = p99;
+    stats.offsets_us.push_back(offset_us);
+  }
+  return true;
+}
+
+/// Fleet-health poller: its own connection per daemon, so stats requests
+/// never interleave with the worker's sweep stream.  Best-effort — a
+/// daemon that refuses the extra connection just reports fewer samples.
+void health_poller(Explorer& ex, std::size_t daemon_idx) {
+  DaemonStats& stats = ex.daemons[daemon_idx];
+  std::string err;
+  const int fd = connect_tcp(stats.addr, &err);
+  if (fd < 0) return;
+  {
+    LineChannel ch(fd, fd);
+    std::uint64_t seq = 1;
+    while (!ex.done.load(std::memory_order_relaxed)) {
+      if (!stats_round(ex, ch, stats, daemon_idx, seq++)) break;
+      auto until = std::chrono::steady_clock::now() +
+                   std::chrono::duration<double>(ex.opt.stats_poll_s);
+      while (!ex.done.load(std::memory_order_relaxed) &&
+             std::chrono::steady_clock::now() < until)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  close(fd);
+}
+
 /// Run one chunk over an established channel.  Returns false on any
 /// transport, protocol, or integrity failure (the explorer aborts —
 /// a partial frontier must never masquerade as a complete one).
 bool run_chunk(Explorer& ex, Chunk& chunk, LineChannel& ch,
-               DaemonStats& stats) {
+               DaemonStats& stats, std::size_t daemon_idx) {
+  chunk.daemon = (int)daemon_idx;
+  chunk.send_us = ex.us_now();
   if (!ch.write_line(chunk.wire)) {
     ex.fail("daemon " + stats.addr + ": connection lost (write)");
     return false;
@@ -587,6 +781,7 @@ bool run_chunk(Explorer& ex, Chunk& chunk, LineChannel& ch,
       continue;
     }
     if (t == "sweep_done") {
+      chunk.recv_us = ex.us_now();
       const JsonValue* d = doc.find("digest");
       const JsonValue* misses = doc.find("cache_misses");
       if (got != chunk.points.size() || d == nullptr ||
@@ -626,14 +821,25 @@ void worker(Explorer& ex, std::size_t daemon_idx) {
     ex.fail(err);
     return;
   }
-  LineChannel ch(fd, fd);
-  for (;;) {
-    if (ex.failed.load(std::memory_order_relaxed)) break;
-    const std::size_t c =
-        ex.next_chunk.fetch_add(1, std::memory_order_relaxed);
-    if (c >= ex.chunks.size()) break;
-    if (!run_chunk(ex, ex.chunks[c], ch, stats)) break;
+  stats.conn_t0_us = ex.us_now();
+  {
+    LineChannel ch(fd, fd);
+    // One stats round up front (the channel is idle here): every daemon
+    // gets at least one clock-offset sample and one health snapshot even
+    // with --stats-poll off.
+    if (!stats_round(ex, ch, stats, daemon_idx, 0)) {
+      ex.fail("daemon " + stats.addr + ": stats handshake failed");
+    } else {
+      for (;;) {
+        if (ex.failed.load(std::memory_order_relaxed)) break;
+        const std::size_t c =
+            ex.next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (c >= ex.chunks.size()) break;
+        if (!run_chunk(ex, ex.chunks[c], ch, stats, daemon_idx)) break;
+      }
+    }
   }
+  stats.conn_t1_us = ex.us_now();
   close(fd);
 }
 
@@ -651,6 +857,32 @@ void put_stat(JsonWriter& w, const dse::SensitivityStat& s) {
   w.value(s.dsps);
   w.key("energy_nj");
   w.value(s.energy_nj);
+  w.end_object();
+}
+
+/// The midpoint clock-offset estimates, summarized: sample count, mean,
+/// min, max (microseconds; explorer_us ~= daemon_us + offset).
+void put_offset_summary(JsonWriter& w, const std::vector<double>& offsets) {
+  double mean = 0.0, lo = 0.0, hi = 0.0;
+  if (!offsets.empty()) {
+    lo = hi = offsets[0];
+    for (double o : offsets) {
+      mean += o;
+      if (o < lo) lo = o;
+      if (o > hi) hi = o;
+    }
+    mean /= (double)offsets.size();
+  }
+  w.key("clock_offset_us");
+  w.begin_object();
+  w.key("samples");
+  w.value((std::uint64_t)offsets.size());
+  w.key("mean");
+  w.value(mean);
+  w.key("min");
+  w.value(lo);
+  w.key("max");
+  w.value(hi);
   w.end_object();
 }
 
@@ -868,11 +1100,120 @@ std::string render_report(const Explorer& ex) {
     w.value(d.cached);
     w.key("fresh");
     w.value(d.fresh);
+    // Fleet health: the daemon's last stats snapshot (queue depth, cache
+    // hit rate, worst p99 request latency) plus how it was sampled.
+    w.key("health");
+    w.begin_object();
+    w.key("stats_samples");
+    w.value(d.stats_samples);
+    w.key("queue_depth");
+    w.value(d.queue_depth);
+    w.key("cache_hit_rate");
+    w.value(d.cache_hit_rate);
+    w.key("p99_ms");
+    w.value(d.p99_ms);
+    put_offset_summary(w, d.offsets_us);
+    w.end_object();
     w.end_object();
   }
   w.end_array();
   w.end_object();
 
+  w.end_object();
+  return w.str();
+}
+
+/// csfma-fleettrace-v1 (docs/FORMATS.md §10): the exploration's own span
+/// tree plus per-daemon clock-offset estimates — everything
+/// trace_merge.py needs to align each daemon's --trace-out file onto the
+/// explorer timeline.  Timing-class throughout; only the merge summary
+/// downstream is deterministic.
+std::string render_fleettrace(const Explorer& ex) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("format");
+  w.value("csfma-fleettrace-v1");
+  w.key("tool");
+  w.value("csfma_explore");
+  w.key("trace_id");
+  w.value(ex.trace_id);
+  w.key("clock");
+  w.value("us-since-exploration-start");
+  w.key("spans");
+  w.begin_array();
+  {
+    // The root span covering the whole exploration.
+    w.begin_object();
+    w.key("id");
+    w.value("explore");
+    w.key("parent");
+    w.value("");
+    w.key("kind");
+    w.value("explore");
+    w.key("t0_us");
+    w.value((std::uint64_t)0);
+    w.key("t1_us");
+    w.value(ex.us_now());
+    w.end_object();
+  }
+  for (std::size_t d = 0; d < ex.daemons.size(); ++d) {
+    const DaemonStats& ds = ex.daemons[d];
+    w.begin_object();
+    w.key("id");
+    w.value("conn-" + std::to_string(d));
+    w.key("parent");
+    w.value("explore");
+    w.key("kind");
+    w.value("conn");
+    w.key("daemon");
+    w.value((std::uint64_t)d);
+    w.key("addr");
+    w.value(ds.addr);
+    w.key("t0_us");
+    w.value(ds.conn_t0_us);
+    w.key("t1_us");
+    w.value(ds.conn_t1_us);
+    w.end_object();
+  }
+  for (const Chunk& c : ex.chunks) {
+    if (c.daemon < 0) continue;  // never ran (an earlier chunk failed)
+    w.begin_object();
+    w.key("id");
+    w.value("chunk-" + std::to_string(c.ordinal));
+    w.key("parent");
+    w.value("conn-" + std::to_string(c.daemon));
+    w.key("kind");
+    w.value("chunk");
+    w.key("daemon");
+    w.value((std::uint64_t)c.daemon);
+    w.key("base");
+    w.value((std::uint64_t)c.base);
+    w.key("points");
+    w.value((std::uint64_t)c.points.size());
+    w.key("t0_us");
+    w.value(c.send_us);  // request write...
+    w.key("t1_us");
+    w.value(c.recv_us);  // ...to sweep_done read
+    w.end_object();
+  }
+  w.end_array();
+  w.key("daemons");
+  w.begin_array();
+  for (std::size_t d = 0; d < ex.daemons.size(); ++d) {
+    const DaemonStats& ds = ex.daemons[d];
+    w.begin_object();
+    w.key("index");
+    w.value((std::uint64_t)d);
+    w.key("addr");
+    w.value(ds.addr);
+    w.key("chunks");
+    w.value(ds.chunks);
+    w.key("points");
+    w.value(ds.points);
+    put_offset_summary(w, ds.offsets_us);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   return w.str();
 }
@@ -891,21 +1232,35 @@ bool write_atomic(const std::string& path, const std::string& content) {
 
 int main(int argc, char** argv) {
   Options opt = parse_options(argc, argv);
-  std::vector<Chunk> chunks = build_chunks(opt);
+  const std::string trace_id = exploration_trace_id(opt);
+  std::vector<Chunk> chunks = build_chunks(opt, trace_id);
   std::size_t total = 0;
   for (const Chunk& c : chunks) total += c.points.size();
 
   Explorer ex(opt, chunks, total);
+  ex.trace_id = trace_id;
   std::fprintf(stderr,
                "csfma_explore: %zu points in %zu chunks across %zu "
-               "daemon(s)\n",
-               total, chunks.size(), opt.daemons.size());
+               "daemon(s), trace %s\n",
+               total, chunks.size(), opt.daemons.size(), trace_id.c_str());
 
   std::vector<std::thread> threads;
   for (std::size_t d = 0; d < opt.daemons.size(); ++d)
     threads.emplace_back([&ex, d] { worker(ex, d); });
+  std::vector<std::thread> pollers;
+  if (opt.stats_poll_s > 0.0)
+    for (std::size_t d = 0; d < opt.daemons.size(); ++d)
+      pollers.emplace_back([&ex, d] { health_poller(ex, d); });
   for (std::thread& t : threads) t.join();
+  ex.done.store(true, std::memory_order_relaxed);
+  for (std::thread& t : pollers) t.join();
 
+  if (!opt.fleettrace.empty() &&
+      !write_atomic(opt.fleettrace, render_fleettrace(ex))) {
+    std::fprintf(stderr, "csfma_explore: cannot write --fleettrace %s\n",
+                 opt.fleettrace.c_str());
+    return 2;
+  }
   if (ex.failed.load()) {
     std::fprintf(stderr, "csfma_explore: %s\n", ex.error.c_str());
     return 2;

@@ -8,6 +8,7 @@
 //               [--socket PATH | --tcp HOST:PORT] [--port-file PATH]
 //               [--cache-file PATH] [--metrics] [--metrics-file PATH]
 //               [--log-file PATH] [--slow-ms MS] [--trace-out PATH]
+//               [--trace-cap N]
 //
 // Transports (src/service/transport.hpp): stdin/stdout by default (the
 // mode CI and the tests drive via scripts/csfma_client.py), --socket for
@@ -30,7 +31,10 @@
 // exit) for external scrapers; --log-file appends the csfma-log-v1
 // structured JSON-lines server log (--slow-ms adds slow_request lines);
 // --trace-out writes the request-scoped chrome://tracing span tree at
-// exit.  The live `stats` request works on any transport with no flags.
+// exit (--trace-cap bounds the retained spans so a long-running fleet
+// daemon cannot grow the trace without bound; refused spans are counted
+// in the service.trace.dropped metric).  The live `stats` request works
+// on any transport with no flags.
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -62,6 +66,7 @@ struct ServeOptions {
   std::string metrics_file;  // Prometheus text file, rewritten periodically
   std::string log_file;      // structured JSON-lines server log
   std::string trace_out;     // chrome://tracing dump at exit
+  std::size_t trace_cap = 0;  // retained-span bound; 0 = unbounded
   double idle_timeout_s = 0.0;
   bool dump_metrics = false;
 };
@@ -76,7 +81,8 @@ struct ServeOptions {
       "PATH]\n"
       "                   [--cache-file PATH] [--metrics]\n"
       "                   [--metrics-file PATH] [--log-file PATH]\n"
-      "                   [--slow-ms MS] [--trace-out PATH]\n"
+      "                   [--slow-ms MS] [--trace-out PATH] [--trace-cap "
+      "N]\n"
       "JSON-lines simulation service; see docs/service.md for the "
       "protocol.\n");
   std::exit(rc);
@@ -126,6 +132,10 @@ ServeOptions parse_args(int argc, char** argv) {
       if (opt.service.slow_ms < 0.0) usage(2);
     } else if (arg == "--trace-out") {
       opt.trace_out = value();
+    } else if (arg == "--trace-cap") {
+      long n = std::atol(value());
+      if (n < 0) usage(2);
+      opt.trace_cap = (std::size_t)n;
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -207,7 +217,10 @@ int main(int argc, char** argv) {
   MetricsRegistry metrics;
   ResultCache cache(opt.service.cache_entries, &metrics);
   std::unique_ptr<TraceSession> trace;
-  if (!opt.trace_out.empty()) trace = std::make_unique<TraceSession>();
+  if (!opt.trace_out.empty()) {
+    trace = std::make_unique<TraceSession>();
+    trace->set_cap(opt.trace_cap);
+  }
   std::unique_ptr<ServiceLog> log;
   if (!opt.log_file.empty()) {
     log = ServiceLog::open(opt.log_file);
@@ -230,6 +243,14 @@ int main(int argc, char** argv) {
     else if (!loaded.missing)
       std::fprintf(stderr, "csfma_serve: journal %s: %zu record(s) loaded\n",
                    opt.cache_file.c_str(), loaded.records_loaded);
+    if (log != nullptr) {
+      // Startup journal replay, in the structured log too: how much state
+      // this daemon resumed with, and whether the journal tail was torn.
+      log->line("journal_load")
+          .det("records", (std::uint64_t)loaded.records_loaded)
+          .det("bytes_skipped", (std::uint64_t)loaded.bytes_skipped)
+          .det("torn", loaded.corrupt_tail ? 1 : 0);
+    }
     cache.set_journal(journal.get());
   }
   opt.service.metrics = &metrics;
@@ -280,6 +301,9 @@ int main(int argc, char** argv) {
       log->line("journal_compact").det("entries", (std::uint64_t)entries);
     }
   }
+  if (trace != nullptr && trace->dropped() != 0)
+    metrics.counter("service.trace.dropped", Stability::Timing)
+        .add(trace->dropped());
   metrics_writer.reset();  // final --metrics-file write
   if (trace != nullptr) {
     try {
