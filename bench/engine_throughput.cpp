@@ -7,8 +7,16 @@
 //   engine_throughput [ops] [threads] [--json <path>] [--trace <path>]
 //                     [--reps N] [--warmup N] [--bench-out <path>]
 //                     [--no-bench-out] [--progress]
+//                     [--backend scalar|sliced] [--workers N]
 //                                        (default: 1000000 ops,
 //                                         max(4, hardware_concurrency))
+//
+// --backend selects the engine execution backend for both phases (sliced
+// is the default; scalar is the reference oracle — the report's metrics
+// section is byte-identical either way, which CI's backend-equivalence
+// gate checks).  --workers N sets the parallel phase's worker request
+// (same as the positional threads argument); requests beyond the host's
+// hardware threads run clamped and are reported as such.
 //
 // --json writes a csfma-report-v1 document (see docs/observability.md);
 // its "metrics" section is byte-identical for any thread count.  --trace
@@ -84,8 +92,13 @@ int main(int argc, char** argv) {
   const std::uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
                                    : 1000000ull;
   const unsigned hw = std::thread::hardware_concurrency();
-  const int par = argc > 2 ? std::atoi(argv[2])
-                           : (int)(hw > 4 ? hw : 4);
+  const int par = argc > 2     ? std::atoi(argv[2])
+                  : hopts.workers > 0 ? hopts.workers
+                                      : (int)(hw > 4 ? hw : 4);
+  // The engine clamps workers to the host's hardware threads; surface the
+  // clamp here so a "parallel" row on a small box reads as what it is.
+  const int hw_threads = hw == 0 ? 1 : (int)hw;
+  const int par_eff = par > hw_threads ? hw_threads : par;
   const std::uint64_t seed = 20260806;
   const bool gate_speedup = argc == 1;
   BenchHarness harness("engine_throughput", hopts);
@@ -108,7 +121,11 @@ int main(int argc, char** argv) {
                  out_paths.trace_path.empty() ? nullptr : &trace);
       },
       n);
-  std::printf("  (%d worker threads)\n", par);
+  if (par_eff != par)
+    std::printf("  (%d worker threads requested, clamped to %d)\n", par,
+                par_eff);
+  else
+    std::printf("  (%d worker threads)\n", par);
   print_stats("parallel", rn.stats);
 
   bool identical = r1.results.size() == rn.results.size();
@@ -143,6 +160,9 @@ int main(int argc, char** argv) {
     report.meta("seed", seed);
     report.meta("ops", n);
     report.meta("threads", par);
+    report.meta("threads_effective", par_eff);
+    report.meta("threads_clamped", par_eff != par ? "true" : "false");
+    report.meta("backend", to_string(hopts.backend));
     report.meta("shard_ops", EngineConfig{}.shard_ops);
     report.meta("hardware_threads", (std::uint64_t)hw);
     report.attach_metrics(metrics);  // engine.* counters/histograms

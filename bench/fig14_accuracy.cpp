@@ -4,10 +4,13 @@
 // golden reference.  Ladder: 64b discrete, 68b discrete, PCS-FMA chain,
 // FCS-FMA chain (the paper plots 64b, 68b and FCS).
 //   fig14_accuracy [--json <path>] [--threads <n>]
+//                  [--backend scalar|sliced] [--workers <n>]
 //
-// --threads sets the engine worker count for the chained runs; every
-// output — ulp numbers AND the merged event-log JSON — is byte-identical
-// for any value (the CI determinism gate diffs 1 vs 4).
+// --threads (or the harness-wide --workers spelling) sets the engine
+// worker count for the chained runs; every output — ulp numbers AND the
+// merged event-log JSON — is byte-identical for any value (the CI
+// determinism gate diffs 1 vs 4, and the backend-equivalence gate diffs
+// scalar vs sliced on top).
 //
 // The P/FCS chains run through SimEngine::run_chained (operands stay in
 // CS form with their deferred-rounding tails between operations); the
@@ -98,7 +101,7 @@ PFloat discrete(const Inputs& in, const FloatFormat& fmt, int n) {
 int main(int argc, char** argv) {
   const HarnessOptions hopts = extract_harness_args(argc, argv);
   const ReportCliArgs out_paths = extract_report_args(argc, argv);
-  int threads = 1;
+  int threads = hopts.workers > 0 ? hopts.workers : 1;  // --workers alias
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--threads") threads = std::atoi(argv[i + 1]);
   }

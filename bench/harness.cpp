@@ -80,6 +80,14 @@ HarnessOptions extract_harness_args(int& argc, char** argv) {
       opts.progress = true;
     } else if (std::strcmp(a, "--no-hw-counters") == 0) {
       opts.hw_counters = false;
+    } else if (std::strcmp(a, "--backend") == 0 && has_value) {
+      if (!parse_engine_backend(argv[++i], &opts.backend)) {
+        std::fprintf(stderr, "unknown --backend '%s' (scalar|sliced)\n",
+                     argv[i]);
+        std::exit(2);
+      }
+    } else if (std::strcmp(a, "--workers") == 0 && has_value) {
+      opts.workers = std::atoi(argv[++i]);
     } else {
       argv[out++] = argv[i];
     }
@@ -87,6 +95,7 @@ HarnessOptions extract_harness_args(int& argc, char** argv) {
   argc = out;
   if (opts.reps < 1) opts.reps = 1;
   if (opts.warmup < 0) opts.warmup = 0;
+  if (opts.workers < 0) opts.workers = 0;
   return opts;
 }
 
@@ -106,6 +115,10 @@ BenchHarness::BenchHarness(std::string name, HarnessOptions opts)
 
 void BenchHarness::configure_engine(EngineConfig& cfg) {
   cfg.profiler = &profiler_;
+  // Backend is uniform across a run; the worker request is NOT applied
+  // here — benches with several thread configurations (engine_throughput's
+  // 1t vs parallel phases) apply options().workers where it belongs.
+  cfg.backend = opts_.backend;
   if (opts_.progress) {
     const std::string label = name_;
     cfg.progress = [label](const EngineProgress& p) {
@@ -231,6 +244,20 @@ std::string BenchHarness::write_baseline() const {
   report.meta("host", host_fingerprint());
   report.meta("hardware_threads",
               (std::uint64_t)std::thread::hardware_concurrency());
+  report.meta("backend", to_string(opts_.backend));
+  if (opts_.workers > 0) {
+    // Mirror of the engine's worker clamp (EngineConfig::threads): a
+    // request beyond the host's hardware threads runs clamped, and the
+    // baseline says so — bench_compare.py can then refuse to read a
+    // clamped "4-worker" run as genuine 4-way scaling.
+    const unsigned hwc = std::thread::hardware_concurrency();
+    const int hw_threads = hwc == 0 ? 1 : (int)hwc;
+    report.meta("workers_requested", opts_.workers);
+    report.meta("workers_effective",
+                opts_.workers > hw_threads ? hw_threads : opts_.workers);
+    report.meta("workers_clamped",
+                opts_.workers > hw_threads ? "true" : "false");
+  }
   report.meta("hw_counters", profiler_.hw_enabled() ? "true" : "false");
   report.meta("reps", opts_.reps);
   report.meta("warmup", opts_.warmup);

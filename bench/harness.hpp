@@ -58,11 +58,25 @@ struct HarnessOptions {
   std::string bench_out;
   bool progress = false;     // engine progress heartbeat on stderr
   bool hw_counters = true;   // request perf_event counters (auto-degrades)
+  /// Engine execution backend (--backend scalar|sliced); applied by
+  /// configure_engine().  Benches that never build an engine accept and
+  /// ignore the flag, so CI can pass it uniformly.
+  EngineBackend backend = EngineBackend::Sliced;
+  /// Engine worker-thread request (--workers <n>); 0 = the bench's own
+  /// default.  Benches apply it to the phases where a worker count is
+  /// meaningful (configure_engine() leaves cfg.threads alone, so a bench
+  /// can still measure a deliberate 1-thread phase under --workers 4).
+  /// The engine clamps the effective count to the host's
+  /// hardware threads (EngineConfig::threads) and the harness records the
+  /// clamp in the baseline meta, so a `--workers 4` run on a 1-thread CI
+  /// box is visible as such instead of masquerading as true 4-way data.
+  int workers = 0;
 };
 
 /// Common bench CLI plumbing, same contract as extract_report_args():
 /// removes `--reps <n>`, `--warmup <n>`, `--bench-out <path>`,
-/// `--no-bench-out`, `--progress` and `--no-hw-counters` from argv so
+/// `--no-bench-out`, `--progress`, `--no-hw-counters`,
+/// `--backend <scalar|sliced>` and `--workers <n>` from argv so
 /// positional argument parsing stays untouched.
 HarnessOptions extract_harness_args(int& argc, char** argv);
 

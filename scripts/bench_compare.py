@@ -94,7 +94,9 @@ def fingerprint_diff(base_host, cur_host):
 
 
 def load_perf(path):
-    """Load a BENCH_*.json and return (bench, bench_host_perf section)."""
+    """Load a BENCH_*.json and return (bench, bench_host_perf section,
+    report meta).  Meta carries the engine backend and the worker-clamp
+    record (harness.cpp write_baseline)."""
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -105,7 +107,10 @@ def load_perf(path):
     sec = doc.get("sections", {}).get("bench_host_perf")
     if not isinstance(sec, dict) or not isinstance(sec.get("phases"), dict):
         die(f"{path}: missing sections.bench_host_perf.phases")
-    return doc.get("bench", "?"), sec
+    meta = doc.get("meta", {})
+    if not isinstance(meta, dict):
+        meta = {}
+    return doc.get("bench", "?"), sec, meta
 
 
 def noise_pct(phase):
@@ -172,11 +177,19 @@ def derive_thresholds(directory, bench, host, fail_pct):
 def compare(baseline_path, current_path, fail_pct, warn_pct,
             force_cross_host=False, require_same_host=False,
             history_dir=None):
-    bench_a, base = load_perf(baseline_path)
-    bench_b, cur = load_perf(current_path)
+    bench_a, base, meta_a = load_perf(baseline_path)
+    bench_b, cur, meta_b = load_perf(current_path)
     if bench_a != bench_b:
         print(f"FAIL: bench mismatch: baseline is '{bench_a}', "
               f"current is '{bench_b}'", file=sys.stderr)
+        return EXIT_STRUCTURAL
+    # Comparing across engine backends is a different-datapath comparison,
+    # not a regression measurement — flag it as structural.  Baselines
+    # predating the backend knob carry no meta and compare as before.
+    be_a, be_b = meta_a.get("backend"), meta_b.get("backend")
+    if be_a is not None and be_b is not None and be_a != be_b:
+        print(f"FAIL: backend mismatch: baseline ran '{be_a}', "
+              f"current ran '{be_b}'", file=sys.stderr)
         return EXIT_STRUCTURAL
 
     cross_host = base.get("host") != cur.get("host")
@@ -275,16 +288,23 @@ def trend(directory, bench_filter):
                              recursive=True))
     if not paths:
         die(f"no BENCH_*.json under {directory}")
-    # bench -> phase -> [(label, median, mad)]
+    # bench -> phase -> [(label, backend, median, mad)]
     series = {}
     for path in paths:
-        bench, sec = load_perf(path)
+        bench, sec, meta = load_perf(path)
         if bench_filter and bench != bench_filter:
             continue
         label = os.path.relpath(path, directory)
+        # Engine backend of the snapshot (harness meta); snapshots from
+        # before the scalar|sliced knob print "-".  Clamped worker
+        # requests are flagged so an oversubscribed row reads as such.
+        backend = meta.get("backend", "-")
+        if meta.get("workers_clamped") == "true":
+            backend += " (clamped)"
         for name, p in sec["phases"].items():
             series.setdefault(bench, {}).setdefault(name, []).append(
-                (label, p.get("median_s", 0.0), p.get("mad_s", 0.0)))
+                (label, backend, p.get("median_s", 0.0),
+                 p.get("mad_s", 0.0)))
     if not series:
         die(f"no matching benches under {directory}")
     for bench in sorted(series):
@@ -292,11 +312,11 @@ def trend(directory, bench_filter):
         for phase in sorted(series[bench]):
             rows = series[bench][phase]
             print(f"  {phase}:")
-            first = rows[0][1]
-            for label, med, mad in rows:
+            first = rows[0][2]
+            for label, backend, med, mad in rows:
                 rel = f"{100.0 * (med - first) / first:+6.1f}%" \
                     if first > 0 else "     -"
-                print(f"    {label:<40} {med:>11.6f}s "
+                print(f"    {label:<40} {backend:<10} {med:>11.6f}s "
                       f"(mad {mad:.6f}s) {rel}")
     return 0
 

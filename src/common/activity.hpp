@@ -41,6 +41,50 @@ class ActivityProbe {
     ++observations_;
   }
 
+  /// Bulk observation of `n` successive values in bit-plane (SoA) form:
+  /// planes[b] bit L holds bit b of the (L+1)-th value of the batch
+  /// (engine/slice.hpp layout).  Exactly equivalent to n successive
+  /// observe() calls of width `width_bits` — the seam toggle against the
+  /// stored baseline uses the same zero-extended comparison, lane-to-lane
+  /// toggles are popcounts of each plane XOR its one-lane shift, and the
+  /// batch's last value becomes the new baseline.
+  void observe_planes(const std::uint64_t* planes, int width_bits, int n) {
+    if (n <= 0) return;
+    const std::size_t words = ((std::size_t)width_bits + 63) / 64;
+    if (has_prev_) {
+      const std::size_t nw = prev_.size() > words ? prev_.size() : words;
+      for (std::size_t wi = 0; wi < nw; ++wi) {
+        std::uint64_t first = 0;
+        if (wi < words) {
+          const int b0 = (int)wi * 64;
+          const int nb = width_bits - b0 < 64 ? width_bits - b0 : 64;
+          for (int b = 0; b < nb; ++b)
+            first |= (planes[b0 + b] & 1u) << b;
+        }
+        const std::uint64_t p = wi < prev_.size() ? prev_[wi] : 0;
+        toggles_ += (std::uint64_t)std::popcount(p ^ first);
+      }
+    }
+    // Lane L vs lane L-1 for L in [1, n): shift each plane up by one lane
+    // and XOR, masking off lane 0 (covered by the seam above) and lanes
+    // beyond the batch.
+    const std::uint64_t lane_mask =
+        (n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1) &
+        ~std::uint64_t{1};
+    std::uint64_t t = 0;
+    for (int b = 0; b < width_bits; ++b)
+      t += (std::uint64_t)std::popcount((planes[b] ^ (planes[b] << 1)) &
+                                        lane_mask);
+    toggles_ += t;
+    prev_.assign(words, 0);
+    const int last = n - 1;
+    for (int b = 0; b < width_bits; ++b)
+      prev_[(std::size_t)b / 64] |= ((planes[b] >> last) & 1u)
+                                    << ((unsigned)b % 64);
+    has_prev_ = true;
+    observations_ += (std::uint64_t)n;
+  }
+
   std::uint64_t toggles() const { return toggles_; }
   std::uint64_t observations() const { return observations_; }
 

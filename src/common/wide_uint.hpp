@@ -71,6 +71,12 @@ class WideUint {
   }
   constexpr std::uint64_t lo64() const { return w_[0]; }
 
+  /// Raw little-endian word storage, for the bit-sliced transpose layer and
+  /// the word-walking kernels (engine/slice.hpp, cs/pcs.cpp): the layout is
+  /// part of the type's contract (word i holds bits [64i, 64i+64)).
+  constexpr const std::uint64_t* data() const { return w_.data(); }
+  constexpr std::uint64_t* data() { return w_.data(); }
+
   constexpr bool bit(int pos) const {
     CSFMA_CHECK(pos >= 0 && pos < kBits);
     return (w_[pos / 64] >> (pos % 64)) & 1u;
@@ -310,6 +316,34 @@ class WideUint {
  private:
   std::array<std::uint64_t, W> w_;
 };
+
+// ---- raw word-array field helpers ----
+//
+// The hot-path kernels (cs/pcs.cpp carry reduction, cs/csa_tree.cpp row
+// placement, engine/slice.hpp transposes) walk WideUint storage through
+// data() and need sub-word field access without building full-width masks.
+// Fields of up to 64 bits span at most two adjacent words.
+
+/// Read bits [lo, lo+len) of a little-endian word array; 1 <= len <= 64.
+/// The caller guarantees the array covers bit lo+len-1.
+constexpr std::uint64_t wide_read_bits(const std::uint64_t* w, int lo,
+                                       int len) {
+  const int wi = lo >> 6, sh = lo & 63;
+  std::uint64_t v = w[wi] >> sh;
+  if (sh != 0 && sh + len > 64) v |= w[wi + 1] << (64 - sh);
+  return len == 64 ? v : v & ((std::uint64_t{1} << len) - 1);
+}
+
+/// OR the low `len` bits of `v` into a word array at bit position `lo`;
+/// 1 <= len <= 64.  The destination bits must be zero (deposit-into-fresh
+/// semantics — exactly how the kernels build their outputs).
+constexpr void wide_or_bits(std::uint64_t* w, int lo, int len,
+                            std::uint64_t v) {
+  if (len != 64) v &= (std::uint64_t{1} << len) - 1;
+  const int wi = lo >> 6, sh = lo & 63;
+  w[wi] |= v << sh;
+  if (sh != 0 && sh + len > 64) w[wi + 1] |= v >> (64 - sh);
+}
 
 /// Schoolbook restoring division: returns {quotient, remainder}.
 /// O(kBits) wide-word steps — ample for simulation workloads.

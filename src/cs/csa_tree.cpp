@@ -19,33 +19,43 @@ int csa_levels_for_rows(int n) {
 CsNum reduce_rows(int width, const std::vector<CsWord>& rows,
                   CsaTreeStats* stats) {
   CSFMA_CHECK(width >= 1 && width <= kCsWordBits);
-  if (stats != nullptr) {
-    stats->rows = (int)rows.size();
-    stats->levels = 0;
-    stats->compressors = 0;
-  }
   std::vector<CsWord> cur;
   cur.reserve(rows.size());
   for (const auto& r : rows) cur.push_back(r.truncated(width));
+  return reduce_rows_inplace(width, cur.data(), (int)cur.size(), stats);
+}
 
-  if (cur.empty()) return CsNum::zero(width);
-  if (cur.size() == 1) return CsNum::from_binary(width, cur[0]);
+CsNum reduce_rows_inplace(int width, CsWord* rows, int n,
+                          CsaTreeStats* stats) {
+  CSFMA_CHECK(width >= 1 && width <= kCsWordBits);
+  CSFMA_CHECK(n >= 0);
+  if (stats != nullptr) {
+    stats->rows = n;
+    stats->levels = 0;
+    stats->compressors = 0;
+  }
+  if (n == 0) return CsNum::zero(width);
+  if (n == 1) return CsNum::from_binary(width, rows[0]);
 
-  while (cur.size() > 2) {
-    std::vector<CsWord> next;
-    next.reserve(cur.size() * 2 / 3 + 2);
-    size_t i = 0;
-    for (; i + 3 <= cur.size(); i += 3) {
-      CsNum c = compress3(width, cur[i], cur[i + 1], cur[i + 2]);
-      next.push_back(c.sum());
-      next.push_back(c.carry());
+  // Each level rewrites the array front-to-back: a triple at i,i+1,i+2
+  // lands as (sum, carry) at o,o+1 with o <= i, so reads stay ahead of
+  // writes and no per-level buffer is needed.  The carry plane's top
+  // majority bit falls off the window ((maj << 1) mod 2^width), exactly
+  // like compress3.
+  const CsWord wmask = CsWord::mask(width);
+  while (n > 2) {
+    int i = 0, o = 0;
+    for (; i + 3 <= n; i += 3, o += 2) {
+      const CsWord a = rows[i], b = rows[i + 1], c = rows[i + 2];
+      rows[o] = a ^ b ^ c;
+      rows[o + 1] = ((((a & b) | (c & (a | b))) << 1) & wmask);
       if (stats != nullptr) stats->compressors += width;
     }
-    for (; i < cur.size(); ++i) next.push_back(cur[i]);
-    cur.swap(next);
+    for (; i < n; ++i, ++o) rows[o] = rows[i];
+    n = o;
     if (stats != nullptr) ++stats->levels;
   }
-  return CsNum(width, cur[0], cur.size() > 1 ? cur[1] : CsWord());
+  return CsNum(width, rows[0], n > 1 ? rows[1] : CsWord());
 }
 
 CsNum multiply_cs_by_binary(const CsNum& multiplicand, const CsWord& multiplier,
@@ -68,6 +78,13 @@ CsNum multiply_cs_by_binary(const CsNum& multiplicand, const CsWord& multiplier,
   // One row per multiplier bit position.  Rows for zero bits are kept so
   // the tree structure (depth, compressor count) is data-independent, as it
   // is in the netlist.
+  if (multiplier_width <= 64) {
+    CsWord pp[64];
+    for (int i = 0; i < multiplier_width; ++i) {
+      if (multiplier.bit(i)) pp[i] = (m << i).truncated(out_width);
+    }
+    return reduce_rows_inplace(out_width, pp, multiplier_width, stats);
+  }
   std::vector<CsWord> pp;
   pp.reserve((size_t)multiplier_width);
   for (int i = 0; i < multiplier_width; ++i) {
@@ -95,26 +112,48 @@ CsNum multiply_dsp_tiled(const CsNum& multiplicand, const CsWord& multiplier,
   const int n_cand = (wc + cand_chunk - 1) / cand_chunk;
   const int n_mult = (multiplier_width + mult_chunk - 1) / mult_chunk;
 
-  std::vector<CsWord> rows;
-  rows.reserve((size_t)n_cand * n_mult);
+  const CsWord wmask = CsWord::mask(out_width);
+  const int total = n_cand * n_mult;
+  CsWord stack_rows[64];
+  std::vector<CsWord> heap_rows;
+  CsWord* rows = stack_rows;
+  if (total > 64) {
+    heap_rows.resize((size_t)total);
+    rows = heap_rows.data();
+  }
+  int nrows = 0;
   for (int j = 0; j < n_cand; ++j) {
     const int c_lo = j * cand_chunk;
     const int c_len = std::min(cand_chunk, wc - c_lo);
-    std::int64_t c_val = (std::int64_t)m.extract64(c_lo, c_len);
+    std::int64_t c_val = (std::int64_t)wide_read_bits(m.data(), c_lo, c_len);
     const bool c_signed = (j == n_cand - 1);
     if (c_signed && ((c_val >> (c_len - 1)) & 1)) c_val -= (std::int64_t)1 << c_len;
     for (int i = 0; i < n_mult; ++i) {
       const int b_lo = i * mult_chunk;
       const int b_len = std::min(mult_chunk, multiplier_width - b_lo);
-      const std::int64_t b_val = (std::int64_t)multiplier.extract64(b_lo, b_len);
+      const std::int64_t b_val =
+          (std::int64_t)wide_read_bits(multiplier.data(), b_lo, b_len);
       const std::int64_t prod = c_val * b_val;  // <= 30+30 bits, exact
-      // Sign-extend the tile product into the window at its weight.
-      WideUint<8> row((std::uint64_t)prod);
-      if (prod < 0) row = row.sext(64);
-      rows.push_back(CsWord(row << (offset + c_lo + b_lo)).truncated(out_width));
+      // Sign-extend the tile product into the window at its weight: place
+      // the 64-bit product at bit `t`, fill ones above it when negative,
+      // then truncate — identical to the shift-a-sext-512b formulation.
+      CsWord& row = rows[nrows++];
+      row = CsWord();
+      std::uint64_t* rw = row.data();
+      const int t = offset + c_lo + b_lo;
+      const int wi = t >> 6, sh = t & 63;
+      rw[wi] = (std::uint64_t)prod << sh;
+      if (wi + 1 < CsWord::kWords) {
+        rw[wi + 1] = sh != 0 ? (std::uint64_t)prod >> (64 - sh) : 0;
+        if (prod < 0) {
+          rw[wi + 1] |= sh != 0 ? ~std::uint64_t{0} << sh : ~std::uint64_t{0};
+          for (int q = wi + 2; q < CsWord::kWords; ++q) rw[q] = ~std::uint64_t{0};
+        }
+      }
+      row &= wmask;
     }
   }
-  return reduce_rows(out_width, rows, stats);
+  return reduce_rows_inplace(out_width, rows, nrows, stats);
 }
 
 }  // namespace csfma

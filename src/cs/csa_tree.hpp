@@ -28,6 +28,12 @@ struct CsaTreeStats {
 CsNum reduce_rows(int width, const std::vector<CsWord>& rows,
                   CsaTreeStats* stats = nullptr);
 
+/// Allocation-free form of reduce_rows for the hot paths: reduces the `n`
+/// rows IN PLACE (the array is clobbered) and returns the same CS pair the
+/// vector overload produces.  Rows must already be truncated to `width`.
+CsNum reduce_rows_inplace(int width, CsWord* rows, int n,
+                          CsaTreeStats* stats = nullptr);
+
 /// Number of 3:2 levels a Wallace tree needs for n inputs (0 for n <= 2).
 int csa_levels_for_rows(int n);
 

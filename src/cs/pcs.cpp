@@ -9,7 +9,9 @@ namespace {
 /// Mask with a 1 at every multiple of `group` below `width`.
 CsWord group_position_mask(int width, int group) {
   CsWord m;
-  for (int p = 0; p < width; p += group) m = m | CsWord::bit_at(p);
+  std::uint64_t* w = m.data();
+  for (int p = 0; p < width; p += group)
+    w[p >> 6] |= std::uint64_t{1} << (p & 63);
   return m;
 }
 
@@ -39,16 +41,23 @@ PcsNum carry_reduce(const CsNum& x, int group) {
   const int w = x.width();
   CSFMA_CHECK(group >= 1 && group <= w);
   CSFMA_CHECK_MSG(group <= 63, "group adders are modeled on 64-bit words");
+  // Hot path (every FMA/dot reduces its 385b adder output): walk the raw
+  // word storage with two-word window reads/writes instead of full-width
+  // extract/deposit masks.  Values are identical to the masked form.
+  const std::uint64_t* sw = x.sum().data();
+  const std::uint64_t* cw = x.carry().data();
   CsWord out_sum, out_carries;
+  std::uint64_t* os = out_sum.data();
+  std::uint64_t* oc = out_carries.data();
   for (int lo = 0; lo < w; lo += group) {
     const int len = (lo + group <= w) ? group : (w - lo);
     // One small adder per group: sum-segment + carry-segment.
     const std::uint64_t seg =
-        x.sum().extract64(lo, len) + x.carry().extract64(lo, len);
-    out_sum = out_sum.deposit(lo, len, CsWord(seg));
+        wide_read_bits(sw, lo, len) + wide_read_bits(cw, lo, len);
+    wide_or_bits(os, lo, len, seg);
     const bool carry_out = (seg >> len) & 1;
     if (carry_out && lo + group < w) {
-      out_carries = out_carries | CsWord::bit_at(lo + group);
+      oc[(lo + group) >> 6] |= std::uint64_t{1} << ((lo + group) & 63);
     }
     // A carry out of the topmost group falls off the window (mod 2^w).
   }

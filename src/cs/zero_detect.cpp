@@ -1,5 +1,7 @@
 #include "cs/zero_detect.hpp"
 
+#include <bit>
+
 #include "common/check.hpp"
 #include "introspect/event_log.hpp"
 
@@ -67,6 +69,35 @@ bool leading_block_skippable(const CsNum& x, int top, int block_digits) {
   return false;
 }
 
+/// Word-level form of leading_block_skippable for blocks of at most 63
+/// digits (the datapath case: 55-digit PCS blocks): the block's digit
+/// pattern and the two safeguard digits come straight out of the raw
+/// planes, with the classification done on 64-bit segment masks.
+bool leading_block_skippable_fast(const std::uint64_t* s,
+                                  const std::uint64_t* c, int top, int B) {
+  const int lo = top - B;
+  const std::uint64_t sb = wide_read_bits(s, lo, B);
+  const std::uint64_t cb = wide_read_bits(c, lo, B);
+  const std::uint64_t ones = sb ^ cb;    // digit == 1
+  const std::uint64_t twos = sb & cb;    // digit == 2
+  const std::uint64_t nz = sb | cb;      // digit != 0
+  const std::uint64_t all = (std::uint64_t{1} << B) - 1;
+  const auto digit_at = [&](int p) {
+    return (int)((s[p >> 6] >> (p & 63)) & 1) +
+           (int)((c[p >> 6] >> (p & 63)) & 1);
+  };
+  const int d1 = digit_at(lo - 1), d2 = digit_at(lo - 2);
+  if (nz == 0) return d1 == 0 && d2 == 0;                        // AllZero
+  if (ones == all) return d1 == 1 || (d1 == 2 && d2 == 0);       // AllOnes
+  if (std::popcount(twos) == 1) {                                // 1...120...0?
+    const int p = std::countr_zero(twos);
+    const bool ones_above = (ones >> (p + 1)) == (all >> (p + 1));
+    const bool zeros_below = (nz & ((std::uint64_t{1} << p) - 1)) == 0;
+    if (ones_above && zeros_below) return d1 == 0 && d2 == 0;    // OnesTwoZeros
+  }
+  return false;
+}
+
 }  // namespace
 
 int count_skippable_blocks(const CsNum& x, int block_digits, int max_skip) {
@@ -76,6 +107,16 @@ int count_skippable_blocks(const CsNum& x, int block_digits, int max_skip) {
   CSFMA_CHECK(max_skip >= 0 && max_skip <= blocks - 1);
   int skipped = 0;
   int top = x.width();
+  if (block_digits <= 63) {
+    const std::uint64_t* s = x.sum().data();
+    const std::uint64_t* c = x.carry().data();
+    while (skipped < max_skip &&
+           leading_block_skippable_fast(s, c, top, block_digits)) {
+      top -= block_digits;
+      ++skipped;
+    }
+    return skipped;
+  }
   while (skipped < max_skip &&
          leading_block_skippable(x, top, block_digits)) {
     top -= block_digits;

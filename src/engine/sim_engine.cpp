@@ -84,6 +84,28 @@ class ProgressGate {
 
 }  // namespace
 
+const char* to_string(EngineBackend backend) {
+  switch (backend) {
+    case EngineBackend::Scalar:
+      return "scalar";
+    case EngineBackend::Sliced:
+      return "sliced";
+  }
+  return "?";
+}
+
+bool parse_engine_backend(std::string_view s, EngineBackend* out) {
+  if (s == "scalar") {
+    *out = EngineBackend::Scalar;
+    return true;
+  }
+  if (s == "sliced") {
+    *out = EngineBackend::Sliced;
+    return true;
+  }
+  return false;
+}
+
 void VectorSource::fill(std::uint64_t start, OperandTriple* out,
                         std::size_t n) const {
   CSFMA_CHECK(start + n <= ops_->size());
@@ -109,11 +131,15 @@ void RandomTripleSource::fill(std::uint64_t start, OperandTriple* out,
 SimEngine::SimEngine(EngineConfig cfg) : cfg_(cfg) {
   CSFMA_CHECK(cfg_.threads >= 0);
   CSFMA_CHECK(cfg_.shard_ops >= 1);
-  threads_ = cfg_.threads;
-  if (threads_ == 0) {
-    unsigned hw = std::thread::hardware_concurrency();
-    threads_ = hw == 0 ? 1 : (int)hw;
-  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int hw_threads = hw == 0 ? 1 : (int)hw;
+  threads_ = cfg_.threads == 0 ? hw_threads : cfg_.threads;
+  // Pure-compute workers gain nothing from oversubscription; clamping keeps
+  // a "parallel" run from falling below the single-thread rate on small
+  // hosts.  Shard decomposition is thread-count independent, so the clamp
+  // never changes results.
+  threads_clamped_ = threads_ > hw_threads;
+  if (threads_clamped_) threads_ = hw_threads;
 }
 
 void SimEngine::run_shards(const OperandSource& src, PFloat* results,
@@ -221,14 +247,16 @@ void SimEngine::run_shards(const OperandSource& src, PFloat* results,
         TraceSpan sim_span(trace, "simulate", "engine", wid);
         ProfScope sim_scope(prof, "engine.simulate");
         sim_scope.items(count);
-        for (std::size_t i = 0; i < count; ++i) {
-          if (ev != nullptr) {
-            ev->begin_op(start + i, in_buf[i].a.to_bits().lo64(),
-                         in_buf[i].b.to_bits().lo64(),
-                         in_buf[i].c.to_bits().lo64());
-          }
-          out[i] =
-              unit->fma_ieee(in_buf[i].a, in_buf[i].b, in_buf[i].c, cfg_.rm);
+        FmaBatchHooks bh;
+        bh.rm = cfg_.rm;
+        bh.events = ev;
+        bh.base_index = start;
+        if (cfg_.backend == EngineBackend::Sliced) {
+          unit->fma_ieee_batch(in_buf.data(), count, out, bh);
+        } else {
+          // Reference oracle: the base-class per-operation loop, bypassing
+          // any unit batch override.
+          unit->FmaUnit::fma_ieee_batch(in_buf.data(), count, out, bh);
         }
       }
       const double secs =

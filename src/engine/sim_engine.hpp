@@ -24,6 +24,7 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <vector>
 
 #include "common/activity.hpp"
@@ -43,10 +44,23 @@ inline double safe_rate(std::uint64_t ops, double seconds) {
   return (double)ops / seconds;
 }
 
-/// One work item: R = A + B*C (B stays IEEE in every architecture).
-struct OperandTriple {
-  PFloat a, b, c;
+// OperandTriple lives in fma/fma_unit.hpp (included above) so unit batch
+// entry points can consume operand arrays without depending on the engine.
+
+/// Execution backend for the batch hot path.  Sliced hands each shard to
+/// FmaUnit::fma_ieee_batch, which units with bit-sliced kernels
+/// (engine/slice.hpp) override; Scalar forces the per-operation reference
+/// loop.  Results, activity totals and event logs are bit-identical
+/// between the two for any thread count — the CI backend-equivalence gate
+/// byte-compares them.
+enum class EngineBackend {
+  Scalar,  // reference oracle: one operation at a time
+  Sliced,  // bit-sliced batch kernels where the unit provides them
 };
+
+const char* to_string(EngineBackend backend);
+/// Parse "scalar" / "sliced" into *out; returns false on anything else.
+bool parse_engine_backend(std::string_view s, EngineBackend* out);
 
 /// An indexable operand stream.  fill() must be a pure function of the
 /// requested index range — it is called concurrently from worker threads
@@ -133,8 +147,16 @@ using ProgressFn = std::function<void(const EngineProgress&)>;
 
 struct EngineConfig {
   UnitKind unit = UnitKind::Pcs;
-  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  /// Worker threads; 0 = std::thread::hardware_concurrency().  Requests
+  /// above the host's hardware concurrency are CLAMPED to it: the workers
+  /// are pure compute, so oversubscription only adds context-switch
+  /// overhead and can push a parallel run below the single-thread rate.
+  /// SimEngine::threads_clamped() reports when the clamp engaged (results
+  /// are thread-count invariant either way).
   int threads = 0;
+  /// Hot-path execution backend (see EngineBackend).  Sliced is the
+  /// default; Scalar is the reference oracle the equivalence gate runs.
+  EngineBackend backend = EngineBackend::Sliced;
   /// Final (deferred) rounding of each operation's CS->IEEE readout.
   Round rm = Round::NearestEven;
   /// Logical shard size in operations.  Fixed per-data granularity — NOT
@@ -225,8 +247,14 @@ class SimEngine {
   explicit SimEngine(EngineConfig cfg = {});
 
   const EngineConfig& config() const { return cfg_; }
-  /// The actual worker count (after resolving threads == 0).
+  /// The actual worker count (after resolving threads == 0 and clamping to
+  /// the host's hardware concurrency).
   int resolved_threads() const { return threads_; }
+  /// The worker count the config asked for (0 = auto), before clamping.
+  int requested_threads() const { return cfg_.threads; }
+  /// True when the requested count exceeded the host's hardware
+  /// concurrency and was clamped down to it.
+  bool threads_clamped() const { return threads_clamped_; }
 
   /// Simulate the whole stream, keeping every result: results[i] is the
   /// readout of triple i, bit-identical for any thread count.
@@ -260,6 +288,7 @@ class SimEngine {
 
   EngineConfig cfg_;
   int threads_;
+  bool threads_clamped_ = false;
 };
 
 }  // namespace csfma

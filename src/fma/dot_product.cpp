@@ -52,34 +52,87 @@ PcsOperand PcsDotProduct::dot(
     bool neg;
     int lsb_exp;
   };
-  std::vector<Prod> prods;
+  // Accumulator-sized stack workspace for the common case; heap beyond.
+  Prod prods_stack[64];
+  std::vector<Prod> prods_heap;
+  Prod* prods = prods_stack;
+  if (terms.size() > 64) {
+    prods_heap.resize(terms.size());
+    prods = prods_heap.data();
+  }
+  int n_prods = 0;
   int max_msb = INT_MIN;
   for (const auto& [a, b] : terms) {
     if (!a.is_normal() || !b.is_normal()) continue;  // zero terms drop out
-    Prod p;
+    Prod& p = prods[n_prods++];
     p.mag = a.sig().mul_full<2>(b.sig());
     p.neg = a.sign() != b.sign();
     p.lsb_exp = (a.exp() - a.format().frac_bits) +
                 (b.exp() - b.format().frac_bits);
     max_msb = std::max(max_msb, p.lsb_exp + p.mag.bit_width() - 1);
-    prods.push_back(p);
   }
-  if (prods.empty()) return PcsOperand::make_zero(false);
+  if (n_prods == 0) return PcsOperand::make_zero(false);
 
   // ---- align into the shared window and reduce with one CSA tree ----
   const int w0 = max_msb - kAnchorMsb;  // exponent of window bit 0
-  std::vector<CsWord> rows;
-  rows.reserve(prods.size());
-  for (const auto& p : prods) {
-    WideUint<8> v(p.mag);
-    if (p.neg) v = -v;
+  const CsWord wmask = CsWord::mask(G::kAdderWidth);
+  CsWord rows_stack[64];
+  std::vector<CsWord> rows_heap;
+  CsWord* rows = rows_stack;
+  if (n_prods > 64) {
+    rows_heap.resize((size_t)n_prods);
+    rows = rows_heap.data();
+  }
+  for (int i = 0; i < n_prods; ++i) {
+    const Prod& p = prods[i];
     const int sh = p.lsb_exp - w0;
     // Far-below terms truncate off the window bottom (fused-accumulator
     // behaviour); the arithmetic shift keeps the sign fill.
-    WideUint<8> placed = sh >= 0 ? (v << sh) : asr(v, -sh);
-    rows.push_back(CsWord(placed).truncated(G::kAdderWidth));
+    if ((p.mag.word(2) | p.mag.word(3) | (p.mag.word(1) >> 62)) == 0) {
+      // Fast placement for magnitudes below 2^126 (every standard-format
+      // product): place/shift the two magnitude words directly, then
+      // negate within the window — identical to the full-width
+      // sign-extend-shift-truncate formulation since -(m << sh) = (-m) << sh
+      // (mod 2^W) and asr(-m, k) = -ceil(m / 2^k).
+      const unsigned __int128 mag =
+          ((unsigned __int128)p.mag.word(1) << 64) | p.mag.word(0);
+      CsWord row;
+      if (sh >= 0) {
+        std::uint64_t* rw = row.data();
+        const std::uint64_t m0 = (std::uint64_t)mag;
+        const std::uint64_t m1 = (std::uint64_t)(mag >> 64);
+        const int wi = sh >> 6, b = sh & 63;
+        rw[wi] = m0 << b;
+        if (b != 0) {
+          rw[wi + 1] = (m0 >> (64 - b)) | (m1 << b);
+          rw[wi + 2] = m1 >> (64 - b);
+        } else {
+          rw[wi + 1] = m1;
+        }
+      } else {
+        const int k = -sh;
+        unsigned __int128 q;
+        if (k >= 128) {
+          // Magnitudes are < 2^126 < 2^k: floor is 0, ceil is 1.
+          q = p.neg ? 1 : 0;
+        } else if (p.neg) {
+          q = (mag + (((unsigned __int128)1 << k) - 1)) >> k;  // ceil
+        } else {
+          q = mag >> k;  // floor
+        }
+        row.set_word(0, (std::uint64_t)q);
+        row.set_word(1, (std::uint64_t)(q >> 64));
+      }
+      if (p.neg) row = -row;
+      rows[i] = row & wmask;
+    } else {
+      WideUint<8> v(p.mag);
+      if (p.neg) v = -v;
+      WideUint<8> placed = sh >= 0 ? (v << sh) : asr(v, -sh);
+      rows[i] = CsWord(placed) & wmask;
+    }
   }
-  CsNum acc = reduce_rows(G::kAdderWidth, rows, &tree_stats_);
+  CsNum acc = reduce_rows_inplace(G::kAdderWidth, rows, n_prods, &tree_stats_);
   if (activity_ != nullptr) {
     activity_->probe("dot.sum").observe(acc.sum());
     activity_->probe("dot.carry").observe(acc.carry());

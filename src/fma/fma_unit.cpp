@@ -5,6 +5,7 @@
 #include "fma/discrete.hpp"
 #include "fma/fcs_fma.hpp"
 #include "fma/pcs_fma.hpp"
+#include "introspect/event_log.hpp"
 
 namespace csfma {
 
@@ -52,6 +53,18 @@ const FcsOperand& FmaOperand::fcs() const {
 PFloat FmaUnit::fma_ieee(const PFloat& a, const PFloat& b, const PFloat& c,
                          Round rm) {
   return lower(fma(lift(a), b, lift(c)), rm);
+}
+
+void FmaUnit::fma_ieee_batch(const OperandTriple* ops, std::size_t n,
+                             PFloat* out, const FmaBatchHooks& hooks) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (hooks.events != nullptr) {
+      hooks.events->begin_op(hooks.base_index + i, ops[i].a.to_bits().lo64(),
+                             ops[i].b.to_bits().lo64(),
+                             ops[i].c.to_bits().lo64());
+    }
+    out[i] = fma_ieee(ops[i].a, ops[i].b, ops[i].c, hooks.rm);
+  }
 }
 
 namespace {
@@ -124,6 +137,10 @@ class PcsUnit final : public FmaUnit {
   PFloat fma_ieee(const PFloat& a, const PFloat& b, const PFloat& c,
                   Round rm) override {
     return unit_.fma_ieee(a, b, c, rm);
+  }
+  void fma_ieee_batch(const OperandTriple* ops, std::size_t n, PFloat* out,
+                      const FmaBatchHooks& hooks) override {
+    unit_.fma_ieee_batch(ops, n, out, hooks);
   }
 
  private:

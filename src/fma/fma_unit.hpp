@@ -19,6 +19,8 @@
 // wires an optional ActivityRecorder for the energy model's toggle counts.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string_view>
 #include <variant>
@@ -30,6 +32,22 @@
 #include "introspect/hooks.hpp"
 
 namespace csfma {
+
+/// One work item: R = A + B*C (B stays IEEE in every architecture).  Lives
+/// with the unit interface (not the engine) so batch entry points can
+/// consume operand arrays directly.
+struct OperandTriple {
+  PFloat a, b, c;
+};
+
+/// Per-batch bundle for fma_ieee_batch: the final rounding mode, the event
+/// log (null = off) and the stream index of the batch's first operation —
+/// operation i of the batch logs under index base_index + i.
+struct FmaBatchHooks {
+  Round rm = Round::NearestEven;
+  EventLog* events = nullptr;
+  std::uint64_t base_index = 0;
+};
 
 /// The four Table I architectures.
 enum class UnitKind {
@@ -106,6 +124,18 @@ class FmaUnit {
   /// lower(fma(lift(a), b, lift(c)), rm).
   virtual PFloat fma_ieee(const PFloat& a, const PFloat& b, const PFloat& c,
                           Round rm);
+
+  /// Batched fma_ieee over `n` independent triples: out[i] = a_i + b_i*c_i,
+  /// with stream semantics identical to the per-operation loop — when
+  /// hooks.events is non-null each operation contributes
+  /// begin_op(hooks.base_index + i, ...) followed by its events, in
+  /// operation order.  The base implementation IS that loop; units with a
+  /// bit-sliced batch path (engine/slice.hpp) override it, and the engine's
+  /// backend=scalar knob calls the base explicitly as the reference oracle.
+  /// Overrides must keep results, per-probe toggle counts and the event
+  /// sequence bit-identical to the base loop.
+  virtual void fma_ieee_batch(const OperandTriple* ops, std::size_t n,
+                              PFloat* out, const FmaBatchHooks& hooks);
 };
 
 /// Construct the unit simulator for `kind`.  `activity` (optional) receives

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "cs/lza.hpp"
+#include "engine/slice.hpp"
 #include "introspect/event_log.hpp"
 #include "introspect/signal_tap.hpp"
 
@@ -207,6 +208,361 @@ PFloat PcsFma::fma_ieee(const PFloat& a, const PFloat& b, const PFloat& c,
                         Round rm) {
   PcsOperand r = fma(ieee_to_pcs(a), b, ieee_to_pcs(c));
   return pcs_to_ieee(r, kBinary64, rm);
+}
+
+namespace {
+
+/// Exponent of digit 0 of a lifted operand's mantissa (the exp_fixed of
+/// ieee_to_pcs), valid for Normal operands only.
+int lifted_exp(const PFloat& x) {
+  const int shift = G::kSigMsbDigit - (x.format().precision() - 1);
+  return (x.exp() - x.format().frac_bits) - shift - G::kTailDigits +
+         G::kFracBits;
+}
+
+/// Lifted mantissa bit plane (CsNum::from_signed of the placed significand).
+CsWord lifted_bits(const PFloat& x) {
+  const int p = x.format().precision();
+  CSFMA_CHECK_MSG(p <= 54, "source significand too wide for the PCS layout");
+  const int shift = G::kSigMsbDigit - (p - 1);
+  CSFMA_CHECK(shift >= 0);
+  const CsWord mag = CsWord(WideUint<7>(WideUint<2>(x.sig()))) << shift;
+  return x.sign() ? (-mag).truncated(G::kMantDigits) : mag;
+}
+
+/// May this operation go through the sliced block?  Excluded: exception
+/// operands (the scalar path returns on side-wires before the datapath),
+/// zero products (rounded-A result) and the A pass-through, whose early
+/// returns skip datapath probes in ways the block form cannot replicate.
+/// A freshly lifted operand's tail is empty, so rnd_a == rnd_c == 0 and
+/// the deferred-rounding events never fire on sliceable lanes.
+bool sliceable(const OperandTriple& t) {
+  if (t.a.is_nan() || t.b.is_nan() || t.c.is_nan()) return false;
+  if (t.a.is_inf() || t.b.is_inf() || t.c.is_inf()) return false;
+  if (t.b.is_zero() || t.c.is_zero()) return false;
+  if (t.a.cls() == FpClass::Normal) {
+    const int ofs_a =
+        lifted_exp(t.a) - (t.b.exp() + lifted_exp(t.c)) + G::kFracBits;
+    if (ofs_a > G::kAdderWidth - G::kMantDigits) return false;  // pass-through
+  }
+  return true;
+}
+
+}  // namespace
+
+void PcsFma::fma_ieee_batch(const OperandTriple* ops, std::size_t n,
+                            PFloat* out, const FmaBatchHooks& hooks) {
+  // A SignalTap traces one operation's wires stage by stage; its calls must
+  // stay in scalar order, so tapped runs bypass the sliced path entirely.
+  const bool tapped = hooks_ != nullptr && hooks_->tap != nullptr;
+  std::size_t i = 0;
+  while (i < n) {
+    if (tapped || !sliceable(ops[i])) {
+      if (hooks.events != nullptr) {
+        hooks.events->begin_op(hooks.base_index + i, ops[i].a.to_bits().lo64(),
+                               ops[i].b.to_bits().lo64(),
+                               ops[i].c.to_bits().lo64());
+      }
+      out[i] = fma_ieee(ops[i].a, ops[i].b, ops[i].c, hooks.rm);
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < n && j - i < (std::size_t)slice::kLanes && sliceable(ops[j]))
+      ++j;
+    fma_ieee_block(ops + i, (int)(j - i), out + i, hooks.rm, hooks.events,
+                   hooks.base_index + i);
+    i = j;
+  }
+}
+
+void PcsFma::fma_ieee_block(const OperandTriple* ops, int n, PFloat* out,
+                            Round rm, EventLog* events, std::uint64_t base) {
+  constexpr int kW = CsWord::kWords;
+  // Multiplier tile geometry (lane-invariant): ceil(110/17) x ceil(53/24)
+  // rows, in multiply_dsp_tiled's row order (candidate-chunk outer).
+  constexpr int kNCand = (G::kMantDigits + kCandChunk - 1) / kCandChunk;
+  constexpr int kNMult = (53 + kMultChunk - 1) / kMultChunk;
+  constexpr int kRows = kNCand * kNMult;
+  // The product rows live at bit kProductOffset and above, so the Wallace
+  // tree only needs the top window; the full 385b planes are re-assembled
+  // (with the lane-masked negation) below.
+  constexpr int kProdW = G::kAdderWidth - G::kProductOffset;
+
+  // ---- per-lane front end: lift + DSP tile products + A alignment ----
+  // (only the per-lane-data work stays scalar; the partial-product tree,
+  // the adder and everything after run bit-parallel across the batch)
+  std::int64_t tiles[kRows][slice::kLanes];
+  std::uint64_t a_rows[slice::kLanes * kW];
+  std::uint64_t neg_mask = 0;
+  int e_p[slice::kLanes];
+  int a_msb[slice::kLanes];
+  for (int L = 0; L < n; ++L) {
+    const PFloat& a = ops[L].a;
+    const PFloat& b = ops[L].b;
+    const PFloat& c = ops[L].c;
+    CSFMA_CHECK_MSG(b.format().precision() <= 53,
+                    "B must be IEEE binary64 or narrower");
+    // C lifts to a binary (carry-free) mantissa with an empty tail, so the
+    // rnd_c correction row never fires on this path; the DSP pre-adder
+    // assimilation of multiply_dsp_tiled is the identity on it.
+    const CsWord c_bits = lifted_bits(c);
+    const std::uint64_t b_sig = b.sig().lo64();
+    if (b.sign()) neg_mask |= std::uint64_t{1} << L;
+    for (int j = 0; j < kNCand; ++j) {
+      const int c_lo = j * kCandChunk;
+      const int c_len = std::min(kCandChunk, G::kMantDigits - c_lo);
+      std::int64_t c_val =
+          (std::int64_t)wide_read_bits(c_bits.data(), c_lo, c_len);
+      if (j == kNCand - 1 && ((c_val >> (c_len - 1)) & 1))
+        c_val -= (std::int64_t)1 << c_len;
+      for (int i = 0; i < kNMult; ++i) {
+        const int b_lo = i * kMultChunk;
+        const int b_len = std::min(kMultChunk, 53 - b_lo);
+        const std::int64_t b_val =
+            (std::int64_t)((b_sig >> b_lo) &
+                           ((std::uint64_t{1} << b_len) - 1));
+        tiles[j * kNMult + i][L] = c_val * b_val;
+      }
+    }
+    e_p[L] = b.exp() + lifted_exp(c);
+    // A path: rnd_a == 0 likewise; a is Normal or Zero (sliceable()).
+    WideUint<8> a_val;
+    int e_a = e_p[L];
+    if (a.cls() == FpClass::Normal) {
+      a_val = WideUint<8>(lifted_bits(a)).sext(G::kMantDigits);
+      e_a = lifted_exp(a);
+    }
+    const int ofs_a = e_a - e_p[L] + G::kFracBits;
+    CsWord a_row;
+    if (!a_val.is_zero() && ofs_a > -G::kMantDigits) {
+      WideUint<8> placed = ofs_a >= 0 ? (a_val << ofs_a) : (a_val >> -ofs_a);
+      a_row = CsWord(placed).truncated(G::kAdderWidth);
+    }
+    a_msb[L] = ofs_a > -G::kMantDigits && !a_val.is_zero()
+                   ? ofs_a + G::kMantDigits - 1
+                   : -1;
+    for (int w = 0; w < kW; ++w) a_rows[L * kW + w] = a_row.data()[w];
+  }
+
+  // ---- partial-product Wallace tree in plane form: each row is its
+  //      64-bit tile product placed at the tile's (lane-invariant) weight
+  //      with sign fill above, exactly multiply_dsp_tiled's row image; the
+  //      3:2 schedule is reduce_rows_inplace's, so the output planes are
+  //      bit-identical to the scalar tree's ----
+  std::uint64_t rp[kRows][kProdW];
+  for (int r = 0; r < kRows; ++r) {
+    std::uint64_t tp[64];
+    slice::pack_words((const std::uint64_t*)tiles[r], 1, n, 64, tp);
+    const int t = (r / kNMult) * kCandChunk + (r % kNMult) * kMultChunk;
+    std::uint64_t* row = rp[r];
+    for (int b = 0; b < t; ++b) row[b] = 0;
+    for (int b = 0; b < 64; ++b) row[t + b] = tp[b];
+    for (int b = t + 64; b < kProdW; ++b) row[b] = tp[63];
+  }
+  int nr = kRows;
+  while (nr > 2) {
+    int i = 0, o = 0;
+    for (; i + 3 <= nr; i += 3, o += 2) {
+      std::uint64_t* ra = rp[i];
+      std::uint64_t* rb = rp[i + 1];
+      std::uint64_t* rcw = rp[i + 2];
+      std::uint64_t* os = rp[o];
+      std::uint64_t* oc = rp[o + 1];
+      std::uint64_t prev_maj = 0;  // carry into bit kProductOffset is 0
+      for (int b = 0; b < kProdW; ++b) {
+        const std::uint64_t x = ra[b], y = rb[b], z = rcw[b];
+        os[b] = x ^ y ^ z;  // reads precede writes: o <= i, o+1 <= i+1
+        oc[b] = prev_maj;
+        prev_maj = (x & y) | (z & (x | y));  // top majority drops (mod 2^W)
+      }
+    }
+    for (; i < nr; ++i, ++o) {
+      if (o != i) {
+        for (int b = 0; b < kProdW; ++b) rp[o][b] = rp[i][b];
+      }
+    }
+    nr = o;
+  }
+  // The scalar tree reports its geometry per multiply; it is data
+  // independent, so one computation serves the whole block.
+  mul_stats_.rows = kRows;
+  mul_stats_.levels = 0;
+  mul_stats_.compressors = 0;
+  for (int m = kRows; m > 2; ++mul_stats_.levels) {
+    mul_stats_.compressors += (m / 3) * G::kAdderWidth;
+    m = (m / 3) * 2 + (m % 3);
+  }
+
+  // ---- full-width product planes with the lane-masked negation:
+  //      cs_negate is ~S + ~C + 2, i.e. one 3:2 layer whose planes reduce
+  //      to S^C (bit 1 flipped) and ~(S|C) shifted up one (with
+  //      ~(S&C) at bit 2), applied only to lanes where B is negative ----
+  std::uint64_t ps[G::kAdderWidth], pc[G::kAdderWidth], ar[G::kAdderWidth];
+  {
+    const std::uint64_t nm = neg_mask;
+    const auto sum_at = [&](int b) {
+      return b < G::kProductOffset ? 0 : rp[0][b - G::kProductOffset];
+    };
+    const auto car_at = [&](int b) {
+      return b < G::kProductOffset ? 0 : rp[1][b - G::kProductOffset];
+    };
+    for (int b = 0; b < G::kAdderWidth; ++b) {
+      const std::uint64_t s = sum_at(b), cc = car_at(b);
+      std::uint64_t neg_s = s ^ cc;
+      if (b == 1) neg_s = ~neg_s;
+      std::uint64_t neg_c;
+      if (b == 0) {
+        neg_c = 0;
+      } else if (b == 2) {
+        neg_c = ~(sum_at(1) & car_at(1));
+      } else {
+        neg_c = ~(sum_at(b - 1) | car_at(b - 1));
+      }
+      ps[b] = (s & ~nm) | (neg_s & nm);
+      pc[b] = (cc & ~nm) | (neg_c & nm);
+    }
+  }
+  slice::pack_words(a_rows, kW, n, G::kAdderWidth, ar);
+  if (activity_ != nullptr) {
+    activity_->probe("mul.sum", "mul").observe_planes(ps, G::kAdderWidth, n);
+    activity_->probe("mul.carry", "mul").observe_planes(pc, G::kAdderWidth, n);
+    activity_->probe("ashift", "align").observe_planes(ar, G::kAdderWidth, n);
+  }
+
+  // ---- 385b CS adder, all lanes per word op ----
+  std::uint64_t as[G::kAdderWidth], ac[G::kAdderWidth];
+  slice::compress3(G::kAdderWidth, ps, pc, ar, as, ac);
+  if (activity_ != nullptr) {
+    activity_->probe("add.sum", "add").observe_planes(as, G::kAdderWidth, n);
+    activity_->probe("add.carry", "add").observe_planes(ac, G::kAdderWidth, n);
+  }
+
+  // Event inputs: one assimilation serves both the cancellation detector
+  // (leading sign run of the adder output) and the ZD-late check below —
+  // carry reduction preserves the value mod 2^385, so the reduced form's
+  // binary image is this same plane set.
+  std::uint16_t run[slice::kLanes];
+  std::uint64_t bin[G::kAdderWidth];
+  std::uint64_t same[6];
+  if (events != nullptr) {
+    slice::assimilate(G::kAdderWidth, as, ac, bin);
+    slice::leading_sign_run(G::kAdderWidth, bin, n, run);
+    // same[j]: lanes whose bits [385 - 55j - 1, 384] are all equal, i.e.
+    // skipping j blocks would preserve the signed value
+    // (skip_preserves_value in plane form).
+    std::uint64_t eq = ~std::uint64_t{0};
+    int b = G::kAdderWidth - 1;
+    for (int j = 1; j <= 5; ++j) {
+      const int lo = G::kAdderWidth - 1 - j * G::kBlock;
+      while (b > lo) {
+        --b;
+        eq &= ~(bin[b] ^ bin[G::kAdderWidth - 1]);
+      }
+      same[j] = eq;
+    }
+  }
+
+  // ---- Carry Reduction to group-11 PCS ----
+  std::uint64_t rs[G::kAdderWidth], rc[G::kAdderWidth];
+  slice::carry_reduce(G::kAdderWidth, G::kGroup, as, ac, rs, rc);
+  if (activity_ != nullptr) {
+    activity_->probe("creduce.sum", "creduce")
+        .observe_planes(rs, G::kAdderWidth, n);
+    activity_->probe("creduce.carry", "creduce")
+        .observe_planes(rc, G::kAdderWidth, n);
+  }
+
+  // ---- Zero Detector: per-lane skip counts from the alive masks ----
+  std::uint64_t alive[5];
+  slice::count_skippable_blocks(G::kAdderWidth, G::kBlock, 5, rs, rc, alive);
+  int skip[slice::kLanes];
+  std::uint64_t lane_of_k[6] = {};
+  for (int L = 0; L < n; ++L) {
+    int k = 0;
+    for (int s = 0; s < 5; ++s) k += (int)((alive[s] >> L) & 1u);
+    skip[L] = k;
+    lane_of_k[k] |= std::uint64_t{1} << L;
+  }
+
+  // ---- 6:1 block mux in plane form: mant plane b selects the reduced
+  //      plane at b + (5-k)*55 for each lane's skip count k ----
+  std::uint64_t ms[G::kMantDigits], mc[G::kMantDigits];
+  for (int b = 0; b < G::kMantDigits; ++b) {
+    std::uint64_t sv = 0, cv = 0;
+    for (int k = 0; k <= 5; ++k) {
+      sv |= rs[b + (5 - k) * G::kBlock] & lane_of_k[k];
+      cv |= rc[b + (5 - k) * G::kBlock] & lane_of_k[k];
+    }
+    ms[b] = sv;
+    mc[b] = cv;
+  }
+  // Tail planes: one block below the mantissa; k == 5 lanes have no block
+  // below (mant_lo == 0) and read a zero tail, exactly the scalar default.
+  std::uint64_t ts[G::kTailDigits], tc[G::kTailDigits];
+  for (int b = 0; b < G::kTailDigits; ++b) {
+    std::uint64_t sv = 0, cv = 0;
+    for (int k = 0; k <= 4; ++k) {
+      sv |= rs[b + (4 - k) * G::kBlock] & lane_of_k[k];
+      cv |= rc[b + (4 - k) * G::kBlock] & lane_of_k[k];
+    }
+    ts[b] = sv;
+    tc[b] = cv;
+  }
+  if (activity_ != nullptr) {
+    activity_->probe("mux.sum", "mux").observe_planes(ms, G::kMantDigits, n);
+    activity_->probe("mux.carry", "mux").observe_planes(mc, G::kMantDigits, n);
+  }
+
+  // ---- back to lane-major form; per-lane readout in operation order ----
+  constexpr int kMantWords = (G::kMantDigits + 63) / 64;
+  std::uint64_t mant_sw[slice::kLanes * kMantWords];
+  std::uint64_t mant_cw[slice::kLanes * kMantWords];
+  std::uint64_t tail_sw[slice::kLanes], tail_cw[slice::kLanes];
+  slice::unpack_words(ms, G::kMantDigits, n, mant_sw, kMantWords);
+  slice::unpack_words(mc, G::kMantDigits, n, mant_cw, kMantWords);
+  slice::unpack_words(ts, G::kTailDigits, n, tail_sw, 1);
+  slice::unpack_words(tc, G::kTailDigits, n, tail_cw, 1);
+
+  for (int L = 0; L < n; ++L) {
+    if (events != nullptr) {
+      events->begin_op(base + (std::uint64_t)L, ops[L].a.to_bits().lo64(),
+                       ops[L].b.to_bits().lo64(), ops[L].c.to_bits().lo64());
+      const int p_msb = G::kProductOffset + G::kMantDigits + 53;
+      const int out_msb = G::kAdderWidth - 1 - (int)run[L];
+      const int drop = std::max(a_msb[L], p_msb) - out_msb;
+      if (drop >= 50) events->raise(EventKind::Cancellation, drop);
+      if (skip[L] < 5 && ((same[skip[L] + 1] >> L) & 1u) != 0) {
+        events->raise(EventKind::ZeroDetectLate, skip[L]);
+      }
+    }
+    last_zd_skip_ = skip[L];
+    CsWord msum, mcar, tsum, tcar;
+    for (int w = 0; w < kMantWords; ++w) {
+      msum.data()[w] = mant_sw[L * kMantWords + w];
+      mcar.data()[w] = mant_cw[L * kMantWords + w];
+    }
+    tsum.data()[0] = tail_sw[L];
+    tcar.data()[0] = tail_cw[L];
+    PcsNum mant(G::kMantDigits, G::kGroup, msum, mcar);
+    PcsNum tail(G::kTailDigits, G::kGroup, tsum, tcar);
+    PcsOperand r;
+    if (mant.to_binary().is_zero() && tail.to_binary().is_zero()) {
+      r = PcsOperand::make_zero(false);
+    } else {
+      const int mant_lo = (5 - skip[L]) * G::kBlock;
+      const int e_r = e_p[L] + mant_lo - G::kFracBits;
+      if (e_r > G::kExpMax) {
+        r = PcsOperand::make_inf(mant.as_cs().is_value_negative());
+      } else if (e_r < G::kExpMin) {
+        if (events != nullptr) events->raise(EventKind::SubnormalFlush, e_r);
+        r = PcsOperand::make_zero(mant.as_cs().is_value_negative());
+      } else {
+        r = PcsOperand(mant, tail, e_r, FpClass::Normal, false);
+      }
+    }
+    out[L] = pcs_to_ieee(r, kBinary64, rm);
+  }
 }
 
 }  // namespace csfma

@@ -23,6 +23,7 @@
 #include "common/activity.hpp"
 #include "cs/csa_tree.hpp"
 #include "cs/zero_detect.hpp"
+#include "fma/fma_unit.hpp"
 #include "fma/pcs_format.hpp"
 #include "introspect/hooks.hpp"
 
@@ -48,12 +49,28 @@ class PcsFma {
   /// multiply/add pair computes.
   PFloat fma_ieee(const PFloat& a, const PFloat& b, const PFloat& c, Round rm);
 
+  /// Bit-sliced batch form of fma_ieee (engine/slice.hpp): runs of
+  /// sliceable operations go through plane-form kernels up to 64 lanes at
+  /// a time — the multiplier and A-alignment stay per-lane, the 385b
+  /// adder, carry reduction, zero detect and block mux run bit-parallel
+  /// across the batch.  Operations with exception operands (NaN, infinity,
+  /// a zero product) or an A pass-through, and any run with a SignalTap
+  /// attached, fall back to the scalar path per operation.  Results,
+  /// per-probe toggle counts and the event sequence are bit-identical to
+  /// the scalar loop (the engine's backend-equivalence gate).
+  void fma_ieee_batch(const OperandTriple* ops, std::size_t n, PFloat* out,
+                      const FmaBatchHooks& hooks);
+
   /// Stats of the most recent multiplication (tree geometry, for tests).
   const CsaTreeStats& last_mul_stats() const { return mul_stats_; }
   /// Block-skip count chosen by the ZD in the most recent operation.
   int last_zd_skip() const { return last_zd_skip_; }
 
  private:
+  /// One sliced block: all `n` (<= 64) operations must be sliceable.
+  void fma_ieee_block(const OperandTriple* ops, int n, PFloat* out, Round rm,
+                      EventLog* events, std::uint64_t base);
+
   ActivityRecorder* activity_;
   const IntrospectHooks* hooks_;
   CsaTreeStats mul_stats_{};

@@ -11,6 +11,8 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "energy/workload.hpp"
@@ -387,6 +389,127 @@ TEST(SimEngine, MeasureStreamIsThreadCountInvariant) {
   EXPECT_DOUBLE_EQ(one.toggles_per_op, four.toggles_per_op);
   EXPECT_EQ(one.by_component, four.by_component);
   EXPECT_GT(one.toggles_per_op, 0.0);
+}
+
+// ---- backend equivalence (the scalar|sliced knob) ------------------------
+
+/// An operand stream that forces every sliced-path special case: NaN and
+/// infinity operands, zero products, a zero addend, an A pass-through
+/// (addend exponent far above the product), exact cancellation, a
+/// subnormal-flush product, plus a random tail — and a length (130) that
+/// leaves an odd remainder after two full 64-lane blocks.
+std::vector<OperandTriple> adversarial_ops() {
+  auto f = [](double v) { return PFloat::from_double(kBinary64, v); };
+  const double inf = std::numeric_limits<double>::infinity();
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<OperandTriple> ops;
+  ops.push_back({f(qnan), f(1.5), f(2.0)});       // NaN a
+  ops.push_back({f(1.0), f(qnan), f(2.0)});       // NaN b
+  ops.push_back({f(1.0), f(1.5), f(qnan)});       // NaN c
+  ops.push_back({f(inf), f(1.5), f(2.0)});        // inf a
+  ops.push_back({f(1.0), f(-inf), f(2.0)});       // inf b
+  ops.push_back({f(1.0), f(1.5), f(inf)});        // inf c
+  ops.push_back({f(1.0), f(0.0), f(2.0)});        // zero product (b)
+  ops.push_back({f(1.0), f(1.5), f(-0.0)});       // zero product (c)
+  ops.push_back({f(0.0), f(1.5), f(2.0)});        // zero addend
+  ops.push_back({f(-0.0), f(-1.5), f(2.0)});      // negative product
+  // A pass-through: the addend sits far above the product window.
+  ops.push_back({f(std::ldexp(1.0, 500)), f(std::ldexp(1.0, -200)),
+                 f(std::ldexp(1.0, -200))});
+  // Exact cancellation: a + b*c == 0 triggers the late zero detect.
+  ops.push_back({f(-3.75), f(1.5), f(2.5)});
+  // Massive cancellation with a tiny residue (deep ZD block skipping).
+  ops.push_back({f(-3.75), f(1.5), f(2.5000000000000004)});
+  // Subnormal flush: the product exponent falls below the PCS range.
+  ops.push_back({f(0.0), f(std::ldexp(1.0, -1060)),
+                 f(std::ldexp(1.0, -1060))});
+  ops.push_back({f(std::ldexp(1.0, -1000)), f(std::ldexp(1.0, -1060)),
+                 f(std::ldexp(1.0, -500))});
+  RandomTripleSource tail(2026, 130 - ops.size(), -12, 12);
+  std::vector<OperandTriple> rest(130 - ops.size());
+  tail.fill(0, rest.data(), rest.size());
+  ops.insert(ops.end(), rest.begin(), rest.end());
+  return ops;
+}
+
+/// Results, per-probe toggle counts AND the serialized event log must be
+/// byte-identical between the scalar reference backend and the sliced
+/// backend, at any thread count (the CI backend-equivalence gate).
+TEST(SimEngine, BackendEquivalenceOnAdversarialOperands) {
+  const std::vector<OperandTriple> ops = adversarial_ops();
+  auto run = [&](EngineBackend backend, int threads) {
+    EngineConfig cfg = config(UnitKind::Pcs, threads, 32);
+    cfg.backend = backend;
+    cfg.event_capacity = 1024;
+    SimEngine engine(cfg);
+    return engine.run_batch(ops);
+  };
+  const BatchResult ref = run(EngineBackend::Scalar, 1);
+  EXPECT_GT(ref.events.events().size(), 0u);  // the stream raises events
+  for (EngineBackend backend : {EngineBackend::Scalar, EngineBackend::Sliced}) {
+    for (int threads : {1, 3}) {
+      const BatchResult got = run(backend, threads);
+      ASSERT_EQ(got.results.size(), ref.results.size());
+      for (std::size_t i = 0; i < ref.results.size(); ++i) {
+        // Bit equality, not same_value(): NaN results must match too.
+        EXPECT_EQ(got.results[i].to_bits(), ref.results[i].to_bits())
+            << to_string(backend) << " t" << threads << " op " << i;
+      }
+      EXPECT_EQ(toggle_map(got.activity), toggle_map(ref.activity))
+          << to_string(backend) << " t" << threads;
+      EXPECT_EQ(got.events.to_json(), ref.events.to_json())
+          << to_string(backend) << " t" << threads;
+    }
+  }
+}
+
+TEST(SimEngine, BackendEquivalenceOnRandomStream) {
+  RandomTripleSource src(314159, 5000, -12, 12);
+  EngineConfig scfg = config(UnitKind::Pcs, 2, 512);
+  scfg.backend = EngineBackend::Scalar;
+  EngineConfig vcfg = scfg;
+  vcfg.backend = EngineBackend::Sliced;
+  const BatchResult rs = SimEngine(scfg).run_batch(src);
+  const BatchResult rv = SimEngine(vcfg).run_batch(src);
+  ASSERT_EQ(rs.results.size(), rv.results.size());
+  for (std::size_t i = 0; i < rs.results.size(); ++i)
+    ASSERT_TRUE(PFloat::same_value(rs.results[i], rv.results[i])) << i;
+  EXPECT_EQ(toggle_map(rs.activity), toggle_map(rv.activity));
+  EXPECT_GT(rs.activity.total_toggles(), 0u);
+}
+
+// ---- worker clamp (small-host fix) ---------------------------------------
+
+// A worker request beyond the host's hardware threads is clamped to it —
+// oversubscribing a 1-thread CI box made `batch_parallel` slower than
+// `batch_1t` — and the clamp is visible to callers (the bench harness
+// records it in baseline meta).
+TEST(SimEngine, WorkerRequestClampsToHardwareThreads) {
+  const unsigned hwc = std::thread::hardware_concurrency();
+  const int hw = hwc == 0 ? 1 : (int)hwc;
+
+  SimEngine greedy(config(UnitKind::Pcs, hw + 63, 128));
+  EXPECT_EQ(greedy.requested_threads(), hw + 63);
+  EXPECT_EQ(greedy.resolved_threads(), hw);
+  EXPECT_TRUE(greedy.threads_clamped());
+
+  SimEngine one(config(UnitKind::Pcs, 1, 128));
+  EXPECT_EQ(one.resolved_threads(), 1);
+  EXPECT_FALSE(one.threads_clamped());
+
+  SimEngine autodetect(config(UnitKind::Pcs, 0, 128));
+  EXPECT_EQ(autodetect.requested_threads(), 0);
+  EXPECT_EQ(autodetect.resolved_threads(), hw);
+  EXPECT_FALSE(autodetect.threads_clamped());  // auto-detect is not a clamp
+
+  // Clamped runs still honor the determinism contract.
+  RandomTripleSource src(8086, 2000, -8, 8);
+  const BatchResult a = one.run_batch(src);
+  const BatchResult b = greedy.run_batch(src);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i)
+    ASSERT_TRUE(PFloat::same_value(a.results[i], b.results[i])) << i;
+  EXPECT_EQ(toggle_map(a.activity), toggle_map(b.activity));
 }
 
 }  // namespace

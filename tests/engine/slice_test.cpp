@@ -1,0 +1,308 @@
+// Property tests for the bit-sliced (SoA) batch layer: every kernel in
+// engine/slice.hpp must be bit-exact with its scalar counterpart in src/cs
+// applied lane-by-lane, for every width class the datapaths use (including
+// buses wider than 512 bits, where the lane-major values span 9+ words)
+// and for batches whose lane count is not a multiple of 64.
+#include "engine/slice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/activity.hpp"
+#include "common/rng.hpp"
+#include "cs/cs_num.hpp"
+#include "cs/lza.hpp"
+#include "cs/pcs.hpp"
+#include "cs/zero_detect.hpp"
+
+namespace csfma {
+namespace {
+
+// Width classes: sub-word, the PCS tail (55), one word, the PCS mantissa
+// (110), unaligned multi-word, the 385b adder, the full CsWord, and a
+// >512b bus (9 words per lane).
+const int kWidths[] = {1, 7, 55, 64, 110, 121, 385, 448, 576};
+// Lane counts: single lane, odd remainders, one-short, and a full batch.
+const int kLaneCounts[] = {1, 3, 27, 63, 64};
+
+int words_for(int width_bits) { return (width_bits + 63) / 64; }
+
+/// Random lane-major values of `width_bits` bits (top bits of the last
+/// word zero), `stride` words per lane.
+std::vector<std::uint64_t> random_lanes(Rng& rng, int n, int width_bits,
+                                        int stride) {
+  std::vector<std::uint64_t> lanes((std::size_t)(n * stride), 0);
+  const int nw = words_for(width_bits);
+  for (int L = 0; L < n; ++L) {
+    for (int w = 0; w < nw; ++w) {
+      std::uint64_t v = rng.next_u64();
+      // Bias toward long runs of equal bits so sign-run / zero-detect
+      // predicates see interesting inputs, not just dense noise.
+      if (rng.next_below(3) == 0) v = rng.next_bool() ? ~std::uint64_t{0} : 0;
+      if (w == nw - 1 && (width_bits & 63) != 0)
+        v &= (std::uint64_t{1} << (width_bits & 63)) - 1;
+      lanes[(std::size_t)(L * stride + w)] = v;
+    }
+  }
+  return lanes;
+}
+
+/// Bit b of lane L, read straight from the lane-major array (the naive
+/// reference the transpose is checked against).
+int lane_bit(const std::vector<std::uint64_t>& lanes, int stride, int L,
+             int b) {
+  return (int)((lanes[(std::size_t)(L * stride + b / 64)] >> (b % 64)) & 1);
+}
+
+CsWord cs_of_lane(const std::vector<std::uint64_t>& lanes, int stride,
+                  int L) {
+  CsWord v;
+  for (int w = 0; w < stride && w < CsWord::kWords; ++w)
+    v.data()[w] = lanes[(std::size_t)(L * stride + w)];
+  return v;
+}
+
+TEST(Slice, Transpose64MatchesNaiveAndIsInvolution) {
+  Rng rng(1);
+  std::uint64_t m[64], orig[64];
+  for (int r = 0; r < 64; ++r) orig[r] = m[r] = rng.next_u64();
+  slice::transpose64(m);
+  for (int r = 0; r < 64; ++r)
+    for (int c = 0; c < 64; ++c)
+      ASSERT_EQ((m[r] >> c) & 1, (orig[c] >> r) & 1) << r << "," << c;
+  slice::transpose64(m);
+  for (int r = 0; r < 64; ++r) ASSERT_EQ(m[r], orig[r]);
+}
+
+TEST(Slice, PackUnpackRoundTripEveryWidthClass) {
+  Rng rng(2);
+  for (int width : kWidths) {
+    const int stride = words_for(width);
+    for (int n : kLaneCounts) {
+      const auto lanes = random_lanes(rng, n, width, stride);
+      std::vector<std::uint64_t> planes((std::size_t)width, ~std::uint64_t{0});
+      slice::pack_words(lanes.data(), stride, n, width, planes.data());
+      for (int b = 0; b < width; ++b) {
+        for (int L = 0; L < n; ++L)
+          ASSERT_EQ((planes[(std::size_t)b] >> L) & 1,
+                    (std::uint64_t)lane_bit(lanes, stride, L, b))
+              << "width " << width << " n " << n << " b " << b << " L " << L;
+        // Lanes n..63 of every plane must be zero (the layout contract).
+        if (n < 64) {
+          ASSERT_EQ(planes[(std::size_t)b] >> n, 0u)
+              << "width " << width << " n " << n << " b " << b;
+        }
+      }
+      std::vector<std::uint64_t> back((std::size_t)(n * stride), 0);
+      slice::unpack_words(planes.data(), width, n, back.data(), stride);
+      ASSERT_EQ(back, lanes) << "width " << width << " n " << n;
+    }
+  }
+}
+
+TEST(Slice, Compress3MatchesScalarPerLane) {
+  Rng rng(3);
+  for (int width : {55, 110, 385, 448}) {
+    const int stride = CsWord::kWords;
+    const int n = 63;  // odd remainder on purpose
+    const auto la = random_lanes(rng, n, width, stride);
+    const auto lb = random_lanes(rng, n, width, stride);
+    const auto lc = random_lanes(rng, n, width, stride);
+    std::vector<std::uint64_t> pa((std::size_t)width), pb((std::size_t)width),
+        pc((std::size_t)width), os((std::size_t)width), oc((std::size_t)width);
+    slice::pack_words(la.data(), stride, n, width, pa.data());
+    slice::pack_words(lb.data(), stride, n, width, pb.data());
+    slice::pack_words(lc.data(), stride, n, width, pc.data());
+    slice::compress3(width, pa.data(), pb.data(), pc.data(), os.data(),
+                     oc.data());
+    std::vector<std::uint64_t> ls((std::size_t)(n * stride), 0);
+    std::vector<std::uint64_t> lcar((std::size_t)(n * stride), 0);
+    slice::unpack_words(os.data(), width, n, ls.data(), stride);
+    slice::unpack_words(oc.data(), width, n, lcar.data(), stride);
+    for (int L = 0; L < n; ++L) {
+      const CsNum want = compress3(width, cs_of_lane(la, stride, L),
+                                   cs_of_lane(lb, stride, L),
+                                   cs_of_lane(lc, stride, L));
+      EXPECT_EQ(cs_of_lane(ls, stride, L), want.sum())
+          << "width " << width << " lane " << L;
+      EXPECT_EQ(cs_of_lane(lcar, stride, L), want.carry())
+          << "width " << width << " lane " << L;
+    }
+  }
+}
+
+// The >512b bus class: no CsWord-based scalar reference exists above 448
+// bits, so the compressor is checked against its bit-level definition
+// (sum = a^b^c; carry = majority shifted up one, MSB majority dropped).
+TEST(Slice, Compress3WidePlanesMatchDefinition) {
+  Rng rng(4);
+  const int width = 576, stride = words_for(width), n = 64;
+  const auto la = random_lanes(rng, n, width, stride);
+  const auto lb = random_lanes(rng, n, width, stride);
+  const auto lc = random_lanes(rng, n, width, stride);
+  std::vector<std::uint64_t> pa((std::size_t)width), pb((std::size_t)width),
+      pc((std::size_t)width), os((std::size_t)width), oc((std::size_t)width);
+  slice::pack_words(la.data(), stride, n, width, pa.data());
+  slice::pack_words(lb.data(), stride, n, width, pb.data());
+  slice::pack_words(lc.data(), stride, n, width, pc.data());
+  slice::compress3(width, pa.data(), pb.data(), pc.data(), os.data(),
+                   oc.data());
+  for (int b = 0; b < width; ++b) {
+    ASSERT_EQ(os[(std::size_t)b], pa[(std::size_t)b] ^ pb[(std::size_t)b] ^
+                                      pc[(std::size_t)b])
+        << b;
+    const std::uint64_t maj_below =
+        b == 0 ? 0
+               : (pa[(std::size_t)(b - 1)] & pb[(std::size_t)(b - 1)]) |
+                     (pc[(std::size_t)(b - 1)] &
+                      (pa[(std::size_t)(b - 1)] | pb[(std::size_t)(b - 1)]));
+    ASSERT_EQ(oc[(std::size_t)b], maj_below) << b;
+  }
+}
+
+TEST(Slice, CarryReduceMatchesScalarPerLane) {
+  Rng rng(5);
+  const int width = 385, group = 11, stride = CsWord::kWords, n = 27;
+  const auto ls = random_lanes(rng, n, width, stride);
+  const auto lc = random_lanes(rng, n, width, stride);
+  std::vector<std::uint64_t> ps((std::size_t)width), pc((std::size_t)width),
+      rs((std::size_t)width), rc((std::size_t)width);
+  slice::pack_words(ls.data(), stride, n, width, ps.data());
+  slice::pack_words(lc.data(), stride, n, width, pc.data());
+  slice::carry_reduce(width, group, ps.data(), pc.data(), rs.data(),
+                      rc.data());
+  std::vector<std::uint64_t> os((std::size_t)(n * stride), 0);
+  std::vector<std::uint64_t> oc((std::size_t)(n * stride), 0);
+  slice::unpack_words(rs.data(), width, n, os.data(), stride);
+  slice::unpack_words(rc.data(), width, n, oc.data(), stride);
+  for (int L = 0; L < n; ++L) {
+    const PcsNum want = carry_reduce(
+        CsNum(width, cs_of_lane(ls, stride, L), cs_of_lane(lc, stride, L)),
+        group);
+    EXPECT_EQ(cs_of_lane(os, stride, L), want.sum()) << "lane " << L;
+    EXPECT_EQ(cs_of_lane(oc, stride, L), want.carries()) << "lane " << L;
+  }
+}
+
+TEST(Slice, AssimilateMatchesToBinaryPerLane) {
+  Rng rng(6);
+  for (int width : {55, 385, 448}) {
+    const int stride = CsWord::kWords, n = 63;
+    const auto ls = random_lanes(rng, n, width, stride);
+    const auto lc = random_lanes(rng, n, width, stride);
+    std::vector<std::uint64_t> ps((std::size_t)width), pc((std::size_t)width),
+        bin((std::size_t)width);
+    slice::pack_words(ls.data(), stride, n, width, ps.data());
+    slice::pack_words(lc.data(), stride, n, width, pc.data());
+    slice::assimilate(width, ps.data(), pc.data(), bin.data());
+    std::vector<std::uint64_t> lb((std::size_t)(n * stride), 0);
+    slice::unpack_words(bin.data(), width, n, lb.data(), stride);
+    for (int L = 0; L < n; ++L) {
+      const CsWord want =
+          CsNum(width, cs_of_lane(ls, stride, L), cs_of_lane(lc, stride, L))
+              .to_binary();
+      EXPECT_EQ(cs_of_lane(lb, stride, L), want)
+          << "width " << width << " lane " << L;
+    }
+  }
+}
+
+TEST(Slice, CountSkippableBlocksMatchesScalarPerLane) {
+  Rng rng(7);
+  const int width = 385, block = 55, max_skip = 5;
+  const int stride = CsWord::kWords, n = 63;
+  for (int round = 0; round < 8; ++round) {
+    auto ls = random_lanes(rng, n, width, stride);
+    auto lc = random_lanes(rng, n, width, stride);
+    // Force small / sign-extended values into some lanes so every skip
+    // count in [0, max_skip] actually occurs.
+    for (int L = 0; L < n; ++L) {
+      if (L % 3 != 0) continue;
+      const int keep = (int)rng.next_below((std::uint64_t)width);
+      CsWord s = cs_of_lane(ls, stride, L).truncated(keep + 1);
+      if (rng.next_bool())  // sign-extended negative: ones above `keep`
+        s = s | (CsWord::mask(width) & ~CsWord::mask(keep + 1));
+      CsWord c;  // an already-assimilated lane stresses the carry logic
+      for (int w = 0; w < stride; ++w) {
+        ls[(std::size_t)(L * stride + w)] = s.data()[w];
+        lc[(std::size_t)(L * stride + w)] = c.data()[w];
+      }
+    }
+    std::vector<std::uint64_t> ps((std::size_t)width), pc((std::size_t)width);
+    std::uint64_t alive[5];
+    slice::pack_words(ls.data(), stride, n, width, ps.data());
+    slice::pack_words(lc.data(), stride, n, width, pc.data());
+    slice::count_skippable_blocks(width, block, max_skip, ps.data(),
+                                  pc.data(), alive);
+    for (int L = 0; L < n; ++L) {
+      int got = 0;
+      for (int k = 0; k < max_skip; ++k) got += (int)((alive[k] >> L) & 1);
+      const int want = count_skippable_blocks(
+          CsNum(width, cs_of_lane(ls, stride, L), cs_of_lane(lc, stride, L)),
+          block, max_skip);
+      EXPECT_EQ(got, want) << "round " << round << " lane " << L;
+    }
+  }
+}
+
+TEST(Slice, LeadingSignRunMatchesScalarPerLane) {
+  Rng rng(8);
+  const int width = 385, stride = CsWord::kWords, n = 63;
+  const auto lb = random_lanes(rng, n, width, stride);
+  std::vector<std::uint64_t> bin((std::size_t)width);
+  slice::pack_words(lb.data(), stride, n, width, bin.data());
+  std::uint16_t run[64];
+  slice::leading_sign_run(width, bin.data(), n, run);
+  for (int L = 0; L < n; ++L) {
+    const int want =
+        leading_sign_run(CsNum::from_binary(width, cs_of_lane(lb, stride, L)));
+    EXPECT_EQ((int)run[L], want) << "lane " << L;
+  }
+}
+
+TEST(Slice, LzaEstimateMatchesScalarPerLane) {
+  Rng rng(9);
+  const int width = 385, stride = CsWord::kWords, n = 27;
+  const auto ls = random_lanes(rng, n, width, stride);
+  const auto lc = random_lanes(rng, n, width, stride);
+  std::vector<std::uint64_t> ps((std::size_t)width), pc((std::size_t)width),
+      scratch((std::size_t)(2 * width));
+  slice::pack_words(ls.data(), stride, n, width, ps.data());
+  slice::pack_words(lc.data(), stride, n, width, pc.data());
+  std::uint16_t est[64];
+  slice::lza_estimate(width, ps.data(), pc.data(), n, est, scratch.data());
+  for (int L = 0; L < n; ++L) {
+    const int want = lza_estimate(
+        CsNum(width, cs_of_lane(ls, stride, L), cs_of_lane(lc, stride, L)));
+    EXPECT_EQ((int)est[L], want) << "lane " << L;
+  }
+}
+
+// Toggle accounting: one observe_planes() call must count exactly what n
+// sequential per-lane observe() calls count — across batches (the seam
+// between batch k's last lane and batch k+1's first), for odd-remainder
+// batches, and for plane widths narrower than the scalar observation's
+// word count (the scalar side zero-extends).
+TEST(Slice, ObservePlanesMatchesSequentialObserve) {
+  Rng rng(10);
+  for (int width : {110, 385, 448}) {
+    const int stride = CsWord::kWords;
+    ActivityProbe scalar_probe, sliced_probe;
+    for (int n : {64, 63, 27, 1, 3}) {
+      const auto lanes = random_lanes(rng, n, width, stride);
+      for (int L = 0; L < n; ++L)
+        scalar_probe.observe(cs_of_lane(lanes, stride, L));
+      std::vector<std::uint64_t> planes((std::size_t)width);
+      slice::pack_words(lanes.data(), stride, n, width, planes.data());
+      sliced_probe.observe_planes(planes.data(), width, n);
+      ASSERT_EQ(sliced_probe.toggles(), scalar_probe.toggles())
+          << "width " << width << " after batch of " << n;
+      ASSERT_EQ(sliced_probe.observations(), scalar_probe.observations());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csfma
